@@ -1,0 +1,88 @@
+// §6 ablation reproduction — CG matrix-vector loop unrolling on the
+// SG2044.  NPB ships two alternative cong_grad inner loops unrolled 2x and
+// 8x; the paper measured the vectorised builds at 1.12x and 1.64x the
+// default vectorised version, both still below the scalar build.
+//
+// In the model, unrolling amortises the strip-mining/branch overhead that
+// makes RVV gathers slow: we express an n-way unroll as an improvement of
+// the effective gather efficiency and regenerate the comparison.
+
+#include <iostream>
+#include <vector>
+
+#include "model/paper_reference.hpp"
+#include "model/predictor.hpp"
+#include "model/signatures.hpp"
+#include "npb/cg.hpp"
+#include "npb/npb_common.hpp"
+#include "report/table.hpp"
+
+using namespace rvhpc;
+using model::CompilerId;
+using model::Kernel;
+using model::ProblemClass;
+
+namespace {
+
+double cg_mops(double gather_efficiency_scale, bool vectorise) {
+  arch::MachineModel m = arch::machine(arch::MachineId::Sg2044);
+  m.core.vector.gather_efficiency =
+      std::min(1.0, m.core.vector.gather_efficiency * gather_efficiency_scale);
+  model::RunConfig cfg;
+  cfg.cores = 1;
+  cfg.compiler = {CompilerId::Gcc15_2, vectorise};
+  return predict(m, model::signature(Kernel::CG, ProblemClass::C), cfg).mops;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "§6 ablation — CG SpMV unrolling, SG2044 single core, class C\n"
+               "(vectorised builds relative to the default vectorised "
+               "version)\n\n";
+  const auto paper = model::paper::cg_unroll();
+  const double base = cg_mops(1.0, true);
+  const double unroll2 = cg_mops(1.35, true);   // fewer strip-mine branches
+  const double unroll8 = cg_mops(2.2, true);    // near-amortised control
+  const double scalar = cg_mops(1.0, false);
+
+  report::Table t({"variant", "model Mop/s", "vs default (model)",
+                   "vs default (paper)"});
+  t.add_row({"vectorised, default", report::fmt(base, 1), "1.00x", "1.00x"});
+  t.add_row({"vectorised, unroll x2", report::fmt(unroll2, 1),
+             report::fmt_ratio(unroll2, base),
+             report::fmt(paper.unroll2_speedup, 2) + "x"});
+  t.add_row({"vectorised, unroll x8", report::fmt(unroll8, 1),
+             report::fmt_ratio(unroll8, base),
+             report::fmt(paper.unroll8_speedup, 2) + "x"});
+  t.add_row({"scalar (no vector)", report::fmt(scalar, 1),
+             report::fmt_ratio(scalar, base), "~2.68x"});
+  std::cout << t.render()
+            << "\nShape targets: unrolling recovers part of the vectorised "
+               "loss (1.12x, 1.64x)\nbut even x8 stays below the scalar "
+               "build — matching the paper's conclusion\nthat the RVV gather "
+               "path itself, not loop overhead, is the bottleneck.\n";
+  const bool ok = unroll2 > base && unroll8 > unroll2 && scalar > unroll8;
+  std::cout << (ok ? "ordering OK\n" : "ORDERING VIOLATION\n");
+
+  // The real loop variants from src/npb running on this host (no RVV here,
+  // so no pathology — this demonstrates the ablation's code paths exist
+  // and agree numerically).
+  std::cout << "\nHost SpMV (class W matrix, 2 threads, 200 products):\n";
+  const auto a = npb::cg::make_matrix(npb::ProblemClass::W);
+  std::vector<double> x(static_cast<std::size_t>(a.n), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(a.n));
+  for (auto [variant, label] :
+       {std::pair{npb::cg::SpmvVariant::Default, "default"},
+        {npb::cg::SpmvVariant::Unroll2, "unroll x2"},
+        {npb::cg::SpmvVariant::Unroll8, "unroll x8"}}) {
+    npb::Timer timer;
+    timer.start();
+    for (int rep = 0; rep < 200; ++rep) npb::cg::spmv(a, x, y, 2, variant);
+    const double gflops = 2.0 * static_cast<double>(a.nnz()) * 200 /
+                          timer.seconds() / 1e9;
+    std::cout << "  " << label << ": " << report::fmt(gflops, 2)
+              << " GFLOP/s\n";
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// §5.2 ablation reproduction — OMP_PROC_BIND / OMP_PLACES exploration on
+// the SG2044 (MG, class C): the paper found that leaving threads unbound
+// (or OMP_PROC_BIND=false) was consistently fastest, against the usual
+// expectation that pinning helps memory-bound codes.  Also shows the EPYC
+// for contrast, where dense pinning starves NUMA controllers.
+
+#include <iostream>
+
+#include "arch/registry.hpp"
+#include "model/predictor.hpp"
+#include "model/signatures.hpp"
+#include "report/table.hpp"
+
+using namespace rvhpc;
+using model::Kernel;
+using model::ProblemClass;
+using model::ThreadPlacement;
+
+namespace {
+
+double mg(arch::MachineId id, int cores, ThreadPlacement placement) {
+  model::RunConfig cfg;
+  cfg.cores = cores;
+  cfg.compiler = model::paper_default_compiler(arch::machine(id));
+  cfg.placement = placement;
+  return predict(arch::machine(id), model::signature(Kernel::MG, ProblemClass::C),
+                 cfg)
+      .mops;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "§5.2 ablation — thread placement for MG (class C), Mop/s\n\n";
+  report::Table t({"machine", "cores", "unbound (OS)", "spread pin",
+                   "close pin", "best"});
+  for (auto [id, cores] :
+       {std::pair{arch::MachineId::Sg2044, 16}, {arch::MachineId::Sg2044, 64},
+        {arch::MachineId::Epyc7742, 16}, {arch::MachineId::Epyc7742, 64}}) {
+    const double os = mg(id, cores, ThreadPlacement::OsDefault);
+    const double spread = mg(id, cores, ThreadPlacement::Spread);
+    const double close = mg(id, cores, ThreadPlacement::Close);
+    const char* best = os >= spread && os >= close ? "unbound"
+                       : spread >= close           ? "spread"
+                                                   : "close";
+    t.add_row({arch::name_of(id), std::to_string(cores), report::fmt(os, 1),
+               report::fmt(spread, 1), report::fmt(close, 1), best});
+  }
+  std::cout << t.render()
+            << "\nShape targets: on the single-NUMA SG2044 the unbound/OS "
+               "policy wins (the\npaper's surprising observation); on the "
+               "four-region EPYC, packing 16 threads\nclose cuts bandwidth "
+               "hard while spreading recovers it.\n";
+  return 0;
+}

@@ -1,0 +1,164 @@
+// calibration_check — model-vs-paper deltas across every experiment.
+//
+// Not a paper table itself: this binary is the development tool used to
+// calibrate the workload signatures and machine models.  It prints each
+// published number next to the model's prediction with the relative error,
+// then a summary of the worst deviations.  The per-table bench binaries
+// present the same data in the paper's own layout.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "model/paper_reference.hpp"
+#include "model/sweep.hpp"
+#include "report/table.hpp"
+
+using namespace rvhpc;
+using arch::MachineId;
+using model::Kernel;
+using model::ProblemClass;
+
+namespace {
+
+struct Delta {
+  std::string what;
+  double paper;
+  double ours;
+  [[nodiscard]] double rel_err() const {
+    return paper != 0.0 ? (ours - paper) / paper : 0.0;
+  }
+};
+
+std::vector<Delta> g_deltas;
+
+void check(const std::string& what, double paper_value, double our_value) {
+  g_deltas.push_back({what, paper_value, our_value});
+}
+
+void print_deltas() {
+  report::Table t({"experiment", "paper", "model", "rel.err"});
+  for (const auto& d : g_deltas) {
+    t.add_row({d.what, report::fmt(d.paper, 2), report::fmt(d.ours, 2),
+               report::fmt(100.0 * d.rel_err(), 1) + "%"});
+  }
+  std::cout << t.render() << "\n";
+  double worst = 0.0;
+  std::string worst_what;
+  double sum_abs = 0.0;
+  for (const auto& d : g_deltas) {
+    sum_abs += std::fabs(d.rel_err());
+    if (std::fabs(d.rel_err()) > std::fabs(worst)) {
+      worst = d.rel_err();
+      worst_what = d.what;
+    }
+  }
+  std::cout << "checks: " << g_deltas.size()
+            << "  mean |rel.err|: " << report::fmt(100.0 * sum_abs / g_deltas.size(), 1)
+            << "%  worst: " << worst_what << " (" << report::fmt(100.0 * worst, 1)
+            << "%)\n";
+}
+
+std::string mname(MachineId id) { return arch::machine(id).name; }
+
+}  // namespace
+
+int main() {
+  // ---- Table 2: single-core class B across RISC-V machines ----------------
+  for (const auto& row : model::paper::table2()) {
+    if (!row.mops) continue;
+    const auto p = model::at_cores(row.machine, row.kernel, ProblemClass::B, 1);
+    check("T2 " + to_string(row.kernel) + " " + mname(row.machine), *row.mops,
+          p.ran ? p.mops : 0.0);
+  }
+  // FT on the D1 must be DNR.
+  {
+    const auto p = model::at_cores(MachineId::AllwinnerD1, Kernel::FT,
+                                   ProblemClass::B, 1);
+    check("T2 FT allwinner-d1 DNR(1=yes)", 1.0, p.ran ? 0.0 : 1.0);
+  }
+
+  // ---- Tables 3/4: SG2044 vs SG2042, class C ------------------------------
+  for (const auto& row : model::paper::table3_single_core()) {
+    check("T3 " + to_string(row.kernel) + " sg2044 1c", row.sg2044_mops,
+          model::at_cores(MachineId::Sg2044, row.kernel, ProblemClass::C, 1).mops);
+    check("T3 " + to_string(row.kernel) + " sg2042 1c", row.sg2042_mops,
+          model::at_cores(MachineId::Sg2042, row.kernel, ProblemClass::C, 1).mops);
+  }
+  for (const auto& row : model::paper::table4_64_cores()) {
+    check("T4 " + to_string(row.kernel) + " sg2044 64c", row.sg2044_mops,
+          model::at_cores(MachineId::Sg2044, row.kernel, ProblemClass::C, 64).mops);
+    check("T4 " + to_string(row.kernel) + " sg2042 64c", row.sg2042_mops,
+          model::at_cores(MachineId::Sg2042, row.kernel, ProblemClass::C, 64).mops);
+  }
+
+  // ---- Figure 1: STREAM copy ----------------------------------------------
+  {
+    const auto s44 = model::at_cores(MachineId::Sg2044, Kernel::StreamCopy,
+                                     ProblemClass::C, 64);
+    const auto s42 = model::at_cores(MachineId::Sg2042, Kernel::StreamCopy,
+                                     ProblemClass::C, 64);
+    check("F1 copy BW ratio 64c", 3.2, s44.achieved_bw_gbs / s42.achieved_bw_gbs);
+    const auto a44 = model::at_cores(MachineId::Sg2044, Kernel::StreamCopy,
+                                     ProblemClass::C, 8);
+    const auto a42 = model::at_cores(MachineId::Sg2042, Kernel::StreamCopy,
+                                     ProblemClass::C, 8);
+    check("F1 copy BW ratio 8c", 1.0, a44.achieved_bw_gbs / a42.achieved_bw_gbs);
+  }
+
+  // ---- Figure 2 prose: single-core IS vs other ISAs ------------------------
+  {
+    const double sg = model::at_cores(MachineId::Sg2044, Kernel::IS,
+                                      ProblemClass::C, 1).mops;
+    check("F2 IS epyc/sg2044 1c", 2.0,
+          model::at_cores(MachineId::Epyc7742, Kernel::IS, ProblemClass::C, 1).mops / sg);
+    check("F2 IS skylake/sg2044 1c", 3.0,
+          model::at_cores(MachineId::Xeon8170, Kernel::IS, ProblemClass::C, 1).mops / sg);
+  }
+
+  // ---- Table 6: pseudo-apps, times faster than SG2044 ----------------------
+  for (const auto& row : model::paper::table6()) {
+    auto add = [&](const char* who, MachineId id, std::optional<double> ref) {
+      if (!ref) return;
+      check("T6 " + to_string(row.kernel) + " " + who + " " +
+                std::to_string(row.cores) + "c",
+            *ref,
+            model::times_faster(id, MachineId::Sg2044, row.kernel,
+                                ProblemClass::C, row.cores));
+    };
+    add("sg2042", MachineId::Sg2042, row.sg2042);
+    add("epyc", MachineId::Epyc7742, row.epyc);
+    add("skylake", MachineId::Xeon8170, row.skylake);
+    add("tx2", MachineId::ThunderX2, row.thunderx2);
+  }
+
+  // ---- Tables 7/8: compiler ablation on the SG2044 -------------------------
+  const arch::MachineModel& sg2044 = arch::machine(MachineId::Sg2044);
+  auto ablation = [&](Kernel k, int cores, model::CompilerId id, bool vec) {
+    model::RunConfig cfg;
+    cfg.cores = cores;
+    cfg.compiler = {id, vec};
+    return predict(sg2044, model::signature(k, ProblemClass::C), cfg).mops;
+  };
+  for (const auto& row : model::paper::table7_single_core()) {
+    const std::string k = to_string(row.kernel);
+    check("T7 " + k + " gcc12", row.gcc12,
+          ablation(row.kernel, 1, model::CompilerId::Gcc12_3_1, true));
+    check("T7 " + k + " gcc15+vec", row.gcc15_vector,
+          ablation(row.kernel, 1, model::CompilerId::Gcc15_2, true));
+    check("T7 " + k + " gcc15-novec", row.gcc15_scalar,
+          ablation(row.kernel, 1, model::CompilerId::Gcc15_2, false));
+  }
+  for (const auto& row : model::paper::table8_64_cores()) {
+    const std::string k = to_string(row.kernel);
+    check("T8 " + k + " gcc12", row.gcc12,
+          ablation(row.kernel, 64, model::CompilerId::Gcc12_3_1, true));
+    check("T8 " + k + " gcc15+vec", row.gcc15_vector,
+          ablation(row.kernel, 64, model::CompilerId::Gcc15_2, true));
+    check("T8 " + k + " gcc15-novec", row.gcc15_scalar,
+          ablation(row.kernel, 64, model::CompilerId::Gcc15_2, false));
+  }
+
+  print_deltas();
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 3 reproduction — MG benchmark OpenMP scaling (class C).
+
+#include "fig_common.hpp"
+
+int main() {
+  rvhpc::bench::print_scaling_figure(
+      "Figure 3 — MG benchmark performance (Mop/s, higher is better)",
+      rvhpc::model::Kernel::MG,
+      "Shape targets: equal-core comparisons favour AMD/Intel/Arm, but the\n"
+      "full-chip SG2044 (64 cores) is comparable to the full Skylake (26)\n"
+      "and ThunderX2 (32) while the SG2042 falls far behind — the 32 vs 4\n"
+      "memory controller/channel story of §5.2.");
+}

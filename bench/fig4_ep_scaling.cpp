@@ -1,0 +1,12 @@
+// Figure 4 reproduction — EP benchmark OpenMP scaling (class C).
+
+#include "fig_common.hpp"
+
+int main() {
+  rvhpc::bench::print_scaling_figure(
+      "Figure 4 — EP benchmark performance (Mop/s, higher is better)",
+      rvhpc::model::Kernel::EP,
+      "Shape targets: the SG2044 tracks the Skylake core-for-core and then\n"
+      "follows the EPYC's trajectory beyond 26 cores at slightly lower\n"
+      "absolute performance; compute-bound, so everything scales ~linearly.");
+}

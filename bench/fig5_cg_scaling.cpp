@@ -1,0 +1,13 @@
+// Figure 5 reproduction — CG benchmark OpenMP scaling (class C;
+// vectorisation disabled on the SG2044 per §6).
+
+#include "fig_common.hpp"
+
+int main() {
+  rvhpc::bench::print_scaling_figure(
+      "Figure 5 — CG benchmark performance (Mop/s, higher is better)",
+      rvhpc::model::Kernel::CG,
+      "Shape targets: SG2044 and SG2042 similar at small core counts, the\n"
+      "2.2x gap building from 32 threads; core-for-core the ThunderX2 wins,\n"
+      "but 64 SG2044 cores beat the Arm CPU's full 32.");
+}

@@ -1,0 +1,11 @@
+// Figure 6 reproduction — FT benchmark OpenMP scaling (class C).
+
+#include "fig_common.hpp"
+
+int main() {
+  rvhpc::bench::print_scaling_figure(
+      "Figure 6 — FT benchmark performance (Mop/s, higher is better)",
+      rvhpc::model::Kernel::FT,
+      "Shape targets: SG2044 follows the SG2042's trajectory offset upward\n"
+      "(2.71x at 64 cores) but still lags the other architectures.");
+}

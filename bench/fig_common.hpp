@@ -1,0 +1,89 @@
+#pragma once
+// Shared helpers for the figure-reproduction bench binaries: each of the
+// paper's Figures 2-6 is one kernel's OpenMP scaling curve across the five
+// §5 machines; this renders the modelled curves as a table plus an ASCII
+// chart, in the figures' layout.
+
+#include <iostream>
+#include <string>
+
+#include "model/sweep.hpp"
+#include "report/chart.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+
+namespace rvhpc::bench {
+
+/// Prints the Figure-N reproduction for `kernel` (class C, paper setup):
+/// a Mop/s-by-core-count table with one column per machine, then the
+/// log2-x chart the paper plots, then any prose anchors via `notes`.
+inline void print_scaling_figure(const std::string& title, model::Kernel kernel,
+                                 const std::string& notes) {
+  using model::ProblemClass;
+  std::cout << title << "\n"
+            << std::string(title.size(), '=') << "\n\n";
+
+  const auto& machines = arch::hpc_machines();
+  std::vector<model::ScalingSeries> series;
+  series.reserve(machines.size());
+  for (arch::MachineId id : machines) {
+    series.push_back(model::scale_cores(id, kernel, ProblemClass::C));
+  }
+
+  std::vector<std::string> header = {"cores"};
+  for (arch::MachineId id : machines) header.push_back(arch::name_of(id));
+  report::Table table(header);
+  // Row per core count present on any machine.
+  for (int cores : model::power_of_two_cores(64)) {
+    std::vector<std::string> row = {std::to_string(cores)};
+    bool any = false;
+    for (const auto& s : series) {
+      std::string cell = "-";
+      for (const auto& p : s.points) {
+        if (p.cores == cores && p.prediction.ran) {
+          cell = report::fmt(p.prediction.mops, 1);
+          any = true;
+        }
+      }
+      row.push_back(cell);
+    }
+    if (any) table.add_row(row);
+  }
+  // Skylake (26) and ThunderX2 (32) end off the power-of-two grid.
+  for (int cores : {26, 32}) {
+    std::vector<std::string> row = {std::to_string(cores)};
+    bool any = false;
+    for (const auto& s : series) {
+      std::string cell = "-";
+      for (const auto& p : s.points) {
+        if (p.cores == cores && p.prediction.ran) {
+          cell = report::fmt(p.prediction.mops, 1);
+          any = true;
+        }
+      }
+      row.push_back(cell);
+    }
+    if (any && cores != 32) table.add_row(row);  // 32 already in pow2 grid
+  }
+  report::maybe_write_csv("fig_" + to_string(kernel), table);
+  std::cout << table.render() << "\n";
+
+  report::AsciiChart chart("Modelled " + to_string(kernel) +
+                               " class C scaling (Mop/s vs cores)",
+                           "cores", "Mop/s");
+  const char glyphs[] = {'4', '2', 'E', 'S', 'T'};
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    report::Series s;
+    s.label = arch::name_of(machines[i]);
+    s.glyph = glyphs[i % sizeof(glyphs)];
+    for (const auto& p : series[i].points) {
+      if (p.prediction.ran) {
+        s.points.emplace_back(static_cast<double>(p.cores), p.prediction.mops);
+      }
+    }
+    chart.add_series(std::move(s));
+  }
+  std::cout << chart.render() << "\n" << notes << "\n";
+}
+
+}  // namespace rvhpc::bench

@@ -1,0 +1,112 @@
+// Microbenchmarks (google-benchmark) of the library's own machinery:
+// predictor evaluation cost, cache-simulator throughput, DRAM model, NPB
+// class-S kernel rates and STREAM on the host.  These measure this
+// repository's code, not the paper's machines.
+
+#include <benchmark/benchmark.h>
+
+#include "arch/registry.hpp"
+#include "memsim/cache.hpp"
+#include "memsim/profile.hpp"
+#include "memsim/trace.hpp"
+#include "model/sweep.hpp"
+#include "npb/ep.hpp"
+#include "npb/is.hpp"
+#include "npb/mg.hpp"
+#include "stream/stream.hpp"
+
+namespace {
+
+using namespace rvhpc;
+
+void BM_PredictSingleCall(benchmark::State& state) {
+  const auto& m = arch::machine(arch::MachineId::Sg2044);
+  const auto sig = model::signature(model::Kernel::CG, model::ProblemClass::C);
+  model::RunConfig cfg;
+  cfg.cores = 64;
+  cfg.compiler = {model::CompilerId::Gcc15_2, false};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predict(m, sig, cfg).mops);
+  }
+}
+BENCHMARK(BM_PredictSingleCall);
+
+void BM_FullScalingSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto s = model::scale_cores(arch::MachineId::Sg2044,
+                                      model::Kernel::MG, model::ProblemClass::C);
+    benchmark::DoNotOptimize(s.points.back().prediction.mops);
+  }
+}
+BENCHMARK(BM_FullScalingSweep);
+
+void BM_CacheAccess(benchmark::State& state) {
+  memsim::Cache cache(1 << 20, 16, 64);
+  memsim::XorShift rng(42);
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rng.below(1 << 22), false).hit);
+    ++total;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  auto gen = memsim::kernel_trace(model::Kernel::MG, 1.0, 0, 7);
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen->next().addr);
+    ++total;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_StallSimulation(benchmark::State& state) {
+  const auto& xeon = arch::machine(arch::MachineId::Xeon8170);
+  memsim::ProfileConfig cfg;
+  cfg.cores = 4;
+  cfg.ops_per_core = 20000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        memsim::simulate_stalls(xeon, model::Kernel::CG, cfg).total_cycles);
+  }
+}
+BENCHMARK(BM_StallSimulation);
+
+void BM_NpbIsClassS(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(npb::is::run(npb::ProblemClass::S, 2).mops);
+  }
+}
+BENCHMARK(BM_NpbIsClassS);
+
+void BM_NpbEpClassS(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(npb::ep::run(npb::ProblemClass::S, 2).mops);
+  }
+}
+BENCHMARK(BM_NpbEpClassS);
+
+void BM_NpbMgClassS(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(npb::mg::run(npb::ProblemClass::S, 2).mops);
+  }
+}
+BENCHMARK(BM_NpbMgClassS);
+
+void BM_HostStreamTriad(benchmark::State& state) {
+  stream::StreamConfig cfg;
+  cfg.elements = 4'000'000;
+  cfg.repetitions = 2;
+  cfg.threads = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream::run(cfg).back().best_gbs);
+  }
+}
+BENCHMARK(BM_HostStreamTriad);
+
+}  // namespace
+
+BENCHMARK_MAIN();

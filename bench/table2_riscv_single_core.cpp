@@ -1,0 +1,58 @@
+// Table 2 reproduction — single-core class B comparison across RISC-V
+// machines (SG2044 vs six commodity boards), Mop/s with the percentage of
+// the C920v2's performance in parentheses, exactly the paper's layout.
+
+#include <iostream>
+
+#include "model/paper_reference.hpp"
+#include "model/sweep.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+
+using namespace rvhpc;
+using arch::MachineId;
+using model::Kernel;
+using model::ProblemClass;
+
+int main() {
+  std::cout << "Table 2 — single-core class B, Mop/s (percentage of the "
+               "SG2044's C920v2 in parentheses)\n"
+               "Each cell: paper | model\n\n";
+
+  std::vector<MachineId> machines = {MachineId::Sg2044};
+  for (MachineId id : arch::riscv_board_machines()) machines.push_back(id);
+
+  std::vector<std::string> header = {"Benchmark"};
+  for (MachineId id : machines) header.push_back(arch::name_of(id));
+  report::Table t(header);
+
+  for (Kernel k : model::npb_kernels()) {
+    const double sg_model =
+        model::at_cores(MachineId::Sg2044, k, ProblemClass::B, 1).mops;
+    const auto sg_paper = model::paper::table2_mops(k, MachineId::Sg2044);
+    std::vector<std::string> row = {to_string(k)};
+    for (MachineId id : machines) {
+      const auto p = model::at_cores(id, k, ProblemClass::B, 1);
+      const auto paper = model::paper::table2_mops(k, id);
+      std::string cell;
+      if (!paper.has_value() && !p.ran) {
+        cell = "DNR | DNR";
+      } else {
+        cell = (paper ? report::fmt(*paper, 1) : "DNR") + " | " +
+               (p.ran ? report::fmt(p.mops, 1) : "DNR");
+        if (id != MachineId::Sg2044 && p.ran && paper && sg_paper) {
+          cell += "  (" + report::fmt_pct_of(*paper, *sg_paper) + " | " +
+                  report::fmt_pct_of(p.mops, sg_model) + ")";
+        }
+      }
+      row.push_back(cell);
+    }
+    t.add_row(row);
+  }
+  report::maybe_write_csv("table2_riscv_single_core", t);
+  std::cout << t.render()
+            << "\nShape targets: SG2044 wins every kernel; the SpacemiT "
+               "K1/M1 come closest\n(except on CG); FT is DNR on the 1 GiB "
+               "Allwinner D1.\n";
+  return 0;
+}

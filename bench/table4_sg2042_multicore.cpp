@@ -1,0 +1,38 @@
+// Table 4 reproduction — all 64 cores, class C: SG2044 vs SG2042 with
+// OpenMP; the paper's headline 1.52x-4.91x column.
+
+#include <iostream>
+
+#include "model/paper_reference.hpp"
+#include "model/sweep.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+
+using namespace rvhpc;
+using arch::MachineId;
+using model::ProblemClass;
+
+int main() {
+  std::cout << "Table 4 — NPB kernels (class C) on all 64 cores: SG2044 vs "
+               "SG2042\nEach cell: paper | model\n\n";
+  report::Table t({"Benchmark", "SG2044 Mop/s", "SG2042 Mop/s",
+                   "SG2044 times faster"});
+  for (const auto& row : model::paper::table4_64_cores()) {
+    const auto p44 =
+        model::at_cores(MachineId::Sg2044, row.kernel, ProblemClass::C, 64);
+    const auto p42 =
+        model::at_cores(MachineId::Sg2042, row.kernel, ProblemClass::C, 64);
+    t.add_row({to_string(row.kernel),
+               report::fmt(row.sg2044_mops, 1) + " | " + report::fmt(p44.mops, 1),
+               report::fmt(row.sg2042_mops, 1) + " | " + report::fmt(p42.mops, 1),
+               report::fmt(row.sg2044_mops / row.sg2042_mops, 2) + " | " +
+                   report::fmt(p44.mops / p42.mops, 2)});
+  }
+  report::maybe_write_csv("table4_sg2042_multicore", t);
+  std::cout << t.render()
+            << "\nShape targets: the ordering inverts versus Table 3 — EP "
+               "(compute bound)\nbenefits least (~1.5x), IS (memory latency "
+               "bound) the most (~4.9x):\nthe SG2044's 32 memory "
+               "controllers/channels stop the SG2042's wall.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Table 8 reproduction — the Table 7 ablation across all 64 SG2044 cores.
+
+#include <iostream>
+
+#include "model/paper_reference.hpp"
+#include "model/predictor.hpp"
+#include "model/signatures.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+
+using namespace rvhpc;
+using model::CompilerId;
+using model::ProblemClass;
+
+namespace {
+
+double run(model::Kernel k, CompilerId id, bool vec) {
+  model::RunConfig cfg;
+  cfg.cores = 64;
+  cfg.compiler = {id, vec};
+  return predict(arch::machine(arch::MachineId::Sg2044),
+                 model::signature(k, ProblemClass::C), cfg)
+      .mops;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Table 8 — SG2044 all 64 cores, class C, compiler ablation "
+               "(Mop/s)\nEach cell: paper | model\n\n";
+  report::Table t({"Benchmark", "GCC 12.3.1", "GCC 15.2 +vector",
+                   "GCC 15.2 no vector"});
+  for (const auto& row : model::paper::table8_64_cores()) {
+    t.add_row({to_string(row.kernel),
+               report::fmt(row.gcc12, 1) + " | " +
+                   report::fmt(run(row.kernel, CompilerId::Gcc12_3_1, true), 1),
+               report::fmt(row.gcc15_vector, 1) + " | " +
+                   report::fmt(run(row.kernel, CompilerId::Gcc15_2, true), 1),
+               report::fmt(row.gcc15_scalar, 1) + " | " +
+                   report::fmt(run(row.kernel, CompilerId::Gcc15_2, false), 1)});
+  }
+  report::maybe_write_csv("table8_compiler_multicore", t);
+  std::cout << t.render()
+            << "\nShape targets: IS shows the largest toolchain gain (~35%, "
+               "an OpenMP/runtime\neffect invisible at one core); memory-"
+               "bound kernels barely move; CG's\nvectorisation penalty "
+               "shrinks at 64 cores but persists.\n";
+  return 0;
+}

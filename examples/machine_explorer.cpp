@@ -1,0 +1,101 @@
+// machine_explorer — dump every machine in the registry with its modelled
+// capabilities, and sweep any (machine, kernel) pair from the command line.
+//
+// Usage:
+//   machine_explorer                    # list machines
+//   machine_explorer sg2044 CG          # scaling table for one pair
+//   machine_explorer my-cpu.machine CG  # ...for a custom machine file
+//   machine_explorer --dump sg2044      # print a machine-file template
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "arch/registry.hpp"
+#include "arch/serialize.hpp"
+#include "arch/validate.hpp"
+#include "model/roofline.hpp"
+#include "model/sweep.hpp"
+#include "report/table.hpp"
+
+using namespace rvhpc;
+using model::Kernel;
+using model::ProblemClass;
+
+namespace {
+
+Kernel parse_kernel(const std::string& s) {
+  for (Kernel k : model::npb_all()) {
+    if (to_string(k) == s) return k;
+  }
+  throw std::invalid_argument("unknown kernel '" + s +
+                              "' (expected IS/MG/EP/CG/FT/BT/LU/SP)");
+}
+
+void list_machines() {
+  report::Table t({"name", "part", "cores", "clock", "vector", "sustained GB/s",
+                   "peak Gop/s (vec)"});
+  for (arch::MachineId id : arch::all_machines()) {
+    const auto& m = arch::machine(id);
+    t.add_row({m.name, m.part, std::to_string(m.cores),
+               report::fmt(m.core.clock_ghz, 2) + " GHz",
+               to_string(m.core.vector.isa),
+               report::fmt(m.memory.chip_stream_bw_gbs(), 1),
+               report::fmt(m.peak_vector_gflops(), 0)});
+  }
+  std::cout << t.render()
+            << "\nRun `machine_explorer <name> <kernel>` for a scaling "
+               "sweep, e.g. `machine_explorer sg2044 CG`.\n";
+}
+
+/// Registry name, or a path to a machine description file (detected by an
+/// existing file of that name).
+arch::MachineModel resolve_machine(const std::string& name) {
+  if (std::ifstream in(name); in.good()) return arch::read_machine(in);
+  return arch::machine(name);
+}
+
+void sweep(const std::string& name, const std::string& kernel_name) {
+  const arch::MachineModel m = resolve_machine(name);
+  const auto issues = arch::validate(m);
+  if (!issues.empty()) {
+    std::cerr << "machine fails validation:\n" << arch::format_issues(issues);
+    return;
+  }
+  const Kernel k = parse_kernel(kernel_name);
+  std::cout << m.summary() << "\n\n"
+            << to_string(k) << " class C, paper compiler setup:\n";
+  report::Table t({"cores", "Mop/s", "seconds", "GB/s", "bottleneck",
+                   "vectorised"});
+  for (int cores : model::power_of_two_cores(m.cores)) {
+    const auto p = model::predict_paper_setup(
+        m, model::signature(k, ProblemClass::C), cores);
+    if (!p.ran) {
+      t.add_row({std::to_string(cores), "DNR: " + p.dnr_reason});
+      continue;
+    }
+    t.add_row({std::to_string(cores), report::fmt(p.mops, 1),
+               report::fmt(p.seconds, 2), report::fmt(p.achieved_bw_gbs, 1),
+               to_string(p.breakdown.dominant),
+               p.vector.vectorised ? "yes" : "no"});
+  }
+  std::cout << t.render();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc >= 3 && std::string(argv[1]) == "--dump") {
+      std::cout << arch::to_text(arch::machine(argv[2]));
+    } else if (argc >= 3) {
+      sweep(argv[1], argv[2]);
+    } else {
+      list_machines();
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// paper_tour — a guided, narrated walk through the whole reproduction:
+// the fourth example application.  Prints each of the paper's claims, the
+// model's verdict, and where to look for the full table.
+//
+// Build & run:  ./build/examples/paper_tour
+
+#include <iostream>
+
+#include "model/paper_reference.hpp"
+#include "model/sweep.hpp"
+#include "report/table.hpp"
+
+using namespace rvhpc;
+using arch::MachineId;
+using model::Kernel;
+using model::ProblemClass;
+
+namespace {
+
+int g_checks = 0, g_passed = 0;
+
+void claim(const std::string& what, bool holds, const std::string& detail,
+           const std::string& bench) {
+  ++g_checks;
+  if (holds) ++g_passed;
+  std::cout << (holds ? "  [holds] " : "  [MISS ] ") << what << "\n"
+            << "          " << detail << "  (full table: bench/" << bench
+            << ")\n";
+}
+
+double ratio_4442(Kernel k, int cores) {
+  return model::times_faster(MachineId::Sg2044, MachineId::Sg2042, k,
+                             ProblemClass::C, cores);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "A tour of \"Is RISC-V ready for HPC?\" (SC'25), claim by "
+               "claim\n\n";
+
+  std::cout << "§3/Table 2 — single-core RISC-V landscape\n";
+  const double sg = model::at_cores(MachineId::Sg2044, Kernel::EP,
+                                    ProblemClass::B, 1).mops;
+  const double k1 = model::at_cores(MachineId::BananaPiF3, Kernel::EP,
+                                    ProblemClass::B, 1).mops;
+  claim("the C920v2 dominates every commodity RISC-V board",
+        sg > 1.8 * k1,
+        "EP class B: SG2044 " + report::fmt(sg, 1) + " vs best board " +
+            report::fmt(k1, 1) + " Mop/s",
+        "table2_riscv_single_core");
+
+  std::cout << "\n§4/Tables 3-4 — the generational story\n";
+  claim("single-core gains are modest (1.08-1.30x)",
+        ratio_4442(Kernel::EP, 1) < 1.6 && ratio_4442(Kernel::IS, 1) > 1.0,
+        "model: IS " + report::fmt(ratio_4442(Kernel::IS, 1), 2) + "x, EP " +
+            report::fmt(ratio_4442(Kernel::EP, 1), 2) + "x",
+        "table3_sg2042_single");
+  claim("64-core gains are large and led by the memory-bound kernels",
+        ratio_4442(Kernel::IS, 64) > 3.5 &&
+            ratio_4442(Kernel::IS, 64) > ratio_4442(Kernel::EP, 64),
+        "model: IS " + report::fmt(ratio_4442(Kernel::IS, 64), 2) + "x vs EP " +
+            report::fmt(ratio_4442(Kernel::EP, 64), 2) + "x",
+        "table4_sg2042_multicore");
+
+  std::cout << "\n§5/Figures 1-6 — against the HPC establishment\n";
+  const auto bw44 = model::at_cores(MachineId::Sg2044, Kernel::StreamCopy,
+                                    ProblemClass::C, 64).achieved_bw_gbs;
+  const auto bw42 = model::at_cores(MachineId::Sg2042, Kernel::StreamCopy,
+                                    ProblemClass::C, 64).achieved_bw_gbs;
+  claim("STREAM bandwidth >3x the SG2042 at 64 cores", bw44 > 3.0 * bw42,
+        report::fmt(bw44, 0) + " vs " + report::fmt(bw42, 0) + " GB/s",
+        "fig1_stream_bandwidth");
+  const double mg44 = model::at_cores(MachineId::Sg2044, Kernel::MG,
+                                      ProblemClass::C, 64).mops;
+  const double mg_sky = model::at_cores(MachineId::Xeon8170, Kernel::MG,
+                                        ProblemClass::C, 26).mops;
+  claim("full-chip MG competitive with the full Skylake",
+        mg44 > 0.6 * mg_sky && mg44 < 1.8 * mg_sky,
+        report::fmt(mg44, 0) + " vs " + report::fmt(mg_sky, 0) + " Mop/s",
+        "fig3_mg_scaling");
+  const double cg44 = model::at_cores(MachineId::Sg2044, Kernel::CG,
+                                      ProblemClass::C, 64).mops;
+  const double cg_tx2 = model::at_cores(MachineId::ThunderX2, Kernel::CG,
+                                        ProblemClass::C, 32).mops;
+  claim("64 SG2044 cores beat the full 32-core ThunderX2 on CG",
+        cg44 > cg_tx2,
+        report::fmt(cg44, 0) + " vs " + report::fmt(cg_tx2, 0) + " Mop/s",
+        "fig5_cg_scaling");
+
+  std::cout << "\n§6/Tables 7-8 — compilers and the CG pathology\n";
+  const auto& m = arch::machine(MachineId::Sg2044);
+  model::RunConfig vec{1, {model::CompilerId::Gcc15_2, true},
+                       model::ThreadPlacement::OsDefault};
+  model::RunConfig novec{1, {model::CompilerId::Gcc15_2, false},
+                         model::ThreadPlacement::OsDefault};
+  const auto sig = model::signature(Kernel::CG, ProblemClass::C);
+  const double pathology =
+      predict(m, sig, novec).mops / predict(m, sig, vec).mops;
+  claim("vectorised CG is ~3x slower on the C920v2",
+        pathology > 2.0 && pathology < 4.0,
+        "scalar/vector = " + report::fmt(pathology, 2) + "x",
+        "table7_compiler_single");
+
+  std::cout << "\n" << g_passed << "/" << g_checks
+            << " paper claims hold in the reproduction.\n";
+  return g_passed == g_checks ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+// quickstart — five-minute tour of the rvhpc public API.
+//
+// 1. Look up a machine from the registry and print its description.
+// 2. Predict a benchmark's performance on it at several core counts.
+// 3. Compare two machines head to head.
+// 4. Inspect where the model says the time goes.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <iostream>
+
+#include "arch/registry.hpp"
+#include "model/roofline.hpp"
+#include "model/sweep.hpp"
+#include "report/table.hpp"
+
+using namespace rvhpc;
+using arch::MachineId;
+using model::Kernel;
+using model::ProblemClass;
+
+int main() {
+  // --- 1. machines ----------------------------------------------------------
+  const arch::MachineModel& sg2044 = arch::machine(MachineId::Sg2044);
+  std::cout << "Machine: " << sg2044.summary() << "\n\n";
+
+  // --- 2. predict MG class C as the chip fills up ---------------------------
+  std::cout << "MG (class C) on the SG2044, paper compiler setup:\n";
+  report::Table t({"cores", "Mop/s", "GB/s drawn", "bottleneck"});
+  for (int cores : {1, 4, 16, 64}) {
+    const auto p = model::at_cores(MachineId::Sg2044, Kernel::MG,
+                                   ProblemClass::C, cores);
+    t.add_row({std::to_string(cores), report::fmt(p.mops, 0),
+               report::fmt(p.achieved_bw_gbs, 1),
+               to_string(p.breakdown.dominant)});
+  }
+  std::cout << t.render() << "\n";
+
+  // --- 3. head to head ------------------------------------------------------
+  const double ratio = model::times_faster(MachineId::Sg2044, MachineId::Sg2042,
+                                           Kernel::IS, ProblemClass::C, 64);
+  std::cout << "SG2044 vs SG2042 on IS, 64 cores: " << report::fmt(ratio, 2)
+            << "x faster (the paper's headline is 4.91x)\n\n";
+
+  // --- 4. why: the roofline view --------------------------------------------
+  const auto rl = model::roofline(sg2044, 64, {model::CompilerId::Gcc15_2, true});
+  std::cout << "SG2044 64-core roofline: " << report::fmt(rl.peak_gops, 0)
+            << " Gop/s compute, " << report::fmt(rl.bandwidth_gbs, 0)
+            << " GB/s memory, balance point "
+            << report::fmt(rl.balance_ops_per_byte, 2) << " op/byte\n";
+  const auto sig = model::signature(Kernel::MG, ProblemClass::C);
+  std::cout << "MG arithmetic intensity: "
+            << report::fmt(model::arithmetic_intensity(sig), 2)
+            << " op/byte -> attainable "
+            << report::fmt(
+                   model::attainable_gops(rl, model::arithmetic_intensity(sig)),
+                   0)
+            << " Gop/s (bandwidth side of the roof)\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// whatif_designer — use the model the way an architect would: start from
+// the SG2044 and ask which of the paper's upgrade levers actually bought
+// the performance, plus what a hypothetical "SG2046" would need next.
+//
+// This exercises the library's ability to evaluate *custom* machine
+// descriptions, not just the registry entries.
+
+#include <iostream>
+
+#include "arch/registry.hpp"
+#include "arch/validate.hpp"
+#include "model/sweep.hpp"
+#include "report/table.hpp"
+
+using namespace rvhpc;
+using arch::MachineModel;
+using model::Kernel;
+using model::ProblemClass;
+
+namespace {
+
+double full_chip(const MachineModel& m, Kernel k) {
+  return model::predict_paper_setup(m, model::signature(k, ProblemClass::C),
+                                    m.cores)
+      .mops;
+}
+
+void row(report::Table& t, const std::string& label, const MachineModel& m) {
+  const auto issues = arch::validate(m);
+  if (!issues.empty()) {
+    std::cerr << label << " invalid:\n" << arch::format_issues(issues);
+    return;
+  }
+  t.add_row({label, report::fmt(full_chip(m, Kernel::IS), 0),
+             report::fmt(full_chip(m, Kernel::MG), 0),
+             report::fmt(full_chip(m, Kernel::EP), 0),
+             report::fmt(full_chip(m, Kernel::CG), 0),
+             report::fmt(full_chip(m, Kernel::FT), 0)});
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "What made the SG2044 fast?  Full-chip class C Mop/s under "
+               "single-lever changes.\n\n";
+  const MachineModel& sg2042 = arch::machine(arch::MachineId::Sg2042);
+  const MachineModel& sg2044 = arch::machine(arch::MachineId::Sg2044);
+
+  report::Table t({"configuration", "IS", "MG", "EP", "CG", "FT"});
+  row(t, "SG2042 (baseline)", sg2042);
+
+  // Lever 1: only the clock bump (2.0 -> 2.6 GHz).
+  MachineModel clocked = sg2042;
+  clocked.name = "sg2042+clock";
+  clocked.core.clock_ghz = sg2044.core.clock_ghz;
+  row(t, "SG2042 + 2.6 GHz clock", clocked);
+
+  // Lever 2: only the memory subsystem (32 controllers/channels of DDR5).
+  MachineModel fed = sg2042;
+  fed.name = "sg2042+memory";
+  fed.memory = sg2044.memory;
+  row(t, "SG2042 + SG2044 memory", fed);
+
+  // Lever 3: only RVV 1.0 (mainline compiler can vectorise).
+  MachineModel vec = sg2042;
+  vec.name = "sg2042+rvv10";
+  vec.core.vector = sg2044.core.vector;
+  row(t, "SG2042 + RVV 1.0", vec);
+
+  row(t, "SG2044 (all levers)", sg2044);
+
+  // A hypothetical next generation: wider vectors and more bandwidth.
+  MachineModel next = sg2044;
+  next.name = "sg2046-hypothetical";
+  next.part = "hypothetical SG2046";
+  next.core.clock_ghz = 3.0;
+  next.core.vector.width_bits = 256;
+  next.core.vector.gather_efficiency = 0.5;  // fixed gather path
+  next.memory.channel_bw_gbs *= 1.5;         // DDR5-6400
+  next.memory.per_core_bw_gbs *= 1.5;
+  row(t, "hypothetical SG2046", next);
+
+  std::cout << t.render()
+            << "\nReading: the memory lever dominates IS/MG/CG/FT at full "
+               "chip — exactly the\npaper's conclusion — while EP only moves "
+               "with the clock/vector levers.  The\nhypothetical part shows "
+               "CG finally profiting from vectorisation once the\ngather "
+               "path is fixed (gather_efficiency 0.18 -> 0.5).\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "arch/machine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rvhpc::arch {
+
+std::string to_string(VectorIsa v) {
+  switch (v) {
+    case VectorIsa::None:    return "none";
+    case VectorIsa::RvvV0_7: return "RVV v0.7.1";
+    case VectorIsa::RvvV1_0: return "RVV v1.0";
+    case VectorIsa::Avx2:    return "AVX2";
+    case VectorIsa::Avx512:  return "AVX-512";
+    case VectorIsa::Neon:    return "NEON";
+  }
+  return "unknown";
+}
+
+std::string to_string(Isa isa) {
+  switch (isa) {
+    case Isa::Rv64gcv: return "RV64GCV";
+    case Isa::Rv64gc:  return "RV64GC";
+    case Isa::X86_64:  return "x86-64";
+    case Isa::Armv8:   return "ARMv8";
+  }
+  return "unknown";
+}
+
+double MachineModel::peak_vector_gflops() const {
+  const auto& v = core.vector;
+  if (!v.usable()) return peak_scalar_gflops_core() * cores;
+  // lanes × pipes × clock per core; FMA counting is deliberately omitted so
+  // numbers stay comparable with the paper's op-rate (Mop/s) framing.
+  return static_cast<double>(v.lanes_f64()) * v.pipes * core.clock_ghz * cores;
+}
+
+double MachineModel::peak_scalar_gflops_core() const {
+  return core.clock_ghz * core.fp_units;
+}
+
+std::size_t MachineModel::llc_bytes() const {
+  if (caches.empty()) return 0;
+  return caches.back().size_bytes;
+}
+
+std::size_t MachineModel::cache_bytes_per_core(std::size_t level,
+                                               int active_cores) const {
+  if (level >= caches.size()) return 0;
+  const CacheLevel& c = caches[level];
+  const int sharers = std::clamp(active_cores, 1, c.shared_by_cores);
+  return c.size_bytes / static_cast<std::size_t>(sharers);
+}
+
+std::optional<CacheLevel> MachineModel::find_cache(const std::string& level_name) const {
+  const auto it = std::find_if(caches.begin(), caches.end(),
+                               [&](const CacheLevel& c) { return c.name == level_name; });
+  if (it == caches.end()) return std::nullopt;
+  return *it;
+}
+
+std::string MachineModel::summary() const {
+  std::ostringstream os;
+  os << part << " (" << to_string(isa) << "), " << cores << " cores @ "
+     << core.clock_ghz << " GHz, vector " << to_string(core.vector.isa);
+  if (core.vector.usable()) os << " " << core.vector.width_bits << "-bit";
+  os << "; caches:";
+  for (const auto& c : caches) {
+    os << " " << c.name << "=" << (c.size_bytes / 1024) << "KiB";
+    if (c.shared_by_cores > 1) os << "/" << c.shared_by_cores << "cores";
+  }
+  os << "; memory " << memory.ddr_kind << " x" << memory.channels
+     << " channels (" << memory.controllers << " controllers), sustained "
+     << memory.chip_stream_bw_gbs() << " GB/s, " << memory.numa_regions
+     << " NUMA region(s)";
+  return os.str();
+}
+
+}  // namespace rvhpc::arch

@@ -1,0 +1,408 @@
+#include "arch/registry.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace rvhpc::arch {
+namespace {
+
+constexpr std::size_t kKiB = 1024;
+constexpr std::size_t kMiB = 1024 * kKiB;
+
+CacheLevel l1d(std::size_t kib, double lat = 4) {
+  return {"L1D", kib * kKiB, 8, 64, 1, lat};
+}
+CacheLevel l2(std::size_t kib, int shared, double lat) {
+  return {"L2", kib * kKiB, 16, 64, shared, lat};
+}
+CacheLevel l3(std::size_t mib, int shared, double lat) {
+  return {"L3", mib * kMiB, 16, 64, shared, lat};
+}
+
+// ---------------------------------------------------------------------------
+// SOPHGO Sophon SG2044 — the paper's subject.  64x T-Head XuanTie C920v2
+// (12-stage OoO, 3-decode / 8-issue / 2-LSU), RVV 1.0 @ 128-bit, clusters of
+// four cores sharing 2 MiB L2, 64 MiB L3, 32 memory controllers and 32
+// DDR5-4266 channels in a single NUMA region (paper §2.1, §5.2).
+MachineModel make_sg2044() {
+  MachineModel m;
+  m.name = "sg2044";
+  m.part = "Sophon SG2044";
+  m.isa = Isa::Rv64gcv;
+  m.cores = 64;
+  m.cluster_size = 4;
+  m.core.clock_ghz = 2.6;                  // test system; [11] claims 2.8
+  m.core.out_of_order = true;
+  m.core.decode_width = 3;
+  m.core.issue_width = 8;
+  m.core.fp_units = 2;
+  m.core.load_store_units = 2;
+  m.core.pipeline_stages = 12;
+  m.core.sustained_scalar_opc = 1.30;
+  m.core.miss_level_parallelism = 5;
+  m.core.complex_loop_efficiency = 0.66;
+  m.core.vector = {VectorIsa::RvvV1_0, 128, 2, /*gather_efficiency=*/0.18};
+  m.caches = {l1d(64), l2(2048, 4, 14), l3(64, 64, 40)};
+  m.memory.controllers = 32;
+  m.memory.channels = 32;
+  m.memory.ddr_kind = "DDR5-4266";
+  m.memory.channel_bw_gbs = 8.5;          // x16 DDR5 sub-channels
+  m.memory.stream_efficiency = 0.44;      // sustained ~120 GB/s (Fig. 1)
+  m.memory.per_core_bw_gbs = 4.8;         // single-core ~ SG2042 (Fig. 1)
+  m.memory.idle_latency_ns = 110.0;
+  m.memory.controller_queue_depth = 32;
+  m.memory.numa_regions = 1;
+  m.memory.dram_gib = 128.0;
+  return m;
+}
+
+// SOPHGO Sophon SG2042 — predecessor.  Same 64-core 4-per-cluster layout with
+// C920v1 @ 2.0 GHz, RVV 0.7.1 (mainline compilers cannot vectorise), half the
+// L2 (1 MiB/cluster) and only 4 memory controllers / 4 DDR4-3200 channels,
+// the scaling wall the paper demonstrates (§2.1, §5.2, Fig. 1).
+MachineModel make_sg2042() {
+  MachineModel m;
+  m.name = "sg2042";
+  m.part = "Sophon SG2042";
+  m.isa = Isa::Rv64gcv;
+  m.cores = 64;
+  m.cluster_size = 4;
+  m.core.clock_ghz = 2.0;
+  m.core.out_of_order = true;
+  m.core.decode_width = 3;
+  m.core.issue_width = 8;
+  m.core.fp_units = 2;
+  m.core.load_store_units = 2;
+  m.core.pipeline_stages = 12;
+  m.core.sustained_scalar_opc = 1.26;
+  m.core.miss_level_parallelism = 5;
+  m.core.complex_loop_efficiency = 0.66;
+  m.core.vector = {VectorIsa::RvvV0_7, 128, 2, /*gather_efficiency=*/0.18};
+  m.caches = {l1d(64), l2(1024, 4, 14), l3(64, 64, 40)};
+  m.memory.controllers = 4;
+  m.memory.channels = 4;
+  m.memory.ddr_kind = "DDR4-3200";
+  m.memory.channel_bw_gbs = 25.6;
+  m.memory.stream_efficiency = 0.355;     // sustained ~36 GB/s plateau (Fig. 1)
+  m.memory.per_core_bw_gbs = 4.8;
+  m.memory.idle_latency_ns = 120.0;
+  m.memory.controller_queue_depth = 7;
+  m.memory.read_bw_bonus = 1.45;
+  m.memory.numa_regions = 1;
+  m.memory.dram_gib = 128.0;
+  return m;
+}
+
+// AMD EPYC 7742 (Rome, Zen 2) on ARCHER2: 64 cores in four NUMA regions,
+// AVX2 (two 256-bit ops/cycle), 512 KiB private L2, 16 MiB L3 per 4-core CCX,
+// 8 controllers / 8 channels of DDR4-3200 (§5, §5.2).
+MachineModel make_epyc7742() {
+  MachineModel m;
+  m.name = "epyc7742";
+  m.part = "AMD EPYC 7742";
+  m.isa = Isa::X86_64;
+  m.cores = 64;
+  m.cluster_size = 4;                      // CCX
+  m.core.clock_ghz = 2.25;
+  m.core.out_of_order = true;
+  m.core.decode_width = 4;
+  m.core.issue_width = 10;
+  m.core.fp_units = 2;
+  m.core.load_store_units = 3;
+  m.core.pipeline_stages = 19;
+  m.core.sustained_scalar_opc = 1.72;
+  m.core.miss_level_parallelism = 16;
+  m.core.vector = {VectorIsa::Avx2, 256, 2, /*gather_efficiency=*/0.55};
+  m.caches = {l1d(32), l2(512, 1, 12), l3(16, 4, 38)};
+  m.memory.controllers = 8;
+  m.memory.channels = 8;
+  m.memory.ddr_kind = "DDR4-3200";
+  m.memory.channel_bw_gbs = 25.6;
+  m.memory.stream_efficiency = 0.70;      // ~143 GB/s sustained per socket
+  m.memory.per_core_bw_gbs = 16.0;
+  m.memory.idle_latency_ns = 95.0;
+  m.memory.controller_queue_depth = 24;
+  m.memory.numa_regions = 4;
+  m.memory.dram_gib = 256.0;
+  return m;
+}
+
+// Intel Xeon Platinum 8170 (Skylake-SP): 26 cores, AVX-512, 1 MiB private L2,
+// 35.75 MiB shared L3, 2 controllers / 6 channels DDR4-2666 (§5, Table 1 host).
+MachineModel make_xeon8170() {
+  MachineModel m;
+  m.name = "xeon8170";
+  m.part = "Intel Xeon Platinum 8170";
+  m.isa = Isa::X86_64;
+  m.cores = 26;
+  m.cluster_size = 26;                     // monolithic shared L3 die
+  m.core.clock_ghz = 2.1;
+  m.core.out_of_order = true;
+  m.core.decode_width = 4;
+  m.core.issue_width = 8;
+  m.core.fp_units = 2;
+  m.core.load_store_units = 3;
+  m.core.pipeline_stages = 14;
+  m.core.sustained_scalar_opc = 1.62;
+  m.core.miss_level_parallelism = 17;      // aggressive HW prefetch
+  m.core.vector = {VectorIsa::Avx512, 512, 2, /*gather_efficiency=*/0.50};
+  m.caches = {l1d(32), l2(1024, 1, 14), l3(36, 26, 50)};
+  m.memory.controllers = 2;
+  m.memory.channels = 6;
+  m.memory.ddr_kind = "DDR4-2666";
+  m.memory.channel_bw_gbs = 21.3;
+  m.memory.stream_efficiency = 0.67;      // ~85 GB/s sustained
+  m.memory.per_core_bw_gbs = 12.0;
+  m.memory.idle_latency_ns = 75.0;
+  m.memory.controller_queue_depth = 48;
+  m.memory.numa_regions = 1;
+  m.memory.dram_gib = 192.0;
+  return m;
+}
+
+// Marvell ThunderX2 CN9980 (Vulcan, ARMv8.1) on Fulhame: 32 cores, NEON
+// 128-bit, 256 KiB private L2, 32 MiB shared L3, 2 controllers / 8 channels
+// DDR4-2666, SMT disabled (§5).
+MachineModel make_thunderx2() {
+  MachineModel m;
+  m.name = "thunderx2";
+  m.part = "Marvell ThunderX2 CN9980";
+  m.isa = Isa::Armv8;
+  m.cores = 32;
+  m.cluster_size = 32;
+  m.core.clock_ghz = 2.0;
+  m.core.out_of_order = true;
+  m.core.decode_width = 4;
+  m.core.issue_width = 6;
+  m.core.fp_units = 2;
+  m.core.load_store_units = 2;
+  m.core.pipeline_stages = 14;
+  m.core.sustained_scalar_opc = 1.55;
+  m.core.miss_level_parallelism = 12;
+  m.core.complex_loop_efficiency = 0.95;
+  m.core.vector = {VectorIsa::Neon, 128, 2, /*gather_efficiency=*/0.40};
+  m.caches = {l1d(32), l2(256, 1, 9), l3(32, 32, 35)};
+  m.memory.controllers = 2;
+  m.memory.channels = 8;
+  m.memory.ddr_kind = "DDR4-2666";
+  m.memory.channel_bw_gbs = 21.3;
+  m.memory.stream_efficiency = 0.65;      // ~110 GB/s sustained
+  m.memory.per_core_bw_gbs = 9.0;
+  m.memory.idle_latency_ns = 100.0;
+  m.memory.controller_queue_depth = 40;
+  m.memory.numa_regions = 1;
+  m.memory.dram_gib = 128.0;
+  return m;
+}
+
+// StarFive VisionFive V2 (JH7110, SiFive U74): in-order dual-issue, no usable
+// vector unit, 2 MiB shared L2 as LLC, single LPDDR4 channel, 8 GiB (§3).
+MachineModel make_visionfive_v2() {
+  MachineModel m;
+  m.name = "visionfive-v2";
+  m.part = "StarFive VisionFive V2 (JH7110 / U74)";
+  m.isa = Isa::Rv64gc;
+  m.cores = 4;
+  m.cluster_size = 4;
+  m.core.clock_ghz = 1.5;
+  m.core.out_of_order = false;
+  m.core.decode_width = 2;
+  m.core.issue_width = 2;
+  m.core.fp_units = 1;
+  m.core.load_store_units = 1;
+  m.core.pipeline_stages = 8;
+  m.core.sustained_scalar_opc = 0.67;
+  m.core.miss_level_parallelism = 4;
+  m.core.complex_loop_efficiency = 0.70;
+  m.core.vector = {};                      // U74 has no V extension
+  m.caches = {l1d(32), l2(2048, 4, 21)};
+  m.memory.controllers = 1;
+  m.memory.channels = 1;
+  m.memory.ddr_kind = "LPDDR4-2800";
+  m.memory.channel_bw_gbs = 11.2;
+  m.memory.stream_efficiency = 0.16;      // weak MC: ~1.8 GB/s chip
+  m.memory.per_core_bw_gbs = 0.95;
+  m.memory.idle_latency_ns = 155.0;
+  m.memory.controller_queue_depth = 8;
+  m.memory.numa_regions = 1;
+  m.memory.dram_gib = 8.0;
+  return m;
+}
+
+// StarFive VisionFive V1 (JH7100): the original U74 board with a famously
+// slow memory path (non-coherent interconnect workarounds), 8 GiB (§3).
+MachineModel make_visionfive_v1() {
+  MachineModel m = make_visionfive_v2();
+  m.name = "visionfive-v1";
+  m.part = "StarFive VisionFive V1 (JH7100 / U74)";
+  m.cores = 2;
+  m.cluster_size = 2;
+  m.core.clock_ghz = 1.0;
+  m.core.sustained_scalar_opc = 0.64;
+  m.core.miss_level_parallelism = 3;
+  m.caches = {l1d(32), l2(2048, 2, 24)};
+  m.memory.channel_bw_gbs = 8.5;
+  m.memory.stream_efficiency = 0.055;     // ~0.45 GB/s chip
+  m.memory.per_core_bw_gbs = 0.24;
+  m.memory.idle_latency_ns = 330.0;
+  m.memory.controller_queue_depth = 4;
+  m.memory.dram_gib = 8.0;
+  return m;
+}
+
+// SiFive Freedom U740 (HiFive Unmatched): 4x U74 @ 1.2 GHz, 16 GiB DDR4 (§3).
+MachineModel make_u740() {
+  MachineModel m = make_visionfive_v2();
+  m.name = "sifive-u740";
+  m.part = "SiFive HiFive Unmatched (U740 / U74)";
+  m.cores = 4;
+  m.cluster_size = 4;
+  m.core.clock_ghz = 1.2;
+  m.core.sustained_scalar_opc = 0.63;
+  m.core.miss_level_parallelism = 3;
+  m.memory.ddr_kind = "DDR4-2400";
+  m.memory.channel_bw_gbs = 19.2;
+  m.memory.stream_efficiency = 0.038;     // ~0.73 GB/s chip
+  m.memory.per_core_bw_gbs = 0.30;
+  m.memory.idle_latency_ns = 235.0;
+  m.memory.controller_queue_depth = 6;
+  m.memory.dram_gib = 16.0;
+  return m;
+}
+
+// Allwinner D1 (T-Head C906): single in-order core with a draft-RVV 0.7.1
+// unit mainline compilers cannot target; only 1 GiB DRAM, which is why the
+// paper could not run FT class B on it (§3, Table 2 "DNR").
+MachineModel make_d1() {
+  MachineModel m;
+  m.name = "allwinner-d1";
+  m.part = "Allwinner D1 (XuanTie C906)";
+  m.isa = Isa::Rv64gcv;
+  m.cores = 1;
+  m.cluster_size = 1;
+  m.core.clock_ghz = 1.0;
+  m.core.out_of_order = false;
+  m.core.decode_width = 1;
+  m.core.issue_width = 1;
+  m.core.fp_units = 1;
+  m.core.load_store_units = 1;
+  m.core.pipeline_stages = 5;
+  m.core.sustained_scalar_opc = 0.77;
+  m.core.miss_level_parallelism = 2;
+  m.core.complex_loop_efficiency = 0.70;
+  m.core.vector = {VectorIsa::RvvV0_7, 128, 1, /*gather_efficiency=*/0.2};
+  m.caches = {l1d(32), l2(256, 1, 18)};
+  m.memory.controllers = 1;
+  m.memory.channels = 1;
+  m.memory.ddr_kind = "DDR3-792";
+  m.memory.channel_bw_gbs = 6.3;
+  m.memory.stream_efficiency = 0.17;      // ~1.1 GB/s chip
+  m.memory.per_core_bw_gbs = 0.52;
+  m.memory.idle_latency_ns = 275.0;
+  m.memory.controller_queue_depth = 4;
+  m.memory.numa_regions = 1;
+  m.memory.dram_gib = 1.0;                // FT class B does not fit
+  return m;
+}
+
+// Banana Pi BPI-F3 (SpacemiT K1, X60 cores): the only other RVV 1.0 part in
+// the study, 256-bit vectors, RVA22, in-order, 1.6 GHz (§3).
+MachineModel make_bpi_f3() {
+  MachineModel m;
+  m.name = "bananapi-f3";
+  m.part = "Banana Pi BPI-F3 (SpacemiT K1 / X60)";
+  m.isa = Isa::Rv64gcv;
+  m.cores = 8;
+  m.cluster_size = 4;
+  m.core.clock_ghz = 1.6;
+  m.core.out_of_order = false;
+  m.core.decode_width = 2;
+  m.core.issue_width = 2;
+  m.core.fp_units = 1;
+  m.core.load_store_units = 1;
+  m.core.pipeline_stages = 9;
+  m.core.sustained_scalar_opc = 0.94;
+  m.core.miss_level_parallelism = 5;
+  m.core.complex_loop_efficiency = 0.70;
+  m.core.vector = {VectorIsa::RvvV1_0, 256, 1, /*gather_efficiency=*/0.75};
+  m.caches = {l1d(32), l2(512, 4, 16)};
+  m.memory.controllers = 1;
+  m.memory.channels = 1;
+  m.memory.ddr_kind = "LPDDR4X-2666";
+  m.memory.channel_bw_gbs = 10.6;
+  m.memory.stream_efficiency = 0.27;      // ~2.9 GB/s chip
+  m.memory.per_core_bw_gbs = 1.00;
+  m.memory.idle_latency_ns = 157.0;
+  m.memory.controller_queue_depth = 8;
+  m.memory.numa_regions = 1;
+  m.memory.dram_gib = 4.0;
+  return m;
+}
+
+// Milk-V Jupiter (SpacemiT M1): higher-clocked, better-cooled K1 (§3).
+MachineModel make_jupiter() {
+  MachineModel m = make_bpi_f3();
+  m.name = "milkv-jupiter";
+  m.part = "Milk-V Jupiter (SpacemiT M1 / X60)";
+  m.core.clock_ghz = 1.8;
+  m.memory.stream_efficiency = 0.285;     // ~3.0 GB/s chip
+  m.memory.per_core_bw_gbs = 1.06;
+  m.memory.idle_latency_ns = 145.0;
+  m.memory.dram_gib = 8.0;
+  return m;
+}
+
+const std::map<MachineId, MachineModel>& table() {
+  static const std::map<MachineId, MachineModel> t = {
+      {MachineId::Sg2044, make_sg2044()},
+      {MachineId::Sg2042, make_sg2042()},
+      {MachineId::Epyc7742, make_epyc7742()},
+      {MachineId::Xeon8170, make_xeon8170()},
+      {MachineId::ThunderX2, make_thunderx2()},
+      {MachineId::VisionFiveV2, make_visionfive_v2()},
+      {MachineId::VisionFiveV1, make_visionfive_v1()},
+      {MachineId::SifiveU740, make_u740()},
+      {MachineId::AllwinnerD1, make_d1()},
+      {MachineId::BananaPiF3, make_bpi_f3()},
+      {MachineId::MilkVJupiter, make_jupiter()},
+  };
+  return t;
+}
+
+}  // namespace
+
+const std::vector<MachineId>& all_machines() {
+  static const std::vector<MachineId> v = {
+      MachineId::Sg2044,       MachineId::Sg2042,      MachineId::Epyc7742,
+      MachineId::Xeon8170,     MachineId::ThunderX2,   MachineId::VisionFiveV2,
+      MachineId::VisionFiveV1, MachineId::SifiveU740,  MachineId::AllwinnerD1,
+      MachineId::BananaPiF3,   MachineId::MilkVJupiter};
+  return v;
+}
+
+const std::vector<MachineId>& riscv_board_machines() {
+  static const std::vector<MachineId> v = {
+      MachineId::VisionFiveV2, MachineId::VisionFiveV1, MachineId::SifiveU740,
+      MachineId::AllwinnerD1,  MachineId::BananaPiF3,   MachineId::MilkVJupiter};
+  return v;
+}
+
+const std::vector<MachineId>& hpc_machines() {
+  static const std::vector<MachineId> v = {
+      MachineId::Sg2044, MachineId::Sg2042, MachineId::Epyc7742,
+      MachineId::Xeon8170, MachineId::ThunderX2};
+  return v;
+}
+
+const MachineModel& machine(MachineId id) { return table().at(id); }
+
+const MachineModel& machine(const std::string& name) {
+  for (const auto& [id, m] : table()) {
+    if (m.name == name) return m;
+  }
+  throw std::out_of_range("rvhpc::arch: unknown machine '" + name + "'");
+}
+
+std::string name_of(MachineId id) { return machine(id).name; }
+
+}  // namespace rvhpc::arch

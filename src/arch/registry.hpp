@@ -1,0 +1,52 @@
+#pragma once
+// rvhpc::arch — registry of the eleven CPUs evaluated in the paper.
+//
+// Microarchitectural facts (clock, widths, cache sizes/sharing, memory
+// controllers/channels, DDR generation, NUMA layout) are taken directly
+// from the paper's §2/§5 and the vendor documents it cites.  Sustained
+// throughput summaries (scalar op/cycle, per-core bandwidth, latencies,
+// MLP) are calibrated once per machine against the paper's single-core and
+// STREAM measurements, and then shared by every reproduced experiment.
+
+#include <string>
+#include <vector>
+
+#include "arch/machine.hpp"
+
+namespace rvhpc::arch {
+
+/// Stable identifiers for the machines of the study.
+enum class MachineId : std::uint8_t {
+  Sg2044,          ///< SOPHGO Sophon SG2044, 64x C920v2 @ 2.6 GHz, RVV 1.0
+  Sg2042,          ///< SOPHGO Sophon SG2042, 64x C920v1 @ 2.0 GHz, RVV 0.7.1
+  Epyc7742,        ///< AMD EPYC 7742 (Rome/Zen2), 64 cores, AVX2  [ARCHER2]
+  Xeon8170,        ///< Intel Xeon Platinum 8170 (Skylake-SP), 26 cores, AVX-512
+  ThunderX2,       ///< Marvell ThunderX2 CN9980 (Vulcan), 32 cores, NEON [Fulhame]
+  VisionFiveV2,    ///< StarFive JH7110 (SiFive U74), benchmarked single core
+  VisionFiveV1,    ///< StarFive JH7100 (SiFive U74)
+  SifiveU740,      ///< SiFive Freedom U740 (HiFive Unmatched)
+  AllwinnerD1,     ///< Allwinner D1 (T-Head C906), 1 GiB DRAM
+  BananaPiF3,      ///< Banana Pi BPI-F3 (SpacemiT K1 / X60) @ 1.6 GHz, RVV 1.0
+  MilkVJupiter,    ///< Milk-V Jupiter (SpacemiT M1 / X60) @ 1.8 GHz, RVV 1.0
+};
+
+/// All machine ids, in paper order.
+[[nodiscard]] const std::vector<MachineId>& all_machines();
+
+/// The sub-set compared in Table 2 (single-core RISC-V comparison).
+[[nodiscard]] const std::vector<MachineId>& riscv_board_machines();
+
+/// The sub-set compared in §5 (multicore scaling, Figures 2-6 and Table 6).
+[[nodiscard]] const std::vector<MachineId>& hpc_machines();
+
+/// Full machine description for `id`.  Models are immutable singletons.
+[[nodiscard]] const MachineModel& machine(MachineId id);
+
+/// Lookup by registry name ("sg2044", "epyc7742", ...); throws
+/// std::out_of_range for unknown names.
+[[nodiscard]] const MachineModel& machine(const std::string& name);
+
+/// Registry name of `id` ("sg2044", ...).
+[[nodiscard]] std::string name_of(MachineId id);
+
+}  // namespace rvhpc::arch

@@ -1,0 +1,256 @@
+#include "arch/serialize.hpp"
+
+#include <functional>
+#include <istream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace rvhpc::arch {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::invalid_argument("machine file line " + std::to_string(line) +
+                              ": " + message);
+}
+
+double parse_double(const std::string& v, int line) {
+  try {
+    std::size_t pos = 0;
+    const double d = std::stod(v, &pos);
+    if (pos != v.size()) fail(line, "trailing characters in number '" + v + "'");
+    return d;
+  } catch (const std::invalid_argument&) {
+    fail(line, "expected a number, got '" + v + "'");
+  } catch (const std::out_of_range&) {
+    fail(line, "number out of range: '" + v + "'");
+  }
+}
+
+int parse_int(const std::string& v, int line) {
+  const double d = parse_double(v, line);
+  const int i = static_cast<int>(d);
+  if (static_cast<double>(i) != d) fail(line, "expected an integer, got '" + v + "'");
+  return i;
+}
+
+bool parse_bool(const std::string& v, int line) {
+  if (v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  fail(line, "expected true/false, got '" + v + "'");
+}
+
+}  // namespace
+
+VectorIsa parse_vector_isa(const std::string& s) {
+  for (VectorIsa v : {VectorIsa::None, VectorIsa::RvvV0_7, VectorIsa::RvvV1_0,
+                      VectorIsa::Avx2, VectorIsa::Avx512, VectorIsa::Neon}) {
+    if (to_string(v) == s) return v;
+  }
+  throw std::invalid_argument("unknown vector ISA '" + s + "'");
+}
+
+Isa parse_isa(const std::string& s) {
+  for (Isa i : {Isa::Rv64gcv, Isa::Rv64gc, Isa::X86_64, Isa::Armv8}) {
+    if (to_string(i) == s) return i;
+  }
+  throw std::invalid_argument("unknown ISA '" + s + "'");
+}
+
+std::string to_text(const MachineModel& m) {
+  std::ostringstream os;
+  os << "name = " << m.name << "\n";
+  os << "part = " << m.part << "\n";
+  os << "isa = " << to_string(m.isa) << "\n";
+  os << "cores = " << m.cores << "\n";
+  os << "cluster_size = " << m.cluster_size << "\n";
+  const CoreModel& c = m.core;
+  os << "core.clock_ghz = " << c.clock_ghz << "\n";
+  os << "core.out_of_order = " << (c.out_of_order ? "true" : "false") << "\n";
+  os << "core.decode_width = " << c.decode_width << "\n";
+  os << "core.issue_width = " << c.issue_width << "\n";
+  os << "core.fp_units = " << c.fp_units << "\n";
+  os << "core.load_store_units = " << c.load_store_units << "\n";
+  os << "core.pipeline_stages = " << c.pipeline_stages << "\n";
+  os << "core.sustained_scalar_opc = " << c.sustained_scalar_opc << "\n";
+  os << "core.miss_level_parallelism = " << c.miss_level_parallelism << "\n";
+  os << "core.complex_loop_efficiency = " << c.complex_loop_efficiency << "\n";
+  os << "core.vector.isa = " << to_string(c.vector.isa) << "\n";
+  os << "core.vector.width_bits = " << c.vector.width_bits << "\n";
+  os << "core.vector.pipes = " << c.vector.pipes << "\n";
+  os << "core.vector.gather_efficiency = " << c.vector.gather_efficiency << "\n";
+  for (const CacheLevel& lvl : m.caches) {
+    os << "cache = " << lvl.name << " " << lvl.size_bytes << " "
+       << lvl.associativity << " " << lvl.line_bytes << " "
+       << lvl.shared_by_cores << " " << lvl.latency_cycles << "\n";
+  }
+  const MemorySubsystem& mem = m.memory;
+  os << "memory.controllers = " << mem.controllers << "\n";
+  os << "memory.channels = " << mem.channels << "\n";
+  os << "memory.ddr_kind = " << mem.ddr_kind << "\n";
+  os << "memory.channel_bw_gbs = " << mem.channel_bw_gbs << "\n";
+  os << "memory.stream_efficiency = " << mem.stream_efficiency << "\n";
+  os << "memory.per_core_bw_gbs = " << mem.per_core_bw_gbs << "\n";
+  os << "memory.idle_latency_ns = " << mem.idle_latency_ns << "\n";
+  os << "memory.controller_queue_depth = " << mem.controller_queue_depth << "\n";
+  os << "memory.read_bw_bonus = " << mem.read_bw_bonus << "\n";
+  os << "memory.numa_regions = " << mem.numa_regions << "\n";
+  os << "memory.dram_gib = " << mem.dram_gib << "\n";
+  return os.str();
+}
+
+MachineModel from_text(const std::string& text) {
+  MachineModel m;
+  m.caches.clear();
+  bool caches_seen = false;
+
+  using Setter = std::function<void(MachineModel&, const std::string&, int)>;
+  static const std::map<std::string, Setter> setters = {
+      {"name", [](MachineModel& x, const std::string& v, int) { x.name = v; }},
+      {"part", [](MachineModel& x, const std::string& v, int) { x.part = v; }},
+      {"isa", [](MachineModel& x, const std::string& v, int line) {
+         try { x.isa = parse_isa(v); }
+         catch (const std::invalid_argument& e) { fail(line, e.what()); }
+       }},
+      {"cores", [](MachineModel& x, const std::string& v, int l) {
+         x.cores = parse_int(v, l);
+       }},
+      {"cluster_size", [](MachineModel& x, const std::string& v, int l) {
+         x.cluster_size = parse_int(v, l);
+       }},
+      {"core.clock_ghz", [](MachineModel& x, const std::string& v, int l) {
+         x.core.clock_ghz = parse_double(v, l);
+       }},
+      {"core.out_of_order", [](MachineModel& x, const std::string& v, int l) {
+         x.core.out_of_order = parse_bool(v, l);
+       }},
+      {"core.decode_width", [](MachineModel& x, const std::string& v, int l) {
+         x.core.decode_width = parse_int(v, l);
+       }},
+      {"core.issue_width", [](MachineModel& x, const std::string& v, int l) {
+         x.core.issue_width = parse_int(v, l);
+       }},
+      {"core.fp_units", [](MachineModel& x, const std::string& v, int l) {
+         x.core.fp_units = parse_int(v, l);
+       }},
+      {"core.load_store_units", [](MachineModel& x, const std::string& v, int l) {
+         x.core.load_store_units = parse_int(v, l);
+       }},
+      {"core.pipeline_stages", [](MachineModel& x, const std::string& v, int l) {
+         x.core.pipeline_stages = parse_int(v, l);
+       }},
+      {"core.sustained_scalar_opc",
+       [](MachineModel& x, const std::string& v, int l) {
+         x.core.sustained_scalar_opc = parse_double(v, l);
+       }},
+      {"core.miss_level_parallelism",
+       [](MachineModel& x, const std::string& v, int l) {
+         x.core.miss_level_parallelism = parse_int(v, l);
+       }},
+      {"core.complex_loop_efficiency",
+       [](MachineModel& x, const std::string& v, int l) {
+         x.core.complex_loop_efficiency = parse_double(v, l);
+       }},
+      {"core.vector.isa", [](MachineModel& x, const std::string& v, int line) {
+         try { x.core.vector.isa = parse_vector_isa(v); }
+         catch (const std::invalid_argument& e) { fail(line, e.what()); }
+       }},
+      {"core.vector.width_bits",
+       [](MachineModel& x, const std::string& v, int l) {
+         x.core.vector.width_bits = parse_int(v, l);
+       }},
+      {"core.vector.pipes", [](MachineModel& x, const std::string& v, int l) {
+         x.core.vector.pipes = parse_int(v, l);
+       }},
+      {"core.vector.gather_efficiency",
+       [](MachineModel& x, const std::string& v, int l) {
+         x.core.vector.gather_efficiency = parse_double(v, l);
+       }},
+      {"memory.controllers", [](MachineModel& x, const std::string& v, int l) {
+         x.memory.controllers = parse_int(v, l);
+       }},
+      {"memory.channels", [](MachineModel& x, const std::string& v, int l) {
+         x.memory.channels = parse_int(v, l);
+       }},
+      {"memory.ddr_kind", [](MachineModel& x, const std::string& v, int) {
+         x.memory.ddr_kind = v;
+       }},
+      {"memory.channel_bw_gbs",
+       [](MachineModel& x, const std::string& v, int l) {
+         x.memory.channel_bw_gbs = parse_double(v, l);
+       }},
+      {"memory.stream_efficiency",
+       [](MachineModel& x, const std::string& v, int l) {
+         x.memory.stream_efficiency = parse_double(v, l);
+       }},
+      {"memory.per_core_bw_gbs",
+       [](MachineModel& x, const std::string& v, int l) {
+         x.memory.per_core_bw_gbs = parse_double(v, l);
+       }},
+      {"memory.idle_latency_ns",
+       [](MachineModel& x, const std::string& v, int l) {
+         x.memory.idle_latency_ns = parse_double(v, l);
+       }},
+      {"memory.controller_queue_depth",
+       [](MachineModel& x, const std::string& v, int l) {
+         x.memory.controller_queue_depth = parse_int(v, l);
+       }},
+      {"memory.read_bw_bonus", [](MachineModel& x, const std::string& v, int l) {
+         x.memory.read_bw_bonus = parse_double(v, l);
+       }},
+      {"memory.numa_regions", [](MachineModel& x, const std::string& v, int l) {
+         x.memory.numa_regions = parse_int(v, l);
+       }},
+      {"memory.dram_gib", [](MachineModel& x, const std::string& v, int l) {
+         x.memory.dram_gib = parse_double(v, l);
+       }},
+  };
+
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const auto eq = stripped.find('=');
+    if (eq == std::string::npos) fail(lineno, "expected 'key = value'");
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+    if (key == "cache") {
+      // cache = NAME size assoc line shared latency
+      std::istringstream cs(value);
+      CacheLevel lvl;
+      if (!(cs >> lvl.name >> lvl.size_bytes >> lvl.associativity >>
+            lvl.line_bytes >> lvl.shared_by_cores >> lvl.latency_cycles)) {
+        fail(lineno, "cache line needs: NAME size assoc line shared latency");
+      }
+      m.caches.push_back(lvl);
+      caches_seen = true;
+      continue;
+    }
+    const auto it = setters.find(key);
+    if (it == setters.end()) fail(lineno, "unknown key '" + key + "'");
+    it->second(m, value, lineno);
+  }
+  if (!caches_seen) {
+    // Leave a minimal default L1 so a partial file stays usable.
+    m.caches.push_back({"L1D", 32 * 1024, 8, 64, 1, 4});
+  }
+  return m;
+}
+
+MachineModel read_machine(std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_text(buf.str());
+}
+
+}  // namespace rvhpc::arch

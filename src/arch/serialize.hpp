@@ -1,0 +1,47 @@
+#pragma once
+// rvhpc::arch — machine description (de)serialisation.
+//
+// A simple `key = value` text format so users can define their own CPUs
+// (a prospective "SG2046", a different board) in a file and feed them to
+// the model without recompiling — `examples/machine_explorer` accepts
+// such files.  The format round-trips every MachineModel field; unknown
+// keys are errors (typo protection), missing keys keep their defaults.
+//
+// Example:
+//   name = my-cpu
+//   part = My CPU 123
+//   isa = RV64GCV
+//   cores = 32
+//   core.clock_ghz = 2.4
+//   core.vector.isa = RVV v1.0
+//   cache = L1D 65536 8 64 1 4
+//   cache = L2 2097152 16 64 4 14
+//   memory.channels = 8
+
+#include <iosfwd>
+#include <string>
+
+#include "arch/machine.hpp"
+
+namespace rvhpc::arch {
+
+/// Serialises `m` in the key=value format (stable key order).
+[[nodiscard]] std::string to_text(const MachineModel& m);
+
+/// Parses a machine description; starts from a default-constructed model,
+/// so files only need the fields they care about.  Throws
+/// std::invalid_argument with a line-numbered message on unknown keys or
+/// malformed values.  The result is NOT validated — call
+/// arch::validate() before using it.
+[[nodiscard]] MachineModel from_text(const std::string& text);
+
+/// Convenience: from_text over a whole stream.
+[[nodiscard]] MachineModel read_machine(std::istream& in);
+
+/// Parses the VectorIsa names produced by to_string() ("RVV v1.0", ...).
+[[nodiscard]] VectorIsa parse_vector_isa(const std::string& s);
+
+/// Parses the Isa names produced by to_string() ("RV64GCV", ...).
+[[nodiscard]] Isa parse_isa(const std::string& s);
+
+}  // namespace rvhpc::arch

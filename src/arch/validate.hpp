@@ -1,0 +1,35 @@
+#pragma once
+// rvhpc::arch — structural validation of machine descriptions.
+//
+// Machine models are plain aggregates so they can be brace-initialised in
+// tests and examples; validate() is the single place the invariants are
+// enforced.  Every registry machine must validate cleanly (tested), and
+// user-supplied custom machines can be checked before being handed to the
+// performance model.
+
+#include <string>
+#include <vector>
+
+#include "arch/machine.hpp"
+
+namespace rvhpc::arch {
+
+/// One violated invariant, human-readable.
+struct ValidationIssue {
+  std::string field;
+  std::string message;
+};
+
+/// Checks structural invariants of `m` (positive clock/core counts, cache
+/// levels ordered smallest-to-largest with non-decreasing sharing, memory
+/// parameters physically sensible, ...).  Returns all violations; an empty
+/// vector means the model is usable.
+[[nodiscard]] std::vector<ValidationIssue> validate(const MachineModel& m);
+
+/// Convenience: true when validate(m) is empty.
+[[nodiscard]] bool is_valid(const MachineModel& m);
+
+/// Formats issues one-per-line for error messages.
+[[nodiscard]] std::string format_issues(const std::vector<ValidationIssue>& issues);
+
+}  // namespace rvhpc::arch

@@ -1,0 +1,186 @@
+#include "hpc/hpcg.hpp"
+
+#include <omp.h>
+
+#include <cmath>
+#include <vector>
+
+namespace rvhpc::hpc::hpcg {
+namespace {
+
+/// 27-point stencil operator on an nx^3 grid with zero Dirichlet halo:
+/// diagonal 26, off-diagonals -1 (the HPCG matrix).
+class Stencil {
+ public:
+  explicit Stencil(int nx) : nx_(nx) {}
+
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(nx_) * nx_ * static_cast<std::size_t>(nx_);
+  }
+
+  void apply(const std::vector<double>& x, std::vector<double>& y,
+             int threads) const {
+#pragma omp parallel for collapse(2) schedule(static) num_threads(threads)
+    for (int k = 0; k < nx_; ++k) {
+      for (int j = 0; j < nx_; ++j) {
+        for (int i = 0; i < nx_; ++i) {
+          y[idx(i, j, k)] = row_apply(x, i, j, k);
+        }
+      }
+    }
+  }
+
+  /// One symmetric Gauss-Seidel sweep (forward then backward), the HPCG
+  /// preconditioner.  Sequential by construction — HPCG's own reference
+  /// implementation serialises here too.
+  void sym_gs(const std::vector<double>& r, std::vector<double>& z) const {
+    auto relax = [&](int i, int j, int k) {
+      double sum = r[idx(i, j, k)];
+      for (int dz = -1; dz <= 1; ++dz) {
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0 && dz == 0) continue;
+            const int ii = i + dx, jj = j + dy, kk = k + dz;
+            if (inside(ii, jj, kk)) sum += z[idx(ii, jj, kk)];
+          }
+        }
+      }
+      z[idx(i, j, k)] = sum / 26.0;
+    };
+    for (int k = 0; k < nx_; ++k) {
+      for (int j = 0; j < nx_; ++j) {
+        for (int i = 0; i < nx_; ++i) relax(i, j, k);
+      }
+    }
+    for (int k = nx_ - 1; k >= 0; --k) {
+      for (int j = nx_ - 1; j >= 0; --j) {
+        for (int i = nx_ - 1; i >= 0; --i) relax(i, j, k);
+      }
+    }
+  }
+
+ private:
+  int nx_;
+
+  [[nodiscard]] bool inside(int i, int j, int k) const {
+    return i >= 0 && j >= 0 && k >= 0 && i < nx_ && j < nx_ && k < nx_;
+  }
+  [[nodiscard]] std::size_t idx(int i, int j, int k) const {
+    return (static_cast<std::size_t>(k) * nx_ + static_cast<std::size_t>(j)) *
+               nx_ +
+           static_cast<std::size_t>(i);
+  }
+  [[nodiscard]] double row_apply(const std::vector<double>& x, int i, int j,
+                                 int k) const {
+    double sum = 26.0 * x[idx(i, j, k)];
+    for (int dz = -1; dz <= 1; ++dz) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0 && dz == 0) continue;
+          const int ii = i + dx, jj = j + dy, kk = k + dz;
+          if (inside(ii, jj, kk)) sum -= x[idx(ii, jj, kk)];
+        }
+      }
+    }
+    return sum;
+  }
+};
+
+double dot(const std::vector<double>& a, const std::vector<double>& b,
+           int threads) {
+  double s = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : s) num_threads(threads)
+  for (long long i = 0; i < static_cast<long long>(a.size()); ++i) {
+    s += a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+  }
+  return s;
+}
+
+/// Preconditioned CG; with `precondition == false` runs plain CG.
+int pcg(const Stencil& op, const std::vector<double>& b, double tol,
+        int max_iters, bool precondition, int threads, double* final_rel,
+        double* flops) {
+  const std::size_t n = b.size();
+  std::vector<double> x(n, 0.0), r = b, z(n, 0.0), p(n), q(n);
+  const double r0 = std::sqrt(dot(r, r, threads));
+  double fl = 0.0;
+
+  if (precondition) {
+    std::fill(z.begin(), z.end(), 0.0);
+    op.sym_gs(r, z);
+    fl += 2.0 * 54.0 * static_cast<double>(n);
+  } else {
+    z = r;
+  }
+  p = z;
+  double rz = dot(r, z, threads);
+  int it = 0;
+  double rel = 1.0;
+  for (; it < max_iters; ++it) {
+    op.apply(p, q, threads);
+    fl += 54.0 * static_cast<double>(n);
+    const double alpha = rz / dot(p, q, threads);
+#pragma omp parallel for schedule(static) num_threads(threads)
+    for (long long i = 0; i < static_cast<long long>(n); ++i) {
+      const auto ii = static_cast<std::size_t>(i);
+      x[ii] += alpha * p[ii];
+      r[ii] -= alpha * q[ii];
+    }
+    fl += 4.0 * static_cast<double>(n);
+    rel = std::sqrt(dot(r, r, threads)) / r0;
+    if (rel < tol) {
+      ++it;
+      break;
+    }
+    if (precondition) {
+      std::fill(z.begin(), z.end(), 0.0);
+      op.sym_gs(r, z);
+      fl += 2.0 * 54.0 * static_cast<double>(n);
+    } else {
+      z = r;
+    }
+    const double rz_new = dot(r, z, threads);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+#pragma omp parallel for schedule(static) num_threads(threads)
+    for (long long i = 0; i < static_cast<long long>(n); ++i) {
+      const auto ii = static_cast<std::size_t>(i);
+      p[ii] = z[ii] + beta * p[ii];
+    }
+    fl += 2.0 * static_cast<double>(n);
+  }
+  if (final_rel != nullptr) *final_rel = rel;
+  if (flops != nullptr) *flops += fl;
+  return it;
+}
+
+}  // namespace
+
+HpcgResult run(const HpcgConfig& cfg) {
+  const Stencil op(cfg.nx);
+  std::vector<double> b(op.size());
+  npb::NpbRandom rng;
+  for (double& v : b) v = rng.next();
+
+  HpcgResult result;
+  double flops = 0.0;
+  npb::Timer timer;
+  timer.start();
+  result.iterations =
+      pcg(op, b, cfg.tolerance, cfg.max_iters, /*precondition=*/true,
+          cfg.threads, &result.final_relative_residual, &flops);
+  result.seconds = timer.seconds();
+  result.gflops = flops / result.seconds / 1e9;
+
+  // Reference: plain CG needs notably more iterations for the same drop.
+  result.unpreconditioned_iterations =
+      pcg(op, b, cfg.tolerance, 5 * cfg.max_iters, /*precondition=*/false,
+          cfg.threads, nullptr, nullptr);
+
+  result.verified =
+      result.final_relative_residual < cfg.tolerance &&
+      result.iterations < result.unpreconditioned_iterations;
+  return result;
+}
+
+}  // namespace rvhpc::hpc::hpcg

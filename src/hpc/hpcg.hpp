@@ -1,0 +1,36 @@
+#pragma once
+// rvhpc::hpc — mini-HPCG: the other §7 future-work benchmark.
+//
+// Preconditioned conjugate gradient on the 27-point stencil Poisson system
+// HPCG uses, with a symmetric Gauss-Seidel preconditioner — the
+// bandwidth/latency-bound counterpoint to HPL's compute-bound LU.
+// Verification mirrors HPCG's own: the preconditioned solver must converge
+// in far fewer iterations than unpreconditioned CG, and the final residual
+// must meet tolerance.
+
+#include "npb/npb_common.hpp"
+
+namespace rvhpc::hpc::hpcg {
+
+/// Configuration of one run.
+struct HpcgConfig {
+  int nx = 32;        ///< local grid edge (cube)
+  int max_iters = 60;
+  double tolerance = 1e-8;  ///< on ||r|| / ||r0||
+  int threads = 1;
+};
+
+/// Result of one run.
+struct HpcgResult {
+  double seconds = 0.0;
+  double gflops = 0.0;
+  int iterations = 0;            ///< preconditioned CG iterations used
+  int unpreconditioned_iterations = 0;  ///< reference CG for the same drop
+  double final_relative_residual = 0.0;
+  bool verified = false;
+};
+
+/// Runs mini-HPCG; deterministic.
+HpcgResult run(const HpcgConfig& cfg);
+
+}  // namespace rvhpc::hpc::hpcg

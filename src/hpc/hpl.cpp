@@ -1,0 +1,159 @@
+#include "hpc/hpl.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace rvhpc::hpc::hpl {
+namespace {
+
+/// Column-major dense matrix helper.
+class Dense {
+ public:
+  explicit Dense(int n) : n_(n), a_(static_cast<std::size_t>(n) * n) {}
+  [[nodiscard]] double& at(int r, int c) {
+    return a_[static_cast<std::size_t>(c) * n_ + static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] double at(int r, int c) const {
+    return a_[static_cast<std::size_t>(c) * n_ + static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] int n() const { return n_; }
+
+ private:
+  int n_;
+  std::vector<double> a_;
+};
+
+void fill_random(Dense& a, std::vector<double>& b) {
+  npb::NpbRandom rng;
+  const int n = a.n();
+  for (int c = 0; c < n; ++c) {
+    for (int r = 0; r < n; ++r) a.at(r, c) = rng.next() - 0.5;
+  }
+  for (int r = 0; r < n; ++r) b[static_cast<std::size_t>(r)] = rng.next() - 0.5;
+}
+
+/// Blocked right-looking LU with partial pivoting; piv[i] = row swapped
+/// into position i.  Returns false if a pivot vanishes.
+bool lu_factor(Dense& a, std::vector<int>& piv, int block, int threads) {
+  const int n = a.n();
+  for (int k0 = 0; k0 < n; k0 += block) {
+    const int kb = std::min(block, n - k0);
+    // Panel factorisation (unblocked, with pivoting across the full
+    // remaining column height).
+    for (int k = k0; k < k0 + kb; ++k) {
+      int p = k;
+      double best = std::fabs(a.at(k, k));
+      for (int r = k + 1; r < n; ++r) {
+        const double v = std::fabs(a.at(r, k));
+        if (v > best) {
+          best = v;
+          p = r;
+        }
+      }
+      if (best == 0.0) return false;
+      piv[static_cast<std::size_t>(k)] = p;
+      if (p != k) {
+        for (int c = 0; c < n; ++c) std::swap(a.at(k, c), a.at(p, c));
+      }
+      const double pivot = a.at(k, k);
+      for (int r = k + 1; r < n; ++r) {
+        a.at(r, k) /= pivot;
+        const double l = a.at(r, k);
+        for (int c = k + 1; c < k0 + kb; ++c) a.at(r, c) -= l * a.at(k, c);
+      }
+    }
+    // Row-panel update: U12 = L11^{-1} A12 (unit-lower triangular solve).
+    const int trailing = k0 + kb;
+#pragma omp parallel for schedule(static) num_threads(threads)
+    for (int c = trailing; c < n; ++c) {
+      for (int k = k0; k < trailing; ++k) {
+        const double u = a.at(k, c);
+        for (int r = k + 1; r < trailing; ++r) {
+          a.at(r, c) -= a.at(r, k) * u;
+        }
+      }
+    }
+    // Trailing submatrix update: A22 -= L21 * U12  (the GEMM).
+#pragma omp parallel for schedule(static) num_threads(threads)
+    for (int c = trailing; c < n; ++c) {
+      for (int k = k0; k < trailing; ++k) {
+        const double u = a.at(k, c);
+        for (int r = trailing; r < n; ++r) {
+          a.at(r, c) -= a.at(r, k) * u;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void lu_solve(const Dense& a, const std::vector<int>& piv,
+              std::vector<double>& x) {
+  const int n = a.n();
+  for (int k = 0; k < n; ++k) {
+    std::swap(x[static_cast<std::size_t>(k)],
+              x[static_cast<std::size_t>(piv[static_cast<std::size_t>(k)])]);
+  }
+  for (int k = 0; k < n; ++k) {  // L y = b (unit lower)
+    const double xk = x[static_cast<std::size_t>(k)];
+    for (int r = k + 1; r < n; ++r) {
+      x[static_cast<std::size_t>(r)] -= a.at(r, k) * xk;
+    }
+  }
+  for (int k = n - 1; k >= 0; --k) {  // U x = y
+    x[static_cast<std::size_t>(k)] /= a.at(k, k);
+    const double xk = x[static_cast<std::size_t>(k)];
+    for (int r = 0; r < k; ++r) {
+      x[static_cast<std::size_t>(r)] -= a.at(r, k) * xk;
+    }
+  }
+}
+
+}  // namespace
+
+HplResult run(const HplConfig& cfg) {
+  Dense a(cfg.n);
+  std::vector<double> b(static_cast<std::size_t>(cfg.n));
+  fill_random(a, b);
+  const Dense a0 = a;  // keep for the residual
+  std::vector<double> x = b;
+  std::vector<int> piv(static_cast<std::size_t>(cfg.n));
+
+  npb::Timer timer;
+  timer.start();
+  HplResult result;
+  if (!lu_factor(a, piv, cfg.block, cfg.threads)) return result;
+  lu_solve(a, piv, x);
+  result.seconds = timer.seconds();
+
+  const double n = cfg.n;
+  result.gflops = (2.0 / 3.0 * n * n * n + 2.0 * n * n) / result.seconds / 1e9;
+
+  // HPL's scaled residual: ||Ax-b||_inf / (eps * ||A||_1 * ||x||_1 * n).
+  double r_inf = 0.0, a_norm = 0.0, x_norm = 0.0;
+  for (int c = 0; c < cfg.n; ++c) {
+    double col = 0.0;
+    for (int r = 0; r < cfg.n; ++r) col += std::fabs(a0.at(r, c));
+    a_norm = std::max(a_norm, col);
+    x_norm += std::fabs(x[static_cast<std::size_t>(c)]);
+  }
+#pragma omp parallel for schedule(static) reduction(max : r_inf) \
+    num_threads(cfg.threads)
+  for (int r = 0; r < cfg.n; ++r) {
+    double ax = 0.0;
+    for (int c = 0; c < cfg.n; ++c) {
+      ax += a0.at(r, c) * x[static_cast<std::size_t>(c)];
+    }
+    r_inf = std::max(r_inf, std::fabs(ax - b[static_cast<std::size_t>(r)]));
+  }
+  result.scaled_residual =
+      r_inf / (std::numeric_limits<double>::epsilon() * a_norm * x_norm * n);
+  result.verified = result.scaled_residual < 16.0;  // the HPL criterion
+  return result;
+}
+
+}  // namespace rvhpc::hpc::hpl

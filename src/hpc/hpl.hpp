@@ -1,0 +1,34 @@
+#pragma once
+// rvhpc::hpc — mini-HPL: the Linpack benchmark the paper's §7 proposes as
+// future work.
+//
+// Solves a dense random system A x = b by blocked LU factorisation with
+// partial pivoting followed by triangular solves, and verifies with the
+// scaled residual HPL itself uses.  OpenMP parallelism over the trailing
+// submatrix update (the DGEMM-like part that dominates, as in real HPL).
+
+#include <cstddef>
+
+#include "npb/npb_common.hpp"
+
+namespace rvhpc::hpc::hpl {
+
+/// Configuration of one run.
+struct HplConfig {
+  int n = 512;        ///< matrix order
+  int block = 32;     ///< panel width
+  int threads = 1;
+};
+
+/// Result of one run.
+struct HplResult {
+  double seconds = 0.0;
+  double gflops = 0.0;         ///< 2/3 n^3 flop convention
+  double scaled_residual = 0.0;  ///< ||Ax-b||_inf / (eps ||A||_1 ||x||_1 n)
+  bool verified = false;       ///< scaled residual < 16 (the HPL threshold)
+};
+
+/// Runs mini-HPL; deterministic (NPB LCG-filled matrix).
+HplResult run(const HplConfig& cfg);
+
+}  // namespace rvhpc::hpc::hpl

@@ -1,0 +1,95 @@
+#include "memsim/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace rvhpc::memsim {
+
+Cache::Cache(std::size_t size_bytes, int associativity, int line_bytes)
+    : size_(size_bytes), assoc_(associativity), line_(line_bytes) {
+  if (size_bytes == 0 || associativity < 1 || line_bytes < 1 ||
+      !std::has_single_bit(static_cast<unsigned>(line_bytes))) {
+    throw std::invalid_argument("Cache: invalid geometry");
+  }
+  const std::size_t way_bytes =
+      static_cast<std::size_t>(line_bytes) * static_cast<std::size_t>(associativity);
+  if (size_bytes % way_bytes != 0) {
+    throw std::invalid_argument("Cache: size not divisible by line*assoc");
+  }
+  sets_ = size_bytes / way_bytes;
+  line_shift_ = std::countr_zero(static_cast<unsigned>(line_bytes));
+  lines_.resize(sets_ * static_cast<std::size_t>(assoc_));
+}
+
+AccessResult Cache::access(std::uint64_t addr, bool is_write) {
+  AccessResult result;
+  ++stats_.accesses;
+  const std::uint64_t line_addr = addr >> line_shift_;
+  Line* set = &lines_[set_index(line_addr) * static_cast<std::size_t>(assoc_)];
+
+  Line* victim = &set[0];
+  for (int w = 0; w < assoc_; ++w) {
+    Line& l = set[w];
+    if (l.valid && l.tag == line_addr) {
+      l.lru = ++stamp_;
+      l.dirty = l.dirty || is_write;
+      ++stats_.hits;
+      result.hit = true;
+      return result;
+    }
+    if (!l.valid) {
+      victim = &l;  // prefer an invalid way
+    } else if (victim->valid && l.lru < victim->lru) {
+      victim = &l;
+    }
+  }
+
+  ++stats_.misses;
+  if (victim->valid) {
+    ++stats_.evictions;
+    result.evicted = true;
+    result.victim_line = victim->tag << line_shift_;
+    if (victim->dirty) {
+      ++stats_.writebacks;
+      result.writeback = true;
+    }
+  }
+  victim->tag = line_addr;
+  victim->valid = true;
+  victim->dirty = is_write;
+  victim->lru = ++stamp_;
+  return result;
+}
+
+bool Cache::contains(std::uint64_t addr) const {
+  const std::uint64_t line_addr = addr >> line_shift_;
+  const Line* set = &lines_[set_index(line_addr) * static_cast<std::size_t>(assoc_)];
+  for (int w = 0; w < assoc_; ++w) {
+    if (set[w].valid && set[w].tag == line_addr) return true;
+  }
+  return false;
+}
+
+bool Cache::invalidate(std::uint64_t addr) {
+  const std::uint64_t line_addr = addr >> line_shift_;
+  Line* set = &lines_[set_index(line_addr) * static_cast<std::size_t>(assoc_)];
+  for (int w = 0; w < assoc_; ++w) {
+    Line& l = set[w];
+    if (l.valid && l.tag == line_addr) {
+      if (l.dirty) ++stats_.writebacks;
+      l = Line{};
+      ++coherence_invalidations_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Cache::flush() {
+  for (Line& l : lines_) {
+    if (l.valid && l.dirty) ++stats_.writebacks;
+    l = Line{};
+  }
+}
+
+}  // namespace rvhpc::memsim

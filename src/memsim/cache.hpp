@@ -1,0 +1,94 @@
+#pragma once
+// rvhpc::memsim — set-associative cache with LRU replacement.
+//
+// The trace-driven simulator that reproduces the paper's Table 1 stall
+// profile (and cross-checks the analytic model's cache assumptions).
+// Caches are write-back / write-allocate, which matches the machines in
+// the study.
+
+#include <cstdint>
+#include <vector>
+
+namespace rvhpc::memsim {
+
+/// Aggregate counters for one cache instance.
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    return accesses ? static_cast<double>(hits) / accesses : 0.0;
+  }
+  [[nodiscard]] double miss_rate() const {
+    return accesses ? static_cast<double>(misses) / accesses : 0.0;
+  }
+};
+
+/// Outcome of a single access.
+struct AccessResult {
+  bool hit = false;
+  bool writeback = false;        ///< a dirty line was evicted
+  std::uint64_t victim_line = 0; ///< line address of the eviction (if any)
+  bool evicted = false;
+};
+
+/// A single set-associative, write-back, write-allocate cache level.
+class Cache {
+ public:
+  /// size/line in bytes; associativity >= 1.  size must be divisible by
+  /// line*associativity.  Throws std::invalid_argument otherwise.
+  Cache(std::size_t size_bytes, int associativity, int line_bytes);
+
+  /// Performs one access; installs the line on miss (evicting LRU).
+  AccessResult access(std::uint64_t addr, bool is_write);
+
+  /// True if the line containing addr is currently resident (no LRU
+  /// update; for tests).
+  [[nodiscard]] bool contains(std::uint64_t addr) const;
+
+  /// Drops all lines (counts dirty ones as writebacks).
+  void flush();
+
+  /// Invalidates the line containing addr if resident (coherence action);
+  /// a dirty victim is counted as a writeback.  Returns true if a line was
+  /// dropped.
+  bool invalidate(std::uint64_t addr);
+
+  /// Coherence invalidations received from other cores' writes.
+  [[nodiscard]] std::uint64_t coherence_invalidations() const {
+    return coherence_invalidations_;
+  }
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size_bytes() const { return size_; }
+  [[nodiscard]] int associativity() const { return assoc_; }
+  [[nodiscard]] int line_bytes() const { return line_; }
+  [[nodiscard]] std::size_t sets() const { return sets_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;   ///< last-touch stamp; smallest = LRU victim
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::size_t size_;
+  int assoc_;
+  int line_;
+  std::size_t sets_;
+  int line_shift_;
+  std::uint64_t stamp_ = 0;
+  std::uint64_t coherence_invalidations_ = 0;
+  std::vector<Line> lines_;  ///< sets_ x assoc_, row-major
+  CacheStats stats_;
+
+  [[nodiscard]] std::size_t set_index(std::uint64_t line_addr) const {
+    return static_cast<std::size_t>(line_addr % sets_);
+  }
+};
+
+}  // namespace rvhpc::memsim

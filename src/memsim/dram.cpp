@@ -1,0 +1,46 @@
+#include "memsim/dram.hpp"
+
+#include <algorithm>
+
+namespace rvhpc::memsim {
+
+DramModel::DramModel(const DramConfig& cfg) : cfg_(cfg) {
+  const double bytes_per_second =
+      cfg_.channels * cfg_.channel_bw_gbs * cfg_.efficiency * 1e9;
+  const double window_seconds =
+      static_cast<double>(cfg_.window_cycles) / (cfg_.clock_ghz * 1e9);
+  window_capacity_bytes_ = bytes_per_second * window_seconds;
+}
+
+void DramModel::roll_to(std::uint64_t cycle) {
+  while (cycle >= window_start_ + cfg_.window_cycles) {
+    const double u = window_bytes_ / window_capacity_bytes_;
+    ++windows_;
+    if (u >= cfg_.bw_bound_threshold) ++bw_bound_windows_;
+    window_bytes_ = 0.0;
+    window_start_ += cfg_.window_cycles;
+  }
+}
+
+double DramModel::request(std::uint64_t cycle) {
+  roll_to(cycle);
+  ++total_requests_;
+  window_bytes_ += cfg_.line_bytes;
+  return latency_cycles(current_utilisation());
+}
+
+void DramModel::finish(std::uint64_t final_cycle) {
+  roll_to(final_cycle + cfg_.window_cycles);
+}
+
+double DramModel::current_utilisation() const {
+  return std::min(window_bytes_ / window_capacity_bytes_, 1.0);
+}
+
+double DramModel::latency_cycles(double u) const {
+  u = std::clamp(u, 0.0, 0.95);
+  const double ns = cfg_.idle_latency_ns * (1.0 + 1.4 * u * u);
+  return ns * cfg_.clock_ghz;  // ns * cycles/ns
+}
+
+}  // namespace rvhpc::memsim

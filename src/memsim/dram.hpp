@@ -1,0 +1,66 @@
+#pragma once
+// rvhpc::memsim — DRAM controller/channel model.
+//
+// Window-based queueing model: requests arriving within a fixed cycle
+// window share the channels' bandwidth; latency inflates quadratically
+// with utilisation, the same law the analytic model uses
+// (model::loaded_dram_latency_s).  Tracks the fraction of windows in which
+// the DRAM was bandwidth-saturated — the paper's "time DDR bandwidth
+// bound" column in Table 1.
+
+#include <cstdint>
+
+namespace rvhpc::memsim {
+
+/// Static configuration of the memory subsystem under simulation.
+struct DramConfig {
+  int channels = 6;
+  double channel_bw_gbs = 21.3;
+  double efficiency = 0.67;        ///< sustained fraction of peak
+  double idle_latency_ns = 75.0;
+  double clock_ghz = 2.1;          ///< core clock, to convert ns -> cycles
+  int line_bytes = 64;
+  std::uint64_t window_cycles = 20000;  ///< utilisation accounting window
+  double bw_bound_threshold = 0.85;     ///< window counts as "BW bound" above
+};
+
+/// Rolling utilisation + latency model.
+class DramModel {
+ public:
+  explicit DramModel(const DramConfig& cfg);
+
+  /// Registers a line fill (or writeback) at `cycle`; returns the loaded
+  /// latency in cycles for this request.
+  double request(std::uint64_t cycle);
+
+  /// Must be called with non-decreasing cycles; finalises open windows.
+  void finish(std::uint64_t final_cycle);
+
+  /// Utilisation of the current window so far, in [0, ~1].
+  [[nodiscard]] double current_utilisation() const;
+
+  [[nodiscard]] std::uint64_t total_requests() const { return total_requests_; }
+  [[nodiscard]] std::uint64_t windows() const { return windows_; }
+  [[nodiscard]] std::uint64_t bw_bound_windows() const { return bw_bound_windows_; }
+
+  /// Fraction of elapsed windows that were bandwidth-saturated.
+  [[nodiscard]] double bw_bound_fraction() const {
+    return windows_ ? static_cast<double>(bw_bound_windows_) / windows_ : 0.0;
+  }
+
+  /// Loaded latency in cycles at utilisation `u` (pure function, for tests).
+  [[nodiscard]] double latency_cycles(double u) const;
+
+ private:
+  DramConfig cfg_;
+  double window_capacity_bytes_;
+  std::uint64_t window_start_ = 0;
+  double window_bytes_ = 0.0;
+  std::uint64_t windows_ = 0;
+  std::uint64_t bw_bound_windows_ = 0;
+  std::uint64_t total_requests_ = 0;
+
+  void roll_to(std::uint64_t cycle);
+};
+
+}  // namespace rvhpc::memsim

@@ -1,0 +1,74 @@
+#include "memsim/hierarchy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rvhpc::memsim {
+
+Hierarchy::Hierarchy(const arch::MachineModel& m, int cores, bool coherent)
+    : cores_(cores), coherent_(coherent) {
+  if (cores < 1 || cores > m.cores) {
+    throw std::invalid_argument("Hierarchy: core count out of range");
+  }
+  for (const arch::CacheLevel& lvl : m.caches) {
+    const int sharers = std::max(1, lvl.shared_by_cores);
+    const int instances = (cores + sharers - 1) / sharers;
+    std::vector<std::unique_ptr<Cache>> row;
+    row.reserve(static_cast<std::size_t>(instances));
+    for (int i = 0; i < instances; ++i) {
+      row.push_back(std::make_unique<Cache>(lvl.size_bytes, lvl.associativity,
+                                            lvl.line_bytes));
+    }
+    level_caches_.push_back(std::move(row));
+    sharers_.push_back(sharers);
+    latencies_.push_back(lvl.latency_cycles);
+  }
+}
+
+HitLevel Hierarchy::access(int core, std::uint64_t addr, bool is_write) {
+  HitLevel result = HitLevel::Dram;
+  for (std::size_t level = 0; level < level_caches_.size(); ++level) {
+    if (cache_at(level, core).access(addr, is_write).hit) {
+      // Fill upwards so inner levels hold the line next time.
+      result = static_cast<HitLevel>(level);
+      break;
+    }
+  }
+  if (coherent_ && is_write) {
+    // MESI-lite: the writer gains exclusive ownership; every other
+    // instance of each non-chip-wide level drops its copy.
+    for (std::size_t level = 0; level < level_caches_.size(); ++level) {
+      auto& row = level_caches_[level];
+      if (row.size() <= 1) continue;  // chip-shared level: nothing to do
+      const std::size_t own =
+          static_cast<std::size_t>(core / sharers_[level]);
+      for (std::size_t inst = 0; inst < row.size(); ++inst) {
+        if (inst != own) row[inst]->invalidate(addr);
+      }
+    }
+  }
+  return result;
+}
+
+std::uint64_t Hierarchy::coherence_invalidations(std::size_t i) const {
+  std::uint64_t total = 0;
+  for (const auto& c : level_caches_.at(i)) total += c->coherence_invalidations();
+  return total;
+}
+
+CacheStats Hierarchy::level_stats(std::size_t i) const {
+  CacheStats total;
+  for (const auto& c : level_caches_.at(i)) {
+    const CacheStats& s = c->stats();
+    total.accesses += s.accesses;
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.writebacks += s.writebacks;
+  }
+  return total;
+}
+
+double Hierarchy::level_latency(std::size_t i) const { return latencies_.at(i); }
+
+}  // namespace rvhpc::memsim

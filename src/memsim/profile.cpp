@@ -1,0 +1,92 @@
+#include "memsim/profile.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace rvhpc::memsim {
+
+StallReport simulate_stalls(const arch::MachineModel& m, model::Kernel kernel,
+                            const ProfileConfig& cfg) {
+  Hierarchy hierarchy(m, cfg.cores);
+  DramConfig dram_cfg;
+  dram_cfg.channels = m.memory.channels;
+  dram_cfg.channel_bw_gbs = m.memory.channel_bw_gbs;
+  dram_cfg.efficiency = m.memory.stream_efficiency;
+  dram_cfg.idle_latency_ns = m.memory.idle_latency_ns;
+  dram_cfg.clock_ghz = m.core.clock_ghz;
+  DramModel dram(dram_cfg);
+
+  std::vector<std::unique_ptr<TraceGenerator>> gens;
+  gens.reserve(static_cast<std::size_t>(cfg.cores));
+  for (int c = 0; c < cfg.cores; ++c) {
+    gens.push_back(kernel_trace(kernel, cfg.footprint_scale, c,
+                                cfg.seed + static_cast<std::uint64_t>(c)));
+  }
+
+  std::vector<double> cycles(static_cast<std::size_t>(cfg.cores), 0.0);
+  double work_total = 0.0, cache_stall = 0.0, ddr_stall = 0.0;
+  std::uint64_t dram_clock = 0;
+  const double overlap = std::max(cfg.stall_overlap, 1.0);
+  const std::size_t last_level = hierarchy.levels() - 1;
+
+  // Warm the hierarchy so the profile reflects steady state, not cold
+  // compulsory misses.
+  const auto warmup_ops = static_cast<std::uint64_t>(
+      cfg.ops_per_core * std::clamp(cfg.warmup_fraction, 0.0, 0.9));
+  for (std::uint64_t i = 0; i < warmup_ops; ++i) {
+    for (int c = 0; c < cfg.cores; ++c) {
+      const TraceOp op = gens[static_cast<std::size_t>(c)]->next();
+      hierarchy.access(c, op.addr, op.is_write);
+    }
+  }
+  // Lock-step interleave: one op per core per round approximates the
+  // concurrent execution of identical OpenMP worker loops.
+  for (std::uint64_t i = warmup_ops; i < cfg.ops_per_core; ++i) {
+    for (int c = 0; c < cfg.cores; ++c) {
+      const TraceOp op = gens[static_cast<std::size_t>(c)]->next();
+      const std::size_t ci = static_cast<std::size_t>(c);
+      cycles[ci] += op.work_cycles;
+      work_total += op.work_cycles;
+
+      const HitLevel level = hierarchy.access(c, op.addr, op.is_write);
+      double stall = 0.0;
+      if (level == HitLevel::Dram) {
+        dram_clock = std::max(dram_clock,
+                              static_cast<std::uint64_t>(cycles[ci]));
+        const double loaded = dram.request(dram_clock);
+        if (op.prefetchable) {
+          // The prefetcher ran ahead: bandwidth is consumed (counted by
+          // the DRAM window above) and the demand load pays an LLC-fill
+          // hit, not full DRAM latency — this is why IS shows 35% cache
+          // stall with 0% DDR stall in Table 1.
+          stall = hierarchy.level_latency(last_level) / overlap;
+          cache_stall += stall;
+        } else {
+          stall = loaded / overlap;
+          ddr_stall += stall;
+        }
+      } else if (level != HitLevel::L1) {
+        stall = hierarchy.level_latency(static_cast<std::size_t>(level)) / overlap;
+        cache_stall += stall;
+      }
+      cycles[ci] += stall;
+    }
+  }
+  dram.finish(dram_clock);
+
+  StallReport report;
+  report.total_cycles = work_total + cache_stall + ddr_stall;
+  if (report.total_cycles > 0.0) {
+    report.cache_stall_pct = 100.0 * cache_stall / report.total_cycles;
+    report.ddr_stall_pct = 100.0 * ddr_stall / report.total_cycles;
+  }
+  report.ddr_bw_bound_pct = 100.0 * dram.bw_bound_fraction();
+  report.l1_hit_rate = hierarchy.level_stats(0).hit_rate();
+  const double kops =
+      static_cast<double>(cfg.ops_per_core - warmup_ops) * cfg.cores / 1000.0;
+  report.dram_requests_per_kop =
+      kops > 0.0 ? static_cast<double>(dram.total_requests()) / kops : 0.0;
+  return report;
+}
+
+}  // namespace rvhpc::memsim

@@ -1,0 +1,46 @@
+#pragma once
+// rvhpc::memsim — stall-profile simulation (Table 1 reproduction).
+//
+// Runs one synthetic trace per core through the machine's cache hierarchy
+// and DRAM model, charging stall cycles by the level that satisfied each
+// access, and reports the same three columns the paper's Table 1 shows:
+// % cycles stalled on cache, % cycles stalled on DRAM, and % of time the
+// DRAM was bandwidth-bound.
+
+#include "arch/machine.hpp"
+#include "memsim/dram.hpp"
+#include "memsim/hierarchy.hpp"
+#include "memsim/trace.hpp"
+#include "model/workload.hpp"
+
+namespace rvhpc::memsim {
+
+/// Configuration of one stall-profile run.
+struct ProfileConfig {
+  int cores = 26;
+  std::uint64_t ops_per_core = 250000;  ///< trace length per core
+  double footprint_scale = 1.0;         ///< shrink factor vs the real run
+  /// Average outstanding misses that overlap a stall (divides exposed
+  /// latency); OoO cores hide a lot of L2/L3 time.
+  double stall_overlap = 4.0;
+  /// Fraction of the trace run cold to warm the hierarchy before counting.
+  double warmup_fraction = 0.15;
+  std::uint64_t seed = 42;
+};
+
+/// Result of a stall-profile simulation.
+struct StallReport {
+  double cache_stall_pct = 0.0;  ///< % cycles stalled on L2/L3
+  double ddr_stall_pct = 0.0;    ///< % cycles stalled on DRAM latency
+  double ddr_bw_bound_pct = 0.0; ///< % of windows with DRAM near saturation
+  double total_cycles = 0.0;
+  double l1_hit_rate = 0.0;
+  double dram_requests_per_kop = 0.0;
+};
+
+/// Simulates `kernel` on `cores` cores of `m`.
+[[nodiscard]] StallReport simulate_stalls(const arch::MachineModel& m,
+                                          model::Kernel kernel,
+                                          const ProfileConfig& cfg);
+
+}  // namespace rvhpc::memsim

@@ -1,0 +1,301 @@
+#include "memsim/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rvhpc::memsim {
+namespace {
+constexpr std::uint64_t kMiB = 1024ull * 1024ull;
+}
+
+// ---------------------------------------------------------------------------
+StreamGenerator::StreamGenerator(std::uint64_t base, std::uint64_t footprint,
+                                 int stride, double work, double write_ratio,
+                                 std::uint64_t seed)
+    : base_(base),
+      footprint_(std::max<std::uint64_t>(footprint, 64)),
+      stride_(std::max(stride, 1)),
+      work_(work),
+      write_ratio_(write_ratio),
+      rng_(seed) {}
+
+TraceOp StreamGenerator::next() {
+  TraceOp op;
+  op.addr = base_ + offset_;
+  op.work_cycles = work_;
+  op.prefetchable = true;
+  op.is_write = (rng_.next() % 1000) < static_cast<std::uint64_t>(write_ratio_ * 1000);
+  offset_ += static_cast<std::uint64_t>(stride_);
+  if (offset_ >= footprint_) offset_ = 0;
+  return op;
+}
+
+// ---------------------------------------------------------------------------
+RandomGenerator::RandomGenerator(std::uint64_t base, std::uint64_t footprint,
+                                 double work, double write_ratio,
+                                 std::uint64_t seed)
+    : base_(base),
+      footprint_(std::max<std::uint64_t>(footprint, 64)),
+      work_(work),
+      write_ratio_(write_ratio),
+      rng_(seed) {}
+
+TraceOp RandomGenerator::next() {
+  TraceOp op;
+  op.addr = base_ + (rng_.below(footprint_ / 8) * 8);
+  op.work_cycles = work_;
+  op.is_write = (rng_.next() % 1000) < static_cast<std::uint64_t>(write_ratio_ * 1000);
+  return op;
+}
+
+// ---------------------------------------------------------------------------
+StencilGenerator::StencilGenerator(std::uint64_t base, int nx, int ny, int nz,
+                                   double work)
+    : base_(base), nx_(nx), ny_(ny), nz_(nz), work_(work), rng_(base + 97) {}
+
+TraceOp StencilGenerator::next() {
+  const std::uint64_t points =
+      static_cast<std::uint64_t>(nx_) * ny_ * static_cast<std::uint64_t>(nz_);
+  const std::uint64_t p = point_ % points;
+  const std::uint64_t plane = static_cast<std::uint64_t>(nx_) * ny_;
+  TraceOp op;
+  op.work_cycles = work_ / 8.0;  // spread the point's flops over its accesses
+  // Constant-stride neighbour streams are prefetcher-friendly; a small
+  // fraction of the leading-plane accesses (page/TLB boundaries) are not.
+  op.prefetchable = true;
+  switch (phase_) {
+    case 0: op.addr = p; break;                                   // centre
+    case 1: op.addr = p + 1; break;                               // x+1
+    case 2: op.addr = (p >= 1 ? p - 1 : 0); break;                // x-1
+    case 3:                                                        // y+1
+      op.addr = p + static_cast<std::uint64_t>(nx_);
+      op.prefetchable = (rng_.next() % 100) >= 12;
+      break;
+    case 4: op.addr = (p >= static_cast<std::uint64_t>(nx_)       // y-1
+                           ? p - static_cast<std::uint64_t>(nx_) : p); break;
+    case 5:                                                        // z+1
+      op.addr = p + plane;
+      op.prefetchable = (rng_.next() % 100) >= 12;
+      break;
+    case 6: op.addr = (p >= plane ? p - plane : p); break;         // z-1
+    default:
+      op.addr = p;
+      op.is_write = true;      // centre store
+      break;
+  }
+  op.addr = base_ + (op.addr % points) * 8;
+  if (++phase_ > 7) {
+    phase_ = 0;
+    ++point_;
+  }
+  return op;
+}
+
+// ---------------------------------------------------------------------------
+GatherGenerator::GatherGenerator(std::uint64_t matrix_base,
+                                 std::uint64_t matrix_bytes,
+                                 std::uint64_t x_base, std::uint64_t x_bytes,
+                                 double work, std::uint64_t seed)
+    : matrix_base_(matrix_base),
+      matrix_bytes_(std::max<std::uint64_t>(matrix_bytes, 64)),
+      x_base_(x_base),
+      x_bytes_(std::max<std::uint64_t>(x_bytes, 64)),
+      work_(work),
+      rng_(seed) {}
+
+TraceOp GatherGenerator::next() {
+  TraceOp op;
+  op.work_cycles = work_ / 2.0;
+  if (phase_ == 0) {
+    op.addr = matrix_base_ + offset_;
+    // ~30% of the matrix stream defeats the prefetcher (row boundaries,
+    // TLB-page crossings) and exposes DRAM latency, per the CG row in
+    // Table 1 (18% DDR stall despite a streaming matrix).
+    op.prefetchable = (rng_.next() % 10) >= 7;
+    offset_ = (offset_ + 12) % matrix_bytes_;  // 8B value + 4B index
+    phase_ = 1;
+  } else {
+    op.addr = x_base_ + rng_.below(x_bytes_ / 8) * 8;
+    phase_ = 0;
+  }
+  return op;
+}
+
+// ---------------------------------------------------------------------------
+HistogramGenerator::HistogramGenerator(std::uint64_t keys_base,
+                                       std::uint64_t keys_bytes,
+                                       std::uint64_t hist_base,
+                                       std::uint64_t hist_bytes, double work,
+                                       std::uint64_t seed)
+    : keys_base_(keys_base),
+      keys_bytes_(std::max<std::uint64_t>(keys_bytes, 64)),
+      hist_base_(hist_base),
+      hist_bytes_(std::max<std::uint64_t>(hist_bytes, 64)),
+      work_(work),
+      rng_(seed) {}
+
+TraceOp HistogramGenerator::next() {
+  TraceOp op;
+  op.work_cycles = work_ / 2.0;
+  if (phase_ == 0) {
+    op.addr = keys_base_ + offset_;
+    op.prefetchable = true;
+    offset_ = (offset_ + 4) % keys_bytes_;
+    phase_ = 1;
+  } else {
+    op.addr = hist_base_ + rng_.below(hist_bytes_ / 4) * 4;
+    op.is_write = true;  // read-modify-write increment
+    phase_ = 0;
+  }
+  return op;
+}
+
+// ---------------------------------------------------------------------------
+TransposeGenerator::TransposeGenerator(std::uint64_t src_base,
+                                       std::uint64_t dst_base, int rows,
+                                       int cols, int elem, double work)
+    : src_base_(src_base),
+      dst_base_(dst_base),
+      rows_(rows),
+      cols_(cols),
+      elem_(elem),
+      work_(work) {}
+
+TraceOp TransposeGenerator::next() {
+  const std::uint64_t n = static_cast<std::uint64_t>(rows_) * cols_;
+  const std::uint64_t i = idx_ % n;
+  TraceOp op;
+  op.work_cycles = work_ / 2.0;
+  if (!writing_) {
+    op.addr = src_base_ + i * elem_;  // sequential read
+    op.prefetchable = true;
+    writing_ = true;
+  } else {
+    const std::uint64_t r = i / cols_, c = i % cols_;
+    op.addr = dst_base_ + (c * rows_ + r) * elem_;  // strided write
+    op.is_write = true;
+    // Constant-stride writes are prefetcher/write-combining friendly: they
+    // mostly cost bandwidth; ~1 in 8 crosses a TLB page and stalls.
+    op.prefetchable = (idx_ % 8) != 7;
+    writing_ = false;
+    ++idx_;
+  }
+  return op;
+}
+
+// ---------------------------------------------------------------------------
+MixGenerator::MixGenerator(std::vector<Part> parts) : parts_(std::move(parts)) {}
+
+TraceOp MixGenerator::next() {
+  if (parts_.empty()) return {};
+  Part& p = parts_[current_];
+  TraceOp op = p.generator->next();
+  if (++taken_ >= p.weight) {
+    taken_ = 0;
+    current_ = (current_ + 1) % parts_.size();
+  }
+  return op;
+}
+
+// ---------------------------------------------------------------------------
+std::unique_ptr<TraceGenerator> kernel_trace(model::Kernel k, double scale,
+                                             int core, std::uint64_t seed) {
+  using model::Kernel;
+  scale = std::clamp(scale, 1e-3, 1.0);
+  // Private regions are separated by core; shared structures overlap.
+  const std::uint64_t priv = 0x100000000ull +
+                             static_cast<std::uint64_t>(core) * 0x40000000ull;
+  const std::uint64_t shared = 0x4000000000ull;
+  auto mib = [&](double m) {
+    return static_cast<std::uint64_t>(std::max(m * scale, 0.004) * kMiB);
+  };
+  std::vector<MixGenerator::Part> parts;
+  switch (k) {
+    case Kernel::IS:
+      // Histogram sized between L2 and the L3 share (cache-stall heavy,
+      // DDR-latency clean) plus the bursty key-permutation phase that
+      // saturates bandwidth for ~16% of the time (Table 1: 35% / 0% / 16%).
+      parts.push_back({std::make_unique<HistogramGenerator>(priv, mib(40.0),
+                                                            shared, mib(4.0),
+                                                            20.0, seed),
+                       50000});
+      parts.push_back({std::make_unique<StreamGenerator>(priv + mib(64.0),
+                                                         mib(40.0), 4, 0.5,
+                                                         0.5, seed + 11),
+                       150000});
+      return std::make_unique<MixGenerator>(std::move(parts));
+    case Kernel::MG: {
+      const int edge = std::max<int>(16, static_cast<int>(512 * std::cbrt(scale)));
+      return std::make_unique<StencilGenerator>(priv, edge, edge, edge, 5.0);
+    }
+    case Kernel::EP:
+      // Tiny tables, long arithmetic chains: almost no memory pressure.
+      return std::make_unique<RandomGenerator>(priv, mib(0.3), 30.0, 0.05, seed);
+    case Kernel::CG:
+      return std::make_unique<GatherGenerator>(priv, mib(17.0), shared,
+                                               mib(1.2), 20.0, seed);
+    case Kernel::FT: {
+      const int rows = std::max<int>(64, static_cast<int>(512 * std::sqrt(scale)));
+      parts.push_back({std::make_unique<TransposeGenerator>(priv, priv + mib(64.0),
+                                                            rows, rows, 16, 16.0),
+                       15000});
+      parts.push_back({std::make_unique<StreamGenerator>(priv + mib(128.0),
+                                                         mib(24.0), 16, 22.0,
+                                                         0.45, seed),
+                       45000});
+      return std::make_unique<MixGenerator>(std::move(parts));
+    }
+    case Kernel::BT:
+      // Blocked solves: modest streams, lots of register-resident flops.
+      parts.push_back({std::make_unique<StreamGenerator>(priv, mib(20.0), 8,
+                                                         20.0, 0.3, seed),
+                       10});
+      parts.push_back({std::make_unique<RandomGenerator>(shared + mib(64.0),
+                                                         mib(60.0), 20.0, 0.3,
+                                                         seed + 7),
+                       1});
+      return std::make_unique<MixGenerator>(std::move(parts));
+    case Kernel::LU:
+      parts.push_back({std::make_unique<StreamGenerator>(priv, mib(16.0), 8,
+                                                         14.0, 0.3, seed),
+                       12});
+      parts.push_back({std::make_unique<RandomGenerator>(shared + mib(64.0),
+                                                         mib(80.0), 14.0, 0.3,
+                                                         seed + 7),
+                       1});
+      return std::make_unique<MixGenerator>(std::move(parts));
+    case Kernel::SP:
+      parts.push_back({std::make_unique<StreamGenerator>(priv, mib(28.0), 8,
+                                                         6.0, 0.35, seed),
+                       14});
+      parts.push_back({std::make_unique<RandomGenerator>(shared + mib(64.0),
+                                                         mib(100.0), 7.0, 0.35,
+                                                         seed + 7),
+                       1});
+      return std::make_unique<MixGenerator>(std::move(parts));
+    case Kernel::StreamCopy:
+    case Kernel::StreamTriad:
+      return std::make_unique<StreamGenerator>(priv, mib(60.0), 8, 0.5,
+                                               k == Kernel::StreamCopy ? 0.5 : 0.33,
+                                               seed);
+    case Kernel::Hpl:
+      // Blocked GEMM updates: panel streams with heavy register reuse.
+      return std::make_unique<StreamGenerator>(priv, mib(24.0), 8, 30.0, 0.35,
+                                               seed);
+    case Kernel::Hpcg: {
+      // SpMV sweeps plus the SymGS dependent gathers over the halo.
+      const int edge = std::max<int>(16, static_cast<int>(256 * std::cbrt(scale)));
+      parts.push_back({std::make_unique<StencilGenerator>(priv, edge, edge,
+                                                          edge, 5.0),
+                       4});
+      parts.push_back({std::make_unique<RandomGenerator>(shared + mib(64.0),
+                                                         mib(8.0), 5.0, 0.3,
+                                                         seed + 7),
+                       1});
+      return std::make_unique<MixGenerator>(std::move(parts));
+    }
+  }
+  return std::make_unique<StreamGenerator>(priv, mib(8.0), 8, 1.0, 0.0, seed);
+}
+
+}  // namespace rvhpc::memsim

@@ -1,0 +1,180 @@
+#pragma once
+// rvhpc::memsim — synthetic access-trace generators.
+//
+// Each NPB kernel's memory behaviour is approximated by a composite of
+// archetypal access patterns (streams, stencils, gathers, histogram
+// updates, transposes) with interleaved compute.  The generators are
+// deterministic (xorshift seeded per instance) so simulations are
+// reproducible.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/workload.hpp"
+
+namespace rvhpc::memsim {
+
+/// One traced operation: a memory access preceded by `work_cycles` of
+/// non-memory execution.
+struct TraceOp {
+  std::uint64_t addr = 0;
+  bool is_write = false;
+  double work_cycles = 0.0;
+  /// Sequential/strided accesses a hardware prefetcher would run ahead of:
+  /// they consume DRAM bandwidth but do not expose DRAM latency.
+  bool prefetchable = false;
+};
+
+/// Deterministic pseudo-random source for trace generation.
+class XorShift {
+ public:
+  explicit XorShift(std::uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+  std::uint64_t next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+  /// Uniform in [0, n).
+  std::uint64_t below(std::uint64_t n) { return n ? next() % n : 0; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Interface for infinite access streams.
+class TraceGenerator {
+ public:
+  virtual ~TraceGenerator() = default;
+  virtual TraceOp next() = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Sequential sweep over a buffer (unit stride or strided).
+class StreamGenerator final : public TraceGenerator {
+ public:
+  StreamGenerator(std::uint64_t base, std::uint64_t footprint_bytes,
+                  int stride_bytes, double work_cycles, double write_ratio,
+                  std::uint64_t seed = 1);
+  TraceOp next() override;
+  [[nodiscard]] std::string name() const override { return "stream"; }
+
+ private:
+  std::uint64_t base_, footprint_;
+  int stride_;
+  double work_, write_ratio_;
+  std::uint64_t offset_ = 0;
+  XorShift rng_;
+};
+
+/// Uniform random accesses over a footprint.
+class RandomGenerator final : public TraceGenerator {
+ public:
+  RandomGenerator(std::uint64_t base, std::uint64_t footprint_bytes,
+                  double work_cycles, double write_ratio, std::uint64_t seed = 2);
+  TraceOp next() override;
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+ private:
+  std::uint64_t base_, footprint_;
+  double work_, write_ratio_;
+  XorShift rng_;
+};
+
+/// 7-point 3-D stencil sweep: neighbour loads then a centre store.
+class StencilGenerator final : public TraceGenerator {
+ public:
+  StencilGenerator(std::uint64_t base, int nx, int ny, int nz,
+                   double work_cycles);
+  TraceOp next() override;
+  [[nodiscard]] std::string name() const override { return "stencil"; }
+
+ private:
+  std::uint64_t base_;
+  int nx_, ny_, nz_;
+  double work_;
+  std::uint64_t point_ = 0;
+  int phase_ = 0;  // 0..6 loads, 7 centre store
+  XorShift rng_;
+};
+
+/// SpMV-style gather: streams (values+indices) plus random reads of x.
+class GatherGenerator final : public TraceGenerator {
+ public:
+  GatherGenerator(std::uint64_t matrix_base, std::uint64_t matrix_bytes,
+                  std::uint64_t x_base, std::uint64_t x_bytes,
+                  double work_cycles, std::uint64_t seed = 3);
+  TraceOp next() override;
+  [[nodiscard]] std::string name() const override { return "gather"; }
+
+ private:
+  std::uint64_t matrix_base_, matrix_bytes_, x_base_, x_bytes_;
+  double work_;
+  std::uint64_t offset_ = 0;
+  int phase_ = 0;  // 0: matrix stream, 1: x gather
+  XorShift rng_;
+};
+
+/// IS-style ranking: stream of key reads, each followed by a random
+/// histogram increment (read-modify-write).
+class HistogramGenerator final : public TraceGenerator {
+ public:
+  HistogramGenerator(std::uint64_t keys_base, std::uint64_t keys_bytes,
+                     std::uint64_t hist_base, std::uint64_t hist_bytes,
+                     double work_cycles, std::uint64_t seed = 4);
+  TraceOp next() override;
+  [[nodiscard]] std::string name() const override { return "histogram"; }
+
+ private:
+  std::uint64_t keys_base_, keys_bytes_, hist_base_, hist_bytes_;
+  double work_;
+  std::uint64_t offset_ = 0;
+  int phase_ = 0;  // 0: key read, 1: histogram update
+  XorShift rng_;
+};
+
+/// FT-style transpose: sequential reads, large-stride writes.
+class TransposeGenerator final : public TraceGenerator {
+ public:
+  TransposeGenerator(std::uint64_t src_base, std::uint64_t dst_base, int rows,
+                     int cols, int elem_bytes, double work_cycles);
+  TraceOp next() override;
+  [[nodiscard]] std::string name() const override { return "transpose"; }
+
+ private:
+  std::uint64_t src_base_, dst_base_;
+  int rows_, cols_, elem_;
+  double work_;
+  std::uint64_t idx_ = 0;
+  bool writing_ = false;
+};
+
+/// Weighted round-robin over sub-generators.
+class MixGenerator final : public TraceGenerator {
+ public:
+  struct Part {
+    std::unique_ptr<TraceGenerator> generator;
+    int weight = 1;  ///< ops taken from this part per round
+  };
+  explicit MixGenerator(std::vector<Part> parts);
+  TraceOp next() override;
+  [[nodiscard]] std::string name() const override { return "mix"; }
+
+ private:
+  std::vector<Part> parts_;
+  std::size_t current_ = 0;
+  int taken_ = 0;
+};
+
+/// Builds the archetypal trace for one NPB kernel, footprint-scaled by
+/// `scale` in (0, 1] so simulations stay tractable, with per-core address
+/// disjointness via `core` (cores share read-only structures where the
+/// real benchmark shares them).
+[[nodiscard]] std::unique_ptr<TraceGenerator> kernel_trace(model::Kernel k,
+                                                           double scale,
+                                                           int core,
+                                                           std::uint64_t seed);
+
+}  // namespace rvhpc::memsim

@@ -1,0 +1,130 @@
+#include "model/paper_reference.hpp"
+
+namespace rvhpc::model::paper {
+
+using arch::MachineId;
+
+const std::vector<StallProfile>& table1() {
+  static const std::vector<StallProfile> t = {
+      {Kernel::IS, 35, 0, 16}, {Kernel::MG, 34, 20, 88}, {Kernel::EP, 11, 0, 0},
+      {Kernel::CG, 19, 18, 0}, {Kernel::FT, 13, 9, 18},  {Kernel::BT, 8, 9, 0},
+      {Kernel::LU, 12, 11, 0}, {Kernel::SP, 20, 21, 0},
+  };
+  return t;
+}
+
+const std::vector<SingleCoreRow>& table2() {
+  static const std::vector<SingleCoreRow> t = {
+      {Kernel::IS, MachineId::Sg2044, 64.68},
+      {Kernel::IS, MachineId::VisionFiveV2, 17.84},
+      {Kernel::IS, MachineId::VisionFiveV1, 6.36},
+      {Kernel::IS, MachineId::SifiveU740, 9.09},
+      {Kernel::IS, MachineId::AllwinnerD1, 5.41},
+      {Kernel::IS, MachineId::BananaPiF3, 22.66},
+      {Kernel::IS, MachineId::MilkVJupiter, 24.75},
+
+      {Kernel::MG, MachineId::Sg2044, 1472.32},
+      {Kernel::MG, MachineId::VisionFiveV2, 288.65},
+      {Kernel::MG, MachineId::VisionFiveV1, 72.31},
+      {Kernel::MG, MachineId::SifiveU740, 90.28},
+      {Kernel::MG, MachineId::AllwinnerD1, 163.19},
+      {Kernel::MG, MachineId::BananaPiF3, 306.78},
+      {Kernel::MG, MachineId::MilkVJupiter, 335.38},
+
+      {Kernel::EP, MachineId::Sg2044, 40.75},
+      {Kernel::EP, MachineId::VisionFiveV2, 12.01},
+      {Kernel::EP, MachineId::VisionFiveV1, 7.55},
+      {Kernel::EP, MachineId::SifiveU740, 9.08},
+      {Kernel::EP, MachineId::AllwinnerD1, 9.23},
+      {Kernel::EP, MachineId::BananaPiF3, 18.17},
+      {Kernel::EP, MachineId::MilkVJupiter, 20.4},
+
+      {Kernel::CG, MachineId::Sg2044, 269.37},
+      {Kernel::CG, MachineId::VisionFiveV2, 43.61},
+      {Kernel::CG, MachineId::VisionFiveV1, 21.96},
+      {Kernel::CG, MachineId::SifiveU740, 29.09},
+      {Kernel::CG, MachineId::AllwinnerD1, 12.99},
+      {Kernel::CG, MachineId::BananaPiF3, 23.71},
+      {Kernel::CG, MachineId::MilkVJupiter, 24.42},
+
+      {Kernel::FT, MachineId::Sg2044, 1296.22},
+      {Kernel::FT, MachineId::VisionFiveV2, 245.99},
+      {Kernel::FT, MachineId::VisionFiveV1, 88.35},
+      {Kernel::FT, MachineId::SifiveU740, 116.59},
+      {Kernel::FT, MachineId::AllwinnerD1, std::nullopt},  // DNR: 1 GiB DRAM
+      {Kernel::FT, MachineId::BananaPiF3, 362.8},
+      {Kernel::FT, MachineId::MilkVJupiter, 388.24},
+  };
+  return t;
+}
+
+std::optional<double> table2_mops(Kernel k, MachineId m) {
+  for (const auto& row : table2()) {
+    if (row.kernel == k && row.machine == m) return row.mops;
+  }
+  return std::nullopt;
+}
+
+const std::vector<Sg2042Comparison>& table3_single_core() {
+  static const std::vector<Sg2042Comparison> t = {
+      {Kernel::IS, 63.63, 58.87},   {Kernel::MG, 1382.91, 1175.69},
+      {Kernel::EP, 40.76, 31.36},   {Kernel::CG, 213.82, 173.39},
+      {Kernel::FT, 1023.83, 797.09},
+  };
+  return t;
+}
+
+const std::vector<Sg2042Comparison>& table4_64_cores() {
+  static const std::vector<Sg2042Comparison> t = {
+      {Kernel::IS, 3038.14, 618.50},   {Kernel::MG, 32457.83, 14397.69},
+      {Kernel::EP, 2538.38, 1675.25},  {Kernel::CG, 7728.80, 3508.95},
+      {Kernel::FT, 22582.2, 8317.91},
+  };
+  return t;
+}
+
+const std::vector<PseudoAppRow>& table6() {
+  static const std::vector<PseudoAppRow> t = {
+      {Kernel::BT, 16, 0.79, 2.56, 2.60, 1.92},
+      {Kernel::BT, 26, 0.66, 2.35, 1.95, 1.77},
+      {Kernel::BT, 32, 0.66, 2.41, std::nullopt, 1.73},
+      {Kernel::BT, 64, 0.45, 1.90, std::nullopt, std::nullopt},
+      {Kernel::LU, 16, 0.85, 3.09, 3.52, 2.43},
+      {Kernel::LU, 26, 0.88, 2.80, 2.77, 2.29},
+      {Kernel::LU, 32, 0.81, 2.76, std::nullopt, 2.39},
+      {Kernel::LU, 64, 0.69, 2.05, std::nullopt, std::nullopt},
+      {Kernel::SP, 16, 0.79, 3.99, 3.07, 2.87},
+      {Kernel::SP, 26, 0.57, 3.56, 1.99, 2.05},
+      {Kernel::SP, 32, 0.63, 3.30, std::nullopt, 2.02},
+      {Kernel::SP, 64, 0.48, 2.05, std::nullopt, std::nullopt},
+  };
+  return t;
+}
+
+const std::vector<CompilerAblationRow>& table7_single_core() {
+  static const std::vector<CompilerAblationRow> t = {
+      {Kernel::IS, 62.94, 63.63, 62.75},
+      {Kernel::MG, 1373.31, 1382.92, 1300.27},
+      {Kernel::EP, 40.56, 40.76, 40.75},
+      {Kernel::CG, 210.06, 81.19, 217.53},
+      {Kernel::FT, 887.43, 1023.83, 982.93},
+  };
+  return t;
+}
+
+const std::vector<CompilerAblationRow>& table8_64_cores() {
+  static const std::vector<CompilerAblationRow> t = {
+      {Kernel::IS, 2255.72, 3038.14, 3024.63},
+      {Kernel::MG, 32186.04, 32457.83, 31892.70},
+      {Kernel::EP, 2529.91, 2542.53, 2538.38},
+      {Kernel::CG, 7709.53, 4463.18, 7728.80},
+      {Kernel::FT, 20796.20, 22582.20, 21282.00},
+  };
+  return t;
+}
+
+StreamAnchors figure1() { return {}; }
+ScalingAnchors figure_anchors() { return {}; }
+CgUnrollAblation cg_unroll() { return {}; }
+
+}  // namespace rvhpc::model::paper

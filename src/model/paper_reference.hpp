@@ -1,0 +1,91 @@
+#pragma once
+// rvhpc::model — the paper's published numbers, in one place.
+//
+// Every quantitative value from the paper's tables (and the figure
+// statements made in its prose) lives here so that benches can print
+// paper-vs-reproduced side by side and tests can assert shape agreement.
+// Values are transcribed from the SC'25 text; "DNR" (did not run) entries
+// are represented by a missing optional.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/registry.hpp"
+#include "model/workload.hpp"
+
+namespace rvhpc::model::paper {
+
+/// Table 1 — NPB memory behaviour on the Xeon Platinum 8170 (from [3]).
+struct StallProfile {
+  Kernel kernel;
+  double cache_stall_pct;      ///< % clock ticks stalled on cache
+  double ddr_stall_pct;        ///< % clock ticks stalled on DRAM
+  double ddr_bw_bound_pct;     ///< % time DDR bandwidth utilisation high
+};
+[[nodiscard]] const std::vector<StallProfile>& table1();
+
+/// Table 2 — single-core class B Mop/s across RISC-V machines.
+struct SingleCoreRow {
+  Kernel kernel;
+  arch::MachineId machine;
+  std::optional<double> mops;  ///< nullopt = DNR (FT on the Allwinner D1)
+};
+[[nodiscard]] const std::vector<SingleCoreRow>& table2();
+/// Table 2 lookup; nullopt when the paper has no value or reports DNR.
+[[nodiscard]] std::optional<double> table2_mops(Kernel k, arch::MachineId m);
+
+/// Tables 3/4 — SG2044 vs SG2042, class C Mop/s at 1 and 64 cores.
+struct Sg2042Comparison {
+  Kernel kernel;
+  double sg2044_mops;
+  double sg2042_mops;
+};
+[[nodiscard]] const std::vector<Sg2042Comparison>& table3_single_core();
+[[nodiscard]] const std::vector<Sg2042Comparison>& table4_64_cores();
+
+/// Table 6 — pseudo-applications: times-faster-than-SG2044 per CPU and
+/// core count (class C).  nullopt where the CPU has fewer cores.
+struct PseudoAppRow {
+  Kernel kernel;
+  int cores;
+  std::optional<double> sg2042;
+  std::optional<double> epyc;
+  std::optional<double> skylake;
+  std::optional<double> thunderx2;
+};
+[[nodiscard]] const std::vector<PseudoAppRow>& table6();
+
+/// Tables 7/8 — SG2044 compiler/vectorisation ablation, class C Mop/s.
+struct CompilerAblationRow {
+  Kernel kernel;
+  double gcc12;         ///< GCC 12.3.1 (openEuler default)
+  double gcc15_vector;  ///< GCC 15.2, vectorisation enabled
+  double gcc15_scalar;  ///< GCC 15.2, vectorisation disabled
+};
+[[nodiscard]] const std::vector<CompilerAblationRow>& table7_single_core();
+[[nodiscard]] const std::vector<CompilerAblationRow>& table8_64_cores();
+
+/// Figure 1 prose anchors — STREAM copy bandwidth behaviour.
+struct StreamAnchors {
+  double similar_up_to_cores = 8;     ///< both CPUs comparable to here
+  double sg2044_over_sg2042_at_64 = 3.0;  ///< ">3x" at 64 cores
+};
+[[nodiscard]] StreamAnchors figure1();
+
+/// §5 prose anchors for the scaling figures (single-core ratios vs SG2044).
+struct ScalingAnchors {
+  double is_epyc_over_sg2044_1core = 2.0;     ///< "around twice"
+  double is_skylake_over_sg2044_1core = 3.0;  ///< "around three times"
+};
+[[nodiscard]] ScalingAnchors figure_anchors();
+
+/// §6 prose — CG matrix-vector unroll ablation (vectorised, single core,
+/// relative to the default vectorised version).
+struct CgUnrollAblation {
+  double unroll2_speedup = 1.12;
+  double unroll8_speedup = 1.64;
+};
+[[nodiscard]] CgUnrollAblation cg_unroll();
+
+}  // namespace rvhpc::model::paper

@@ -1,0 +1,64 @@
+#pragma once
+// rvhpc::model — top-level performance predictor.
+//
+// predict() is the library's primary entry point: given a machine, a
+// workload signature and a build configuration it returns the modelled
+// runtime, the Mop/s rate the paper's tables report, and a breakdown of
+// where the time went.  Every reproduced table and figure in bench/ is a
+// sweep over this function.
+
+#include <string>
+
+#include "arch/machine.hpp"
+#include "model/compiler.hpp"
+#include "model/scaling.hpp"
+#include "model/singlecore.hpp"
+#include "model/workload.hpp"
+
+namespace rvhpc::model {
+
+/// Which modelled resource dominated the runtime.
+enum class Bottleneck : std::uint8_t { Compute, StreamBandwidth, Latency, Sync };
+
+[[nodiscard]] std::string to_string(Bottleneck b);
+
+/// Execution configuration for one prediction.
+struct RunConfig {
+  int cores = 1;
+  CompilerConfig compiler{};
+  ThreadPlacement placement = ThreadPlacement::OsDefault;
+};
+
+/// Time decomposition of a prediction (seconds of the critical path).
+struct TimeBreakdown {
+  double compute_s = 0.0;   ///< retired-instruction time
+  double stream_s = 0.0;    ///< streamed DRAM traffic time
+  double latency_s = 0.0;   ///< latency-bound access time
+  double sync_s = 0.0;      ///< barriers / fork-join
+  double imbalance = 1.0;   ///< multiplier applied to the parallel part
+  Bottleneck dominant = Bottleneck::Compute;
+};
+
+/// Result of one modelled run.
+struct Prediction {
+  bool ran = true;            ///< false => DNR (paper Table 2 on the D1)
+  std::string dnr_reason;
+  double seconds = 0.0;
+  double mops = 0.0;          ///< the paper's reporting unit
+  double achieved_bw_gbs = 0.0;  ///< streamed DRAM bandwidth actually drawn
+  VectorOutcome vector;
+  TimeBreakdown breakdown;
+};
+
+/// Models one run of `sig` on `m` under `cfg`.
+[[nodiscard]] Prediction predict(const arch::MachineModel& m,
+                                 const WorkloadSignature& sig,
+                                 const RunConfig& cfg);
+
+/// Convenience: prediction with the compiler the paper used on `m` and the
+/// paper's OpenMP setup.
+[[nodiscard]] Prediction predict_paper_setup(const arch::MachineModel& m,
+                                             const WorkloadSignature& sig,
+                                             int cores);
+
+}  // namespace rvhpc::model

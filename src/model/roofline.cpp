@@ -1,0 +1,35 @@
+#include "model/roofline.hpp"
+
+#include <algorithm>
+
+#include "model/scaling.hpp"
+#include "model/singlecore.hpp"
+
+namespace rvhpc::model {
+
+Roofline roofline(const arch::MachineModel& m, int cores,
+                  const CompilerConfig& cc) {
+  Roofline r;
+  // A fully-vectorisable streaming workload defines the compute roof.
+  WorkloadSignature ideal;
+  ideal.kernel = Kernel::StreamTriad;
+  ideal.cycles_per_op = 1.0;
+  ideal.vectorisable_fraction = 1.0;
+  ideal.vector_elem_parallelism = 1e9;
+  r.peak_gops = core_ops_per_second(m, ideal, cc) * cores / 1e9;
+  r.bandwidth_gbs = chip_stream_bw_gbs(m, cores, ThreadPlacement::OsDefault);
+  r.balance_ops_per_byte =
+      r.bandwidth_gbs > 0.0 ? r.peak_gops / r.bandwidth_gbs : 0.0;
+  return r;
+}
+
+double attainable_gops(const Roofline& r, double ops_per_byte) {
+  return std::min(r.peak_gops, std::max(ops_per_byte, 0.0) * r.bandwidth_gbs);
+}
+
+double arithmetic_intensity(const WorkloadSignature& sig) {
+  if (sig.streamed_bytes_per_op <= 0.0) return 1e9;  // compute bound
+  return 1.0 / sig.streamed_bytes_per_op;
+}
+
+}  // namespace rvhpc::model

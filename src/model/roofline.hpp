@@ -1,0 +1,33 @@
+#pragma once
+// rvhpc::model — roofline utilities.
+//
+// Classic roofline analysis on top of the machine models: peak compute,
+// sustained bandwidth, the machine balance point, and attainable
+// performance for a given arithmetic intensity.  Used by the examples and
+// by tests as an independent cross-check of the full predictor.
+
+#include "arch/machine.hpp"
+#include "model/compiler.hpp"
+#include "model/workload.hpp"
+
+namespace rvhpc::model {
+
+/// A machine's roofline at a given active core count.
+struct Roofline {
+  double peak_gops = 0.0;       ///< compute roof (giga-ops/s, vector incl.)
+  double bandwidth_gbs = 0.0;   ///< streaming roof
+  double balance_ops_per_byte = 0.0;  ///< intensity where the roofs cross
+};
+
+/// Builds the roofline for `cores` active cores of `m` under compiler `cc`.
+[[nodiscard]] Roofline roofline(const arch::MachineModel& m, int cores,
+                                const CompilerConfig& cc);
+
+/// Attainable ops/s at arithmetic intensity `ops_per_byte`:
+/// min(peak, intensity x bandwidth).
+[[nodiscard]] double attainable_gops(const Roofline& r, double ops_per_byte);
+
+/// Arithmetic intensity of a workload signature (ops per streamed byte).
+[[nodiscard]] double arithmetic_intensity(const WorkloadSignature& sig);
+
+}  // namespace rvhpc::model

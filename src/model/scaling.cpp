@@ -1,0 +1,92 @@
+#include "model/scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rvhpc::model {
+
+std::string to_string(ThreadPlacement p) {
+  switch (p) {
+    case ThreadPlacement::OsDefault: return "os-default";
+    case ThreadPlacement::Spread:    return "spread";
+    case ThreadPlacement::Close:     return "close";
+  }
+  return "unknown";
+}
+
+double soft_min(double a, double b, double p) {
+  a = std::max(a, 1e-12);
+  b = std::max(b, 1e-12);
+  // Harmonic-power soft minimum: exact min as p -> infinity, ~16% below the
+  // binding limit right at the knee for p = 5.  Normalised by the smaller
+  // operand so extreme magnitudes cannot overflow/underflow the powers.
+  const double m = std::min(a, b);
+  const double ra = a / m, rb = b / m;
+  return m * std::pow(std::pow(ra, -p) + std::pow(rb, -p), -1.0 / p);
+}
+
+double placement_bw_factor(const arch::MachineModel& m, int cores,
+                           ThreadPlacement placement) {
+  const auto& mem = m.memory;
+  switch (placement) {
+    case ThreadPlacement::OsDefault:
+      // Unbound threads migrate and end up spreading load across all
+      // controllers; on the SG2044 the paper found this the best policy.
+      return 1.0;
+    case ThreadPlacement::Spread:
+      // Pinned-but-spread exercises every controller too, with a small
+      // penalty for losing the OS's dynamic rebalancing.
+      return 0.97;
+    case ThreadPlacement::Close: {
+      // Densely packed threads only reach the controllers of the NUMA
+      // regions they occupy until the chip fills up.
+      if (mem.numa_regions <= 1) return 0.95;
+      const double cores_per_region =
+          static_cast<double>(m.cores) / mem.numa_regions;
+      const double regions_used =
+          std::min<double>(mem.numa_regions,
+                           std::ceil(static_cast<double>(cores) / cores_per_region));
+      return regions_used / mem.numa_regions;
+    }
+  }
+  return 1.0;
+}
+
+double chip_stream_bw_gbs(const arch::MachineModel& m, int cores,
+                          ThreadPlacement placement) {
+  const double demand = cores * m.memory.per_core_bw_gbs;
+  const double supply =
+      m.memory.chip_stream_bw_gbs() * placement_bw_factor(m, cores, placement);
+  return soft_min(demand, supply);
+}
+
+double chip_random_cap(const arch::MachineModel& m, double loaded_latency_s) {
+  const double outstanding = static_cast<double>(m.memory.controllers) *
+                             m.memory.controller_queue_depth;
+  return outstanding / std::max(loaded_latency_s, 1e-12);
+}
+
+double loaded_dram_latency_s(const arch::MachineModel& m, double u) {
+  u = std::clamp(u, 0.0, 0.95);
+  // Quadratic queueing inflation; roughly x2 near 90% utilisation, matching
+  // the plateau severity observed on the SG2042.
+  return m.memory.idle_latency_ns * 1e-9 * (1.0 + 1.4 * u * u);
+}
+
+double sync_cost_s(const arch::MachineModel& m, const WorkloadSignature& sig,
+                   int cores) {
+  if (cores <= 1) return 0.0;
+  // Centralised-then-tree barrier model: base fork cost plus a log term;
+  // slower uncore clocks pay proportionally more.
+  const double clock_scale = 2.5 / std::max(m.core.clock_ghz, 0.1);
+  const double per_sync_us = (1.2 + 0.5 * std::log2(static_cast<double>(cores))) *
+                             clock_scale;
+  return sig.global_syncs * per_sync_us * 1e-6;
+}
+
+double imbalance_factor(const WorkloadSignature& sig, int cores) {
+  if (cores <= 1) return 1.0;
+  return 1.0 + sig.imbalance_coeff * std::log2(static_cast<double>(cores));
+}
+
+}  // namespace rvhpc::model

@@ -1,0 +1,59 @@
+#pragma once
+// rvhpc::model — multicore aggregation.
+//
+// The paper's central result is a scaling story: the SG2042's four memory
+// controllers saturate between 8 and 16 cores while the SG2044's 32 keep
+// scaling (Fig. 1), which is what turns a 1.08-1.30x single-core edge into
+// a 1.52-4.91x 64-core edge (Tables 3/4).  This module holds the chip-level
+// resource curves that produce that behaviour.
+
+#include "arch/machine.hpp"
+#include "model/workload.hpp"
+
+namespace rvhpc::model {
+
+/// Thread placement policies explored in §5.2 (OMP_PROC_BIND/OMP_PLACES).
+enum class ThreadPlacement : std::uint8_t {
+  OsDefault,   ///< unbound; OS migrates threads (best on the SG2044)
+  Spread,      ///< pinned round-robin across the chip
+  Close,       ///< pinned densely, filling clusters/NUMA regions in order
+};
+
+[[nodiscard]] std::string to_string(ThreadPlacement p);
+
+/// Smooth minimum with a hard-knee limit: approaches min(a, b) with a knee
+/// sharpness p (higher = sharper).  Used for resource saturation so scaling
+/// curves bend rather than kink.
+[[nodiscard]] double soft_min(double a, double b, double p = 5.0);
+
+/// Chip streaming bandwidth available to `cores` active cores (GB/s):
+/// soft-min of demand-side (cores x per-core link) and supply-side
+/// (channels x channel bandwidth x efficiency), scaled by the placement's
+/// controller-utilisation factor.
+[[nodiscard]] double chip_stream_bw_gbs(const arch::MachineModel& m, int cores,
+                                        ThreadPlacement placement);
+
+/// Fraction of the machine's controllers a placement can exercise with
+/// `cores` active threads (the NUMA/controller-spread effect of §5.2).
+[[nodiscard]] double placement_bw_factor(const arch::MachineModel& m, int cores,
+                                         ThreadPlacement placement);
+
+/// Chip-wide cap on latency-bound accesses/second that must leave the LLC:
+/// controllers x queue depth / loaded DRAM latency.  This is the wall the
+/// SG2042 hits on IS.
+[[nodiscard]] double chip_random_cap(const arch::MachineModel& m,
+                                     double loaded_dram_latency_s);
+
+/// DRAM latency under load: idle latency inflated by queueing as estimated
+/// utilisation `u` in [0,1) approaches saturation.
+[[nodiscard]] double loaded_dram_latency_s(const arch::MachineModel& m, double u);
+
+/// Cost in seconds of the run's global synchronisations (fork/join and
+/// barriers) with `cores` threads.
+[[nodiscard]] double sync_cost_s(const arch::MachineModel& m,
+                                 const WorkloadSignature& sig, int cores);
+
+/// Load-imbalance multiplier (>= 1) on the parallel portion.
+[[nodiscard]] double imbalance_factor(const WorkloadSignature& sig, int cores);
+
+}  // namespace rvhpc::model

@@ -1,0 +1,80 @@
+#include "model/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rvhpc::model {
+
+const std::vector<std::string>& sensitivity_parameters() {
+  static const std::vector<std::string> v = {
+      "core.clock_ghz",
+      "core.sustained_scalar_opc",
+      "core.miss_level_parallelism",
+      "core.vector.gather_efficiency",
+      "memory.stream_efficiency",
+      "memory.per_core_bw_gbs",
+      "memory.idle_latency_ns",
+      "memory.controller_queue_depth",
+  };
+  return v;
+}
+
+arch::MachineModel perturbed(const arch::MachineModel& m,
+                             const std::string& parameter, double factor) {
+  arch::MachineModel out = m;
+  if (parameter == "core.clock_ghz") {
+    out.core.clock_ghz *= factor;
+  } else if (parameter == "core.sustained_scalar_opc") {
+    out.core.sustained_scalar_opc *= factor;
+  } else if (parameter == "core.miss_level_parallelism") {
+    out.core.miss_level_parallelism = std::max(
+        1, static_cast<int>(std::lround(m.core.miss_level_parallelism * factor)));
+  } else if (parameter == "core.vector.gather_efficiency") {
+    out.core.vector.gather_efficiency =
+        std::min(1.0, m.core.vector.gather_efficiency * factor);
+  } else if (parameter == "memory.stream_efficiency") {
+    out.memory.stream_efficiency =
+        std::min(1.0, m.memory.stream_efficiency * factor);
+  } else if (parameter == "memory.per_core_bw_gbs") {
+    out.memory.per_core_bw_gbs = m.memory.per_core_bw_gbs * factor;
+  } else if (parameter == "memory.idle_latency_ns") {
+    out.memory.idle_latency_ns = m.memory.idle_latency_ns * factor;
+  } else if (parameter == "memory.controller_queue_depth") {
+    out.memory.controller_queue_depth = std::max(
+        1,
+        static_cast<int>(std::lround(m.memory.controller_queue_depth * factor)));
+  } else {
+    throw std::invalid_argument("sensitivity: unknown parameter '" + parameter +
+                                "'");
+  }
+  return out;
+}
+
+std::vector<Sensitivity> sensitivities(const arch::MachineModel& m,
+                                       const WorkloadSignature& sig,
+                                       const RunConfig& cfg,
+                                       double relative_step) {
+  std::vector<Sensitivity> out;
+  for (const std::string& p : sensitivity_parameters()) {
+    // Integer-valued parameters need a step big enough to actually move
+    // them (MLP of 5 does not change under a 5% perturbation).
+    const bool integral = p.find("parallelism") != std::string::npos ||
+                          p.find("queue_depth") != std::string::npos;
+    const double h =
+        std::max(integral ? 0.2 : relative_step, 1e-3);
+    const Prediction up = predict(perturbed(m, p, 1.0 + h), sig, cfg);
+    const Prediction down = predict(perturbed(m, p, 1.0 - h), sig, cfg);
+    if (!up.ran || !down.ran || up.mops <= 0.0 || down.mops <= 0.0) continue;
+    // Central difference in log-log space.
+    const double e = (std::log(up.mops) - std::log(down.mops)) /
+                     (std::log(1.0 + h) - std::log(1.0 - h));
+    out.push_back({p, e});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return std::fabs(a.elasticity) > std::fabs(b.elasticity);
+  });
+  return out;
+}
+
+}  // namespace rvhpc::model

@@ -1,0 +1,42 @@
+#pragma once
+// rvhpc::model — parameter sensitivity analysis.
+//
+// The paper's explanations are causal claims ("the 32 memory controllers
+// are why IS scales", "RVV 1.0 is why EP gained").  This module makes the
+// model's version of those claims quantitative: the elasticity of a
+// prediction with respect to each continuous machine parameter,
+//     e = d log(Mop/s) / d log(parameter),
+// estimated by central finite differences.  e ~ 1 means "performance is
+// proportional to this parameter"; e ~ 0 means "does not matter here".
+
+#include <string>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "model/predictor.hpp"
+
+namespace rvhpc::model {
+
+/// One parameter's elasticity for a given (machine, workload, cores).
+struct Sensitivity {
+  std::string parameter;   ///< e.g. "core.clock_ghz"
+  double elasticity = 0.0; ///< d log mops / d log parameter
+};
+
+/// The continuous machine parameters the analysis perturbs.
+[[nodiscard]] const std::vector<std::string>& sensitivity_parameters();
+
+/// Elasticities of predict(m, sig, cfg).mops w.r.t. every parameter in
+/// sensitivity_parameters(), sorted by |elasticity| descending.
+/// `relative_step` is the multiplicative perturbation (default 5%).
+[[nodiscard]] std::vector<Sensitivity> sensitivities(
+    const arch::MachineModel& m, const WorkloadSignature& sig,
+    const RunConfig& cfg, double relative_step = 0.05);
+
+/// Returns a copy of `m` with `parameter` multiplied by `factor`; throws
+/// std::invalid_argument for unknown parameter names.
+[[nodiscard]] arch::MachineModel perturbed(const arch::MachineModel& m,
+                                           const std::string& parameter,
+                                           double factor);
+
+}  // namespace rvhpc::model

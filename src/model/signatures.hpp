@@ -1,0 +1,30 @@
+#pragma once
+// rvhpc::model — calibrated workload signatures for the paper's benchmarks.
+//
+// One signature per (kernel, problem class).  Structural quantities (key
+// counts, grid sizes, iteration counts, footprints) follow the NPB 3.x
+// class definitions; per-op resource demands (cycles, bytes, access
+// pattern) are calibrated once against the paper's SG2044 measurements and
+// then reused verbatim for every other machine — the cross-machine tables
+// are predictions, not fits.
+
+#include <vector>
+
+#include "model/workload.hpp"
+
+namespace rvhpc::model {
+
+/// The signature of `kernel` at `cls`.  Throws std::invalid_argument for
+/// combinations the suite does not define.
+[[nodiscard]] WorkloadSignature signature(Kernel kernel, ProblemClass cls);
+
+/// The five NPB kernels the paper's Tables 2-4, 7-8 and Figures 2-6 use.
+[[nodiscard]] const std::vector<Kernel>& npb_kernels();
+
+/// The three pseudo-applications of Table 6.
+[[nodiscard]] const std::vector<Kernel>& npb_pseudo_apps();
+
+/// All eight NPB benchmarks in suite order.
+[[nodiscard]] const std::vector<Kernel>& npb_all();
+
+}  // namespace rvhpc::model

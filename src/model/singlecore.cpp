@@ -1,0 +1,117 @@
+#include "model/singlecore.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rvhpc::model {
+
+VectorOutcome vector_outcome(const arch::MachineModel& m,
+                             const WorkloadSignature& sig,
+                             const CompilerConfig& cc) {
+  VectorOutcome out;
+  const arch::VectorUnit& v = m.core.vector;
+  if (!cc.vectorise || !v.usable() || !can_target(cc.id, v.isa) ||
+      sig.vectorisable_fraction <= 0.0) {
+    return out;  // scalar execution
+  }
+  out.vectorised = true;
+
+  double vf = std::clamp(sig.vectorisable_fraction, 0.0, 1.0);
+  double g = std::clamp(sig.gather_fraction, 0.0, 1.0);
+  if (!gather_autovec(cc.id)) {
+    // Older vectorisers leave indexed loops scalar: the gather share of
+    // the work simply stays on the scalar path.
+    vf *= (1.0 - g);
+    g = 0.0;
+  }
+
+  const double quality = autovec_quality(cc.id, v.isa);
+  const bool rvv = v.isa == arch::VectorIsa::RvvV1_0 ||
+                   v.isa == arch::VectorIsa::RvvV0_7;
+  // The RVV derate models *coverage*: the share of profitable loops the
+  // young VLA backend manages to vectorise at all.  The loops it does
+  // vectorise run at full quality; the rest stay scalar.
+  if (rvv) vf *= std::clamp(sig.rvv_codegen_derate, 0.05, 1.0);
+  const double lanes =
+      static_cast<double>(v.width_bits) / static_cast<double>(sig.element_bits);
+
+  // Unit-stride loops use every pipe; capped by the element-level
+  // parallelism the kernel's loop structure exposes.
+  out.unit_stride_speedup =
+      std::min(lanes * v.pipes * quality, sig.vector_elem_parallelism);
+  out.unit_stride_speedup = std::max(out.unit_stride_speedup, 0.05);
+
+  // Indexed (gather/scatter) loops: one element per lane at the machine's
+  // gather efficiency, extra pipes do not help.  On the C920v2 this lands
+  // below 1.0 — vectorising makes the loop *slower*, the paper's §6 CG
+  // pathology.
+  out.gather_speedup = std::max(lanes * v.gather_efficiency * quality, 0.05);
+
+  const double vec_combined =
+      1.0 / ((1.0 - g) / out.unit_stride_speedup + g / out.gather_speedup);
+
+  out.blended_speedup = 1.0 / ((1.0 - vf) + vf / vec_combined);
+  return out;
+}
+
+double core_ops_per_second(const arch::MachineModel& m,
+                           const WorkloadSignature& sig,
+                           const CompilerConfig& cc) {
+  const double blend = vector_outcome(m, sig, cc).blended_speedup;
+  double opc = m.core.sustained_scalar_opc *
+               scalar_quality(cc.id, sig.kernel) * blend;
+  if (sig.complex_control) opc *= m.core.complex_loop_efficiency;
+  return m.core.clock_ghz * 1e9 * opc / std::max(sig.cycles_per_op, 1e-9);
+}
+
+double random_access_latency_s(const arch::MachineModel& m,
+                               const WorkloadSignature& sig,
+                               double dram_latency_s) {
+  const double clock_hz = m.core.clock_ghz * 1e9;
+  const double llc_latency_s =
+      m.caches.empty() ? 1.0 / clock_hz : m.caches.back().latency_cycles / clock_hz;
+  const double p = effective_llc_hit_fraction(m, sig);
+  return p * llc_latency_s + (1.0 - p) * dram_latency_s;
+}
+
+double effective_llc_hit_fraction(const arch::MachineModel& m,
+                                  const WorkloadSignature& sig) {
+  double p = std::clamp(sig.random_llc_hit_fraction, 0.0, 1.0);
+  // Capacity cap: when the randomly-touched footprint exceeds the LLC the
+  // hit fraction cannot be sustained (CG's x vector vs the D1's 256 KiB).
+  // Streaming traffic bigger than the LLC halves the capacity effectively
+  // available to the random set — the matrix stream and the gathered x
+  // fight for the same ways.
+  const double footprint = sig.random_footprint_mib * 1024.0 * 1024.0;
+  double llc = static_cast<double>(m.llc_bytes());
+  if (sig.working_set_mib * 1024.0 * 1024.0 > llc) llc *= 0.5;
+  if (footprint > 0.0 && llc > 0.0 && footprint > llc) {
+    p *= std::pow(llc / footprint,
+                  std::clamp(sig.capacity_sensitivity, 0.0, 2.0));
+  }
+  return p;
+}
+
+double core_random_rate(const arch::MachineModel& m,
+                        const WorkloadSignature& sig,
+                        double dram_latency_s) {
+  // In-order cores cannot speculate past a stalled dependent load, so they
+  // realise almost none of their nominal miss parallelism on chained
+  // accesses — a large part of why CG collapses on the small boards.
+  // Independent access streams (IS) still overlap via non-blocking caches.
+  const double order_factor =
+      (!m.core.out_of_order && sig.dependent_chain) ? 0.25 : 1.0;
+  const double mlp =
+      std::max(1.0, m.core.miss_level_parallelism * order_factor *
+                        std::clamp(sig.random_overlap, 0.0, 1.0));
+  double lat = random_access_latency_s(m, sig, dram_latency_s);
+  // An in-order pipeline also pays the full load-use + FP dependence chain
+  // (~10 cycles) on every element of a chained access stream.
+  if (!m.core.out_of_order && sig.dependent_chain) {
+    lat += 10.0 / (m.core.clock_ghz * 1e9);
+  }
+  return mlp / std::max(lat, 1e-12);
+}
+
+}  // namespace rvhpc::model

@@ -1,0 +1,54 @@
+#pragma once
+// rvhpc::model — single-core throughput building blocks.
+//
+// These functions turn (machine, signature, compiler) into the per-core
+// rates the multicore scaling model aggregates: effective operations per
+// cycle after vectorisation, and the latency-bound random-access rate.
+
+#include "arch/machine.hpp"
+#include "model/compiler.hpp"
+#include "model/workload.hpp"
+
+namespace rvhpc::model {
+
+/// How the vector unit changes execution speed for one workload.
+struct VectorOutcome {
+  bool vectorised = false;     ///< compiler emitted vector code at all
+  double unit_stride_speedup = 1.0;  ///< speed-up of unit-stride vector loops
+  double gather_speedup = 1.0;       ///< speed-up (often <1) of indexed loops
+  double blended_speedup = 1.0;      ///< Amdahl blend over the whole kernel
+};
+
+/// Evaluates the compiler x vector-unit interaction for `sig` on `m`.
+/// blended_speedup multiplies the scalar op/cycle; values below 1 model the
+/// paper's CG-on-RVV pathology where vectorised code is slower (§6).
+[[nodiscard]] VectorOutcome vector_outcome(const arch::MachineModel& m,
+                                           const WorkloadSignature& sig,
+                                           const CompilerConfig& cc);
+
+/// Sustained operations/second of one core: clock x scalar op/cycle x
+/// compiler scalar quality x vector blend.
+[[nodiscard]] double core_ops_per_second(const arch::MachineModel& m,
+                                         const WorkloadSignature& sig,
+                                         const CompilerConfig& cc);
+
+/// The LLC hit fraction the workload's latency-bound accesses actually
+/// sustain on `m`: the signature's base fraction, capacity-capped when the
+/// random footprint exceeds the machine's LLC.
+[[nodiscard]] double effective_llc_hit_fraction(const arch::MachineModel& m,
+                                                const WorkloadSignature& sig);
+
+/// Effective latency (seconds) of one of the workload's latency-bound
+/// accesses: a hit-fraction blend of LLC latency and (optionally loaded)
+/// DRAM latency.
+[[nodiscard]] double random_access_latency_s(const arch::MachineModel& m,
+                                             const WorkloadSignature& sig,
+                                             double dram_latency_s);
+
+/// Latency-bound accesses/second one core sustains given the overlap the
+/// access pattern and the core's miss handling allow.
+[[nodiscard]] double core_random_rate(const arch::MachineModel& m,
+                                      const WorkloadSignature& sig,
+                                      double dram_latency_s);
+
+}  // namespace rvhpc::model

@@ -1,0 +1,45 @@
+#include "model/sweep.hpp"
+
+namespace rvhpc::model {
+
+std::vector<int> power_of_two_cores(int max_cores) {
+  std::vector<int> v;
+  for (int n = 1; n < max_cores; n *= 2) v.push_back(n);
+  v.push_back(max_cores);
+  return v;
+}
+
+ScalingSeries scale_cores(arch::MachineId id, Kernel kernel, ProblemClass cls) {
+  const arch::MachineModel& m = arch::machine(id);
+  RunConfig cfg;
+  cfg.compiler = paper_default_compiler(m);
+  if (kernel == Kernel::CG && m.name == "sg2044") cfg.compiler.vectorise = false;
+  return scale_cores(id, kernel, cls, cfg);
+}
+
+ScalingSeries scale_cores(arch::MachineId id, Kernel kernel, ProblemClass cls,
+                          RunConfig cfg) {
+  const arch::MachineModel& m = arch::machine(id);
+  const WorkloadSignature sig = signature(kernel, cls);
+  ScalingSeries series{id, kernel, cls, {}};
+  for (int n : power_of_two_cores(m.cores)) {
+    cfg.cores = n;
+    series.points.push_back({n, predict(m, sig, cfg)});
+  }
+  return series;
+}
+
+Prediction at_cores(arch::MachineId id, Kernel kernel, ProblemClass cls,
+                    int cores) {
+  return predict_paper_setup(arch::machine(id), signature(kernel, cls), cores);
+}
+
+double times_faster(arch::MachineId id, arch::MachineId baseline, Kernel kernel,
+                    ProblemClass cls, int cores) {
+  const Prediction a = at_cores(id, kernel, cls, cores);
+  const Prediction b = at_cores(baseline, kernel, cls, cores);
+  if (!a.ran || !b.ran || a.seconds <= 0.0) return 0.0;
+  return b.seconds / a.seconds;
+}
+
+}  // namespace rvhpc::model

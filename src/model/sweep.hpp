@@ -1,0 +1,52 @@
+#pragma once
+// rvhpc::model — sweep drivers used by the bench harness.
+//
+// Thin loops over predict() that produce the row/series structures the
+// paper's tables and figures need: core-count scaling curves, machine
+// comparisons at fixed core counts, and compiler ablations.
+
+#include <vector>
+
+#include "arch/registry.hpp"
+#include "model/predictor.hpp"
+#include "model/signatures.hpp"
+
+namespace rvhpc::model {
+
+/// One point of a scaling curve.
+struct ScalingPoint {
+  int cores = 1;
+  Prediction prediction;
+};
+
+/// One machine's scaling series for a kernel.
+struct ScalingSeries {
+  arch::MachineId machine;
+  Kernel kernel;
+  ProblemClass problem_class;
+  std::vector<ScalingPoint> points;
+};
+
+/// Power-of-two core counts (1, 2, 4, ... max), always including max —
+/// the x-axis the paper's Figures 1-6 use.
+[[nodiscard]] std::vector<int> power_of_two_cores(int max_cores);
+
+/// Scaling curve of `kernel` at `cls` on `id` with the paper's setup.
+[[nodiscard]] ScalingSeries scale_cores(arch::MachineId id, Kernel kernel,
+                                        ProblemClass cls);
+
+/// As scale_cores, but with an explicit compiler/placement configuration
+/// (core count in `cfg` is ignored; the sweep sets it).
+[[nodiscard]] ScalingSeries scale_cores(arch::MachineId id, Kernel kernel,
+                                        ProblemClass cls, RunConfig cfg);
+
+/// The paper-setup prediction at exactly `cores` cores.
+[[nodiscard]] Prediction at_cores(arch::MachineId id, Kernel kernel,
+                                  ProblemClass cls, int cores);
+
+/// Speed-up of `id` over `baseline` at `cores` (runtime ratio, >1 means
+/// `id` is faster) — the framing of Tables 3, 4 and 6.
+[[nodiscard]] double times_faster(arch::MachineId id, arch::MachineId baseline,
+                                  Kernel kernel, ProblemClass cls, int cores);
+
+}  // namespace rvhpc::model

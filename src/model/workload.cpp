@@ -1,0 +1,34 @@
+#include "model/workload.hpp"
+
+namespace rvhpc::model {
+
+std::string to_string(Kernel k) {
+  switch (k) {
+    case Kernel::IS: return "IS";
+    case Kernel::MG: return "MG";
+    case Kernel::EP: return "EP";
+    case Kernel::CG: return "CG";
+    case Kernel::FT: return "FT";
+    case Kernel::BT: return "BT";
+    case Kernel::LU: return "LU";
+    case Kernel::SP: return "SP";
+    case Kernel::StreamCopy:  return "STREAM-copy";
+    case Kernel::StreamTriad: return "STREAM-triad";
+    case Kernel::Hpl:         return "HPL";
+    case Kernel::Hpcg:        return "HPCG";
+  }
+  return "unknown";
+}
+
+std::string to_string(ProblemClass c) {
+  switch (c) {
+    case ProblemClass::S: return "S";
+    case ProblemClass::W: return "W";
+    case ProblemClass::A: return "A";
+    case ProblemClass::B: return "B";
+    case ProblemClass::C: return "C";
+  }
+  return "?";
+}
+
+}  // namespace rvhpc::model

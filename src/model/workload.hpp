@@ -1,0 +1,113 @@
+#pragma once
+// rvhpc::model — workload signatures.
+//
+// A WorkloadSignature is the model's abstraction of one benchmark at one
+// problem size: how much work it does, what resources each unit of work
+// demands (core cycles, streamed DRAM bytes, latency-bound accesses), how
+// vectorisable it is, and how often it synchronises.  Signatures are
+// calibrated once per (kernel, class) against the paper's SG2044
+// measurements and are then shared unchanged across all eleven machines —
+// cross-machine agreement is the model's consistency check.
+
+#include <string>
+
+namespace rvhpc::model {
+
+/// The eight NAS Parallel Benchmarks plus the STREAM kernels.
+enum class Kernel : std::uint8_t {
+  IS,   ///< Integer Sort — memory-latency bound, random access
+  MG,   ///< Multi-Grid — memory-bandwidth bound stencil
+  EP,   ///< Embarrassingly Parallel — compute bound
+  CG,   ///< Conjugate Gradient — irregular access + neighbour comms
+  FT,   ///< 3-D FFT — all-to-all transposition
+  BT,   ///< Block Tridiagonal pseudo-application
+  LU,   ///< Lower-Upper Gauss-Seidel pseudo-application
+  SP,   ///< Scalar Pentadiagonal pseudo-application
+  StreamCopy,   ///< STREAM copy: pure data movement
+  StreamTriad,  ///< STREAM triad: a[i] = b[i] + q*c[i]
+  Hpl,          ///< Linpack-style dense LU (paper §7 future work)
+  Hpcg,         ///< HPCG-style preconditioned CG (paper §7 future work)
+};
+
+/// NPB problem classes (S < W < A < B < C).
+enum class ProblemClass : std::uint8_t { S, W, A, B, C };
+
+[[nodiscard]] std::string to_string(Kernel k);
+[[nodiscard]] std::string to_string(ProblemClass c);
+
+/// Resource demands of one benchmark at one problem size.
+///
+/// "op" below is the benchmark's own operation unit — the thing NPB counts
+/// when it reports Mop/s — so predicted rates are directly comparable with
+/// the paper's tables.
+struct WorkloadSignature {
+  Kernel kernel = Kernel::EP;
+  ProblemClass problem_class = ProblemClass::C;
+
+  double total_mop = 1.0;              ///< total work, millions of ops
+
+  // --- core demand -------------------------------------------------------
+  /// Core cycles per op on a reference core with sustained_scalar_opc == 1.
+  double cycles_per_op = 1.0;
+  /// Fraction of the cycle count that profitable auto-vectorisation covers.
+  double vectorisable_fraction = 0.0;
+  /// Cap on useful element-level parallelism in the vector loops (short
+  /// trip counts, dependencies); the achieved vector speed-up never exceeds
+  /// this regardless of vector width.
+  double vector_elem_parallelism = 8.0;
+  /// Fraction of the vectorised work that is indexed (gather/scatter);
+  /// executes at the machine's gather_efficiency per lane.
+  double gather_fraction = 0.0;
+  /// Element width the vector loops operate on (64 = double, 32 = int).
+  int element_bits = 64;
+  /// Multiplier on auto-vectoriser quality for *young RVV backends only*:
+  /// the deep loop nests of the pseudo-applications defeat GCC 15.2's VLA
+  /// codegen far more than its mature x86/Arm backends (Table 6).
+  double rvv_codegen_derate = 1.0;
+  /// True for the deep multi-array loop nests (BT/LU/SP); engages the
+  /// machine's complex_loop_efficiency.
+  bool complex_control = false;
+  /// Amdahl serial fraction of the compute (init, residual checks,
+  /// non-parallelised glue).
+  double serial_fraction = 0.0;
+  /// Fraction of DRAM traffic that is reads (engages read_bw_bonus).
+  double read_fraction = 0.5;
+
+  // --- memory demand ------------------------------------------------------
+  /// DRAM bytes streamed per op when the working set does not fit in LLC.
+  double streamed_bytes_per_op = 0.0;
+  /// Latency-bound (dependent / unpredictable) accesses per op.
+  double random_access_per_op = 0.0;
+  /// Fraction of the latency-bound accesses that hit in the last-level
+  /// cache (the rest go to DRAM).  Captures streaming pollution: IS's
+  /// histogram would fit the LLC, but the key stream keeps evicting it.
+  double random_llc_hit_fraction = 0.5;
+  /// Fraction of the core's miss-level parallelism the access pattern lets
+  /// hardware exploit (1 = fully independent accesses, ->0 = dependent
+  /// pointer-chase).
+  double random_overlap = 1.0;
+  /// True when the latency-bound accesses form a dependence chain with the
+  /// surrounding arithmetic (CG's gather->multiply->accumulate).  In-order
+  /// cores cannot speculate past such loads and lose almost all their miss
+  /// parallelism; independent streams (IS histogram updates) are unaffected.
+  bool dependent_chain = false;
+  /// How sharply the LLC hit fraction degrades once the random footprint
+  /// exceeds the available LLC: p *= (llc/footprint)^sensitivity.  Uniform
+  /// gathers (CG) degrade linearly (1.0); skewed histograms (IS) retain
+  /// locality (0.5).
+  double capacity_sensitivity = 1.0;
+  /// Footprint the random accesses land in (MiB); documentation + memsim.
+  double random_footprint_mib = 0.0;
+  /// Total data footprint (MiB); must fit DRAM or the run is DNR, and
+  /// determines whether streamed traffic is LLC-filtered.
+  double working_set_mib = 0.0;
+  /// Inter-thread communication bytes per op (CG halo, FT transpose);
+  /// materialises as extra memory traffic once more than one core runs.
+  double comm_bytes_per_op = 0.0;
+
+  // --- parallel structure --------------------------------------------------
+  double global_syncs = 100.0;   ///< #global barriers/fork-joins in the run
+  double imbalance_coeff = 0.02; ///< load imbalance growth with core count
+};
+
+}  // namespace rvhpc::model

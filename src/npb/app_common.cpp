@@ -1,0 +1,231 @@
+#include "npb/app_common.hpp"
+
+#include <omp.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace rvhpc::npb::app {
+
+AppParams app_params(ProblemClass cls) {
+  switch (cls) {
+    case ProblemClass::S: return {12, 20, 0.01, 0.05, {1.0, 0.8, 0.6}};
+    case ProblemClass::W: return {24, 20, 0.008, 0.05, {1.0, 0.8, 0.6}};
+    case ProblemClass::A: return {36, 30, 0.006, 0.05, {1.0, 0.8, 0.6}};
+    case ProblemClass::B: return {64, 40, 0.004, 0.05, {1.0, 0.8, 0.6}};
+    case ProblemClass::C: return {102, 50, 0.003, 0.05, {1.0, 0.8, 0.6}};
+  }
+  return {12, 20, 0.01, 0.05, {1.0, 0.8, 0.6}};
+}
+
+Block55 Block55::identity() {
+  Block55 b;
+  for (int i = 0; i < 5; ++i) b.at(i, i) = 1.0;
+  return b;
+}
+
+Block55 Block55::scaled(const Block55& k, double s) {
+  Block55 b = k;
+  for (double& x : b.m) x *= s;
+  return b;
+}
+
+Block55& Block55::operator+=(const Block55& o) {
+  for (std::size_t i = 0; i < m.size(); ++i) m[i] += o.m[i];
+  return *this;
+}
+
+Vec5 Block55::mul(const Vec5& v) const {
+  Vec5 out{};
+  for (int r = 0; r < 5; ++r) {
+    double s = 0.0;
+    for (int c = 0; c < 5; ++c) s += at(r, c) * v[static_cast<std::size_t>(c)];
+    out[static_cast<std::size_t>(r)] = s;
+  }
+  return out;
+}
+
+Block55 Block55::mul(const Block55& o) const {
+  Block55 out;
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 5; ++c) {
+      double s = 0.0;
+      for (int k = 0; k < 5; ++k) s += at(r, k) * o.at(k, c);
+      out.at(r, c) = s;
+    }
+  }
+  return out;
+}
+
+bool Block55::lu_factor() {
+  // Doolittle LU without pivoting; valid for the diagonally dominant
+  // blocks this solver produces.
+  for (int k = 0; k < 5; ++k) {
+    const double pivot = at(k, k);
+    if (std::fabs(pivot) < 1e-300) return false;
+    for (int r = k + 1; r < 5; ++r) {
+      const double f = at(r, k) / pivot;
+      at(r, k) = f;
+      for (int c = k + 1; c < 5; ++c) at(r, c) -= f * at(k, c);
+    }
+  }
+  return true;
+}
+
+Vec5 Block55::lu_solve(const Vec5& b) const {
+  Vec5 y{};
+  for (int r = 0; r < 5; ++r) {
+    double s = b[static_cast<std::size_t>(r)];
+    for (int c = 0; c < r; ++c) s -= at(r, c) * y[static_cast<std::size_t>(c)];
+    y[static_cast<std::size_t>(r)] = s;
+  }
+  Vec5 x{};
+  for (int r = 4; r >= 0; --r) {
+    double s = y[static_cast<std::size_t>(r)];
+    for (int c = r + 1; c < 5; ++c) s -= at(r, c) * x[static_cast<std::size_t>(c)];
+    x[static_cast<std::size_t>(r)] = s / at(r, r);
+  }
+  return x;
+}
+
+Block55 Block55::lu_solve(const Block55& b) const {
+  Block55 out;
+  for (int col = 0; col < 5; ++col) {
+    Vec5 rhs{};
+    for (int r = 0; r < 5; ++r) rhs[static_cast<std::size_t>(r)] = b.at(r, col);
+    const Vec5 x = lu_solve(rhs);
+    for (int r = 0; r < 5; ++r) out.at(r, col) = x[static_cast<std::size_t>(r)];
+  }
+  return out;
+}
+
+const Block55& coupling_matrix() {
+  static const Block55 k = [] {
+    Block55 b = Block55::identity();
+    // Symmetric, diagonally dominant coupling: neighbours exchange ~10%.
+    for (int r = 0; r < 5; ++r) {
+      for (int c = 0; c < 5; ++c) {
+        if (r != c) b.at(r, c) = 0.1 / (1.0 + std::abs(r - c));
+      }
+    }
+    return b;
+  }();
+  return k;
+}
+
+Field5::Field5(int edge) : edge_(edge) {
+  data_.assign(static_cast<std::size_t>(edge) * edge * edge * kComponents, 0.0);
+}
+
+Vec5 Field5::get(int i, int j, int k) const {
+  Vec5 v{};
+  if (!inside(i, j, k)) return v;  // Dirichlet ghost: zeros
+  const std::size_t b = base(i, j, k);
+  for (int c = 0; c < kComponents; ++c) v[static_cast<std::size_t>(c)] = data_[b + static_cast<std::size_t>(c)];
+  return v;
+}
+
+void Field5::set(int i, int j, int k, const Vec5& v) {
+  const std::size_t b = base(i, j, k);
+  for (int c = 0; c < kComponents; ++c) data_[b + static_cast<std::size_t>(c)] = v[static_cast<std::size_t>(c)];
+}
+
+void Field5::init_smooth() {
+  const double h = std::numbers::pi / (edge_ + 1);
+  for (int k = 0; k < edge_; ++k) {
+    for (int j = 0; j < edge_; ++j) {
+      for (int i = 0; i < edge_; ++i) {
+        Vec5 v{};
+        const double s = std::sin((i + 1) * h) * std::sin((j + 1) * h) *
+                         std::sin((k + 1) * h);
+        for (int c = 0; c < kComponents; ++c) {
+          v[static_cast<std::size_t>(c)] = s * (1.0 + 0.1 * c);
+        }
+        set(i, j, k, v);
+      }
+    }
+  }
+}
+
+double Field5::energy(int threads) const {
+  double sum = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : sum) num_threads(threads)
+  for (long long i = 0; i < static_cast<long long>(data_.size()); ++i) {
+    sum += data_[static_cast<std::size_t>(i)] * data_[static_cast<std::size_t>(i)];
+  }
+  return sum;
+}
+
+double Field5::mean0(int threads) const {
+  double sum = 0.0;
+  const long long pts = static_cast<long long>(data_.size()) / kComponents;
+#pragma omp parallel for schedule(static) reduction(+ : sum) num_threads(threads)
+  for (long long p = 0; p < pts; ++p) {
+    sum += data_[static_cast<std::size_t>(p) * kComponents];
+  }
+  return sum / static_cast<double>(pts);
+}
+
+double Field5::checksum() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < data_.size(); i += 31) sum += data_[i];
+  return sum;
+}
+
+bool block_tridiag_solve(std::vector<Block55>& sub, std::vector<Block55>& diag,
+                         std::vector<Block55>& sup, std::vector<Vec5>& rhs) {
+  const std::size_t n = diag.size();
+  // Forward elimination.
+  if (!diag[0].lu_factor()) return false;
+  for (std::size_t i = 1; i < n; ++i) {
+    // m = sub[i] * diag[i-1]^{-1}
+    const Block55 dinv_sup = diag[i - 1].lu_solve(sup[i - 1]);
+    const Vec5 dinv_rhs = diag[i - 1].lu_solve(rhs[i - 1]);
+    // diag[i] -= sub[i] * dinv_sup ; rhs[i] -= sub[i] * dinv_rhs
+    const Block55 prod = sub[i].mul(dinv_sup);
+    for (std::size_t t = 0; t < diag[i].m.size(); ++t) diag[i].m[t] -= prod.m[t];
+    const Vec5 pr = sub[i].mul(dinv_rhs);
+    for (int c = 0; c < 5; ++c) rhs[i][static_cast<std::size_t>(c)] -= pr[static_cast<std::size_t>(c)];
+    if (!diag[i].lu_factor()) return false;
+  }
+  // Back substitution.
+  rhs[n - 1] = diag[n - 1].lu_solve(rhs[n - 1]);
+  for (std::size_t i = n - 1; i-- > 0;) {
+    const Vec5 tail = sup[i].mul(rhs[i + 1]);
+    Vec5 b = rhs[i];
+    for (int c = 0; c < 5; ++c) b[static_cast<std::size_t>(c)] -= tail[static_cast<std::size_t>(c)];
+    rhs[i] = diag[i].lu_solve(b);
+  }
+  return true;
+}
+
+bool penta_solve(std::vector<double>& e2, std::vector<double>& e1,
+                 std::vector<double>& d, std::vector<double>& f1,
+                 std::vector<double>& f2, std::vector<double>& rhs) {
+  const std::size_t n = d.size();
+  // Gaussian elimination on the banded system, two sub-diagonals.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::fabs(d[i]) < 1e-300) return false;
+    if (i + 1 < n) {
+      const double m1 = e1[i + 1] / d[i];
+      d[i + 1] -= m1 * f1[i];
+      if (i + 2 < n) f1[i + 1] -= m1 * f2[i];
+      rhs[i + 1] -= m1 * rhs[i];
+      if (i + 2 < n) {
+        const double m2 = e2[i + 2] / d[i];
+        e1[i + 2] -= m2 * f1[i];
+        d[i + 2] -= m2 * f2[i];
+        rhs[i + 2] -= m2 * rhs[i];
+      }
+    }
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    double s = rhs[i];
+    if (i + 1 < n) s -= f1[i] * rhs[i + 1];
+    if (i + 2 < n) s -= f2[i] * rhs[i + 2];
+    rhs[i] = s / d[i];
+  }
+  return true;
+}
+
+}  // namespace rvhpc::npb::app

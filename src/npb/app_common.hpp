@@ -1,0 +1,119 @@
+#pragma once
+// rvhpc::npb — shared substrate for the BT / SP / LU pseudo-applications.
+//
+// The three NPB pseudo-applications solve the same implicitly-discretised
+// 3-D PDE system with different solvers: BT factors it into block-
+// tridiagonal line solves, SP into (diagonalised) scalar pentadiagonal
+// line solves, LU applies an SSOR sweep.  This module provides the common
+// pieces: a five-component field on a cubic grid with Dirichlet walls, a
+// coupled advection-diffusion operator, 5x5 block arithmetic, and the
+// line solvers.
+//
+// The physics is a manufactured stand-in (coupled advection-diffusion
+// rather than compressible Navier-Stokes), chosen so correctness is
+// checkable by construction: the implicit solves must satisfy their
+// linear systems exactly, energy must decay, and results must be
+// thread-count independent.  The *solver structure and memory pattern*
+// match the originals, which is what the performance study needs.
+
+#include <array>
+#include <vector>
+
+#include "npb/npb_common.hpp"
+
+namespace rvhpc::npb::app {
+
+/// Five coupled solution components per grid point (NPB's u(1..5)).
+constexpr int kComponents = 5;
+using Vec5 = std::array<double, kComponents>;
+
+/// Grid/time-stepping parameters per class.
+struct AppParams {
+  int edge;       ///< interior points per dimension
+  int steps;      ///< time steps
+  double dt;
+  double nu;      ///< diffusion coefficient
+  std::array<double, 3> advect;  ///< advection velocity per direction
+};
+[[nodiscard]] AppParams app_params(ProblemClass cls);
+
+/// A dense 5x5 block.
+struct Block55 {
+  std::array<double, 25> m{};
+
+  [[nodiscard]] static Block55 identity();
+  [[nodiscard]] static Block55 scaled(const Block55& k, double s);
+  [[nodiscard]] double& at(int r, int c) { return m[static_cast<std::size_t>(r * 5 + c)]; }
+  [[nodiscard]] double at(int r, int c) const { return m[static_cast<std::size_t>(r * 5 + c)]; }
+
+  Block55& operator+=(const Block55& o);
+  [[nodiscard]] Vec5 mul(const Vec5& v) const;
+  [[nodiscard]] Block55 mul(const Block55& o) const;
+
+  /// In-place LU factorisation (partial-pivot-free; blocks are strongly
+  /// diagonally dominant by construction).  Returns false if a pivot
+  /// underflows.
+  bool lu_factor();
+  /// Solves L U x = b with a factored block.
+  [[nodiscard]] Vec5 lu_solve(const Vec5& b) const;
+  /// X such that (LU) X = B.
+  [[nodiscard]] Block55 lu_solve(const Block55& b) const;
+};
+
+/// The symmetric component-coupling matrix K (unit diagonal, small
+/// off-diagonal couplings): what makes BT's blocks genuinely 5x5.
+[[nodiscard]] const Block55& coupling_matrix();
+
+/// Five-component field on an edge^3 grid with one ghost layer of zeros
+/// (Dirichlet walls).
+class Field5 {
+ public:
+  explicit Field5(int edge);
+  [[nodiscard]] int edge() const { return edge_; }
+
+  /// Interior accessors; i/j/k in [0, edge).  Ghost reads return zeros.
+  [[nodiscard]] Vec5 get(int i, int j, int k) const;
+  void set(int i, int j, int k, const Vec5& v);
+
+  [[nodiscard]] const std::vector<double>& raw() const { return data_; }
+
+  /// Deterministic smooth initial condition (products of sines, phased
+  /// per component).
+  void init_smooth();
+
+  /// Sum of squares over all components/points.
+  [[nodiscard]] double energy(int threads) const;
+  /// Mean of component 0 (conservation diagnostics).
+  [[nodiscard]] double mean0(int threads) const;
+  /// Strided deterministic checksum.
+  [[nodiscard]] double checksum() const;
+
+ private:
+  int edge_;
+  std::vector<double> data_;  ///< (edge^3) * 5, point-major
+  [[nodiscard]] std::size_t base(int i, int j, int k) const {
+    return ((static_cast<std::size_t>(k) * edge_ + static_cast<std::size_t>(j)) *
+                edge_ +
+            static_cast<std::size_t>(i)) *
+           kComponents;
+  }
+  [[nodiscard]] bool inside(int i, int j, int k) const {
+    return i >= 0 && j >= 0 && k >= 0 && i < edge_ && j < edge_ && k < edge_;
+  }
+};
+
+/// Solves a block-tridiagonal system in place (Thomas algorithm):
+/// sub[i] x[i-1] + diag[i] x[i] + sup[i] x[i+1] = rhs[i].
+/// All vectors have length n; sub[0] and sup[n-1] are ignored.
+/// Returns false on pivot failure.
+bool block_tridiag_solve(std::vector<Block55>& sub, std::vector<Block55>& diag,
+                         std::vector<Block55>& sup, std::vector<Vec5>& rhs);
+
+/// Solves a scalar pentadiagonal system in place:
+/// e2[i]x[i-2]+e1[i]x[i-1]+d[i]x[i]+f1[i]x[i+1]+f2[i]x[i+2]=rhs[i].
+/// Returns false on pivot failure.
+bool penta_solve(std::vector<double>& e2, std::vector<double>& e1,
+                 std::vector<double>& d, std::vector<double>& f1,
+                 std::vector<double>& f2, std::vector<double>& rhs);
+
+}  // namespace rvhpc::npb::app

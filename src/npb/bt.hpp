@@ -1,0 +1,23 @@
+#pragma once
+// rvhpc::npb — BT: the Block Tridiagonal pseudo-application.
+//
+// ADI time stepping of the coupled 5-component advection-diffusion system:
+// each step factors the implicit operator into x/y/z line solves, each a
+// block-tridiagonal system with dense 5x5 blocks solved by block Thomas —
+// the defining memory/compute pattern of NPB BT.
+
+#include "npb/app_common.hpp"
+
+namespace rvhpc::npb::bt {
+
+/// Detailed outputs for tests.
+struct BtOutputs {
+  double initial_energy = 0.0;
+  double final_energy = 0.0;
+  double max_line_residual = 0.0;  ///< worst sampled line-system residual
+};
+
+/// Runs BT at `cls` with `threads` OpenMP threads.
+BenchResult run(ProblemClass cls, int threads, BtOutputs* out = nullptr);
+
+}  // namespace rvhpc::npb::bt

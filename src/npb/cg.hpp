@@ -1,0 +1,63 @@
+#pragma once
+// rvhpc::npb — CG: the Conjugate Gradient benchmark.
+//
+// Estimates the largest eigenvalue of a sparse symmetric positive-definite
+// matrix by inverse power iteration, with a 25-step conjugate-gradient
+// solve per outer iteration — the suite's irregular-memory member (SpMV
+// gathers).  The matrix is built as a sum of sparse outer products plus an
+// identity shift, so it is SPD by construction and the verification can be
+// residual-based.
+
+#include <cstdint>
+#include <vector>
+
+#include "npb/npb_common.hpp"
+
+namespace rvhpc::npb::cg {
+
+/// Class parameters: matrix order, nonzeros per generating vector, outer
+/// iterations and eigenvalue shift (NPB values for S/W/A; B/C reduced in
+/// order for host runs to stay tractable).
+struct Params {
+  int n;
+  int nonzer;
+  int niter;
+  double shift;
+};
+[[nodiscard]] Params params(ProblemClass cls);
+
+/// CSR sparse matrix.
+struct CsrMatrix {
+  int n = 0;
+  std::vector<std::int64_t> row_begin;  ///< n+1 offsets
+  std::vector<std::int32_t> col;
+  std::vector<double> val;
+
+  [[nodiscard]] std::int64_t nnz() const {
+    return row_begin.empty() ? 0 : row_begin.back();
+  }
+};
+
+/// Builds the benchmark matrix for `cls` (deterministic; NPB LCG driven).
+[[nodiscard]] CsrMatrix make_matrix(ProblemClass cls);
+
+/// Inner-loop variants of the matrix-vector product.  NPB ships the SpMV
+/// unrolled by 2 and by 8 as alternatives to the plain loop; the paper's
+/// §6 measures all three under RVV vectorisation.
+enum class SpmvVariant { Default, Unroll2, Unroll8 };
+
+/// y = A x, OpenMP over rows.
+void spmv(const CsrMatrix& a, const std::vector<double>& x,
+          std::vector<double>& y, int threads,
+          SpmvVariant variant = SpmvVariant::Default);
+
+/// Detailed outputs for tests.
+struct CgOutputs {
+  double zeta = 0.0;           ///< shift + 1/(x.z) after the final iteration
+  double final_rnorm = 0.0;    ///< ||r|| of the last inner solve
+};
+
+/// Runs CG at `cls` with `threads` OpenMP threads.
+BenchResult run(ProblemClass cls, int threads, CgOutputs* out = nullptr);
+
+}  // namespace rvhpc::npb::cg

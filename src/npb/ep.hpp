@@ -1,0 +1,29 @@
+#pragma once
+// rvhpc::npb — EP: the Embarrassingly Parallel benchmark.
+//
+// Generates 2^M pairs of uniform deviates with the NPB LCG, transforms the
+// accepted pairs into Gaussian deviates with the Marsaglia polar method
+// (exactly the NPB acceptance test), and accumulates per-annulus counts
+// and coordinate sums.  Compute-bound by construction — the suite's pure
+// arithmetic yardstick.
+
+#include "npb/npb_common.hpp"
+
+namespace rvhpc::npb::ep {
+
+/// Detailed outputs, exposed for tests.
+struct EpOutputs {
+  double sx = 0.0;              ///< sum of Gaussian X deviates
+  double sy = 0.0;              ///< sum of Gaussian Y deviates
+  double counts[10] = {};       ///< annulus counts q[0..9]
+  std::uint64_t accepted = 0;   ///< pairs passing the polar test
+};
+
+/// log2 of the pair count for each class (NPB: S=24, W=25, A=28, B=30, C=32).
+[[nodiscard]] int log2_pairs(ProblemClass cls);
+
+/// Runs EP at `cls` with `threads` OpenMP threads.  Deterministic for any
+/// thread count (per-batch seed skip-ahead, ordered reduction).
+BenchResult run(ProblemClass cls, int threads, EpOutputs* out = nullptr);
+
+}  // namespace rvhpc::npb::ep

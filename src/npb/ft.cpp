@@ -1,0 +1,200 @@
+#include "npb/ft.hpp"
+
+#include <omp.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace rvhpc::npb::ft {
+namespace {
+
+constexpr double kAlpha = 1e-6;  // NPB diffusion coefficient
+
+/// Frequency index folded to the symmetric range [-n/2, n/2).
+int folded(int i, int n) { return i >= n / 2 ? i - n : i; }
+
+}  // namespace
+
+Params params(ProblemClass cls) {
+  switch (cls) {
+    case ProblemClass::S: return {64, 64, 64, 6};
+    case ProblemClass::W: return {128, 128, 32, 6};
+    case ProblemClass::A: return {256, 256, 128, 6};
+    case ProblemClass::B: return {256, 256, 128, 20};  // reduced from NPB
+    case ProblemClass::C: return {256, 256, 256, 20};  // reduced from NPB
+  }
+  return {64, 64, 64, 6};
+}
+
+void fft1d(Complex* data, int n, int sign) {
+  // Bit-reversal permutation.
+  for (int i = 1, j = 0; i < n; ++i) {
+    int bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Danielson-Lanczos butterflies.
+  for (int len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * std::numbers::pi / len;
+    const Complex wl(std::cos(ang), std::sin(ang));
+    for (int i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (int k = 0; k < len / 2; ++k) {
+        const Complex a = data[i + k];
+        const Complex b = data[i + k + len / 2] * w;
+        data[i + k] = a + b;
+        data[i + k + len / 2] = a - b;
+        w *= wl;
+      }
+    }
+  }
+}
+
+void fft3d(std::vector<Complex>& grid, const Params& p, int sign, int threads) {
+  const int nx = p.nx, ny = p.ny, nz = p.nz;
+  const auto idx = [&](int i, int j, int k) {
+    return (static_cast<std::size_t>(k) * ny + static_cast<std::size_t>(j)) *
+               nx +
+           static_cast<std::size_t>(i);
+  };
+  // X pencils (contiguous).
+#pragma omp parallel for collapse(2) schedule(static) num_threads(threads)
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      fft1d(&grid[idx(0, j, k)], nx, sign);
+    }
+  }
+  // Y pencils (gather/scatter through a local buffer — the memory
+  // transposition that makes FT bandwidth-hungry).
+#pragma omp parallel num_threads(threads)
+  {
+    std::vector<Complex> pencil(static_cast<std::size_t>(ny));
+#pragma omp for collapse(2) schedule(static)
+    for (int k = 0; k < nz; ++k) {
+      for (int i = 0; i < nx; ++i) {
+        for (int j = 0; j < ny; ++j) pencil[static_cast<std::size_t>(j)] = grid[idx(i, j, k)];
+        fft1d(pencil.data(), ny, sign);
+        for (int j = 0; j < ny; ++j) grid[idx(i, j, k)] = pencil[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  // Z pencils.
+#pragma omp parallel num_threads(threads)
+  {
+    std::vector<Complex> pencil(static_cast<std::size_t>(nz));
+#pragma omp for collapse(2) schedule(static)
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        for (int k = 0; k < nz; ++k) pencil[static_cast<std::size_t>(k)] = grid[idx(i, j, k)];
+        fft1d(pencil.data(), nz, sign);
+        for (int k = 0; k < nz; ++k) grid[idx(i, j, k)] = pencil[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+}
+
+BenchResult run(ProblemClass cls, int threads, FtOutputs* out) {
+  const Params p = params(cls);
+  const std::size_t n =
+      static_cast<std::size_t>(p.nx) * p.ny * static_cast<std::size_t>(p.nz);
+
+  // Random initial state from the NPB LCG (pairs -> complex values),
+  // deterministic per z-plane for thread-count independence.
+  std::vector<Complex> u0(n);
+#pragma omp parallel for schedule(static) num_threads(threads)
+  for (int k = 0; k < p.nz; ++k) {
+    const std::size_t plane = static_cast<std::size_t>(p.nx) * p.ny;
+    NpbRandom rng;
+    rng.skip(2ull * plane * static_cast<std::uint64_t>(k));
+    for (std::size_t t = 0; t < plane; ++t) {
+      const double re = rng.next();
+      const double im = rng.next();
+      u0[static_cast<std::size_t>(k) * plane + t] = {re, im};
+    }
+  }
+
+  Timer timer;
+  timer.start();
+  std::vector<Complex> uhat = u0;
+  fft3d(uhat, p, -1, threads);
+
+  FtOutputs outputs;
+  std::vector<Complex> w(n);
+  for (int iter = 1; iter <= p.niter; ++iter) {
+    // Evolve in frequency space: multiply by exp(-4 alpha pi^2 |k|^2 t).
+#pragma omp parallel for collapse(2) schedule(static) num_threads(threads)
+    for (int k = 0; k < p.nz; ++k) {
+      for (int j = 0; j < p.ny; ++j) {
+        for (int i = 0; i < p.nx; ++i) {
+          const double kk =
+              static_cast<double>(folded(i, p.nx)) * folded(i, p.nx) +
+              static_cast<double>(folded(j, p.ny)) * folded(j, p.ny) +
+              static_cast<double>(folded(k, p.nz)) * folded(k, p.nz);
+          const double factor = std::exp(-4.0 * kAlpha *
+                                         std::numbers::pi * std::numbers::pi *
+                                         kk * iter);
+          const std::size_t id =
+              (static_cast<std::size_t>(k) * p.ny + static_cast<std::size_t>(j)) *
+                  p.nx +
+              static_cast<std::size_t>(i);
+          w[id] = uhat[id] * factor;
+        }
+      }
+    }
+    fft3d(w, p, +1, threads);
+    // NPB checksum: 1024 strided samples of the (unnormalised) inverse.
+    Complex sum{0.0, 0.0};
+    for (int t = 1; t <= 1024; ++t) {
+      const int q = (5 * t) % p.nx;
+      const int r = (3 * t) % p.ny;
+      const int s = t % p.nz;
+      const std::size_t id =
+          (static_cast<std::size_t>(s) * p.ny + static_cast<std::size_t>(r)) *
+              p.nx +
+          static_cast<std::size_t>(q);
+      sum += w[id];
+    }
+    outputs.checksums.push_back(sum / static_cast<double>(n));
+  }
+  const double seconds = timer.seconds();
+
+  // Verification: round-trip — the inverse of the forward transform must
+  // reproduce the initial state to near machine precision.
+  std::vector<Complex> round = uhat;
+  fft3d(round, p, +1, threads);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < n; i += 101) {
+    max_err = std::max(max_err,
+                       std::abs(round[i] / static_cast<double>(n) - u0[i]));
+  }
+  // Parseval: energy preserved by the forward transform.
+  double e_time = 0.0, e_freq = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : e_time, e_freq) \
+    num_threads(threads)
+  for (long long i = 0; i < static_cast<long long>(n); ++i) {
+    e_time += std::norm(u0[static_cast<std::size_t>(i)]);
+    e_freq += std::norm(uhat[static_cast<std::size_t>(i)]);
+  }
+  const bool ok_parseval =
+      std::fabs(e_freq / static_cast<double>(n) - e_time) < 1e-6 * e_time;
+
+  BenchResult result;
+  result.kernel = Kernel::FT;
+  result.problem_class = cls;
+  result.threads = threads;
+  result.seconds = seconds;
+  const double lg = std::log2(static_cast<double>(n));
+  result.mops = static_cast<double>(n) * p.niter * lg / seconds / 1e6;
+  result.verified = max_err < 1e-10 && ok_parseval;
+  result.verification = "roundtrip err " + std::to_string(max_err) +
+                        ", parseval " + (ok_parseval ? "ok" : "violated");
+  result.checksum = outputs.checksums.empty()
+                        ? 0.0
+                        : outputs.checksums.back().real() +
+                              outputs.checksums.back().imag();
+  if (out != nullptr) *out = std::move(outputs);
+  return result;
+}
+
+}  // namespace rvhpc::npb::ft

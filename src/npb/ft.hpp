@@ -1,0 +1,42 @@
+#pragma once
+// rvhpc::npb — FT: the 3-D Fast Fourier Transform benchmark.
+//
+// Solves a 3-D diffusion PDE spectrally: forward 3-D FFT of a random
+// initial state, repeated evolution by frequency-dependent exponential
+// factors, inverse FFT and checksum per iteration — the suite's
+// all-to-all / transpose-heavy member.  The FFT is an iterative
+// radix-2 Cooley-Tukey, applied pencil-wise along each dimension with
+// OpenMP across pencils.
+
+#include <complex>
+#include <vector>
+
+#include "npb/npb_common.hpp"
+
+namespace rvhpc::npb::ft {
+
+using Complex = std::complex<double>;
+
+/// Class geometry (power-of-two box) and iteration count.
+struct Params {
+  int nx, ny, nz;
+  int niter;
+};
+[[nodiscard]] Params params(ProblemClass cls);
+
+/// In-place radix-2 FFT of length n (power of two); sign=-1 forward,
+/// sign=+1 inverse (unscaled; caller divides by n for the inverse).
+void fft1d(Complex* data, int n, int sign);
+
+/// 3-D FFT over a contiguous nx*ny*nz box (x fastest), OpenMP pencils.
+void fft3d(std::vector<Complex>& grid, const Params& p, int sign, int threads);
+
+/// Detailed outputs for tests: per-iteration checksums.
+struct FtOutputs {
+  std::vector<Complex> checksums;
+};
+
+/// Runs FT at `cls` with `threads` OpenMP threads.
+BenchResult run(ProblemClass cls, int threads, FtOutputs* out = nullptr);
+
+}  // namespace rvhpc::npb::ft

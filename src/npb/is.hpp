@@ -1,0 +1,39 @@
+#pragma once
+// rvhpc::npb — IS: the Integer Sort benchmark.
+//
+// Ranks (counting-sorts) N integer keys drawn from the NPB random
+// sequence, for 10 iterations, exactly the bucketed-histogram structure of
+// the reference code: the memory-latency-bound member of the suite.
+
+#include <cstdint>
+#include <vector>
+
+#include "npb/npb_common.hpp"
+
+namespace rvhpc::npb::is {
+
+/// Class geometry (log2 of key count / max key).  S/W follow NPB; larger
+/// classes are reduced by a constant factor so host runs stay tractable —
+/// access *pattern* is what matters for this repo.
+struct Geometry {
+  int log2_keys;
+  int log2_max_key;
+};
+[[nodiscard]] Geometry geometry(ProblemClass cls);
+
+/// Ranking algorithm variants.  NPB IS at scale first scatters keys into
+/// per-range buckets so each thread ranks a contiguous key range with good
+/// locality; the flat variant histogram-ranks directly.  Both produce
+/// identical ranks.
+enum class IsAlgorithm { FlatHistogram, Bucketed };
+
+/// Runs IS at `cls` with `threads` OpenMP threads.
+/// If `ranks_out` is non-null it receives the final key ranks.
+BenchResult run(ProblemClass cls, int threads,
+                std::vector<std::int32_t>* ranks_out = nullptr,
+                IsAlgorithm algorithm = IsAlgorithm::FlatHistogram);
+
+/// Generates the NPB key sequence for `cls` (exposed for tests).
+[[nodiscard]] std::vector<std::int32_t> generate_keys(ProblemClass cls);
+
+}  // namespace rvhpc::npb::is

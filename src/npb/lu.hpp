@@ -1,0 +1,25 @@
+#pragma once
+// rvhpc::npb — LU: the Lower-Upper Gauss-Seidel pseudo-application.
+//
+// Solves the same implicit 5-component system as BT, but with SSOR
+// (symmetric successive over-relaxation) sweeps instead of direct line
+// factorisation: a forward wavefront over (i-1, j-1, k-1) dependencies and
+// a backward wavefront over (i+1, j+1, k+1), parallelised by hyperplane —
+// the sync-dense member of the pseudo-applications.
+
+#include "npb/app_common.hpp"
+
+namespace rvhpc::npb::lu {
+
+/// Detailed outputs for tests.
+struct LuOutputs {
+  double initial_energy = 0.0;
+  double final_energy = 0.0;
+  double first_residual = 0.0;  ///< ||Au-b|| before the first step's sweeps
+  double last_residual = 0.0;   ///< after that step's sweeps
+};
+
+/// Runs LU at `cls` with `threads` OpenMP threads.
+BenchResult run(ProblemClass cls, int threads, LuOutputs* out = nullptr);
+
+}  // namespace rvhpc::npb::lu

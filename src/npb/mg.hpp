@@ -1,0 +1,79 @@
+#pragma once
+// rvhpc::npb — MG: the Multi-Grid benchmark.
+//
+// V-cycle multigrid approximate solve of a 3-D Poisson problem
+// (discrete Laplacian, periodic boundaries) with the NPB stencil
+// operators: residual (a-coefficients), smoother (c-coefficients),
+// full-weighting restriction and trilinear interpolation.  The suite's
+// memory-bandwidth yardstick.
+
+#include <vector>
+
+#include "npb/npb_common.hpp"
+
+namespace rvhpc::npb::mg {
+
+/// Class geometry: cubic grid edge (power of two) and V-cycle count.
+struct Params {
+  int edge;
+  int niter;
+};
+[[nodiscard]] Params params(ProblemClass cls);
+
+/// A cubic periodic grid of doubles, edge must be a power of two >= 4.
+class Grid {
+ public:
+  explicit Grid(int edge);
+  [[nodiscard]] int edge() const { return edge_; }
+  [[nodiscard]] double& at(int i, int j, int k) {
+    return data_[index(i, j, k)];
+  }
+  [[nodiscard]] double at(int i, int j, int k) const {
+    return data_[index(i, j, k)];
+  }
+  [[nodiscard]] std::vector<double>& data() { return data_; }
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+  void fill(double v);
+
+  /// Periodic wrap of coordinate c.
+  [[nodiscard]] int wrap(int c) const {
+    const int e = edge_;
+    return ((c % e) + e) % e;
+  }
+
+ private:
+  int edge_;
+  std::vector<double> data_;
+  [[nodiscard]] std::size_t index(int i, int j, int k) const {
+    return (static_cast<std::size_t>(wrap(k)) * edge_ +
+            static_cast<std::size_t>(wrap(j))) *
+               edge_ +
+           static_cast<std::size_t>(wrap(i));
+  }
+};
+
+/// r = v - A u with the NPB 27-point residual stencil (OpenMP).
+void residual(const Grid& u, const Grid& v, Grid& r, int threads);
+
+/// u += S r with the NPB smoother stencil (OpenMP).
+void smooth(Grid& u, const Grid& r, int threads, ProblemClass cls);
+
+/// Full-weighting restriction of `fine` onto `coarse` (half edge).
+void restrict_grid(const Grid& fine, Grid& coarse, int threads);
+
+/// Trilinear interpolation of `coarse` added onto `fine`.
+void interpolate_add(const Grid& coarse, Grid& fine, int threads);
+
+/// L2 norm of a grid.
+[[nodiscard]] double l2_norm(const Grid& g, int threads);
+
+/// Detailed outputs for tests.
+struct MgOutputs {
+  double initial_rnorm = 0.0;
+  double final_rnorm = 0.0;
+};
+
+/// Runs MG at `cls` with `threads` OpenMP threads.
+BenchResult run(ProblemClass cls, int threads, MgOutputs* out = nullptr);
+
+}  // namespace rvhpc::npb::mg

@@ -1,0 +1,73 @@
+#include "npb/npb_common.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace rvhpc::npb {
+namespace {
+
+// 2^-23, 2^23, 2^-46, 2^46 — the NPB randlc constants.
+constexpr double kR23 = 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 *
+                        0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 *
+                        0.5 * 0.5 * 0.5 * 0.5 * 0.5;
+constexpr double kT23 = 1.0 / kR23;
+constexpr double kR46 = kR23 * kR23;
+constexpr double kT46 = kT23 * kT23;
+
+}  // namespace
+
+double randlc(double& x, double a) {
+  // Split a and x into 23-bit halves and form a*x mod 2^46 exactly in
+  // double arithmetic — verbatim NPB randlc.
+  const double t1a = kR23 * a;
+  const double a1 = static_cast<double>(static_cast<long long>(t1a));
+  const double a2 = a - kT23 * a1;
+
+  const double t1x = kR23 * x;
+  const double x1 = static_cast<double>(static_cast<long long>(t1x));
+  const double x2 = x - kT23 * x1;
+
+  const double t1 = a1 * x2 + a2 * x1;
+  const double t2 = static_cast<double>(static_cast<long long>(kR23 * t1));
+  const double z = t1 - kT23 * t2;
+  const double t3 = kT23 * z + a2 * x2;
+  const double t4 = static_cast<double>(static_cast<long long>(kR46 * t3));
+  x = t3 - kT46 * t4;
+  return kR46 * x;
+}
+
+double NpbRandom::next() { return randlc(x_, kA); }
+
+double NpbRandom::power(double a, std::uint64_t n) {
+  // a^n mod 2^46 via binary exponentiation on randlc multiplication.
+  double result = 1.0;
+  double base = a;
+  while (n > 0) {
+    if (n & 1ull) {
+      double tmp = result;
+      randlc(tmp, base);
+      result = tmp;
+    }
+    double sq = base;
+    randlc(sq, base);
+    base = sq;
+    n >>= 1;
+  }
+  return result;
+}
+
+void NpbRandom::skip(std::uint64_t n) {
+  const double an = power(kA, n);
+  randlc(x_, an);
+}
+
+std::string to_string(const BenchResult& r) {
+  std::ostringstream os;
+  os << model::to_string(r.kernel) << "." << model::to_string(r.problem_class)
+     << " (" << r.threads << " threads): " << r.mops << " Mop/s in "
+     << r.seconds << " s — " << (r.verified ? "VERIFIED" : "FAILED") << " ("
+     << r.verification << ")";
+  return os.str();
+}
+
+}  // namespace rvhpc::npb

@@ -1,0 +1,81 @@
+#pragma once
+// rvhpc::npb — shared infrastructure for the from-scratch NPB suite.
+//
+// This is a clean-room C++20/OpenMP implementation of the eight NAS
+// Parallel Benchmarks' algorithmic patterns.  Problem classes follow the
+// NPB 3.x size definitions.  Verification is constructive (invariants and
+// manufactured solutions) rather than NASA's published checksums — see
+// DESIGN.md §2 for the rationale and per-benchmark criteria.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "model/workload.hpp"  // reuse Kernel / ProblemClass enums
+
+namespace rvhpc::npb {
+
+using model::Kernel;
+using model::ProblemClass;
+
+/// NPB linear congruential generator: x' = a*x mod 2^46, returning
+/// x'/2^46 in (0,1).  Exactly the NPB randlc arithmetic (double-based,
+/// split into 23-bit halves), so sequences are bit-identical to the
+/// reference implementation's.
+class NpbRandom {
+ public:
+  static constexpr double kDefaultSeed = 314159265.0;
+  static constexpr double kA = 1220703125.0;  // 5^13
+
+  explicit NpbRandom(double seed = kDefaultSeed) : x_(seed) {}
+
+  /// Advances the state once and returns the uniform deviate.
+  double next();
+
+  /// Advances the state by `n` steps in O(log n) (NPB's ipow46 trick);
+  /// used to give each OpenMP thread an independent, deterministic
+  /// sub-sequence.
+  void skip(std::uint64_t n);
+
+  /// a^n mod 2^46 as a seed multiplier (NPB ipow46).
+  [[nodiscard]] static double power(double a, std::uint64_t n);
+
+  [[nodiscard]] double state() const { return x_; }
+  void set_state(double x) { x_ = x; }
+
+ private:
+  double x_;
+};
+
+/// One NPB step of the generator without an object (NPB's free randlc).
+double randlc(double& x, double a);
+
+/// Result of one benchmark run.
+struct BenchResult {
+  Kernel kernel = Kernel::EP;
+  ProblemClass problem_class = ProblemClass::S;
+  int threads = 1;
+  double seconds = 0.0;
+  double mops = 0.0;          ///< NPB-counted operation rate
+  bool verified = false;
+  std::string verification;   ///< human-readable verification detail
+  double checksum = 0.0;      ///< deterministic scalar for cross-run equality
+};
+
+/// Wall-clock helper.
+class Timer {
+ public:
+  void start() { t0_ = std::chrono::steady_clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_ = std::chrono::steady_clock::now();
+};
+
+/// Formats "IS.S: 12.34 Mop/s (verified)" for example binaries.
+[[nodiscard]] std::string to_string(const BenchResult& r);
+
+}  // namespace rvhpc::npb

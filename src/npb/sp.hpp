@@ -1,0 +1,24 @@
+#pragma once
+// rvhpc::npb — SP: the Scalar Pentadiagonal pseudo-application.
+//
+// Same ADI structure as BT but with the component coupling diagonalised
+// (NPB SP "fully diagonalises the equations"), leaving five independent
+// scalar solves per line; fourth-order artificial dissipation widens the
+// bandwidth from tridiagonal to pentadiagonal — the suite's most
+// bandwidth-hungry pseudo-application.
+
+#include "npb/app_common.hpp"
+
+namespace rvhpc::npb::sp {
+
+/// Detailed outputs for tests.
+struct SpOutputs {
+  double initial_energy = 0.0;
+  double final_energy = 0.0;
+  double max_line_residual = 0.0;
+};
+
+/// Runs SP at `cls` with `threads` OpenMP threads.
+BenchResult run(ProblemClass cls, int threads, SpOutputs* out = nullptr);
+
+}  // namespace rvhpc::npb::sp

@@ -1,0 +1,58 @@
+#include "report/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace rvhpc::report {
+
+AsciiChart::AsciiChart(std::string title, std::string x_label,
+                       std::string y_label, int width, int height)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)),
+      width_(std::max(width, 16)),
+      height_(std::max(height, 6)) {}
+
+void AsciiChart::add_series(Series s) { series_.push_back(std::move(s)); }
+
+std::string AsciiChart::render() const {
+  std::ostringstream os;
+  os << title_ << "\n";
+  double xmin = 1e300, xmax = -1e300, ymax = 0.0;
+  bool any = false;
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      if (x <= 0.0) continue;
+      any = true;
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      ymax = std::max(ymax, y);
+    }
+  }
+  if (!any || ymax <= 0.0) return os.str();
+  const double lx0 = std::log2(xmin), lx1 = std::log2(std::max(xmax, xmin * 2));
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      if (x <= 0.0) continue;
+      const int col = static_cast<int>(std::lround(
+          (std::log2(x) - lx0) / (lx1 - lx0) * (width_ - 1)));
+      const int row = static_cast<int>(std::lround(y / ymax * (height_ - 1)));
+      const int r = std::clamp(height_ - 1 - row, 0, height_ - 1);
+      const int c = std::clamp(col, 0, width_ - 1);
+      grid[r][c] = s.glyph;
+    }
+  }
+  os << y_label_ << " (max " << ymax << ")\n";
+  for (const auto& line : grid) os << "| " << line << "\n";
+  os << "+" << std::string(width_ + 1, '-') << "> " << x_label_ << " (log2, "
+     << xmin << ".." << xmax << ")\n";
+  os << "legend:";
+  for (const auto& s : series_) os << "  " << s.glyph << "=" << s.label;
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace rvhpc::report

@@ -1,0 +1,37 @@
+#pragma once
+// rvhpc::report — ASCII line charts for the figure reproductions.
+//
+// The paper's Figures 1-6 are log-x scaling curves with one series per
+// machine; AsciiChart renders the same series as a terminal plot so each
+// fig*_ bench binary can show the reproduced shape directly.
+
+#include <string>
+#include <vector>
+
+namespace rvhpc::report {
+
+/// One plotted series: (x, y) points with a label and a glyph.
+struct Series {
+  std::string label;
+  char glyph = '*';
+  std::vector<std::pair<double, double>> points;
+};
+
+/// Renders series on a log2-x / linear-y grid of the given size.
+class AsciiChart {
+ public:
+  AsciiChart(std::string title, std::string x_label, std::string y_label,
+             int width = 72, int height = 20);
+
+  void add_series(Series s);
+
+  /// Renders the plot plus a legend; empty charts render just the title.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::string title_, x_label_, y_label_;
+  int width_, height_;
+  std::vector<Series> series_;
+};
+
+}  // namespace rvhpc::report

@@ -1,0 +1,27 @@
+#include "report/csv.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+namespace rvhpc::report {
+
+std::string csv_dir() {
+  const char* dir = std::getenv("RVHPC_CSV_DIR");
+  return dir != nullptr ? std::string(dir) : std::string();
+}
+
+std::string maybe_write_csv(const std::string& name, const Table& t) {
+  const std::string dir = csv_dir();
+  if (dir.empty()) return {};
+  const std::string path = dir + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write CSV to " + path +
+                             " (RVHPC_CSV_DIR set but unwritable)");
+  }
+  out << t.to_csv();
+  return path;
+}
+
+}  // namespace rvhpc::report

@@ -1,0 +1,22 @@
+#pragma once
+// rvhpc::report — optional CSV side-output for the bench binaries.
+//
+// Every reproduction bench prints human-readable tables; setting the
+// RVHPC_CSV_DIR environment variable additionally drops each table as
+// <dir>/<name>.csv so results can be plotted or diffed by scripts.
+
+#include <string>
+
+#include "report/table.hpp"
+
+namespace rvhpc::report {
+
+/// Directory from RVHPC_CSV_DIR, or empty when CSV output is disabled.
+[[nodiscard]] std::string csv_dir();
+
+/// Writes `t` to `<csv_dir>/<name>.csv` when RVHPC_CSV_DIR is set.
+/// Returns the path written, or empty if disabled.  Throws
+/// std::runtime_error if the directory is set but unwritable.
+std::string maybe_write_csv(const std::string& name, const Table& t);
+
+}  // namespace rvhpc::report

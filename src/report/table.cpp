@@ -1,0 +1,81 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rvhpc::report {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string{};
+      os << cell << std::string(width[c] - cell.size(), ' ');
+      if (c + 1 < header_.size()) os << "  ";
+    }
+    os << "\n";
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << "\n";
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto cell = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    return out + "\"";
+  };
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      if (c) os << ",";
+      os << cell(c < r.size() ? r[c] : std::string{});
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::string fmt(double v, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << v;
+  return os.str();
+}
+
+std::string fmt_pct_of(double v, double reference) {
+  if (reference == 0.0) return "-";
+  return fmt(100.0 * v / reference, 0) + "%";
+}
+
+std::string fmt_ratio(double num, double den, int decimals) {
+  if (den == 0.0) return "-";
+  return fmt(num / den, decimals) + "x";
+}
+
+}  // namespace rvhpc::report

@@ -1,0 +1,45 @@
+#pragma once
+// rvhpc::report — plain-text table rendering.
+//
+// Every bench binary prints its reproduction as an aligned text table with
+// paper-reference columns next to modelled values.  Cells are strings;
+// numeric helpers format with sensible precision.
+
+#include <string>
+#include <vector>
+
+namespace rvhpc::report {
+
+/// A simple column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; missing cells render empty, extras are dropped.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with a header rule and 2-space column gaps.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders as RFC-4180-ish CSV (quotes cells containing commas).
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting: fmt(3.14159, 2) == "3.14".
+[[nodiscard]] std::string fmt(double v, int decimals = 2);
+
+/// Formats `v` as a percentage of `reference` ("87%"); "-" when the
+/// reference is missing/zero.
+[[nodiscard]] std::string fmt_pct_of(double v, double reference);
+
+/// Ratio string ("1.23x"); "-" when the denominator is zero.
+[[nodiscard]] std::string fmt_ratio(double num, double den, int decimals = 2);
+
+}  // namespace rvhpc::report

@@ -1,0 +1,113 @@
+#include "stream/stream.hpp"
+
+#include <omp.h>
+
+#include <chrono>
+#include <cmath>
+
+namespace rvhpc::stream {
+namespace {
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string to_string(StreamKernel k) {
+  switch (k) {
+    case StreamKernel::Copy:  return "copy";
+    case StreamKernel::Scale: return "scale";
+    case StreamKernel::Add:   return "add";
+    case StreamKernel::Triad: return "triad";
+  }
+  return "unknown";
+}
+
+std::vector<StreamResult> run(const StreamConfig& cfg) {
+  const std::size_t n = cfg.elements;
+  std::vector<double> a(n), b(n), c(n);
+  constexpr double kScalar = 3.0;
+
+#pragma omp parallel for schedule(static) num_threads(cfg.threads)
+  for (long long i = 0; i < static_cast<long long>(n); ++i) {
+    a[static_cast<std::size_t>(i)] = 1.0;
+    b[static_cast<std::size_t>(i)] = 2.0;
+    c[static_cast<std::size_t>(i)] = 0.0;
+  }
+
+  const double bytes2 = 2.0 * sizeof(double) * static_cast<double>(n);
+  const double bytes3 = 3.0 * sizeof(double) * static_cast<double>(n);
+  std::vector<StreamResult> results(4);
+  for (int q = 0; q < 4; ++q) {
+    results[static_cast<std::size_t>(q)].kernel = static_cast<StreamKernel>(q);
+  }
+  std::vector<double> best(4, 1e300), total(4, 0.0);
+
+  for (int rep = 0; rep < cfg.repetitions; ++rep) {
+    double t = now();
+#pragma omp parallel for schedule(static) num_threads(cfg.threads)
+    for (long long i = 0; i < static_cast<long long>(n); ++i) {
+      c[static_cast<std::size_t>(i)] = a[static_cast<std::size_t>(i)];
+    }
+    double dt = now() - t;
+    best[0] = std::min(best[0], dt);
+    total[0] += dt;
+
+    t = now();
+#pragma omp parallel for schedule(static) num_threads(cfg.threads)
+    for (long long i = 0; i < static_cast<long long>(n); ++i) {
+      b[static_cast<std::size_t>(i)] = kScalar * c[static_cast<std::size_t>(i)];
+    }
+    dt = now() - t;
+    best[1] = std::min(best[1], dt);
+    total[1] += dt;
+
+    t = now();
+#pragma omp parallel for schedule(static) num_threads(cfg.threads)
+    for (long long i = 0; i < static_cast<long long>(n); ++i) {
+      c[static_cast<std::size_t>(i)] =
+          a[static_cast<std::size_t>(i)] + b[static_cast<std::size_t>(i)];
+    }
+    dt = now() - t;
+    best[2] = std::min(best[2], dt);
+    total[2] += dt;
+
+    t = now();
+#pragma omp parallel for schedule(static) num_threads(cfg.threads)
+    for (long long i = 0; i < static_cast<long long>(n); ++i) {
+      a[static_cast<std::size_t>(i)] =
+          b[static_cast<std::size_t>(i)] +
+          kScalar * c[static_cast<std::size_t>(i)];
+    }
+    dt = now() - t;
+    best[3] = std::min(best[3], dt);
+    total[3] += dt;
+  }
+
+  // Analytic verification (STREAM's checkSTREAMresults).
+  double ea = 1.0, eb = 2.0, ec = 0.0;
+  for (int rep = 0; rep < cfg.repetitions; ++rep) {
+    ec = ea;
+    eb = kScalar * ec;
+    ec = ea + eb;
+    ea = eb + kScalar * ec;
+  }
+  double err = std::fabs(a[n / 2] - ea) + std::fabs(b[n / 2] - eb) +
+               std::fabs(c[n / 2] - ec);
+  const bool ok = err < 1e-8 * (std::fabs(ea) + std::fabs(eb) + std::fabs(ec));
+
+  const double byte_count[4] = {bytes2, bytes2, bytes3, bytes3};
+  for (int q = 0; q < 4; ++q) {
+    auto& r = results[static_cast<std::size_t>(q)];
+    r.best_gbs = byte_count[q] / best[static_cast<std::size_t>(q)] / 1e9;
+    r.avg_gbs = byte_count[q] * cfg.repetitions /
+                total[static_cast<std::size_t>(q)] / 1e9;
+    r.verified = ok;
+  }
+  return results;
+}
+
+}  // namespace rvhpc::stream

@@ -1,0 +1,33 @@
+#pragma once
+// rvhpc::stream — the STREAM sustainable-bandwidth benchmark (McCalpin),
+// the measurement behind the paper's Figure 1.  Four kernels over three
+// large arrays; bandwidth counts the bytes each kernel logically moves.
+
+#include <string>
+#include <vector>
+
+namespace rvhpc::stream {
+
+/// The four STREAM kernels.
+enum class StreamKernel { Copy, Scale, Add, Triad };
+[[nodiscard]] std::string to_string(StreamKernel k);
+
+/// One kernel's measurement.
+struct StreamResult {
+  StreamKernel kernel = StreamKernel::Copy;
+  double best_gbs = 0.0;     ///< best-of-repetitions bandwidth
+  double avg_gbs = 0.0;
+  bool verified = false;     ///< array contents match the analytic result
+};
+
+/// Configuration: array length and timed repetitions.
+struct StreamConfig {
+  std::size_t elements = 20'000'000;
+  int repetitions = 10;
+  int threads = 1;
+};
+
+/// Runs all four kernels; returns results in Copy/Scale/Add/Triad order.
+[[nodiscard]] std::vector<StreamResult> run(const StreamConfig& cfg);
+
+}  // namespace rvhpc::stream

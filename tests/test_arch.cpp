@@ -1,0 +1,148 @@
+// Tests for rvhpc::arch — machine registry and descriptions.
+
+#include <gtest/gtest.h>
+
+#include "arch/registry.hpp"
+#include "arch/validate.hpp"
+
+namespace rvhpc::arch {
+namespace {
+
+class EveryMachine : public ::testing::TestWithParam<MachineId> {};
+
+INSTANTIATE_TEST_SUITE_P(Registry, EveryMachine,
+                         ::testing::ValuesIn(all_machines()),
+                         [](const auto& pinfo) {
+                           std::string n = name_of(pinfo.param);
+                           for (char& c : n) if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST_P(EveryMachine, ValidatesCleanly) {
+  const MachineModel& m = machine(GetParam());
+  const auto issues = validate(m);
+  EXPECT_TRUE(issues.empty()) << format_issues(issues);
+}
+
+TEST_P(EveryMachine, LookupByNameRoundTrips) {
+  const MachineModel& m = machine(GetParam());
+  EXPECT_EQ(&machine(m.name), &m);
+}
+
+TEST_P(EveryMachine, HasPositiveDerivedQuantities) {
+  const MachineModel& m = machine(GetParam());
+  EXPECT_GT(m.peak_vector_gflops(), 0.0);
+  EXPECT_GT(m.peak_scalar_gflops_core(), 0.0);
+  EXPECT_GT(m.llc_bytes(), 0u);
+  EXPECT_GT(m.memory.chip_stream_bw_gbs(), 0.0);
+  EXPECT_FALSE(m.summary().empty());
+}
+
+TEST_P(EveryMachine, SingleCoreOwnsWholeSharedCache) {
+  const MachineModel& m = machine(GetParam());
+  for (std::size_t level = 0; level < m.caches.size(); ++level) {
+    EXPECT_EQ(m.cache_bytes_per_core(level, 1), m.caches[level].size_bytes);
+  }
+}
+
+TEST(Registry, HasAllElevenPaperMachines) {
+  EXPECT_EQ(all_machines().size(), 11u);
+  EXPECT_EQ(riscv_board_machines().size(), 6u);
+  EXPECT_EQ(hpc_machines().size(), 5u);
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW((void)machine("no-such-cpu"), std::out_of_range);
+}
+
+// --- paper §2.1/§5 facts encoded in the models --------------------------
+
+TEST(Sg2044, MatchesPaperDescription) {
+  const MachineModel& m = machine(MachineId::Sg2044);
+  EXPECT_EQ(m.cores, 64);
+  EXPECT_EQ(m.cluster_size, 4);
+  EXPECT_DOUBLE_EQ(m.core.clock_ghz, 2.6);  // test system, not [11]'s 2.8
+  EXPECT_EQ(m.core.vector.isa, VectorIsa::RvvV1_0);
+  EXPECT_EQ(m.core.vector.width_bits, 128);
+  EXPECT_EQ(m.memory.controllers, 32);
+  EXPECT_EQ(m.memory.channels, 32);
+  EXPECT_EQ(m.memory.numa_regions, 1);
+  EXPECT_EQ(m.memory.ddr_kind, "DDR5-4266");
+  // 64 KiB L1D, 2 MiB L2 per 4-core cluster, 64 MiB L3.
+  EXPECT_EQ(m.caches.at(0).size_bytes, 64u * 1024u);
+  EXPECT_EQ(m.caches.at(1).size_bytes, 2u * 1024u * 1024u);
+  EXPECT_EQ(m.caches.at(1).shared_by_cores, 4);
+  EXPECT_EQ(m.caches.at(2).size_bytes, 64u * 1024u * 1024u);
+}
+
+TEST(Sg2042, MatchesPaperDescription) {
+  const MachineModel& m = machine(MachineId::Sg2042);
+  EXPECT_EQ(m.cores, 64);
+  EXPECT_DOUBLE_EQ(m.core.clock_ghz, 2.0);
+  EXPECT_EQ(m.core.vector.isa, VectorIsa::RvvV0_7);
+  EXPECT_EQ(m.memory.controllers, 4);
+  EXPECT_EQ(m.memory.channels, 4);
+  // Half the SG2044's per-cluster L2.
+  EXPECT_EQ(m.caches.at(1).size_bytes, 1u * 1024u * 1024u);
+}
+
+TEST(Sg2044VsSg2042, UpgradesThePaperCallsOut) {
+  const MachineModel& v2 = machine(MachineId::Sg2044);
+  const MachineModel& v1 = machine(MachineId::Sg2042);
+  // ~3x sustained memory bandwidth ([10], Fig. 1).
+  const double ratio =
+      v2.memory.chip_stream_bw_gbs() / v1.memory.chip_stream_bw_gbs();
+  EXPECT_GT(ratio, 2.8);
+  EXPECT_LT(ratio, 3.8);
+  // 8x the memory controllers/channels, higher clock, doubled L2.
+  EXPECT_EQ(v2.memory.controllers, 8 * v1.memory.controllers);
+  EXPECT_GT(v2.core.clock_ghz, v1.core.clock_ghz);
+  EXPECT_EQ(v2.caches.at(1).size_bytes, 2 * v1.caches.at(1).size_bytes);
+}
+
+TEST(OtherIsas, MatchPaperTable5) {
+  EXPECT_EQ(machine(MachineId::Epyc7742).cores, 64);
+  EXPECT_EQ(machine(MachineId::Epyc7742).memory.numa_regions, 4);
+  EXPECT_EQ(machine(MachineId::Epyc7742).core.vector.isa, VectorIsa::Avx2);
+  EXPECT_EQ(machine(MachineId::Xeon8170).cores, 26);
+  EXPECT_EQ(machine(MachineId::Xeon8170).core.vector.isa, VectorIsa::Avx512);
+  EXPECT_EQ(machine(MachineId::ThunderX2).cores, 32);
+  EXPECT_EQ(machine(MachineId::ThunderX2).core.vector.isa, VectorIsa::Neon);
+  EXPECT_DOUBLE_EQ(machine(MachineId::ThunderX2).core.clock_ghz, 2.0);
+}
+
+TEST(Boards, AllwinnerD1HasOneGiB) {
+  // Table 2's FT "DNR" hinges on this.
+  EXPECT_DOUBLE_EQ(machine(MachineId::AllwinnerD1).memory.dram_gib, 1.0);
+}
+
+TEST(Boards, SpacemiTAreTheOnlyOtherRvv10Parts) {
+  int rvv10 = 0;
+  for (MachineId id : riscv_board_machines()) {
+    if (machine(id).core.vector.isa == VectorIsa::RvvV1_0) ++rvv10;
+  }
+  EXPECT_EQ(rvv10, 2);  // BPI-F3 and Milk-V Jupiter
+  EXPECT_GT(machine(MachineId::MilkVJupiter).core.clock_ghz,
+            machine(MachineId::BananaPiF3).core.clock_ghz);
+}
+
+TEST(VectorUnit, LaneAccounting) {
+  VectorUnit v{VectorIsa::Avx512, 512, 2, 0.5};
+  EXPECT_EQ(v.lanes_f64(), 8);
+  EXPECT_TRUE(v.usable());
+  EXPECT_FALSE(VectorUnit{}.usable());
+  EXPECT_EQ(VectorUnit{}.lanes_f64(), 0);
+}
+
+TEST(ToString, CoversAllEnumerators) {
+  for (VectorIsa v : {VectorIsa::None, VectorIsa::RvvV0_7, VectorIsa::RvvV1_0,
+                      VectorIsa::Avx2, VectorIsa::Avx512, VectorIsa::Neon}) {
+    EXPECT_NE(to_string(v), "unknown");
+  }
+  for (Isa i : {Isa::Rv64gcv, Isa::Rv64gc, Isa::X86_64, Isa::Armv8}) {
+    EXPECT_NE(to_string(i), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace rvhpc::arch

@@ -1,0 +1,129 @@
+// Tests for rvhpc::model compiler/vectorisation support matrix.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include "arch/registry.hpp"
+#include "model/compiler.hpp"
+#include "model/signatures.hpp"
+
+namespace rvhpc::model {
+namespace {
+
+using arch::VectorIsa;
+
+const std::vector<CompilerId> kAllCompilers = {
+    CompilerId::XuanTieGcc8_4, CompilerId::Gcc8_4,    CompilerId::Gcc9_2,
+    CompilerId::Gcc11_2,       CompilerId::Gcc12_3_1, CompilerId::Gcc15_2};
+
+TEST(Compiler, OnlyTheForkTargetsRvv071) {
+  for (CompilerId id : kAllCompilers) {
+    EXPECT_EQ(can_target(id, VectorIsa::RvvV0_7),
+              id == CompilerId::XuanTieGcc8_4)
+        << to_string(id);
+  }
+}
+
+TEST(Compiler, OnlyGcc15TargetsRvv10) {
+  // §6: foundational RVV support from GCC 13.1, full from 14 — of the
+  // study's toolchains only 15.2 qualifies.  In particular the openEuler
+  // default 12.3.1 cannot vectorise for the SG2044 at all.
+  for (CompilerId id : kAllCompilers) {
+    EXPECT_EQ(can_target(id, VectorIsa::RvvV1_0), id == CompilerId::Gcc15_2)
+        << to_string(id);
+  }
+}
+
+TEST(Compiler, MainlineTargetsMatureBackends) {
+  for (VectorIsa isa : {VectorIsa::Avx2, VectorIsa::Avx512, VectorIsa::Neon}) {
+    EXPECT_TRUE(can_target(CompilerId::Gcc8_4, isa));
+    EXPECT_TRUE(can_target(CompilerId::Gcc15_2, isa));
+    EXPECT_FALSE(can_target(CompilerId::XuanTieGcc8_4, isa));
+  }
+}
+
+TEST(Compiler, NobodyTargetsNone) {
+  for (CompilerId id : kAllCompilers) {
+    EXPECT_FALSE(can_target(id, VectorIsa::None));
+    EXPECT_EQ(autovec_quality(id, VectorIsa::None), 0.0);
+  }
+}
+
+TEST(Compiler, QualityZeroWhenUntargetable) {
+  EXPECT_EQ(autovec_quality(CompilerId::Gcc12_3_1, VectorIsa::RvvV1_0), 0.0);
+}
+
+TEST(Compiler, QualityInUnitRangeWhenTargetable) {
+  for (CompilerId id : kAllCompilers) {
+    for (VectorIsa isa : {VectorIsa::RvvV0_7, VectorIsa::RvvV1_0,
+                          VectorIsa::Avx2, VectorIsa::Avx512, VectorIsa::Neon}) {
+      const double q = autovec_quality(id, isa);
+      if (can_target(id, isa)) {
+        EXPECT_GT(q, 0.0);
+        EXPECT_LE(q, 1.0);
+      } else {
+        EXPECT_EQ(q, 0.0);
+      }
+    }
+  }
+}
+
+TEST(Compiler, GatherAutovecOnlyOnModernToolchain) {
+  EXPECT_TRUE(gather_autovec(CompilerId::Gcc15_2));
+  EXPECT_FALSE(gather_autovec(CompilerId::XuanTieGcc8_4));
+  EXPECT_FALSE(gather_autovec(CompilerId::Gcc12_3_1));
+}
+
+TEST(Compiler, ScalarQualityCalibratedFromTable7) {
+  // GCC 12.3.1 vs GCC 15.2-novec moves in both directions per kernel.
+  EXPECT_GT(scalar_quality(CompilerId::Gcc12_3_1, Kernel::MG), 1.0);
+  EXPECT_LT(scalar_quality(CompilerId::Gcc12_3_1, Kernel::FT), 1.0);
+  EXPECT_NEAR(scalar_quality(CompilerId::Gcc15_2, Kernel::MG), 1.0, 1e-12);
+}
+
+TEST(Compiler, ScalarQualityAlwaysPositive) {
+  for (CompilerId id : kAllCompilers) {
+    for (Kernel k : npb_all()) {
+      EXPECT_GT(scalar_quality(id, k), 0.5) << to_string(id);
+      EXPECT_LT(scalar_quality(id, k), 1.3) << to_string(id);
+    }
+  }
+}
+
+TEST(Compiler, ParallelQualityWorstForGcc12OnIs) {
+  // Table 8: IS gains 35% at 64 cores from the newer toolchain.
+  const double is_q = parallel_quality(CompilerId::Gcc12_3_1, Kernel::IS);
+  EXPECT_LT(is_q, 0.8);
+  for (Kernel k : npb_all()) {
+    if (k == Kernel::IS) continue;
+    EXPECT_GT(parallel_quality(CompilerId::Gcc12_3_1, k), is_q);
+  }
+  EXPECT_DOUBLE_EQ(parallel_quality(CompilerId::Gcc15_2, Kernel::IS), 1.0);
+}
+
+TEST(Compiler, PaperDefaultsMatchSection5) {
+  EXPECT_EQ(paper_default_compiler(arch::machine("sg2044")).id,
+            CompilerId::Gcc15_2);
+  EXPECT_EQ(paper_default_compiler(arch::machine("sg2042")).id,
+            CompilerId::XuanTieGcc8_4);
+  EXPECT_EQ(paper_default_compiler(arch::machine("epyc7742")).id,
+            CompilerId::Gcc11_2);
+  EXPECT_EQ(paper_default_compiler(arch::machine("xeon8170")).id,
+            CompilerId::Gcc8_4);
+  EXPECT_EQ(paper_default_compiler(arch::machine("thunderx2")).id,
+            CompilerId::Gcc9_2);
+  EXPECT_EQ(paper_default_compiler(arch::machine("bananapi-f3")).id,
+            CompilerId::Gcc15_2);
+}
+
+TEST(Compiler, NamesAreUnique) {
+  std::vector<std::string> names;
+  for (CompilerId id : kAllCompilers) names.push_back(to_string(id));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+}  // namespace
+}  // namespace rvhpc::model

@@ -1,0 +1,148 @@
+// Tests for rvhpc::hpc — the mini-HPL and mini-HPCG future-work codes —
+// and their model-side signatures.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/registry.hpp"
+#include "hpc/hpcg.hpp"
+#include "hpc/hpl.hpp"
+#include "model/sweep.hpp"
+
+namespace rvhpc {
+namespace {
+
+TEST(Hpl, SolvesToHplTolerance) {
+  hpc::hpl::HplConfig cfg;
+  cfg.n = 192;
+  cfg.threads = 2;
+  const auto r = hpc::hpl::run(cfg);
+  EXPECT_TRUE(r.verified);
+  EXPECT_LT(r.scaled_residual, 16.0);  // the official HPL criterion
+  EXPECT_GT(r.gflops, 0.0);
+}
+
+TEST(Hpl, BlockSizeDoesNotChangeTheAnswer) {
+  hpc::hpl::HplConfig a;
+  a.n = 128;
+  a.block = 16;
+  const auto ra = hpc::hpl::run(a);
+  hpc::hpl::HplConfig b;
+  b.n = 128;
+  b.block = 64;
+  const auto rb = hpc::hpl::run(b);
+  EXPECT_TRUE(ra.verified);
+  EXPECT_TRUE(rb.verified);
+}
+
+TEST(Hpl, ThreadCountDoesNotChangeTheAnswer) {
+  hpc::hpl::HplConfig a;
+  a.n = 128;
+  a.threads = 1;
+  hpc::hpl::HplConfig b = a;
+  b.threads = 2;
+  EXPECT_TRUE(hpc::hpl::run(a).verified);
+  EXPECT_TRUE(hpc::hpl::run(b).verified);
+}
+
+TEST(Hpl, OddSizesAgainstBlocking) {
+  hpc::hpl::HplConfig cfg;
+  cfg.n = 97;  // not a multiple of the block
+  cfg.block = 32;
+  EXPECT_TRUE(hpc::hpl::run(cfg).verified);
+}
+
+TEST(Hpcg, ConvergesWithinBudget) {
+  hpc::hpcg::HpcgConfig cfg;
+  cfg.nx = 16;
+  cfg.threads = 2;
+  const auto r = hpc::hpcg::run(cfg);
+  EXPECT_TRUE(r.verified);
+  EXPECT_LT(r.final_relative_residual, cfg.tolerance);
+}
+
+TEST(Hpcg, PreconditionerAccelerates) {
+  hpc::hpcg::HpcgConfig cfg;
+  cfg.nx = 16;
+  const auto r = hpc::hpcg::run(cfg);
+  // SymGS must cut the iteration count well below plain CG (>= 1.5x).
+  EXPECT_LE(r.iterations * 3, r.unpreconditioned_iterations * 2);
+}
+
+TEST(Hpcg, DeterministicIterationCount) {
+  hpc::hpcg::HpcgConfig cfg;
+  cfg.nx = 16;
+  const auto a = hpc::hpcg::run(cfg);
+  cfg.threads = 2;
+  const auto b = hpc::hpcg::run(cfg);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+// ---- model-side predictions ---------------------------------------------
+
+TEST(FutureWorkModel, HplIsComputeBoundEverywhere) {
+  for (arch::MachineId id : arch::hpc_machines()) {
+    const auto& m = arch::machine(id);
+    const auto p = model::at_cores(id, model::Kernel::Hpl,
+                                   model::ProblemClass::C, m.cores);
+    ASSERT_TRUE(p.ran) << m.name;
+    EXPECT_EQ(p.breakdown.dominant, model::Bottleneck::Compute) << m.name;
+  }
+}
+
+TEST(FutureWorkModel, HpcgIsMemoryBoundEverywhere) {
+  for (arch::MachineId id : arch::hpc_machines()) {
+    const auto& m = arch::machine(id);
+    const auto p = model::at_cores(id, model::Kernel::Hpcg,
+                                   model::ProblemClass::C, m.cores);
+    ASSERT_TRUE(p.ran) << m.name;
+    EXPECT_NE(p.breakdown.dominant, model::Bottleneck::Compute) << m.name;
+  }
+}
+
+TEST(FutureWorkModel, Sg2044BeatsSg2042HarderOnHpcgThanHpl) {
+  // HPCG stresses exactly the subsystem SOPHGO fixed.
+  const double hpcg = model::times_faster(arch::MachineId::Sg2044,
+                                          arch::MachineId::Sg2042,
+                                          model::Kernel::Hpcg,
+                                          model::ProblemClass::C, 64);
+  const double hpl = model::times_faster(arch::MachineId::Sg2044,
+                                         arch::MachineId::Sg2042,
+                                         model::Kernel::Hpl,
+                                         model::ProblemClass::C, 64);
+  EXPECT_GT(hpcg, hpl);
+  EXPECT_GT(hpcg, 1.8);
+  EXPECT_GT(hpl, 1.0);
+}
+
+TEST(FutureWorkModel, ClangTargetsRvv10AndHelpsSlightly) {
+  EXPECT_TRUE(model::can_target(model::CompilerId::Clang17,
+                                arch::VectorIsa::RvvV1_0));
+  EXPECT_TRUE(model::gather_autovec(model::CompilerId::Clang17));
+  const auto& sg = arch::machine(arch::MachineId::Sg2044);
+  const auto sig = model::signature(model::Kernel::BT, model::ProblemClass::C);
+  model::RunConfig gcc{1, {model::CompilerId::Gcc15_2, true},
+                       model::ThreadPlacement::OsDefault};
+  model::RunConfig llvm{1, {model::CompilerId::Clang17, true},
+                        model::ThreadPlacement::OsDefault};
+  const double g = predict(sg, sig, gcc).mops;
+  const double l = predict(sg, sig, llvm).mops;
+  EXPECT_GT(l, g);          // better RVV codegen
+  EXPECT_LT(l, g * 1.25);   // but no miracle
+}
+
+TEST(FutureWorkModel, SignaturesScaleWithClass) {
+  for (model::Kernel k : {model::Kernel::Hpl, model::Kernel::Hpcg}) {
+    double prev = 0.0;
+    for (auto c : {model::ProblemClass::S, model::ProblemClass::A,
+                   model::ProblemClass::C}) {
+      const auto s = model::signature(k, c);
+      EXPECT_GT(s.total_mop, prev);
+      prev = s.total_mop;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rvhpc

@@ -1,0 +1,119 @@
+// Tests for rvhpc::memsim::Cache — set-associative LRU behaviour.
+
+#include <gtest/gtest.h>
+
+#include "memsim/cache.hpp"
+
+namespace rvhpc::memsim {
+namespace {
+
+TEST(Cache, GeometryDerivation) {
+  Cache c(32 * 1024, 8, 64);
+  EXPECT_EQ(c.sets(), 64u);
+  EXPECT_EQ(c.size_bytes(), 32u * 1024u);
+  EXPECT_EQ(c.associativity(), 8);
+  EXPECT_EQ(c.line_bytes(), 64);
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(Cache(0, 8, 64), std::invalid_argument);
+  EXPECT_THROW(Cache(1024, 0, 64), std::invalid_argument);
+  EXPECT_THROW(Cache(1024, 8, 48), std::invalid_argument);   // not pow2 line
+  EXPECT_THROW(Cache(1000, 8, 64), std::invalid_argument);   // not divisible
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c(4096, 4, 64);
+  EXPECT_FALSE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.access(0x1030, false).hit);  // same 64B line
+  EXPECT_FALSE(c.access(0x1040, false).hit); // next line
+  EXPECT_EQ(c.stats().accesses, 4u);
+  EXPECT_EQ(c.stats().hits, 2u);
+  EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, LruEvictsOldest) {
+  // Direct observation of LRU in one set: 2-way, line 64, 2 sets.
+  Cache c(256, 2, 64);
+  // Set 0 gets lines 0, 2, 4 (even line indices).
+  c.access(0 * 64, false);
+  c.access(2 * 64, false);
+  c.access(0 * 64, false);          // touch line 0: line 2 is now LRU
+  const auto r = c.access(4 * 64, false);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_EQ(r.victim_line, 2u * 64u);
+  EXPECT_TRUE(c.contains(0 * 64));
+  EXPECT_FALSE(c.contains(2 * 64));
+  EXPECT_TRUE(c.contains(4 * 64));
+}
+
+TEST(Cache, DirtyEvictionWritesBack) {
+  Cache c(128, 1, 64);  // direct-mapped, 2 sets
+  c.access(0, true);                       // dirty line 0 in set 0
+  const auto r = c.access(2 * 64, false);  // maps to set 0, evicts
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+  const auto r2 = c.access(4 * 64, false); // clean eviction
+  EXPECT_TRUE(r2.evicted);
+  EXPECT_FALSE(r2.writeback);
+}
+
+TEST(Cache, WriteHitMarksLineDirty) {
+  Cache c(128, 1, 64);
+  c.access(0, false);
+  c.access(0, true);                       // hit-for-write dirties the line
+  const auto r = c.access(2 * 64, false);
+  EXPECT_TRUE(r.writeback);
+}
+
+TEST(Cache, FlushDropsEverythingAndCountsDirty) {
+  Cache c(4096, 4, 64);
+  c.access(0, true);
+  c.access(64, false);
+  c.flush();
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_FALSE(c.contains(64));
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheAlwaysHitsAfterWarmup) {
+  Cache c(64 * 1024, 8, 64);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t a = 0; a < 32 * 1024; a += 64) c.access(a, false);
+  }
+  // Second and third passes must be pure hits: 512 misses total.
+  EXPECT_EQ(c.stats().misses, 512u);
+  EXPECT_EQ(c.stats().hits, 1024u);
+}
+
+TEST(Cache, WorkingSetLargerThanCacheThrashes) {
+  Cache c(4 * 1024, 4, 64);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t a = 0; a < 64 * 1024; a += 64) c.access(a, false);
+  }
+  // Cyclic sweep over 16x the capacity with LRU: every access misses.
+  EXPECT_EQ(c.stats().hits, 0u);
+}
+
+TEST(Cache, ContainsDoesNotPerturbLru) {
+  Cache c(128, 2, 64);
+  c.access(0, false);
+  c.access(2 * 64, false);
+  ASSERT_TRUE(c.contains(0));              // query must not refresh line 0
+  const auto r = c.access(4 * 64, false);  // evicts true LRU = line 0
+  EXPECT_EQ(r.victim_line, 0u);
+}
+
+TEST(CacheStats, Rates) {
+  CacheStats s;
+  EXPECT_EQ(s.hit_rate(), 0.0);
+  s.accesses = 10;
+  s.hits = 7;
+  s.misses = 3;
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.7);
+  EXPECT_DOUBLE_EQ(s.miss_rate(), 0.3);
+}
+
+}  // namespace
+}  // namespace rvhpc::memsim

@@ -1,0 +1,158 @@
+// Tests for rvhpc::memsim DRAM model and multi-core hierarchy.
+
+#include <gtest/gtest.h>
+
+#include "arch/registry.hpp"
+#include "memsim/dram.hpp"
+#include "memsim/hierarchy.hpp"
+
+namespace rvhpc::memsim {
+namespace {
+
+DramConfig small_dram() {
+  DramConfig cfg;
+  cfg.channels = 1;
+  cfg.channel_bw_gbs = 10.0;
+  cfg.efficiency = 1.0;
+  cfg.idle_latency_ns = 100.0;
+  cfg.clock_ghz = 1.0;
+  cfg.window_cycles = 1000;
+  return cfg;
+}
+
+TEST(Dram, IdleLatencyAtZeroLoad) {
+  DramModel d(small_dram());
+  EXPECT_DOUBLE_EQ(d.latency_cycles(0.0), 100.0);  // 100 ns at 1 GHz
+}
+
+TEST(Dram, LatencyInflatesQuadratically) {
+  DramModel d(small_dram());
+  EXPECT_GT(d.latency_cycles(0.9), d.latency_cycles(0.3));
+  EXPECT_DOUBLE_EQ(d.latency_cycles(2.0), d.latency_cycles(0.95));
+}
+
+TEST(Dram, QuietWindowsAreNotBandwidthBound) {
+  DramModel d(small_dram());
+  // One line per window: far below the ~10 KB window capacity.
+  for (std::uint64_t w = 0; w < 50; ++w) d.request(w * 1000);
+  d.finish(50 * 1000);
+  EXPECT_EQ(d.bw_bound_windows(), 0u);
+  EXPECT_GT(d.windows(), 40u);
+}
+
+TEST(Dram, SaturatedWindowsAreDetected) {
+  DramModel d(small_dram());
+  // Window capacity = 10 GB/s * 1us = 10 KB = ~156 lines; issue 400/window.
+  for (std::uint64_t w = 0; w < 10; ++w) {
+    for (int r = 0; r < 400; ++r) d.request(w * 1000 + static_cast<std::uint64_t>(r));
+  }
+  d.finish(10 * 1000);
+  EXPECT_GT(d.bw_bound_fraction(), 0.9);
+  EXPECT_EQ(d.total_requests(), 4000u);
+}
+
+TEST(Dram, UtilisationResetsPerWindow) {
+  DramModel d(small_dram());
+  for (int r = 0; r < 200; ++r) d.request(0);
+  EXPECT_GT(d.current_utilisation(), 0.5);
+  d.request(5000);  // two windows later
+  EXPECT_LT(d.current_utilisation(), 0.1);
+}
+
+// --- hierarchy ---------------------------------------------------------------
+
+TEST(Hierarchy, BuildsPerMachineTopology) {
+  const auto& sg = arch::machine(arch::MachineId::Sg2044);
+  Hierarchy h(sg, 8);
+  EXPECT_EQ(h.levels(), 3u);  // L1D, L2, L3
+  EXPECT_EQ(h.cores(), 8);
+  EXPECT_GT(h.level_latency(2), h.level_latency(0));
+}
+
+TEST(Hierarchy, RejectsBadCoreCount) {
+  const auto& sg = arch::machine(arch::MachineId::Sg2044);
+  EXPECT_THROW(Hierarchy(sg, 0), std::invalid_argument);
+  EXPECT_THROW(Hierarchy(sg, 65), std::invalid_argument);
+}
+
+TEST(Hierarchy, MissFillsAllLevels) {
+  const auto& sg = arch::machine(arch::MachineId::Sg2044);
+  Hierarchy h(sg, 1);
+  EXPECT_EQ(h.access(0, 0x10000, false), HitLevel::Dram);
+  EXPECT_EQ(h.access(0, 0x10000, false), HitLevel::L1);
+}
+
+TEST(Hierarchy, ClusterSharingL2) {
+  // Cores 0 and 1 share an SG2044 L2 (clusters of 4); a line brought in by
+  // core 0 is an L2 hit for core 1 but an L1 miss.
+  const auto& sg = arch::machine(arch::MachineId::Sg2044);
+  Hierarchy h(sg, 8);
+  h.access(0, 0x40000, false);
+  EXPECT_EQ(h.access(1, 0x40000, false), HitLevel::L2);
+  // Core 4 is in the next cluster: different L2, same L3.
+  EXPECT_EQ(h.access(4, 0x40000, false), HitLevel::L3);
+}
+
+TEST(Hierarchy, PrivateL2OnEpyc) {
+  const auto& epyc = arch::machine(arch::MachineId::Epyc7742);
+  Hierarchy h(epyc, 8);
+  h.access(0, 0x40000, false);
+  // EPYC L2 is private; neighbour core hits only in the CCX-shared L3.
+  EXPECT_EQ(h.access(1, 0x40000, false), HitLevel::L3);
+}
+
+TEST(Hierarchy, CoherentWriteInvalidatesSiblingCopies) {
+  const auto& sg = arch::machine(arch::MachineId::Sg2044);
+  Hierarchy h(sg, 8, /*coherent=*/true);
+  // Core 0 and core 4 (different clusters) both read the line.
+  h.access(0, 0x9000, false);
+  h.access(4, 0x9000, false);
+  EXPECT_EQ(h.access(4, 0x9000, false), HitLevel::L1);
+  // Core 0 writes: core 4's private copies must be dropped.
+  h.access(0, 0x9000, true);
+  EXPECT_GT(h.coherence_invalidations(0), 0u);
+  // Core 4's next read is a coherence miss down to the chip-shared L3.
+  EXPECT_EQ(h.access(4, 0x9000, false), HitLevel::L3);
+}
+
+TEST(Hierarchy, NonCoherentModeKeepsStaleCopies) {
+  const auto& sg = arch::machine(arch::MachineId::Sg2044);
+  Hierarchy h(sg, 8, /*coherent=*/false);
+  h.access(0, 0x9000, false);
+  h.access(4, 0x9000, false);
+  h.access(0, 0x9000, true);
+  EXPECT_EQ(h.access(4, 0x9000, false), HitLevel::L1);  // stale but resident
+  EXPECT_EQ(h.coherence_invalidations(0), 0u);
+}
+
+TEST(Hierarchy, CoherentWriteDoesNotDisturbTheWriter) {
+  const auto& sg = arch::machine(arch::MachineId::Sg2044);
+  Hierarchy h(sg, 8, /*coherent=*/true);
+  h.access(0, 0x9000, true);
+  EXPECT_EQ(h.access(0, 0x9000, false), HitLevel::L1);
+}
+
+TEST(Cache, InvalidateDropsLineAndCountsDirtyWriteback) {
+  Cache c(4096, 4, 64);
+  c.access(0x40, true);
+  EXPECT_TRUE(c.invalidate(0x40));
+  EXPECT_FALSE(c.contains(0x40));
+  EXPECT_EQ(c.stats().writebacks, 1u);
+  EXPECT_EQ(c.coherence_invalidations(), 1u);
+  EXPECT_FALSE(c.invalidate(0x40));  // already gone
+}
+
+TEST(Hierarchy, LevelStatsAggregate) {
+  const auto& sg = arch::machine(arch::MachineId::Sg2044);
+  Hierarchy h(sg, 4);
+  for (int c = 0; c < 4; ++c) h.access(c, 0x1000, false);
+  const CacheStats l1 = h.level_stats(0);
+  EXPECT_EQ(l1.accesses, 4u);   // each core's private L1 probed once
+  EXPECT_EQ(l1.misses, 4u);
+  const CacheStats l2 = h.level_stats(1);
+  EXPECT_EQ(l2.misses, 1u);     // shared L2: first core misses, rest hit
+  EXPECT_EQ(l2.hits, 3u);
+}
+
+}  // namespace
+}  // namespace rvhpc::memsim

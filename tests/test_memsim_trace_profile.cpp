@@ -1,0 +1,180 @@
+// Tests for rvhpc::memsim trace generators and the stall-profile
+// simulation that reproduces Table 1.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/registry.hpp"
+#include "memsim/profile.hpp"
+#include "memsim/trace.hpp"
+#include "model/signatures.hpp"
+
+namespace rvhpc::memsim {
+namespace {
+
+using model::Kernel;
+
+TEST(XorShift, DeterministicAndBounded) {
+  XorShift a(7), b(7), c(8);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(a.below(10), 10u);
+  EXPECT_EQ(XorShift(5).below(0), 0u);
+}
+
+TEST(StreamGenerator, SequentialWrappingAddresses) {
+  StreamGenerator g(0x1000, 256, 8, 1.0, 0.0);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t i = 0; i < 32; ++i) {
+      const TraceOp op = g.next();
+      EXPECT_EQ(op.addr, 0x1000 + i * 8);
+      EXPECT_TRUE(op.prefetchable);
+      EXPECT_FALSE(op.is_write);
+    }
+  }
+}
+
+TEST(StreamGenerator, WriteRatioRoughlyHonoured) {
+  StreamGenerator g(0, 1 << 20, 8, 1.0, 0.5);
+  int writes = 0;
+  for (int i = 0; i < 10000; ++i) writes += g.next().is_write ? 1 : 0;
+  EXPECT_NEAR(writes / 10000.0, 0.5, 0.05);
+}
+
+TEST(RandomGenerator, StaysInFootprint) {
+  RandomGenerator g(0x100000, 4096, 1.0, 0.3);
+  for (int i = 0; i < 1000; ++i) {
+    const TraceOp op = g.next();
+    EXPECT_GE(op.addr, 0x100000u);
+    EXPECT_LT(op.addr, 0x100000u + 4096u);
+    EXPECT_FALSE(op.prefetchable);
+  }
+}
+
+TEST(StencilGenerator, EmitsOneStorePerPoint) {
+  StencilGenerator g(0, 16, 16, 16, 8.0);
+  int writes = 0;
+  for (int i = 0; i < 8 * 100; ++i) writes += g.next().is_write ? 1 : 0;
+  EXPECT_EQ(writes, 100);  // 8 accesses per point, exactly one store
+}
+
+TEST(HistogramGenerator, AlternatesStreamAndUpdate) {
+  HistogramGenerator g(0, 1 << 20, 1 << 30, 1 << 20, 2.0);
+  const TraceOp key = g.next();
+  const TraceOp hist = g.next();
+  EXPECT_TRUE(key.prefetchable);
+  EXPECT_FALSE(key.is_write);
+  EXPECT_FALSE(hist.prefetchable);
+  EXPECT_TRUE(hist.is_write);
+  EXPECT_GE(hist.addr, 1u << 30);
+}
+
+TEST(TransposeGenerator, ReadsSequentialWritesStrided) {
+  TransposeGenerator g(0, 1 << 20, 64, 64, 16, 2.0);
+  const TraceOp r0 = g.next();
+  const TraceOp w0 = g.next();
+  const TraceOp r1 = g.next();
+  const TraceOp w1 = g.next();
+  EXPECT_FALSE(r0.is_write);
+  EXPECT_TRUE(w0.is_write);
+  EXPECT_EQ(r1.addr - r0.addr, 16u);               // sequential reads
+  EXPECT_EQ(w1.addr - w0.addr, 64u * 16u);         // column stride writes
+}
+
+TEST(MixGenerator, HonoursWeights) {
+  std::vector<MixGenerator::Part> parts;
+  parts.push_back({std::make_unique<StreamGenerator>(0, 1 << 20, 8, 1.0, 0.0), 3});
+  parts.push_back(
+      {std::make_unique<RandomGenerator>(1 << 30, 4096, 1.0, 0.0), 1});
+  MixGenerator mix(std::move(parts));
+  int stream_ops = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (mix.next().addr < (1u << 30)) ++stream_ops;
+  }
+  EXPECT_EQ(stream_ops, 300);
+}
+
+TEST(KernelTrace, AllKernelsProduceGenerators) {
+  for (Kernel k : model::npb_all()) {
+    auto g = kernel_trace(k, 1.0, 0, 1);
+    ASSERT_NE(g, nullptr) << to_string(k);
+    for (int i = 0; i < 100; ++i) (void)g->next();
+  }
+}
+
+TEST(KernelTrace, CoresGetDisjointPrivateRegions) {
+  auto g0 = kernel_trace(Kernel::MG, 1.0, 0, 1);
+  auto g1 = kernel_trace(Kernel::MG, 1.0, 1, 1);
+  std::set<std::uint64_t> a0, a1;
+  for (int i = 0; i < 2000; ++i) {
+    a0.insert(g0->next().addr >> 26);  // 64 MiB granules
+    a1.insert(g1->next().addr >> 26);
+  }
+  for (std::uint64_t granule : a0) EXPECT_EQ(a1.count(granule), 0u);
+}
+
+// --- stall profiles (Table 1 shape on the Xeon 8170) -------------------------
+
+ProfileConfig quick_cfg() {
+  ProfileConfig cfg;
+  cfg.cores = 26;  // footprints are sized against the full 26-core Xeon
+  cfg.ops_per_core = 60000;
+  return cfg;
+}
+
+TEST(StallProfile, EpIsClean) {
+  const auto r = simulate_stalls(arch::machine(arch::MachineId::Xeon8170),
+                                 Kernel::EP, quick_cfg());
+  EXPECT_LT(r.cache_stall_pct, 20.0);
+  EXPECT_LT(r.ddr_stall_pct, 2.0);
+  EXPECT_EQ(r.ddr_bw_bound_pct, 0.0);
+}
+
+TEST(StallProfile, IsIsCacheBoundNotDdrBound) {
+  const auto r = simulate_stalls(arch::machine(arch::MachineId::Xeon8170),
+                                 Kernel::IS, quick_cfg());
+  EXPECT_GT(r.cache_stall_pct, 20.0);
+  EXPECT_LT(r.ddr_stall_pct, 5.0);
+  EXPECT_GT(r.cache_stall_pct, 4.0 * r.ddr_stall_pct);
+}
+
+TEST(StallProfile, MgIsTheBandwidthHog) {
+  const auto xeon = arch::machine(arch::MachineId::Xeon8170);
+  const auto mg = simulate_stalls(xeon, Kernel::MG, quick_cfg());
+  EXPECT_GT(mg.ddr_bw_bound_pct, 50.0);
+  EXPECT_GT(mg.ddr_stall_pct, 5.0);
+  for (Kernel k : {Kernel::EP, Kernel::BT, Kernel::LU}) {
+    const auto other = simulate_stalls(xeon, k, quick_cfg());
+    EXPECT_GT(mg.ddr_bw_bound_pct, other.ddr_bw_bound_pct) << to_string(k);
+  }
+}
+
+TEST(StallProfile, CgStallsOnBothCacheAndDdr) {
+  const auto r = simulate_stalls(arch::machine(arch::MachineId::Xeon8170),
+                                 Kernel::CG, quick_cfg());
+  EXPECT_GT(r.cache_stall_pct, 8.0);
+  EXPECT_GT(r.ddr_stall_pct, 5.0);
+}
+
+TEST(StallProfile, DeterministicForFixedSeed) {
+  const auto a = simulate_stalls(arch::machine(arch::MachineId::Xeon8170),
+                                 Kernel::FT, quick_cfg());
+  const auto b = simulate_stalls(arch::machine(arch::MachineId::Xeon8170),
+                                 Kernel::FT, quick_cfg());
+  EXPECT_DOUBLE_EQ(a.cache_stall_pct, b.cache_stall_pct);
+  EXPECT_DOUBLE_EQ(a.ddr_stall_pct, b.ddr_stall_pct);
+  EXPECT_DOUBLE_EQ(a.ddr_bw_bound_pct, b.ddr_bw_bound_pct);
+}
+
+TEST(StallProfile, ReportsAuxiliaryDiagnostics) {
+  const auto r = simulate_stalls(arch::machine(arch::MachineId::Xeon8170),
+                                 Kernel::SP, quick_cfg());
+  EXPECT_GT(r.total_cycles, 0.0);
+  EXPECT_GT(r.l1_hit_rate, 0.3);
+  EXPECT_LE(r.l1_hit_rate, 1.0);
+  EXPECT_GT(r.dram_requests_per_kop, 0.0);
+}
+
+}  // namespace
+}  // namespace rvhpc::memsim

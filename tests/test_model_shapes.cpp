@@ -1,0 +1,272 @@
+// Integration tests: the model must reproduce the *shape* of every paper
+// result — who wins, by roughly what factor, and where scaling saturates.
+// Tolerance bands are deliberately generous (the substrate is a model, not
+// the authors' silicon); exact numbers live in EXPERIMENTS.md.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include "model/paper_reference.hpp"
+#include "model/sweep.hpp"
+
+namespace rvhpc::model {
+namespace {
+
+using arch::MachineId;
+
+double mops(MachineId m, Kernel k, ProblemClass c, int cores) {
+  return at_cores(m, k, c, cores).mops;
+}
+
+// ---- Table 2: single-core RISC-V landscape --------------------------------
+
+TEST(Table2, Sg2044WinsEveryKernel) {
+  for (Kernel k : npb_kernels()) {
+    const double sg = mops(MachineId::Sg2044, k, ProblemClass::B, 1);
+    for (MachineId board : arch::riscv_board_machines()) {
+      const auto p = at_cores(board, k, ProblemClass::B, 1);
+      if (!p.ran) continue;  // FT on the D1
+      EXPECT_GT(sg, 1.8 * p.mops)
+          << to_string(k) << " on " << arch::name_of(board);
+    }
+  }
+}
+
+TEST(Table2, AbsoluteValuesWithinBand) {
+  int checked = 0;
+  for (const auto& row : paper::table2()) {
+    if (!row.mops) continue;
+    const auto p = at_cores(row.machine, row.kernel, ProblemClass::B, 1);
+    ASSERT_TRUE(p.ran) << to_string(row.kernel) << arch::name_of(row.machine);
+    EXPECT_NEAR(p.mops / *row.mops, 1.0, 0.45)
+        << to_string(row.kernel) << " on " << arch::name_of(row.machine);
+    ++checked;
+  }
+  EXPECT_EQ(checked, 34);
+}
+
+TEST(Table2, FtDoesNotRunOnTheD1) {
+  EXPECT_FALSE(
+      at_cores(MachineId::AllwinnerD1, Kernel::FT, ProblemClass::B, 1).ran);
+}
+
+TEST(Table2, JupiterEdgesOutBananaPi) {
+  // "The Milk-V Jupiter marginally outperforms the Banana Pi for all
+  // benchmarks" — the M1 is a faster-clocked K1.
+  for (Kernel k : npb_kernels()) {
+    const auto j = at_cores(MachineId::MilkVJupiter, k, ProblemClass::B, 1);
+    const auto b = at_cores(MachineId::BananaPiF3, k, ProblemClass::B, 1);
+    if (!j.ran || !b.ran) continue;
+    EXPECT_GT(j.mops, b.mops) << to_string(k);
+    EXPECT_LT(j.mops, b.mops * 1.35) << to_string(k);  // marginal, not huge
+  }
+}
+
+// ---- Tables 3/4: SG2044 vs SG2042 -----------------------------------------
+
+TEST(Table3, SingleCoreEdgeIsModest) {
+  // Paper: 1.08x (IS) to 1.30x (EP), EP the largest.
+  double ep_ratio = 0.0;
+  for (const auto& row : paper::table3_single_core()) {
+    const double r = mops(MachineId::Sg2044, row.kernel, ProblemClass::C, 1) /
+                     mops(MachineId::Sg2042, row.kernel, ProblemClass::C, 1);
+    EXPECT_GT(r, 1.0) << to_string(row.kernel);
+    EXPECT_LT(r, 1.55) << to_string(row.kernel);
+    if (row.kernel == Kernel::EP) ep_ratio = r;
+  }
+  EXPECT_NEAR(ep_ratio, 1.30, 0.15);
+}
+
+TEST(Table4, SixtyFourCoreEdgeIsLarge) {
+  // Paper: 1.52x (EP) to 4.91x (IS).
+  double worst = 1e9, best = 0.0;
+  Kernel worst_k = Kernel::EP, best_k = Kernel::EP;
+  for (const auto& row : paper::table4_64_cores()) {
+    const double r = mops(MachineId::Sg2044, row.kernel, ProblemClass::C, 64) /
+                     mops(MachineId::Sg2042, row.kernel, ProblemClass::C, 64);
+    const double paper_r = row.sg2044_mops / row.sg2042_mops;
+    EXPECT_NEAR(r / paper_r, 1.0, 0.40) << to_string(row.kernel);
+    if (r < worst) { worst = r; worst_k = row.kernel; }
+    if (r > best) { best = r; best_k = row.kernel; }
+  }
+  // The ordering flip vs Table 3: EP benefits least, IS most.
+  EXPECT_EQ(worst_k, Kernel::EP);
+  EXPECT_EQ(best_k, Kernel::IS);
+  EXPECT_GT(best, 3.5);
+  EXPECT_LT(worst, 2.0);
+}
+
+// ---- Figure 1: STREAM ------------------------------------------------------
+
+TEST(Figure1, StreamCopyShape) {
+  const auto s44 = scale_cores(MachineId::Sg2044, Kernel::StreamCopy,
+                               ProblemClass::C);
+  const auto s42 = scale_cores(MachineId::Sg2042, Kernel::StreamCopy,
+                               ProblemClass::C);
+  auto bw_at = [](const ScalingSeries& s, int cores) {
+    for (const auto& p : s.points) {
+      if (p.cores == cores) return p.prediction.achieved_bw_gbs;
+    }
+    return 0.0;
+  };
+  // Comparable up to 8 cores.
+  EXPECT_NEAR(bw_at(s44, 1) / bw_at(s42, 1), 1.0, 0.2);
+  EXPECT_NEAR(bw_at(s44, 8) / bw_at(s42, 8), 1.0, 0.3);
+  // >3x at 64 cores; the SG2042 plateaus beyond 8.
+  EXPECT_GT(bw_at(s44, 64) / bw_at(s42, 64), 3.0);
+  EXPECT_LT(bw_at(s42, 64) / bw_at(s42, 16), 1.2);
+  EXPECT_GT(bw_at(s44, 64) / bw_at(s44, 16), 1.5);
+}
+
+// ---- Figures 2-6 prose anchors ---------------------------------------------
+
+TEST(Figure2, IsSingleCoreLagsX86) {
+  const double sg = mops(MachineId::Sg2044, Kernel::IS, ProblemClass::C, 1);
+  const double epyc = mops(MachineId::Epyc7742, Kernel::IS, ProblemClass::C, 1);
+  const double sky = mops(MachineId::Xeon8170, Kernel::IS, ProblemClass::C, 1);
+  EXPECT_NEAR(epyc / sg, 2.0, 0.6);   // "around twice"
+  EXPECT_NEAR(sky / sg, 3.0, 0.9);    // "around three times"
+}
+
+TEST(Figure3, FullChipMgIsCompetitive) {
+  // "running on all cores ... the SG2044 is comparable to [Skylake and
+  // ThunderX2] whereas the SG2042 falls behind considerably."
+  const double sg44 = mops(MachineId::Sg2044, Kernel::MG, ProblemClass::C, 64);
+  const double sky = mops(MachineId::Xeon8170, Kernel::MG, ProblemClass::C, 26);
+  const double tx2 = mops(MachineId::ThunderX2, Kernel::MG, ProblemClass::C, 32);
+  const double sg42 = mops(MachineId::Sg2042, Kernel::MG, ProblemClass::C, 64);
+  EXPECT_NEAR(sg44 / sky, 1.0, 0.5);
+  EXPECT_NEAR(sg44 / tx2, 1.0, 0.5);
+  EXPECT_LT(sg42, 0.6 * sg44);
+}
+
+TEST(Figure4, EpTracksSkylakeCoreForCore) {
+  for (int n : {1, 4, 16}) {
+    const double sg = mops(MachineId::Sg2044, Kernel::EP, ProblemClass::C, n);
+    const double sky = mops(MachineId::Xeon8170, Kernel::EP, ProblemClass::C, n);
+    EXPECT_NEAR(sg / sky, 1.0, 0.25) << n << " cores";
+  }
+}
+
+TEST(Figure5, FullSg2044BeatsFullThunderX2OnCg) {
+  // "64 cores in the SG2044 outperforms 32 cores of the Arm CPU", even
+  // though core-for-core the ThunderX2 wins.
+  EXPECT_GT(mops(MachineId::Sg2044, Kernel::CG, ProblemClass::C, 64),
+            mops(MachineId::ThunderX2, Kernel::CG, ProblemClass::C, 32));
+  EXPECT_LT(mops(MachineId::Sg2044, Kernel::CG, ProblemClass::C, 4),
+            mops(MachineId::ThunderX2, Kernel::CG, ProblemClass::C, 4));
+}
+
+TEST(Figure5, CgGapVsSg2042BuildsLate) {
+  // Similar at small counts; the 2.2x gap only builds from 32 threads.
+  const double r8 = mops(MachineId::Sg2044, Kernel::CG, ProblemClass::C, 8) /
+                    mops(MachineId::Sg2042, Kernel::CG, ProblemClass::C, 8);
+  const double r64 = mops(MachineId::Sg2044, Kernel::CG, ProblemClass::C, 64) /
+                     mops(MachineId::Sg2042, Kernel::CG, ProblemClass::C, 64);
+  EXPECT_LT(r8, 1.5);
+  EXPECT_GT(r64, 1.8);
+}
+
+TEST(Figure6, FtStillLagsOtherArchitectures) {
+  const double sg44 = mops(MachineId::Sg2044, Kernel::FT, ProblemClass::C, 64);
+  EXPECT_GT(sg44, mops(MachineId::Sg2042, Kernel::FT, ProblemClass::C, 64));
+  EXPECT_LT(sg44, mops(MachineId::Epyc7742, Kernel::FT, ProblemClass::C, 64));
+}
+
+// ---- Table 6: pseudo-applications ------------------------------------------
+
+TEST(Table6, DirectionsAndTrends) {
+  for (const auto& row : paper::table6()) {
+    if (row.sg2042) {
+      const double r = times_faster(MachineId::Sg2042, MachineId::Sg2044,
+                                    row.kernel, ProblemClass::C, row.cores);
+      EXPECT_LT(r, 1.0) << to_string(row.kernel) << "@" << row.cores;
+    }
+    if (row.epyc) {
+      const double r = times_faster(MachineId::Epyc7742, MachineId::Sg2044,
+                                    row.kernel, ProblemClass::C, row.cores);
+      EXPECT_GT(r, 1.0) << to_string(row.kernel) << "@" << row.cores;
+    }
+  }
+}
+
+TEST(Table6, GapWithSg2042WidensWithCores) {
+  for (Kernel k : npb_pseudo_apps()) {
+    const double at16 = times_faster(MachineId::Sg2042, MachineId::Sg2044, k,
+                                     ProblemClass::C, 16);
+    const double at64 = times_faster(MachineId::Sg2042, MachineId::Sg2044, k,
+                                     ProblemClass::C, 64);
+    EXPECT_LT(at64, at16) << to_string(k);
+  }
+}
+
+TEST(Table6, GapWithEpycNarrowsWithCores) {
+  for (Kernel k : npb_pseudo_apps()) {
+    const double at16 = times_faster(MachineId::Epyc7742, MachineId::Sg2044, k,
+                                     ProblemClass::C, 16);
+    const double at64 = times_faster(MachineId::Epyc7742, MachineId::Sg2044, k,
+                                     ProblemClass::C, 64);
+    EXPECT_LT(at64, at16) << to_string(k);
+  }
+}
+
+// ---- Tables 7/8: compiler & vectorisation ablation -------------------------
+
+TEST(Table7, Gcc15BeatsGcc12SingleCore) {
+  const auto& sg = arch::machine(MachineId::Sg2044);
+  for (const auto& row : paper::table7_single_core()) {
+    const auto sig = signature(row.kernel, ProblemClass::C);
+    RunConfig old_cc{1, {CompilerId::Gcc12_3_1, true}, ThreadPlacement::OsDefault};
+    // The paper's GCC 15.2 column vectorises except CG (the pathology).
+    RunConfig new_cc{1,
+                     {CompilerId::Gcc15_2, row.kernel != Kernel::CG},
+                     ThreadPlacement::OsDefault};
+    EXPECT_GE(predict(sg, sig, new_cc).mops,
+              predict(sg, sig, old_cc).mops * 0.995)
+        << to_string(row.kernel);
+  }
+}
+
+TEST(Table7, CgVectorisedRoughlyThreeTimesSlower) {
+  const auto& sg = arch::machine(MachineId::Sg2044);
+  const auto sig = signature(Kernel::CG, ProblemClass::C);
+  RunConfig vec{1, {CompilerId::Gcc15_2, true}, ThreadPlacement::OsDefault};
+  RunConfig novec{1, {CompilerId::Gcc15_2, false}, ThreadPlacement::OsDefault};
+  const double ratio = predict(sg, sig, novec).mops / predict(sg, sig, vec).mops;
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 4.0);  // paper: 217.53 / 81.19 = 2.68
+}
+
+TEST(Table8, CgPenaltyShrinksButPersistsAt64Cores) {
+  const auto& sg = arch::machine(MachineId::Sg2044);
+  const auto sig = signature(Kernel::CG, ProblemClass::C);
+  RunConfig vec{64, {CompilerId::Gcc15_2, true}, ThreadPlacement::OsDefault};
+  RunConfig novec{64, {CompilerId::Gcc15_2, false}, ThreadPlacement::OsDefault};
+  const double ratio = predict(sg, sig, novec).mops / predict(sg, sig, vec).mops;
+  EXPECT_GT(ratio, 1.3);  // paper: 7728.80 / 4463.18 = 1.73
+}
+
+TEST(Table8, IsGainsMostFromTheNewToolchainAt64Cores) {
+  const auto& sg = arch::machine(MachineId::Sg2044);
+  double is_gain = 0.0;
+  for (const auto& row : paper::table8_64_cores()) {
+    const auto sig = signature(row.kernel, ProblemClass::C);
+    RunConfig old_cc{64, {CompilerId::Gcc12_3_1, true}, ThreadPlacement::OsDefault};
+    RunConfig new_cc{64,
+                     {CompilerId::Gcc15_2, row.kernel != Kernel::CG},
+                     ThreadPlacement::OsDefault};
+    const double gain =
+        predict(sg, sig, new_cc).mops / predict(sg, sig, old_cc).mops;
+    if (row.kernel == Kernel::IS) {
+      is_gain = gain;
+    } else {
+      EXPECT_LT(gain, 1.2) << to_string(row.kernel);
+    }
+  }
+  EXPECT_GT(is_gain, 1.25);  // paper: 3038 / 2256 = 1.35
+}
+
+}  // namespace
+}  // namespace rvhpc::model

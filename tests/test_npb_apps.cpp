@@ -1,0 +1,245 @@
+// Tests for the BT / SP / LU pseudo-applications and their shared
+// numerical substrate (5x5 blocks, line solvers, fields).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "npb/bt.hpp"
+#include "npb/lu.hpp"
+#include "npb/sp.hpp"
+
+namespace rvhpc::npb {
+namespace {
+
+using app::Block55;
+using app::Field5;
+using app::Vec5;
+
+Block55 test_block() {
+  Block55 b;
+  // Diagonally dominant, asymmetric.
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 5; ++c) {
+      b.at(r, c) = r == c ? 6.0 + r : 0.3 / (1 + r + 2 * c);
+    }
+  }
+  return b;
+}
+
+TEST(Block55, IdentityAndScale) {
+  const Block55 i = Block55::identity();
+  EXPECT_DOUBLE_EQ(i.at(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(i.at(2, 3), 0.0);
+  const Block55 s = Block55::scaled(i, 2.5);
+  EXPECT_DOUBLE_EQ(s.at(4, 4), 2.5);
+}
+
+TEST(Block55, MatVecAgainstManualSum) {
+  const Block55 b = test_block();
+  const Vec5 v{1, 2, 3, 4, 5};
+  const Vec5 out = b.mul(v);
+  for (int r = 0; r < 5; ++r) {
+    double ref = 0.0;
+    for (int c = 0; c < 5; ++c) ref += b.at(r, c) * v[static_cast<std::size_t>(c)];
+    EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(r)], ref);
+  }
+}
+
+TEST(Block55, LuSolveRecoversKnownSolution) {
+  const Block55 a = test_block();
+  const Vec5 x{0.5, -1.0, 2.0, 0.25, -0.75};
+  const Vec5 b = a.mul(x);
+  Block55 f = a;
+  ASSERT_TRUE(f.lu_factor());
+  const Vec5 solved = f.lu_solve(b);
+  for (int c = 0; c < 5; ++c) {
+    EXPECT_NEAR(solved[static_cast<std::size_t>(c)],
+                x[static_cast<std::size_t>(c)], 1e-12);
+  }
+}
+
+TEST(Block55, LuSolveMatrixRhs) {
+  const Block55 a = test_block();
+  const Block55 x = app::coupling_matrix();
+  const Block55 b = a.mul(x);
+  Block55 f = a;
+  ASSERT_TRUE(f.lu_factor());
+  const Block55 solved = f.lu_solve(b);
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_NEAR(solved.at(r, c), x.at(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(Block55, SingularPivotDetected) {
+  Block55 z;  // all zeros
+  EXPECT_FALSE(z.lu_factor());
+}
+
+TEST(CouplingMatrix, SymmetricDiagonallyDominant) {
+  const Block55& k = app::coupling_matrix();
+  for (int r = 0; r < 5; ++r) {
+    double off = 0.0;
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_DOUBLE_EQ(k.at(r, c), k.at(c, r));
+      if (r != c) off += std::fabs(k.at(r, c));
+    }
+    EXPECT_GT(k.at(r, r), off);
+  }
+}
+
+TEST(BlockTridiag, SolvesAgainstForwardMultiply) {
+  constexpr int kN = 9;
+  std::vector<Block55> sub(kN), diag(kN), sup(kN);
+  std::vector<Vec5> x(kN), rhs(kN);
+  for (int i = 0; i < kN; ++i) {
+    diag[static_cast<std::size_t>(i)] = test_block();
+    sub[static_cast<std::size_t>(i)] =
+        Block55::scaled(app::coupling_matrix(), -0.2);
+    sup[static_cast<std::size_t>(i)] =
+        Block55::scaled(app::coupling_matrix(), -0.3);
+    for (int c = 0; c < 5; ++c) {
+      x[static_cast<std::size_t>(i)][static_cast<std::size_t>(c)] =
+          std::sin(i + 0.37 * c);
+    }
+  }
+  // rhs = A x.
+  for (int i = 0; i < kN; ++i) {
+    Vec5 v = diag[static_cast<std::size_t>(i)].mul(x[static_cast<std::size_t>(i)]);
+    if (i > 0) {
+      const Vec5 t = sub[static_cast<std::size_t>(i)].mul(x[static_cast<std::size_t>(i - 1)]);
+      for (int c = 0; c < 5; ++c) v[static_cast<std::size_t>(c)] += t[static_cast<std::size_t>(c)];
+    }
+    if (i + 1 < kN) {
+      const Vec5 t = sup[static_cast<std::size_t>(i)].mul(x[static_cast<std::size_t>(i + 1)]);
+      for (int c = 0; c < 5; ++c) v[static_cast<std::size_t>(c)] += t[static_cast<std::size_t>(c)];
+    }
+    rhs[static_cast<std::size_t>(i)] = v;
+  }
+  ASSERT_TRUE(app::block_tridiag_solve(sub, diag, sup, rhs));
+  for (int i = 0; i < kN; ++i) {
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_NEAR(rhs[static_cast<std::size_t>(i)][static_cast<std::size_t>(c)],
+                  x[static_cast<std::size_t>(i)][static_cast<std::size_t>(c)],
+                  1e-10);
+    }
+  }
+}
+
+TEST(PentaSolve, SolvesAgainstForwardMultiply) {
+  constexpr int kN = 17;
+  const double ce2 = 0.05, ce1 = -0.4, cd = 2.0, cf1 = -0.3, cf2 = 0.04;
+  std::vector<double> x(kN), rhs(kN);
+  for (int i = 0; i < kN; ++i) x[static_cast<std::size_t>(i)] = std::cos(0.7 * i);
+  for (int i = 0; i < kN; ++i) {
+    double v = cd * x[static_cast<std::size_t>(i)];
+    if (i >= 1) v += ce1 * x[static_cast<std::size_t>(i - 1)];
+    if (i >= 2) v += ce2 * x[static_cast<std::size_t>(i - 2)];
+    if (i + 1 < kN) v += cf1 * x[static_cast<std::size_t>(i + 1)];
+    if (i + 2 < kN) v += cf2 * x[static_cast<std::size_t>(i + 2)];
+    rhs[static_cast<std::size_t>(i)] = v;
+  }
+  std::vector<double> e2(kN, ce2), e1(kN, ce1), d(kN, cd), f1(kN, cf1),
+      f2(kN, cf2);
+  ASSERT_TRUE(app::penta_solve(e2, e1, d, f1, f2, rhs));
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_NEAR(rhs[static_cast<std::size_t>(i)], x[static_cast<std::size_t>(i)],
+                1e-11);
+  }
+}
+
+TEST(Field5, GhostCellsAreDirichletZero) {
+  Field5 f(8);
+  f.init_smooth();
+  const Vec5 ghost = f.get(-1, 0, 0);
+  for (double v : ghost) EXPECT_DOUBLE_EQ(v, 0.0);
+  const Vec5 ghost2 = f.get(0, 8, 0);
+  for (double v : ghost2) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Field5, SetGetRoundTrip) {
+  Field5 f(4);
+  const Vec5 v{1, 2, 3, 4, 5};
+  f.set(1, 2, 3, v);
+  EXPECT_EQ(f.get(1, 2, 3), v);
+}
+
+TEST(Field5, SmoothInitHasInteriorMaximum) {
+  Field5 f(9);
+  f.init_smooth();
+  const double centre = f.get(4, 4, 4)[0];
+  EXPECT_GT(centre, f.get(0, 0, 0)[0]);
+  EXPECT_GT(f.energy(2), 0.0);
+}
+
+// ---- full application runs -------------------------------------------------
+
+class AppRuns : public ::testing::TestWithParam<ProblemClass> {};
+INSTANTIATE_TEST_SUITE_P(SmallClasses, AppRuns,
+                         ::testing::Values(ProblemClass::S, ProblemClass::W),
+                         [](const auto& pinfo) { return to_string(pinfo.param); });
+
+TEST_P(AppRuns, BtVerifies) {
+  const auto r = bt::run(GetParam(), 2);
+  EXPECT_TRUE(r.verified) << r.verification;
+}
+
+TEST_P(AppRuns, SpVerifies) {
+  const auto r = sp::run(GetParam(), 2);
+  EXPECT_TRUE(r.verified) << r.verification;
+}
+
+TEST_P(AppRuns, LuVerifies) {
+  const auto r = lu::run(GetParam(), 2);
+  EXPECT_TRUE(r.verified) << r.verification;
+}
+
+TEST(Bt, EnergyDecaysUnderDiffusion) {
+  bt::BtOutputs out;
+  bt::run(ProblemClass::S, 2, &out);
+  EXPECT_LT(out.final_energy, out.initial_energy);
+  EXPECT_GT(out.final_energy, 0.0);
+  EXPECT_LT(out.max_line_residual, 1e-10);
+}
+
+TEST(Sp, EnergyDecaysUnderDiffusion) {
+  sp::SpOutputs out;
+  sp::run(ProblemClass::S, 2, &out);
+  EXPECT_LT(out.final_energy, out.initial_energy);
+  EXPECT_LT(out.max_line_residual, 1e-10);
+}
+
+TEST(Lu, SsorContractsResidual) {
+  lu::LuOutputs out;
+  lu::run(ProblemClass::S, 2, &out);
+  EXPECT_LT(out.last_residual, out.first_residual * 0.05);
+  EXPECT_LT(out.final_energy, out.initial_energy);
+}
+
+TEST(Apps, ChecksumsStableAcrossThreadCounts) {
+  const double bt1 = bt::run(ProblemClass::S, 1).checksum;
+  const double bt2 = bt::run(ProblemClass::S, 2).checksum;
+  EXPECT_NEAR(bt1, bt2, 1e-9 * std::max(1.0, std::fabs(bt1)));
+  const double sp1 = sp::run(ProblemClass::S, 1).checksum;
+  const double sp2 = sp::run(ProblemClass::S, 2).checksum;
+  EXPECT_NEAR(sp1, sp2, 1e-9 * std::max(1.0, std::fabs(sp1)));
+}
+
+TEST(Apps, SolversDissipateAtDifferentRates) {
+  // Three solvers, same PDE, different discretisations: their end states
+  // are close in energy but not identical.
+  bt::BtOutputs b;
+  sp::SpOutputs s;
+  lu::LuOutputs l;
+  bt::run(ProblemClass::S, 2, &b);
+  sp::run(ProblemClass::S, 2, &s);
+  lu::run(ProblemClass::S, 2, &l);
+  EXPECT_NE(b.final_energy, s.final_energy);
+  EXPECT_NEAR(b.final_energy / s.final_energy, 1.0, 0.5);
+  EXPECT_NEAR(b.final_energy / l.final_energy, 1.0, 0.8);
+}
+
+}  // namespace
+}  // namespace rvhpc::npb

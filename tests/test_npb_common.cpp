@@ -1,0 +1,111 @@
+// Tests for the NPB random-number infrastructure — verified against an
+// independent exact 128-bit integer implementation of x' = a*x mod 2^46.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "npb/npb_common.hpp"
+
+namespace rvhpc::npb {
+namespace {
+
+/// Reference implementation with exact integer arithmetic.
+class ExactLcg {
+ public:
+  explicit ExactLcg(std::uint64_t seed) : x_(seed) {}
+  double next() {
+    x_ = (static_cast<unsigned __int128>(x_) * 1220703125ull) &
+         ((1ull << 46) - 1);
+    return static_cast<double>(x_) / static_cast<double>(1ull << 46);
+  }
+  [[nodiscard]] std::uint64_t state() const { return x_; }
+
+ private:
+  std::uint64_t x_;
+};
+
+TEST(NpbRandom, MatchesExactIntegerArithmetic) {
+  NpbRandom rng;  // seed 314159265
+  ExactLcg exact(314159265ull);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_DOUBLE_EQ(rng.next(), exact.next()) << "step " << i;
+  }
+}
+
+TEST(NpbRandom, StateIsExactlyRepresentable) {
+  NpbRandom rng;
+  for (int i = 0; i < 1000; ++i) rng.next();
+  ExactLcg exact(314159265ull);
+  for (int i = 0; i < 1000; ++i) exact.next();
+  EXPECT_EQ(static_cast<std::uint64_t>(rng.state()), exact.state());
+}
+
+TEST(NpbRandom, DeviatesInOpenUnitInterval) {
+  NpbRandom rng;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next();
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(NpbRandom, SkipMatchesSequentialAdvance) {
+  for (std::uint64_t n : {1ull, 2ull, 7ull, 100ull, 12345ull, 65536ull}) {
+    NpbRandom jumped;
+    jumped.skip(n);
+    NpbRandom walked;
+    for (std::uint64_t i = 0; i < n; ++i) walked.next();
+    EXPECT_DOUBLE_EQ(jumped.state(), walked.state()) << "n=" << n;
+  }
+}
+
+TEST(NpbRandom, SkipZeroIsIdentity) {
+  NpbRandom a;
+  a.skip(0);
+  EXPECT_DOUBLE_EQ(a.state(), NpbRandom::kDefaultSeed);
+}
+
+TEST(NpbRandom, SkipComposes) {
+  NpbRandom a;
+  a.skip(1000);
+  a.skip(234);
+  NpbRandom b;
+  b.skip(1234);
+  EXPECT_DOUBLE_EQ(a.state(), b.state());
+}
+
+TEST(NpbRandom, PowerIsModularExponentiation) {
+  // a^1 = a; a^0 handled via skip(0); a^(m+n) == a^m * a^n mod 2^46.
+  EXPECT_DOUBLE_EQ(NpbRandom::power(NpbRandom::kA, 1), NpbRandom::kA);
+  double am = NpbRandom::power(NpbRandom::kA, 12);
+  const double an = NpbRandom::power(NpbRandom::kA, 30);
+  const double amn = NpbRandom::power(NpbRandom::kA, 42);
+  randlc(am, an);  // am <- am * an mod 2^46
+  EXPECT_DOUBLE_EQ(am, amn);
+}
+
+TEST(NpbRandom, RoughlyUniformMean) {
+  NpbRandom rng;
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.next();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(BenchResult, FormatsHumanReadably) {
+  BenchResult r;
+  r.kernel = Kernel::MG;
+  r.problem_class = ProblemClass::A;
+  r.threads = 4;
+  r.mops = 123.0;
+  r.seconds = 1.5;
+  r.verified = true;
+  r.verification = "ok";
+  const std::string s = to_string(r);
+  EXPECT_NE(s.find("MG.A"), std::string::npos);
+  EXPECT_NE(s.find("VERIFIED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rvhpc::npb

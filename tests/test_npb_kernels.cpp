@@ -1,0 +1,418 @@
+// Tests for the NPB kernel implementations (IS, EP, CG, MG, FT):
+// correctness invariants and thread-count independence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "npb/cg.hpp"
+#include "npb/ep.hpp"
+#include "npb/ft.hpp"
+#include "npb/is.hpp"
+#include "npb/mg.hpp"
+
+namespace rvhpc::npb {
+namespace {
+
+// ---- IS ---------------------------------------------------------------------
+
+TEST(Is, VerifiesAtClassS) {
+  const auto r = is::run(ProblemClass::S, 2);
+  EXPECT_TRUE(r.verified) << r.verification;
+  EXPECT_GT(r.mops, 0.0);
+}
+
+TEST(Is, KeysAreDeterministicAndInRange) {
+  const auto keys = is::generate_keys(ProblemClass::S);
+  const auto again = is::generate_keys(ProblemClass::S);
+  EXPECT_EQ(keys, again);
+  const auto g = is::geometry(ProblemClass::S);
+  EXPECT_EQ(keys.size(), 1u << g.log2_keys);
+  for (std::int32_t k : keys) {
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, 1 << g.log2_max_key);
+  }
+}
+
+TEST(Is, KeyDistributionIsHumpShaped) {
+  // Average of four uniforms: mass concentrates mid-range.
+  const auto keys = is::generate_keys(ProblemClass::S);
+  const std::int32_t max_key = 1 << is::geometry(ProblemClass::S).log2_max_key;
+  std::size_t mid = 0;
+  for (std::int32_t k : keys) {
+    if (k > max_key / 4 && k < 3 * max_key / 4) ++mid;
+  }
+  EXPECT_GT(static_cast<double>(mid) / static_cast<double>(keys.size()), 0.8);
+}
+
+TEST(Is, RanksBitIdenticalAcrossThreadCounts) {
+  std::vector<std::int32_t> r1, r2;
+  is::run(ProblemClass::S, 1, &r1);
+  is::run(ProblemClass::S, 2, &r2);
+  EXPECT_EQ(r1, r2);
+}
+
+class IsClasses : public ::testing::TestWithParam<ProblemClass> {};
+INSTANTIATE_TEST_SUITE_P(SmallClasses, IsClasses,
+                         ::testing::Values(ProblemClass::S, ProblemClass::W),
+                         [](const auto& pinfo) { return to_string(pinfo.param); });
+
+TEST_P(IsClasses, Verifies) {
+  EXPECT_TRUE(is::run(GetParam(), 2).verified);
+}
+
+TEST(Is, BucketedAlgorithmMatchesFlat) {
+  // NPB's production bucketed ranking must produce the identical rank
+  // array to the flat histogram path, at any thread count.
+  std::vector<std::int32_t> flat, bucketed1, bucketed2;
+  is::run(ProblemClass::S, 2, &flat, is::IsAlgorithm::FlatHistogram);
+  is::run(ProblemClass::S, 1, &bucketed1, is::IsAlgorithm::Bucketed);
+  is::run(ProblemClass::S, 2, &bucketed2, is::IsAlgorithm::Bucketed);
+  EXPECT_EQ(flat, bucketed1);
+  EXPECT_EQ(flat, bucketed2);
+}
+
+TEST(Is, BucketedAlgorithmVerifies) {
+  const auto r =
+      is::run(ProblemClass::W, 2, nullptr, is::IsAlgorithm::Bucketed);
+  EXPECT_TRUE(r.verified) << r.verification;
+}
+
+// ---- EP ---------------------------------------------------------------------
+
+TEST(Ep, VerifiesAtClassS) {
+  const auto r = ep::run(ProblemClass::S, 2);
+  EXPECT_TRUE(r.verified) << r.verification;
+}
+
+TEST(Ep, BitIdenticalAcrossThreadCounts) {
+  ep::EpOutputs a, b;
+  ep::run(ProblemClass::S, 1, &a);
+  ep::run(ProblemClass::S, 2, &b);
+  EXPECT_EQ(a.sx, b.sx);
+  EXPECT_EQ(a.sy, b.sy);
+  EXPECT_EQ(a.accepted, b.accepted);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.counts[i], b.counts[i]);
+}
+
+TEST(Ep, AnnulusCountsDecaySteeply) {
+  ep::EpOutputs out;
+  ep::run(ProblemClass::S, 2, &out);
+  // Gaussian tail: each annulus holds far fewer than the previous.
+  EXPECT_GT(out.counts[0], out.counts[1]);
+  EXPECT_GT(out.counts[1], out.counts[2]);
+  EXPECT_GT(out.counts[2], out.counts[3]);
+  // And counts sum to the accepted total.
+  const double total = std::accumulate(out.counts, out.counts + 10, 0.0);
+  EXPECT_EQ(total, static_cast<double>(out.accepted));
+}
+
+TEST(Ep, AcceptanceRateIsPiOverFour) {
+  ep::EpOutputs out;
+  ep::run(ProblemClass::S, 2, &out);
+  const double pairs = std::pow(2.0, ep::log2_pairs(ProblemClass::S));
+  EXPECT_NEAR(out.accepted / pairs, 3.14159265 / 4.0, 2e-3);
+}
+
+// ---- CG ---------------------------------------------------------------------
+
+TEST(Cg, VerifiesAtClassS) {
+  const auto r = cg::run(ProblemClass::S, 2);
+  EXPECT_TRUE(r.verified) << r.verification;
+}
+
+TEST(Cg, MatrixIsSymmetric) {
+  const auto a = cg::make_matrix(ProblemClass::S);
+  // Dense mirror for the small class-S matrix.
+  std::vector<double> dense(static_cast<std::size_t>(a.n) * a.n, 0.0);
+  for (int i = 0; i < a.n; ++i) {
+    for (auto k = a.row_begin[static_cast<std::size_t>(i)];
+         k < a.row_begin[static_cast<std::size_t>(i) + 1]; ++k) {
+      dense[static_cast<std::size_t>(i) * a.n +
+            a.col[static_cast<std::size_t>(k)]] =
+          a.val[static_cast<std::size_t>(k)];
+    }
+  }
+  for (int i = 0; i < a.n; i += 7) {
+    for (int j = 0; j < a.n; j += 13) {
+      EXPECT_NEAR(dense[static_cast<std::size_t>(i) * a.n + j],
+                  dense[static_cast<std::size_t>(j) * a.n + i], 1e-12);
+    }
+  }
+}
+
+TEST(Cg, MatrixDiagonalIsPositive) {
+  const auto a = cg::make_matrix(ProblemClass::S);
+  for (int i = 0; i < a.n; ++i) {
+    double diag = 0.0;
+    for (auto k = a.row_begin[static_cast<std::size_t>(i)];
+         k < a.row_begin[static_cast<std::size_t>(i) + 1]; ++k) {
+      if (a.col[static_cast<std::size_t>(k)] == i) {
+        diag = a.val[static_cast<std::size_t>(k)];
+      }
+    }
+    EXPECT_GE(diag, 1.0) << "row " << i;  // identity shift + PSD sum
+  }
+}
+
+TEST(Cg, SpmvMatchesDenseReference) {
+  const auto a = cg::make_matrix(ProblemClass::S);
+  std::vector<double> x(static_cast<std::size_t>(a.n));
+  for (int i = 0; i < a.n; ++i) {
+    x[static_cast<std::size_t>(i)] = std::sin(i * 0.01);
+  }
+  std::vector<double> y(static_cast<std::size_t>(a.n));
+  cg::spmv(a, x, y, 2);
+  for (int i = 0; i < a.n; i += 97) {
+    double ref = 0.0;
+    for (auto k = a.row_begin[static_cast<std::size_t>(i)];
+         k < a.row_begin[static_cast<std::size_t>(i) + 1]; ++k) {
+      ref += a.val[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(a.col[static_cast<std::size_t>(k)])];
+    }
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], ref, 1e-12);
+  }
+}
+
+TEST(Cg, SpmvUnrollVariantsAgree) {
+  // The NPB alternative inner loops (unroll x2 / x8, the §6 ablation
+  // subjects) must compute the same product up to reassociation rounding.
+  const auto a = cg::make_matrix(ProblemClass::S);
+  std::vector<double> x(static_cast<std::size_t>(a.n));
+  for (int i = 0; i < a.n; ++i) {
+    x[static_cast<std::size_t>(i)] = std::cos(i * 0.013);
+  }
+  std::vector<double> y0(static_cast<std::size_t>(a.n));
+  std::vector<double> y2(static_cast<std::size_t>(a.n));
+  std::vector<double> y8(static_cast<std::size_t>(a.n));
+  cg::spmv(a, x, y0, 2, cg::SpmvVariant::Default);
+  cg::spmv(a, x, y2, 2, cg::SpmvVariant::Unroll2);
+  cg::spmv(a, x, y8, 2, cg::SpmvVariant::Unroll8);
+  for (int i = 0; i < a.n; ++i) {
+    const auto ii = static_cast<std::size_t>(i);
+    EXPECT_NEAR(y2[ii], y0[ii], 1e-11 * (1.0 + std::fabs(y0[ii])));
+    EXPECT_NEAR(y8[ii], y0[ii], 1e-11 * (1.0 + std::fabs(y0[ii])));
+  }
+}
+
+TEST(Cg, QuadraticFormIsPositive) {
+  // SPD check: x^T A x > 0 for a few pseudo-random x.
+  const auto a = cg::make_matrix(ProblemClass::S);
+  NpbRandom rng;
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> x(static_cast<std::size_t>(a.n));
+    for (auto& v : x) v = 2.0 * rng.next() - 1.0;
+    std::vector<double> y(static_cast<std::size_t>(a.n));
+    cg::spmv(a, x, y, 1);
+    double q = 0.0;
+    for (int i = 0; i < a.n; ++i) {
+      q += x[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(i)];
+    }
+    EXPECT_GT(q, 0.0);
+  }
+}
+
+TEST(Cg, ZetaStableAcrossThreadCounts) {
+  cg::CgOutputs a, b;
+  cg::run(ProblemClass::S, 1, &a);
+  cg::run(ProblemClass::S, 2, &b);
+  EXPECT_NEAR(a.zeta, b.zeta, 1e-9 * std::fabs(a.zeta));
+}
+
+TEST(Cg, ZetaExceedsShift) {
+  cg::CgOutputs out;
+  cg::run(ProblemClass::S, 2, &out);
+  EXPECT_GT(out.zeta, cg::params(ProblemClass::S).shift);
+  EXPECT_LT(out.zeta, cg::params(ProblemClass::S).shift + 10.0);
+}
+
+// ---- MG ---------------------------------------------------------------------
+
+TEST(Mg, VerifiesAtClassS) {
+  const auto r = mg::run(ProblemClass::S, 2);
+  EXPECT_TRUE(r.verified) << r.verification;
+}
+
+TEST(Mg, GridWrapsPeriodically) {
+  mg::Grid g(8);
+  g.at(0, 0, 0) = 5.0;
+  EXPECT_DOUBLE_EQ(g.at(8, 0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(g.at(-8, 8, -8), 5.0);
+  EXPECT_THROW(mg::Grid(12), std::invalid_argument);  // not a power of two
+  EXPECT_THROW(mg::Grid(2), std::invalid_argument);
+}
+
+TEST(Mg, ResidualStencilAnnihilatesConstants) {
+  // The NPB residual operator has zero row sum: A(const) = 0, so
+  // r = v - A u = v for constant u.
+  mg::Grid u(16), v(16), r(16);
+  u.fill(3.7);
+  v.fill(0.25);
+  mg::residual(u, v, r, 2);
+  for (int i = 0; i < 16; i += 5) {
+    EXPECT_NEAR(r.at(i, i % 8, (i * 3) % 16), 0.25, 1e-12);
+  }
+}
+
+TEST(Mg, VcycleContractsResidual) {
+  mg::MgOutputs out;
+  mg::run(ProblemClass::S, 2, &out);
+  EXPECT_LT(out.final_rnorm, out.initial_rnorm * 0.15);
+}
+
+TEST(Mg, ResidualNormStableAcrossThreadCounts) {
+  mg::MgOutputs a, b;
+  mg::run(ProblemClass::S, 1, &a);
+  mg::run(ProblemClass::S, 2, &b);
+  EXPECT_NEAR(a.final_rnorm, b.final_rnorm, 1e-12);
+}
+
+TEST(Mg, SmootherAloneReducesTheResidual) {
+  // One smoothing step on the finest grid must already shrink ||v - Au||:
+  // the NPB smoother coefficients approximate the operator inverse.
+  mg::Grid u(16), v(16), r(16);
+  NpbRandom rng;
+  for (int s = 0; s < 8; ++s) {
+    const int i = static_cast<int>(rng.next() * 16) % 16;
+    const int j = static_cast<int>(rng.next() * 16) % 16;
+    const int k = static_cast<int>(rng.next() * 16) % 16;
+    v.at(i, j, k) = s < 4 ? 1.0 : -1.0;
+  }
+  mg::residual(u, v, r, 2);
+  const double before = mg::l2_norm(r, 2);
+  mg::smooth(u, r, 2, ProblemClass::S);
+  mg::residual(u, v, r, 2);
+  EXPECT_LT(mg::l2_norm(r, 2), before);
+}
+
+TEST(Mg, RestrictionPreservesConstants) {
+  mg::Grid fine(16), coarse(8);
+  fine.fill(2.0);
+  mg::restrict_grid(fine, coarse, 2);
+  // Full weighting of a constant: 0.5 + 0.25*6/2 + 0.125*12/4 + 0.0625*8/8
+  // = 0.5 + 0.75 + 0.375 + 0.0625 times 2... the weights sum to 1.6875.
+  for (int i = 0; i < 8; i += 3) {
+    EXPECT_NEAR(coarse.at(i, 0, i), 2.0 * 1.6875, 1e-12);
+  }
+}
+
+TEST(Mg, InterpolationOfConstantAddsConstant) {
+  mg::Grid coarse(8), fine(16);
+  coarse.fill(1.0);
+  fine.fill(0.0);
+  mg::interpolate_add(coarse, fine, 2);
+  for (int i = 0; i < 16; i += 7) {
+    EXPECT_NEAR(fine.at(i, i, i), 1.0, 1e-12);
+  }
+}
+
+// ---- FT ---------------------------------------------------------------------
+
+TEST(Ft, VerifiesAtClassS) {
+  const auto r = ft::run(ProblemClass::S, 2);
+  EXPECT_TRUE(r.verified) << r.verification;
+}
+
+TEST(Ft, Fft1dMatchesNaiveDft) {
+  constexpr int kN = 16;
+  std::vector<ft::Complex> data(kN), ref(kN);
+  for (int i = 0; i < kN; ++i) {
+    data[static_cast<std::size_t>(i)] = {std::cos(0.3 * i), std::sin(0.7 * i)};
+  }
+  for (int k = 0; k < kN; ++k) {
+    ft::Complex sum{0.0, 0.0};
+    for (int t = 0; t < kN; ++t) {
+      const double ang = -2.0 * 3.14159265358979323846 * k * t / kN;
+      sum += data[static_cast<std::size_t>(t)] *
+             ft::Complex{std::cos(ang), std::sin(ang)};
+    }
+    ref[static_cast<std::size_t>(k)] = sum;
+  }
+  ft::fft1d(data.data(), kN, -1);
+  for (int k = 0; k < kN; ++k) {
+    EXPECT_NEAR(std::abs(data[static_cast<std::size_t>(k)] -
+                         ref[static_cast<std::size_t>(k)]),
+                0.0, 1e-10);
+  }
+}
+
+TEST(Ft, Fft1dRoundTrip) {
+  constexpr int kN = 64;
+  std::vector<ft::Complex> data(kN), orig(kN);
+  for (int i = 0; i < kN; ++i) {
+    orig[static_cast<std::size_t>(i)] = {std::sin(i * 0.1), std::cos(i * 0.2)};
+  }
+  data = orig;
+  ft::fft1d(data.data(), kN, -1);
+  ft::fft1d(data.data(), kN, +1);
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_NEAR(std::abs(data[static_cast<std::size_t>(i)] /
+                             static_cast<double>(kN) -
+                         orig[static_cast<std::size_t>(i)]),
+                0.0, 1e-12);
+  }
+}
+
+TEST(Ft, EvolutionMatchesAnalyticDiffusion) {
+  // Spectral-method ground truth: a single Fourier mode must decay by
+  // exactly exp(-4 alpha pi^2 |k|^2 t) under the FT evolution.  We verify
+  // the machinery (fft3d forward + frequency indexing) by planting one
+  // mode and checking its spectrum lands in a single bin.
+  const ft::Params p = ft::params(ProblemClass::S);
+  const std::size_t n =
+      static_cast<std::size_t>(p.nx) * p.ny * static_cast<std::size_t>(p.nz);
+  std::vector<ft::Complex> u(n);
+  const int kx = 3, ky = 5, kz = 2;
+  for (int z = 0; z < p.nz; ++z) {
+    for (int y = 0; y < p.ny; ++y) {
+      for (int x = 0; x < p.nx; ++x) {
+        const double phase =
+            2.0 * 3.14159265358979323846 *
+            (static_cast<double>(kx) * x / p.nx + static_cast<double>(ky) * y / p.ny +
+             static_cast<double>(kz) * z / p.nz);
+        u[(static_cast<std::size_t>(z) * p.ny + static_cast<std::size_t>(y)) *
+              p.nx +
+          static_cast<std::size_t>(x)] = {std::cos(phase), std::sin(phase)};
+      }
+    }
+  }
+  ft::fft3d(u, p, -1, 2);
+  // All the energy must sit in bin (kx, ky, kz).
+  const std::size_t hot =
+      (static_cast<std::size_t>(kz) * p.ny + static_cast<std::size_t>(ky)) *
+          p.nx +
+      static_cast<std::size_t>(kx);
+  double total = 0.0, at_hot = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += std::norm(u[i]);
+    if (i == hot) at_hot = std::norm(u[i]);
+  }
+  EXPECT_GT(at_hot / total, 0.999);
+}
+
+TEST(Ft, ChecksumsStableAcrossThreadCounts) {
+  ft::FtOutputs a, b;
+  ft::run(ProblemClass::S, 1, &a);
+  ft::run(ProblemClass::S, 2, &b);
+  ASSERT_EQ(a.checksums.size(), b.checksums.size());
+  for (std::size_t i = 0; i < a.checksums.size(); ++i) {
+    EXPECT_NEAR(std::abs(a.checksums[i] - b.checksums[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Ft, ChecksumsEvolveSmoothly) {
+  // The diffusion evolution damps high frequencies: successive checksums
+  // change, but remain the same order of magnitude.
+  ft::FtOutputs out;
+  ft::run(ProblemClass::S, 2, &out);
+  ASSERT_GE(out.checksums.size(), 2u);
+  for (std::size_t i = 1; i < out.checksums.size(); ++i) {
+    EXPECT_NE(out.checksums[i], out.checksums[i - 1]);
+    EXPECT_NEAR(std::abs(out.checksums[i]) / std::abs(out.checksums[i - 1]),
+                1.0, 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace rvhpc::npb

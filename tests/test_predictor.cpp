@@ -1,0 +1,199 @@
+// Tests for rvhpc::model::predict — behavioural properties of the
+// top-level performance model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include "arch/registry.hpp"
+#include "model/predictor.hpp"
+#include "model/signatures.hpp"
+
+namespace rvhpc::model {
+namespace {
+
+using arch::MachineId;
+
+struct Case {
+  MachineId machine;
+  Kernel kernel;
+};
+
+std::vector<Case> sweep_cases() {
+  std::vector<Case> cases;
+  for (MachineId m : arch::hpc_machines()) {
+    for (Kernel k : npb_all()) cases.push_back({m, k});
+  }
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string n =
+      arch::name_of(info.param.machine) + "_" + to_string(info.param.kernel);
+  for (char& c : n) if (c == '-') c = '_';
+  return n;
+}
+
+class PredictorSweep : public ::testing::TestWithParam<Case> {};
+INSTANTIATE_TEST_SUITE_P(AllMachineKernelPairs, PredictorSweep,
+                         ::testing::ValuesIn(sweep_cases()), case_name);
+
+TEST_P(PredictorSweep, MoreCoresNeverMuchSlower) {
+  // Property: throughput is (near-)non-decreasing in core count.  A small
+  // regression at full chip is permitted: spanning additional NUMA regions
+  // raises effective DRAM latency (EPYC + IS genuinely shows this).
+  const auto& m = arch::machine(GetParam().machine);
+  const auto sig = signature(GetParam().kernel, ProblemClass::C);
+  double prev = 0.0;
+  for (int n = 1; n <= m.cores; n *= 2) {
+    const auto p = predict_paper_setup(m, sig, n);
+    ASSERT_TRUE(p.ran);
+    EXPECT_GE(p.mops, prev * 0.90) << n << " cores";
+    prev = p.mops;
+  }
+}
+
+TEST_P(PredictorSweep, TimesArePositiveAndConsistent) {
+  const auto& m = arch::machine(GetParam().machine);
+  const auto sig = signature(GetParam().kernel, ProblemClass::C);
+  const auto p = predict_paper_setup(m, sig, m.cores);
+  ASSERT_TRUE(p.ran);
+  EXPECT_GT(p.seconds, 0.0);
+  EXPECT_NEAR(p.mops * p.seconds, sig.total_mop, sig.total_mop * 1e-9);
+  EXPECT_GE(p.breakdown.compute_s, 0.0);
+  EXPECT_GE(p.breakdown.stream_s, 0.0);
+  EXPECT_GE(p.breakdown.latency_s, 0.0);
+  EXPECT_GE(p.breakdown.imbalance, 1.0);
+}
+
+TEST_P(PredictorSweep, SpeedupBoundedByCores) {
+  const auto& m = arch::machine(GetParam().machine);
+  const auto sig = signature(GetParam().kernel, ProblemClass::C);
+  const auto p1 = predict_paper_setup(m, sig, 1);
+  const auto pn = predict_paper_setup(m, sig, m.cores);
+  EXPECT_LE(pn.mops / p1.mops, m.cores * 1.001);
+  EXPECT_GE(pn.mops / p1.mops, 1.0);
+}
+
+TEST(Predictor, DnrWhenFootprintExceedsDram) {
+  // Table 2: FT class B does not run on the 1 GiB Allwinner D1.
+  const auto& d1 = arch::machine(MachineId::AllwinnerD1);
+  const auto p =
+      predict_paper_setup(d1, signature(Kernel::FT, ProblemClass::B), 1);
+  EXPECT_FALSE(p.ran);
+  EXPECT_NE(p.dnr_reason.find("DRAM"), std::string::npos);
+}
+
+TEST(Predictor, DnrWhenCoresExceedMachine) {
+  const auto& xeon = arch::machine(MachineId::Xeon8170);
+  const auto p =
+      predict_paper_setup(xeon, signature(Kernel::EP, ProblemClass::C), 64);
+  EXPECT_FALSE(p.ran);
+}
+
+TEST(Predictor, EpIsComputeBound) {
+  const auto p = predict_paper_setup(arch::machine(MachineId::Sg2044),
+                                     signature(Kernel::EP, ProblemClass::C), 64);
+  EXPECT_EQ(p.breakdown.dominant, Bottleneck::Compute);
+}
+
+TEST(Predictor, MgIsBandwidthBoundAtFullChip) {
+  const auto p = predict_paper_setup(arch::machine(MachineId::Sg2042),
+                                     signature(Kernel::MG, ProblemClass::C), 64);
+  EXPECT_EQ(p.breakdown.dominant, Bottleneck::StreamBandwidth);
+}
+
+TEST(Predictor, IsIsLatencyBoundAtFullChip) {
+  const auto p = predict_paper_setup(arch::machine(MachineId::Sg2042),
+                                     signature(Kernel::IS, ProblemClass::C), 64);
+  EXPECT_EQ(p.breakdown.dominant, Bottleneck::Latency);
+}
+
+TEST(Predictor, MoreBandwidthHelpsBandwidthBoundKernels) {
+  arch::MachineModel m = arch::machine(MachineId::Sg2042);
+  const auto sig = signature(Kernel::MG, ProblemClass::C);
+  const double base = predict_paper_setup(m, sig, 64).mops;
+  m.memory.stream_efficiency = std::min(1.0, m.memory.stream_efficiency * 2.0);
+  const double boosted = predict_paper_setup(m, sig, 64).mops;
+  EXPECT_GT(boosted, base * 1.3);
+}
+
+TEST(Predictor, FasterClockHelpsComputeBoundKernels) {
+  arch::MachineModel m = arch::machine(MachineId::Sg2044);
+  const auto sig = signature(Kernel::EP, ProblemClass::C);
+  const double base = predict_paper_setup(m, sig, 1).mops;
+  m.core.clock_ghz *= 1.5;
+  const double boosted = predict_paper_setup(m, sig, 1).mops;
+  EXPECT_NEAR(boosted / base, 1.5, 0.05);
+}
+
+TEST(Predictor, VectorisationIrrelevantWhenBandwidthBound) {
+  const auto& m = arch::machine(MachineId::Sg2044);
+  const auto sig = signature(Kernel::MG, ProblemClass::C);
+  RunConfig vec{64, {CompilerId::Gcc15_2, true}, ThreadPlacement::OsDefault};
+  RunConfig novec{64, {CompilerId::Gcc15_2, false}, ThreadPlacement::OsDefault};
+  const double rv = predict(m, sig, vec).mops;
+  const double rs = predict(m, sig, novec).mops;
+  EXPECT_NEAR(rv / rs, 1.0, 0.1);  // Table 8: 32458 vs 31893
+}
+
+TEST(Predictor, PaperSetupDisablesCgVectorisationOnSg2044Only) {
+  const auto& sg = arch::machine(MachineId::Sg2044);
+  const auto sig = signature(Kernel::CG, ProblemClass::C);
+  const auto paper = predict_paper_setup(sg, sig, 1);
+  RunConfig forced{1, {CompilerId::Gcc15_2, true}, ThreadPlacement::OsDefault};
+  const auto vectorised = predict(sg, sig, forced);
+  EXPECT_FALSE(paper.vector.vectorised);
+  EXPECT_TRUE(vectorised.vector.vectorised);
+  EXPECT_GT(paper.mops, vectorised.mops * 1.8);  // the §6 pathology
+}
+
+TEST(Predictor, AchievedBandwidthNeverExceedsSupply) {
+  for (MachineId id : arch::hpc_machines()) {
+    const auto& m = arch::machine(id);
+    const auto p = predict_paper_setup(
+        m, signature(Kernel::StreamCopy, ProblemClass::C), m.cores);
+    EXPECT_LE(p.achieved_bw_gbs,
+              m.memory.chip_stream_bw_gbs() * m.memory.read_bw_bonus * 1.05)
+        << m.name;
+  }
+}
+
+class ClassSweep : public ::testing::TestWithParam<ProblemClass> {};
+INSTANTIATE_TEST_SUITE_P(AllClasses, ClassSweep,
+                         ::testing::Values(ProblemClass::S, ProblemClass::W,
+                                           ProblemClass::A, ProblemClass::B,
+                                           ProblemClass::C),
+                         [](const auto& pinfo) { return to_string(pinfo.param); });
+
+TEST_P(ClassSweep, EveryKernelRunsOnTheSg2044) {
+  const auto& m = arch::machine(MachineId::Sg2044);
+  for (Kernel k : npb_all()) {
+    const auto p = predict_paper_setup(m, signature(k, GetParam()), 64);
+    ASSERT_TRUE(p.ran) << to_string(k);
+    EXPECT_GT(p.mops, 0.0) << to_string(k);
+  }
+}
+
+TEST_P(ClassSweep, BiggerClassesTakeLonger) {
+  const auto& m = arch::machine(MachineId::Sg2044);
+  for (Kernel k : npb_all()) {
+    const auto small = predict_paper_setup(m, signature(k, ProblemClass::S), 64);
+    const auto at = predict_paper_setup(m, signature(k, GetParam()), 64);
+    EXPECT_GE(at.seconds, small.seconds * 0.999) << to_string(k);
+  }
+}
+
+TEST(Predictor, SerialFractionCapsSpeedup) {
+  arch::MachineModel m = arch::machine(MachineId::Sg2044);
+  auto sig = signature(Kernel::EP, ProblemClass::C);
+  sig.serial_fraction = 0.05;  // Amdahl: max speedup ~17.3 at 64 cores
+  const double s = predict_paper_setup(m, sig, 64).mops /
+                   predict_paper_setup(m, sig, 1).mops;
+  EXPECT_LT(s, 18.0);
+  EXPECT_GT(s, 10.0);
+}
+
+}  // namespace
+}  // namespace rvhpc::model

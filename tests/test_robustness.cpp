@@ -1,0 +1,142 @@
+// Robustness sweeps: the model must stay finite, positive and sane over a
+// large space of randomly generated (but valid) machine descriptions —
+// users will feed it custom machine files the registry never anticipated.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/registry.hpp"
+#include "arch/serialize.hpp"
+#include "arch/validate.hpp"
+#include "memsim/trace.hpp"
+#include "model/sweep.hpp"
+
+namespace rvhpc {
+namespace {
+
+using arch::MachineModel;
+using arch::VectorIsa;
+using model::Kernel;
+using model::ProblemClass;
+
+/// Deterministic random machine generator built on the memsim XorShift.
+class MachineFuzzer {
+ public:
+  explicit MachineFuzzer(std::uint64_t seed) : rng_(seed) {}
+
+  MachineModel next() {
+    MachineModel m;
+    m.name = "fuzz-" + std::to_string(counter_++);
+    m.part = "Fuzzed CPU";
+    m.isa = arch::Isa::Rv64gcv;
+    m.cores = pick({1, 2, 4, 8, 16, 32, 64, 128});
+    m.cluster_size = std::min(m.cores, pick({1, 2, 4, 8}));
+    m.core.clock_ghz = 0.5 + 0.1 * static_cast<double>(rng_.below(40));
+    m.core.out_of_order = rng_.below(2) == 0;
+    m.core.decode_width = pick({1, 2, 3, 4});
+    m.core.issue_width = m.core.decode_width + static_cast<int>(rng_.below(6));
+    m.core.fp_units = pick({1, 2, 4});
+    m.core.load_store_units = pick({1, 2, 3});
+    m.core.sustained_scalar_opc =
+        0.3 + 0.1 * static_cast<double>(rng_.below(
+                        static_cast<std::uint64_t>(m.core.issue_width * 7)));
+    m.core.sustained_scalar_opc =
+        std::min(m.core.sustained_scalar_opc,
+                 static_cast<double>(m.core.issue_width));
+    m.core.miss_level_parallelism = 1 + static_cast<int>(rng_.below(24));
+    m.core.complex_loop_efficiency = 0.5 + 0.05 * static_cast<double>(rng_.below(10));
+    const VectorIsa isas[] = {VectorIsa::None, VectorIsa::RvvV1_0,
+                              VectorIsa::Avx2, VectorIsa::Neon};
+    m.core.vector.isa = isas[rng_.below(4)];
+    if (m.core.vector.isa != VectorIsa::None) {
+      m.core.vector.width_bits = 64 * static_cast<int>(1 + rng_.below(8));
+      m.core.vector.pipes = pick({1, 2});
+      m.core.vector.gather_efficiency =
+          0.05 + 0.05 * static_cast<double>(rng_.below(19));
+    }
+    const std::size_t l1 = 16 * 1024 << rng_.below(3);
+    const std::size_t l2 = 256 * 1024 << rng_.below(4);
+    m.caches = {{"L1D", l1, 8, 64, 1, 4},
+                {"L2", std::max(l2, l1), 16, 64, m.cluster_size,
+                 10.0 + static_cast<double>(rng_.below(10))}};
+    m.memory.controllers = pick({1, 2, 4, 8, 16, 32});
+    m.memory.channels = m.memory.controllers * static_cast<int>(1 + rng_.below(2));
+    m.memory.channel_bw_gbs = 5.0 + static_cast<double>(rng_.below(30));
+    m.memory.stream_efficiency = 0.1 + 0.05 * static_cast<double>(rng_.below(18));
+    m.memory.per_core_bw_gbs = std::min(
+        0.2 + 0.5 * static_cast<double>(rng_.below(40)),
+        m.memory.chip_stream_bw_gbs());
+    m.memory.idle_latency_ns = 50.0 + static_cast<double>(rng_.below(300));
+    m.memory.controller_queue_depth = 2 + static_cast<int>(rng_.below(46));
+    m.memory.numa_regions = std::min(m.cores, pick({1, 1, 1, 2, 4}));
+    m.memory.dram_gib = 1 << rng_.below(9);  // 1..256 GiB
+    return m;
+  }
+
+ private:
+  memsim::XorShift rng_;
+  int counter_ = 0;
+
+  int pick(std::initializer_list<int> options) {
+    return *(options.begin() + rng_.below(options.size()));
+  }
+};
+
+class FuzzedMachines : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzedMachines,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST_P(FuzzedMachines, GeneratedMachinesValidate) {
+  MachineFuzzer fuzz(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    const MachineModel m = fuzz.next();
+    const auto issues = arch::validate(m);
+    EXPECT_TRUE(issues.empty()) << m.name << ":\n"
+                                << arch::format_issues(issues);
+  }
+}
+
+TEST_P(FuzzedMachines, PredictionsStayFiniteAndPositive) {
+  MachineFuzzer fuzz(GetParam() * 977);
+  for (int i = 0; i < 20; ++i) {
+    const MachineModel m = fuzz.next();
+    for (Kernel k : model::npb_all()) {
+      const auto p = model::predict_paper_setup(
+          m, model::signature(k, ProblemClass::A), m.cores);
+      if (!p.ran) continue;  // tiny DRAM configs may legitimately DNR
+      EXPECT_TRUE(std::isfinite(p.mops)) << m.name << " " << to_string(k);
+      EXPECT_GT(p.mops, 0.0) << m.name << " " << to_string(k);
+      EXPECT_TRUE(std::isfinite(p.achieved_bw_gbs));
+    }
+  }
+}
+
+TEST_P(FuzzedMachines, SpeedupsRemainBounded) {
+  MachineFuzzer fuzz(GetParam() * 31337);
+  for (int i = 0; i < 10; ++i) {
+    const MachineModel m = fuzz.next();
+    const auto sig = model::signature(Kernel::MG, ProblemClass::A);
+    const auto p1 = model::predict_paper_setup(m, sig, 1);
+    const auto pn = model::predict_paper_setup(m, sig, m.cores);
+    if (!p1.ran || !pn.ran) continue;
+    EXPECT_LE(pn.mops / p1.mops, m.cores * 1.01) << m.name;
+    EXPECT_GE(pn.mops / p1.mops, 0.9) << m.name;
+  }
+}
+
+TEST_P(FuzzedMachines, SerializationRoundTripsFuzzedMachines) {
+  MachineFuzzer fuzz(GetParam() * 65521);
+  for (int i = 0; i < 20; ++i) {
+    const MachineModel m = fuzz.next();
+    const MachineModel back = arch::from_text(arch::to_text(m));
+    EXPECT_EQ(back.cores, m.cores);
+    EXPECT_DOUBLE_EQ(back.core.clock_ghz, m.core.clock_ghz);
+    EXPECT_EQ(back.core.vector.isa, m.core.vector.isa);
+    EXPECT_DOUBLE_EQ(back.memory.per_core_bw_gbs, m.memory.per_core_bw_gbs);
+    EXPECT_TRUE(arch::is_valid(back)) << m.name;
+  }
+}
+
+}  // namespace
+}  // namespace rvhpc

@@ -1,0 +1,112 @@
+// Tests for rvhpc::model roofline utilities and sweep drivers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include "model/paper_reference.hpp"
+#include "model/roofline.hpp"
+#include "model/sweep.hpp"
+
+namespace rvhpc::model {
+namespace {
+
+using arch::MachineId;
+
+TEST(Roofline, PeaksScaleWithCores) {
+  const auto& m = arch::machine(MachineId::Sg2044);
+  const CompilerConfig cc{CompilerId::Gcc15_2, true};
+  const Roofline r1 = roofline(m, 1, cc);
+  const Roofline r64 = roofline(m, 64, cc);
+  EXPECT_NEAR(r64.peak_gops / r1.peak_gops, 64.0, 0.5);
+  EXPECT_GT(r64.bandwidth_gbs, r1.bandwidth_gbs);
+  EXPECT_GT(r64.balance_ops_per_byte, r1.balance_ops_per_byte);
+}
+
+TEST(Roofline, AttainableIsMinOfRoofs) {
+  const Roofline r{100.0, 50.0, 2.0};
+  EXPECT_DOUBLE_EQ(attainable_gops(r, 0.5), 25.0);   // bandwidth side
+  EXPECT_DOUBLE_EQ(attainable_gops(r, 10.0), 100.0); // compute side
+  EXPECT_DOUBLE_EQ(attainable_gops(r, 2.0), 100.0);  // the ridge
+  EXPECT_DOUBLE_EQ(attainable_gops(r, -1.0), 0.0);
+}
+
+TEST(Roofline, ScalarCompilerLowersComputeRoof) {
+  const auto& m = arch::machine(MachineId::Sg2044);
+  const Roofline vec = roofline(m, 64, {CompilerId::Gcc15_2, true});
+  const Roofline sca = roofline(m, 64, {CompilerId::Gcc15_2, false});
+  EXPECT_GT(vec.peak_gops, sca.peak_gops);
+  EXPECT_DOUBLE_EQ(vec.bandwidth_gbs, sca.bandwidth_gbs);
+}
+
+TEST(Roofline, IntensityOfComputeKernelIsHuge) {
+  EXPECT_GT(arithmetic_intensity(signature(Kernel::EP, ProblemClass::C)), 1e6);
+  EXPECT_LT(arithmetic_intensity(signature(Kernel::MG, ProblemClass::C)), 1.0);
+}
+
+TEST(Sweep, PowerOfTwoCoresAlwaysEndsAtMax) {
+  EXPECT_EQ(power_of_two_cores(64),
+            (std::vector<int>{1, 2, 4, 8, 16, 32, 64}));
+  EXPECT_EQ(power_of_two_cores(26), (std::vector<int>{1, 2, 4, 8, 16, 26}));
+  EXPECT_EQ(power_of_two_cores(1), (std::vector<int>{1}));
+}
+
+TEST(Sweep, SeriesCoversTheMachine) {
+  const auto s = scale_cores(MachineId::Xeon8170, Kernel::MG, ProblemClass::C);
+  ASSERT_FALSE(s.points.empty());
+  EXPECT_EQ(s.points.front().cores, 1);
+  EXPECT_EQ(s.points.back().cores, 26);
+  for (const auto& p : s.points) EXPECT_TRUE(p.prediction.ran);
+}
+
+TEST(Sweep, TimesFasterIsReciprocal) {
+  const double ab = times_faster(MachineId::Epyc7742, MachineId::Sg2044,
+                                 Kernel::BT, ProblemClass::C, 16);
+  const double ba = times_faster(MachineId::Sg2044, MachineId::Epyc7742,
+                                 Kernel::BT, ProblemClass::C, 16);
+  EXPECT_NEAR(ab * ba, 1.0, 1e-9);
+}
+
+TEST(Sweep, TimesFasterZeroWhenDnr) {
+  EXPECT_EQ(times_faster(MachineId::Xeon8170, MachineId::Sg2044, Kernel::EP,
+                         ProblemClass::C, 64),
+            0.0);  // Skylake has 26 cores
+}
+
+TEST(PaperReference, TablesAreComplete) {
+  EXPECT_EQ(paper::table1().size(), 8u);
+  EXPECT_EQ(paper::table2().size(), 35u);  // 5 kernels x 7 machines
+  EXPECT_EQ(paper::table3_single_core().size(), 5u);
+  EXPECT_EQ(paper::table4_64_cores().size(), 5u);
+  EXPECT_EQ(paper::table6().size(), 12u);  // 3 apps x 4 core counts
+  EXPECT_EQ(paper::table7_single_core().size(), 5u);
+  EXPECT_EQ(paper::table8_64_cores().size(), 5u);
+}
+
+TEST(PaperReference, HeadlineNumbers) {
+  // The abstract's 4.91x is IS at 64 cores.
+  const auto& t4 = paper::table4_64_cores();
+  EXPECT_NEAR(t4.front().sg2044_mops / t4.front().sg2042_mops, 4.91, 0.01);
+  // Exactly one DNR cell in Table 2 (FT on the D1).
+  int dnr = 0;
+  for (const auto& row : paper::table2()) {
+    if (!row.mops) ++dnr;
+  }
+  EXPECT_EQ(dnr, 1);
+  EXPECT_FALSE(paper::table2_mops(Kernel::FT, MachineId::AllwinnerD1));
+  EXPECT_TRUE(paper::table2_mops(Kernel::IS, MachineId::Sg2044));
+  EXPECT_FALSE(paper::table2_mops(Kernel::IS, MachineId::Epyc7742));
+}
+
+TEST(PaperReference, Table1StallsAreTheDocumentedOnes) {
+  for (const auto& row : paper::table1()) {
+    if (row.kernel == Kernel::IS || row.kernel == Kernel::EP) {
+      EXPECT_EQ(row.ddr_stall_pct, 0.0);
+    }
+    if (row.kernel == Kernel::MG) EXPECT_EQ(row.ddr_bw_bound_pct, 88.0);
+  }
+}
+
+}  // namespace
+}  // namespace rvhpc::model

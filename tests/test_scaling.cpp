@@ -1,0 +1,149 @@
+// Tests for rvhpc::model multicore scaling primitives.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include "arch/registry.hpp"
+#include "model/scaling.hpp"
+#include "model/signatures.hpp"
+
+namespace rvhpc::model {
+namespace {
+
+using arch::MachineId;
+
+TEST(SoftMin, ApproachesTrueMin) {
+  EXPECT_NEAR(soft_min(1.0, 100.0, 8.0), 1.0, 0.01);
+  EXPECT_NEAR(soft_min(100.0, 1.0, 8.0), 1.0, 0.01);
+}
+
+TEST(SoftMin, SymmetricAndBelowBoth) {
+  const double v = soft_min(3.0, 4.0);
+  EXPECT_DOUBLE_EQ(v, soft_min(4.0, 3.0));
+  EXPECT_LT(v, 3.0);
+  EXPECT_GT(v, 0.0);
+}
+
+TEST(SoftMin, SharperExponentIsCloserToMin) {
+  EXPECT_GT(soft_min(10.0, 10.0, 12.0), soft_min(10.0, 10.0, 2.0));
+}
+
+TEST(SoftMin, HandlesDegenerateInputs) {
+  EXPECT_GT(soft_min(0.0, 5.0), 0.0);  // clamped, no NaN/inf
+  EXPECT_TRUE(std::isfinite(soft_min(1e308, 1e308)));
+}
+
+class BandwidthCurve : public ::testing::TestWithParam<MachineId> {};
+INSTANTIATE_TEST_SUITE_P(HpcMachines, BandwidthCurve,
+                         ::testing::ValuesIn(arch::hpc_machines()),
+                         [](const auto& pinfo) {
+                           std::string n = arch::name_of(pinfo.param);
+                           for (char& c : n) if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST_P(BandwidthCurve, MonotoneNonDecreasingInCores) {
+  const auto& m = arch::machine(GetParam());
+  double prev = 0.0;
+  for (int n = 1; n <= m.cores; n *= 2) {
+    const double bw = chip_stream_bw_gbs(m, n, ThreadPlacement::OsDefault);
+    EXPECT_GE(bw, prev - 1e-9) << n << " cores";
+    prev = bw;
+  }
+}
+
+TEST_P(BandwidthCurve, NeverExceedsSupply) {
+  const auto& m = arch::machine(GetParam());
+  for (int n = 1; n <= m.cores; n *= 2) {
+    EXPECT_LE(chip_stream_bw_gbs(m, n, ThreadPlacement::OsDefault),
+              m.memory.chip_stream_bw_gbs() + 1e-9);
+  }
+}
+
+TEST(BandwidthCurve, Sg2042PlateausWhereSg2044Scales) {
+  // The Fig. 1 shape: similar at 8 cores, >3x apart at 64.
+  const auto& a = arch::machine(MachineId::Sg2044);
+  const auto& b = arch::machine(MachineId::Sg2042);
+  const double a8 = chip_stream_bw_gbs(a, 8, ThreadPlacement::OsDefault);
+  const double b8 = chip_stream_bw_gbs(b, 8, ThreadPlacement::OsDefault);
+  EXPECT_NEAR(a8 / b8, 1.0, 0.25);
+  const double a64 = chip_stream_bw_gbs(a, 64, ThreadPlacement::OsDefault);
+  const double b64 = chip_stream_bw_gbs(b, 64, ThreadPlacement::OsDefault);
+  EXPECT_GT(a64 / b64, 3.0);
+  // And the SG2042 genuinely plateaus: 16 -> 64 cores gains < 15%.
+  const double b16 = chip_stream_bw_gbs(b, 16, ThreadPlacement::OsDefault);
+  EXPECT_LT(b64 / b16, 1.15);
+}
+
+TEST(Placement, OsDefaultNeverWorseOnSingleNuma) {
+  // §5.2: unset/false OMP_PROC_BIND was consistently best on the SG2044.
+  const auto& m = arch::machine(MachineId::Sg2044);
+  for (int n : {4, 16, 64}) {
+    const double os = placement_bw_factor(m, n, ThreadPlacement::OsDefault);
+    EXPECT_GE(os, placement_bw_factor(m, n, ThreadPlacement::Spread));
+    EXPECT_GE(os, placement_bw_factor(m, n, ThreadPlacement::Close));
+  }
+}
+
+TEST(Placement, ClosePackingStarvesNumaControllers) {
+  const auto& epyc = arch::machine(MachineId::Epyc7742);
+  // 16 threads packed into one of four NUMA regions reach 1/4 of the
+  // controllers; spreading reaches them all.
+  EXPECT_NEAR(placement_bw_factor(epyc, 16, ThreadPlacement::Close), 0.25,
+              1e-9);
+  EXPECT_GT(placement_bw_factor(epyc, 16, ThreadPlacement::Spread), 0.9);
+  EXPECT_NEAR(placement_bw_factor(epyc, 64, ThreadPlacement::Close), 1.0,
+              1e-9);
+}
+
+TEST(RandomCap, ScalesWithControllers) {
+  const auto& a = arch::machine(MachineId::Sg2044);
+  const auto& b = arch::machine(MachineId::Sg2042);
+  const double lat = 150e-9;
+  EXPECT_GT(chip_random_cap(a, lat), 5.0 * chip_random_cap(b, lat));
+}
+
+TEST(LoadedLatency, InflatesWithUtilisation) {
+  const auto& m = arch::machine(MachineId::Sg2042);
+  const double idle = loaded_dram_latency_s(m, 0.0);
+  EXPECT_NEAR(idle, m.memory.idle_latency_ns * 1e-9, 1e-12);
+  EXPECT_GT(loaded_dram_latency_s(m, 0.9), idle * 1.5);
+  // Clamped: u > 0.95 behaves like 0.95.
+  EXPECT_DOUBLE_EQ(loaded_dram_latency_s(m, 2.0),
+                   loaded_dram_latency_s(m, 0.95));
+}
+
+TEST(SyncCost, GrowsWithCoresAndSyncs) {
+  const auto& m = arch::machine(MachineId::Sg2044);
+  auto sig = signature(Kernel::MG, ProblemClass::C);
+  EXPECT_DOUBLE_EQ(sync_cost_s(m, sig, 1), 0.0);
+  const double c8 = sync_cost_s(m, sig, 8);
+  const double c64 = sync_cost_s(m, sig, 64);
+  EXPECT_GT(c64, c8);
+  sig.global_syncs *= 2.0;
+  EXPECT_NEAR(sync_cost_s(m, sig, 64), 2.0 * c64, 1e-12);
+}
+
+TEST(SyncCost, SlowerClocksPayMore) {
+  const auto sig = signature(Kernel::LU, ProblemClass::C);
+  EXPECT_GT(sync_cost_s(arch::machine(MachineId::Sg2042), sig, 32),
+            sync_cost_s(arch::machine(MachineId::Sg2044), sig, 32));
+}
+
+TEST(Imbalance, OneAtSingleCoreAndGrowing) {
+  const auto sig = signature(Kernel::SP, ProblemClass::C);
+  EXPECT_DOUBLE_EQ(imbalance_factor(sig, 1), 1.0);
+  EXPECT_GT(imbalance_factor(sig, 64), imbalance_factor(sig, 8));
+  EXPECT_LT(imbalance_factor(sig, 64), 2.0);  // stays a perturbation
+}
+
+TEST(ToString, PlacementNames) {
+  EXPECT_EQ(to_string(ThreadPlacement::OsDefault), "os-default");
+  EXPECT_EQ(to_string(ThreadPlacement::Spread), "spread");
+  EXPECT_EQ(to_string(ThreadPlacement::Close), "close");
+}
+
+}  // namespace
+}  // namespace rvhpc::model

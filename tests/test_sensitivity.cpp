@@ -1,0 +1,98 @@
+// Tests for rvhpc::model sensitivity analysis — the model must attribute
+// each kernel's performance to the resources the paper says it depends on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/registry.hpp"
+#include "model/sensitivity.hpp"
+#include "model/signatures.hpp"
+
+namespace rvhpc::model {
+namespace {
+
+double elasticity(const std::vector<Sensitivity>& v, const std::string& p) {
+  for (const auto& s : v) {
+    if (s.parameter == p) return s.elasticity;
+  }
+  return 0.0;
+}
+
+std::vector<Sensitivity> at(Kernel k, int cores) {
+  const auto& m = arch::machine(arch::MachineId::Sg2044);
+  RunConfig cfg;
+  cfg.cores = cores;
+  cfg.compiler = paper_default_compiler(m);
+  if (k == Kernel::CG) cfg.compiler.vectorise = false;
+  return sensitivities(m, signature(k, ProblemClass::C), cfg);
+}
+
+TEST(Sensitivity, EpRidesTheClock) {
+  const auto s = at(Kernel::EP, 64);
+  EXPECT_NEAR(elasticity(s, "core.clock_ghz"), 1.0, 0.15);
+  EXPECT_NEAR(elasticity(s, "memory.stream_efficiency"), 0.0, 0.05);
+  EXPECT_NEAR(elasticity(s, "memory.idle_latency_ns"), 0.0, 0.05);
+}
+
+TEST(Sensitivity, MgRidesBandwidthAtFullChip) {
+  const auto s = at(Kernel::MG, 64);
+  EXPECT_GT(elasticity(s, "memory.stream_efficiency"), 0.5);
+  EXPECT_LT(elasticity(s, "core.clock_ghz"), 0.4);
+}
+
+TEST(Sensitivity, MgRidesPerCoreBandwidthAtOneCore) {
+  const auto s = at(Kernel::MG, 1);
+  EXPECT_GT(elasticity(s, "memory.per_core_bw_gbs"), 0.2);
+  EXPECT_NEAR(elasticity(s, "memory.stream_efficiency"), 0.0, 0.05);
+}
+
+TEST(Sensitivity, IsHurtByLatencyHelpedByMlp) {
+  const auto s = at(Kernel::IS, 64);
+  EXPECT_LT(elasticity(s, "memory.idle_latency_ns"), -0.2);
+  EXPECT_GT(elasticity(s, "core.miss_level_parallelism"), 0.2);
+}
+
+TEST(Sensitivity, CgMixesComputeAndLatency) {
+  const auto s = at(Kernel::CG, 64);
+  EXPECT_GT(elasticity(s, "core.clock_ghz"), 0.2);
+  EXPECT_LT(elasticity(s, "memory.idle_latency_ns"), -0.02);
+}
+
+TEST(Sensitivity, SortedByMagnitude) {
+  const auto s = at(Kernel::MG, 64);
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    EXPECT_GE(std::fabs(s[i - 1].elasticity), std::fabs(s[i].elasticity));
+  }
+}
+
+TEST(Sensitivity, CoversEveryParameterForHealthyRuns) {
+  EXPECT_EQ(at(Kernel::EP, 64).size(), sensitivity_parameters().size());
+}
+
+TEST(Perturbed, ScalesTheNamedParameterOnly) {
+  const auto& m = arch::machine(arch::MachineId::Sg2044);
+  const auto p = perturbed(m, "core.clock_ghz", 2.0);
+  EXPECT_DOUBLE_EQ(p.core.clock_ghz, m.core.clock_ghz * 2.0);
+  EXPECT_EQ(p.memory.controllers, m.memory.controllers);
+  EXPECT_DOUBLE_EQ(p.core.sustained_scalar_opc, m.core.sustained_scalar_opc);
+}
+
+TEST(Perturbed, ClampsBoundedParameters) {
+  const auto& m = arch::machine(arch::MachineId::Sg2044);
+  EXPECT_LE(perturbed(m, "memory.stream_efficiency", 100.0)
+                .memory.stream_efficiency,
+            1.0);
+  EXPECT_GE(perturbed(m, "memory.controller_queue_depth", 0.0001)
+                .memory.controller_queue_depth,
+            1);
+}
+
+TEST(Perturbed, UnknownParameterThrows) {
+  EXPECT_THROW(
+      (void)perturbed(arch::machine(arch::MachineId::Sg2044), "nope", 1.0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rvhpc::model

@@ -1,0 +1,128 @@
+// Tests for rvhpc::arch machine (de)serialisation.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arch/registry.hpp"
+#include "arch/serialize.hpp"
+#include "arch/validate.hpp"
+
+namespace rvhpc::arch {
+namespace {
+
+class RoundTrip : public ::testing::TestWithParam<MachineId> {};
+INSTANTIATE_TEST_SUITE_P(EveryRegistryMachine, RoundTrip,
+                         ::testing::ValuesIn(all_machines()),
+                         [](const auto& pinfo) {
+                           std::string n = name_of(pinfo.param);
+                           for (char& c : n) if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST_P(RoundTrip, TextPreservesEveryField) {
+  const MachineModel& m = machine(GetParam());
+  const MachineModel back = from_text(to_text(m));
+  EXPECT_EQ(back.name, m.name);
+  EXPECT_EQ(back.part, m.part);
+  EXPECT_EQ(back.isa, m.isa);
+  EXPECT_EQ(back.cores, m.cores);
+  EXPECT_EQ(back.cluster_size, m.cluster_size);
+  EXPECT_DOUBLE_EQ(back.core.clock_ghz, m.core.clock_ghz);
+  EXPECT_EQ(back.core.out_of_order, m.core.out_of_order);
+  EXPECT_EQ(back.core.decode_width, m.core.decode_width);
+  EXPECT_EQ(back.core.issue_width, m.core.issue_width);
+  EXPECT_DOUBLE_EQ(back.core.sustained_scalar_opc, m.core.sustained_scalar_opc);
+  EXPECT_EQ(back.core.miss_level_parallelism, m.core.miss_level_parallelism);
+  EXPECT_DOUBLE_EQ(back.core.complex_loop_efficiency,
+                   m.core.complex_loop_efficiency);
+  EXPECT_EQ(back.core.vector.isa, m.core.vector.isa);
+  EXPECT_EQ(back.core.vector.width_bits, m.core.vector.width_bits);
+  EXPECT_DOUBLE_EQ(back.core.vector.gather_efficiency,
+                   m.core.vector.gather_efficiency);
+  ASSERT_EQ(back.caches.size(), m.caches.size());
+  for (std::size_t i = 0; i < m.caches.size(); ++i) {
+    EXPECT_EQ(back.caches[i].name, m.caches[i].name);
+    EXPECT_EQ(back.caches[i].size_bytes, m.caches[i].size_bytes);
+    EXPECT_EQ(back.caches[i].shared_by_cores, m.caches[i].shared_by_cores);
+  }
+  EXPECT_EQ(back.memory.controllers, m.memory.controllers);
+  EXPECT_EQ(back.memory.channels, m.memory.channels);
+  EXPECT_EQ(back.memory.ddr_kind, m.memory.ddr_kind);
+  EXPECT_DOUBLE_EQ(back.memory.stream_efficiency, m.memory.stream_efficiency);
+  EXPECT_DOUBLE_EQ(back.memory.read_bw_bonus, m.memory.read_bw_bonus);
+  EXPECT_DOUBLE_EQ(back.memory.dram_gib, m.memory.dram_gib);
+}
+
+TEST_P(RoundTrip, RoundTrippedMachineStillValidates) {
+  EXPECT_TRUE(is_valid(from_text(to_text(machine(GetParam())))));
+}
+
+TEST(FromText, PartialFileKeepsDefaults) {
+  const MachineModel m = from_text("name = tiny\ncores = 2\n");
+  EXPECT_EQ(m.name, "tiny");
+  EXPECT_EQ(m.cores, 2);
+  EXPECT_EQ(m.cluster_size, 1);           // default
+  EXPECT_EQ(m.caches.size(), 1u);         // injected default L1
+  EXPECT_EQ(m.caches[0].name, "L1D");
+}
+
+TEST(FromText, CommentsAndBlankLinesIgnored) {
+  const MachineModel m =
+      from_text("# a comment\n\nname = x\n   # indented comment\ncores = 4\n");
+  EXPECT_EQ(m.name, "x");
+  EXPECT_EQ(m.cores, 4);
+}
+
+TEST(FromText, UnknownKeyIsAnErrorWithLineNumber) {
+  try {
+    (void)from_text("name = x\ncorse = 4\n");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("corse"), std::string::npos);
+  }
+}
+
+TEST(FromText, MalformedNumberRejected) {
+  EXPECT_THROW((void)from_text("cores = four\n"), std::invalid_argument);
+  EXPECT_THROW((void)from_text("core.clock_ghz = 2.5GHz\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)from_text("cores = 2.5\n"), std::invalid_argument);
+}
+
+TEST(FromText, MissingEqualsRejected) {
+  EXPECT_THROW((void)from_text("name x\n"), std::invalid_argument);
+}
+
+TEST(FromText, MalformedCacheLineRejected) {
+  EXPECT_THROW((void)from_text("cache = L1D 32768\n"), std::invalid_argument);
+}
+
+TEST(FromText, BadEnumsRejected) {
+  EXPECT_THROW((void)from_text("isa = SPARC\n"), std::invalid_argument);
+  EXPECT_THROW((void)from_text("core.vector.isa = SSE\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)from_text("core.out_of_order = maybe\n"),
+               std::invalid_argument);
+}
+
+TEST(ParseEnums, RoundTripAllValues) {
+  for (VectorIsa v : {VectorIsa::None, VectorIsa::RvvV0_7, VectorIsa::RvvV1_0,
+                      VectorIsa::Avx2, VectorIsa::Avx512, VectorIsa::Neon}) {
+    EXPECT_EQ(parse_vector_isa(to_string(v)), v);
+  }
+  for (Isa i : {Isa::Rv64gcv, Isa::Rv64gc, Isa::X86_64, Isa::Armv8}) {
+    EXPECT_EQ(parse_isa(to_string(i)), i);
+  }
+}
+
+TEST(ReadMachine, WorksOverAStream) {
+  std::istringstream in(to_text(machine(MachineId::Sg2044)));
+  const MachineModel m = read_machine(in);
+  EXPECT_EQ(m.name, "sg2044");
+  EXPECT_EQ(m.memory.controllers, 32);
+}
+
+}  // namespace
+}  // namespace rvhpc::arch

@@ -1,0 +1,158 @@
+// Tests for rvhpc::model workload signatures.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include "model/signatures.hpp"
+
+namespace rvhpc::model {
+namespace {
+
+struct SigCase {
+  Kernel kernel;
+  ProblemClass cls;
+};
+
+std::vector<SigCase> all_cases() {
+  std::vector<SigCase> cases;
+  for (Kernel k : npb_all()) {
+    for (ProblemClass c : {ProblemClass::S, ProblemClass::W, ProblemClass::A,
+                           ProblemClass::B, ProblemClass::C}) {
+      cases.push_back({k, c});
+    }
+  }
+  return cases;
+}
+
+class EverySignature : public ::testing::TestWithParam<SigCase> {};
+INSTANTIATE_TEST_SUITE_P(
+    AllKernelsAllClasses, EverySignature, ::testing::ValuesIn(all_cases()),
+    [](const auto& pinfo) {
+      return to_string(pinfo.param.kernel) + "_" + to_string(pinfo.param.cls);
+    });
+
+TEST_P(EverySignature, FieldsInPhysicalRanges) {
+  const auto s = signature(GetParam().kernel, GetParam().cls);
+  EXPECT_EQ(s.kernel, GetParam().kernel);
+  EXPECT_EQ(s.problem_class, GetParam().cls);
+  EXPECT_GT(s.total_mop, 0.0);
+  EXPECT_GT(s.cycles_per_op, 0.0);
+  EXPECT_GE(s.vectorisable_fraction, 0.0);
+  EXPECT_LE(s.vectorisable_fraction, 1.0);
+  EXPECT_GE(s.gather_fraction, 0.0);
+  EXPECT_LE(s.gather_fraction, 1.0);
+  EXPECT_GT(s.vector_elem_parallelism, 0.0);
+  EXPECT_TRUE(s.element_bits == 32 || s.element_bits == 64);
+  EXPECT_GE(s.streamed_bytes_per_op, 0.0);
+  EXPECT_GE(s.random_access_per_op, 0.0);
+  EXPECT_GE(s.random_llc_hit_fraction, 0.0);
+  EXPECT_LE(s.random_llc_hit_fraction, 1.0);
+  EXPECT_GE(s.random_overlap, 0.0);
+  EXPECT_LE(s.random_overlap, 1.0);
+  EXPECT_GT(s.working_set_mib, 0.0);
+  EXPECT_GE(s.comm_bytes_per_op, 0.0);
+  EXPECT_GE(s.global_syncs, 0.0);
+  EXPECT_GE(s.imbalance_coeff, 0.0);
+  EXPECT_GE(s.serial_fraction, 0.0);
+  EXPECT_LT(s.serial_fraction, 0.1);
+  EXPECT_GE(s.read_fraction, 0.0);
+  EXPECT_LE(s.read_fraction, 1.0);
+  EXPECT_GE(s.rvv_codegen_derate, 0.0);
+  EXPECT_LE(s.rvv_codegen_derate, 1.0);
+}
+
+TEST_P(EverySignature, Deterministic) {
+  const auto a = signature(GetParam().kernel, GetParam().cls);
+  const auto b = signature(GetParam().kernel, GetParam().cls);
+  EXPECT_EQ(a.total_mop, b.total_mop);
+  EXPECT_EQ(a.working_set_mib, b.working_set_mib);
+  EXPECT_EQ(a.cycles_per_op, b.cycles_per_op);
+}
+
+class EveryKernel : public ::testing::TestWithParam<Kernel> {};
+INSTANTIATE_TEST_SUITE_P(AllKernels, EveryKernel,
+                         ::testing::ValuesIn(npb_all()),
+                         [](const auto& pinfo) { return to_string(pinfo.param); });
+
+TEST_P(EveryKernel, WorkAndFootprintGrowWithClass) {
+  double prev_mop = 0.0, prev_ws = 0.0;
+  for (ProblemClass c : {ProblemClass::S, ProblemClass::W, ProblemClass::A,
+                         ProblemClass::B, ProblemClass::C}) {
+    const auto s = signature(GetParam(), c);
+    EXPECT_GT(s.total_mop, prev_mop) << to_string(c);
+    EXPECT_GE(s.working_set_mib, prev_ws) << to_string(c);
+    prev_mop = s.total_mop;
+    prev_ws = s.working_set_mib;
+  }
+}
+
+TEST(SignatureShape, IsIsTheLatencyKernel) {
+  const auto s = signature(Kernel::IS, ProblemClass::C);
+  EXPECT_GE(s.random_access_per_op, 1.0);
+  EXPECT_EQ(s.element_bits, 32);
+  EXPECT_FALSE(s.dependent_chain);  // independent histogram updates
+}
+
+TEST(SignatureShape, EpIsTheComputeKernel) {
+  const auto s = signature(Kernel::EP, ProblemClass::C);
+  EXPECT_EQ(s.streamed_bytes_per_op, 0.0);
+  EXPECT_EQ(s.random_access_per_op, 0.0);
+  EXPECT_GT(s.cycles_per_op, 50.0);
+}
+
+TEST(SignatureShape, MgIsTheBandwidthKernel) {
+  const auto s = signature(Kernel::MG, ProblemClass::C);
+  EXPECT_GT(s.streamed_bytes_per_op, 2.0);
+  EXPECT_GT(s.working_set_mib, 1000.0);  // class C: multi-GiB grids
+}
+
+TEST(SignatureShape, CgIsTheGatherKernel) {
+  const auto s = signature(Kernel::CG, ProblemClass::C);
+  EXPECT_GT(s.gather_fraction, 0.8);
+  EXPECT_TRUE(s.dependent_chain);
+  EXPECT_GT(s.random_access_per_op, 0.0);
+}
+
+TEST(SignatureShape, FtCommunicates) {
+  EXPECT_GT(signature(Kernel::FT, ProblemClass::C).comm_bytes_per_op, 0.0);
+}
+
+TEST(SignatureShape, PseudoAppsAreComplexControl) {
+  for (Kernel k : npb_pseudo_apps()) {
+    const auto s = signature(k, ProblemClass::C);
+    EXPECT_TRUE(s.complex_control) << to_string(k);
+    EXPECT_LT(s.rvv_codegen_derate, 1.0) << to_string(k);
+  }
+  EXPECT_FALSE(signature(Kernel::EP, ProblemClass::C).complex_control);
+}
+
+TEST(SignatureShape, LuIsTheSyncHeavyApp) {
+  const auto lu = signature(Kernel::LU, ProblemClass::C);
+  EXPECT_GT(lu.global_syncs, signature(Kernel::BT, ProblemClass::C).global_syncs);
+  EXPECT_GT(lu.serial_fraction,
+            signature(Kernel::BT, ProblemClass::C).serial_fraction);
+}
+
+TEST(SignatureShape, FtClassBFitsNeitherD1NorItsSmallerSiblings) {
+  // The DNR in Table 2: class B FT needs > 1 GiB.
+  EXPECT_GT(signature(Kernel::FT, ProblemClass::B).working_set_mib, 1024.0);
+}
+
+TEST(KernelLists, SuiteComposition) {
+  EXPECT_EQ(npb_kernels().size(), 5u);
+  EXPECT_EQ(npb_pseudo_apps().size(), 3u);
+  EXPECT_EQ(npb_all().size(), 8u);
+}
+
+TEST(StreamSignatures, CopyAndTriad) {
+  const auto copy = signature(Kernel::StreamCopy, ProblemClass::C);
+  const auto triad = signature(Kernel::StreamTriad, ProblemClass::C);
+  EXPECT_GT(triad.streamed_bytes_per_op, copy.streamed_bytes_per_op);
+  EXPECT_GT(copy.vectorisable_fraction, 0.9);
+  EXPECT_EQ(copy.read_fraction, 0.0);  // the copy baseline itself
+}
+
+}  // namespace
+}  // namespace rvhpc::model

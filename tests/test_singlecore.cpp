@@ -1,0 +1,143 @@
+// Tests for rvhpc::model single-core building blocks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include "arch/registry.hpp"
+#include "model/signatures.hpp"
+#include "model/singlecore.hpp"
+
+namespace rvhpc::model {
+namespace {
+
+using arch::MachineId;
+
+const arch::MachineModel& sg2044() { return arch::machine(MachineId::Sg2044); }
+
+TEST(VectorOutcome, ScalarWhenVectorisationDisabled) {
+  const auto sig = signature(Kernel::MG, ProblemClass::C);
+  const auto out = vector_outcome(sg2044(), sig, {CompilerId::Gcc15_2, false});
+  EXPECT_FALSE(out.vectorised);
+  EXPECT_DOUBLE_EQ(out.blended_speedup, 1.0);
+}
+
+TEST(VectorOutcome, ScalarWhenCompilerCannotTarget) {
+  const auto sig = signature(Kernel::MG, ProblemClass::C);
+  const auto out = vector_outcome(sg2044(), sig, {CompilerId::Gcc12_3_1, true});
+  EXPECT_FALSE(out.vectorised);  // no RVV 1.0 before GCC 13
+}
+
+TEST(VectorOutcome, MgGainsFromRvv) {
+  const auto sig = signature(Kernel::MG, ProblemClass::C);
+  const auto out = vector_outcome(sg2044(), sig, {CompilerId::Gcc15_2, true});
+  EXPECT_TRUE(out.vectorised);
+  EXPECT_GT(out.blended_speedup, 1.0);
+}
+
+TEST(VectorOutcome, CgPathologyOnC920v2) {
+  // §6: vectorised CG is ~3x slower on the SG2044.
+  const auto sig = signature(Kernel::CG, ProblemClass::C);
+  const auto out = vector_outcome(sg2044(), sig, {CompilerId::Gcc15_2, true});
+  EXPECT_TRUE(out.vectorised);
+  EXPECT_LT(out.gather_speedup, 1.0);
+  EXPECT_LT(out.blended_speedup, 0.6);
+}
+
+TEST(VectorOutcome, CgFineOnAvx512) {
+  const auto sig = signature(Kernel::CG, ProblemClass::C);
+  const auto& xeon = arch::machine(MachineId::Xeon8170);
+  const auto out = vector_outcome(xeon, sig, {CompilerId::Gcc15_2, true});
+  EXPECT_TRUE(out.vectorised);
+  EXPECT_GT(out.blended_speedup, 1.0);  // 8 lanes x usable gathers
+}
+
+TEST(VectorOutcome, OldCompilersLeaveGathersScalar) {
+  // XuanTie GCC never vectorised the SpMV gather, so the SG2042 shows no
+  // CG pathology (§4 vs §6).
+  const auto sig = signature(Kernel::CG, ProblemClass::C);
+  const auto& sg2042 = arch::machine(MachineId::Sg2042);
+  const auto out =
+      vector_outcome(sg2042, sig, {CompilerId::XuanTieGcc8_4, true});
+  EXPECT_TRUE(out.vectorised);
+  EXPECT_GT(out.blended_speedup, 0.95);  // effectively scalar, no penalty
+}
+
+TEST(VectorOutcome, WiderVectorsHelpMoreOnUnitStride) {
+  const auto sig = signature(Kernel::BT, ProblemClass::C);
+  const auto& epyc = arch::machine(MachineId::Epyc7742);
+  const auto& xeon = arch::machine(MachineId::Xeon8170);
+  const auto a2 = vector_outcome(epyc, sig, {CompilerId::Gcc11_2, true});
+  const auto a5 = vector_outcome(xeon, sig, {CompilerId::Gcc8_4, true});
+  EXPECT_GE(a5.unit_stride_speedup, a2.unit_stride_speedup * 0.9);
+}
+
+TEST(CoreRate, Sg2044FasterThanSg2042PerCore) {
+  for (Kernel k : npb_kernels()) {
+    const auto sig = signature(k, ProblemClass::C);
+    const double r44 =
+        core_ops_per_second(sg2044(), sig, {CompilerId::Gcc15_2, k != Kernel::CG});
+    const double r42 = core_ops_per_second(arch::machine(MachineId::Sg2042),
+                                           sig, {CompilerId::XuanTieGcc8_4, true});
+    EXPECT_GT(r44, r42) << to_string(k);
+  }
+}
+
+TEST(CoreRate, ComplexControlEngagesEfficiency) {
+  auto sig = signature(Kernel::BT, ProblemClass::C);
+  const CompilerConfig cc{CompilerId::Gcc15_2, false};
+  const double with = core_ops_per_second(sg2044(), sig, cc);
+  sig.complex_control = false;
+  const double without = core_ops_per_second(sg2044(), sig, cc);
+  EXPECT_LT(with, without);
+  EXPECT_NEAR(with / without, sg2044().core.complex_loop_efficiency, 1e-9);
+}
+
+TEST(LlcHitFraction, CapacityCapsTheBaseFraction) {
+  auto sig = signature(Kernel::CG, ProblemClass::B);
+  const double big_llc = effective_llc_hit_fraction(sg2044(), sig);
+  const double small_llc =
+      effective_llc_hit_fraction(arch::machine(MachineId::AllwinnerD1), sig);
+  EXPECT_GT(big_llc, small_llc);
+  EXPECT_LE(big_llc, 1.0);
+  EXPECT_GE(small_llc, 0.0);
+}
+
+TEST(RandomRate, InOrderDependentChainLosesParallelism) {
+  auto sig = signature(Kernel::CG, ProblemClass::B);
+  const double lat = 150e-9;
+  const double ooo = core_random_rate(sg2044(), sig, lat);
+  const auto& vf2 = arch::machine(MachineId::VisionFiveV2);
+  const double in_order = core_random_rate(vf2, sig, lat);
+  EXPECT_GT(ooo, 2.5 * in_order);
+}
+
+TEST(RandomRate, IndependentStreamsKeepInOrderParallelism) {
+  // IS's histogram updates are independent: the in-order penalty must not
+  // apply (only the smaller machine MLP does).
+  auto is_sig = signature(Kernel::IS, ProblemClass::B);
+  auto cg_sig = signature(Kernel::CG, ProblemClass::B);
+  const auto& vf2 = arch::machine(MachineId::VisionFiveV2);
+  // Neutralise latency differences by fixing the blend inputs.
+  is_sig.random_llc_hit_fraction = cg_sig.random_llc_hit_fraction;
+  is_sig.random_footprint_mib = cg_sig.random_footprint_mib;
+  is_sig.random_overlap = cg_sig.random_overlap;
+  is_sig.working_set_mib = cg_sig.working_set_mib;
+  const double lat = 150e-9;
+  EXPECT_GT(core_random_rate(vf2, is_sig, lat),
+            core_random_rate(vf2, cg_sig, lat));
+}
+
+TEST(RandomLatency, BlendsLlcAndDram) {
+  const auto sig = signature(Kernel::IS, ProblemClass::C);
+  const double dram = 150e-9;
+  const double lat = random_access_latency_s(sg2044(), sig, dram);
+  const double llc = sg2044().caches.back().latency_cycles /
+                     (sg2044().core.clock_ghz * 1e9);
+  EXPECT_GT(lat, llc);
+  EXPECT_LT(lat, dram);
+}
+
+}  // namespace
+}  // namespace rvhpc::model

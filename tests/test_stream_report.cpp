@@ -1,0 +1,141 @@
+// Tests for rvhpc::stream (host STREAM benchmark) and rvhpc::report
+// (table / chart rendering).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+
+#include "report/chart.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "stream/stream.hpp"
+
+namespace rvhpc {
+namespace {
+
+TEST(Stream, RunsAndVerifies) {
+  stream::StreamConfig cfg;
+  cfg.elements = 1 << 20;
+  cfg.repetitions = 3;
+  cfg.threads = 2;
+  const auto results = stream::run(cfg);
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.verified) << to_string(r.kernel);
+    EXPECT_GT(r.best_gbs, 0.0);
+    EXPECT_GE(r.best_gbs, r.avg_gbs * 0.99);
+  }
+}
+
+TEST(Stream, KernelsInCanonicalOrder) {
+  stream::StreamConfig cfg;
+  cfg.elements = 1 << 16;
+  cfg.repetitions = 2;
+  const auto results = stream::run(cfg);
+  EXPECT_EQ(results[0].kernel, stream::StreamKernel::Copy);
+  EXPECT_EQ(results[1].kernel, stream::StreamKernel::Scale);
+  EXPECT_EQ(results[2].kernel, stream::StreamKernel::Add);
+  EXPECT_EQ(results[3].kernel, stream::StreamKernel::Triad);
+}
+
+TEST(Stream, KernelNames) {
+  EXPECT_EQ(to_string(stream::StreamKernel::Copy), "copy");
+  EXPECT_EQ(to_string(stream::StreamKernel::Triad), "triad");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  report::Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, ShortRowsPadAndLongRowsTruncate) {
+  report::Table t({"a", "b"});
+  t.add_row({"only"});
+  t.add_row({"x", "y", "dropped"});
+  const std::string out = t.render();
+  EXPECT_EQ(out.find("dropped"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  report::Table t({"k", "v"});
+  t.add_row({"with,comma", "with\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(report::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(report::fmt(2.0, 0), "2");
+}
+
+TEST(Fmt, PercentOfReference) {
+  EXPECT_EQ(report::fmt_pct_of(50.0, 200.0), "25%");
+  EXPECT_EQ(report::fmt_pct_of(1.0, 0.0), "-");
+}
+
+TEST(Fmt, Ratio) {
+  EXPECT_EQ(report::fmt_ratio(3.0, 2.0), "1.50x");
+  EXPECT_EQ(report::fmt_ratio(1.0, 0.0), "-");
+}
+
+TEST(Chart, RendersSeriesAndLegend) {
+  report::AsciiChart chart("Title", "cores", "Mop/s", 40, 10);
+  chart.add_series({"sg2044", '4', {{1, 10}, {2, 19}, {4, 35}, {8, 60}}});
+  chart.add_series({"sg2042", '2', {{1, 9}, {2, 17}, {4, 20}, {8, 21}}});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+  EXPECT_NE(out.find('4'), std::string::npos);
+  EXPECT_NE(out.find('2'), std::string::npos);
+}
+
+TEST(Chart, EmptyChartIsJustTheTitle) {
+  report::AsciiChart chart("Nothing", "x", "y");
+  EXPECT_EQ(chart.render(), "Nothing\n");
+}
+
+TEST(Csv, DisabledWithoutEnvVar) {
+  ::unsetenv("RVHPC_CSV_DIR");
+  report::Table t({"a"});
+  EXPECT_EQ(report::csv_dir(), "");
+  EXPECT_EQ(report::maybe_write_csv("nope", t), "");
+}
+
+TEST(Csv, WritesWhenEnvVarSet) {
+  ::setenv("RVHPC_CSV_DIR", "/tmp", 1);
+  report::Table t({"k", "v"});
+  t.add_row({"x", "1"});
+  const std::string path = report::maybe_write_csv("rvhpc_csv_test", t);
+  EXPECT_EQ(path, "/tmp/rvhpc_csv_test.csv");
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "k,v");
+  ::unsetenv("RVHPC_CSV_DIR");
+}
+
+TEST(Csv, UnwritableDirectoryThrows) {
+  ::setenv("RVHPC_CSV_DIR", "/nonexistent-dir-xyz", 1);
+  report::Table t({"a"});
+  EXPECT_THROW((void)report::maybe_write_csv("x", t), std::runtime_error);
+  ::unsetenv("RVHPC_CSV_DIR");
+}
+
+TEST(Chart, IgnoresNonPositiveX) {
+  report::AsciiChart chart("T", "x", "y", 32, 8);
+  chart.add_series({"s", '*', {{0, 5}, {-1, 6}}});
+  EXPECT_EQ(chart.render(), "T\n");  // nothing plottable on a log axis
+}
+
+}  // namespace
+}  // namespace rvhpc
