@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cg_unroll.dir/ablation_cg_unroll.cpp.o"
+  "CMakeFiles/ablation_cg_unroll.dir/ablation_cg_unroll.cpp.o.d"
+  "ablation_cg_unroll"
+  "ablation_cg_unroll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cg_unroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_thread_placement.dir/ablation_thread_placement.cpp.o"
+  "CMakeFiles/ablation_thread_placement.dir/ablation_thread_placement.cpp.o.d"
+  "ablation_thread_placement"
+  "ablation_thread_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_thread_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_check.dir/calibration_check.cpp.o"
+  "CMakeFiles/calibration_check.dir/calibration_check.cpp.o.d"
+  "calibration_check"
+  "calibration_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_riscv_single_core.dir/table2_riscv_single_core.cpp.o"
+  "CMakeFiles/table2_riscv_single_core.dir/table2_riscv_single_core.cpp.o.d"
+  "table2_riscv_single_core"
+  "table2_riscv_single_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_riscv_single_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_sg2042_single.dir/table3_sg2042_single.cpp.o"
+  "CMakeFiles/table3_sg2042_single.dir/table3_sg2042_single.cpp.o.d"
+  "table3_sg2042_single"
+  "table3_sg2042_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_sg2042_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

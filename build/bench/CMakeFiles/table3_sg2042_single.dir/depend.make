@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_sg2042_single.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_sg2042_multicore.dir/table4_sg2042_multicore.cpp.o"
+  "CMakeFiles/table4_sg2042_multicore.dir/table4_sg2042_multicore.cpp.o.d"
+  "table4_sg2042_multicore"
+  "table4_sg2042_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_sg2042_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_machines.dir/table5_machines.cpp.o"
+  "CMakeFiles/table5_machines.dir/table5_machines.cpp.o.d"
+  "table5_machines"
+  "table5_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

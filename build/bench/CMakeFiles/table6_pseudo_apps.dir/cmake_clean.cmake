@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_pseudo_apps.dir/table6_pseudo_apps.cpp.o"
+  "CMakeFiles/table6_pseudo_apps.dir/table6_pseudo_apps.cpp.o.d"
+  "table6_pseudo_apps"
+  "table6_pseudo_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_pseudo_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_compiler_single.dir/table7_compiler_single.cpp.o"
+  "CMakeFiles/table7_compiler_single.dir/table7_compiler_single.cpp.o.d"
+  "table7_compiler_single"
+  "table7_compiler_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_compiler_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

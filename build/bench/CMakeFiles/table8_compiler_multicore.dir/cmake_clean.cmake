@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_compiler_multicore.dir/table8_compiler_multicore.cpp.o"
+  "CMakeFiles/table8_compiler_multicore.dir/table8_compiler_multicore.cpp.o.d"
+  "table8_compiler_multicore"
+  "table8_compiler_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_compiler_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

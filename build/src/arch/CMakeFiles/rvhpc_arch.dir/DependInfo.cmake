@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/machine.cpp" "src/arch/CMakeFiles/rvhpc_arch.dir/machine.cpp.o" "gcc" "src/arch/CMakeFiles/rvhpc_arch.dir/machine.cpp.o.d"
+  "/root/repo/src/arch/registry.cpp" "src/arch/CMakeFiles/rvhpc_arch.dir/registry.cpp.o" "gcc" "src/arch/CMakeFiles/rvhpc_arch.dir/registry.cpp.o.d"
+  "/root/repo/src/arch/serialize.cpp" "src/arch/CMakeFiles/rvhpc_arch.dir/serialize.cpp.o" "gcc" "src/arch/CMakeFiles/rvhpc_arch.dir/serialize.cpp.o.d"
+  "/root/repo/src/arch/validate.cpp" "src/arch/CMakeFiles/rvhpc_arch.dir/validate.cpp.o" "gcc" "src/arch/CMakeFiles/rvhpc_arch.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvhpc_arch.dir/machine.cpp.o"
+  "CMakeFiles/rvhpc_arch.dir/machine.cpp.o.d"
+  "CMakeFiles/rvhpc_arch.dir/registry.cpp.o"
+  "CMakeFiles/rvhpc_arch.dir/registry.cpp.o.d"
+  "CMakeFiles/rvhpc_arch.dir/serialize.cpp.o"
+  "CMakeFiles/rvhpc_arch.dir/serialize.cpp.o.d"
+  "CMakeFiles/rvhpc_arch.dir/validate.cpp.o"
+  "CMakeFiles/rvhpc_arch.dir/validate.cpp.o.d"
+  "librvhpc_arch.a"
+  "librvhpc_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvhpc_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

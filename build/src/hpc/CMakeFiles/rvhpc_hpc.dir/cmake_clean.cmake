@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvhpc_hpc.dir/hpcg.cpp.o"
+  "CMakeFiles/rvhpc_hpc.dir/hpcg.cpp.o.d"
+  "CMakeFiles/rvhpc_hpc.dir/hpl.cpp.o"
+  "CMakeFiles/rvhpc_hpc.dir/hpl.cpp.o.d"
+  "librvhpc_hpc.a"
+  "librvhpc_hpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvhpc_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/cache.cpp" "src/memsim/CMakeFiles/rvhpc_memsim.dir/cache.cpp.o" "gcc" "src/memsim/CMakeFiles/rvhpc_memsim.dir/cache.cpp.o.d"
+  "/root/repo/src/memsim/dram.cpp" "src/memsim/CMakeFiles/rvhpc_memsim.dir/dram.cpp.o" "gcc" "src/memsim/CMakeFiles/rvhpc_memsim.dir/dram.cpp.o.d"
+  "/root/repo/src/memsim/hierarchy.cpp" "src/memsim/CMakeFiles/rvhpc_memsim.dir/hierarchy.cpp.o" "gcc" "src/memsim/CMakeFiles/rvhpc_memsim.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/memsim/profile.cpp" "src/memsim/CMakeFiles/rvhpc_memsim.dir/profile.cpp.o" "gcc" "src/memsim/CMakeFiles/rvhpc_memsim.dir/profile.cpp.o.d"
+  "/root/repo/src/memsim/trace.cpp" "src/memsim/CMakeFiles/rvhpc_memsim.dir/trace.cpp.o" "gcc" "src/memsim/CMakeFiles/rvhpc_memsim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/rvhpc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rvhpc_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvhpc_memsim.dir/cache.cpp.o"
+  "CMakeFiles/rvhpc_memsim.dir/cache.cpp.o.d"
+  "CMakeFiles/rvhpc_memsim.dir/dram.cpp.o"
+  "CMakeFiles/rvhpc_memsim.dir/dram.cpp.o.d"
+  "CMakeFiles/rvhpc_memsim.dir/hierarchy.cpp.o"
+  "CMakeFiles/rvhpc_memsim.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/rvhpc_memsim.dir/profile.cpp.o"
+  "CMakeFiles/rvhpc_memsim.dir/profile.cpp.o.d"
+  "CMakeFiles/rvhpc_memsim.dir/trace.cpp.o"
+  "CMakeFiles/rvhpc_memsim.dir/trace.cpp.o.d"
+  "librvhpc_memsim.a"
+  "librvhpc_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvhpc_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librvhpc_memsim.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/compiler.cpp" "src/model/CMakeFiles/rvhpc_model.dir/compiler.cpp.o" "gcc" "src/model/CMakeFiles/rvhpc_model.dir/compiler.cpp.o.d"
+  "/root/repo/src/model/paper_reference.cpp" "src/model/CMakeFiles/rvhpc_model.dir/paper_reference.cpp.o" "gcc" "src/model/CMakeFiles/rvhpc_model.dir/paper_reference.cpp.o.d"
+  "/root/repo/src/model/predictor.cpp" "src/model/CMakeFiles/rvhpc_model.dir/predictor.cpp.o" "gcc" "src/model/CMakeFiles/rvhpc_model.dir/predictor.cpp.o.d"
+  "/root/repo/src/model/roofline.cpp" "src/model/CMakeFiles/rvhpc_model.dir/roofline.cpp.o" "gcc" "src/model/CMakeFiles/rvhpc_model.dir/roofline.cpp.o.d"
+  "/root/repo/src/model/scaling.cpp" "src/model/CMakeFiles/rvhpc_model.dir/scaling.cpp.o" "gcc" "src/model/CMakeFiles/rvhpc_model.dir/scaling.cpp.o.d"
+  "/root/repo/src/model/sensitivity.cpp" "src/model/CMakeFiles/rvhpc_model.dir/sensitivity.cpp.o" "gcc" "src/model/CMakeFiles/rvhpc_model.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/model/signatures.cpp" "src/model/CMakeFiles/rvhpc_model.dir/signatures.cpp.o" "gcc" "src/model/CMakeFiles/rvhpc_model.dir/signatures.cpp.o.d"
+  "/root/repo/src/model/singlecore.cpp" "src/model/CMakeFiles/rvhpc_model.dir/singlecore.cpp.o" "gcc" "src/model/CMakeFiles/rvhpc_model.dir/singlecore.cpp.o.d"
+  "/root/repo/src/model/sweep.cpp" "src/model/CMakeFiles/rvhpc_model.dir/sweep.cpp.o" "gcc" "src/model/CMakeFiles/rvhpc_model.dir/sweep.cpp.o.d"
+  "/root/repo/src/model/workload.cpp" "src/model/CMakeFiles/rvhpc_model.dir/workload.cpp.o" "gcc" "src/model/CMakeFiles/rvhpc_model.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/rvhpc_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

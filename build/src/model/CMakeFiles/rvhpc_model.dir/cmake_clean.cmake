@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvhpc_model.dir/compiler.cpp.o"
+  "CMakeFiles/rvhpc_model.dir/compiler.cpp.o.d"
+  "CMakeFiles/rvhpc_model.dir/paper_reference.cpp.o"
+  "CMakeFiles/rvhpc_model.dir/paper_reference.cpp.o.d"
+  "CMakeFiles/rvhpc_model.dir/predictor.cpp.o"
+  "CMakeFiles/rvhpc_model.dir/predictor.cpp.o.d"
+  "CMakeFiles/rvhpc_model.dir/roofline.cpp.o"
+  "CMakeFiles/rvhpc_model.dir/roofline.cpp.o.d"
+  "CMakeFiles/rvhpc_model.dir/scaling.cpp.o"
+  "CMakeFiles/rvhpc_model.dir/scaling.cpp.o.d"
+  "CMakeFiles/rvhpc_model.dir/sensitivity.cpp.o"
+  "CMakeFiles/rvhpc_model.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/rvhpc_model.dir/signatures.cpp.o"
+  "CMakeFiles/rvhpc_model.dir/signatures.cpp.o.d"
+  "CMakeFiles/rvhpc_model.dir/singlecore.cpp.o"
+  "CMakeFiles/rvhpc_model.dir/singlecore.cpp.o.d"
+  "CMakeFiles/rvhpc_model.dir/sweep.cpp.o"
+  "CMakeFiles/rvhpc_model.dir/sweep.cpp.o.d"
+  "CMakeFiles/rvhpc_model.dir/workload.cpp.o"
+  "CMakeFiles/rvhpc_model.dir/workload.cpp.o.d"
+  "librvhpc_model.a"
+  "librvhpc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvhpc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

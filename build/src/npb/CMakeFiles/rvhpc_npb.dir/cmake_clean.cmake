@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvhpc_npb.dir/app_common.cpp.o"
+  "CMakeFiles/rvhpc_npb.dir/app_common.cpp.o.d"
+  "CMakeFiles/rvhpc_npb.dir/bt.cpp.o"
+  "CMakeFiles/rvhpc_npb.dir/bt.cpp.o.d"
+  "CMakeFiles/rvhpc_npb.dir/cg.cpp.o"
+  "CMakeFiles/rvhpc_npb.dir/cg.cpp.o.d"
+  "CMakeFiles/rvhpc_npb.dir/ep.cpp.o"
+  "CMakeFiles/rvhpc_npb.dir/ep.cpp.o.d"
+  "CMakeFiles/rvhpc_npb.dir/ft.cpp.o"
+  "CMakeFiles/rvhpc_npb.dir/ft.cpp.o.d"
+  "CMakeFiles/rvhpc_npb.dir/is.cpp.o"
+  "CMakeFiles/rvhpc_npb.dir/is.cpp.o.d"
+  "CMakeFiles/rvhpc_npb.dir/lu.cpp.o"
+  "CMakeFiles/rvhpc_npb.dir/lu.cpp.o.d"
+  "CMakeFiles/rvhpc_npb.dir/mg.cpp.o"
+  "CMakeFiles/rvhpc_npb.dir/mg.cpp.o.d"
+  "CMakeFiles/rvhpc_npb.dir/npb_common.cpp.o"
+  "CMakeFiles/rvhpc_npb.dir/npb_common.cpp.o.d"
+  "CMakeFiles/rvhpc_npb.dir/sp.cpp.o"
+  "CMakeFiles/rvhpc_npb.dir/sp.cpp.o.d"
+  "librvhpc_npb.a"
+  "librvhpc_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvhpc_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

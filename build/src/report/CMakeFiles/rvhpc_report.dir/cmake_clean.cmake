@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvhpc_report.dir/chart.cpp.o"
+  "CMakeFiles/rvhpc_report.dir/chart.cpp.o.d"
+  "CMakeFiles/rvhpc_report.dir/csv.cpp.o"
+  "CMakeFiles/rvhpc_report.dir/csv.cpp.o.d"
+  "CMakeFiles/rvhpc_report.dir/table.cpp.o"
+  "CMakeFiles/rvhpc_report.dir/table.cpp.o.d"
+  "librvhpc_report.a"
+  "librvhpc_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvhpc_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

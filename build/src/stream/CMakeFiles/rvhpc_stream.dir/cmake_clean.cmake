@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvhpc_stream.dir/stream.cpp.o"
+  "CMakeFiles/rvhpc_stream.dir/stream.cpp.o.d"
+  "librvhpc_stream.a"
+  "librvhpc_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvhpc_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

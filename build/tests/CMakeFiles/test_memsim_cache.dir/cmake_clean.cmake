@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memsim_cache.dir/test_memsim_cache.cpp.o"
+  "CMakeFiles/test_memsim_cache.dir/test_memsim_cache.cpp.o.d"
+  "test_memsim_cache"
+  "test_memsim_cache.pdb"
+  "test_memsim_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memsim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

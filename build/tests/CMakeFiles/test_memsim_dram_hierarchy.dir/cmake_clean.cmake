@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memsim_dram_hierarchy.dir/test_memsim_dram_hierarchy.cpp.o"
+  "CMakeFiles/test_memsim_dram_hierarchy.dir/test_memsim_dram_hierarchy.cpp.o.d"
+  "test_memsim_dram_hierarchy"
+  "test_memsim_dram_hierarchy.pdb"
+  "test_memsim_dram_hierarchy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memsim_dram_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memsim_trace_profile.dir/test_memsim_trace_profile.cpp.o"
+  "CMakeFiles/test_memsim_trace_profile.dir/test_memsim_trace_profile.cpp.o.d"
+  "test_memsim_trace_profile"
+  "test_memsim_trace_profile.pdb"
+  "test_memsim_trace_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memsim_trace_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_npb_kernels.dir/test_npb_kernels.cpp.o"
+  "CMakeFiles/test_npb_kernels.dir/test_npb_kernels.cpp.o.d"
+  "test_npb_kernels"
+  "test_npb_kernels.pdb"
+  "test_npb_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_npb_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roofline_sweep.dir/test_roofline_sweep.cpp.o"
+  "CMakeFiles/test_roofline_sweep.dir/test_roofline_sweep.cpp.o.d"
+  "test_roofline_sweep"
+  "test_roofline_sweep.pdb"
+  "test_roofline_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roofline_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

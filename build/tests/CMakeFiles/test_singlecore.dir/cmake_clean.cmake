@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_singlecore.dir/test_singlecore.cpp.o"
+  "CMakeFiles/test_singlecore.dir/test_singlecore.cpp.o.d"
+  "test_singlecore"
+  "test_singlecore.pdb"
+  "test_singlecore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_singlecore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_arch[1]_include.cmake")
+include("/root/repo/build/tests/test_validate[1]_include.cmake")
+include("/root/repo/build/tests/test_compiler[1]_include.cmake")
+include("/root/repo/build/tests/test_singlecore[1]_include.cmake")
+include("/root/repo/build/tests/test_scaling[1]_include.cmake")
+include("/root/repo/build/tests/test_predictor[1]_include.cmake")
+include("/root/repo/build/tests/test_signatures[1]_include.cmake")
+include("/root/repo/build/tests/test_model_shapes[1]_include.cmake")
+include("/root/repo/build/tests/test_roofline_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_memsim_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_memsim_dram_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_memsim_trace_profile[1]_include.cmake")
+include("/root/repo/build/tests/test_npb_common[1]_include.cmake")
+include("/root/repo/build/tests/test_npb_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_npb_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_stream_report[1]_include.cmake")
+include("/root/repo/build/tests/test_hpc[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_sensitivity[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
