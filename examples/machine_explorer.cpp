@@ -11,6 +11,7 @@
 #include <iostream>
 #include <string>
 
+#include "analysis/engine.hpp"
 #include "arch/registry.hpp"
 #include "arch/serialize.hpp"
 #include "arch/validate.hpp"
@@ -49,10 +50,21 @@ void list_machines() {
 }
 
 /// Registry name, or a path to a machine description file (detected by an
-/// existing file of that name).
+/// existing file of that name).  File-backed machines are linted before
+/// use: diagnostics print with their `.machine` line numbers, and errors
+/// abort instead of producing silently wrong predictions.
 arch::MachineModel resolve_machine(const std::string& name) {
-  if (std::ifstream in(name); in.good()) return arch::read_machine(in);
-  return arch::machine(name);
+  std::ifstream in(name);
+  if (!in.good()) return arch::machine(name);
+  const arch::ParsedMachine pm = arch::parse_machine(in);
+  const analysis::Report lint = analysis::lint_machine_file(pm, name);
+  if (!lint.empty()) std::cerr << lint.format();
+  if (lint.has_errors()) {
+    throw std::runtime_error("machine file '" + name +
+                             "' fails lint (see diagnostics above); fix it "
+                             "or suppress with '# rvhpc-lint: disable=...'");
+  }
+  return pm.model;
 }
 
 void sweep(const std::string& name, const std::string& kernel_name) {
@@ -60,7 +72,7 @@ void sweep(const std::string& name, const std::string& kernel_name) {
   const auto issues = arch::validate(m);
   if (!issues.empty()) {
     std::cerr << "machine fails validation:\n" << arch::format_issues(issues);
-    return;
+    throw std::runtime_error("machine '" + name + "' fails validation");
   }
   const Kernel k = parse_kernel(kernel_name);
   std::cout << m.summary() << "\n\n"

@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "analysis/engine.hpp"
 #include "arch/registry.hpp"
 #include "arch/validate.hpp"
 #include "model/sweep.hpp"
@@ -29,6 +30,14 @@ void row(report::Table& t, const std::string& label, const MachineModel& m) {
   const auto issues = arch::validate(m);
   if (!issues.empty()) {
     std::cerr << label << " invalid:\n" << arch::format_issues(issues);
+    return;
+  }
+  // A designed machine can be structurally valid yet physically absurd
+  // (that is the whole failure mode of what-if exploration) — lint it too.
+  const analysis::Report lint = analysis::lint_machine(m);
+  if (!lint.empty()) std::cerr << lint.format();
+  if (lint.has_errors()) {
+    std::cerr << label << ": skipped (lint errors above)\n";
     return;
   }
   t.add_row({label, report::fmt(full_chip(m, Kernel::IS), 0),

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# check.sh — the one-command tier-1 + static-analysis gate.
+#
+# Configures an ASan+UBSan build, builds everything, runs the full test
+# suite under the sanitizers, then runs rvhpc-lint in --werror mode over
+# the registry, the signature suite and every example .machine file.
+# Exits non-zero on the first failure.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-check)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"$repo_root/build-check"}"
+
+generator=()
+if command -v ninja > /dev/null 2>&1; then
+  generator=(-G Ninja)
+fi
+
+echo "== configure (ASan+UBSan) -> $build_dir"
+cmake -B "$build_dir" -S "$repo_root" "${generator[@]}" \
+  -DRVHPC_SANITIZE=address,undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+
+echo "== build"
+cmake --build "$build_dir" -j
+
+echo "== ctest (sanitized)"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+
+echo "== rvhpc-lint --werror: registry + signature suite"
+"$build_dir/src/analysis/rvhpc-lint" --werror
+
+echo "== rvhpc-lint --werror: examples/machines/"
+found=0
+for f in "$repo_root"/examples/machines/*.machine; do
+  [ -e "$f" ] || continue
+  found=1
+  echo "-- $f"
+  "$build_dir/src/analysis/rvhpc-lint" --werror "$f"
+done
+if [ "$found" -eq 0 ]; then
+  echo "error: no .machine files found under examples/machines/" >&2
+  exit 1
+fi
+
+echo "== all gates green"

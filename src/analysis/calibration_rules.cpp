@@ -1,0 +1,94 @@
+// rvhpc::analysis — calibration-drift rules (A201-A203).
+//
+// The registry's sustained-throughput summaries are calibrated against the
+// paper; someone re-tuning a machine for one table can silently break the
+// headline claims every other table rests on.  These rules re-derive the
+// paper's anchor statements (model/paper_reference) from the current
+// registry and warn when they no longer hold.  Tolerances are wide — the
+// model is analytic, not a fit — so a firing rule means real drift, not
+// noise.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "analysis/rules.hpp"
+#include "arch/registry.hpp"
+#include "model/paper_reference.hpp"
+#include "model/sweep.hpp"
+
+namespace rvhpc::analysis::detail {
+namespace {
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+void calibration_rules(Report& out) {
+  using arch::MachineId;
+  using model::Kernel;
+  using model::ProblemClass;
+
+  const arch::MachineModel& sg2044 = arch::machine(MachineId::Sg2044);
+  const arch::MachineModel& sg2042 = arch::machine(MachineId::Sg2042);
+
+  // A201 — Fig. 1's headline: the SG2044 sustains >3x the SG2042's copy
+  // bandwidth at full chip.  The chip-wide streaming roofs must keep that
+  // ratio or every bandwidth-bound table shifts.
+  {
+    const double ratio =
+        sg2044.memory.chip_stream_bw_gbs() / sg2042.memory.chip_stream_bw_gbs();
+    const double want = model::paper::figure1().sg2044_over_sg2042_at_64;
+    if (ratio < want) {
+      emit(out, "A201-fig1-ratio-drift", "sg2044 vs sg2042",
+           "memory.stream_efficiency",
+           "chip streaming bandwidth ratio is " + num(ratio) +
+               "x; the paper's Fig. 1 claims >" + num(want) + "x at 64 cores");
+    }
+  }
+
+  // A202 — Table 3 (single-core class C) is the calibration target the
+  // signatures were fitted against; more than 40% relative drift on any
+  // cell means a machine or signature edit detached the model from it.
+  constexpr double kTable3Tolerance = 0.40;
+  for (const auto& row : model::paper::table3_single_core()) {
+    const auto check = [&](MachineId id, double paper_mops, const char* name) {
+      const auto p = model::at_cores(id, row.kernel, ProblemClass::C, 1);
+      const double ours = p.ran ? p.mops : 0.0;
+      const double rel = std::fabs(ours - paper_mops) / paper_mops;
+      if (rel > kTable3Tolerance) {
+        emit(out, "A202-table3-drift", std::string(name) + " " +
+                 to_string(row.kernel) + "/C 1-core", "",
+             "predicts " + num(ours) + " Mop/s vs the paper's " +
+                 num(paper_mops) + " (" + num(rel * 100.0) +
+                 "% off, tolerance " + num(kTable3Tolerance * 100.0) + "%)");
+      }
+    };
+    check(MachineId::Sg2044, row.sg2044_mops, "sg2044");
+    check(MachineId::Sg2042, row.sg2042_mops, "sg2042");
+  }
+
+  // A203 — Fig. 1 prose: up to ~8 cores the two chips draw comparable
+  // STREAM bandwidth (the SG2044's extra controllers only matter once
+  // enough cores demand them).  Parity within ±50% must survive.
+  {
+    const int cores = static_cast<int>(model::paper::figure1().similar_up_to_cores);
+    const auto s44 = model::at_cores(MachineId::Sg2044, Kernel::StreamCopy,
+                                     ProblemClass::C, cores);
+    const auto s42 = model::at_cores(MachineId::Sg2042, Kernel::StreamCopy,
+                                     ProblemClass::C, cores);
+    const double ratio = s44.achieved_bw_gbs / s42.achieved_bw_gbs;
+    if (ratio < 0.5 || ratio > 1.5) {
+      emit(out, "A203-stream-parity-drift", "sg2044 vs sg2042", "",
+           "STREAM copy bandwidth ratio at " + std::to_string(cores) +
+               " cores is " + num(ratio) +
+               "x; the paper reports the chips comparable there");
+    }
+  }
+}
+
+}  // namespace rvhpc::analysis::detail

@@ -1,0 +1,32 @@
+#include "analysis/diagnostic.hpp"
+
+#include <sstream>
+
+namespace rvhpc::analysis {
+
+std::string to_string(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warn: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::string SourceLoc::to_string() const {
+  if (!known()) return "";
+  if (file.empty()) return "line " + std::to_string(line);
+  return file + ":" + std::to_string(line);
+}
+
+std::string Diagnostic::format() const {
+  std::ostringstream os;
+  if (loc.known()) os << loc.to_string() << ": ";
+  os << analysis::to_string(severity) << ": [" << rule << "] ";
+  if (!subject.empty()) os << subject << ": ";
+  if (!field.empty()) os << field << ": ";
+  os << message;
+  return os.str();
+}
+
+}  // namespace rvhpc::analysis

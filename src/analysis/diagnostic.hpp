@@ -1,0 +1,47 @@
+#pragma once
+// rvhpc::analysis — diagnostics.
+//
+// The static-analysis layer reports findings as Diagnostics: a stable rule
+// id ("A001-bw-channel-mismatch"), a severity, the field the finding is
+// anchored to, a human-readable message, and — when the machine came from a
+// `.machine` file — the source line the offending key was set on.  The
+// engine (engine.hpp) produces them; report rendering (render.hpp) and the
+// rvhpc-lint CLI consume them.
+
+#include <string>
+
+namespace rvhpc::analysis {
+
+/// How bad a finding is.  `note` is informational (a check was skipped, a
+/// value is unusual but defensible), `warn` is probably-a-mistake, `error`
+/// means the model contradicts itself and predictions would be wrong.
+enum class Severity : std::uint8_t { Note, Warn, Error };
+
+[[nodiscard]] std::string to_string(Severity s);
+
+/// Where in a `.machine` file a finding points.  `line == 0` means the
+/// machine did not come from a file (registry entry, brace-initialised
+/// model) or the field was left at its default.
+struct SourceLoc {
+  std::string file;  ///< path as given to the linter; may be empty
+  int line = 0;
+
+  [[nodiscard]] bool known() const { return line > 0; }
+  /// "path/to/x.machine:12" / "line 12" / "" as information allows.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One static-analysis finding.
+struct Diagnostic {
+  std::string rule;      ///< stable id, e.g. "A001-bw-channel-mismatch"
+  Severity severity = Severity::Warn;
+  std::string subject;   ///< what was linted: machine or signature name
+  std::string field;     ///< serialisation key the finding anchors to
+  std::string message;   ///< the contradiction, with both sides quantified
+  SourceLoc loc;
+
+  /// "x.machine:31: error: [A001-bw-channel-mismatch] memory.channel_bw_gbs: ..."
+  [[nodiscard]] std::string format() const;
+};
+
+}  // namespace rvhpc::analysis

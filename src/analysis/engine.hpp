@@ -1,0 +1,93 @@
+#pragma once
+// rvhpc::analysis — rule-based static analysis of machine models and
+// workload signatures.
+//
+// arch::validate() enforces *structural* invariants (positive sizes,
+// ordered cache levels).  This engine checks what validate() cannot: that
+// the numbers are physically consistent with each other — a DDR5 channel
+// bandwidth that matches the part's data rate, cache sharing that matches
+// the cluster geometry, an ISA that can actually carry the declared vector
+// unit, workload signatures whose footprints and fractions cohere, and
+// registry calibration that still reproduces the paper's anchor claims.
+//
+// Findings come back as a Report of Diagnostics with stable rule ids.
+// Severity semantics and suppression:
+//   * each rule has a default severity (rule_catalogue());
+//   * LintOptions::suppressed drops rules by id or "A001"-style prefix;
+//   * LintOptions::werror promotes every warning to an error;
+//   * `.machine` files can self-suppress with `# rvhpc-lint: disable=A001`.
+// The `rvhpc-lint` CLI drives these entry points over the registry, the
+// signature suite and user `.machine` files.
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "arch/machine.hpp"
+#include "arch/serialize.hpp"
+#include "model/workload.hpp"
+
+namespace rvhpc::analysis {
+
+/// Catalogue entry for one rule.
+struct RuleInfo {
+  std::string id;        ///< "A001-bw-channel-mismatch"
+  Severity severity;     ///< default severity before werror promotion
+  std::string summary;   ///< one-line description for `rvhpc-lint --rules`
+};
+
+/// Every rule the engine knows, in id order.  A0xx lint machines, A1xx
+/// lint workload signatures (A110 the cross-class suite), A2xx check the
+/// registry's calibration against the paper's anchors.
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalogue();
+
+/// True when diagnostic id `id` is selected by `pattern` — either the full
+/// id or its numeric prefix ("A001").
+[[nodiscard]] bool rule_matches(const std::string& id, const std::string& pattern);
+
+/// How a lint run should treat its findings.
+struct LintOptions {
+  std::vector<std::string> suppressed;  ///< rule ids or prefixes to drop
+  bool werror = false;                  ///< promote warnings to errors
+};
+
+/// An ordered collection of findings.
+struct Report {
+  std::vector<Diagnostic> diagnostics;
+
+  void add(Diagnostic d) { diagnostics.push_back(std::move(d)); }
+  void merge(Report other);
+
+  [[nodiscard]] std::size_t count(Severity s) const;
+  [[nodiscard]] bool has_errors() const { return count(Severity::Error) > 0; }
+  [[nodiscard]] bool empty() const { return diagnostics.empty(); }
+  /// Findings with rule id `id_or_prefix` (full id or "A001" prefix).
+  [[nodiscard]] std::vector<Diagnostic> by_rule(const std::string& id_or_prefix) const;
+  /// One formatted finding per line (Diagnostic::format()).
+  [[nodiscard]] std::string format() const;
+};
+
+/// Applies suppression and werror promotion to `r`.
+[[nodiscard]] Report apply(Report r, const LintOptions& opts);
+
+/// Cross-field physical-plausibility lint of one machine (rules A0xx).
+[[nodiscard]] Report lint_machine(const arch::MachineModel& m);
+
+/// As lint_machine, but for a parsed `.machine` file: diagnostics carry
+/// the source line of the offending key, and the file's own
+/// `# rvhpc-lint: disable=` directives are honoured.
+[[nodiscard]] Report lint_machine_file(const arch::ParsedMachine& pm,
+                                       const std::string& path);
+
+/// Plausibility lint of one workload signature (rules A101-A108).
+[[nodiscard]] Report lint_signature(const model::WorkloadSignature& sig);
+
+/// Lints every (kernel, class) signature the suite defines, plus the
+/// cross-class monotonicity rule A110.
+[[nodiscard]] Report lint_signature_suite();
+
+/// Lints every registry machine, then runs the calibration-drift rules
+/// (A2xx) that hold the registry to the paper's published anchors.
+[[nodiscard]] Report lint_registry();
+
+}  // namespace rvhpc::analysis

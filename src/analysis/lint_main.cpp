@@ -1,0 +1,124 @@
+// rvhpc-lint — static analysis for machine models and workload signatures.
+//
+// Usage:
+//   rvhpc-lint                        # lint registry + signature suite
+//   rvhpc-lint file.machine ...       # lint machine description files
+//   rvhpc-lint --registry             # registry machines + calibration only
+//   rvhpc-lint --signatures           # signature suite only
+//   rvhpc-lint --rules                # print the rule catalogue
+//   rvhpc-lint --werror ...           # warnings are errors (exit non-zero)
+//   rvhpc-lint --suppress=A001,A105   # drop rules by id or prefix
+//   rvhpc-lint --csv ...              # emit findings as CSV instead
+//
+// Exit status: 0 when no errors (after suppression and --werror
+// promotion), 1 on findings of error severity, 2 on usage/parse failure.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/engine.hpp"
+#include "analysis/render.hpp"
+#include "arch/serialize.hpp"
+
+using namespace rvhpc;
+
+namespace {
+
+struct CliOptions {
+  analysis::LintOptions lint;
+  bool registry = false;
+  bool signatures = false;
+  bool rules = false;
+  bool csv = false;
+  std::vector<std::string> files;
+};
+
+void usage(std::ostream& os) {
+  os << "usage: rvhpc-lint [--werror] [--suppress=A001,...] [--csv]\n"
+        "                  [--registry] [--signatures] [--rules]\n"
+        "                  [file.machine ...]\n"
+        "With no mode or files, lints the registry and the signature suite.\n";
+}
+
+bool parse_args(int argc, char** argv, CliOptions& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--werror") {
+      opts.lint.werror = true;
+    } else if (arg == "--registry") {
+      opts.registry = true;
+    } else if (arg == "--signatures") {
+      opts.signatures = true;
+    } else if (arg == "--rules") {
+      opts.rules = true;
+    } else if (arg == "--csv") {
+      opts.csv = true;
+    } else if (arg.rfind("--suppress=", 0) == 0) {
+      std::istringstream list(arg.substr(std::string("--suppress=").size()));
+      std::string id;
+      while (std::getline(list, id, ',')) {
+        if (!id.empty()) opts.lint.suppressed.push_back(id);
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "rvhpc-lint: unknown option '" << arg << "'\n";
+      usage(std::cerr);
+      return false;
+    } else {
+      opts.files.push_back(arg);
+    }
+  }
+  return true;
+}
+
+analysis::Report lint_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw std::runtime_error("cannot open '" + path + "'");
+  }
+  const arch::ParsedMachine pm = arch::parse_machine(in);
+  return analysis::lint_machine_file(pm, path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  if (!parse_args(argc, argv, opts)) return 2;
+
+  if (opts.rules) {
+    std::cout << analysis::render_catalogue().render();
+    return 0;
+  }
+
+  analysis::Report report;
+  try {
+    for (const std::string& path : opts.files) {
+      report.merge(lint_file(path));
+    }
+    const bool default_everything =
+        opts.files.empty() && !opts.registry && !opts.signatures;
+    if (opts.registry || default_everything) {
+      report.merge(analysis::lint_registry());
+    }
+    if (opts.signatures || default_everything) {
+      report.merge(analysis::lint_signature_suite());
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "rvhpc-lint: " << e.what() << "\n";
+    return 2;
+  }
+
+  report = analysis::apply(std::move(report), opts.lint);
+  if (!report.empty()) {
+    std::cout << (opts.csv ? analysis::render_table(report).to_csv()
+                           : analysis::render_table(report).render());
+  }
+  std::cout << analysis::summarize(report) << "\n";
+  return report.has_errors() ? 1 : 0;
+}

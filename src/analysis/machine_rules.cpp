@@ -1,0 +1,198 @@
+// rvhpc::analysis — machine plausibility rules (A001-A014).
+//
+// Each rule states a cross-field physical fact a MachineModel must honour.
+// The thresholds are deliberately generous: they catch unit errors and
+// contradictions (the typical authoring mistakes in `.machine` files), not
+// unusual-but-real silicon.  Every registry machine must pass all of them
+// (tested), so a rule that fires on real hardware is a bug in the rule.
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/rules.hpp"
+#include "arch/machine.hpp"
+
+namespace rvhpc::analysis::detail {
+namespace {
+
+/// Data rate in MT/s parsed from a "DDR5-4266" / "LPDDR4X-2666" style
+/// string; 0 when the string does not follow the FAMILY-RATE convention.
+int ddr_rate_mts(const std::string& ddr_kind) {
+  const auto dash = ddr_kind.rfind('-');
+  if (dash == std::string::npos || dash + 1 >= ddr_kind.size()) return 0;
+  const std::string digits = ddr_kind.substr(dash + 1);
+  for (char ch : digits) {
+    if (ch < '0' || ch > '9') return 0;
+  }
+  return std::atoi(digits.c_str());
+}
+
+bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+void machine_rules(Report& out, const arch::MachineModel& m) {
+  const std::string& who = m.name;
+  const arch::CoreModel& c = m.core;
+  const arch::MemorySubsystem& mem = m.memory;
+
+  // A001/A002 — dimensional cross-check of the per-channel bandwidth
+  // against the DDR generation's data rate.  A 64-bit channel moves 8 bytes
+  // per transfer, so rate(MT/s) x 8 / 1000 GB/s is the hard ceiling for any
+  // channel width the family ships.
+  if (const int rate = ddr_rate_mts(mem.ddr_kind); rate > 0) {
+    const double peak_gbs = rate * 8.0 / 1000.0;
+    if (mem.channel_bw_gbs > peak_gbs * 1.005) {
+      emit(out, "A001-bw-channel-mismatch", who, "memory.channel_bw_gbs",
+           num(mem.channel_bw_gbs) + " GB/s exceeds the " + num(peak_gbs) +
+               " GB/s theoretical peak of one 64-bit " + mem.ddr_kind +
+               " channel (" + std::to_string(rate) + " MT/s x 8 B)");
+    }
+  } else {
+    emit(out, "A002-ddr-kind-opaque", who, "memory.ddr_kind",
+         "'" + mem.ddr_kind +
+             "' does not parse as FAMILY-RATE (e.g. DDR5-4266); the "
+             "channel-bandwidth cross-check (A001) was skipped");
+  }
+
+  // A003 — STREAM efficiency: nothing sustains ~100% of peak on a
+  // copy-with-write-allocate kernel, and below ~2% the peak numbers are
+  // meaningless (the seed registry's worst real part sustains 3.8%).
+  if (mem.stream_efficiency > 0.95 || mem.stream_efficiency <= 0.02) {
+    emit(out, "A003-stream-efficiency-implausible", who,
+         "memory.stream_efficiency",
+         num(mem.stream_efficiency) +
+             " is outside (0.02, 0.95]; real chips sustain a fraction of "
+             "peak on STREAM, not all of it (and not none of it)");
+  }
+
+  // A004 — a cache level shared by more than one core but fewer than all of
+  // them defines the cluster; it must agree with cluster_size.
+  for (std::size_t i = 0; i < m.caches.size(); ++i) {
+    const arch::CacheLevel& lvl = m.caches[i];
+    if (lvl.shared_by_cores > 1 && lvl.shared_by_cores < m.cores &&
+        lvl.shared_by_cores != m.cluster_size) {
+      emit(out, "A004-cluster-cache-mismatch", who,
+           "cache[" + std::to_string(i) + "]",
+           lvl.name + " is shared by " + std::to_string(lvl.shared_by_cores) +
+               " cores but cluster_size is " + std::to_string(m.cluster_size) +
+               "; mid-level sharing defines the cluster");
+    }
+  }
+
+  // A005 — capacity per sharing core must not shrink at an outer level;
+  // an L3 that gives each core less than its L2 would be pure latency.
+  for (std::size_t i = 1; i < m.caches.size(); ++i) {
+    const arch::CacheLevel& inner = m.caches[i - 1];
+    const arch::CacheLevel& outer = m.caches[i];
+    const double inner_per_core =
+        static_cast<double>(inner.size_bytes) / inner.shared_by_cores;
+    const double outer_per_core =
+        static_cast<double>(outer.size_bytes) / outer.shared_by_cores;
+    if (outer_per_core < inner_per_core * (1.0 - 1e-9)) {
+      emit(out, "A005-cache-per-core-shrink", who,
+           "cache[" + std::to_string(i) + "]",
+           outer.name + " offers " + num(outer_per_core / 1024.0) +
+               " KiB per sharing core, less than " + inner.name + "'s " +
+               num(inner_per_core / 1024.0) + " KiB");
+    }
+  }
+
+  // A006 — ISA / vector-ISA compatibility matrix.
+  if (c.vector.isa != arch::VectorIsa::None) {
+    const arch::VectorIsa v = c.vector.isa;
+    const bool rvv = v == arch::VectorIsa::RvvV0_7 || v == arch::VectorIsa::RvvV1_0;
+    const bool avx = v == arch::VectorIsa::Avx2 || v == arch::VectorIsa::Avx512;
+    bool ok = true;
+    std::string why;
+    if (m.isa == arch::Isa::Rv64gc) {
+      ok = false;
+      why = "RV64GC is by definition the no-vector profile; a core with " +
+            to_string(v) + " must be RV64GCV";
+    } else if (rvv && m.isa != arch::Isa::Rv64gcv) {
+      ok = false;
+      why = to_string(v) + " is a RISC-V extension but the ISA is " +
+            to_string(m.isa);
+    } else if (avx && m.isa != arch::Isa::X86_64) {
+      ok = false;
+      why = to_string(v) + " requires x86-64 but the ISA is " + to_string(m.isa);
+    } else if (v == arch::VectorIsa::Neon && m.isa != arch::Isa::Armv8) {
+      ok = false;
+      why = "NEON requires Armv8 but the ISA is " + to_string(m.isa);
+    }
+    if (!ok) emit(out, "A006-isa-vector-mismatch", who, "core.vector.isa", why);
+  }
+
+  // A007 — every shipped SIMD/vector register file is a power of two wide
+  // (RVV requires VLEN to be one); a 192-bit width is a typo.
+  if (c.vector.usable() && !is_pow2(c.vector.width_bits)) {
+    emit(out, "A007-vector-width-pow2", who, "core.vector.width_bits",
+         std::to_string(c.vector.width_bits) +
+             " bits is not a power of two; no vector register file is");
+  }
+
+  // A008 — idle DRAM latency sanity.
+  if (mem.idle_latency_ns < 20.0 || mem.idle_latency_ns > 400.0) {
+    emit(out, "A008-idle-latency-implausible", who, "memory.idle_latency_ns",
+         num(mem.idle_latency_ns) +
+             " ns is outside [20, 400]; even the slowest seed board "
+             "(VisionFive V1) sits at 330 ns");
+  }
+
+  // A009 — NUMA regions must partition the cores.
+  if (mem.numa_regions > 0 && m.cores % mem.numa_regions != 0) {
+    emit(out, "A009-numa-core-split", who, "memory.numa_regions",
+         std::to_string(m.cores) + " cores do not divide into " +
+             std::to_string(mem.numa_regions) + " NUMA regions evenly");
+  }
+
+  // A010 — clock sanity.
+  if (c.clock_ghz < 0.3 || c.clock_ghz > 6.0) {
+    emit(out, "A010-clock-implausible", who, "core.clock_ghz",
+         num(c.clock_ghz) + " GHz is outside the [0.3, 6.0] range of "
+                            "shipping silicon");
+  }
+
+  // A011 — the last-level cache cannot exceed DRAM.
+  const double dram_bytes = mem.dram_gib * 1024.0 * 1024.0 * 1024.0;
+  if (!m.caches.empty() && static_cast<double>(m.llc_bytes()) > dram_bytes) {
+    emit(out, "A011-llc-exceeds-dram", who, "memory.dram_gib",
+         "last-level cache (" + num(m.llc_bytes() / (1024.0 * 1024.0)) +
+             " MiB) is larger than DRAM (" + num(mem.dram_gib) + " GiB)");
+  }
+
+  // A012 — the frontend bounds sustained throughput: a core cannot retire
+  // more ops per cycle than it decodes.  (validate() only checks the
+  // issue-width bound, which is looser on every decoupled frontend.)
+  if (c.sustained_scalar_opc > static_cast<double>(c.decode_width)) {
+    emit(out, "A012-opc-exceeds-decode", who, "core.sustained_scalar_opc",
+         num(c.sustained_scalar_opc) + " sustained op/cycle exceeds the " +
+             std::to_string(c.decode_width) + "-wide decode that feeds it");
+  }
+
+  // A013 — in-order cores track few outstanding misses (no ROB to run
+  // ahead); double-digit MLP on one is a calibration error.
+  if (!c.out_of_order && c.miss_level_parallelism > 8) {
+    emit(out, "A013-inorder-deep-mlp", who, "core.miss_level_parallelism",
+         std::to_string(c.miss_level_parallelism) +
+             " outstanding misses on an in-order core; without a ROB to "
+             "run ahead, real in-order designs sustain <= 8");
+  }
+
+  // A014 — channels hang off controllers; an uneven split means one
+  // controller's channel count is fictional.
+  if (mem.controllers > 0 && mem.channels % mem.controllers != 0) {
+    emit(out, "A014-channel-controller-split", who, "memory.channels",
+         std::to_string(mem.channels) + " channels do not divide across " +
+             std::to_string(mem.controllers) + " controllers evenly");
+  }
+}
+
+}  // namespace rvhpc::analysis::detail

@@ -1,0 +1,31 @@
+#include "analysis/render.hpp"
+
+#include <sstream>
+
+namespace rvhpc::analysis {
+
+report::Table render_table(const Report& r) {
+  report::Table t({"severity", "rule", "location", "subject", "field", "message"});
+  for (const Diagnostic& d : r.diagnostics) {
+    t.add_row({to_string(d.severity), d.rule, d.loc.to_string(), d.subject,
+               d.field, d.message});
+  }
+  return t;
+}
+
+report::Table render_catalogue() {
+  report::Table t({"rule", "severity", "summary"});
+  for (const RuleInfo& info : rule_catalogue()) {
+    t.add_row({info.id, to_string(info.severity), info.summary});
+  }
+  return t;
+}
+
+std::string summarize(const Report& r) {
+  std::ostringstream os;
+  os << r.count(Severity::Error) << " error(s), " << r.count(Severity::Warn)
+     << " warning(s), " << r.count(Severity::Note) << " note(s)";
+  return os.str();
+}
+
+}  // namespace rvhpc::analysis

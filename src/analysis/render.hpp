@@ -1,0 +1,24 @@
+#pragma once
+// rvhpc::analysis — rendering lint reports through rvhpc::report.
+//
+// The CLI and benches present findings the same way the reproduction
+// presents its tables: an aligned text table (and, via Table::to_csv or
+// report::maybe_write_csv, a CSV side-output).
+
+#include <string>
+
+#include "analysis/engine.hpp"
+#include "report/table.hpp"
+
+namespace rvhpc::analysis {
+
+/// One row per finding: severity, rule, location, subject, field, message.
+[[nodiscard]] report::Table render_table(const Report& r);
+
+/// The rule catalogue as a table (id, severity, summary) — `--rules`.
+[[nodiscard]] report::Table render_catalogue();
+
+/// "2 errors, 1 warning, 0 notes" summary line.
+[[nodiscard]] std::string summarize(const Report& r);
+
+}  // namespace rvhpc::analysis

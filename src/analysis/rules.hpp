@@ -1,0 +1,29 @@
+#pragma once
+// rvhpc::analysis — internal seams between the engine and its rule packs.
+//
+// Each rule pack appends Diagnostics to a Report; the engine composes them
+// and applies severities from the catalogue.  Not part of the public API.
+
+#include <string>
+
+#include "analysis/engine.hpp"
+
+namespace rvhpc::analysis::detail {
+
+/// Appends one finding, taking the severity from rule_catalogue().
+void emit(Report& out, const std::string& rule_id, std::string subject,
+          std::string field, std::string message);
+
+/// Rules A001-A014: cross-field physical plausibility of one machine.
+void machine_rules(Report& out, const arch::MachineModel& m);
+
+/// Rules A101-A108: plausibility of one workload signature.
+void signature_rules(Report& out, const model::WorkloadSignature& sig);
+
+/// Rule A110: cross-class monotonicity over the whole signature suite.
+void suite_rules(Report& out);
+
+/// Rules A201-A203: registry calibration drift against the paper anchors.
+void calibration_rules(Report& out);
+
+}  // namespace rvhpc::analysis::detail

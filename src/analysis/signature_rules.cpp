@@ -1,0 +1,170 @@
+// rvhpc::analysis — workload-signature plausibility rules (A101-A108) and
+// the cross-class suite rule (A110).
+//
+// Signatures are the model's only per-benchmark inputs; a bad one produces
+// confidently wrong tables on every machine at once.  These rules encode
+// what a signature must satisfy regardless of calibration: fractions are
+// fractions, footprints nest, per-op traffic has sane units, and a bigger
+// NPB class never does less work.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/rules.hpp"
+#include "model/signatures.hpp"
+
+namespace rvhpc::analysis::detail {
+namespace {
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+std::string sig_name(const model::WorkloadSignature& s) {
+  return to_string(s.kernel) + "/" + to_string(s.problem_class);
+}
+
+void check_fraction(Report& out, const model::WorkloadSignature& s,
+                    const char* field, double v) {
+  if (v < 0.0 || v > 1.0) {
+    emit(out, "A101-fraction-range", sig_name(s), field,
+         num(v) + " is not a fraction; must lie in [0, 1]");
+  }
+}
+
+}  // namespace
+
+void signature_rules(Report& out, const model::WorkloadSignature& s) {
+  const std::string who = sig_name(s);
+
+  // A101 — every fraction-typed field is a fraction.
+  check_fraction(out, s, "vectorisable_fraction", s.vectorisable_fraction);
+  check_fraction(out, s, "gather_fraction", s.gather_fraction);
+  check_fraction(out, s, "read_fraction", s.read_fraction);
+  check_fraction(out, s, "serial_fraction", s.serial_fraction);
+  check_fraction(out, s, "random_llc_hit_fraction", s.random_llc_hit_fraction);
+  check_fraction(out, s, "random_overlap", s.random_overlap);
+
+  // A102 — the random-access footprint is part of the working set; it can
+  // neither vanish while accesses exist nor exceed the total.
+  if (s.random_access_per_op > 0.0) {
+    if (s.random_footprint_mib <= 0.0) {
+      emit(out, "A102-footprint-inconsistent", who, "random_footprint_mib",
+           "signature does " + num(s.random_access_per_op) +
+               " latency-bound accesses per op but declares no footprint "
+               "for them to land in");
+    } else if (s.random_footprint_mib > s.working_set_mib * 1.001) {
+      emit(out, "A102-footprint-inconsistent", who, "random_footprint_mib",
+           num(s.random_footprint_mib) + " MiB random footprint exceeds the " +
+               num(s.working_set_mib) + " MiB total working set");
+    }
+  }
+
+  // A103 — totals must be positive (work, cycle cost, footprint) or
+  // non-negative (per-op traffic, syncs).
+  const auto positive = [&](const char* field, double v) {
+    if (v <= 0.0) {
+      emit(out, "A103-work-nonpositive", who, field, num(v) + " must be > 0");
+    }
+  };
+  const auto non_negative = [&](const char* field, double v) {
+    if (v < 0.0) {
+      emit(out, "A103-work-nonpositive", who, field, num(v) + " must be >= 0");
+    }
+  };
+  positive("total_mop", s.total_mop);
+  positive("cycles_per_op", s.cycles_per_op);
+  positive("working_set_mib", s.working_set_mib);
+  non_negative("streamed_bytes_per_op", s.streamed_bytes_per_op);
+  non_negative("random_access_per_op", s.random_access_per_op);
+  non_negative("comm_bytes_per_op", s.comm_bytes_per_op);
+  non_negative("global_syncs", s.global_syncs);
+  non_negative("imbalance_coeff", s.imbalance_coeff);
+
+  // A104 — the suite models double (64-bit) and int (32-bit) kernels only.
+  if (s.element_bits != 32 && s.element_bits != 64) {
+    emit(out, "A104-element-bits", who, "element_bits",
+         std::to_string(s.element_bits) +
+             " bits per element; the NPB kernels operate on 32- or 64-bit "
+             "elements");
+  }
+
+  // A105 — more than a cache line of streamed DRAM traffic per counted op
+  // is almost certainly a bytes-vs-KiB or per-op-vs-per-iteration slip.
+  if (s.streamed_bytes_per_op > 64.0) {
+    emit(out, "A105-bytes-per-op-implausible", who, "streamed_bytes_per_op",
+         num(s.streamed_bytes_per_op) +
+             " bytes per op exceeds a full 64 B cache line; STREAM copy "
+             "itself only moves 24");
+  }
+
+  // A106 — vectorisation fields must cohere.
+  if (s.vectorisable_fraction > 0.0 && s.vector_elem_parallelism < 1.0) {
+    emit(out, "A106-vector-shape-inconsistent", who, "vector_elem_parallelism",
+         num(s.vector_elem_parallelism) +
+             " useful elements cannot carry the declared " +
+             num(s.vectorisable_fraction) + " vectorisable fraction");
+  }
+  if (s.gather_fraction > 0.0 && s.vectorisable_fraction <= 0.0) {
+    emit(out, "A106-vector-shape-inconsistent", who, "gather_fraction",
+         "a gather fraction of " + num(s.gather_fraction) +
+             " is meaningless when nothing vectorises");
+  }
+  if (s.rvv_codegen_derate <= 0.0 || s.rvv_codegen_derate > 1.0) {
+    emit(out, "A106-vector-shape-inconsistent", who, "rvv_codegen_derate",
+         num(s.rvv_codegen_derate) + " must be in (0, 1]");
+  }
+
+  // A107 — latency-bound accesses that never miss the LLC never reach
+  // DRAM, so they are not latency-bound; the field pair is self-defeating.
+  if (s.random_access_per_op > 0.0 && s.random_llc_hit_fraction >= 1.0) {
+    emit(out, "A107-random-never-misses", who, "random_llc_hit_fraction",
+         "latency-bound accesses with a 1.0 LLC hit fraction never touch "
+         "DRAM; model them as cache traffic instead");
+  }
+
+  // A108 — a run cannot synchronise more often than it operates.
+  if (s.global_syncs > s.total_mop * 1e6) {
+    emit(out, "A108-sync-density", who, "global_syncs",
+         num(s.global_syncs) + " barriers exceed the total op count (" +
+             num(s.total_mop) + " Mop) — likely a unit error");
+  }
+}
+
+void suite_rules(Report& out) {
+  static const std::vector<model::ProblemClass> classes = {
+      model::ProblemClass::S, model::ProblemClass::W, model::ProblemClass::A,
+      model::ProblemClass::B, model::ProblemClass::C};
+  std::vector<model::Kernel> kernels = model::npb_all();
+  kernels.insert(kernels.end(),
+                 {model::Kernel::StreamCopy, model::Kernel::StreamTriad,
+                  model::Kernel::Hpl, model::Kernel::Hpcg});
+
+  // A110 — NPB classes are strictly ordered problem sizes (S < W < A < B
+  // < C); a signature whose work or footprint shrinks as the class grows
+  // has its class tables swapped.
+  for (model::Kernel k : kernels) {
+    for (std::size_t i = 1; i < classes.size(); ++i) {
+      const auto prev = model::signature(k, classes[i - 1]);
+      const auto cur = model::signature(k, classes[i]);
+      const std::string who =
+          to_string(k) + "/" + to_string(classes[i - 1]) + "->" +
+          to_string(classes[i]);
+      if (cur.total_mop < prev.total_mop) {
+        emit(out, "A110-class-regression", who, "total_mop",
+             "work drops from " + num(prev.total_mop) + " to " +
+                 num(cur.total_mop) + " Mop as the class grows");
+      }
+      if (cur.working_set_mib < prev.working_set_mib) {
+        emit(out, "A110-class-regression", who, "working_set_mib",
+             "working set drops from " + num(prev.working_set_mib) + " to " +
+                 num(cur.working_set_mib) + " MiB as the class grows");
+      }
+    }
+  }
+}
+
+}  // namespace rvhpc::analysis::detail

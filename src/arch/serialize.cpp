@@ -106,8 +106,37 @@ std::string to_text(const MachineModel& m) {
   return os.str();
 }
 
-MachineModel from_text(const std::string& text) {
-  MachineModel m;
+int ParsedMachine::line_of(const std::string& key) const {
+  const auto it = key_lines.find(key);
+  return it != key_lines.end() ? it->second : 0;
+}
+
+namespace {
+
+/// Parses "# rvhpc-lint: disable=A001,A002" out of a comment line; returns
+/// the rule ids, or empty when the comment is not a lint directive.
+std::vector<std::string> parse_lint_directive(const std::string& comment) {
+  static const std::string kPrefix = "rvhpc-lint:";
+  std::string body = trim(comment.substr(1));  // drop the '#'
+  if (body.compare(0, kPrefix.size(), kPrefix) != 0) return {};
+  body = trim(body.substr(kPrefix.size()));
+  static const std::string kDisable = "disable=";
+  if (body.compare(0, kDisable.size(), kDisable) != 0) return {};
+  std::vector<std::string> ids;
+  std::istringstream list(body.substr(kDisable.size()));
+  std::string id;
+  while (std::getline(list, id, ',')) {
+    id = trim(id);
+    if (!id.empty()) ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace
+
+ParsedMachine parse_machine(const std::string& text) {
+  ParsedMachine pm;
+  MachineModel& m = pm.model;
   m.caches.clear();
   bool caches_seen = false;
 
@@ -219,7 +248,13 @@ MachineModel from_text(const std::string& text) {
   while (std::getline(in, line)) {
     ++lineno;
     const std::string stripped = trim(line);
-    if (stripped.empty() || stripped[0] == '#') continue;
+    if (stripped.empty()) continue;
+    if (stripped[0] == '#') {
+      for (std::string& id : parse_lint_directive(stripped)) {
+        pm.suppressed_rules.push_back(std::move(id));
+      }
+      continue;
+    }
     const auto eq = stripped.find('=');
     if (eq == std::string::npos) fail(lineno, "expected 'key = value'");
     const std::string key = trim(stripped.substr(0, eq));
@@ -232,25 +267,39 @@ MachineModel from_text(const std::string& text) {
             lvl.line_bytes >> lvl.shared_by_cores >> lvl.latency_cycles)) {
         fail(lineno, "cache line needs: NAME size assoc line shared latency");
       }
+      pm.key_lines["cache[" + std::to_string(m.caches.size()) + "]"] = lineno;
       m.caches.push_back(lvl);
       caches_seen = true;
       continue;
     }
     const auto it = setters.find(key);
     if (it == setters.end()) fail(lineno, "unknown key '" + key + "'");
+    if (const auto prev = pm.key_lines.find(key); prev != pm.key_lines.end()) {
+      fail(lineno, "duplicate key '" + key + "' (first set on line " +
+                       std::to_string(prev->second) + ")");
+    }
     it->second(m, value, lineno);
+    pm.key_lines[key] = lineno;
   }
   if (!caches_seen) {
     // Leave a minimal default L1 so a partial file stays usable.
     m.caches.push_back({"L1D", 32 * 1024, 8, 64, 1, 4});
   }
-  return m;
+  return pm;
+}
+
+MachineModel from_text(const std::string& text) {
+  return parse_machine(text).model;
 }
 
 MachineModel read_machine(std::istream& in) {
+  return parse_machine(in).model;
+}
+
+ParsedMachine parse_machine(std::istream& in) {
   std::ostringstream buf;
   buf << in.rdbuf();
-  return from_text(buf.str());
+  return parse_machine(buf.str());
 }
 
 }  // namespace rvhpc::arch

@@ -19,7 +19,9 @@
 //   memory.channels = 8
 
 #include <iosfwd>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "arch/machine.hpp"
 
@@ -28,15 +30,37 @@ namespace rvhpc::arch {
 /// Serialises `m` in the key=value format (stable key order).
 [[nodiscard]] std::string to_text(const MachineModel& m);
 
-/// Parses a machine description; starts from a default-constructed model,
-/// so files only need the fields they care about.  Throws
-/// std::invalid_argument with a line-numbered message on unknown keys or
-/// malformed values.  The result is NOT validated — call
-/// arch::validate() before using it.
+/// A parsed machine description plus its source geometry: which line each
+/// key was set on, so downstream diagnostics (rvhpc::analysis) can point at
+/// the offending line of the `.machine` file instead of just naming a field.
+struct ParsedMachine {
+  MachineModel model;
+  /// Source line of every key that appeared, by serialisation key.  The
+  /// i-th `cache = ...` line is recorded under "cache[i]".
+  std::map<std::string, int> key_lines;
+  /// Rule ids collected from `# rvhpc-lint: disable=A001,A002` comment
+  /// lines — per-file lint suppressions, honoured by analysis::lint.
+  std::vector<std::string> suppressed_rules;
+
+  /// Line `key` was set on, or 0 when the file left it defaulted.
+  [[nodiscard]] int line_of(const std::string& key) const;
+};
+
+/// Parses a machine description with source locations; starts from a
+/// default-constructed model, so files only need the fields they care
+/// about.  Throws std::invalid_argument with a line-numbered message on
+/// unknown keys, malformed values, or a scalar key set twice.  The result
+/// is NOT validated — call arch::validate() before using it.
+[[nodiscard]] ParsedMachine parse_machine(const std::string& text);
+
+/// Convenience: parse_machine, keeping only the model.
 [[nodiscard]] MachineModel from_text(const std::string& text);
 
 /// Convenience: from_text over a whole stream.
 [[nodiscard]] MachineModel read_machine(std::istream& in);
+
+/// Convenience: parse_machine over a whole stream.
+[[nodiscard]] ParsedMachine parse_machine(std::istream& in);
 
 /// Parses the VectorIsa names produced by to_string() ("RVV v1.0", ...).
 [[nodiscard]] VectorIsa parse_vector_isa(const std::string& s);

@@ -1,0 +1,290 @@
+// Tests for rvhpc::analysis — the rule-based static-analysis engine.
+//
+// The contract under test: every shipped model (registry machines, the
+// example .machine file, the full signature suite) lints clean; a
+// deliberately-inconsistent fixture machine triggers each machine rule
+// exactly once with the correct .machine line number; suppression and
+// --werror semantics behave as documented.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+
+#include "analysis/engine.hpp"
+#include "analysis/render.hpp"
+#include "arch/registry.hpp"
+#include "arch/serialize.hpp"
+#include "model/signatures.hpp"
+
+namespace rvhpc::analysis {
+namespace {
+
+using arch::MachineId;
+using model::Kernel;
+using model::ProblemClass;
+
+// ---------------------------------------------------------------------------
+// Shipped models are clean.
+
+class RegistryLint : public ::testing::TestWithParam<MachineId> {};
+INSTANTIATE_TEST_SUITE_P(EveryRegistryMachine, RegistryLint,
+                         ::testing::ValuesIn(arch::all_machines()),
+                         [](const auto& pinfo) {
+                           std::string n = arch::name_of(pinfo.param);
+                           for (char& c : n) if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST_P(RegistryLint, LintsClean) {
+  const Report r = lint_machine(arch::machine(GetParam()));
+  EXPECT_TRUE(r.empty()) << r.format();
+}
+
+TEST(LintRegistry, RegistryAndCalibrationClean) {
+  const Report r = lint_registry();
+  EXPECT_TRUE(r.empty()) << r.format();
+}
+
+TEST(LintSignatures, FullSuiteClean) {
+  const Report r = lint_signature_suite();
+  EXPECT_TRUE(r.empty()) << r.format();
+}
+
+TEST(LintFiles, Sg2046ExampleMachineLintsClean) {
+  std::ifstream in(std::string(RVHPC_SOURCE_DIR) +
+                   "/examples/machines/sg2046-hypothetical.machine");
+  ASSERT_TRUE(in.good()) << "example machine file missing";
+  const arch::ParsedMachine pm = arch::parse_machine(in);
+  const Report r = lint_machine_file(pm, "sg2046-hypothetical.machine");
+  EXPECT_TRUE(r.empty()) << r.format();
+}
+
+// ---------------------------------------------------------------------------
+// The fixture: one machine, one violation per machine rule.
+//
+// A002 (opaque ddr_kind) is mutually exclusive with A001 (which needs a
+// parseable ddr_kind), so it is exercised by its own fixture below.
+
+constexpr const char* kFixture = R"(name = broken
+isa = RV64GC
+cores = 6
+cluster_size = 2
+core.clock_ghz = 9.0
+core.out_of_order = false
+core.decode_width = 1
+core.issue_width = 2
+core.sustained_scalar_opc = 1.8
+core.miss_level_parallelism = 12
+core.vector.isa = RVV v1.0
+core.vector.width_bits = 192
+cache = L1D 32768 8 64 1 4
+cache = L2 262144 16 64 3 12
+cache = L3 262144 16 64 6 30
+memory.controllers = 2
+memory.channels = 3
+memory.ddr_kind = DDR4-3200
+memory.channel_bw_gbs = 51.2
+memory.stream_efficiency = 0.99
+memory.idle_latency_ns = 500
+memory.numa_regions = 4
+memory.dram_gib = 0.0001
+)";
+
+/// Machine rule id -> the fixture line (1-based) its finding must point at.
+const std::map<std::string, int>& fixture_expectations() {
+  static const std::map<std::string, int> expected = {
+      {"A001-bw-channel-mismatch", 19},       // memory.channel_bw_gbs
+      {"A003-stream-efficiency-implausible", 20},
+      {"A004-cluster-cache-mismatch", 14},    // the L2 cache line
+      {"A005-cache-per-core-shrink", 15},     // the L3 cache line
+      {"A006-isa-vector-mismatch", 11},       // core.vector.isa
+      {"A007-vector-width-pow2", 12},
+      {"A008-idle-latency-implausible", 21},
+      {"A009-numa-core-split", 22},
+      {"A010-clock-implausible", 5},
+      {"A011-llc-exceeds-dram", 23},          // memory.dram_gib
+      {"A012-opc-exceeds-decode", 9},
+      {"A013-inorder-deep-mlp", 10},
+      {"A014-channel-controller-split", 17},
+  };
+  return expected;
+}
+
+TEST(Fixture, TriggersEveryMachineRuleExactlyOnce) {
+  const arch::ParsedMachine pm = arch::parse_machine(kFixture);
+  const Report r = lint_machine_file(pm, "broken.machine");
+  for (const auto& [rule, line] : fixture_expectations()) {
+    EXPECT_EQ(r.by_rule(rule).size(), 1u) << rule << "\n" << r.format();
+  }
+  // ...and nothing else fires: the fixture's violations are disjoint.
+  EXPECT_EQ(r.diagnostics.size(), fixture_expectations().size()) << r.format();
+}
+
+TEST(Fixture, DiagnosticsCarryTheOffendingLine) {
+  const arch::ParsedMachine pm = arch::parse_machine(kFixture);
+  const Report r = lint_machine_file(pm, "broken.machine");
+  for (const auto& [rule, line] : fixture_expectations()) {
+    const auto hits = r.by_rule(rule);
+    ASSERT_EQ(hits.size(), 1u) << rule;
+    EXPECT_EQ(hits[0].loc.line, line) << rule << ": " << hits[0].format();
+    EXPECT_EQ(hits[0].loc.file, "broken.machine");
+  }
+}
+
+TEST(Fixture, ContradictoryMemoryParametersYieldA001WithLineNumber) {
+  // The acceptance-criteria case in isolation: DDR4-3200 cannot move
+  // 51.2 GB/s down one channel (25.6 GB/s theoretical peak).
+  const auto hits = lint_machine_file(arch::parse_machine(kFixture),
+                                      "broken.machine")
+                        .by_rule("A001");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].severity, Severity::Error);
+  EXPECT_EQ(hits[0].field, "memory.channel_bw_gbs");
+  EXPECT_EQ(hits[0].loc.line, 19);
+}
+
+TEST(Fixture, OpaqueDdrKindYieldsA002NoteOnly) {
+  arch::MachineModel m = arch::machine(MachineId::Sg2044);
+  m.memory.ddr_kind = "HBM3";
+  const Report r = lint_machine(m);
+  ASSERT_EQ(r.diagnostics.size(), 1u) << r.format();
+  EXPECT_EQ(r.by_rule("A002").size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].severity, Severity::Note);
+}
+
+// ---------------------------------------------------------------------------
+// Suppression and werror semantics.
+
+TEST(Options, SuppressionByPrefixAndFullId) {
+  Report r = lint_machine(arch::parse_machine(kFixture).model);
+  LintOptions opts;
+  opts.suppressed = {"A001", "A006-isa-vector-mismatch"};
+  const Report filtered = apply(std::move(r), opts);
+  EXPECT_TRUE(filtered.by_rule("A001").empty());
+  EXPECT_TRUE(filtered.by_rule("A006").empty());
+  EXPECT_EQ(filtered.by_rule("A007").size(), 1u);  // untouched
+}
+
+TEST(Options, WerrorPromotesWarningsToErrors) {
+  Report r = lint_machine(arch::parse_machine(kFixture).model);
+  const std::size_t warns = r.count(Severity::Warn);
+  ASSERT_GT(warns, 0u);
+  const std::size_t errors = r.count(Severity::Error);
+  LintOptions opts;
+  opts.werror = true;
+  const Report promoted = apply(std::move(r), opts);
+  EXPECT_EQ(promoted.count(Severity::Warn), 0u);
+  EXPECT_EQ(promoted.count(Severity::Error), errors + warns);
+}
+
+TEST(Options, MachineFileDirectiveSuppressesRules) {
+  const std::string text =
+      std::string("# rvhpc-lint: disable=A010,A013-inorder-deep-mlp\n") +
+      kFixture;
+  const arch::ParsedMachine pm = arch::parse_machine(text);
+  const Report r = lint_machine_file(pm, "broken.machine");
+  EXPECT_TRUE(r.by_rule("A010").empty()) << r.format();
+  EXPECT_TRUE(r.by_rule("A013").empty()) << r.format();
+  EXPECT_EQ(r.by_rule("A001").size(), 1u);
+}
+
+TEST(Options, RuleMatchingIsExactOrPrefix) {
+  EXPECT_TRUE(rule_matches("A001-bw-channel-mismatch", "A001"));
+  EXPECT_TRUE(rule_matches("A001-bw-channel-mismatch",
+                           "A001-bw-channel-mismatch"));
+  EXPECT_FALSE(rule_matches("A001-bw-channel-mismatch", "A00"));
+  EXPECT_FALSE(rule_matches("A001-bw-channel-mismatch", "A002"));
+  EXPECT_FALSE(rule_matches("A001-bw-channel-mismatch", ""));
+}
+
+// ---------------------------------------------------------------------------
+// Signature rules: one bad signature per rule id.
+
+model::WorkloadSignature good() {
+  return model::signature(Kernel::MG, ProblemClass::C);
+}
+
+TEST(SignatureRules, FractionOutOfRangeIsA101) {
+  auto s = good();
+  s.vectorisable_fraction = 1.5;
+  EXPECT_EQ(lint_signature(s).by_rule("A101").size(), 1u);
+}
+
+TEST(SignatureRules, MissingRandomFootprintIsA102) {
+  auto s = good();
+  s.random_access_per_op = 0.5;
+  s.random_footprint_mib = 0.0;
+  EXPECT_EQ(lint_signature(s).by_rule("A102").size(), 1u);
+}
+
+TEST(SignatureRules, FootprintBeyondWorkingSetIsA102) {
+  auto s = good();
+  s.random_access_per_op = 0.5;
+  s.random_footprint_mib = s.working_set_mib * 2.0;
+  EXPECT_EQ(lint_signature(s).by_rule("A102").size(), 1u);
+}
+
+TEST(SignatureRules, NonPositiveWorkIsA103) {
+  auto s = good();
+  s.total_mop = 0.0;
+  EXPECT_EQ(lint_signature(s).by_rule("A103").size(), 1u);
+}
+
+TEST(SignatureRules, OddElementWidthIsA104) {
+  auto s = good();
+  s.element_bits = 16;
+  EXPECT_EQ(lint_signature(s).by_rule("A104").size(), 1u);
+}
+
+TEST(SignatureRules, CacheLinePerOpExceededIsA105) {
+  auto s = good();
+  s.streamed_bytes_per_op = 128.0;
+  EXPECT_EQ(lint_signature(s).by_rule("A105").size(), 1u);
+}
+
+TEST(SignatureRules, GatherWithoutVectorisationIsA106) {
+  auto s = good();
+  s.vectorisable_fraction = 0.0;
+  s.gather_fraction = 0.5;
+  EXPECT_EQ(lint_signature(s).by_rule("A106").size(), 1u);
+}
+
+TEST(SignatureRules, AlwaysHittingRandomAccessesAreA107) {
+  auto s = good();
+  s.random_access_per_op = 0.5;
+  s.random_footprint_mib = 1.0;
+  s.random_llc_hit_fraction = 1.0;
+  EXPECT_EQ(lint_signature(s).by_rule("A107").size(), 1u);
+}
+
+TEST(SignatureRules, MoreBarriersThanOpsIsA108) {
+  auto s = good();
+  s.global_syncs = s.total_mop * 1e6 * 2.0;
+  EXPECT_EQ(lint_signature(s).by_rule("A108").size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Catalogue and rendering.
+
+TEST(Catalogue, RuleIdsAreUniqueAndWellFormed) {
+  std::set<std::string> seen;
+  for (const RuleInfo& info : rule_catalogue()) {
+    EXPECT_TRUE(seen.insert(info.id).second) << "duplicate id " << info.id;
+    EXPECT_EQ(info.id[0], 'A');
+    EXPECT_NE(info.id.find('-'), std::string::npos) << info.id;
+    EXPECT_FALSE(info.summary.empty()) << info.id;
+  }
+}
+
+TEST(Render, TableHasOneRowPerFinding) {
+  const Report r = lint_machine(arch::parse_machine(kFixture).model);
+  EXPECT_EQ(render_table(r).rows(), r.diagnostics.size());
+  EXPECT_EQ(render_catalogue().rows(), rule_catalogue().size());
+  EXPECT_NE(summarize(r).find("error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rvhpc::analysis

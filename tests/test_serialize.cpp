@@ -117,6 +117,53 @@ TEST(ParseEnums, RoundTripAllValues) {
   }
 }
 
+TEST(FromText, DuplicateScalarKeyRejectedWithBothLines) {
+  try {
+    (void)from_text("name = x\ncores = 4\n\ncores = 8\n");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("duplicate key 'cores'"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
+}
+
+TEST(FromText, RepeatedCacheLinesAreLevelsNotDuplicates) {
+  const MachineModel m = from_text(
+      "cache = L1D 32768 8 64 1 4\ncache = L2 262144 16 64 4 12\n");
+  EXPECT_EQ(m.caches.size(), 2u);
+}
+
+TEST(ParseMachine, RecordsTheLineOfEveryKey) {
+  const ParsedMachine pm = parse_machine(
+      "# header comment\n"
+      "name = x\n"
+      "core.clock_ghz = 2.0\n"
+      "\n"
+      "cache = L1D 32768 8 64 1 4\n"
+      "cache = L2 262144 16 64 4 12\n"
+      "memory.channels = 8\n");
+  EXPECT_EQ(pm.line_of("name"), 2);
+  EXPECT_EQ(pm.line_of("core.clock_ghz"), 3);
+  EXPECT_EQ(pm.line_of("cache[0]"), 5);
+  EXPECT_EQ(pm.line_of("cache[1]"), 6);
+  EXPECT_EQ(pm.line_of("memory.channels"), 7);
+  EXPECT_EQ(pm.line_of("cores"), 0);  // defaulted: no source line
+}
+
+TEST(ParseMachine, CollectsLintDisableDirectives) {
+  const ParsedMachine pm = parse_machine(
+      "# rvhpc-lint: disable=A001,A013-inorder-deep-mlp\n"
+      "name = x\n"
+      "# a plain comment\n"
+      "# rvhpc-lint: disable=A010\n");
+  ASSERT_EQ(pm.suppressed_rules.size(), 3u);
+  EXPECT_EQ(pm.suppressed_rules[0], "A001");
+  EXPECT_EQ(pm.suppressed_rules[1], "A013-inorder-deep-mlp");
+  EXPECT_EQ(pm.suppressed_rules[2], "A010");
+}
+
 TEST(ReadMachine, WorksOverAStream) {
   std::istringstream in(to_text(machine(MachineId::Sg2044)));
   const MachineModel m = read_machine(in);
