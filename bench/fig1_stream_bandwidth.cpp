@@ -1,11 +1,16 @@
 // Figure 1 reproduction — STREAM copy bandwidth versus core count on the
 // SG2044 and SG2042.  The model regenerates the paper's curves; pass
-// --host to additionally run the real STREAM code on this machine.
+// --host to additionally run the real STREAM code on this machine, and
+// --trace=<file> to capture both sweeps as a Chrome trace with per-point
+// attribution records.
 
-#include <cstring>
 #include <iostream>
+#include <optional>
+#include <string>
 
 #include "model/sweep.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "report/chart.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
@@ -17,6 +22,19 @@ using model::Kernel;
 using model::ProblemClass;
 
 int main(int argc, char** argv) {
+  std::optional<std::string> trace_path;
+  bool host = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(std::string("--trace=").size());
+    } else if (arg == "--host") {
+      host = true;
+    }
+  }
+  std::optional<obs::SessionScope> scope;
+  if (trace_path) scope.emplace();
+
   std::cout << "Figure 1 — STREAM copy memory bandwidth vs cores (GB/s)\n\n";
   const auto s44 = model::scale_cores(MachineId::Sg2044, Kernel::StreamCopy,
                                       ProblemClass::C);
@@ -43,7 +61,14 @@ int main(int argc, char** argv) {
                "keeps scaling to >3x at 64 cores,\nmatching SOPHGO's [10] "
                "claim.\n";
 
-  if (argc > 1 && std::strcmp(argv[1], "--host") == 0) {
+  if (scope) {
+    obs::write_file(*trace_path, obs::chrome_trace_json(scope->session()));
+    std::cerr << "trace written to " << *trace_path << " ("
+              << scope->session().event_count() << " records)\n";
+    scope.reset();
+  }
+
+  if (host) {
     std::cout << "\nHost STREAM (this machine, for reference):\n";
     stream::StreamConfig cfg;
     cfg.elements = 8'000'000;

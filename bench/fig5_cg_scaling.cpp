@@ -1,10 +1,14 @@
 // Figure 5 reproduction — CG benchmark OpenMP scaling (class C;
-// vectorisation disabled on the SG2044 per §6).
+// vectorisation disabled on the SG2044 per §6).  Pass --trace=<file> to
+// capture the five machines' sweeps as a Chrome trace with attribution
+// records — CG is the kernel whose bottleneck story (gather latency vs
+// bandwidth vs compute) the paper leans on hardest.
 
 #include "fig_common.hpp"
 
-int main() {
-  rvhpc::bench::print_scaling_figure(
+int main(int argc, char** argv) {
+  return rvhpc::bench::run_scaling_figure(
+      argc, argv,
       "Figure 5 — CG benchmark performance (Mop/s, higher is better)",
       rvhpc::model::Kernel::CG,
       "Shape targets: SG2044 and SG2042 similar at small core counts, the\n"

@@ -5,9 +5,12 @@
 // chart, in the figures' layout.
 
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "model/sweep.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "report/chart.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
@@ -84,6 +87,36 @@ inline void print_scaling_figure(const std::string& title, model::Kernel kernel,
     chart.add_series(std::move(s));
   }
   std::cout << chart.render() << "\n" << notes << "\n";
+}
+
+/// print_scaling_figure plus standard figure-binary argv handling: a
+/// --trace=<file> flag wraps the whole figure in an obs session and dumps
+/// the Chrome trace (per-point attribution records included) at the end.
+inline int run_scaling_figure(int argc, char** argv, const std::string& title,
+                              model::Kernel kernel, const std::string& notes) {
+  std::optional<std::string> trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(std::string("--trace=").size());
+    }
+  }
+  std::optional<obs::SessionScope> scope;
+  if (trace_path) scope.emplace();
+
+  print_scaling_figure(title, kernel, notes);
+
+  if (scope) {
+    try {
+      obs::write_file(*trace_path, obs::chrome_trace_json(scope->session()));
+      std::cerr << "trace written to " << *trace_path << " ("
+                << scope->session().event_count() << " records)\n";
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  return 0;
 }
 
 }  // namespace rvhpc::bench

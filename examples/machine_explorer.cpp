@@ -6,10 +6,13 @@
 //   machine_explorer sg2044 CG          # scaling table for one pair
 //   machine_explorer my-cpu.machine CG  # ...for a custom machine file
 //   machine_explorer --dump sg2044      # print a machine-file template
+//   machine_explorer sg2044 CG --trace=t.json  # also write a Chrome trace
 
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "analysis/engine.hpp"
 #include "arch/registry.hpp"
@@ -17,6 +20,8 @@
 #include "arch/validate.hpp"
 #include "model/roofline.hpp"
 #include "model/sweep.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "report/table.hpp"
 
 using namespace rvhpc;
@@ -98,12 +103,32 @@ void sweep(const std::string& name, const std::string& kernel_name) {
 
 int main(int argc, char** argv) {
   try {
-    if (argc >= 3 && std::string(argv[1]) == "--dump") {
-      std::cout << arch::to_text(arch::machine(argv[2]));
-    } else if (argc >= 3) {
-      sweep(argv[1], argv[2]);
+    std::optional<std::string> trace_path;
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--trace=", 0) == 0) {
+        trace_path = arg.substr(std::string("--trace=").size());
+      } else {
+        args.push_back(arg);
+      }
+    }
+
+    std::optional<obs::SessionScope> scope;
+    if (trace_path) scope.emplace();
+
+    if (args.size() >= 2 && args[0] == "--dump") {
+      std::cout << arch::to_text(arch::machine(args[1]));
+    } else if (args.size() >= 2) {
+      sweep(args[0], args[1]);
     } else {
       list_machines();
+    }
+
+    if (scope) {
+      obs::write_file(*trace_path, obs::chrome_trace_json(scope->session()));
+      std::cerr << "trace written to " << *trace_path << " ("
+                << scope->session().event_count() << " records)\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

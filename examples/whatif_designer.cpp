@@ -3,14 +3,20 @@
 // the performance, plus what a hypothetical "SG2046" would need next.
 //
 // This exercises the library's ability to evaluate *custom* machine
-// descriptions, not just the registry entries.
+// descriptions, not just the registry entries.  Pass --trace=<file> to
+// capture every lever evaluation as a Chrome trace with attribution
+// records (open in chrome://tracing or feed to rvhpc tooling).
 
 #include <iostream>
+#include <optional>
+#include <string>
 
 #include "analysis/engine.hpp"
 #include "arch/registry.hpp"
 #include "arch/validate.hpp"
 #include "model/sweep.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "report/table.hpp"
 
 using namespace rvhpc;
@@ -49,7 +55,17 @@ void row(report::Table& t, const std::string& label, const MachineModel& m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::optional<std::string> trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(std::string("--trace=").size());
+    }
+  }
+  std::optional<obs::SessionScope> scope;
+  if (trace_path) scope.emplace();
+
   std::cout << "What made the SG2044 fast?  Full-chip class C Mop/s under "
                "single-lever changes.\n\n";
   const MachineModel& sg2042 = arch::machine(arch::MachineId::Sg2042);
@@ -95,5 +111,16 @@ int main() {
                "with the clock/vector levers.  The\nhypothetical part shows "
                "CG finally profiting from vectorisation once the\ngather "
                "path is fixed (gather_efficiency 0.18 -> 0.5).\n";
+
+  if (scope) {
+    try {
+      obs::write_file(*trace_path, obs::chrome_trace_json(scope->session()));
+      std::cerr << "trace written to " << *trace_path << " ("
+                << scope->session().event_count() << " records)\n";
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
   return 0;
 }

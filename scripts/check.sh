@@ -2,9 +2,10 @@
 # check.sh — the one-command tier-1 + static-analysis gate.
 #
 # Configures an ASan+UBSan build, builds everything, runs the full test
-# suite under the sanitizers, then runs rvhpc-lint in --werror mode over
-# the registry, the signature suite and every example .machine file.
-# Exits non-zero on the first failure.
+# suite under the sanitizers, smoke-runs every bench binary (so the
+# figure/table generators cannot silently rot), then runs rvhpc-lint in
+# --werror mode over the registry, the signature suite and every example
+# .machine file.  Exits non-zero on the first failure.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-check)
 
@@ -28,6 +29,28 @@ cmake --build "$build_dir" -j
 
 echo "== ctest (sanitized)"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+
+echo "== bench smoke-runs (every figure/table generator must still run)"
+found_bench=0
+for exe in "$build_dir"/bench/*; do
+  [ -f "$exe" ] && [ -x "$exe" ] || continue
+  case "$(basename "$exe")" in
+    *.cmake|CMakeFiles) continue ;;
+    micro_benchmarks)
+      args=(--benchmark_filter=PredictSingleCall --benchmark_min_time=0.01) ;;
+    obs_overhead)
+      args=(--gate) ;;
+    *)
+      args=() ;;
+  esac
+  found_bench=1
+  echo "-- $(basename "$exe")"
+  "$exe" "${args[@]}" > /dev/null
+done
+if [ "$found_bench" -eq 0 ]; then
+  echo "error: no bench binaries found under $build_dir/bench/" >&2
+  exit 1
+fi
 
 echo "== rvhpc-lint --werror: registry + signature suite"
 "$build_dir/src/analysis/rvhpc-lint" --werror

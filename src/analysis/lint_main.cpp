@@ -22,10 +22,19 @@
 #include "analysis/engine.hpp"
 #include "analysis/render.hpp"
 #include "arch/serialize.hpp"
+#include "cli/cli.hpp"
 
 using namespace rvhpc;
 
 namespace {
+
+const cli::ToolInfo kTool{
+    "rvhpc-lint",
+    "static analysis for machine models and workload signatures",
+    "usage: rvhpc-lint [--werror] [--suppress=A001,...] [--csv]\n"
+    "                  [--registry] [--signatures] [--rules]\n"
+    "                  [file.machine ...]\n"
+    "With no mode or files, lints the registry and the signature suite."};
 
 struct CliOptions {
   analysis::LintOptions lint;
@@ -35,13 +44,6 @@ struct CliOptions {
   bool csv = false;
   std::vector<std::string> files;
 };
-
-void usage(std::ostream& os) {
-  os << "usage: rvhpc-lint [--werror] [--suppress=A001,...] [--csv]\n"
-        "                  [--registry] [--signatures] [--rules]\n"
-        "                  [file.machine ...]\n"
-        "With no mode or files, lints the registry and the signature suite.\n";
-}
 
 bool parse_args(int argc, char** argv, CliOptions& opts) {
   for (int i = 1; i < argc; ++i) {
@@ -62,12 +64,9 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       while (std::getline(list, id, ',')) {
         if (!id.empty()) opts.lint.suppressed.push_back(id);
       }
-    } else if (arg == "--help" || arg == "-h") {
-      usage(std::cout);
-      std::exit(0);
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "rvhpc-lint: unknown option '" << arg << "'\n";
-      usage(std::cerr);
+      cli::print_help(std::cerr, kTool);
       return false;
     } else {
       opts.files.push_back(arg);
@@ -88,6 +87,7 @@ analysis::Report lint_file(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (cli::handle_standard_flags(argc, argv, kTool, std::cout)) return 0;
   CliOptions opts;
   if (!parse_args(argc, argv, opts)) return 2;
 

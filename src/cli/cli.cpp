@@ -1,0 +1,43 @@
+#include "cli/cli.hpp"
+
+#include <ostream>
+#include <string>
+
+#ifndef RVHPC_VERSION
+#define RVHPC_VERSION "0.0.0"
+#endif
+
+namespace rvhpc::cli {
+
+std::string version_string() { return RVHPC_VERSION; }
+
+void print_version(std::ostream& os, const ToolInfo& tool) {
+  os << tool.name << " (rvhpc " << version_string() << ")\n";
+}
+
+void print_help(std::ostream& os, const ToolInfo& tool) {
+  os << tool.name << " — " << tool.one_line << "\n\n"
+     << tool.usage << "\n\n"
+     << "Standard options:\n"
+        "  --help, -h   show this help and exit\n"
+        "  --version    show \"" << tool.name << " (rvhpc "
+     << version_string() << ")\" and exit\n";
+}
+
+bool handle_standard_flags(int argc, char** argv, const ToolInfo& tool,
+                           std::ostream& os) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help(os, tool);
+      return true;
+    }
+    if (arg == "--version") {
+      print_version(os, tool);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rvhpc::cli

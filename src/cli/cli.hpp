@@ -1,0 +1,37 @@
+#pragma once
+// rvhpc::cli — shared command-line plumbing for the repo's tools.
+//
+// rvhpc-lint and rvhpc-profile (and future CLIs) route their --help and
+// --version output through these helpers so the tools stay consistent:
+// one version string sourced from the CMake project version, one help
+// layout, one place to change either.
+
+#include <iosfwd>
+#include <string>
+
+namespace rvhpc::cli {
+
+/// Static identity of one CLI tool.
+struct ToolInfo {
+  std::string name;      ///< "rvhpc-profile"
+  std::string one_line;  ///< what the tool does, for the help header
+  std::string usage;     ///< full usage block (no trailing newline needed)
+};
+
+/// The library version ("1.0.0"), from the CMake project version.
+[[nodiscard]] std::string version_string();
+
+/// "name (rvhpc <version>)".
+void print_version(std::ostream& os, const ToolInfo& tool);
+
+/// Help header + usage block.
+void print_help(std::ostream& os, const ToolInfo& tool);
+
+/// Handles a leading --help/-h/--version anywhere in argv: prints the
+/// matching output to `os` and returns true (caller exits 0).  Returns
+/// false when neither flag is present.
+[[nodiscard]] bool handle_standard_flags(int argc, char** argv,
+                                         const ToolInfo& tool,
+                                         std::ostream& os);
+
+}  // namespace rvhpc::cli

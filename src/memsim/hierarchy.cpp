@@ -2,8 +2,39 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rvhpc::memsim {
+namespace {
+
+/// How often access() emits an aggregate cache-stats instant when a trace
+/// session is active.  Coarse enough that multi-million-access traces stay
+/// tractable, fine enough to see hit-rate drift over a run.
+constexpr std::uint64_t kObsEventStride = 4096;
+
+const char* level_name(std::size_t level, std::size_t levels) {
+  if (level + 1 == levels && levels >= 3) return "l3";
+  switch (level) {
+    case 0: return "l1";
+    case 1: return "l2";
+    default: return "l3";
+  }
+}
+
+void count_access(HitLevel result) {
+  if (!obs::metrics_enabled()) return;
+  static obs::Counter& total = obs::Registry::global().counter(
+      "rvhpc_memsim_accesses_total", "accesses routed through Hierarchy");
+  static obs::Counter& dram = obs::Registry::global().counter(
+      "rvhpc_memsim_dram_accesses_total", "accesses that fell through to DRAM");
+  total.add();
+  if (result == HitLevel::Dram) dram.add();
+}
+
+}  // namespace
 
 Hierarchy::Hierarchy(const arch::MachineModel& m, int cores, bool coherent)
     : cores_(cores), coherent_(coherent) {
@@ -45,6 +76,20 @@ HitLevel Hierarchy::access(int core, std::uint64_t addr, bool is_write) {
       for (std::size_t inst = 0; inst < row.size(); ++inst) {
         if (inst != own) row[inst]->invalidate(addr);
       }
+    }
+  }
+  count_access(result);
+  if (++accesses_ % kObsEventStride == 0) {
+    if (obs::TraceSession* s = obs::session()) {
+      obs::Args args = {{"accesses", std::to_string(accesses_)}};
+      for (std::size_t i = 0; i < level_caches_.size(); ++i) {
+        const CacheStats st = level_stats(i);
+        const char* name = level_name(i, level_caches_.size());
+        args.emplace_back(std::string(name) + "_hits", std::to_string(st.hits));
+        args.emplace_back(std::string(name) + "_misses",
+                          std::to_string(st.misses));
+      }
+      s->add_instant("cache-stats", "memsim", std::move(args));
     }
   }
   return result;

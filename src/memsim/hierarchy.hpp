@@ -5,6 +5,7 @@
 // from an arch::MachineModel and routes accesses through them, reporting
 // at which level each access hit.
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -51,6 +52,9 @@ class Hierarchy {
  private:
   int cores_;
   bool coherent_;
+  /// Accesses routed so far; every kObsEventStride-th emits an aggregate
+  /// cache-stats instant into the active obs::TraceSession.
+  std::uint64_t accesses_ = 0;
   std::vector<double> latencies_;
   /// level_caches_[level][instance]; instance = core / sharers.
   std::vector<std::vector<std::unique_ptr<Cache>>> level_caches_;

@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rvhpc::model {
 namespace {
@@ -22,6 +27,40 @@ constexpr double kOverlapBetaInOrder = 0.55;
 /// (part of it is absorbed by the shared LLC).
 constexpr double kCommWeight = 0.5;
 
+/// Base attribution record for (m, sig, cfg); shared by the DNR and
+/// completed-run emission paths.
+obs::PredictionRecord base_record(const arch::MachineModel& m,
+                                  const WorkloadSignature& sig,
+                                  const RunConfig& cfg) {
+  obs::PredictionRecord r;
+  r.machine = m.name;
+  r.kernel = to_string(sig.kernel);
+  r.problem_class = to_string(sig.problem_class);
+  r.cores = cfg.cores;
+  return r;
+}
+
+void count_predict_call(bool dnr) {
+  if (!obs::metrics_enabled()) return;
+  static obs::Counter& calls = obs::Registry::global().counter(
+      "rvhpc_predict_calls_total", "predict() invocations");
+  static obs::Counter& dnrs = obs::Registry::global().counter(
+      "rvhpc_predict_dnr_total", "predict() calls that did not run (DNR)");
+  calls.add();
+  if (dnr) dnrs.add();
+}
+
+void emit_dnr(const arch::MachineModel& m, const WorkloadSignature& sig,
+              const RunConfig& cfg, const Prediction& out) {
+  count_predict_call(/*dnr=*/true);
+  if (obs::TraceSession* s = obs::session()) {
+    obs::PredictionRecord r = base_record(m, sig, cfg);
+    r.ran = false;
+    r.dnr_reason = out.dnr_reason;
+    s->add_prediction(std::move(r));
+  }
+}
+
 }  // namespace
 
 std::string to_string(Bottleneck b) {
@@ -36,12 +75,15 @@ std::string to_string(Bottleneck b) {
 
 Prediction predict(const arch::MachineModel& m, const WorkloadSignature& sig,
                    const RunConfig& cfg) {
+  obs::ScopedTimer timer(obs::timer_target("rvhpc_predict_wall_seconds"));
+  obs::ScopedSpan span("model", "predict");
   Prediction out;
 
   if (cfg.cores < 1 || cfg.cores > m.cores) {
     out.ran = false;
     out.dnr_reason = "requested " + std::to_string(cfg.cores) + " cores, " +
                      m.name + " has " + std::to_string(m.cores);
+    emit_dnr(m, sig, cfg, out);
     return out;
   }
   const double dram_mib = m.memory.dram_gib * 1024.0 * kUsableDramFraction;
@@ -49,6 +91,7 @@ Prediction predict(const arch::MachineModel& m, const WorkloadSignature& sig,
     out.ran = false;
     out.dnr_reason = "working set " + std::to_string(sig.working_set_mib) +
                      " MiB exceeds usable DRAM of " + m.name;
+    emit_dnr(m, sig, cfg, out);
     return out;  // e.g. FT class B on the 1 GiB Allwinner D1 (Table 2)
   }
 
@@ -103,6 +146,16 @@ Prediction predict(const arch::MachineModel& m, const WorkloadSignature& sig,
     numa_factor = 1.0 + 0.33 * (1.0 - 1.0 / regions_used);
   }
 
+  // Component-wise partial-overlap coefficients.  Prefetchable streams
+  // overlap with compute even on in-order cores (small beta); a dependent
+  // latency chain serialises an in-order pipeline almost completely.
+  const double beta_flow = m.core.out_of_order ? kOverlapBetaOoO : 0.18;
+  // Compute and a dependent latency chain serialise against each other
+  // on an in-order core, whichever of the two dominates.
+  const double beta_chain = m.core.out_of_order
+                                ? kOverlapBetaOoO
+                                : (sig.dependent_chain ? kOverlapBetaInOrder : 0.18);
+
   double u = 0.5;  // DRAM utilisation estimate, refined by fixed point
   double t_bw = 0.0, t_lat = 0.0, t_par = 0.0;
   for (int iter = 0; iter < 3; ++iter) {
@@ -117,15 +170,6 @@ Prediction predict(const arch::MachineModel& m, const WorkloadSignature& sig,
       const double rate = soft_min(n * r_core, cap);
       t_lat = n_rand / rate;
     }
-    // Component-wise partial overlap.  Prefetchable streams overlap with
-    // compute even on in-order cores (small beta); a dependent latency
-    // chain serialises an in-order pipeline almost completely.
-    const double beta_flow = m.core.out_of_order ? kOverlapBetaOoO : 0.18;
-    // Compute and a dependent latency chain serialise against each other
-    // on an in-order core, whichever of the two dominates.
-    const double beta_chain = m.core.out_of_order
-                                  ? kOverlapBetaOoO
-                                  : (sig.dependent_chain ? kOverlapBetaInOrder : 0.18);
     const double t_max = std::max({t_cpu, t_bw, t_lat});
     t_par = t_max;
     if (t_cpu < t_max) t_par += beta_chain * t_cpu;
@@ -152,6 +196,65 @@ Prediction predict(const arch::MachineModel& m, const WorkloadSignature& sig,
   else if (dmax == t_bw)   out.breakdown.dominant = Bottleneck::StreamBandwidth;
   else if (dmax == t_lat)  out.breakdown.dominant = Bottleneck::Latency;
   else                     out.breakdown.dominant = Bottleneck::Compute;
+
+  count_predict_call(/*dnr=*/false);
+  if (obs::TraceSession* s = obs::session()) {
+    // Critical-path attribution: fold each resource's overlap contribution
+    // (t_max for the binding one, beta-weighted for the rest — the exact
+    // composition of the fixed-point loop above) through the imbalance and
+    // parallel-quality scaling, so the phases sum to out.seconds.
+    const double t_max = std::max({t_cpu, t_bw, t_lat});
+    double c_cpu = t_cpu < t_max ? beta_chain * t_cpu : 0.0;
+    double c_bw = t_bw < t_max ? beta_flow * t_bw : 0.0;
+    double c_lat = t_lat < t_max ? beta_chain * t_lat : 0.0;
+    if (t_cpu == t_max)     c_cpu += t_max;
+    else if (t_bw == t_max) c_bw += t_max;
+    else                    c_lat += t_max;
+    const double scale = imb / pq;
+
+    obs::PredictionRecord r = base_record(m, sig, cfg);
+    r.seconds = out.seconds;
+    r.mops = out.mops;
+    r.achieved_bw_gbs = out.achieved_bw_gbs;
+    r.phases = {{to_string(Bottleneck::Compute), c_cpu * scale},
+                {to_string(Bottleneck::StreamBandwidth), c_bw * scale},
+                {to_string(Bottleneck::Latency), c_lat * scale},
+                {to_string(Bottleneck::Sync), t_sync / pq}};
+    r.bottleneck = to_string(out.breakdown.dominant);
+    std::vector<std::pair<std::string, double>> raw = {
+        {to_string(Bottleneck::Compute), t_cpu},
+        {to_string(Bottleneck::StreamBandwidth), t_bw},
+        {to_string(Bottleneck::Latency), t_lat},
+        {to_string(Bottleneck::Sync), t_sync}};
+    std::stable_sort(raw.begin(), raw.end(), [](const auto& a, const auto& b) {
+      return a.second > b.second;
+    });
+    for (const auto& [name, t] : raw) {
+      if (name == r.bottleneck) continue;
+      r.runner_up.emplace_back(name, dmax > 0.0 ? t / dmax : 0.0);
+    }
+    r.vectorised = out.vector.vectorised;
+    r.vector_speedup = out.vector.blended_speedup;
+
+    // The paper's headline mechanism as an event: streamed demand above
+    // what the memory controllers supply at this placement.
+    const double demand_gbs = n * m.memory.per_core_bw_gbs * read_bonus;
+    const double supply_gbs = supply_bw / 1e9;
+    if (stream_bytes > 0.0 && demand_gbs > supply_gbs) {
+      s->add_instant("dram-channel-saturation", "model",
+                     {{"machine", m.name},
+                      {"cores", std::to_string(cfg.cores)},
+                      {"demand_gbs", std::to_string(demand_gbs)},
+                      {"supply_gbs", std::to_string(supply_gbs)}});
+    }
+    s->add_prediction(std::move(r));
+  }
+  if (span.active()) {
+    span.arg("machine", m.name);
+    span.arg("kernel", to_string(sig.kernel));
+    span.arg("cores", std::to_string(cfg.cores));
+    span.arg("bottleneck", to_string(out.breakdown.dominant));
+  }
   return out;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
+
 namespace rvhpc::model {
 
 std::string to_string(ThreadPlacement p) {
@@ -57,6 +59,16 @@ double chip_stream_bw_gbs(const arch::MachineModel& m, int cores,
   const double demand = cores * m.memory.per_core_bw_gbs;
   const double supply =
       m.memory.chip_stream_bw_gbs() * placement_bw_factor(m, cores, placement);
+  if (demand > supply) {
+    if (obs::TraceSession* s = obs::session()) {
+      s->add_instant("dram-channel-saturation", "scaling",
+                     {{"machine", m.name},
+                      {"cores", std::to_string(cores)},
+                      {"placement", to_string(placement)},
+                      {"demand_gbs", std::to_string(demand)},
+                      {"supply_gbs", std::to_string(supply)}});
+    }
+  }
   return soft_min(demand, supply);
 }
 

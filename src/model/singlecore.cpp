@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/trace.hpp"
+
 namespace rvhpc::model {
 
 VectorOutcome vector_outcome(const arch::MachineModel& m,
@@ -58,11 +60,26 @@ VectorOutcome vector_outcome(const arch::MachineModel& m,
 double core_ops_per_second(const arch::MachineModel& m,
                            const WorkloadSignature& sig,
                            const CompilerConfig& cc) {
-  const double blend = vector_outcome(m, sig, cc).blended_speedup;
+  const VectorOutcome vec = vector_outcome(m, sig, cc);
+  const double blend = vec.blended_speedup;
   double opc = m.core.sustained_scalar_opc *
                scalar_quality(cc.id, sig.kernel) * blend;
   if (sig.complex_control) opc *= m.core.complex_loop_efficiency;
-  return m.core.clock_ghz * 1e9 * opc / std::max(sig.cycles_per_op, 1e-9);
+  const double rate =
+      m.core.clock_ghz * 1e9 * opc / std::max(sig.cycles_per_op, 1e-9);
+  if (obs::TraceSession* s = obs::session()) {
+    obs::Args args = {{"machine", m.name},
+                      {"kernel", to_string(sig.kernel)},
+                      {"ops_per_second", std::to_string(rate)},
+                      {"vectorised", vec.vectorised ? "yes" : "no"}};
+    if (vec.vectorised) {
+      args.emplace_back("blended_speedup", std::to_string(blend));
+      // The §6 pathology: vector code slower than scalar.
+      if (blend < 1.0) args.emplace_back("vector_pathology", "true");
+    }
+    s->add_instant("core-rate", "singlecore", std::move(args));
+  }
+  return rate;
 }
 
 double random_access_latency_s(const arch::MachineModel& m,

@@ -1,5 +1,8 @@
 #include "model/sweep.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace rvhpc::model {
 
 std::vector<int> power_of_two_cores(int max_cores) {
@@ -21,10 +24,23 @@ ScalingSeries scale_cores(arch::MachineId id, Kernel kernel, ProblemClass cls,
                           RunConfig cfg) {
   const arch::MachineModel& m = arch::machine(id);
   const WorkloadSignature sig = signature(kernel, cls);
+  obs::ScopedTimer timer(obs::timer_target("rvhpc_sweep_wall_seconds"));
+  obs::ScopedSpan span("sweep", "scale_cores");
   ScalingSeries series{id, kernel, cls, {}};
   for (int n : power_of_two_cores(m.cores)) {
     cfg.cores = n;
     series.points.push_back({n, predict(m, sig, cfg)});
+  }
+  if (obs::metrics_enabled()) {
+    static obs::Counter& points = obs::Registry::global().counter(
+        "rvhpc_sweep_points_total", "core-count points evaluated by sweeps");
+    points.add(series.points.size());
+  }
+  if (span.active()) {
+    span.arg("machine", arch::name_of(id));
+    span.arg("kernel", to_string(kernel));
+    span.arg("class", to_string(cls));
+    span.arg("points", std::to_string(series.points.size()));
   }
   return series;
 }

@@ -1,0 +1,209 @@
+// rvhpc-profile — run any prediction or sweep with full observability.
+//
+// Wraps model::predict() / the core-count sweep in a TraceSession plus the
+// metrics registry and writes out everything the model knows about *why*
+// the number came out: the Chrome trace (spans, saturation events, typed
+// prediction records), the human-readable bottleneck attribution report,
+// and a metrics dump of the library's own hot paths.
+//
+//   rvhpc-profile --machine sg2044 --kernel cg --class C --cores 64 \
+//                 --trace out.json
+//   rvhpc-profile --machine sg2042 --kernel is --sweep --metrics m.json
+//
+// Exit status: 0 on success, 2 on usage/parse failure.
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "arch/registry.hpp"
+#include "arch/serialize.hpp"
+#include "arch/validate.hpp"
+#include "cli/cli.hpp"
+#include "model/sweep.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+using namespace rvhpc;
+
+namespace {
+
+const cli::ToolInfo kTool{
+    "rvhpc-profile",
+    "trace and explain one modelled prediction or core-count sweep",
+    "usage: rvhpc-profile --machine <name|file.machine> --kernel <name>\n"
+    "                     [--class S|W|A|B|C] [--cores N] [--sweep]\n"
+    "                     [--placement os-default|spread|close]\n"
+    "                     [--trace out.json] [--report out.txt]\n"
+    "                     [--metrics out.json]\n"
+    "\n"
+    "Runs the prediction (default: the machine's full core count) or the\n"
+    "paper's power-of-two core sweep (--sweep) with tracing and metrics\n"
+    "on, prints the bottleneck attribution report, and writes the Chrome\n"
+    "trace_event JSON / metrics JSON where asked.  Kernels: IS MG EP CG\n"
+    "FT BT LU SP StreamCopy StreamTriad Hpl Hpcg (case-insensitive)."};
+
+struct Options {
+  std::string machine;
+  std::string kernel;
+  std::string problem_class = "C";
+  int cores = 0;  ///< 0 = machine's full core count
+  bool sweep = false;
+  model::ThreadPlacement placement = model::ThreadPlacement::OsDefault;
+  std::optional<std::string> trace_path;
+  std::optional<std::string> report_path;
+  std::optional<std::string> metrics_path;
+};
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+model::Kernel parse_kernel(const std::string& name) {
+  static const model::Kernel all[] = {
+      model::Kernel::IS, model::Kernel::MG, model::Kernel::EP,
+      model::Kernel::CG, model::Kernel::FT, model::Kernel::BT,
+      model::Kernel::LU, model::Kernel::SP, model::Kernel::StreamCopy,
+      model::Kernel::StreamTriad, model::Kernel::Hpl, model::Kernel::Hpcg};
+  for (model::Kernel k : all) {
+    if (lower(to_string(k)) == lower(name)) return k;
+  }
+  throw std::invalid_argument("unknown kernel '" + name + "'");
+}
+
+model::ProblemClass parse_class(const std::string& name) {
+  const std::string u = lower(name);
+  if (u == "s") return model::ProblemClass::S;
+  if (u == "w") return model::ProblemClass::W;
+  if (u == "a") return model::ProblemClass::A;
+  if (u == "b") return model::ProblemClass::B;
+  if (u == "c") return model::ProblemClass::C;
+  throw std::invalid_argument("unknown problem class '" + name +
+                              "' (expected S, W, A, B or C)");
+}
+
+model::ThreadPlacement parse_placement(const std::string& name) {
+  if (name == "os-default") return model::ThreadPlacement::OsDefault;
+  if (name == "spread") return model::ThreadPlacement::Spread;
+  if (name == "close") return model::ThreadPlacement::Close;
+  throw std::invalid_argument("unknown placement '" + name +
+                              "' (expected os-default, spread or close)");
+}
+
+/// Registry name, or a path to a .machine file (detected by the file
+/// existing); file-backed machines are structurally validated.
+arch::MachineModel resolve_machine(const std::string& name) {
+  std::ifstream in(name);
+  if (!in.good()) return arch::machine(name);
+  const arch::ParsedMachine pm = arch::parse_machine(in);
+  const auto issues = arch::validate(pm.model);
+  if (!issues.empty()) {
+    std::cerr << arch::format_issues(issues);
+    throw std::runtime_error("machine file '" + name + "' fails validation");
+  }
+  return pm.model;
+}
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  const auto value_of = [&](int& i, const std::string& flag) -> std::string {
+    if (i + 1 >= argc) {
+      throw std::invalid_argument("missing value for " + flag);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--machine") opts.machine = value_of(i, arg);
+    else if (arg == "--kernel") opts.kernel = value_of(i, arg);
+    else if (arg == "--class") opts.problem_class = value_of(i, arg);
+    else if (arg == "--cores") opts.cores = std::stoi(value_of(i, arg));
+    else if (arg == "--sweep") opts.sweep = true;
+    else if (arg == "--placement") opts.placement = parse_placement(value_of(i, arg));
+    else if (arg == "--trace") opts.trace_path = value_of(i, arg);
+    else if (arg == "--report") opts.report_path = value_of(i, arg);
+    else if (arg == "--metrics") opts.metrics_path = value_of(i, arg);
+    else {
+      std::cerr << "rvhpc-profile: unknown argument '" << arg << "'\n";
+      return false;
+    }
+  }
+  if (opts.machine.empty() || opts.kernel.empty()) {
+    std::cerr << "rvhpc-profile: --machine and --kernel are required\n";
+    return false;
+  }
+  return true;
+}
+
+/// The paper's run configuration for `m` (mirrors predict_paper_setup,
+/// which cannot take a placement).
+model::RunConfig paper_config(const arch::MachineModel& m,
+                              const model::WorkloadSignature& sig,
+                              int cores, model::ThreadPlacement placement) {
+  model::RunConfig cfg;
+  cfg.cores = cores;
+  cfg.compiler = model::paper_default_compiler(m);
+  if (sig.kernel == model::Kernel::CG && m.name == "sg2044") {
+    cfg.compiler.vectorise = false;  // §6 CG-on-RVV pathology
+  }
+  cfg.placement = placement;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (cli::handle_standard_flags(argc, argv, kTool, std::cout)) return 0;
+  Options opts;
+  try {
+    if (!parse_args(argc, argv, opts)) {
+      cli::print_help(std::cerr, kTool);
+      return 2;
+    }
+
+    const arch::MachineModel m = resolve_machine(opts.machine);
+    const model::Kernel kernel = parse_kernel(opts.kernel);
+    const model::ProblemClass cls = parse_class(opts.problem_class);
+    const model::WorkloadSignature sig = model::signature(kernel, cls);
+    const int cores = opts.cores > 0 ? opts.cores : m.cores;
+
+    obs::Registry::global().reset();
+    obs::SessionScope scope;  // tracing + metrics on for the run
+
+    if (opts.sweep) {
+      obs::ScopedSpan span("cli", "rvhpc-profile sweep");
+      for (int n : model::power_of_two_cores(m.cores)) {
+        (void)model::predict(m, sig, paper_config(m, sig, n, opts.placement));
+      }
+    } else {
+      obs::ScopedSpan span("cli", "rvhpc-profile predict");
+      (void)model::predict(m, sig, paper_config(m, sig, cores, opts.placement));
+    }
+
+    const std::string report = obs::attribution_report(scope.session());
+    std::cout << report;
+    if (opts.report_path) obs::write_file(*opts.report_path, report);
+
+    if (opts.trace_path) {
+      obs::write_file(*opts.trace_path, obs::chrome_trace_json(scope.session()));
+      std::cout << "\ntrace written to " << *opts.trace_path << "\n";
+    }
+
+    const obs::Registry& reg = obs::Registry::global();
+    if (opts.metrics_path) {
+      obs::write_file(*opts.metrics_path, reg.render_json());
+      std::cout << "metrics written to " << *opts.metrics_path << "\n";
+    } else {
+      std::cout << "\nmetrics:\n" << reg.render_text();
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "rvhpc-profile: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,173 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace rvhpc::obs {
+namespace {
+
+void append_args(std::ostringstream& os, const Args& args) {
+  os << "\"args\": {";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i) os << ", ";
+    os << "\"" << json::escape(args[i].first) << "\": \""
+       << json::escape(args[i].second) << "\"";
+  }
+  os << "}";
+}
+
+std::string fmt(double v, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceSession& s) {
+  std::ostringstream os;
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  ";
+  };
+
+  for (const Span& sp : s.spans()) {
+    sep();
+    os << "{\"name\": \"" << json::escape(sp.name) << "\", \"cat\": \""
+       << json::escape(sp.category) << "\", \"ph\": \"X\", \"ts\": "
+       << json::number(sp.start_us) << ", \"dur\": " << json::number(sp.dur_us)
+       << ", \"pid\": 1, \"tid\": " << sp.tid << ", ";
+    append_args(os, sp.args);
+    os << "}";
+  }
+
+  for (const Instant& in : s.instants()) {
+    sep();
+    os << "{\"name\": \"" << json::escape(in.name) << "\", \"cat\": \""
+       << json::escape(in.category) << "\", \"ph\": \"i\", \"s\": \"t\", "
+       << "\"ts\": " << json::number(in.ts_us) << ", \"pid\": 1, \"tid\": "
+       << in.tid << ", ";
+    append_args(os, in.args);
+    os << "}";
+  }
+
+  // Prediction records ride as instant events whose args carry the full
+  // attribution; "phases" is a nested object in modelled seconds at full
+  // precision so tools can verify the sum against "seconds".
+  for (const PredictionRecord& p : s.predictions()) {
+    sep();
+    os << "{\"name\": \"prediction " << json::escape(p.machine) << "/"
+       << json::escape(p.kernel) << "." << json::escape(p.problem_class)
+       << "@" << p.cores << "\", \"cat\": \"model\", \"ph\": \"i\", "
+       << "\"s\": \"p\", \"ts\": " << json::number(p.ts_us)
+       << ", \"pid\": 1, \"tid\": " << p.tid << ", \"args\": {"
+       << "\"machine\": \"" << json::escape(p.machine) << "\", "
+       << "\"kernel\": \"" << json::escape(p.kernel) << "\", "
+       << "\"class\": \"" << json::escape(p.problem_class) << "\", "
+       << "\"cores\": " << p.cores << ", "
+       << "\"ran\": " << (p.ran ? "true" : "false") << ", ";
+    if (!p.ran) {
+      os << "\"dnr_reason\": \"" << json::escape(p.dnr_reason) << "\", ";
+    }
+    os << "\"seconds\": " << json::number(p.seconds) << ", "
+       << "\"mops\": " << json::number(p.mops) << ", "
+       << "\"achieved_bw_gbs\": " << json::number(p.achieved_bw_gbs) << ", "
+       << "\"bottleneck\": \"" << json::escape(p.bottleneck) << "\", "
+       << "\"vectorised\": " << (p.vectorised ? "true" : "false") << ", "
+       << "\"vector_speedup\": " << json::number(p.vector_speedup) << ", "
+       << "\"phases\": {";
+    for (std::size_t i = 0; i < p.phases.size(); ++i) {
+      if (i) os << ", ";
+      os << "\"" << json::escape(p.phases[i].name)
+         << "\": " << json::number(p.phases[i].seconds);
+    }
+    os << "}, \"runner_up\": {";
+    for (std::size_t i = 0; i < p.runner_up.size(); ++i) {
+      if (i) os << ", ";
+      os << "\"" << json::escape(p.runner_up[i].first)
+         << "\": " << json::number(p.runner_up[i].second);
+    }
+    os << "}}}";
+  }
+
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return os.str();
+}
+
+std::string attribution_report(const TraceSession& s) {
+  std::ostringstream os;
+  const auto predictions = s.predictions();
+  const auto instants = s.instants();
+
+  os << "Bottleneck attribution — " << predictions.size() << " prediction"
+     << (predictions.size() == 1 ? "" : "s") << ", " << s.spans().size()
+     << " spans, " << instants.size() << " events\n";
+
+  for (const PredictionRecord& p : predictions) {
+    os << "\n" << p.machine << " / " << p.kernel << " class "
+       << p.problem_class << " @ " << p.cores << " core"
+       << (p.cores == 1 ? "" : "s") << "\n";
+    if (!p.ran) {
+      os << "  did not run: " << p.dnr_reason << "\n";
+      continue;
+    }
+    os << "  modelled: " << fmt(p.seconds, 6) << " s  (" << fmt(p.mops, 1)
+       << " Mop/s, " << fmt(p.achieved_bw_gbs, 1) << " GB/s streamed)\n"
+       << "  critical-path decomposition:\n";
+    for (const Phase& ph : p.phases) {
+      const double pct = p.seconds > 0.0 ? 100.0 * ph.seconds / p.seconds : 0.0;
+      os << "    " << ph.name << std::string(ph.name.size() < 18 ? 18 - ph.name.size() : 1, ' ')
+         << fmt(ph.seconds, 6) << " s  " << fmt(pct, 1) << "%\n";
+    }
+    os << "  saturated resource: " << p.bottleneck << "\n";
+    if (!p.runner_up.empty()) {
+      os << "  runner-up: " << p.runner_up.front().first << " at "
+         << fmt(100.0 * p.runner_up.front().second, 0)
+         << "% of the dominant resource's time\n";
+    }
+    os << "  vector: "
+       << (p.vectorised
+               ? "vectorised, blended speedup " + fmt(p.vector_speedup, 2) + "x"
+               : "scalar")
+       << "\n";
+  }
+
+  if (!instants.empty()) {
+    std::map<std::string, std::size_t> counts;
+    for (const Instant& in : instants) ++counts[in.category + "/" + in.name];
+    os << "\nevents:\n";
+    for (const auto& [key, n] : counts) {
+      os << "  " << key << " x" << n << "\n";
+    }
+    // Saturation events are the report's whole point: show their detail.
+    std::size_t shown = 0;
+    for (const Instant& in : instants) {
+      if (in.name != "dram-channel-saturation" || shown >= 8) continue;
+      ++shown;
+      os << "  dram-channel-saturation:";
+      for (const auto& [k, v] : in.args) os << " " << k << "=" << v;
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) throw std::runtime_error("cannot open '" + path + "' for writing");
+  out << content;
+  out.flush();
+  if (!out.good()) throw std::runtime_error("write to '" + path + "' failed");
+}
+
+}  // namespace rvhpc::obs

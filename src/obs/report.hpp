@@ -1,0 +1,27 @@
+#pragma once
+// rvhpc::obs — session exporters.
+//
+// Two views of one TraceSession: the Chrome trace_event JSON document
+// (load in chrome://tracing or Perfetto) and the human-readable
+// attribution report — the paper-style explanation of *why* each
+// prediction came out the way it did (per-phase ECM decomposition,
+// saturated resource, runner-up margins, saturation events).
+
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace rvhpc::obs {
+
+/// The session as a Chrome trace_event JSON document: spans as "X"
+/// complete events, instants as "i", prediction records as "i" events
+/// carrying the attribution as args.
+[[nodiscard]] std::string chrome_trace_json(const TraceSession& s);
+
+/// Plain-text bottleneck attribution of every prediction in the session.
+[[nodiscard]] std::string attribution_report(const TraceSession& s);
+
+/// Writes `content` to `path`; throws std::runtime_error when unwritable.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace rvhpc::obs

@@ -1,0 +1,111 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace rvhpc::obs {
+namespace {
+
+std::atomic<TraceSession*> g_session{nullptr};
+std::atomic<int> g_next_thread_id{0};
+
+double steady_ns() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+TraceSession::TraceSession() : t0_ns_(steady_ns()) {}
+
+double TraceSession::now_us() const { return (steady_ns() - t0_ns_) * 1e-3; }
+
+void TraceSession::add_span(Span s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(std::move(s));
+}
+
+void TraceSession::add_instant(std::string name, std::string category,
+                               Args args) {
+  Instant i{std::move(name), std::move(category), now_us(), thread_id(),
+            std::move(args)};
+  std::lock_guard<std::mutex> lock(mutex_);
+  instants_.push_back(std::move(i));
+}
+
+void TraceSession::add_prediction(PredictionRecord r) {
+  r.ts_us = now_us();
+  r.tid = thread_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  predictions_.push_back(std::move(r));
+}
+
+std::vector<Span> TraceSession::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::vector<Instant> TraceSession::instants() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return instants_;
+}
+
+std::vector<PredictionRecord> TraceSession::predictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return predictions_;
+}
+
+std::size_t TraceSession::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size() + instants_.size() + predictions_.size();
+}
+
+void set_session(TraceSession* s) {
+  g_session.store(s, std::memory_order_release);
+}
+
+TraceSession* session() { return g_session.load(std::memory_order_relaxed); }
+
+int thread_id() {
+  thread_local const int id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+SessionScope::SessionScope(bool enable_metrics)
+    : previous_(rvhpc::obs::session()), previous_metrics_(metrics_enabled()) {
+  set_session(&session_);
+  if (enable_metrics) set_metrics_enabled(true);
+}
+
+SessionScope::~SessionScope() {
+  set_session(previous_);
+  set_metrics_enabled(previous_metrics_);
+}
+
+ScopedSpan::ScopedSpan(const char* category, const char* name)
+    : session_(session()) {
+  if (!session_) return;
+  start_us_ = session_->now_us();
+  span_.name = name;
+  span_.category = category;
+  span_.tid = thread_id();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!session_) return;
+  span_.start_us = start_us_;
+  span_.dur_us = session_->now_us() - start_us_;
+  session_->add_span(std::move(span_));
+}
+
+void ScopedSpan::arg(std::string key, std::string value) {
+  if (!session_) return;
+  span_.args.emplace_back(std::move(key), std::move(value));
+}
+
+}  // namespace rvhpc::obs

@@ -1,0 +1,153 @@
+#pragma once
+// rvhpc::obs — structured prediction tracing.
+//
+// A TraceSession collects typed records from the model and memsim layers
+// while a prediction or sweep runs: timed spans (wall clock), instant
+// events (DRAM-channel saturation, vector-outcome decisions, memsim cache
+// snapshots) and PredictionRecords — the modelled per-phase ECM
+// decomposition of each predict() call, whose phase seconds sum to the
+// Prediction total.  Sessions export as Chrome trace_event JSON
+// (chrome://tracing, Perfetto) and as a human-readable attribution report
+// (see obs/report.hpp).
+//
+// Activation is process-global: instrumentation sites load one relaxed
+// atomic pointer and do nothing when no session is installed — the
+// null-sink fast path whose cost bench/obs_overhead bounds.  The installed
+// session must outlive every span opened while it was active.
+
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rvhpc::obs {
+
+/// Ordered key/value annotations attached to spans and events.
+using Args = std::vector<std::pair<std::string, std::string>>;
+
+/// A timed interval (Chrome "X" complete event).
+struct Span {
+  std::string name;
+  std::string category;  ///< "model", "sweep", "memsim", "cli"
+  double start_us = 0.0; ///< wall clock relative to session start
+  double dur_us = 0.0;
+  int tid = 0;           ///< dense per-process thread id
+  Args args;
+};
+
+/// A point-in-time event (Chrome "i" instant event).
+struct Instant {
+  std::string name;
+  std::string category;
+  double ts_us = 0.0;
+  int tid = 0;
+  Args args;
+};
+
+/// One modelled phase of a prediction's critical path.
+struct Phase {
+  std::string name;      ///< "compute", "stream-bandwidth", ...
+  double seconds = 0.0;
+};
+
+/// The attribution payload one predict() call emits: where the modelled
+/// time went and which resource the model says saturated.
+struct PredictionRecord {
+  std::string machine;
+  std::string kernel;
+  std::string problem_class;
+  int cores = 1;
+  bool ran = true;
+  std::string dnr_reason;
+  double seconds = 0.0;
+  double mops = 0.0;
+  double achieved_bw_gbs = 0.0;
+  /// ECM decomposition; sums to `seconds` (within float rounding).
+  std::vector<Phase> phases;
+  std::string bottleneck;
+  /// Non-dominant resources by raw time, as a fraction of the dominant
+  /// resource's raw time, largest first — the "how close was it" margin.
+  std::vector<std::pair<std::string, double>> runner_up;
+  bool vectorised = false;
+  double vector_speedup = 1.0;
+  double ts_us = 0.0;  ///< stamped by TraceSession::add_prediction
+  int tid = 0;         ///< stamped by TraceSession::add_prediction
+};
+
+/// Thread-safe event collector.  Emitters append under a mutex; accessors
+/// return snapshots.  Timestamps are microseconds since construction.
+class TraceSession {
+ public:
+  TraceSession();
+
+  /// Microseconds of wall clock since the session started.
+  [[nodiscard]] double now_us() const;
+
+  void add_span(Span s);
+  void add_instant(std::string name, std::string category, Args args = {});
+  void add_prediction(PredictionRecord r);
+
+  [[nodiscard]] std::vector<Span> spans() const;
+  [[nodiscard]] std::vector<Instant> instants() const;
+  [[nodiscard]] std::vector<PredictionRecord> predictions() const;
+  /// Total records of all three kinds.
+  [[nodiscard]] std::size_t event_count() const;
+
+ private:
+  double t0_ns_;
+  mutable std::mutex mutex_;
+  std::vector<Span> spans_;
+  std::vector<Instant> instants_;
+  std::vector<PredictionRecord> predictions_;
+};
+
+/// Installs `s` as the process-wide active session (nullptr deactivates).
+/// Not owning; pair with SessionScope for RAII.
+void set_session(TraceSession* s);
+
+/// The active session, or nullptr when tracing is off.  One relaxed
+/// atomic load — safe to call on hot paths.
+[[nodiscard]] TraceSession* session();
+
+/// Dense id of the calling thread, stable for the process lifetime.
+[[nodiscard]] int thread_id();
+
+/// RAII activation: owns a session, installs it for the scope's lifetime
+/// and restores the previous session (and metrics enablement) on exit.
+class SessionScope {
+ public:
+  explicit SessionScope(bool enable_metrics = true);
+  ~SessionScope();
+  SessionScope(const SessionScope&) = delete;
+  SessionScope& operator=(const SessionScope&) = delete;
+
+  [[nodiscard]] TraceSession& session() { return session_; }
+
+ private:
+  TraceSession session_;
+  TraceSession* previous_;
+  bool previous_metrics_;
+};
+
+/// RAII span: captures the active session at construction and emits a
+/// complete span on destruction.  When tracing is off it holds only a
+/// null pointer and both construction and destruction are no-ops.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* category, const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// True when a session was active at construction; guard arg() calls
+  /// whose value formatting is itself costly.
+  [[nodiscard]] bool active() const { return session_ != nullptr; }
+  void arg(std::string key, std::string value);
+
+ private:
+  TraceSession* session_;
+  double start_us_ = 0.0;
+  Span span_;
+};
+
+}  // namespace rvhpc::obs

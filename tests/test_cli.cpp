@@ -1,0 +1,68 @@
+// Tests for rvhpc::cli — the shared --help/--version plumbing used by
+// rvhpc-lint and rvhpc-profile.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+using namespace rvhpc;
+
+namespace {
+
+const cli::ToolInfo kTool{
+    "rvhpc-test", "exercises the shared CLI helpers",
+    "usage: rvhpc-test [options]\n  --frob   frob the knob"};
+
+/// Runs handle_standard_flags over a writable copy of `argv`.
+bool run_flags(std::vector<std::string> argv, std::ostream& os) {
+  std::vector<char*> ptrs;
+  ptrs.reserve(argv.size());
+  for (std::string& a : argv) ptrs.push_back(a.data());
+  return cli::handle_standard_flags(static_cast<int>(ptrs.size()), ptrs.data(),
+                                    kTool, os);
+}
+
+}  // namespace
+
+TEST(CliVersion, LooksLikeSemver) {
+  const std::string v = cli::version_string();
+  ASSERT_FALSE(v.empty());
+  EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(v.front()))) << v;
+  EXPECT_NE(v.find('.'), std::string::npos) << v;
+}
+
+TEST(CliVersion, PrintFormatsNameAndVersion) {
+  std::ostringstream os;
+  cli::print_version(os, kTool);
+  EXPECT_EQ(os.str(), "rvhpc-test (rvhpc " + cli::version_string() + ")\n");
+}
+
+TEST(CliHelp, ContainsOneLinerAndUsage) {
+  std::ostringstream os;
+  cli::print_help(os, kTool);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("rvhpc-test"), std::string::npos);
+  EXPECT_NE(out.find("exercises the shared CLI helpers"), std::string::npos);
+  EXPECT_NE(out.find("--frob   frob the knob"), std::string::npos);
+}
+
+TEST(CliFlags, HandlesHelpAndVersionAnywhereInArgv) {
+  for (const char* flag : {"--help", "-h", "--version"}) {
+    std::ostringstream os;
+    EXPECT_TRUE(run_flags({"rvhpc-test", "--machine", "sg2044", flag}, os))
+        << flag;
+    EXPECT_FALSE(os.str().empty()) << flag;
+  }
+}
+
+TEST(CliFlags, IgnoresOrdinaryArguments) {
+  std::ostringstream os;
+  EXPECT_FALSE(run_flags({"rvhpc-test"}, os));
+  EXPECT_FALSE(run_flags({"rvhpc-test", "--machine", "sg2044"}, os));
+  EXPECT_FALSE(run_flags({"rvhpc-test", "--helpful", "-hh"}, os));
+  EXPECT_TRUE(os.str().empty());
+}

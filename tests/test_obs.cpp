@@ -1,0 +1,360 @@
+// Tests for rvhpc::obs — the tracing/metrics observability layer.
+//
+// Covers the subsystem contract: the null sink really is a no-op, trace
+// JSON round-trips through the bundled parser, histogram percentiles are
+// sane, concurrent emission from a threaded sweep is safe, and — the
+// attribution invariant everything downstream relies on — a prediction's
+// phase seconds sum to its total.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "arch/registry.hpp"
+#include "memsim/hierarchy.hpp"
+#include "model/predictor.hpp"
+#include "model/signatures.hpp"
+#include "model/sweep.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+using namespace rvhpc;
+
+namespace {
+
+model::Prediction predict_cg64() {
+  const arch::MachineModel& m = arch::machine(arch::MachineId::Sg2044);
+  return model::predict_paper_setup(
+      m, model::signature(model::Kernel::CG, model::ProblemClass::C), 64);
+}
+
+}  // namespace
+
+// --- null sink -------------------------------------------------------------
+
+TEST(ObsNullSink, NoSessionMeansNoRecordsAndNoMetrics) {
+  obs::set_session(nullptr);
+  obs::set_metrics_enabled(false);
+  obs::Registry::global().reset();
+
+  obs::Counter& calls =
+      obs::Registry::global().counter("rvhpc_predict_calls_total");
+  const auto before = calls.value();
+
+  {
+    obs::ScopedSpan span("test", "should-vanish");
+    span.arg("k", "v");
+  }
+  (void)predict_cg64();
+
+  EXPECT_EQ(calls.value(), before) << "metrics advanced while disabled";
+  EXPECT_EQ(obs::session(), nullptr);
+  EXPECT_EQ(obs::timer_target("rvhpc_predict_wall_seconds"), nullptr);
+}
+
+TEST(ObsNullSink, NullPathIsCheapEnoughToCallEverywhere) {
+  obs::set_session(nullptr);
+  obs::set_metrics_enabled(false);
+  // A loose functional bound (the strict 5% perf gate lives in
+  // bench/obs_overhead): a million null-path hits must be effectively
+  // instant, which catches an accidental allocation or lock on the path.
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 1'000'000; ++i) {
+    obs::ScopedTimer timer(obs::timer_target("rvhpc_predict_wall_seconds"));
+    obs::ScopedSpan span("model", "predict");
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(secs, 2.0);
+}
+
+TEST(ObsSession, ScopeInstallsAndRestores) {
+  obs::set_session(nullptr);
+  obs::set_metrics_enabled(false);
+  {
+    obs::SessionScope scope;
+    EXPECT_EQ(obs::session(), &scope.session());
+    EXPECT_TRUE(obs::metrics_enabled());
+    {
+      obs::SessionScope inner(/*enable_metrics=*/false);
+      EXPECT_EQ(obs::session(), &inner.session());
+      EXPECT_TRUE(obs::metrics_enabled()) << "inner scope must not disable";
+    }
+    EXPECT_EQ(obs::session(), &scope.session());
+  }
+  EXPECT_EQ(obs::session(), nullptr);
+  EXPECT_FALSE(obs::metrics_enabled());
+}
+
+// --- attribution invariant -------------------------------------------------
+
+TEST(ObsAttribution, PhasesSumToPredictionTotal) {
+  obs::SessionScope scope;
+  const model::Prediction p = predict_cg64();
+  ASSERT_TRUE(p.ran);
+
+  const auto records = scope.session().predictions();
+  ASSERT_EQ(records.size(), 1u);
+  const obs::PredictionRecord& r = records.front();
+  EXPECT_EQ(r.machine, "sg2044");
+  EXPECT_EQ(r.kernel, "CG");
+  EXPECT_EQ(r.cores, 64);
+  ASSERT_EQ(r.phases.size(), 4u);
+
+  double sum = 0.0;
+  for (const obs::Phase& ph : r.phases) sum += ph.seconds;
+  EXPECT_NEAR(sum, p.seconds, 1e-9);
+  EXPECT_DOUBLE_EQ(r.seconds, p.seconds);
+  EXPECT_EQ(r.bottleneck, to_string(p.breakdown.dominant));
+
+  // Runner-up margins: the other three resources, every one at most 100%
+  // of the dominant, sorted descending.
+  ASSERT_EQ(r.runner_up.size(), 3u);
+  for (std::size_t i = 0; i < r.runner_up.size(); ++i) {
+    EXPECT_LE(r.runner_up[i].second, 1.0 + 1e-12);
+    if (i > 0) {
+      EXPECT_GE(r.runner_up[i - 1].second, r.runner_up[i].second);
+    }
+  }
+}
+
+TEST(ObsAttribution, PhaseSumHoldsAcrossMachinesKernelsAndCores) {
+  obs::SessionScope scope;
+  for (arch::MachineId id : arch::hpc_machines()) {
+    for (model::Kernel k : {model::Kernel::IS, model::Kernel::MG,
+                            model::Kernel::EP, model::Kernel::CG,
+                            model::Kernel::FT}) {
+      (void)model::scale_cores(id, k, model::ProblemClass::C);
+    }
+  }
+  const auto records = scope.session().predictions();
+  ASSERT_GT(records.size(), 100u);
+  for (const obs::PredictionRecord& r : records) {
+    if (!r.ran) continue;
+    double sum = 0.0;
+    for (const obs::Phase& ph : r.phases) sum += ph.seconds;
+    EXPECT_NEAR(sum, r.seconds, 1e-9)
+        << r.machine << "/" << r.kernel << "@" << r.cores;
+  }
+}
+
+TEST(ObsAttribution, DnrPredictionsAreRecordedWithReason) {
+  obs::SessionScope scope;
+  const arch::MachineModel& d1 = arch::machine(arch::MachineId::AllwinnerD1);
+  const model::Prediction p = model::predict_paper_setup(
+      d1, model::signature(model::Kernel::FT, model::ProblemClass::B), 1);
+  ASSERT_FALSE(p.ran);
+  const auto records = scope.session().predictions();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_FALSE(records.front().ran);
+  EXPECT_EQ(records.front().dnr_reason, p.dnr_reason);
+  EXPECT_TRUE(records.front().phases.empty());
+}
+
+// --- trace JSON round-trip -------------------------------------------------
+
+TEST(ObsTraceJson, RoundTripsThroughParser) {
+  obs::SessionScope scope;
+  (void)predict_cg64();
+  (void)model::scale_cores(arch::MachineId::Sg2042, model::Kernel::IS,
+                           model::ProblemClass::C);
+
+  const std::string doc = obs::chrome_trace_json(scope.session());
+  const obs::json::Value v = obs::json::parse(doc);
+  ASSERT_TRUE(v.is(obs::json::Value::Type::Object));
+
+  const obs::json::Value* events = v.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is(obs::json::Value::Type::Array));
+  EXPECT_EQ(events->array.size(), scope.session().event_count());
+
+  std::size_t predictions = 0;
+  for (const obs::json::Value& e : events->array) {
+    const obs::json::Value* name = e.find("name");
+    const obs::json::Value* ph = e.find("ph");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(ph, nullptr);
+    EXPECT_TRUE(ph->str == "X" || ph->str == "i");
+    if (ph->str == "X") {
+      EXPECT_GE(e.find("dur")->num, 0.0);
+    }
+    if (name->str.rfind("prediction ", 0) == 0) {
+      ++predictions;
+      const obs::json::Value* args = e.find("args");
+      ASSERT_NE(args, nullptr);
+      const obs::json::Value* ran = args->find("ran");
+      ASSERT_NE(ran, nullptr);
+      if (!ran->boolean) continue;
+      // The acceptance-criterion check, via the parsed document: phase
+      // seconds sum to the prediction total.
+      const obs::json::Value* phases = args->find("phases");
+      ASSERT_NE(phases, nullptr);
+      double sum = 0.0;
+      for (const auto& [k, val] : phases->object) sum += val.num;
+      EXPECT_NEAR(sum, args->find("seconds")->num, 1e-9) << name->str;
+    }
+  }
+  EXPECT_EQ(predictions, scope.session().predictions().size());
+}
+
+TEST(ObsTraceJson, EscapesAwkwardStrings) {
+  obs::TraceSession s;
+  s.add_instant("quote\"back\\slash\nnewline\ttab\x01ctl", "cat", {{"k", "v\"w"}});
+  const obs::json::Value v = obs::json::parse(obs::chrome_trace_json(s));
+  const auto& ev = v.find("traceEvents")->array.front();
+  EXPECT_EQ(ev.find("name")->str, "quote\"back\\slash\nnewline\ttab\x01ctl");
+  EXPECT_EQ(ev.find("args")->find("k")->str, "v\"w");
+}
+
+TEST(ObsJsonParser, RejectsMalformedDocuments) {
+  EXPECT_THROW(obs::json::parse("{"), std::runtime_error);
+  EXPECT_THROW(obs::json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(obs::json::parse("{\"a\": 1} trailing"), std::runtime_error);
+  EXPECT_THROW(obs::json::parse("tru"), std::runtime_error);
+  EXPECT_THROW(obs::json::parse(""), std::runtime_error);
+}
+
+// --- metrics ---------------------------------------------------------------
+
+TEST(ObsMetrics, HistogramPercentiles) {
+  std::vector<double> bounds;
+  for (double b = 10.0; b <= 1000.0; b += 10.0) bounds.push_back(b);
+  obs::Histogram h(bounds);
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_NEAR(h.sum(), 500500.0, 1e-9);
+  // With 10-wide buckets the interpolation error is below one bucket.
+  EXPECT_NEAR(h.percentile(50), 500.0, 10.0);
+  EXPECT_NEAR(h.percentile(90), 900.0, 10.0);
+  EXPECT_NEAR(h.percentile(99), 990.0, 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 1000.0);
+}
+
+TEST(ObsMetrics, HistogramOverflowBucketClampsToObservedMax) {
+  obs::Histogram h({1.0, 2.0});
+  h.observe(5.0);
+  h.observe(7.0);
+  // The overflow bucket has no upper bound, so interpolation must use the
+  // observed extremes instead of running off to infinity.
+  EXPECT_DOUBLE_EQ(h.percentile(100), 7.0);
+  EXPECT_NEAR(h.percentile(99), 7.0, 0.1);
+  EXPECT_NEAR(h.percentile(1), 5.0, 2.0);
+  EXPECT_LE(h.percentile(99), 7.0);
+  EXPECT_GE(h.percentile(1), 5.0);
+}
+
+TEST(ObsMetrics, RegistryCountsPredictsAndRendersBothFormats) {
+  obs::Registry::global().reset();
+  obs::SessionScope scope;
+  (void)predict_cg64();
+  (void)predict_cg64();
+
+  EXPECT_EQ(
+      obs::Registry::global().counter("rvhpc_predict_calls_total").value(), 2u);
+  EXPECT_EQ(
+      obs::Registry::global().histogram("rvhpc_predict_wall_seconds").count(),
+      2u);
+
+  const std::string text = obs::Registry::global().render_text();
+  EXPECT_NE(text.find("rvhpc_predict_calls_total 2"), std::string::npos);
+
+  const obs::json::Value v =
+      obs::json::parse(obs::Registry::global().render_json());
+  const obs::json::Value* calls = v.find("rvhpc_predict_calls_total");
+  ASSERT_NE(calls, nullptr);
+  EXPECT_DOUBLE_EQ(calls->find("value")->num, 2.0);
+  EXPECT_EQ(calls->find("type")->str, "counter");
+}
+
+TEST(ObsMetrics, ResetZeroesButKeepsReferencesValid) {
+  obs::Registry::global().reset();
+  obs::Counter& c = obs::Registry::global().counter("test_counter_total");
+  c.add(41);
+  obs::Registry::global().reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(1);
+  EXPECT_EQ(obs::Registry::global().counter("test_counter_total").value(), 1u);
+}
+
+// --- memsim emission -------------------------------------------------------
+
+TEST(ObsMemsim, HierarchyEmitsCacheStatsAndCountsAccesses) {
+  obs::Registry::global().reset();
+  obs::SessionScope scope;
+  const arch::MachineModel& m = arch::machine(arch::MachineId::Sg2044);
+  memsim::Hierarchy h(m, 2);
+  // A stream long enough to cross the 4096-access event stride.
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    (void)h.access(static_cast<int>(i % 2), i * 64, false);
+  }
+  std::size_t cache_stats = 0;
+  for (const obs::Instant& in : scope.session().instants()) {
+    if (in.name == "cache-stats") ++cache_stats;
+  }
+  EXPECT_GE(cache_stats, 1u);
+  EXPECT_EQ(obs::Registry::global()
+                .counter("rvhpc_memsim_accesses_total")
+                .value(),
+            5000u);
+}
+
+// --- concurrency -----------------------------------------------------------
+
+TEST(ObsConcurrency, ThreadedSweepEmissionIsSafeAndComplete) {
+  obs::SessionScope scope;
+  const auto ids = arch::hpc_machines();
+  std::vector<std::thread> threads;
+  threads.reserve(ids.size());
+  for (arch::MachineId id : ids) {
+    threads.emplace_back([id] {
+      (void)model::scale_cores(id, model::Kernel::MG, model::ProblemClass::C);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::size_t expected_points = 0;
+  for (arch::MachineId id : ids) {
+    expected_points += model::power_of_two_cores(arch::machine(id).cores).size();
+  }
+  EXPECT_EQ(scope.session().predictions().size(), expected_points);
+
+  // Every record intact (no torn strings/phases) and the JSON of the
+  // concurrent session still parses.
+  for (const obs::PredictionRecord& r : scope.session().predictions()) {
+    EXPECT_FALSE(r.machine.empty());
+    EXPECT_EQ(r.kernel, "MG");
+    if (r.ran) {
+      EXPECT_EQ(r.phases.size(), 4u);
+    }
+  }
+  EXPECT_NO_THROW(
+      (void)obs::json::parse(obs::chrome_trace_json(scope.session())));
+}
+
+// --- report ----------------------------------------------------------------
+
+TEST(ObsReport, AttributionNamesSaturatedResourceAndDnr) {
+  obs::SessionScope scope;
+  const model::Prediction p = predict_cg64();
+  const arch::MachineModel& d1 = arch::machine(arch::MachineId::AllwinnerD1);
+  (void)model::predict_paper_setup(
+      d1, model::signature(model::Kernel::FT, model::ProblemClass::B), 1);
+
+  const std::string report = obs::attribution_report(scope.session());
+  EXPECT_NE(report.find("saturated resource: " +
+                        to_string(p.breakdown.dominant)),
+            std::string::npos);
+  EXPECT_NE(report.find("runner-up:"), std::string::npos);
+  EXPECT_NE(report.find("did not run:"), std::string::npos);
+  EXPECT_NE(report.find("sg2044 / CG class C @ 64 cores"), std::string::npos);
+}
