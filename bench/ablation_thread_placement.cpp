@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "arch/registry.hpp"
+#include "engine/batch.hpp"
 #include "model/predictor.hpp"
 #include "model/signatures.hpp"
 #include "report/table.hpp"
@@ -23,8 +24,9 @@ double mg(arch::MachineId id, int cores, ThreadPlacement placement) {
   cfg.cores = cores;
   cfg.compiler = model::paper_default_compiler(arch::machine(id));
   cfg.placement = placement;
-  return predict(arch::machine(id), model::signature(Kernel::MG, ProblemClass::C),
-                 cfg)
+  return engine::default_evaluator()
+      .evaluate_one(arch::machine(id),
+                    model::signature(Kernel::MG, ProblemClass::C), cfg)
       .mops;
 }
 

@@ -10,6 +10,7 @@
 #include <iostream>
 #include <vector>
 
+#include "engine/batch.hpp"
 #include "model/paper_reference.hpp"
 #include "model/sweep.hpp"
 #include "report/table.hpp"
@@ -61,59 +62,68 @@ void print_deltas() {
 
 std::string mname(MachineId id) { return arch::machine(id).name; }
 
+/// Engine-backed equivalent of model::at_cores — same paper run config,
+/// routed through the shared evaluator so repeated cells memoise and
+/// `--jobs=N` batching applies.
+model::Prediction eval(MachineId id, Kernel k, ProblemClass cls, int cores) {
+  const arch::MachineModel& m = arch::machine(id);
+  return engine::default_evaluator().evaluate_one(
+      m, model::signature(k, cls), model::paper_run_config(m, k, cores));
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  engine::apply_jobs_flag(argc, argv);
   // ---- Table 2: single-core class B across RISC-V machines ----------------
   for (const auto& row : model::paper::table2()) {
     if (!row.mops) continue;
-    const auto p = model::at_cores(row.machine, row.kernel, ProblemClass::B, 1);
+    const auto p = eval(row.machine, row.kernel, ProblemClass::B, 1);
     check("T2 " + to_string(row.kernel) + " " + mname(row.machine), *row.mops,
           p.ran ? p.mops : 0.0);
   }
   // FT on the D1 must be DNR.
   {
-    const auto p = model::at_cores(MachineId::AllwinnerD1, Kernel::FT,
-                                   ProblemClass::B, 1);
+    const auto p = eval(MachineId::AllwinnerD1, Kernel::FT, ProblemClass::B, 1);
     check("T2 FT allwinner-d1 DNR(1=yes)", 1.0, p.ran ? 0.0 : 1.0);
   }
 
   // ---- Tables 3/4: SG2044 vs SG2042, class C ------------------------------
   for (const auto& row : model::paper::table3_single_core()) {
     check("T3 " + to_string(row.kernel) + " sg2044 1c", row.sg2044_mops,
-          model::at_cores(MachineId::Sg2044, row.kernel, ProblemClass::C, 1).mops);
+          eval(MachineId::Sg2044, row.kernel, ProblemClass::C, 1).mops);
     check("T3 " + to_string(row.kernel) + " sg2042 1c", row.sg2042_mops,
-          model::at_cores(MachineId::Sg2042, row.kernel, ProblemClass::C, 1).mops);
+          eval(MachineId::Sg2042, row.kernel, ProblemClass::C, 1).mops);
   }
   for (const auto& row : model::paper::table4_64_cores()) {
     check("T4 " + to_string(row.kernel) + " sg2044 64c", row.sg2044_mops,
-          model::at_cores(MachineId::Sg2044, row.kernel, ProblemClass::C, 64).mops);
+          eval(MachineId::Sg2044, row.kernel, ProblemClass::C, 64).mops);
     check("T4 " + to_string(row.kernel) + " sg2042 64c", row.sg2042_mops,
-          model::at_cores(MachineId::Sg2042, row.kernel, ProblemClass::C, 64).mops);
+          eval(MachineId::Sg2042, row.kernel, ProblemClass::C, 64).mops);
   }
 
   // ---- Figure 1: STREAM copy ----------------------------------------------
   {
-    const auto s44 = model::at_cores(MachineId::Sg2044, Kernel::StreamCopy,
-                                     ProblemClass::C, 64);
-    const auto s42 = model::at_cores(MachineId::Sg2042, Kernel::StreamCopy,
-                                     ProblemClass::C, 64);
+    const auto s44 =
+        eval(MachineId::Sg2044, Kernel::StreamCopy, ProblemClass::C, 64);
+    const auto s42 =
+        eval(MachineId::Sg2042, Kernel::StreamCopy, ProblemClass::C, 64);
     check("F1 copy BW ratio 64c", 3.2, s44.achieved_bw_gbs / s42.achieved_bw_gbs);
-    const auto a44 = model::at_cores(MachineId::Sg2044, Kernel::StreamCopy,
-                                     ProblemClass::C, 8);
-    const auto a42 = model::at_cores(MachineId::Sg2042, Kernel::StreamCopy,
-                                     ProblemClass::C, 8);
+    const auto a44 =
+        eval(MachineId::Sg2044, Kernel::StreamCopy, ProblemClass::C, 8);
+    const auto a42 =
+        eval(MachineId::Sg2042, Kernel::StreamCopy, ProblemClass::C, 8);
     check("F1 copy BW ratio 8c", 1.0, a44.achieved_bw_gbs / a42.achieved_bw_gbs);
   }
 
   // ---- Figure 2 prose: single-core IS vs other ISAs ------------------------
   {
-    const double sg = model::at_cores(MachineId::Sg2044, Kernel::IS,
-                                      ProblemClass::C, 1).mops;
+    const double sg =
+        eval(MachineId::Sg2044, Kernel::IS, ProblemClass::C, 1).mops;
     check("F2 IS epyc/sg2044 1c", 2.0,
-          model::at_cores(MachineId::Epyc7742, Kernel::IS, ProblemClass::C, 1).mops / sg);
+          eval(MachineId::Epyc7742, Kernel::IS, ProblemClass::C, 1).mops / sg);
     check("F2 IS skylake/sg2044 1c", 3.0,
-          model::at_cores(MachineId::Xeon8170, Kernel::IS, ProblemClass::C, 1).mops / sg);
+          eval(MachineId::Xeon8170, Kernel::IS, ProblemClass::C, 1).mops / sg);
   }
 
   // ---- Table 6: pseudo-apps, times faster than SG2044 ----------------------
@@ -138,7 +148,9 @@ int main() {
     model::RunConfig cfg;
     cfg.cores = cores;
     cfg.compiler = {id, vec};
-    return predict(sg2044, model::signature(k, ProblemClass::C), cfg).mops;
+    return engine::default_evaluator()
+        .evaluate_one(sg2044, model::signature(k, ProblemClass::C), cfg)
+        .mops;
   };
   for (const auto& row : model::paper::table7_single_core()) {
     const std::string k = to_string(row.kernel);

@@ -8,6 +8,7 @@
 #include <optional>
 #include <string>
 
+#include "engine/batch.hpp"
 #include "model/sweep.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -22,6 +23,7 @@ using model::Kernel;
 using model::ProblemClass;
 
 int main(int argc, char** argv) {
+  engine::apply_jobs_flag(argc, argv);
   std::optional<std::string> trace_path;
   bool host = false;
   for (int i = 1; i < argc; ++i) {

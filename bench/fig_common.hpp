@@ -8,6 +8,8 @@
 #include <optional>
 #include <string>
 
+#include "engine/batch.hpp"
+#include "engine/request.hpp"
 #include "model/sweep.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -26,11 +28,30 @@ inline void print_scaling_figure(const std::string& title, model::Kernel kernel,
   std::cout << title << "\n"
             << std::string(title.size(), '=') << "\n\n";
 
+  // All five machines' curves as ONE engine batch: every (machine, cores)
+  // cell is a request, evaluated across the default evaluator's pool with
+  // results in submission order — per-machine slices stay contiguous.
   const auto& machines = arch::hpc_machines();
+  engine::RequestSet set;
+  for (arch::MachineId id : machines) {
+    const auto& m = arch::machine(id);
+    set.add_scaling(m, kernel, ProblemClass::C,
+                    model::paper_run_config(m, kernel, /*cores=*/1),
+                    arch::name_of(id));
+  }
+  const auto results = engine::default_evaluator().evaluate(set);
+
   std::vector<model::ScalingSeries> series;
   series.reserve(machines.size());
+  std::size_t cursor = 0;
   for (arch::MachineId id : machines) {
-    series.push_back(model::scale_cores(id, kernel, ProblemClass::C));
+    model::ScalingSeries s{id, kernel, ProblemClass::C, {}};
+    const std::size_t n = model::power_of_two_cores(arch::machine(id).cores).size();
+    for (std::size_t i = 0; i < n; ++i, ++cursor) {
+      s.points.push_back({set.requests()[cursor].config().cores,
+                          results[cursor].prediction});
+    }
+    series.push_back(std::move(s));
   }
 
   std::vector<std::string> header = {"cores"};
@@ -91,9 +112,11 @@ inline void print_scaling_figure(const std::string& title, model::Kernel kernel,
 
 /// print_scaling_figure plus standard figure-binary argv handling: a
 /// --trace=<file> flag wraps the whole figure in an obs session and dumps
-/// the Chrome trace (per-point attribution records included) at the end.
+/// the Chrome trace (per-point attribution records included) at the end,
+/// and --jobs=N sizes the engine's worker pool for the batch evaluation.
 inline int run_scaling_figure(int argc, char** argv, const std::string& title,
                               model::Kernel kernel, const std::string& notes) {
+  engine::apply_jobs_flag(argc, argv);
   std::optional<std::string> trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];

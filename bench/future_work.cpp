@@ -9,6 +9,8 @@
 
 #include <iostream>
 
+#include "engine/batch.hpp"
+#include "engine/request.hpp"
 #include "hpc/hpcg.hpp"
 #include "hpc/hpl.hpp"
 #include "model/sweep.hpp"
@@ -20,18 +22,26 @@ using model::CompilerId;
 using model::Kernel;
 using model::ProblemClass;
 
-int main() {
+int main(int argc, char** argv) {
+  engine::apply_jobs_flag(argc, argv);
   std::cout << "§7 future work — HPL / HPCG / LLVM, modelled ahead of the "
                "paper\n\n";
 
   // --- 1. cross-machine predictions ----------------------------------------
   report::Table t({"machine", "cores", "HPL Mop/s", "HPCG Mop/s",
                    "HPL bottleneck", "HPCG bottleneck"});
+  engine::RequestSet apps;
   for (MachineId id : arch::hpc_machines()) {
     const auto& m = arch::machine(id);
-    const auto hpl = model::at_cores(id, Kernel::Hpl, ProblemClass::C, m.cores);
-    const auto hpcg =
-        model::at_cores(id, Kernel::Hpcg, ProblemClass::C, m.cores);
+    apps.add_paper_setup(id, Kernel::Hpl, ProblemClass::C, m.cores);
+    apps.add_paper_setup(id, Kernel::Hpcg, ProblemClass::C, m.cores);
+  }
+  const auto app_results = engine::default_evaluator().evaluate(apps);
+  std::size_t ai = 0;
+  for (MachineId id : arch::hpc_machines()) {
+    const auto& m = arch::machine(id);
+    const model::Prediction& hpl = app_results[ai++].prediction;
+    const model::Prediction& hpcg = app_results[ai++].prediction;
     t.add_row({m.name, std::to_string(m.cores), report::fmt(hpl.mops, 0),
                report::fmt(hpcg.mops, 0), to_string(hpl.breakdown.dominant),
                to_string(hpcg.breakdown.dominant)});
@@ -45,15 +55,24 @@ int main() {
   // --- 2. LLVM vs GCC on the SG2044 ----------------------------------------
   report::Table t2({"kernel", "GCC 15.2", "Clang/LLVM 17", "LLVM gain"});
   const auto& sg = arch::machine(MachineId::Sg2044);
-  for (Kernel k : {Kernel::MG, Kernel::CG, Kernel::FT, Kernel::BT, Kernel::Hpl}) {
-    model::RunConfig gcc{1, {CompilerId::Gcc15_2, true},
-                         model::ThreadPlacement::OsDefault};
-    model::RunConfig llvm{1, {CompilerId::Clang17, true},
-                          model::ThreadPlacement::OsDefault};
-    const double g = predict(sg, model::signature(k, ProblemClass::C), gcc).mops;
-    const double l = predict(sg, model::signature(k, ProblemClass::C), llvm).mops;
-    t2.add_row({to_string(k), report::fmt(g, 1), report::fmt(l, 1),
-                report::fmt_ratio(l, g)});
+  const std::vector<Kernel> llvm_kernels = {Kernel::MG, Kernel::CG, Kernel::FT,
+                                            Kernel::BT, Kernel::Hpl};
+  // Both compiler columns for every kernel, as one engine batch.
+  engine::RequestSet ablation;
+  const model::RunConfig gcc{1, {CompilerId::Gcc15_2, true},
+                             model::ThreadPlacement::OsDefault};
+  const model::RunConfig llvm{1, {CompilerId::Clang17, true},
+                              model::ThreadPlacement::OsDefault};
+  for (Kernel k : llvm_kernels) {
+    ablation.add(sg, model::signature(k, ProblemClass::C), gcc);
+    ablation.add(sg, model::signature(k, ProblemClass::C), llvm);
+  }
+  const auto compared = engine::default_evaluator().evaluate(ablation);
+  for (std::size_t i = 0; i < llvm_kernels.size(); ++i) {
+    const double g = compared[2 * i].prediction.mops;
+    const double l = compared[2 * i + 1].prediction.mops;
+    t2.add_row({to_string(llvm_kernels[i]), report::fmt(g, 1),
+                report::fmt(l, 1), report::fmt_ratio(l, g)});
   }
   std::cout << t2.render()
             << "\nPrediction: LLVM's more mature RVV backend buys a few "

@@ -1,11 +1,17 @@
 // Microbenchmarks (google-benchmark) of the library's own machinery:
-// predictor evaluation cost, cache-simulator throughput, DRAM model, NPB
-// class-S kernel rates and STREAM on the host.  These measure this
-// repository's code, not the paper's machines.
+// predictor evaluation cost, engine batch throughput, cache-simulator
+// throughput, DRAM model, NPB class-S kernel rates and STREAM on the
+// host.  These measure this repository's code, not the paper's machines.
+//
+// rvhpc-lint: disable=B001 — BM_PredictSingleCall measures the raw
+// predict() hot path on purpose; routing it through the engine would
+// fold pool and cache overhead into the number it exists to isolate.
 
 #include <benchmark/benchmark.h>
 
 #include "arch/registry.hpp"
+#include "engine/batch.hpp"
+#include "engine/request.hpp"
 #include "memsim/cache.hpp"
 #include "memsim/profile.hpp"
 #include "memsim/trace.hpp"
@@ -30,6 +36,29 @@ void BM_PredictSingleCall(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PredictSingleCall);
+
+void BM_EngineBatchEvaluate(benchmark::State& state) {
+  // All five HPC machines' MG scaling curves in one RequestSet; the cache
+  // is disabled so every iteration measures real evaluation work at the
+  // requested pool size.
+  engine::RequestSet set;
+  for (arch::MachineId id : arch::hpc_machines()) {
+    const auto& m = arch::machine(id);
+    set.add_scaling(m, model::Kernel::MG, model::ProblemClass::C,
+                    model::paper_run_config(m, model::Kernel::MG, 1));
+  }
+  engine::BatchEvaluator::Options opts;
+  opts.jobs = static_cast<int>(state.range(0));
+  opts.cache_capacity = 0;
+  engine::BatchEvaluator evaluator(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        evaluator.evaluate(set).back().prediction.mops);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(set.size()));
+}
+BENCHMARK(BM_EngineBatchEvaluate)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_FullScalingSweep(benchmark::State& state) {
   for (auto _ : state) {

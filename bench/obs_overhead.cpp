@@ -14,6 +14,9 @@
 // In --gate mode (the ctest entry) it fails when the measured null-path
 // cost exceeds 5% of the tracing-off predict() latency — the regression
 // guard for anyone adding instrumentation to the hot path.
+//
+// rvhpc-lint: disable=B001 — this bench times raw predict() calls by
+// design; the engine's pool/cache layers are exactly what it must exclude.
 
 #include <algorithm>
 #include <chrono>

@@ -1,9 +1,12 @@
 // Table 2 reproduction — single-core class B comparison across RISC-V
 // machines (SG2044 vs six commodity boards), Mop/s with the percentage of
 // the C920v2's performance in parentheses, exactly the paper's layout.
+// The whole machines-by-kernels grid is one engine batch.
 
 #include <iostream>
 
+#include "engine/batch.hpp"
+#include "engine/request.hpp"
 #include "model/paper_reference.hpp"
 #include "model/sweep.hpp"
 #include "report/csv.hpp"
@@ -14,25 +17,42 @@ using arch::MachineId;
 using model::Kernel;
 using model::ProblemClass;
 
-int main() {
+int main(int argc, char** argv) {
+  engine::apply_jobs_flag(argc, argv);
   std::cout << "Table 2 — single-core class B, Mop/s (percentage of the "
                "SG2044's C920v2 in parentheses)\n"
                "Each cell: paper | model\n\n";
 
   std::vector<MachineId> machines = {MachineId::Sg2044};
   for (MachineId id : arch::riscv_board_machines()) machines.push_back(id);
+  const std::vector<Kernel> kernels = model::npb_kernels();
+
+  // One request per grid cell, kernel-major so each table row is a
+  // contiguous slice of the batch results.
+  engine::RequestSet set;
+  for (Kernel k : kernels) {
+    for (MachineId id : machines) {
+      set.add_paper_setup(id, k, ProblemClass::B, /*cores=*/1);
+    }
+  }
+  const std::vector<engine::PredictionResult> results =
+      engine::default_evaluator().evaluate(set);
 
   std::vector<std::string> header = {"Benchmark"};
   for (MachineId id : machines) header.push_back(arch::name_of(id));
   report::Table t(header);
 
-  for (Kernel k : model::npb_kernels()) {
-    const double sg_model =
-        model::at_cores(MachineId::Sg2044, k, ProblemClass::B, 1).mops;
+  for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+    const Kernel k = kernels[ki];
+    const auto cell_for = [&](std::size_t mi) -> const model::Prediction& {
+      return results[ki * machines.size() + mi].prediction;
+    };
+    const double sg_model = cell_for(0).mops;
     const auto sg_paper = model::paper::table2_mops(k, MachineId::Sg2044);
     std::vector<std::string> row = {to_string(k)};
-    for (MachineId id : machines) {
-      const auto p = model::at_cores(id, k, ProblemClass::B, 1);
+    for (std::size_t mi = 0; mi < machines.size(); ++mi) {
+      const MachineId id = machines[mi];
+      const model::Prediction& p = cell_for(mi);
       const auto paper = model::paper::table2_mops(k, id);
       std::string cell;
       if (!paper.has_value() && !p.ran) {

@@ -1,8 +1,11 @@
 // Table 3 reproduction — single-core class C: SG2044 (GCC 15.2) vs
-// SG2042 (XuanTie GCC 8.4), with the times-faster column.
+// SG2042 (XuanTie GCC 8.4), with the times-faster column.  Both machine
+// columns are evaluated together as one engine batch.
 
 #include <iostream>
 
+#include "engine/batch.hpp"
+#include "engine/request.hpp"
 #include "model/paper_reference.hpp"
 #include "model/sweep.hpp"
 #include "report/csv.hpp"
@@ -12,16 +15,27 @@ using namespace rvhpc;
 using arch::MachineId;
 using model::ProblemClass;
 
-int main() {
+int main(int argc, char** argv) {
+  engine::apply_jobs_flag(argc, argv);
   std::cout << "Table 3 — NPB kernels (class C) on a single core: SG2044 "
                "C920v2 vs SG2042 C920v1\nEach cell: paper | model\n\n";
+  const auto rows = model::paper::table3_single_core();
+
+  // Two requests per paper row (SG2044 then SG2042), row-major.
+  engine::RequestSet set;
+  for (const auto& row : rows) {
+    set.add_paper_setup(MachineId::Sg2044, row.kernel, ProblemClass::C, 1);
+    set.add_paper_setup(MachineId::Sg2042, row.kernel, ProblemClass::C, 1);
+  }
+  const std::vector<engine::PredictionResult> results =
+      engine::default_evaluator().evaluate(set);
+
   report::Table t({"Benchmark", "SG2044 Mop/s", "SG2042 Mop/s",
                    "SG2044 times faster"});
-  for (const auto& row : model::paper::table3_single_core()) {
-    const auto p44 =
-        model::at_cores(MachineId::Sg2044, row.kernel, ProblemClass::C, 1);
-    const auto p42 =
-        model::at_cores(MachineId::Sg2042, row.kernel, ProblemClass::C, 1);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    const model::Prediction& p44 = results[2 * i].prediction;
+    const model::Prediction& p42 = results[2 * i + 1].prediction;
     t.add_row({to_string(row.kernel),
                report::fmt(row.sg2044_mops, 2) + " | " + report::fmt(p44.mops, 2),
                report::fmt(row.sg2042_mops, 2) + " | " + report::fmt(p42.mops, 2),

@@ -1,8 +1,11 @@
 // Table 4 reproduction — all 64 cores, class C: SG2044 vs SG2042 with
-// OpenMP; the paper's headline 1.52x-4.91x column.
+// OpenMP; the paper's headline 1.52x-4.91x column.  Both machine columns
+// are evaluated together as one engine batch.
 
 #include <iostream>
 
+#include "engine/batch.hpp"
+#include "engine/request.hpp"
 #include "model/paper_reference.hpp"
 #include "model/sweep.hpp"
 #include "report/csv.hpp"
@@ -12,16 +15,27 @@ using namespace rvhpc;
 using arch::MachineId;
 using model::ProblemClass;
 
-int main() {
+int main(int argc, char** argv) {
+  engine::apply_jobs_flag(argc, argv);
   std::cout << "Table 4 — NPB kernels (class C) on all 64 cores: SG2044 vs "
                "SG2042\nEach cell: paper | model\n\n";
+  const auto rows = model::paper::table4_64_cores();
+
+  // Two requests per paper row (SG2044 then SG2042), row-major.
+  engine::RequestSet set;
+  for (const auto& row : rows) {
+    set.add_paper_setup(MachineId::Sg2044, row.kernel, ProblemClass::C, 64);
+    set.add_paper_setup(MachineId::Sg2042, row.kernel, ProblemClass::C, 64);
+  }
+  const std::vector<engine::PredictionResult> results =
+      engine::default_evaluator().evaluate(set);
+
   report::Table t({"Benchmark", "SG2044 Mop/s", "SG2042 Mop/s",
                    "SG2044 times faster"});
-  for (const auto& row : model::paper::table4_64_cores()) {
-    const auto p44 =
-        model::at_cores(MachineId::Sg2044, row.kernel, ProblemClass::C, 64);
-    const auto p42 =
-        model::at_cores(MachineId::Sg2042, row.kernel, ProblemClass::C, 64);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    const model::Prediction& p44 = results[2 * i].prediction;
+    const model::Prediction& p42 = results[2 * i + 1].prediction;
     t.add_row({to_string(row.kernel),
                report::fmt(row.sg2044_mops, 1) + " | " + report::fmt(p44.mops, 1),
                report::fmt(row.sg2042_mops, 1) + " | " + report::fmt(p42.mops, 1),

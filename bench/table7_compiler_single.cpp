@@ -1,9 +1,12 @@
 // Table 7 reproduction — single-core class C on the SG2044 with
 // GCC 12.3.1 (openEuler default), GCC 15.2 with vectorisation, and
 // GCC 15.2 without: the compiler/vectorisation ablation of §6.
+// Three compiler configurations per kernel, as one engine batch.
 
 #include <iostream>
 
+#include "engine/batch.hpp"
+#include "engine/request.hpp"
 #include "model/paper_reference.hpp"
 #include "model/predictor.hpp"
 #include "model/signatures.hpp"
@@ -16,31 +19,44 @@ using model::ProblemClass;
 
 namespace {
 
-double run(model::Kernel k, int cores, CompilerId id, bool vec) {
+model::RunConfig ablation_config(int cores, CompilerId id, bool vec) {
   model::RunConfig cfg;
   cfg.cores = cores;
   cfg.compiler = {id, vec};
-  return predict(arch::machine(arch::MachineId::Sg2044),
-                 model::signature(k, ProblemClass::C), cfg)
-      .mops;
+  return cfg;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  engine::apply_jobs_flag(argc, argv);
   std::cout << "Table 7 — SG2044 single core, class C, compiler ablation "
                "(Mop/s)\nEach cell: paper | model\n\n";
+  const auto rows = model::paper::table7_single_core();
+  const auto& m = arch::machine(arch::MachineId::Sg2044);
+
+  // Three requests per paper row, in column order.
+  engine::RequestSet set;
+  for (const auto& row : rows) {
+    const auto sig = model::signature(row.kernel, ProblemClass::C);
+    set.add(m, sig, ablation_config(1, CompilerId::Gcc12_3_1, true));
+    set.add(m, sig, ablation_config(1, CompilerId::Gcc15_2, true));
+    set.add(m, sig, ablation_config(1, CompilerId::Gcc15_2, false));
+  }
+  const std::vector<engine::PredictionResult> results =
+      engine::default_evaluator().evaluate(set);
+
   report::Table t({"Benchmark", "GCC 12.3.1", "GCC 15.2 +vector",
                    "GCC 15.2 no vector"});
-  for (const auto& row : model::paper::table7_single_core()) {
-    t.add_row(
-        {to_string(row.kernel),
-         report::fmt(row.gcc12, 2) + " | " +
-             report::fmt(run(row.kernel, 1, CompilerId::Gcc12_3_1, true), 2),
-         report::fmt(row.gcc15_vector, 2) + " | " +
-             report::fmt(run(row.kernel, 1, CompilerId::Gcc15_2, true), 2),
-         report::fmt(row.gcc15_scalar, 2) + " | " +
-             report::fmt(run(row.kernel, 1, CompilerId::Gcc15_2, false), 2)});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    t.add_row({to_string(row.kernel),
+               report::fmt(row.gcc12, 2) + " | " +
+                   report::fmt(results[3 * i].prediction.mops, 2),
+               report::fmt(row.gcc15_vector, 2) + " | " +
+                   report::fmt(results[3 * i + 1].prediction.mops, 2),
+               report::fmt(row.gcc15_scalar, 2) + " | " +
+                   report::fmt(results[3 * i + 2].prediction.mops, 2)});
   }
   report::maybe_write_csv("table7_compiler_single", t);
   std::cout << t.render()

@@ -1,7 +1,10 @@
 // Table 8 reproduction — the Table 7 ablation across all 64 SG2044 cores.
+// Three compiler configurations per kernel, as one engine batch.
 
 #include <iostream>
 
+#include "engine/batch.hpp"
+#include "engine/request.hpp"
 #include "model/paper_reference.hpp"
 #include "model/predictor.hpp"
 #include "model/signatures.hpp"
@@ -14,30 +17,44 @@ using model::ProblemClass;
 
 namespace {
 
-double run(model::Kernel k, CompilerId id, bool vec) {
+model::RunConfig ablation_config(CompilerId id, bool vec) {
   model::RunConfig cfg;
   cfg.cores = 64;
   cfg.compiler = {id, vec};
-  return predict(arch::machine(arch::MachineId::Sg2044),
-                 model::signature(k, ProblemClass::C), cfg)
-      .mops;
+  return cfg;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  engine::apply_jobs_flag(argc, argv);
   std::cout << "Table 8 — SG2044 all 64 cores, class C, compiler ablation "
                "(Mop/s)\nEach cell: paper | model\n\n";
+  const auto rows = model::paper::table8_64_cores();
+  const auto& m = arch::machine(arch::MachineId::Sg2044);
+
+  // Three requests per paper row, in column order.
+  engine::RequestSet set;
+  for (const auto& row : rows) {
+    const auto sig = model::signature(row.kernel, ProblemClass::C);
+    set.add(m, sig, ablation_config(CompilerId::Gcc12_3_1, true));
+    set.add(m, sig, ablation_config(CompilerId::Gcc15_2, true));
+    set.add(m, sig, ablation_config(CompilerId::Gcc15_2, false));
+  }
+  const std::vector<engine::PredictionResult> results =
+      engine::default_evaluator().evaluate(set);
+
   report::Table t({"Benchmark", "GCC 12.3.1", "GCC 15.2 +vector",
                    "GCC 15.2 no vector"});
-  for (const auto& row : model::paper::table8_64_cores()) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
     t.add_row({to_string(row.kernel),
                report::fmt(row.gcc12, 1) + " | " +
-                   report::fmt(run(row.kernel, CompilerId::Gcc12_3_1, true), 1),
+                   report::fmt(results[3 * i].prediction.mops, 1),
                report::fmt(row.gcc15_vector, 1) + " | " +
-                   report::fmt(run(row.kernel, CompilerId::Gcc15_2, true), 1),
+                   report::fmt(results[3 * i + 1].prediction.mops, 1),
                report::fmt(row.gcc15_scalar, 1) + " | " +
-                   report::fmt(run(row.kernel, CompilerId::Gcc15_2, false), 1)});
+                   report::fmt(results[3 * i + 2].prediction.mops, 1)});
   }
   report::maybe_write_csv("table8_compiler_multicore", t);
   std::cout << t.render()

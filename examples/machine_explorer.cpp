@@ -18,6 +18,8 @@
 #include "arch/registry.hpp"
 #include "arch/serialize.hpp"
 #include "arch/validate.hpp"
+#include "engine/batch.hpp"
+#include "engine/request.hpp"
 #include "model/roofline.hpp"
 #include "model/sweep.hpp"
 #include "obs/report.hpp"
@@ -84,9 +86,15 @@ void sweep(const std::string& name, const std::string& kernel_name) {
             << to_string(k) << " class C, paper compiler setup:\n";
   report::Table t({"cores", "Mop/s", "seconds", "GB/s", "bottleneck",
                    "vectorised"});
+  // The whole curve as one engine batch (works for file-backed machines
+  // too — requests carry the MachineModel by value).
+  engine::RequestSet set;
   for (int cores : model::power_of_two_cores(m.cores)) {
-    const auto p = model::predict_paper_setup(
-        m, model::signature(k, ProblemClass::C), cores);
+    set.add_paper_setup(m, k, ProblemClass::C, cores);
+  }
+  for (const auto& r : engine::default_evaluator().evaluate(set)) {
+    const int cores = set.requests()[r.index].config().cores;
+    const model::Prediction& p = r.prediction;
     if (!p.ran) {
       t.add_row({std::to_string(cores), "DNR: " + p.dnr_reason});
       continue;
@@ -103,12 +111,15 @@ void sweep(const std::string& name, const std::string& kernel_name) {
 
 int main(int argc, char** argv) {
   try {
+    engine::apply_jobs_flag(argc, argv);
     std::optional<std::string> trace_path;
     std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg.rfind("--trace=", 0) == 0) {
         trace_path = arg.substr(std::string("--trace=").size());
+      } else if (arg.rfind("--jobs=", 0) == 0) {
+        // consumed by apply_jobs_flag
       } else {
         args.push_back(arg);
       }

@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "engine/batch.hpp"
 #include "model/paper_reference.hpp"
 #include "model/sweep.hpp"
 #include "report/table.hpp"
@@ -95,8 +96,9 @@ int main() {
   model::RunConfig novec{1, {model::CompilerId::Gcc15_2, false},
                          model::ThreadPlacement::OsDefault};
   const auto sig = model::signature(Kernel::CG, ProblemClass::C);
-  const double pathology =
-      predict(m, sig, novec).mops / predict(m, sig, vec).mops;
+  auto& evaluator = engine::default_evaluator();
+  const double pathology = evaluator.evaluate_one(m, sig, novec).mops /
+                           evaluator.evaluate_one(m, sig, vec).mops;
   claim("vectorised CG is ~3x slower on the C920v2",
         pathology > 2.0 && pathology < 4.0,
         "scalar/vector = " + report::fmt(pathology, 2) + "x",

@@ -1,7 +1,8 @@
 // quickstart — five-minute tour of the rvhpc public API.
 //
 // 1. Look up a machine from the registry and print its description.
-// 2. Predict a benchmark's performance on it at several core counts.
+// 2. Batch-predict a benchmark's performance on it at several core counts
+//    through the rvhpc::engine evaluator.
 // 3. Compare two machines head to head.
 // 4. Inspect where the model says the time goes.
 //
@@ -10,6 +11,8 @@
 #include <iostream>
 
 #include "arch/registry.hpp"
+#include "engine/batch.hpp"
+#include "engine/request.hpp"
 #include "model/roofline.hpp"
 #include "model/sweep.hpp"
 #include "report/table.hpp"
@@ -25,14 +28,20 @@ int main() {
   std::cout << "Machine: " << sg2044.summary() << "\n\n";
 
   // --- 2. predict MG class C as the chip fills up ---------------------------
+  // Build the points into a RequestSet and evaluate them as one batch:
+  // the engine fans requests across a thread pool, memoises repeats, and
+  // returns results in request order.
   std::cout << "MG (class C) on the SG2044, paper compiler setup:\n";
-  report::Table t({"cores", "Mop/s", "GB/s drawn", "bottleneck"});
+  engine::RequestSet set;
   for (int cores : {1, 4, 16, 64}) {
-    const auto p = model::at_cores(MachineId::Sg2044, Kernel::MG,
-                                   ProblemClass::C, cores);
-    t.add_row({std::to_string(cores), report::fmt(p.mops, 0),
-               report::fmt(p.achieved_bw_gbs, 1),
-               to_string(p.breakdown.dominant)});
+    set.add_paper_setup(MachineId::Sg2044, Kernel::MG, ProblemClass::C, cores);
+  }
+  report::Table t({"cores", "Mop/s", "GB/s drawn", "bottleneck"});
+  for (const auto& r : engine::default_evaluator().evaluate(set)) {
+    t.add_row({std::to_string(set.requests()[r.index].config().cores),
+               report::fmt(r.prediction.mops, 0),
+               report::fmt(r.prediction.achieved_bw_gbs, 1),
+               to_string(r.prediction.breakdown.dominant)});
   }
   std::cout << t.render() << "\n";
 

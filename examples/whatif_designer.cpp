@@ -14,6 +14,8 @@
 #include "analysis/engine.hpp"
 #include "arch/registry.hpp"
 #include "arch/validate.hpp"
+#include "engine/batch.hpp"
+#include "engine/request.hpp"
 #include "model/sweep.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -26,11 +28,8 @@ using model::ProblemClass;
 
 namespace {
 
-double full_chip(const MachineModel& m, Kernel k) {
-  return model::predict_paper_setup(m, model::signature(k, ProblemClass::C),
-                                    m.cores)
-      .mops;
-}
+constexpr Kernel kColumns[] = {Kernel::IS, Kernel::MG, Kernel::EP, Kernel::CG,
+                               Kernel::FT};
 
 void row(report::Table& t, const std::string& label, const MachineModel& m) {
   const auto issues = arch::validate(m);
@@ -46,16 +45,22 @@ void row(report::Table& t, const std::string& label, const MachineModel& m) {
     std::cerr << label << ": skipped (lint errors above)\n";
     return;
   }
-  t.add_row({label, report::fmt(full_chip(m, Kernel::IS), 0),
-             report::fmt(full_chip(m, Kernel::MG), 0),
-             report::fmt(full_chip(m, Kernel::EP), 0),
-             report::fmt(full_chip(m, Kernel::CG), 0),
-             report::fmt(full_chip(m, Kernel::FT), 0)});
+  // The row's five full-chip cells as one engine batch — the lever
+  // machines are custom descriptions, carried by value in the requests.
+  engine::RequestSet set;
+  for (Kernel k : kColumns) {
+    set.add_paper_setup(m, k, ProblemClass::C, m.cores);
+  }
+  const auto results = engine::default_evaluator().evaluate(set);
+  std::vector<std::string> cells = {label};
+  for (const auto& r : results) cells.push_back(report::fmt(r.prediction.mops, 0));
+  t.add_row(cells);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  engine::apply_jobs_flag(argc, argv);
   std::optional<std::string> trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];

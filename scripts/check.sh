@@ -3,9 +3,12 @@
 #
 # Configures an ASan+UBSan build, builds everything, runs the full test
 # suite under the sanitizers, smoke-runs every bench binary (so the
-# figure/table generators cannot silently rot), then runs rvhpc-lint in
-# --werror mode over the registry, the signature suite and every example
-# .machine file.  Exits non-zero on the first failure.
+# figure/table generators cannot silently rot), runs rvhpc-lint in
+# --werror mode over the registry, the signature suite, every example
+# .machine file and every bench/example C++ source (rule B001: no predict
+# sweeps bypassing the engine), then re-runs the engine tests under TSan
+# to catch data races in the thread pool.  Exits non-zero on the first
+# failure.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-check)
 
@@ -38,7 +41,7 @@ for exe in "$build_dir"/bench/*; do
     *.cmake|CMakeFiles) continue ;;
     micro_benchmarks)
       args=(--benchmark_filter=PredictSingleCall --benchmark_min_time=0.01) ;;
-    obs_overhead)
+    obs_overhead|engine_throughput)
       args=(--gate) ;;
     *)
       args=() ;;
@@ -67,5 +70,21 @@ if [ "$found" -eq 0 ]; then
   echo "error: no .machine files found under examples/machines/" >&2
   exit 1
 fi
+
+echo "== rvhpc-lint --werror: bench/ and examples/ sources (B001)"
+"$build_dir/src/analysis/rvhpc-lint" --werror \
+  "$repo_root"/bench/*.cpp "$repo_root"/examples/*.cpp
+
+echo "== configure (TSan) -> $build_dir-tsan"
+# TSan cannot combine with ASan, so the engine's thread pool gets its own
+# build; only the engine and obs tests run there — they own all the
+# threading in the library.
+cmake -B "$build_dir-tsan" -S "$repo_root" "${generator[@]}" \
+  -DRVHPC_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+cmake --build "$build_dir-tsan" -j --target test_engine test_obs
+echo "== TSan: test_engine + test_obs"
+"$build_dir-tsan/tests/test_engine"
+"$build_dir-tsan/tests/test_obs"
 
 echo "== all gates green"

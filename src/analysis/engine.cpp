@@ -1,6 +1,7 @@
 #include "analysis/engine.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <sstream>
 #include <stdexcept>
 
@@ -67,6 +68,10 @@ const std::vector<RuleInfo>& rule_catalogue() {
        "single-core class C prediction drifted from the paper's Table 3"},
       {"A203-stream-parity-drift", Severity::Warn,
        "SG2044/SG2042 low-core-count STREAM parity (Fig. 1 prose) lost"},
+      // --- bench-source rules ----------------------------------------------
+      {"B001-direct-predict-sweep", Severity::Warn,
+       "bench/example source calls predict() inside a loop instead of "
+       "batching through rvhpc::engine"},
   };
   return rules;
 }
@@ -182,6 +187,34 @@ Report lint_registry() {
   }
   detail::calibration_rules(r);
   return r;
+}
+
+Report lint_bench_source(const std::string& source, const std::string& path) {
+  Report r;
+  detail::bench_source_rules(r, source, path);
+  // Honour in-file `// rvhpc-lint: disable=B001` directives, same contract
+  // as the `#`-comment form in `.machine` files.
+  LintOptions file_opts;
+  static const std::string kDirective = "rvhpc-lint: disable=";
+  for (std::size_t pos = source.find(kDirective); pos != std::string::npos;
+       pos = source.find(kDirective, pos + kDirective.size())) {
+    std::size_t p = pos + kDirective.size();
+    std::string id;
+    while (p < source.size()) {
+      const char c = source[p];
+      if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-') {
+        id.push_back(c);
+      } else if (c == ',') {
+        if (!id.empty()) file_opts.suppressed.push_back(std::move(id));
+        id.clear();
+      } else {
+        break;
+      }
+      ++p;
+    }
+    if (!id.empty()) file_opts.suppressed.push_back(std::move(id));
+  }
+  return apply(std::move(r), file_opts);
 }
 
 }  // namespace rvhpc::analysis

@@ -38,7 +38,8 @@ struct RuleInfo {
 
 /// Every rule the engine knows, in id order.  A0xx lint machines, A1xx
 /// lint workload signatures (A110 the cross-class suite), A2xx check the
-/// registry's calibration against the paper's anchors.
+/// registry's calibration against the paper's anchors, B0xx lint bench
+/// and example C++ sources.
 [[nodiscard]] const std::vector<RuleInfo>& rule_catalogue();
 
 /// True when diagnostic id `id` is selected by `pattern` — either the full
@@ -89,5 +90,12 @@ struct Report {
 /// Lints every registry machine, then runs the calibration-drift rules
 /// (A2xx) that hold the registry to the paper's published anchors.
 [[nodiscard]] Report lint_registry();
+
+/// Lexical lint of a bench/example C++ source (rules B0xx): flags direct
+/// predict() calls inside loop bodies that bypass the rvhpc::engine batch
+/// layer.  `path` labels the diagnostics; the file's own
+/// `// rvhpc-lint: disable=B001` directives are honoured.
+[[nodiscard]] Report lint_bench_source(const std::string& source,
+                                       const std::string& path);
 
 }  // namespace rvhpc::analysis

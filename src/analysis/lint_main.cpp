@@ -3,6 +3,7 @@
 // Usage:
 //   rvhpc-lint                        # lint registry + signature suite
 //   rvhpc-lint file.machine ...       # lint machine description files
+//   rvhpc-lint bench/foo.cpp ...      # lint C++ sources (B0xx rules)
 //   rvhpc-lint --registry             # registry machines + calibration only
 //   rvhpc-lint --signatures           # signature suite only
 //   rvhpc-lint --rules                # print the rule catalogue
@@ -33,8 +34,10 @@ const cli::ToolInfo kTool{
     "static analysis for machine models and workload signatures",
     "usage: rvhpc-lint [--werror] [--suppress=A001,...] [--csv]\n"
     "                  [--registry] [--signatures] [--rules]\n"
-    "                  [file.machine ...]\n"
-    "With no mode or files, lints the registry and the signature suite."};
+    "                  [file.machine | file.cpp ...]\n"
+    "With no mode or files, lints the registry and the signature suite.\n"
+    "C++ files (.cpp/.cc/.cxx/.hpp/.h) get the B0xx bench-source rules;\n"
+    "everything else is parsed as a .machine description."};
 
 struct CliOptions {
   analysis::LintOptions lint;
@@ -75,10 +78,26 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
   return true;
 }
 
+bool is_cpp_source(const std::string& path) {
+  for (const char* ext : {".cpp", ".cc", ".cxx", ".hpp", ".h"}) {
+    const std::string suffix(ext);
+    if (path.size() > suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
 analysis::Report lint_file(const std::string& path) {
   std::ifstream in(path);
   if (!in.good()) {
     throw std::runtime_error("cannot open '" + path + "'");
+  }
+  if (is_cpp_source(path)) {
+    std::ostringstream source;
+    source << in.rdbuf();
+    return analysis::lint_bench_source(source.str(), path);
   }
   const arch::ParsedMachine pm = arch::parse_machine(in);
   return analysis::lint_machine_file(pm, path);

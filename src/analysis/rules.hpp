@@ -26,4 +26,9 @@ void suite_rules(Report& out);
 /// Rules A201-A203: registry calibration drift against the paper anchors.
 void calibration_rules(Report& out);
 
+/// Rule B001: direct predict() calls inside loops in bench/example C++
+/// sources.  A lexical scan, not a parser — see bench_rules.cpp.
+void bench_source_rules(Report& out, const std::string& src,
+                        const std::string& path);
+
 }  // namespace rvhpc::analysis::detail

@@ -1,0 +1,174 @@
+#include "engine/request.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "model/sweep.hpp"
+
+namespace rvhpc::engine {
+namespace {
+
+// FNV-1a, 64-bit.  Fields are hashed at full bit precision (doubles via
+// bit_cast, never via text formatting) so two machines differing in the
+// 10th significand — exactly what sensitivity analysis produces — get
+// distinct fingerprints.
+struct Fnv1a {
+  std::uint64_t h = 1469598103934665603ull;
+
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void i(long long v) { u64(static_cast<std::uint64_t>(v)); }
+  void b(bool v) { u64(v ? 1 : 0); }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+};
+
+void hash_vector_unit(Fnv1a& h, const arch::VectorUnit& v) {
+  h.i(static_cast<int>(v.isa));
+  h.i(v.width_bits);
+  h.i(v.pipes);
+  h.f64(v.gather_efficiency);
+}
+
+void hash_core(Fnv1a& h, const arch::CoreModel& c) {
+  h.f64(c.clock_ghz);
+  h.b(c.out_of_order);
+  h.i(c.decode_width);
+  h.i(c.issue_width);
+  h.i(c.fp_units);
+  h.i(c.load_store_units);
+  h.i(c.pipeline_stages);
+  h.f64(c.sustained_scalar_opc);
+  h.i(c.miss_level_parallelism);
+  h.f64(c.complex_loop_efficiency);
+  hash_vector_unit(h, c.vector);
+}
+
+void hash_memory(Fnv1a& h, const arch::MemorySubsystem& mem) {
+  h.i(mem.controllers);
+  h.i(mem.channels);
+  h.str(mem.ddr_kind);
+  h.f64(mem.channel_bw_gbs);
+  h.f64(mem.stream_efficiency);
+  h.f64(mem.per_core_bw_gbs);
+  h.f64(mem.idle_latency_ns);
+  h.i(mem.controller_queue_depth);
+  h.f64(mem.read_bw_bonus);
+  h.i(mem.numa_regions);
+  h.f64(mem.dram_gib);
+}
+
+void hash_machine(Fnv1a& h, const arch::MachineModel& m) {
+  h.str(m.name);
+  h.i(static_cast<int>(m.isa));
+  h.i(m.cores);
+  h.i(m.cluster_size);
+  hash_core(h, m.core);
+  h.u64(m.caches.size());
+  for (const arch::CacheLevel& c : m.caches) {
+    h.str(c.name);
+    h.u64(c.size_bytes);
+    h.i(c.associativity);
+    h.i(c.line_bytes);
+    h.i(c.shared_by_cores);
+    h.f64(c.latency_cycles);
+  }
+  hash_memory(h, m.memory);
+}
+
+void hash_signature(Fnv1a& h, const model::WorkloadSignature& s) {
+  h.i(static_cast<int>(s.kernel));
+  h.i(static_cast<int>(s.problem_class));
+  h.f64(s.total_mop);
+  h.f64(s.cycles_per_op);
+  h.f64(s.vectorisable_fraction);
+  h.f64(s.vector_elem_parallelism);
+  h.f64(s.gather_fraction);
+  h.i(s.element_bits);
+  h.f64(s.rvv_codegen_derate);
+  h.b(s.complex_control);
+  h.f64(s.serial_fraction);
+  h.f64(s.read_fraction);
+  h.f64(s.streamed_bytes_per_op);
+  h.f64(s.random_access_per_op);
+  h.f64(s.random_llc_hit_fraction);
+  h.f64(s.random_overlap);
+  h.b(s.dependent_chain);
+  h.f64(s.capacity_sensitivity);
+  h.f64(s.random_footprint_mib);
+  h.f64(s.working_set_mib);
+  h.f64(s.comm_bytes_per_op);
+  h.f64(s.global_syncs);
+  h.f64(s.imbalance_coeff);
+}
+
+std::uint64_t request_key(const arch::MachineModel& m,
+                          const model::WorkloadSignature& sig,
+                          const model::RunConfig& cfg) {
+  Fnv1a h;
+  hash_machine(h, m);
+  hash_signature(h, sig);
+  h.i(cfg.cores);
+  h.i(static_cast<int>(cfg.compiler.id));
+  h.b(cfg.compiler.vectorise);
+  h.i(static_cast<int>(cfg.placement));
+  return h.h;
+}
+
+}  // namespace
+
+std::uint64_t machine_fingerprint(const arch::MachineModel& m) {
+  Fnv1a h;
+  hash_machine(h, m);
+  return h.h;
+}
+
+PredictionRequest::PredictionRequest(arch::MachineModel machine,
+                                     model::WorkloadSignature sig,
+                                     model::RunConfig cfg, std::string tag)
+    : machine_(std::move(machine)),
+      signature_(std::move(sig)),
+      config_(cfg),
+      tag_(std::move(tag)),
+      key_(request_key(machine_, signature_, config_)) {}
+
+void RequestSet::add(arch::MachineModel machine, model::WorkloadSignature sig,
+                     model::RunConfig cfg, std::string tag) {
+  requests_.emplace_back(std::move(machine), std::move(sig), cfg,
+                         std::move(tag));
+}
+
+void RequestSet::add_paper_setup(arch::MachineId id, model::Kernel kernel,
+                                 model::ProblemClass cls, int cores,
+                                 std::string tag) {
+  add_paper_setup(arch::machine(id), kernel, cls, cores, std::move(tag));
+}
+
+void RequestSet::add_paper_setup(const arch::MachineModel& m,
+                                 model::Kernel kernel, model::ProblemClass cls,
+                                 int cores, std::string tag) {
+  add(m, model::signature(kernel, cls), model::paper_run_config(m, kernel, cores),
+      std::move(tag));
+}
+
+void RequestSet::add_scaling(const arch::MachineModel& m, model::Kernel kernel,
+                             model::ProblemClass cls, model::RunConfig cfg,
+                             std::string tag) {
+  const model::WorkloadSignature sig = model::signature(kernel, cls);
+  for (int cores : model::power_of_two_cores(m.cores)) {
+    model::RunConfig point = cfg;
+    point.cores = cores;
+    add(m, sig, point, tag + "@" + std::to_string(cores));
+  }
+}
+
+}  // namespace rvhpc::engine

@@ -1,12 +1,22 @@
 #include "memsim/profile.hpp"
 
 #include <algorithm>
+#include <string>
 #include <vector>
+
+#include "obs/trace.hpp"
 
 namespace rvhpc::memsim {
 
 StallReport simulate_stalls(const arch::MachineModel& m, model::Kernel kernel,
                             const ProfileConfig& cfg) {
+  obs::ScopedSpan span("memsim", "simulate_stalls");
+  if (span.active()) {
+    span.arg("machine", m.name);
+    span.arg("kernel", model::to_string(kernel));
+    span.arg("cores", std::to_string(cfg.cores));
+    span.arg("ops_per_core", std::to_string(cfg.ops_per_core));
+  }
   Hierarchy hierarchy(m, cfg.cores);
   DramConfig dram_cfg;
   dram_cfg.channels = m.memory.channels;

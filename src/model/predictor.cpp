@@ -258,16 +258,21 @@ Prediction predict(const arch::MachineModel& m, const WorkloadSignature& sig,
   return out;
 }
 
-Prediction predict_paper_setup(const arch::MachineModel& m,
-                               const WorkloadSignature& sig, int cores) {
+RunConfig paper_run_config(const arch::MachineModel& m, Kernel kernel,
+                           int cores) {
   RunConfig cfg;
   cfg.cores = cores;
   cfg.compiler = paper_default_compiler(m);
   // §6: vectorised CG is ~3x slower on the C920v2, so the paper disabled
   // vectorisation for CG on the SG2044 (§5.4, Table 2 note).
-  if (sig.kernel == Kernel::CG && m.name == "sg2044") cfg.compiler.vectorise = false;
+  if (kernel == Kernel::CG && m.name == "sg2044") cfg.compiler.vectorise = false;
   cfg.placement = ThreadPlacement::OsDefault;
-  return predict(m, sig, cfg);
+  return cfg;
+}
+
+Prediction predict_paper_setup(const arch::MachineModel& m,
+                               const WorkloadSignature& sig, int cores) {
+  return predict(m, sig, paper_run_config(m, sig.kernel, cores));
 }
 
 }  // namespace rvhpc::model

@@ -55,6 +55,13 @@ struct Prediction {
                                  const WorkloadSignature& sig,
                                  const RunConfig& cfg);
 
+/// The configuration the paper ran `kernel` with on `m` at `cores`: the
+/// machine's published compiler, OS-default placement, and the §5.4
+/// vectorisation exceptions (CG on the SG2044).  This is the RunConfig the
+/// engine's add_paper_setup requests and predict_paper_setup share.
+[[nodiscard]] RunConfig paper_run_config(const arch::MachineModel& m,
+                                         Kernel kernel, int cores);
+
 /// Convenience: prediction with the compiler the paper used on `m` and the
 /// paper's OpenMP setup.
 [[nodiscard]] Prediction predict_paper_setup(const arch::MachineModel& m,

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "engine/batch.hpp"
+
 namespace rvhpc::model {
 
 const std::vector<std::string>& sensitivity_parameters() {
@@ -55,21 +57,37 @@ std::vector<Sensitivity> sensitivities(const arch::MachineModel& m,
                                        const WorkloadSignature& sig,
                                        const RunConfig& cfg,
                                        double relative_step) {
-  std::vector<Sensitivity> out;
-  for (const std::string& p : sensitivity_parameters()) {
+  // All up/down perturbations as one engine batch: 16 independent predicts
+  // evaluated across the pool instead of serially.  Perturbed machines get
+  // distinct fingerprints (full-precision field hashing), so memoisation
+  // never conflates them with the centre machine.
+  const std::vector<std::string>& params = sensitivity_parameters();
+  std::vector<double> steps;
+  steps.reserve(params.size());
+  engine::RequestSet set;
+  for (const std::string& p : params) {
     // Integer-valued parameters need a step big enough to actually move
     // them (MLP of 5 does not change under a 5% perturbation).
     const bool integral = p.find("parallelism") != std::string::npos ||
                           p.find("queue_depth") != std::string::npos;
-    const double h =
-        std::max(integral ? 0.2 : relative_step, 1e-3);
-    const Prediction up = predict(perturbed(m, p, 1.0 + h), sig, cfg);
-    const Prediction down = predict(perturbed(m, p, 1.0 - h), sig, cfg);
+    const double h = std::max(integral ? 0.2 : relative_step, 1e-3);
+    steps.push_back(h);
+    set.add(perturbed(m, p, 1.0 + h), sig, cfg, p + "+");
+    set.add(perturbed(m, p, 1.0 - h), sig, cfg, p + "-");
+  }
+  const std::vector<engine::PredictionResult> results =
+      engine::default_evaluator().evaluate(set);
+
+  std::vector<Sensitivity> out;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const double h = steps[i];
+    const Prediction& up = results[2 * i].prediction;
+    const Prediction& down = results[2 * i + 1].prediction;
     if (!up.ran || !down.ran || up.mops <= 0.0 || down.mops <= 0.0) continue;
     // Central difference in log-log space.
     const double e = (std::log(up.mops) - std::log(down.mops)) /
                      (std::log(1.0 + h) - std::log(1.0 - h));
-    out.push_back({p, e});
+    out.push_back({params[i], e});
   }
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     return std::fabs(a.elasticity) > std::fabs(b.elasticity);

@@ -1,5 +1,6 @@
 #include "model/sweep.hpp"
 
+#include "engine/batch.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -15,8 +16,7 @@ std::vector<int> power_of_two_cores(int max_cores) {
 ScalingSeries scale_cores(arch::MachineId id, Kernel kernel, ProblemClass cls) {
   const arch::MachineModel& m = arch::machine(id);
   RunConfig cfg;
-  cfg.compiler = paper_default_compiler(m);
-  if (kernel == Kernel::CG && m.name == "sg2044") cfg.compiler.vectorise = false;
+  cfg.compiler = paper_run_config(m, kernel, /*cores=*/1).compiler;
   return scale_cores(id, kernel, cls, cfg);
 }
 
@@ -26,11 +26,21 @@ ScalingSeries scale_cores(arch::MachineId id, Kernel kernel, ProblemClass cls,
   const WorkloadSignature sig = signature(kernel, cls);
   obs::ScopedTimer timer(obs::timer_target("rvhpc_sweep_wall_seconds"));
   obs::ScopedSpan span("sweep", "scale_cores");
-  ScalingSeries series{id, kernel, cls, {}};
+
+  engine::RequestSet set;
   for (int n : power_of_two_cores(m.cores)) {
     cfg.cores = n;
-    series.points.push_back({n, predict(m, sig, cfg)});
+    set.add(m, sig, cfg);
   }
+  const std::vector<engine::PredictionResult> results =
+      engine::default_evaluator().evaluate(set);
+
+  ScalingSeries series{id, kernel, cls, {}};
+  series.points.reserve(results.size());
+  for (const engine::PredictionResult& r : results)
+    series.points.push_back(
+        {set.requests()[r.index].config().cores, r.prediction});
+
   if (obs::metrics_enabled()) {
     static obs::Counter& points = obs::Registry::global().counter(
         "rvhpc_sweep_points_total", "core-count points evaluated by sweeps");
@@ -47,7 +57,9 @@ ScalingSeries scale_cores(arch::MachineId id, Kernel kernel, ProblemClass cls,
 
 Prediction at_cores(arch::MachineId id, Kernel kernel, ProblemClass cls,
                     int cores) {
-  return predict_paper_setup(arch::machine(id), signature(kernel, cls), cores);
+  const arch::MachineModel& m = arch::machine(id);
+  return engine::default_evaluator().evaluate_one(
+      m, signature(kernel, cls), paper_run_config(m, kernel, cores));
 }
 
 double times_faster(arch::MachineId id, arch::MachineId baseline, Kernel kernel,

@@ -90,6 +90,7 @@ BenchResult run(ProblemClass cls, int threads, BtOutputs* out) {
   outputs.initial_energy = u.energy(threads);
 
   Timer timer;
+  TimedRegionSpan region(Kernel::BT, cls, threads);
   timer.start();
   const int n = p.edge;
   for (int step = 0; step < p.steps; ++step) {
@@ -126,6 +127,7 @@ BenchResult run(ProblemClass cls, int threads, BtOutputs* out) {
     }
   }
   const double seconds = timer.seconds();
+  region.close();
   outputs.final_energy = u.energy(threads);
 
   BenchResult result;

@@ -147,6 +147,7 @@ BenchResult run(ProblemClass cls, int threads, CgOutputs* out) {
   double zeta = 0.0, rnorm = 0.0;
 
   Timer timer;
+  TimedRegionSpan region(Kernel::CG, cls, threads);
   timer.start();
   for (int outer = 0; outer < p.niter; ++outer) {
     // 25 CG steps on A z = x, starting from z = 0.
@@ -182,6 +183,7 @@ BenchResult run(ProblemClass cls, int threads, CgOutputs* out) {
     }
   }
   const double seconds = timer.seconds();
+  region.close();
 
   BenchResult result;
   result.kernel = Kernel::CG;

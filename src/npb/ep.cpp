@@ -34,6 +34,7 @@ BenchResult run(ProblemClass cls, int threads, EpOutputs* out) {
   // bit-identical for any thread count.
   std::vector<EpOutputs> partial(static_cast<std::size_t>(batches));
   Timer timer;
+  TimedRegionSpan region(Kernel::EP, cls, threads);
   timer.start();
 
 #pragma omp parallel num_threads(threads)
@@ -79,6 +80,7 @@ BenchResult run(ProblemClass cls, int threads, EpOutputs* out) {
   result.problem_class = cls;
   result.threads = threads;
   result.seconds = timer.seconds();
+  region.close();
   // NPB counts each generated pair as one operation unit scaled by the
   // Gaussian transform cost; we report pairs/second like the reference.
   result.mops = static_cast<double>(pairs) / result.seconds / 1e6;

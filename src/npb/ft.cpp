@@ -115,6 +115,7 @@ BenchResult run(ProblemClass cls, int threads, FtOutputs* out) {
   }
 
   Timer timer;
+  TimedRegionSpan region(Kernel::FT, cls, threads);
   timer.start();
   std::vector<Complex> uhat = u0;
   fft3d(uhat, p, -1, threads);
@@ -158,6 +159,7 @@ BenchResult run(ProblemClass cls, int threads, FtOutputs* out) {
     outputs.checksums.push_back(sum / static_cast<double>(n));
   }
   const double seconds = timer.seconds();
+  region.close();
 
   // Verification: round-trip — the inverse of the forward transform must
   // reproduce the initial state to near machine precision.

@@ -159,6 +159,7 @@ BenchResult run(ProblemClass cls, int threads,
   std::vector<std::int32_t> histogram(static_cast<std::size_t>(max_key));
 
   Timer timer;
+  TimedRegionSpan region(Kernel::IS, cls, threads);
   timer.start();
   for (int iter = 0; iter < kIterations; ++iter) {
     // NPB perturbs two keys per iteration to defeat caching of results.
@@ -172,6 +173,7 @@ BenchResult run(ProblemClass cls, int threads,
     }
   }
   const double seconds = timer.seconds();
+  region.close();
 
   // Full verification: scattering keys by rank yields a sorted permutation.
   std::vector<std::int32_t> sorted(n);

@@ -158,6 +158,7 @@ BenchResult run(ProblemClass cls, int threads, LuOutputs* out) {
 
   constexpr int kSweeps = 3;
   Timer timer;
+  TimedRegionSpan region(Kernel::LU, cls, threads);
   timer.start();
   for (int step = 0; step < p.steps; ++step) {
     Field5 b = u;  // right-hand side: previous state
@@ -168,6 +169,7 @@ BenchResult run(ProblemClass cls, int threads, LuOutputs* out) {
     if (step == 0) outputs.last_residual = residual_norm(u, b, op, threads);
   }
   const double seconds = timer.seconds();
+  region.close();
   outputs.final_energy = u.energy(threads);
 
   BenchResult result;

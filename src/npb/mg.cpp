@@ -185,10 +185,12 @@ BenchResult run(ProblemClass cls, int threads, MgOutputs* out) {
   const double r0 = l2_norm(r, threads);
 
   Timer timer;
+  TimedRegionSpan region(Kernel::MG, cls, threads);
   timer.start();
   for (int it = 0; it < p.niter; ++it) v_cycle(u, v, threads, cls);
   residual(u, v, r, threads);
   const double seconds = timer.seconds();
+  region.close();
   const double rn = l2_norm(r, threads);
 
   BenchResult result;

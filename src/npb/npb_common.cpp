@@ -61,6 +61,15 @@ void NpbRandom::skip(std::uint64_t n) {
   randlc(x_, an);
 }
 
+TimedRegionSpan::TimedRegionSpan(Kernel k, ProblemClass cls, int threads) {
+  const std::string name = model::to_string(k) + ".timed";
+  obs::ScopedSpan& span = span_.emplace("npb", name.c_str());
+  if (span.active()) {
+    span.arg("class", model::to_string(cls));
+    span.arg("threads", std::to_string(threads));
+  }
+}
+
 std::string to_string(const BenchResult& r) {
   std::ostringstream os;
   os << model::to_string(r.kernel) << "." << model::to_string(r.problem_class)

@@ -9,9 +9,11 @@
 
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "model/workload.hpp"  // reuse Kernel / ProblemClass enums
+#include "obs/trace.hpp"
 
 namespace rvhpc::npb {
 
@@ -73,6 +75,21 @@ class Timer {
 
  private:
   std::chrono::steady_clock::time_point t0_ = std::chrono::steady_clock::now();
+};
+
+/// RAII span bracketing a kernel's timed region so host-run traces line up
+/// with modelled predict() spans in one timeline.  Open it next to
+/// Timer::start() and close() it where timer.seconds() is read; when no
+/// trace session is active every operation is a no-op.  Emits category
+/// "npb", name "<kernel>.timed", with class/threads args.
+class TimedRegionSpan {
+ public:
+  TimedRegionSpan(Kernel k, ProblemClass cls, int threads);
+  /// Ends the span now rather than at scope exit.
+  void close() { span_.reset(); }
+
+ private:
+  std::optional<obs::ScopedSpan> span_;
 };
 
 /// Formats "IS.S: 12.34 Mop/s (verified)" for example binaries.

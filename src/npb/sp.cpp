@@ -62,6 +62,7 @@ BenchResult run(ProblemClass cls, int threads, SpOutputs* out) {
   outputs.initial_energy = u.energy(threads);
 
   Timer timer;
+  TimedRegionSpan region(Kernel::SP, cls, threads);
   timer.start();
   const int n = p.edge;
   for (int step = 0; step < p.steps; ++step) {
@@ -128,6 +129,7 @@ BenchResult run(ProblemClass cls, int threads, SpOutputs* out) {
     }
   }
   const double seconds = timer.seconds();
+  region.close();
   outputs.final_energy = u.energy(threads);
 
   BenchResult result;

@@ -21,17 +21,38 @@
 
 namespace rvhpc::obs {
 
+/// Dense id of the calling thread (defined in trace.cpp; declared here so
+/// Counter can shard without pulling in the tracing header).
+[[nodiscard]] int thread_id();
+
 /// Monotonically increasing event count.
+///
+/// Sharded per thread: add() touches one of 16 cache-line-padded atomics
+/// selected by the dense thread id, so an engine pool hammering the same
+/// counter (predict calls, cache hits) never bounces a shared line between
+/// cores.  value() sums the shards — reads are exact because every add is
+/// a relaxed atomic, merely spread out.
 class Counter {
  public:
-  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
-  [[nodiscard]] std::uint64_t value() const {
-    return v_.load(std::memory_order_relaxed);
+  void add(std::uint64_t n = 1) {
+    shards_[static_cast<unsigned>(thread_id()) & (kShards - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
   }
-  void reset() { v_.store(0, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+  void reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  std::atomic<std::uint64_t> v_{0};
+  static constexpr unsigned kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Shard shards_[kShards];
 };
 
 /// Last-written value (e.g. the active session's event count).

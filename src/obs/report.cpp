@@ -112,6 +112,11 @@ std::string attribution_report(const TraceSession& s) {
   os << "Bottleneck attribution — " << predictions.size() << " prediction"
      << (predictions.size() == 1 ? "" : "s") << ", " << s.spans().size()
      << " spans, " << instants.size() << " events\n";
+  if (const std::size_t dropped = s.dropped_records(); dropped > 0) {
+    os << "WARNING: " << dropped << " record" << (dropped == 1 ? "" : "s")
+       << " dropped by the session cap (max_records=" << s.max_records()
+       << ") — oldest history evicted, totals above are partial\n";
+  }
 
   for (const PredictionRecord& p : predictions) {
     os << "\n" << p.machine << " / " << p.kernel << " class "

@@ -26,6 +26,7 @@ double TraceSession::now_us() const { return (steady_ns() - t0_ns_) * 1e-3; }
 
 void TraceSession::add_span(Span s) {
   std::lock_guard<std::mutex> lock(mutex_);
+  make_room(Kind::Span);
   spans_.push_back(std::move(s));
 }
 
@@ -34,6 +35,7 @@ void TraceSession::add_instant(std::string name, std::string category,
   Instant i{std::move(name), std::move(category), now_us(), thread_id(),
             std::move(args)};
   std::lock_guard<std::mutex> lock(mutex_);
+  make_room(Kind::Instant);
   instants_.push_back(std::move(i));
 }
 
@@ -41,22 +43,71 @@ void TraceSession::add_prediction(PredictionRecord r) {
   r.ts_us = now_us();
   r.tid = thread_id();
   std::lock_guard<std::mutex> lock(mutex_);
+  make_room(Kind::Prediction);
   predictions_.push_back(std::move(r));
+}
+
+void TraceSession::make_room(Kind incoming) {
+  if (max_records_ == 0) return;
+  while (spans_.size() + instants_.size() + predictions_.size() >=
+         max_records_) {
+    // Ring semantics per kind: the incoming record evicts its own oldest
+    // sibling, so one chatty record type cannot erase another's history.
+    Kind victim = incoming;
+    if ((victim == Kind::Span && spans_.empty()) ||
+        (victim == Kind::Instant && instants_.empty()) ||
+        (victim == Kind::Prediction && predictions_.empty())) {
+      const std::size_t s = spans_.size(), i = instants_.size();
+      if (s >= i && s >= predictions_.size())      victim = Kind::Span;
+      else if (i >= predictions_.size())           victim = Kind::Instant;
+      else                                         victim = Kind::Prediction;
+    }
+    switch (victim) {
+      case Kind::Span:       spans_.pop_front(); break;
+      case Kind::Instant:    instants_.pop_front(); break;
+      case Kind::Prediction: predictions_.pop_front(); break;
+    }
+    ++dropped_;
+  }
+}
+
+void TraceSession::set_max_records(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  max_records_ = n;
+  if (n == 0) return;
+  // Shrink an over-full session immediately, largest collection first.
+  while (spans_.size() + instants_.size() + predictions_.size() > n) {
+    const std::size_t s = spans_.size(), i = instants_.size();
+    if (s >= i && s >= predictions_.size())  spans_.pop_front();
+    else if (i >= predictions_.size())       instants_.pop_front();
+    else                                     predictions_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::size_t TraceSession::max_records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_records_;
+}
+
+std::size_t TraceSession::dropped_records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
 }
 
 std::vector<Span> TraceSession::spans() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return spans_;
+  return {spans_.begin(), spans_.end()};
 }
 
 std::vector<Instant> TraceSession::instants() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return instants_;
+  return {instants_.begin(), instants_.end()};
 }
 
 std::vector<PredictionRecord> TraceSession::predictions() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return predictions_;
+  return {predictions_.begin(), predictions_.end()};
 }
 
 std::size_t TraceSession::event_count() const {

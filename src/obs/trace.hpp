@@ -15,6 +15,8 @@
 // null-sink fast path whose cost bench/obs_overhead bounds.  The installed
 // session must outlive every span opened while it was active.
 
+#include <cstddef>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -87,18 +89,36 @@ class TraceSession {
   void add_instant(std::string name, std::string category, Args args = {});
   void add_prediction(PredictionRecord r);
 
+  /// Caps resident records across all three kinds at `n` (0 = unbounded,
+  /// the default).  Once full the session behaves as a ring buffer: each
+  /// new record evicts the oldest record of its own kind (falling back to
+  /// the largest collection when its own kind is empty), so a bounded
+  /// session always holds the most recent history of every record type.
+  /// Lowering the cap below the current population evicts immediately.
+  void set_max_records(std::size_t n);
+  [[nodiscard]] std::size_t max_records() const;
+  /// Records evicted by the cap so far (exporters surface this so a
+  /// truncated trace is never mistaken for a complete one).
+  [[nodiscard]] std::size_t dropped_records() const;
+
   [[nodiscard]] std::vector<Span> spans() const;
   [[nodiscard]] std::vector<Instant> instants() const;
   [[nodiscard]] std::vector<PredictionRecord> predictions() const;
-  /// Total records of all three kinds.
+  /// Total resident records of all three kinds (excludes dropped ones).
   [[nodiscard]] std::size_t event_count() const;
 
  private:
+  enum class Kind { Span, Instant, Prediction };
+  /// Called with mutex_ held, before inserting a record of `incoming`.
+  void make_room(Kind incoming);
+
   double t0_ns_;
   mutable std::mutex mutex_;
-  std::vector<Span> spans_;
-  std::vector<Instant> instants_;
-  std::vector<PredictionRecord> predictions_;
+  std::deque<Span> spans_;
+  std::deque<Instant> instants_;
+  std::deque<PredictionRecord> predictions_;
+  std::size_t max_records_ = 0;  ///< 0 = unbounded
+  std::size_t dropped_ = 0;
 };
 
 /// Installs `s` as the process-wide active session (nullptr deactivates).

@@ -11,6 +11,7 @@
 #include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 
 #include "analysis/engine.hpp"
@@ -273,9 +274,73 @@ TEST(Catalogue, RuleIdsAreUniqueAndWellFormed) {
   std::set<std::string> seen;
   for (const RuleInfo& info : rule_catalogue()) {
     EXPECT_TRUE(seen.insert(info.id).second) << "duplicate id " << info.id;
-    EXPECT_EQ(info.id[0], 'A');
+    // A-family rules lint models/signatures/calibration; B-family lints
+    // bench C++ sources.
+    EXPECT_TRUE(info.id[0] == 'A' || info.id[0] == 'B') << info.id;
     EXPECT_NE(info.id.find('-'), std::string::npos) << info.id;
     EXPECT_FALSE(info.summary.empty()) << info.id;
+  }
+}
+
+TEST(BenchSource, FlagsModelCallsInsideLoopsOnly) {
+  const std::string src =
+      "int main() {\n"
+      "  double s = 0;\n"
+      "  for (int c = 1; c <= 64; c *= 2) {\n"
+      "    s += model::predict(m, sig, cfg).mops;\n"
+      "  }\n"
+      "  while (more()) s += model::at_cores(id, k, cls, 1).mops;\n"
+      "  s += model::predict(m, sig, cfg).mops;  // straight-line: fine\n"
+      "  for (int i = 0; i < 3; ++i) s += cache.predict(i);  // member: fine\n"
+      "  for (int i = 0; i < 2; ++i) log(\"predict(x)\");  // string: fine\n"
+      "  return s > 0;\n"
+      "}\n";
+  const Report r = lint_bench_source(src, "probe.cpp");
+  ASSERT_EQ(r.diagnostics.size(), 2u);
+  EXPECT_EQ(r.diagnostics[0].rule, "B001-direct-predict-sweep");
+  EXPECT_EQ(r.diagnostics[0].loc.line, 4);
+  EXPECT_EQ(r.diagnostics[0].field, "predict");
+  EXPECT_EQ(r.diagnostics[1].loc.line, 6);
+  EXPECT_EQ(r.diagnostics[1].field, "at_cores");
+}
+
+TEST(BenchSource, CommentsAndNestedBracesDoNotConfuseTheScanner) {
+  const std::string src =
+      "void f() {\n"
+      "  /* for (;;) predict(a, b, c); */\n"
+      "  // while (1) at_cores(i, k, c, 1);\n"
+      "  for (int i = 0; i < 2; ++i) {\n"
+      "    if (i) { g(); }\n"
+      "  }\n"
+      "  scale_cores(id, k, cls);\n"
+      "}\n";
+  EXPECT_TRUE(lint_bench_source(src, "clean.cpp").empty());
+}
+
+TEST(BenchSource, InFileDirectiveSuppressesB001) {
+  const std::string src =
+      "// rvhpc-lint: disable=B001 — times the raw call on purpose\n"
+      "void bench() {\n"
+      "  for (int i = 0; i < 9; ++i) keep(model::predict(m, sig, cfg));\n"
+      "}\n";
+  EXPECT_TRUE(lint_bench_source(src, "suppressed.cpp").empty());
+}
+
+TEST(BenchSource, ShippedBenchSourcesAreClean) {
+  // The migration contract: no bench/example source sweeps the model
+  // directly any more.  Runs over the two suppressed benches too — their
+  // in-file directives must keep working.
+  for (const char* rel :
+       {"/bench/suite_summary.cpp", "/bench/calibration_check.cpp",
+        "/bench/future_work.cpp", "/bench/micro_benchmarks.cpp",
+        "/bench/obs_overhead.cpp", "/examples/paper_tour.cpp"}) {
+    const std::string path = std::string(RVHPC_SOURCE_DIR) + rel;
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::ostringstream source;
+    source << in.rdbuf();
+    const Report r = lint_bench_source(source.str(), path);
+    EXPECT_TRUE(r.empty()) << path << "\n" << r.format();
   }
 }
 

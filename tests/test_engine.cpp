@@ -1,0 +1,251 @@
+// rvhpc::engine — batch evaluator, memo cache, thread pool, value types.
+//
+// The load-bearing guarantee is determinism: a RequestSet evaluated with 1,
+// 2 or 8 workers must produce bit-identical predictions in request order.
+// Everything else (memoisation, counters, the --jobs flag) layers on top.
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arch/registry.hpp"
+#include "engine/batch.hpp"
+#include "engine/cache.hpp"
+#include "engine/request.hpp"
+#include "engine/thread_pool.hpp"
+#include "model/sweep.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace rvhpc;
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Bit-exact equality over every Prediction field.
+void expect_identical(const model::Prediction& a, const model::Prediction& b) {
+  EXPECT_EQ(a.ran, b.ran);
+  EXPECT_EQ(a.dnr_reason, b.dnr_reason);
+  EXPECT_EQ(bits(a.seconds), bits(b.seconds));
+  EXPECT_EQ(bits(a.mops), bits(b.mops));
+  EXPECT_EQ(bits(a.achieved_bw_gbs), bits(b.achieved_bw_gbs));
+  EXPECT_EQ(a.vector.vectorised, b.vector.vectorised);
+  EXPECT_EQ(bits(a.vector.unit_stride_speedup), bits(b.vector.unit_stride_speedup));
+  EXPECT_EQ(bits(a.vector.gather_speedup), bits(b.vector.gather_speedup));
+  EXPECT_EQ(bits(a.vector.blended_speedup), bits(b.vector.blended_speedup));
+  EXPECT_EQ(bits(a.breakdown.compute_s), bits(b.breakdown.compute_s));
+  EXPECT_EQ(bits(a.breakdown.stream_s), bits(b.breakdown.stream_s));
+  EXPECT_EQ(bits(a.breakdown.latency_s), bits(b.breakdown.latency_s));
+  EXPECT_EQ(bits(a.breakdown.sync_s), bits(b.breakdown.sync_s));
+  EXPECT_EQ(bits(a.breakdown.imbalance), bits(b.breakdown.imbalance));
+  EXPECT_EQ(a.breakdown.dominant, b.breakdown.dominant);
+}
+
+/// A medium-sized mixed sweep: every HPC machine's MG and CG scaling
+/// curves plus a few single points — enough requests to keep several
+/// workers busy and to contain duplicates for the cache tests.
+engine::RequestSet mixed_set() {
+  engine::RequestSet set;
+  for (arch::MachineId id : arch::hpc_machines()) {
+    const arch::MachineModel& m = arch::machine(id);
+    for (model::Kernel k : {model::Kernel::MG, model::Kernel::CG}) {
+      set.add_scaling(m, k, model::ProblemClass::C,
+                      model::paper_run_config(m, k, 1),
+                      std::string(arch::name_of(id)));
+    }
+  }
+  set.add_paper_setup(arch::MachineId::Sg2044, model::Kernel::FT,
+                      model::ProblemClass::C, 64, "ft64");
+  return set;
+}
+
+engine::BatchEvaluator make(int jobs, std::size_t cache_capacity) {
+  engine::BatchEvaluator::Options opts;
+  opts.jobs = jobs;
+  opts.cache_capacity = cache_capacity;
+  return engine::BatchEvaluator(opts);
+}
+
+TEST(MachineFingerprint, DistinctAcrossRegistryAndUnderPerturbation) {
+  std::vector<std::uint64_t> seen;
+  for (arch::MachineId id : arch::all_machines()) {
+    seen.push_back(engine::machine_fingerprint(arch::machine(id)));
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    for (std::size_t j = i + 1; j < seen.size(); ++j) {
+      EXPECT_NE(seen[i], seen[j]) << "machines " << i << " and " << j;
+    }
+  }
+  // A 5% knob tweak — what the sensitivity sweep does — must re-key.
+  arch::MachineModel m = arch::machine(arch::MachineId::Sg2044);
+  const std::uint64_t base = engine::machine_fingerprint(m);
+  m.memory.channel_bw_gbs *= 1.05;
+  EXPECT_NE(engine::machine_fingerprint(m), base);
+}
+
+TEST(PredictionRequest, KeyCoversCoresAndCompiler) {
+  const arch::MachineModel& m = arch::machine(arch::MachineId::Sg2044);
+  const auto sig = model::signature(model::Kernel::MG, model::ProblemClass::C);
+  model::RunConfig cfg = model::paper_run_config(m, model::Kernel::MG, 8);
+  const engine::PredictionRequest a(m, sig, cfg);
+  const engine::PredictionRequest same(m, sig, cfg);
+  EXPECT_EQ(a.key(), same.key());
+
+  model::RunConfig more_cores = cfg;
+  more_cores.cores = 16;
+  EXPECT_NE(engine::PredictionRequest(m, sig, more_cores).key(), a.key());
+
+  model::RunConfig scalar = cfg;
+  scalar.compiler.vectorise = !scalar.compiler.vectorise;
+  EXPECT_NE(engine::PredictionRequest(m, sig, scalar).key(), a.key());
+}
+
+TEST(RequestSet, ScalingHelperTagsAndOrder) {
+  const arch::MachineModel& m = arch::machine(arch::MachineId::Sg2044);
+  engine::RequestSet set;
+  set.add_scaling(m, model::Kernel::MG, model::ProblemClass::C,
+                  model::paper_run_config(m, model::Kernel::MG, 1), "sg2044");
+  const auto grid = model::power_of_two_cores(m.cores);
+  ASSERT_EQ(set.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(set.requests()[i].config().cores, grid[i]);
+    EXPECT_EQ(set.requests()[i].tag(),
+              "sg2044@" + std::to_string(grid[i]));
+  }
+}
+
+TEST(BatchEvaluator, DeterministicAcrossPoolSizes) {
+  const engine::RequestSet set = mixed_set();
+  auto serial = make(1, 0);
+  const auto base = serial.evaluate(set);
+  ASSERT_EQ(base.size(), set.size());
+  for (int jobs : {2, 8}) {
+    auto pooled = make(jobs, 0);
+    const auto out = pooled.evaluate(set);
+    ASSERT_EQ(out.size(), base.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i].index, i);
+      EXPECT_EQ(out[i].tag, base[i].tag);
+      expect_identical(out[i].prediction, base[i].prediction);
+    }
+  }
+}
+
+TEST(BatchEvaluator, SecondPassServedFromCache) {
+  const engine::RequestSet set = mixed_set();
+  auto ev = make(2, engine::PredictionCache::kDefaultCapacity);
+  const auto first = ev.evaluate(set);
+  EXPECT_EQ(ev.cache().hits(), 0u);
+  EXPECT_EQ(ev.cache().misses(), set.size());
+  const auto second = ev.evaluate(set);
+  EXPECT_EQ(ev.cache().hits(), set.size());
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    EXPECT_TRUE(second[i].from_cache) << "request " << i;
+    expect_identical(second[i].prediction, first[i].prediction);
+  }
+}
+
+TEST(BatchEvaluator, CacheCountersPublishedThroughObsMetrics) {
+  obs::Registry::global().reset();
+  obs::set_metrics_enabled(true);
+  auto& hits =
+      obs::Registry::global().counter("rvhpc_engine_cache_hits_total");
+  auto& misses =
+      obs::Registry::global().counter("rvhpc_engine_cache_misses_total");
+  const auto h0 = hits.value();
+  const auto m0 = misses.value();
+
+  const engine::RequestSet set = mixed_set();
+  auto ev = make(1, engine::PredictionCache::kDefaultCapacity);
+  (void)ev.evaluate(set);
+  (void)ev.evaluate(set);
+  obs::set_metrics_enabled(false);
+
+  EXPECT_EQ(misses.value() - m0, set.size());
+  EXPECT_EQ(hits.value() - h0, set.size());
+}
+
+TEST(BatchEvaluator, ActiveTraceSessionBypassesCache) {
+  // A cache hit would skip predict() and its PredictionRecord, so batches
+  // evaluated under a live session must never touch the cache.
+  const engine::RequestSet set = mixed_set();
+  auto ev = make(2, engine::PredictionCache::kDefaultCapacity);
+  obs::SessionScope scope;
+  (void)ev.evaluate(set);
+  const auto second = ev.evaluate(set);
+  EXPECT_EQ(ev.cache().hits(), 0u);
+  EXPECT_EQ(ev.cache().misses(), 0u);
+  for (const auto& r : second) EXPECT_FALSE(r.from_cache);
+  EXPECT_GE(scope.session().event_count(), 2 * set.size());
+}
+
+TEST(PredictionCache, LruEvictionOrder) {
+  engine::PredictionCache cache(2);
+  model::Prediction p;
+  p.mops = 1.0;
+  cache.put(1, p);
+  cache.put(2, p);
+  ASSERT_TRUE(cache.get(1).has_value());  // 1 becomes most-recent
+  cache.put(3, p);                        // evicts 2, the LRU entry
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_TRUE(cache.get(3).has_value());
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PredictionCache, ZeroCapacityDisables) {
+  engine::PredictionCache cache(0);
+  model::Prediction p;
+  cache.put(7, p);
+  EXPECT_FALSE(cache.get(7).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(ThreadPool, RethrowsFirstTaskExceptionFromWait) {
+  engine::ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The pool must stay usable after an error batch.
+  int done = 0;
+  pool.submit([&] { done = 1; });
+  pool.wait();
+  EXPECT_EQ(done, 1);
+}
+
+TEST(ApplyJobsFlag, ParsesValidAndRejectsMalformed) {
+  const char* good[] = {"prog", "--table=3", "--jobs=3"};
+  EXPECT_EQ(engine::apply_jobs_flag(3, const_cast<char**>(good)), 3);
+  EXPECT_EQ(engine::default_evaluator().jobs(), 3);
+
+  const char* absent[] = {"prog", "--verbose"};
+  EXPECT_EQ(engine::apply_jobs_flag(2, const_cast<char**>(absent)), 0);
+
+  const char* zero[] = {"prog", "--jobs=0"};
+  EXPECT_EQ(engine::apply_jobs_flag(2, const_cast<char**>(zero)), 0);
+
+  const char* junk[] = {"prog", "--jobs=abc"};
+  EXPECT_EQ(engine::apply_jobs_flag(2, const_cast<char**>(junk)), 0);
+
+  const char* trailing[] = {"prog", "--jobs=4x"};
+  EXPECT_EQ(engine::apply_jobs_flag(2, const_cast<char**>(trailing)), 0);
+
+  engine::set_default_jobs(engine::default_jobs());  // restore for later tests
+}
+
+TEST(DefaultEvaluator, EvaluateOneMatchesDirectPredict) {
+  const arch::MachineModel& m = arch::machine(arch::MachineId::Sg2042);
+  const auto sig = model::signature(model::Kernel::CG, model::ProblemClass::C);
+  const model::RunConfig cfg = model::paper_run_config(m, model::Kernel::CG, 64);
+  expect_identical(engine::default_evaluator().evaluate_one(m, sig, cfg),
+                   model::predict(m, sig, cfg));
+}
+
+}  // namespace

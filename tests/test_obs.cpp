@@ -341,6 +341,43 @@ TEST(ObsConcurrency, ThreadedSweepEmissionIsSafeAndComplete) {
       (void)obs::json::parse(obs::chrome_trace_json(scope.session())));
 }
 
+// --- record cap ------------------------------------------------------------
+
+TEST(ObsSessionCap, RingEvictsOldestAndCountsDrops) {
+  obs::TraceSession s;
+  s.set_max_records(4);
+  for (int i = 0; i < 10; ++i) {
+    s.add_instant("tick" + std::to_string(i), "test");
+  }
+  EXPECT_EQ(s.event_count(), 4u);
+  EXPECT_EQ(s.dropped_records(), 6u);
+  const auto instants = s.instants();
+  ASSERT_EQ(instants.size(), 4u);
+  // Ring semantics: the most recent history survives.
+  EXPECT_EQ(instants.front().name, "tick6");
+  EXPECT_EQ(instants.back().name, "tick9");
+}
+
+TEST(ObsSessionCap, LoweringCapBelowPopulationEvictsImmediately) {
+  obs::TraceSession s;
+  for (int i = 0; i < 8; ++i) {
+    s.add_instant("e" + std::to_string(i), "test");
+  }
+  s.set_max_records(3);
+  EXPECT_EQ(s.event_count(), 3u);
+  EXPECT_EQ(s.dropped_records(), 5u);
+}
+
+TEST(ObsSessionCap, AttributionReportWarnsAboutDroppedRecords) {
+  obs::SessionScope scope;
+  scope.session().set_max_records(2);
+  for (int i = 0; i < 5; ++i) (void)predict_cg64();
+  const std::string report = obs::attribution_report(scope.session());
+  EXPECT_NE(report.find("dropped by the session cap (max_records=2)"),
+            std::string::npos);
+  EXPECT_GT(scope.session().dropped_records(), 0u);
+}
+
 // --- report ----------------------------------------------------------------
 
 TEST(ObsReport, AttributionNamesSaturatedResourceAndDnr) {
