@@ -10,6 +10,7 @@
 #include <iostream>
 #include <vector>
 
+#include "cli/cli.hpp"
 #include "engine/batch.hpp"
 #include "model/paper_reference.hpp"
 #include "model/sweep.hpp"
@@ -73,8 +74,10 @@ model::Prediction eval(MachineId id, Kernel k, ProblemClass cls, int cores) {
 
 }  // namespace
 
+// Accepts --jobs=N: worker threads for the batch evaluation (0 = every
+// hardware thread; see cli::apply_jobs_flag).
 int main(int argc, char** argv) {
-  engine::apply_jobs_flag(argc, argv);
+  cli::apply_jobs_flag(argc, argv);
   // ---- Table 2: single-core class B across RISC-V machines ----------------
   for (const auto& row : model::paper::table2()) {
     if (!row.mops) continue;

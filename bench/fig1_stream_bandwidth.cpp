@@ -8,6 +8,7 @@
 #include <optional>
 #include <string>
 
+#include "cli/cli.hpp"
 #include "engine/batch.hpp"
 #include "model/sweep.hpp"
 #include "obs/report.hpp"
@@ -22,8 +23,10 @@ using arch::MachineId;
 using model::Kernel;
 using model::ProblemClass;
 
+// Accepts --jobs=N: worker threads for the batch evaluation (0 = every
+// hardware thread; see cli::apply_jobs_flag).
 int main(int argc, char** argv) {
-  engine::apply_jobs_flag(argc, argv);
+  cli::apply_jobs_flag(argc, argv);
   std::optional<std::string> trace_path;
   bool host = false;
   for (int i = 1; i < argc; ++i) {

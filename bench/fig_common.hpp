@@ -8,6 +8,7 @@
 #include <optional>
 #include <string>
 
+#include "cli/cli.hpp"
 #include "engine/batch.hpp"
 #include "engine/request.hpp"
 #include "model/sweep.hpp"
@@ -113,10 +114,11 @@ inline void print_scaling_figure(const std::string& title, model::Kernel kernel,
 /// print_scaling_figure plus standard figure-binary argv handling: a
 /// --trace=<file> flag wraps the whole figure in an obs session and dumps
 /// the Chrome trace (per-point attribution records included) at the end,
-/// and --jobs=N sizes the engine's worker pool for the batch evaluation.
+/// and --jobs=N sizes the engine's worker pool for the batch evaluation
+/// (0 = every hardware thread; see cli::apply_jobs_flag).
 inline int run_scaling_figure(int argc, char** argv, const std::string& title,
                               model::Kernel kernel, const std::string& notes) {
-  engine::apply_jobs_flag(argc, argv);
+  cli::apply_jobs_flag(argc, argv);
   std::optional<std::string> trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];

@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "cli/cli.hpp"
 #include "engine/batch.hpp"
 #include "engine/request.hpp"
 #include "hpc/hpcg.hpp"
@@ -22,8 +23,10 @@ using model::CompilerId;
 using model::Kernel;
 using model::ProblemClass;
 
+// Accepts --jobs=N: worker threads for the batch evaluation (0 = every
+// hardware thread; see cli::apply_jobs_flag).
 int main(int argc, char** argv) {
-  engine::apply_jobs_flag(argc, argv);
+  cli::apply_jobs_flag(argc, argv);
   std::cout << "§7 future work — HPL / HPCG / LLVM, modelled ahead of the "
                "paper\n\n";
 

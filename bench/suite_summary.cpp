@@ -11,12 +11,15 @@
 // output so the summary doubles as a self-profile.
 
 #include <cmath>
+#include <cstddef>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "cli/cli.hpp"
 #include "engine/batch.hpp"
 #include "engine/request.hpp"
 #include "model/sweep.hpp"
@@ -24,6 +27,7 @@
 #include "obs/trace.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
+#include "serve/persist.hpp"
 
 using namespace rvhpc;
 using arch::MachineId;
@@ -45,8 +49,19 @@ int column_cores(MachineId id, int cores) {
 
 }  // namespace
 
+// Accepts --jobs=N: worker threads for the batch evaluation (0 = every
+// hardware thread; see cli::apply_jobs_flag).  --cache-file=<file> keeps
+// the engine's memo cache across runs (serve::load_cache/save_cache): a
+// repeated summary answers every cell from the restored cache.
 int main(int argc, char** argv) {
-  engine::apply_jobs_flag(argc, argv);
+  cli::apply_jobs_flag(argc, argv);
+  std::string cache_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--cache-file=", 0) == 0) {
+      cache_file = arg.substr(std::string("--cache-file=").size());
+    }
+  }
   std::cout << "Suite summary — geometric-mean speedup of the SG2044 over "
                "each CPU\n(class C; >1 means the SG2044 is faster)\n\n";
   const std::vector<Kernel> kernels = model::npb_kernels();
@@ -78,12 +93,27 @@ int main(int argc, char** argv) {
     }
   }
 
-  // The batch runs under an obs session so the metrics block below
-  // reflects exactly this run's work (tracing disables the memo cache —
-  // every cell pays full predict() price, keeping attribution complete).
-  obs::SessionScope scope;
+  // Without --cache-file the batch runs under an obs session so the
+  // metrics block below reflects exactly this run's work (tracing
+  // disables the memo cache — every cell pays full predict() price,
+  // keeping attribution complete).  With --cache-file the memo cache IS
+  // the point, so the run skips the session (metrics only) and restores
+  // the cache from disk first: a warm rerun answers every cell for free.
+  std::optional<obs::SessionScope> scope;
+  std::size_t restored = 0;
+  if (cache_file.empty()) {
+    scope.emplace();
+  } else {
+    obs::set_metrics_enabled(true);
+    const serve::LoadResult loaded =
+        serve::load_cache(cache_file, engine::default_evaluator().cache());
+    restored = loaded.restored;
+  }
   const std::vector<engine::PredictionResult> results =
       engine::default_evaluator().evaluate(set);
+  if (!cache_file.empty()) {
+    serve::save_cache(cache_file, engine::default_evaluator().cache());
+  }
   std::map<std::string, const model::Prediction*> cell;
   for (const engine::PredictionResult& r : results) {
     cell[r.tag] = &r.prediction;
@@ -127,8 +157,14 @@ int main(int argc, char** argv) {
 
   std::cout << "\nSelf-profile of this run (" << set.size()
             << " unique cells, " << engine::default_evaluator().jobs()
-            << " worker thread(s), " << scope.session().event_count()
-            << " trace records):\n\n"
+            << " worker thread(s), ";
+  if (scope) {
+    std::cout << scope->session().event_count() << " trace records";
+  } else {
+    std::cout << "tracing off: --cache-file";
+  }
+  std::cout << "):\n\npersistent-cache restored entries: " << restored
+            << (cache_file.empty() ? " (no --cache-file)" : "") << "\n"
             << obs::Registry::global().render_text();
   return 0;
 }

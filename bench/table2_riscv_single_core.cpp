@@ -5,6 +5,7 @@
 
 #include <iostream>
 
+#include "cli/cli.hpp"
 #include "engine/batch.hpp"
 #include "engine/request.hpp"
 #include "model/paper_reference.hpp"
@@ -17,8 +18,10 @@ using arch::MachineId;
 using model::Kernel;
 using model::ProblemClass;
 
+// Accepts --jobs=N: worker threads for the batch evaluation (0 = every
+// hardware thread; see cli::apply_jobs_flag).
 int main(int argc, char** argv) {
-  engine::apply_jobs_flag(argc, argv);
+  cli::apply_jobs_flag(argc, argv);
   std::cout << "Table 2 — single-core class B, Mop/s (percentage of the "
                "SG2044's C920v2 in parentheses)\n"
                "Each cell: paper | model\n\n";

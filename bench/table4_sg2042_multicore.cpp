@@ -4,6 +4,7 @@
 
 #include <iostream>
 
+#include "cli/cli.hpp"
 #include "engine/batch.hpp"
 #include "engine/request.hpp"
 #include "model/paper_reference.hpp"
@@ -15,8 +16,10 @@ using namespace rvhpc;
 using arch::MachineId;
 using model::ProblemClass;
 
+// Accepts --jobs=N: worker threads for the batch evaluation (0 = every
+// hardware thread; see cli::apply_jobs_flag).
 int main(int argc, char** argv) {
-  engine::apply_jobs_flag(argc, argv);
+  cli::apply_jobs_flag(argc, argv);
   std::cout << "Table 4 — NPB kernels (class C) on all 64 cores: SG2044 vs "
                "SG2042\nEach cell: paper | model\n\n";
   const auto rows = model::paper::table4_64_cores();

@@ -5,6 +5,7 @@
 
 #include <iostream>
 
+#include "cli/cli.hpp"
 #include "engine/batch.hpp"
 #include "engine/request.hpp"
 #include "model/paper_reference.hpp"
@@ -28,8 +29,10 @@ model::RunConfig ablation_config(int cores, CompilerId id, bool vec) {
 
 }  // namespace
 
+// Accepts --jobs=N: worker threads for the batch evaluation (0 = every
+// hardware thread; see cli::apply_jobs_flag).
 int main(int argc, char** argv) {
-  engine::apply_jobs_flag(argc, argv);
+  cli::apply_jobs_flag(argc, argv);
   std::cout << "Table 7 — SG2044 single core, class C, compiler ablation "
                "(Mop/s)\nEach cell: paper | model\n\n";
   const auto rows = model::paper::table7_single_core();

@@ -3,6 +3,7 @@
 
 #include <iostream>
 
+#include "cli/cli.hpp"
 #include "engine/batch.hpp"
 #include "engine/request.hpp"
 #include "model/paper_reference.hpp"
@@ -26,8 +27,10 @@ model::RunConfig ablation_config(CompilerId id, bool vec) {
 
 }  // namespace
 
+// Accepts --jobs=N: worker threads for the batch evaluation (0 = every
+// hardware thread; see cli::apply_jobs_flag).
 int main(int argc, char** argv) {
-  engine::apply_jobs_flag(argc, argv);
+  cli::apply_jobs_flag(argc, argv);
   std::cout << "Table 8 — SG2044 all 64 cores, class C, compiler ablation "
                "(Mop/s)\nEach cell: paper | model\n\n";
   const auto rows = model::paper::table8_64_cores();

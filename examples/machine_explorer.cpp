@@ -18,6 +18,7 @@
 #include "arch/registry.hpp"
 #include "arch/serialize.hpp"
 #include "arch/validate.hpp"
+#include "cli/cli.hpp"
 #include "engine/batch.hpp"
 #include "engine/request.hpp"
 #include "model/roofline.hpp"
@@ -109,9 +110,11 @@ void sweep(const std::string& name, const std::string& kernel_name) {
 
 }  // namespace
 
+// Accepts --jobs=N: worker threads for the batch evaluation (0 = every
+// hardware thread; see cli::apply_jobs_flag).
 int main(int argc, char** argv) {
   try {
-    engine::apply_jobs_flag(argc, argv);
+    cli::apply_jobs_flag(argc, argv);
     std::optional<std::string> trace_path;
     std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {

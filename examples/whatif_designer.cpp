@@ -14,6 +14,7 @@
 #include "analysis/engine.hpp"
 #include "arch/registry.hpp"
 #include "arch/validate.hpp"
+#include "cli/cli.hpp"
 #include "engine/batch.hpp"
 #include "engine/request.hpp"
 #include "model/sweep.hpp"
@@ -59,8 +60,10 @@ void row(report::Table& t, const std::string& label, const MachineModel& m) {
 
 }  // namespace
 
+// Accepts --jobs=N: worker threads for the batch evaluation (0 = every
+// hardware thread; see cli::apply_jobs_flag).
 int main(int argc, char** argv) {
-  engine::apply_jobs_flag(argc, argv);
+  cli::apply_jobs_flag(argc, argv);
   std::optional<std::string> trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];

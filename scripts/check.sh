@@ -6,9 +6,11 @@
 # figure/table generators cannot silently rot), runs rvhpc-lint in
 # --werror mode over the registry, the signature suite, every example
 # .machine file and every bench/example C++ source (rule B001: no predict
-# sweeps bypassing the engine), then re-runs the engine tests under TSan
-# to catch data races in the thread pool.  Exits non-zero on the first
-# failure.
+# sweeps bypassing the engine), replays the checked-in serve fixture cold
+# and warm through rvhpc-serve (bit-identical outputs, >= 90% warm cache
+# hits) plus the rvhpc-serve --gate, then re-runs the threaded tests under
+# TSan to catch data races in the thread pool.  Exits non-zero on the
+# first failure.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-check)
 
@@ -75,16 +77,39 @@ echo "== rvhpc-lint --werror: bench/ and examples/ sources (B001)"
 "$build_dir/src/analysis/rvhpc-lint" --werror \
   "$repo_root"/bench/*.cpp "$repo_root"/examples/*.cpp
 
+echo "== rvhpc-serve: cold+warm replay (bit-identical, >= 90% warm hits)"
+serve="$build_dir/src/serve/rvhpc-serve"
+fixture="$repo_root/tests/data/serve_replay20.jsonl"
+serve_tmp="$(mktemp -d)"
+trap 'rm -rf "$serve_tmp"' EXIT
+"$serve" --replay="$fixture" --cache-file="$serve_tmp/replay.cache" \
+  --out="$serve_tmp/cold.jsonl" 2> "$serve_tmp/cold.log"
+"$serve" --replay="$fixture" --cache-file="$serve_tmp/replay.cache" \
+  --out="$serve_tmp/warm.jsonl" 2> "$serve_tmp/warm.log"
+cmp "$serve_tmp/cold.jsonl" "$serve_tmp/warm.jsonl"
+hit_rate="$(sed -n 's/.*cache-hit-rate: \([0-9.]*\)%.*/\1/p' \
+  "$serve_tmp/warm.log")"
+if [ -z "$hit_rate" ] ||
+   ! awk -v r="$hit_rate" 'BEGIN { exit !(r >= 90.0) }'; then
+  echo "error: warm replay cache-hit-rate '${hit_rate:-?}' is below 90%" >&2
+  exit 1
+fi
+echo "-- warm replay bit-identical to cold, cache-hit-rate ${hit_rate}%"
+
+echo "== rvhpc-serve --gate"
+(cd "$serve_tmp" && "$serve" --gate)
+
 echo "== configure (TSan) -> $build_dir-tsan"
-# TSan cannot combine with ASan, so the engine's thread pool gets its own
-# build; only the engine and obs tests run there — they own all the
+# TSan cannot combine with ASan, so the thread pool's owners get their own
+# build; the engine, obs and serve tests run there — they own all the
 # threading in the library.
 cmake -B "$build_dir-tsan" -S "$repo_root" "${generator[@]}" \
   -DRVHPC_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
-cmake --build "$build_dir-tsan" -j --target test_engine test_obs
-echo "== TSan: test_engine + test_obs"
+cmake --build "$build_dir-tsan" -j --target test_engine test_obs test_serve
+echo "== TSan: test_engine + test_obs + test_serve"
 "$build_dir-tsan/tests/test_engine"
 "$build_dir-tsan/tests/test_obs"
+"$build_dir-tsan/tests/test_serve"
 
 echo "== all gates green"

@@ -3,6 +3,8 @@
 #include <ostream>
 #include <string>
 
+#include "engine/batch.hpp"
+
 #ifndef RVHPC_VERSION
 #define RVHPC_VERSION "0.0.0"
 #endif
@@ -38,6 +40,14 @@ bool handle_standard_flags(int argc, char** argv, const ToolInfo& tool,
     }
   }
   return false;
+}
+
+std::string jobs_flag_help() {
+  return "  --jobs=N     worker threads (0 = every hardware thread)";
+}
+
+int apply_jobs_flag(int argc, char** argv) {
+  return engine::apply_jobs_flag(argc, argv);
 }
 
 }  // namespace rvhpc::cli

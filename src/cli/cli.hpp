@@ -34,4 +34,16 @@ void print_help(std::ostream& os, const ToolInfo& tool);
                                          const ToolInfo& tool,
                                          std::ostream& os);
 
+/// The one sentence every tool's usage block uses for --jobs, so the flag
+/// reads identically everywhere:
+///   "  --jobs=N     worker threads (0 = every hardware thread)"
+[[nodiscard]] std::string jobs_flag_help();
+
+/// Scans argv for `--jobs=N` and sizes the engine's default evaluator
+/// pool: N > 0 uses exactly N workers, N == 0 uses every hardware thread
+/// (std::thread::hardware_concurrency) — the same semantics on every
+/// binary.  Returns the effective worker count applied, 0 when the flag is
+/// absent or malformed.  Other arguments are left untouched.
+int apply_jobs_flag(int argc, char** argv);
+
 }  // namespace rvhpc::cli

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 
 #include "engine/thread_pool.hpp"
 #include "obs/metrics.hpp"
@@ -145,7 +146,16 @@ int apply_jobs_flag(int argc, char** argv) {
     char* end = nullptr;
     const std::string value(arg.substr(kFlag.size()));
     const long jobs = std::strtol(value.c_str(), &end, 10);
-    if (end != nullptr && *end == '\0' && jobs > 0 && jobs <= 4096) {
+    if (end == nullptr || *end != '\0' || value.empty()) continue;
+    if (jobs == 0) {
+      // --jobs=0 = "every hardware thread", uniformly across binaries
+      // (previously each binary silently ignored it).
+      const unsigned hw = std::thread::hardware_concurrency();
+      const int effective = hw > 0 ? static_cast<int>(hw) : 1;
+      set_default_jobs(effective);
+      return effective;
+    }
+    if (jobs > 0 && jobs <= 4096) {
       set_default_jobs(static_cast<int>(jobs));
       return static_cast<int>(jobs);
     }

@@ -57,6 +57,14 @@ void PredictionCache::put(std::uint64_t key, const model::Prediction& p) {
   }
 }
 
+std::vector<CacheEntry> PredictionCache::entries() const {
+  std::lock_guard lock(mu_);
+  std::vector<CacheEntry> out;
+  out.reserve(lru_.size());
+  for (const Entry& e : lru_) out.push_back({e.key, e.prediction});
+  return out;
+}
+
 void PredictionCache::clear() {
   std::lock_guard lock(mu_);
   lru_.clear();

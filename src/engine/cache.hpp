@@ -19,10 +19,19 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "model/predictor.hpp"
 
 namespace rvhpc::engine {
+
+/// One resident cache entry, as exported by PredictionCache::entries().
+/// The serve layer's persistent cache (serve/persist.hpp) writes these to
+/// disk and replays them through put() on load.
+struct CacheEntry {
+  std::uint64_t key = 0;
+  model::Prediction prediction;
+};
 
 class PredictionCache {
  public:
@@ -37,6 +46,12 @@ class PredictionCache {
   void put(std::uint64_t key, const model::Prediction& p);
 
   void clear();
+
+  /// Every resident entry, most-recently-used first — the serialisation
+  /// hook the persistent cache uses.  Replaying the snapshot through put()
+  /// in *reverse* (LRU first) reproduces the exact recency order, which is
+  /// how save/load preserves eviction behaviour across processes.
+  [[nodiscard]] std::vector<CacheEntry> entries() const;
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }

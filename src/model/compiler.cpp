@@ -1,5 +1,8 @@
 #include "model/compiler.hpp"
 
+#include <cctype>
+#include <stdexcept>
+
 namespace rvhpc::model {
 
 using arch::VectorIsa;
@@ -15,6 +18,28 @@ std::string to_string(CompilerId id) {
     case CompilerId::Clang17:       return "Clang/LLVM 17";
   }
   return "unknown";
+}
+
+CompilerId parse_compiler_id(const std::string& name) {
+  static constexpr CompilerId all[] = {
+      CompilerId::XuanTieGcc8_4, CompilerId::Gcc8_4,    CompilerId::Gcc9_2,
+      CompilerId::Gcc11_2,       CompilerId::Gcc12_3_1, CompilerId::Gcc15_2,
+      CompilerId::Clang17};
+  const auto fold = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return out;
+  };
+  std::string alternatives;
+  for (CompilerId id : all) {
+    if (fold(to_string(id)) == fold(name)) return id;
+    if (!alternatives.empty()) alternatives += ", ";
+    alternatives += "'" + to_string(id) + "'";
+  }
+  throw std::invalid_argument("unknown compiler '" + name + "' (expected " +
+                              alternatives + ")");
 }
 
 bool can_target(CompilerId id, VectorIsa isa) {

@@ -29,6 +29,10 @@ enum class CompilerId : std::uint8_t {
 
 [[nodiscard]] std::string to_string(CompilerId id);
 
+/// Inverse of to_string(CompilerId) ("GCC 15.2", "XuanTie GCC 8.4", ...),
+/// case-insensitive; throws std::invalid_argument listing the toolchains.
+[[nodiscard]] CompilerId parse_compiler_id(const std::string& name);
+
 /// A concrete build configuration: toolchain plus whether vectorisation is
 /// requested (-O3 always assumed; `vectorise=false` models
 /// -fno-tree-vectorize as used in Tables 7/8).

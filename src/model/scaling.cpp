@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "obs/trace.hpp"
 
@@ -14,6 +15,14 @@ std::string to_string(ThreadPlacement p) {
     case ThreadPlacement::Close:     return "close";
   }
   return "unknown";
+}
+
+ThreadPlacement parse_placement(const std::string& name) {
+  if (name == "os-default") return ThreadPlacement::OsDefault;
+  if (name == "spread") return ThreadPlacement::Spread;
+  if (name == "close") return ThreadPlacement::Close;
+  throw std::invalid_argument("unknown placement '" + name +
+                              "' (expected os-default, spread or close)");
 }
 
 double soft_min(double a, double b, double p) {

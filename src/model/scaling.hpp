@@ -21,6 +21,10 @@ enum class ThreadPlacement : std::uint8_t {
 
 [[nodiscard]] std::string to_string(ThreadPlacement p);
 
+/// Inverse of to_string(ThreadPlacement) ("os-default", "spread",
+/// "close"); throws std::invalid_argument on anything else.
+[[nodiscard]] ThreadPlacement parse_placement(const std::string& name);
+
 /// Smooth minimum with a hard-knee limit: approaches min(a, b) with a knee
 /// sharpness p (higher = sharper).  Used for resource saturation so scaling
 /// curves bend rather than kink.

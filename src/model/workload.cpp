@@ -1,6 +1,20 @@
 #include "model/workload.hpp"
 
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
 namespace rvhpc::model {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+}  // namespace
 
 std::string to_string(Kernel k) {
   switch (k) {
@@ -29,6 +43,31 @@ std::string to_string(ProblemClass c) {
     case ProblemClass::C: return "C";
   }
   return "?";
+}
+
+Kernel parse_kernel(const std::string& name) {
+  static constexpr Kernel all[] = {
+      Kernel::IS, Kernel::MG, Kernel::EP, Kernel::CG,
+      Kernel::FT, Kernel::BT, Kernel::LU, Kernel::SP,
+      Kernel::StreamCopy, Kernel::StreamTriad, Kernel::Hpl, Kernel::Hpcg};
+  for (Kernel k : all) {
+    if (lower(to_string(k)) == lower(name)) return k;
+  }
+  throw std::invalid_argument(
+      "unknown kernel '" + name +
+      "' (expected IS MG EP CG FT BT LU SP STREAM-copy STREAM-triad HPL "
+      "HPCG, case-insensitive)");
+}
+
+ProblemClass parse_problem_class(const std::string& name) {
+  const std::string u = lower(name);
+  if (u == "s") return ProblemClass::S;
+  if (u == "w") return ProblemClass::W;
+  if (u == "a") return ProblemClass::A;
+  if (u == "b") return ProblemClass::B;
+  if (u == "c") return ProblemClass::C;
+  throw std::invalid_argument("unknown problem class '" + name +
+                              "' (expected S, W, A, B or C)");
 }
 
 }  // namespace rvhpc::model

@@ -35,6 +35,16 @@ enum class ProblemClass : std::uint8_t { S, W, A, B, C };
 [[nodiscard]] std::string to_string(Kernel k);
 [[nodiscard]] std::string to_string(ProblemClass c);
 
+/// Inverse of to_string(Kernel), case-insensitive ("cg", "CG",
+/// "stream-triad"); throws std::invalid_argument listing the alternatives.
+/// Shared by every tool that accepts kernel names (rvhpc-profile,
+/// rvhpc-serve requests).
+[[nodiscard]] Kernel parse_kernel(const std::string& name);
+
+/// Inverse of to_string(ProblemClass), case-insensitive; throws
+/// std::invalid_argument on anything but S, W, A, B or C.
+[[nodiscard]] ProblemClass parse_problem_class(const std::string& name);
+
 /// Resource demands of one benchmark at one problem size.
 ///
 /// "op" below is the benchmark's own operation unit — the thing NPB counts

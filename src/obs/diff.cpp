@@ -1,0 +1,254 @@
+#include "obs/diff.hpp"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace rvhpc::obs {
+namespace {
+
+/// One prediction record recovered from a trace's "args" payload.
+struct Pred {
+  bool ran = true;
+  double seconds = 0.0;
+  double mops = 0.0;
+  double bw_gbs = 0.0;
+  std::string bottleneck;
+  bool vectorised = false;
+  std::vector<std::pair<std::string, double>> phases;  ///< insertion order
+};
+
+/// Everything the diff cares about from one trace document.
+struct TraceData {
+  std::vector<std::pair<std::string, Pred>> preds;  ///< key -> record
+  std::map<std::string, double> span_dur_us;        ///< "cat/name" -> total
+  std::map<std::string, int> instants;              ///< "cat/name" -> count
+};
+
+double num_or(const obs::json::Value& v, const char* key, double fallback) {
+  const obs::json::Value* m = v.find(key);
+  return (m && m->is(obs::json::Value::Type::Number)) ? m->num : fallback;
+}
+
+std::string str_or(const obs::json::Value& v, const char* key) {
+  const obs::json::Value* m = v.find(key);
+  return (m && m->is(obs::json::Value::Type::String)) ? m->str : std::string();
+}
+
+TraceData load(const std::string& text, const std::string& label) {
+  obs::json::Value doc;
+  try {
+    doc = obs::json::parse(text);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(label + ": " + e.what());
+  }
+  const obs::json::Value* events = doc.find("traceEvents");
+  if (!events || !events->is(obs::json::Value::Type::Array)) {
+    throw std::runtime_error(label +
+                             ": not a Chrome trace (no traceEvents array)");
+  }
+
+  TraceData data;
+  for (const obs::json::Value& e : events->array) {
+    if (!e.is(obs::json::Value::Type::Object)) continue;
+    const std::string ph = str_or(e, "ph");
+    const std::string key = str_or(e, "cat") + "/" + str_or(e, "name");
+    if (ph == "X") {
+      data.span_dur_us[key] += num_or(e, "dur", 0.0);
+      continue;
+    }
+    if (ph != "i") continue;
+
+    // A prediction instant carries the full attribution as args (with a
+    // nested "phases" object); every other instant is an event (the
+    // saturation markers) and is just counted.
+    const obs::json::Value* args = e.find("args");
+    const obs::json::Value* phases =
+        args ? args->find("phases") : nullptr;
+    if (!args || !phases || !phases->is(obs::json::Value::Type::Object)) {
+      ++data.instants[key];
+      continue;
+    }
+
+    Pred p;
+    if (const obs::json::Value* ran = args->find("ran")) {
+      p.ran = ran->boolean;
+    }
+    p.seconds = num_or(*args, "seconds", 0.0);
+    p.mops = num_or(*args, "mops", 0.0);
+    p.bw_gbs = num_or(*args, "achieved_bw_gbs", 0.0);
+    p.bottleneck = str_or(*args, "bottleneck");
+    if (const obs::json::Value* v = args->find("vectorised")) {
+      p.vectorised = v->boolean;
+    }
+    for (const auto& [name, seconds] : phases->object) {
+      if (seconds.is(obs::json::Value::Type::Number)) {
+        p.phases.emplace_back(name, seconds.num);
+      }
+    }
+    std::ostringstream id;
+    id << str_or(*args, "machine") << "/" << str_or(*args, "kernel") << "."
+       << str_or(*args, "class") << "@"
+       << static_cast<long long>(num_or(*args, "cores", 0.0));
+    data.preds.emplace_back(id.str(), std::move(p));
+  }
+  return data;
+}
+
+std::string fmt(double v, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << v;
+  return os.str();
+}
+
+/// "+4.2%" / "-8.8%"; "n/a" when the baseline is zero.
+std::string pct(double from, double to) {
+  if (from == 0.0) return "n/a";
+  const double d = 100.0 * (to - from) / from;
+  return (d >= 0 ? "+" : "") + fmt(d, 1) + "%";
+}
+
+const Pred* find_pred(const TraceData& t, const std::string& key) {
+  for (const auto& [k, p] : t.preds) {
+    if (k == key) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string trace_diff_report(const std::string& trace_a,
+                              const std::string& trace_b,
+                              const std::string& label_a,
+                              const std::string& label_b) {
+  const TraceData a = load(trace_a, label_a);
+  const TraceData b = load(trace_b, label_b);
+
+  std::ostringstream os;
+  os << "trace diff — A: " << label_a << " (" << a.preds.size()
+     << " predictions) vs B: " << label_b << " (" << b.preds.size()
+     << " predictions)\n";
+
+  // --- matched predictions -----------------------------------------------
+  std::size_t matched = 0, flips = 0;
+  for (const auto& [key, pa] : a.preds) {
+    const Pred* pb = find_pred(b, key);
+    if (!pb) continue;
+    ++matched;
+    os << "\n" << key << "\n";
+    if (pa.ran != pb->ran) {
+      os << "  ran: " << (pa.ran ? "true" : "false") << " -> "
+         << (pb->ran ? "true" : "false") << "  [FLIP]\n";
+      continue;
+    }
+    if (!pa.ran) {
+      os << "  did not run on either side\n";
+      continue;
+    }
+    os << "  seconds:    " << fmt(pa.seconds, 6) << " -> "
+       << fmt(pb->seconds, 6) << "  (" << pct(pa.seconds, pb->seconds)
+       << ")\n";
+    os << "  mops:       " << fmt(pa.mops, 1) << " -> " << fmt(pb->mops, 1)
+       << "  (" << pct(pa.mops, pb->mops) << ")\n";
+    os << "  bw_gbs:     " << fmt(pa.bw_gbs, 1) << " -> " << fmt(pb->bw_gbs, 1)
+       << "  (" << pct(pa.bw_gbs, pb->bw_gbs) << ")\n";
+    if (pa.bottleneck != pb->bottleneck) {
+      ++flips;
+      os << "  bottleneck: " << pa.bottleneck << " -> " << pb->bottleneck
+         << "  [FLIP]\n";
+    } else {
+      os << "  bottleneck: " << pa.bottleneck << " (unchanged)\n";
+    }
+    if (pa.vectorised != pb->vectorised) {
+      os << "  vectorised: " << (pa.vectorised ? "true" : "false") << " -> "
+         << (pb->vectorised ? "true" : "false") << "  [FLIP]\n";
+    }
+    for (const auto& [phase, sa] : pa.phases) {
+      double sb = 0.0;
+      bool found = false;
+      for (const auto& [pn, pv] : pb->phases) {
+        if (pn == phase) {
+          sb = pv;
+          found = true;
+          break;
+        }
+      }
+      if (!found) continue;
+      os << "    phase " << phase << ": " << fmt(sa, 6) << " -> " << fmt(sb, 6)
+         << "  (" << pct(sa, sb) << ")\n";
+    }
+  }
+  if (matched == 0) os << "\n(no predictions matched between the traces)\n";
+
+  // --- unmatched predictions ---------------------------------------------
+  for (const auto& [key, p] : a.preds) {
+    (void)p;
+    if (!find_pred(b, key)) os << "\nonly in A: " << key << "\n";
+  }
+  for (const auto& [key, p] : b.preds) {
+    (void)p;
+    if (!find_pred(a, key)) os << "\nonly in B: " << key << "\n";
+  }
+
+  // --- instant events (saturation markers) -------------------------------
+  bool header = false;
+  const auto event_header = [&] {
+    if (!header) os << "\nevents:\n";
+    header = true;
+  };
+  for (const auto& [key, ca] : a.instants) {
+    const auto it = b.instants.find(key);
+    const int cb = it == b.instants.end() ? 0 : it->second;
+    if (cb == 0) {
+      event_header();
+      os << "  vanished: " << key << " (" << ca << " -> 0)\n";
+    } else if (cb != ca) {
+      event_header();
+      os << "  " << key << ": " << ca << " -> " << cb << "\n";
+    }
+  }
+  for (const auto& [key, cb] : b.instants) {
+    if (a.instants.find(key) == a.instants.end()) {
+      event_header();
+      os << "  new in B: " << key << " (0 -> " << cb << ")\n";
+    }
+  }
+
+  // --- span aggregates ----------------------------------------------------
+  bool span_header = false;
+  const auto spans_header = [&] {
+    if (!span_header) os << "\nspans (total us):\n";
+    span_header = true;
+  };
+  for (const auto& [key, da] : a.span_dur_us) {
+    const auto it = b.span_dur_us.find(key);
+    if (it == b.span_dur_us.end()) {
+      spans_header();
+      os << "  only in A: " << key << " (" << fmt(da, 1) << ")\n";
+    } else {
+      spans_header();
+      os << "  " << key << ": " << fmt(da, 1) << " -> " << fmt(it->second, 1)
+         << "  (" << pct(da, it->second) << ")\n";
+    }
+  }
+  for (const auto& [key, db] : b.span_dur_us) {
+    if (a.span_dur_us.find(key) == a.span_dur_us.end()) {
+      spans_header();
+      os << "  only in B: " << key << " (" << fmt(db, 1) << ")\n";
+    }
+  }
+
+  os << "\nsummary: " << matched << " matched, "
+     << (a.preds.size() - matched) << " only-A, "
+     << (b.preds.size() - matched) << " only-B, " << flips
+     << " bottleneck flip" << (flips == 1 ? "" : "s") << "\n";
+  return os.str();
+}
+
+}  // namespace rvhpc::obs

@@ -1,0 +1,27 @@
+#pragma once
+// rvhpc::obs — trace differencing.
+//
+// Two rvhpc-profile runs of the same sweep produce two Chrome trace
+// documents; the interesting question is rarely either one alone but what
+// *moved* between them — after a machine-file edit, a compiler change, a
+// calibration tweak.  trace_diff_report() parses both documents with
+// obs::json (no external dependency) and reports, per matched prediction,
+// the runtime/rate deltas, per-phase time deltas and bottleneck flips,
+// plus saturation events and span aggregates that appeared, vanished or
+// changed count.  Predictions match on their identity key
+// "machine/kernel.class@cores"; everything else is unmatched and listed.
+
+#include <string>
+
+namespace rvhpc::obs {
+
+/// Human-readable comparison of two Chrome trace_event documents (the
+/// format chrome_trace_json() writes).  `label_a`/`label_b` name the two
+/// sides in the report (typically the file paths).  Throws
+/// std::runtime_error when either document is not a parseable trace.
+[[nodiscard]] std::string trace_diff_report(const std::string& trace_a,
+                                            const std::string& trace_b,
+                                            const std::string& label_a = "A",
+                                            const std::string& label_b = "B");
+
+}  // namespace rvhpc::obs

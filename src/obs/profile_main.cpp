@@ -12,8 +12,6 @@
 //
 // Exit status: 0 on success, 2 on usage/parse failure.
 
-#include <algorithm>
-#include <cctype>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -24,6 +22,7 @@
 #include "arch/validate.hpp"
 #include "cli/cli.hpp"
 #include "model/sweep.hpp"
+#include "obs/diff.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -40,12 +39,17 @@ const cli::ToolInfo kTool{
     "                     [--placement os-default|spread|close]\n"
     "                     [--trace out.json] [--report out.txt]\n"
     "                     [--metrics out.json]\n"
+    "       rvhpc-profile --diff <a.json> <b.json>\n"
     "\n"
     "Runs the prediction (default: the machine's full core count) or the\n"
     "paper's power-of-two core sweep (--sweep) with tracing and metrics\n"
     "on, prints the bottleneck attribution report, and writes the Chrome\n"
     "trace_event JSON / metrics JSON where asked.  Kernels: IS MG EP CG\n"
-    "FT BT LU SP StreamCopy StreamTriad Hpl Hpcg (case-insensitive)."};
+    "FT BT LU SP StreamCopy StreamTriad Hpl Hpcg (case-insensitive).\n"
+    "\n"
+    "--diff compares two traces written by --trace: per-prediction runtime\n"
+    "and per-phase deltas, bottleneck flips, and saturation events that\n"
+    "appeared, vanished or changed count between the runs."};
 
 struct Options {
   std::string machine;
@@ -57,43 +61,17 @@ struct Options {
   std::optional<std::string> trace_path;
   std::optional<std::string> report_path;
   std::optional<std::string> metrics_path;
+  std::string diff_a;  ///< --diff mode when both paths are set
+  std::string diff_b;
 };
 
-std::string lower(std::string s) {
-  std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
-  return s;
-}
-
-model::Kernel parse_kernel(const std::string& name) {
-  static const model::Kernel all[] = {
-      model::Kernel::IS, model::Kernel::MG, model::Kernel::EP,
-      model::Kernel::CG, model::Kernel::FT, model::Kernel::BT,
-      model::Kernel::LU, model::Kernel::SP, model::Kernel::StreamCopy,
-      model::Kernel::StreamTriad, model::Kernel::Hpl, model::Kernel::Hpcg};
-  for (model::Kernel k : all) {
-    if (lower(to_string(k)) == lower(name)) return k;
+/// Whole file as a string; throws on unreadable paths.
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw std::runtime_error("cannot read '" + path + "'");
   }
-  throw std::invalid_argument("unknown kernel '" + name + "'");
-}
-
-model::ProblemClass parse_class(const std::string& name) {
-  const std::string u = lower(name);
-  if (u == "s") return model::ProblemClass::S;
-  if (u == "w") return model::ProblemClass::W;
-  if (u == "a") return model::ProblemClass::A;
-  if (u == "b") return model::ProblemClass::B;
-  if (u == "c") return model::ProblemClass::C;
-  throw std::invalid_argument("unknown problem class '" + name +
-                              "' (expected S, W, A, B or C)");
-}
-
-model::ThreadPlacement parse_placement(const std::string& name) {
-  if (name == "os-default") return model::ThreadPlacement::OsDefault;
-  if (name == "spread") return model::ThreadPlacement::Spread;
-  if (name == "close") return model::ThreadPlacement::Close;
-  throw std::invalid_argument("unknown placement '" + name +
-                              "' (expected os-default, spread or close)");
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
 }
 
 /// Registry name, or a path to a .machine file (detected by the file
@@ -124,15 +102,20 @@ bool parse_args(int argc, char** argv, Options& opts) {
     else if (arg == "--class") opts.problem_class = value_of(i, arg);
     else if (arg == "--cores") opts.cores = std::stoi(value_of(i, arg));
     else if (arg == "--sweep") opts.sweep = true;
-    else if (arg == "--placement") opts.placement = parse_placement(value_of(i, arg));
+    else if (arg == "--placement")
+      opts.placement = model::parse_placement(value_of(i, arg));
     else if (arg == "--trace") opts.trace_path = value_of(i, arg);
     else if (arg == "--report") opts.report_path = value_of(i, arg);
     else if (arg == "--metrics") opts.metrics_path = value_of(i, arg);
-    else {
+    else if (arg == "--diff") {
+      opts.diff_a = value_of(i, arg);
+      opts.diff_b = value_of(i, "--diff (second trace)");
+    } else {
       std::cerr << "rvhpc-profile: unknown argument '" << arg << "'\n";
       return false;
     }
   }
+  if (!opts.diff_a.empty()) return true;
   if (opts.machine.empty() || opts.kernel.empty()) {
     std::cerr << "rvhpc-profile: --machine and --kernel are required\n";
     return false;
@@ -166,9 +149,16 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    if (!opts.diff_a.empty()) {
+      std::cout << obs::trace_diff_report(read_file(opts.diff_a),
+                                          read_file(opts.diff_b), opts.diff_a,
+                                          opts.diff_b);
+      return 0;
+    }
+
     const arch::MachineModel m = resolve_machine(opts.machine);
-    const model::Kernel kernel = parse_kernel(opts.kernel);
-    const model::ProblemClass cls = parse_class(opts.problem_class);
+    const model::Kernel kernel = model::parse_kernel(opts.kernel);
+    const model::ProblemClass cls = model::parse_problem_class(opts.problem_class);
     const model::WorkloadSignature sig = model::signature(kernel, cls);
     const int cores = opts.cores > 0 ? opts.cores : m.cores;
 

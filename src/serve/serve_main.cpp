@@ -1,0 +1,322 @@
+// rvhpc-serve — the prediction model as a long-running service.
+//
+// Reads line-delimited JSON prediction requests (stdin by default, or a
+// replay log with --replay), answers each with one line of JSON, and keeps
+// the engine's memo cache warm across processes through a persistent cache
+// file.  See src/serve/service.hpp for the request/response schema and
+// DESIGN.md §9 for the architecture.
+//
+//   echo '{"id":"r1","machine":"sg2044","kernel":"CG","cores":64}' |
+//     rvhpc-serve --cache-file=predictions.bin
+//   rvhpc-serve --replay=tests/data/serve_replay20.jsonl
+//               --cache-file=predictions.bin --out=responses.jsonl
+//
+// Exit status: 0 on success (including replays with per-request errors —
+// those are *answered*, not fatal), 1 on gate failure, 2 on usage errors.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/registry.hpp"
+#include "cli/cli.hpp"
+#include "obs/metrics.hpp"
+#include "serve/persist.hpp"
+#include "serve/service.hpp"
+
+using namespace rvhpc;
+
+namespace {
+
+const cli::ToolInfo kTool{
+    "rvhpc-serve",
+    "serve predictions over line-delimited JSON with a persistent cache",
+    "usage: rvhpc-serve [--listen=stdio] [--replay=<requests.jsonl>]\n"
+    "                   [--out=<responses.jsonl>] [--cache-file=<file.bin>]\n"
+    "                   [--cache-capacity=N] [--queue=N] [--timeout-ms=T]\n"
+    "                   [--checkpoint-every=N] [--no-lint] [--jobs=N]\n"
+    "                   [--metrics[=<file>]] [--gate]\n"
+    "\n"
+    "  --listen=stdio        serve requests from stdin until EOF/SIGTERM\n"
+    "                        (the default, and currently the only listener)\n"
+    "  --replay=FILE         batch-replay a request log instead of serving;\n"
+    "                        responses in request order, summary on stderr\n"
+    "  --out=FILE            write responses there instead of stdout\n"
+    "  --cache-file=FILE     load the prediction cache on start, checkpoint\n"
+    "                        and flush it on shutdown (corrupt or\n"
+    "                        version-mismatched files are ignored, cold)\n"
+    "  --cache-capacity=N    resident cache entries (default 16384)\n"
+    "  --queue=N             live-mode admission bound; requests past it\n"
+    "                        answer \"overloaded\" (default 256)\n"
+    "  --timeout-ms=T        default per-request deadline (0 = none)\n"
+    "  --checkpoint-every=N  checkpoint the cache every N evaluations\n"
+    "  --no-lint             skip A0xx admission lint of machine_text\n"
+    + cli::jobs_flag_help() + "\n"
+    "  --metrics[=FILE]      dump the Prometheus metrics registry on exit\n"
+    "                        (stderr, or FILE)\n"
+    "  --gate                self-check: replay determinism across pool\n"
+    "                        sizes and cold/warm cache runs, then exit"};
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+struct Options {
+  serve::Service::Options svc;
+  std::string replay_path;
+  std::string out_path;
+  std::string metrics_path;  ///< empty = stderr
+  bool metrics = false;
+  bool gate = false;
+};
+
+bool parse_size(const std::string& text, std::size_t& out) {
+  try {
+    const long long v = std::stoll(text);
+    if (v < 0) return false;
+    out = static_cast<std::size_t>(v);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+int usage_error(const std::string& message) {
+  std::cerr << "rvhpc-serve: " << message << "\n\n" << kTool.usage << "\n";
+  return 2;
+}
+
+// --- gate -----------------------------------------------------------------
+
+/// Synthetic replay log: the paper's HPC machines × three kernels × the
+/// power-of-two core counts — enough distinct points that pool scheduling
+/// differences would show if responses depended on evaluation order.
+std::string gate_requests() {
+  std::ostringstream os;
+  int id = 0;
+  for (arch::MachineId mid : arch::hpc_machines()) {
+    const arch::MachineModel& m = arch::machine(mid);
+    for (const char* kernel : {"CG", "MG", "EP"}) {
+      for (int cores = 1; cores <= m.cores; cores *= 2) {
+        os << "{\"id\": \"g" << id++ << "\", \"machine\": \"" << m.name
+           << "\", \"kernel\": \"" << kernel << "\", \"cores\": " << cores
+           << "}\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+/// One full replay of `path` with its own Service; responses to `out`,
+/// summary discarded, wall time returned in seconds.
+double timed_replay(const std::string& path, int jobs,
+                    const std::string& cache_file, std::ostream& out,
+                    serve::ServiceStats* stats = nullptr) {
+  serve::Service::Options opts;
+  opts.jobs = jobs;
+  opts.cache_file = cache_file;
+  std::ostringstream log;
+  serve::Service svc(opts);
+  svc.start(log);
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)svc.replay(path, out, log);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (stats) *stats = svc.stats();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+int run_gate() {
+  const std::string requests_path = "rvhpc-serve-gate-requests.tmp";
+  const std::string cache_path = "rvhpc-serve-gate-cache.tmp";
+  {
+    std::ofstream f(requests_path);
+    f << gate_requests();
+    if (!f.good()) {
+      std::cerr << "gate: cannot write " << requests_path << "\n";
+      return 1;
+    }
+  }
+  std::remove(cache_path.c_str());
+  bool ok = true;
+
+  // 1. Pool-size independence: jobs=1 and jobs=4 replays are byte-equal.
+  std::ostringstream one, four;
+  const double t1 = timed_replay(requests_path, 1, "", one);
+  const double t4 = timed_replay(requests_path, 4, "", four);
+  if (one.str() != four.str() || one.str().empty()) {
+    std::cerr << "gate: FAIL — replay responses differ between jobs=1 and "
+                 "jobs=4 pools\n";
+    ok = false;
+  } else {
+    std::cerr << "gate: ok — jobs=1 and jobs=4 replays byte-identical ("
+              << t1 << "s vs " << t4 << "s)\n";
+  }
+
+  // 2. Cold/warm cache equivalence: a warm run answers from the restored
+  //    cache and must reproduce the cold run exactly.
+  std::ostringstream cold, warm;
+  serve::ServiceStats cold_stats, warm_stats;
+  timed_replay(requests_path, 0, cache_path, cold, &cold_stats);
+  timed_replay(requests_path, 0, cache_path, warm, &warm_stats);
+  if (cold.str() != warm.str() || cold.str().empty()) {
+    std::cerr << "gate: FAIL — warm-cache replay differs from cold replay\n";
+    ok = false;
+  } else if (warm_stats.cache_hits < warm_stats.ok ||
+             warm_stats.restored == 0) {
+    std::cerr << "gate: FAIL — warm replay restored " << warm_stats.restored
+              << " entries and hit on " << warm_stats.cache_hits << "/"
+              << warm_stats.ok << " requests (want all)\n";
+    ok = false;
+  } else {
+    std::cerr << "gate: ok — warm replay bit-identical, " << warm_stats.restored
+              << " entries restored, " << warm_stats.cache_hits << "/"
+              << warm_stats.ok << " cache hits\n";
+  }
+
+  // 3. Throughput: the pool should beat one worker — only meaningful on
+  //    real multicore hardware and without sanitizer overhead.
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw >= 4 && !kSanitized) {
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      std::ostringstream sink1, sink4;
+      const double s1 = timed_replay(requests_path, 1, "", sink1);
+      const double s4 = timed_replay(requests_path, 4, "", sink4);
+      if (s4 > 0.0) best = std::max(best, s1 / s4);
+    }
+    if (best < 1.5) {
+      std::cerr << "gate: FAIL — jobs=4 replay only " << best
+                << "x faster than jobs=1 (want >= 1.5x)\n";
+      ok = false;
+    } else {
+      std::cerr << "gate: ok — jobs=4 replay " << best << "x faster\n";
+    }
+  } else {
+    std::cerr << "gate: skip — throughput check needs >= 4 hardware threads"
+              << " and an unsanitized build (have " << hw
+              << (kSanitized ? ", sanitized" : "") << ")\n";
+  }
+
+  std::remove(requests_path.c_str());
+  std::remove(cache_path.c_str());
+  std::cerr << (ok ? "gate: PASS\n" : "gate: FAIL\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (cli::handle_standard_flags(argc, argv, kTool, std::cout)) return 0;
+  const int jobs_applied = cli::apply_jobs_flag(argc, argv);
+
+  Options opt;
+  if (jobs_applied > 0) opt.svc.jobs = jobs_applied;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) {
+      return arg.substr(std::string(prefix).size());
+    };
+    if (arg == "--listen=stdio" || arg.rfind("--jobs=", 0) == 0) {
+      // stdio is the only listener; --jobs was consumed above.
+    } else if (arg.rfind("--replay=", 0) == 0) {
+      opt.replay_path = value("--replay=");
+    } else if (arg.rfind("--out=", 0) == 0) {
+      opt.out_path = value("--out=");
+    } else if (arg.rfind("--cache-file=", 0) == 0) {
+      opt.svc.cache_file = value("--cache-file=");
+    } else if (arg.rfind("--cache-capacity=", 0) == 0) {
+      if (!parse_size(value("--cache-capacity="), opt.svc.cache_capacity)) {
+        return usage_error("bad --cache-capacity value '" + arg + "'");
+      }
+    } else if (arg.rfind("--queue=", 0) == 0) {
+      if (!parse_size(value("--queue="), opt.svc.queue_capacity)) {
+        return usage_error("bad --queue value '" + arg + "'");
+      }
+    } else if (arg.rfind("--timeout-ms=", 0) == 0) {
+      try {
+        opt.svc.default_timeout_ms = std::stod(value("--timeout-ms="));
+      } catch (const std::exception&) {
+        return usage_error("bad --timeout-ms value '" + arg + "'");
+      }
+      if (opt.svc.default_timeout_ms < 0) {
+        return usage_error("--timeout-ms must be >= 0");
+      }
+    } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+      if (!parse_size(value("--checkpoint-every="),
+                      opt.svc.checkpoint_every)) {
+        return usage_error("bad --checkpoint-every value '" + arg + "'");
+      }
+    } else if (arg == "--no-lint") {
+      opt.svc.lint_admission = false;
+    } else if (arg == "--metrics") {
+      opt.metrics = true;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      opt.metrics = true;
+      opt.metrics_path = value("--metrics=");
+    } else if (arg == "--gate") {
+      opt.gate = true;
+    } else {
+      return usage_error("unknown argument '" + arg + "'");
+    }
+  }
+
+  if (opt.gate) return run_gate();
+
+  obs::set_metrics_enabled(true);
+
+  std::ofstream out_file;
+  if (!opt.out_path.empty()) {
+    out_file.open(opt.out_path);
+    if (!out_file.good()) {
+      return usage_error("cannot open --out file '" + opt.out_path + "'");
+    }
+  }
+  std::ostream& out = opt.out_path.empty() ? std::cout : out_file;
+
+  int status = 0;
+  {
+    serve::Service svc(opt.svc);
+    svc.start(std::cerr);
+    if (!opt.replay_path.empty()) {
+      try {
+        std::cerr << svc.replay(opt.replay_path, out, std::cerr);
+      } catch (const std::exception& e) {
+        std::cerr << "rvhpc-serve: " << e.what() << "\n";
+        status = 2;
+      }
+    } else {
+      serve::install_shutdown_handlers();
+      svc.run(std::cin, out, std::cerr);
+    }
+  }
+
+  if (opt.metrics && status == 0) {
+    const std::string text = obs::Registry::global().render_text();
+    if (opt.metrics_path.empty()) {
+      std::cerr << text;
+    } else {
+      std::ofstream m(opt.metrics_path);
+      m << text;
+      if (!m.good()) {
+        std::cerr << "rvhpc-serve: cannot write --metrics file '"
+                  << opt.metrics_path << "'\n";
+        status = 2;
+      }
+    }
+  }
+  return status;
+}

@@ -1,0 +1,160 @@
+#pragma once
+// rvhpc::serve — a long-running prediction service over the engine.
+//
+// Every prediction tool in the repo so far is a one-shot process: it cold
+// starts, sweeps, and throws the engine's memo cache away on exit.  The
+// Service turns the same engine into a resident server: line-delimited
+// JSON requests come in (stdin or a replay file), are admitted through a
+// bounded backlog into a worker pool, evaluated against a persistent
+// PredictionCache (serve/persist.hpp), and answered with line-delimited
+// JSON responses carrying per-request status, latency and cache-hit
+// attribution.
+//
+// Request schema (one JSON object per line; DESIGN.md §9.2):
+//   {"id": "r1", "machine": "sg2044", "kernel": "CG", "class": "C",
+//    "cores": 64}
+// optional members:
+//   "machine_text"  inline `.machine` description instead of "machine"
+//                   (validated + linted on admission; A0xx errors reject)
+//   "compiler"      toolchain name ("GCC 15.2", ...); default: the
+//                   paper's compiler for the machine
+//   "vectorise"     bool; default: the paper setup for (machine, kernel)
+//   "placement"     "os-default" | "spread" | "close"
+//   "timeout_ms"    per-request deadline; a request still queued when it
+//                   expires answers {"status":"error","error":"timeout"}
+//   "tag"           opaque label echoed in the response
+//
+// Response schema:
+//   {"id": "r1", "status": "ok", "ran": true, "seconds": ..., "mops": ...,
+//    "bw_gbs": ..., "bottleneck": "...", "vectorised": ..., "cores": N,
+//    "cache": "hit"|"miss", "latency_us": ...}
+//   {"id": "r1", "status": "error", "error": "parse"|"lint"|"timeout"|
+//    "overloaded", "message": "...", "detail": ["..."]}
+// "cache" and "latency_us" are live-mode fields: replay omits them so a
+// cold and a warm replay of the same log are byte-identical (the
+// acceptance gate scripts/check.sh enforces).
+//
+// Robustness semantics (ISSUE 4): malformed JSON, lint-rejected machines,
+// expired deadlines, a full backlog and a corrupt cache file all produce
+// structured error responses or logged warnings — never a crash, never a
+// silently dropped request.  EOF or SIGTERM drains the backlog, flushes
+// the cache to disk and exits cleanly.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/cache.hpp"
+#include "serve/persist.hpp"
+
+namespace rvhpc::serve {
+
+/// Aggregate counters of one Service instance's lifetime (the obs
+/// registry's rvhpc_serve_* counters aggregate across instances; tests and
+/// the replay summary want per-instance numbers).
+struct ServiceStats {
+  std::uint64_t received = 0;       ///< request lines seen (non-blank)
+  std::uint64_t ok = 0;             ///< evaluated, status "ok"
+  std::uint64_t dnr = 0;            ///< of `ok`, predictions with ran=false
+  std::uint64_t parse_errors = 0;   ///< malformed JSON / unknown fields
+  std::uint64_t lint_rejected = 0;  ///< machines failing A0xx admission
+  std::uint64_t timeouts = 0;       ///< deadline expired before evaluation
+  std::uint64_t overloaded = 0;     ///< backlog full at admission
+  std::uint64_t cache_hits = 0;     ///< of `ok`, served from the memo cache
+  std::uint64_t restored = 0;       ///< entries loaded from the cache file
+};
+
+class Service {
+ public:
+  struct Options {
+    /// Worker threads evaluating admitted requests; <= 0 means
+    /// engine::default_jobs() (RVHPC_JOBS or hardware_concurrency).
+    int jobs = 0;
+    /// Maximum requests admitted but not yet answered (live mode).  A
+    /// request arriving past this bound is answered "overloaded"
+    /// immediately.  0 rejects everything — useful for drills and tests.
+    std::size_t queue_capacity = 256;
+    /// Deadline applied to requests that do not carry "timeout_ms";
+    /// 0 = no deadline.
+    double default_timeout_ms = 0.0;
+    /// Persistent cache file: loaded on start(), checkpointed every
+    /// `checkpoint_every` evaluations, flushed on shutdown.  Empty =
+    /// in-process cache only.
+    std::string cache_file;
+    std::size_t cache_capacity = engine::PredictionCache::kDefaultCapacity;
+    /// Checkpoint period in *evaluated requests*; 0 = only on shutdown.
+    std::size_t checkpoint_every = 0;
+    /// Reject machines whose A0xx lint has errors (registry machines
+    /// always pass; this guards inline "machine_text" descriptions).
+    bool lint_admission = true;
+    /// Emit "cache" and "latency_us" response fields.  True for the live
+    /// loop; replay() forces false so its output is deterministic.
+    bool live_fields = true;
+  };
+
+  explicit Service(Options opts);
+  /// Flushes the persistent cache (best-effort; errors to stderr).
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Loads the persistent cache if configured.  Corrupt, truncated or
+  /// version-mismatched files are logged to `log` and ignored — a bad
+  /// cache is a cold start, never a fatal error.  Returns entries
+  /// restored.
+  std::size_t start(std::ostream& log);
+
+  /// Serves `in` until EOF or shutdown_requested(): one response line per
+  /// request line, written to `out` in completion order, then drains the
+  /// pool and flushes the cache.
+  void run(std::istream& in, std::ostream& out, std::ostream& log);
+
+  /// Batch-replays a request log: every line is admitted (no backlog
+  /// rejection — replay is offline), evaluated across the pool, and
+  /// answered in *request order* with deterministic fields only.  Returns
+  /// the human-readable summary block (also used by scripts/check.sh:
+  /// keep the "cache-hit-rate:" and "cache-restored:" tokens stable).
+  std::string replay(const std::string& path, std::ostream& out,
+                     std::ostream& log);
+
+  /// Parses, admits and evaluates one request line synchronously,
+  /// returning the response JSON (no trailing newline).  The single-shot
+  /// path run()/replay() build on; exposed for tests.
+  [[nodiscard]] std::string handle_line(const std::string& line);
+
+  /// Writes the persistent cache now (no-op without a cache_file).
+  void flush(std::ostream& log);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] engine::PredictionCache& cache() { return cache_; }
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+  struct Parsed;  // one admitted request (defined in service.cpp)
+
+ private:
+
+  std::string respond(const Parsed& req, double arrival_us);
+  void maybe_checkpoint(std::ostream& log);
+
+  Options opts_;
+  int jobs_;
+  engine::PredictionCache cache_;
+  mutable std::mutex stats_mu_;
+  std::mutex save_mu_;  ///< serialises checkpoint writes from worker threads
+  ServiceStats stats_;
+  std::uint64_t since_checkpoint_ = 0;
+};
+
+/// Installs SIGTERM/SIGINT handlers that request a graceful drain: the
+/// run() loop stops admitting after the current line, finishes in-flight
+/// work, flushes the cache and returns.
+void install_shutdown_handlers();
+[[nodiscard]] bool shutdown_requested();
+/// Clears the flag (tests; a fresh run() after a drained one).
+void reset_shutdown();
+
+}  // namespace rvhpc::serve

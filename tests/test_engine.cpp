@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -209,6 +210,47 @@ TEST(PredictionCache, ZeroCapacityDisables) {
   EXPECT_EQ(cache.misses(), 0u);
 }
 
+TEST(PredictionCache, EntriesSnapshotsMruFirst) {
+  engine::PredictionCache cache(8);
+  model::Prediction p;
+  p.seconds = 1.0;
+  cache.put(1, p);
+  p.seconds = 2.0;
+  cache.put(2, p);
+  p.seconds = 3.0;
+  cache.put(3, p);
+  (void)cache.get(1);  // touch 1 -> order is now 1, 3, 2 (MRU first)
+
+  const std::vector<engine::CacheEntry> snap = cache.entries();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].key, 1u);
+  EXPECT_EQ(snap[1].key, 3u);
+  EXPECT_EQ(snap[2].key, 2u);
+  EXPECT_EQ(bits(snap[0].prediction.seconds), bits(1.0));
+  EXPECT_EQ(bits(snap[2].prediction.seconds), bits(2.0));
+}
+
+TEST(PredictionCache, EntriesReplayedInReverseReproducesRecency) {
+  engine::PredictionCache cache(4);
+  model::Prediction p;
+  for (std::uint64_t k = 1; k <= 4; ++k) cache.put(k, p);
+  (void)cache.get(2);  // order: 2, 4, 3, 1
+
+  // Replay LRU-first (reversed snapshot) into a fresh cache — the
+  // persistence layer's load path — and the recency order must survive:
+  // the same eviction happens in both caches on overflow.
+  engine::PredictionCache replayed(4);
+  const std::vector<engine::CacheEntry> snap = cache.entries();
+  for (auto it = snap.rbegin(); it != snap.rend(); ++it) {
+    replayed.put(it->key, it->prediction);
+  }
+  replayed.put(99, p);  // evicts the LRU entry: key 1
+  EXPECT_FALSE(replayed.get(1).has_value());
+  EXPECT_TRUE(replayed.get(2).has_value());
+  EXPECT_TRUE(replayed.get(3).has_value());
+  EXPECT_TRUE(replayed.get(4).has_value());
+}
+
 TEST(ThreadPool, RethrowsFirstTaskExceptionFromWait) {
   engine::ThreadPool pool(2);
   pool.submit([] { throw std::runtime_error("task failed"); });
@@ -228,8 +270,13 @@ TEST(ApplyJobsFlag, ParsesValidAndRejectsMalformed) {
   const char* absent[] = {"prog", "--verbose"};
   EXPECT_EQ(engine::apply_jobs_flag(2, const_cast<char**>(absent)), 0);
 
+  // --jobs=0 means "every hardware thread" on every binary (the cli::
+  // wrapper shares these semantics).
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int want_hw = hw > 0 ? static_cast<int>(hw) : 1;
   const char* zero[] = {"prog", "--jobs=0"};
-  EXPECT_EQ(engine::apply_jobs_flag(2, const_cast<char**>(zero)), 0);
+  EXPECT_EQ(engine::apply_jobs_flag(2, const_cast<char**>(zero)), want_hw);
+  EXPECT_EQ(engine::default_evaluator().jobs(), want_hw);
 
   const char* junk[] = {"prog", "--jobs=abc"};
   EXPECT_EQ(engine::apply_jobs_flag(2, const_cast<char**>(junk)), 0);

@@ -1,0 +1,419 @@
+// rvhpc::serve — persistent cache and prediction service.
+//
+// The load-bearing guarantees: the cache file round-trips bit-exactly and
+// all-or-nothing (a damaged file restores nothing and is never fatal), LRU
+// recency survives save/load, and the service answers *every* request line
+// with structured JSON — malformed input, lint rejections, timeouts and
+// overload included — without ever throwing out of the serving loop.
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/cache.hpp"
+#include "obs/json.hpp"
+#include "serve/persist.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace rvhpc;
+
+/// RAII temp path: removed on destruction.
+struct TempFile {
+  std::string path;
+  explicit TempFile(std::string p) : path(std::move(p)) {
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+model::Prediction sample_prediction(double seed) {
+  model::Prediction p;
+  p.seconds = seed;
+  p.mops = seed * 10.0;
+  p.achieved_bw_gbs = seed / 3.0;
+  p.vector.vectorised = true;
+  p.vector.blended_speedup = 1.5;
+  p.breakdown.compute_s = seed / 2.0;
+  p.breakdown.stream_s = seed / 4.0;
+  p.breakdown.dominant = model::Bottleneck::StreamBandwidth;
+  return p;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// --- persistence ----------------------------------------------------------
+
+TEST(PersistentCache, RoundTripsEntriesBitExactly) {
+  TempFile f("test_serve_roundtrip.tmp.bin");
+  engine::PredictionCache cache(8);
+  cache.put(11, sample_prediction(0.1));
+  cache.put(22, sample_prediction(0.2));
+  model::Prediction dnr;
+  dnr.ran = false;
+  dnr.dnr_reason = "out of memory: needs 5 GiB, machine has 1 GiB";
+  cache.put(33, dnr);
+  serve::save_cache(f.path, cache);
+
+  engine::PredictionCache loaded(8);
+  const serve::LoadResult r = serve::load_cache(f.path, loaded);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.restored, 3u);
+  EXPECT_EQ(loaded.size(), 3u);
+
+  const auto p = loaded.get(22);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(p->seconds),
+            std::bit_cast<std::uint64_t>(0.2));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(p->breakdown.stream_s),
+            std::bit_cast<std::uint64_t>(0.2 / 4.0));
+  EXPECT_TRUE(p->vector.vectorised);
+  EXPECT_EQ(p->breakdown.dominant, model::Bottleneck::StreamBandwidth);
+
+  const auto d = loaded.get(33);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(d->ran);
+  EXPECT_EQ(d->dnr_reason, "out of memory: needs 5 GiB, machine has 1 GiB");
+}
+
+TEST(PersistentCache, MissingFileIsACleanColdStart) {
+  engine::PredictionCache cache(4);
+  const serve::LoadResult r =
+      serve::load_cache("test_serve_nonexistent.tmp.bin", cache);
+  EXPECT_EQ(r.status, serve::LoadResult::Status::Missing);
+  EXPECT_EQ(r.restored, 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PersistentCache, RejectsVersionMismatch) {
+  TempFile f("test_serve_version.tmp.bin");
+  engine::PredictionCache cache(4);
+  cache.put(1, sample_prediction(1.0));
+  serve::save_cache(f.path, cache);
+
+  std::string bytes = slurp(f.path);
+  bytes[4] = static_cast<char>(serve::kCacheFormatVersion + 1);  // u32 LE lsb
+  spit(f.path, bytes);
+
+  engine::PredictionCache loaded(4);
+  const serve::LoadResult r = serve::load_cache(f.path, loaded);
+  EXPECT_EQ(r.status, serve::LoadResult::Status::VersionMismatch);
+  EXPECT_EQ(loaded.size(), 0u) << "mismatched file must restore nothing";
+  EXPECT_NE(r.detail.find("version"), std::string::npos);
+}
+
+TEST(PersistentCache, TruncatedFileRestoresNothing) {
+  TempFile f("test_serve_truncated.tmp.bin");
+  engine::PredictionCache cache(4);
+  cache.put(1, sample_prediction(1.0));
+  cache.put(2, sample_prediction(2.0));
+  serve::save_cache(f.path, cache);
+
+  const std::string bytes = slurp(f.path);
+  // Cut mid-payload: the first entry's bytes are intact, but the checksum
+  // cannot verify — the all-or-nothing contract restores zero entries.
+  spit(f.path, bytes.substr(0, bytes.size() / 2));
+
+  engine::PredictionCache loaded(4);
+  const serve::LoadResult r = serve::load_cache(f.path, loaded);
+  EXPECT_EQ(r.status, serve::LoadResult::Status::Corrupt);
+  EXPECT_EQ(r.restored, 0u);
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST(PersistentCache, BitFlippedPayloadIsRejected) {
+  TempFile f("test_serve_corrupt.tmp.bin");
+  engine::PredictionCache cache(4);
+  cache.put(7, sample_prediction(3.0));
+  serve::save_cache(f.path, cache);
+
+  std::string bytes = slurp(f.path);
+  bytes[bytes.size() / 2] ^= 0x40;  // flip one payload bit
+  spit(f.path, bytes);
+
+  engine::PredictionCache loaded(4);
+  const serve::LoadResult r = serve::load_cache(f.path, loaded);
+  EXPECT_EQ(r.status, serve::LoadResult::Status::Corrupt);
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST(PersistentCache, GarbageFileIsRejectedNotFatal) {
+  TempFile f("test_serve_garbage.tmp.bin");
+  spit(f.path, "this is not a cache file at all");
+  engine::PredictionCache loaded(4);
+  const serve::LoadResult r = serve::load_cache(f.path, loaded);
+  EXPECT_EQ(r.status, serve::LoadResult::Status::Corrupt);
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST(PersistentCache, LruOrderSurvivesSaveAndLoad) {
+  TempFile f("test_serve_lru.tmp.bin");
+  engine::PredictionCache cache(4);
+  for (std::uint64_t k = 1; k <= 4; ++k) cache.put(k, sample_prediction(1.0));
+  (void)cache.get(2);  // recency (MRU first) is now 2, 4, 3, 1
+  serve::save_cache(f.path, cache);
+
+  engine::PredictionCache loaded(4);
+  ASSERT_TRUE(serve::load_cache(f.path, loaded).ok());
+
+  // Overflowing the restored cache must evict the *original* LRU entry
+  // (key 1), proving recency crossed the save/load boundary.
+  loaded.put(99, sample_prediction(9.0));
+  EXPECT_FALSE(loaded.get(1).has_value());
+  EXPECT_TRUE(loaded.get(2).has_value());
+  EXPECT_TRUE(loaded.get(3).has_value());
+  EXPECT_TRUE(loaded.get(4).has_value());
+}
+
+// --- service request handling --------------------------------------------
+
+serve::Service::Options no_persist() {
+  serve::Service::Options o;
+  o.jobs = 1;
+  return o;
+}
+
+obs::json::Value parsed(const std::string& response) {
+  return obs::json::parse(response);
+}
+
+TEST(Service, AnswersAValidRequest) {
+  serve::Service svc(no_persist());
+  const auto v = parsed(svc.handle_line(
+      R"({"id": "q1", "machine": "sg2044", "kernel": "CG", "class": "C", "cores": 64, "tag": "t"})"));
+  EXPECT_EQ(v.find("status")->str, "ok");
+  EXPECT_EQ(v.find("id")->str, "q1");
+  EXPECT_EQ(v.find("tag")->str, "t");
+  EXPECT_EQ(v.find("machine")->str, "sg2044");
+  EXPECT_EQ(v.find("bottleneck")->str, "compute");
+  EXPECT_TRUE(v.find("ran")->boolean);
+  EXPECT_GT(v.find("seconds")->num, 0.0);
+  EXPECT_GT(v.find("mops")->num, 0.0);
+  // Live-mode attribution fields are present by default.
+  EXPECT_EQ(v.find("cache")->str, "miss");
+  ASSERT_NE(v.find("latency_us"), nullptr);
+
+  const serve::ServiceStats s = svc.stats();
+  EXPECT_EQ(s.received, 1u);
+  EXPECT_EQ(s.ok, 1u);
+  EXPECT_EQ(s.cache_hits, 0u);
+}
+
+TEST(Service, SecondIdenticalRequestHitsTheCache) {
+  serve::Service svc(no_persist());
+  const std::string line =
+      R"({"id": "q", "machine": "sg2042", "kernel": "MG", "cores": 32})";
+  const auto first = parsed(svc.handle_line(line));
+  const auto second = parsed(svc.handle_line(line));
+  EXPECT_EQ(first.find("cache")->str, "miss");
+  EXPECT_EQ(second.find("cache")->str, "hit");
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(first.find("seconds")->num),
+            std::bit_cast<std::uint64_t>(second.find("seconds")->num));
+  EXPECT_EQ(svc.stats().cache_hits, 1u);
+}
+
+TEST(Service, MalformedJsonGetsAStructuredParseError) {
+  serve::Service svc(no_persist());
+  const auto v = parsed(svc.handle_line("{\"id\": \"x\", "));
+  EXPECT_EQ(v.find("status")->str, "error");
+  EXPECT_EQ(v.find("error")->str, "parse");
+  EXPECT_FALSE(v.find("message")->str.empty());
+  EXPECT_EQ(svc.stats().parse_errors, 1u);
+}
+
+TEST(Service, UnknownMachineAndKernelAreParseErrors) {
+  serve::Service svc(no_persist());
+  const auto m = parsed(
+      svc.handle_line(R"({"id": "a", "machine": "cray-1", "kernel": "CG"})"));
+  EXPECT_EQ(m.find("error")->str, "parse");
+  EXPECT_EQ(m.find("id")->str, "a") << "parseable requests echo their id";
+
+  const auto k = parsed(svc.handle_line(
+      R"({"id": "b", "machine": "sg2044", "kernel": "LINPACK"})"));
+  EXPECT_EQ(k.find("error")->str, "parse");
+  EXPECT_EQ(svc.stats().parse_errors, 2u);
+}
+
+TEST(Service, LintRejectsImplausibleMachineTextWithDetail) {
+  // DDR5-6400 peaks at 51.2 GB/s per channel; 99 trips A001 (Error).  The
+  // fixture's line 20 carries the same machine; this is the inline twin.
+  std::ifstream fx(std::string(RVHPC_SOURCE_DIR) +
+                   "/tests/data/serve_replay20.jsonl");
+  std::string line, last;
+  while (std::getline(fx, line)) {
+    if (!line.empty()) last = line;
+  }
+  ASSERT_NE(last.find("machine_text"), std::string::npos);
+  line = last;
+  serve::Service svc(no_persist());
+  const auto v = parsed(svc.handle_line(line));
+  EXPECT_EQ(v.find("status")->str, "error");
+  EXPECT_EQ(v.find("error")->str, "lint");
+  const obs::json::Value* detail = v.find("detail");
+  ASSERT_NE(detail, nullptr);
+  ASSERT_FALSE(detail->array.empty());
+  EXPECT_NE(detail->array[0].str.find("A001"), std::string::npos);
+  EXPECT_EQ(svc.stats().lint_rejected, 1u);
+
+  // The same request is admitted when admission lint is off.
+  serve::Service::Options opts = no_persist();
+  opts.lint_admission = false;
+  serve::Service lax(opts);
+  EXPECT_EQ(parsed(lax.handle_line(line)).find("status")->str, "ok");
+}
+
+TEST(Service, ExpiredDeadlineAnswersTimeout) {
+  serve::Service::Options opts = no_persist();
+  opts.default_timeout_ms = 1e-6;  // 1 ns: parsing alone exceeds it
+  serve::Service svc(opts);
+  const auto v = parsed(svc.handle_line(
+      R"({"id": "t", "machine": "sg2044", "kernel": "EP", "cores": 8})"));
+  EXPECT_EQ(v.find("status")->str, "error");
+  EXPECT_EQ(v.find("error")->str, "timeout");
+  EXPECT_EQ(svc.stats().timeouts, 1u);
+}
+
+TEST(Service, FullBacklogAnswersOverloaded) {
+  serve::Service::Options opts = no_persist();
+  opts.queue_capacity = 0;  // reject everything: deterministic drill
+  serve::Service svc(opts);
+  std::istringstream in(
+      R"({"id": "o", "machine": "sg2044", "kernel": "CG", "cores": 4})"
+      "\n");
+  std::ostringstream out, log;
+  svc.run(in, out, log);
+  const auto v = parsed(out.str());
+  EXPECT_EQ(v.find("status")->str, "error");
+  EXPECT_EQ(v.find("error")->str, "overloaded");
+  EXPECT_EQ(svc.stats().overloaded, 1u);
+}
+
+TEST(Service, RunAnswersEveryLineAndDrains) {
+  serve::Service::Options opts = no_persist();
+  opts.jobs = 2;
+  serve::Service svc(opts);
+  std::istringstream in(
+      R"({"id": "1", "machine": "sg2044", "kernel": "CG", "cores": 64})"
+      "\n"
+      "\n"  // blank lines are skipped, not answered
+      "garbage\n"
+      R"({"id": "3", "machine": "sg2042", "kernel": "EP", "cores": 16})"
+      "\n");
+  std::ostringstream out, log;
+  svc.run(in, out, log);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    EXPECT_NO_THROW((void)obs::json::parse(line)) << line;
+  }
+  EXPECT_EQ(count, 3u) << "every non-blank request line gets one response";
+  EXPECT_EQ(svc.stats().received, 3u);
+  EXPECT_EQ(svc.stats().ok, 2u);
+  EXPECT_EQ(svc.stats().parse_errors, 1u);
+  EXPECT_NE(log.str().find("drained"), std::string::npos);
+}
+
+// --- replay over the checked-in fixture ----------------------------------
+
+const std::string kFixture =
+    std::string(RVHPC_SOURCE_DIR) + "/tests/data/serve_replay20.jsonl";
+
+TEST(ServiceReplay, FixtureProducesExpectedMix) {
+  serve::Service svc(no_persist());
+  std::ostringstream out, log;
+  const std::string summary = svc.replay(kFixture, out, log);
+
+  const serve::ServiceStats s = svc.stats();
+  EXPECT_EQ(s.received, 20u);
+  EXPECT_EQ(s.ok, 17u);
+  EXPECT_EQ(s.dnr, 1u) << "class C FT cannot fit the Allwinner D1's 1 GiB";
+  EXPECT_EQ(s.parse_errors, 2u);
+  EXPECT_EQ(s.lint_rejected, 1u);
+  EXPECT_EQ(s.timeouts, 0u);
+  EXPECT_NE(summary.find("cache-hit-rate:"), std::string::npos);
+  EXPECT_NE(summary.find("cache-restored: 0"), std::string::npos);
+
+  // Replay output is deterministic: no live-mode fields.
+  EXPECT_EQ(out.str().find("latency_us"), std::string::npos);
+  EXPECT_EQ(out.str().find("\"cache\""), std::string::npos);
+}
+
+TEST(ServiceReplay, WarmRunIsBitIdenticalAndFullyCached) {
+  TempFile f("test_serve_replay_cache.tmp.bin");
+  std::string cold, warm;
+  {
+    serve::Service::Options opts = no_persist();
+    opts.cache_file = f.path;
+    serve::Service svc(opts);
+    std::ostringstream out, log;
+    svc.start(log);
+    (void)svc.replay(kFixture, out, log);
+    cold = out.str();
+    EXPECT_EQ(svc.stats().restored, 0u);
+  }
+  {
+    serve::Service::Options opts = no_persist();
+    opts.cache_file = f.path;
+    serve::Service svc(opts);
+    std::ostringstream out, log;
+    svc.start(log);
+    (void)svc.replay(kFixture, out, log);
+    warm = out.str();
+    const serve::ServiceStats s = svc.stats();
+    EXPECT_EQ(s.restored, 16u) << "17 ok responses over 16 distinct keys";
+    EXPECT_EQ(s.cache_hits, s.ok) << "a warm replay never re-predicts";
+  }
+  EXPECT_EQ(cold, warm);
+  EXPECT_FALSE(cold.empty());
+}
+
+TEST(ServiceReplay, CorruptCacheFileIsAColdStartNotACrash) {
+  TempFile f("test_serve_replay_corrupt.tmp.bin");
+  spit(f.path, "RVPC garbage that is certainly not a valid payload");
+  serve::Service::Options opts = no_persist();
+  opts.cache_file = f.path;
+  serve::Service svc(opts);
+  std::ostringstream out, log;
+  EXPECT_EQ(svc.start(log), 0u);
+  EXPECT_NE(log.str().find("WARNING"), std::string::npos);
+  (void)svc.replay(kFixture, out, log);
+  EXPECT_EQ(svc.stats().ok, 17u) << "service must serve normally after "
+                                    "ignoring a corrupt cache file";
+}
+
+TEST(Service, FlushWritesALoadableSnapshot) {
+  TempFile f("test_serve_flush.tmp.bin");
+  serve::Service::Options opts = no_persist();
+  opts.cache_file = f.path;
+  serve::Service svc(opts);
+  (void)svc.handle_line(
+      R"({"id": "f", "machine": "sg2044", "kernel": "CG", "cores": 64})");
+  std::ostringstream log;
+  svc.flush(log);
+
+  engine::PredictionCache loaded(16);
+  const serve::LoadResult r = serve::load_cache(f.path, loaded);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.restored, 1u);
+}
+
+}  // namespace
