@@ -53,13 +53,23 @@ int column_cores(MachineId id, int cores) {
 // hardware thread; see cli::apply_jobs_flag).  --cache-file=<file> keeps
 // the engine's memo cache across runs (serve::load_cache/save_cache): a
 // repeated summary answers every cell from the restored cache.
+// --cache-max-entries=N caps the file, trimming oldest-LRU entries first.
 int main(int argc, char** argv) {
   cli::apply_jobs_flag(argc, argv);
   std::string cache_file;
+  std::size_t cache_max_entries = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--cache-file=", 0) == 0) {
       cache_file = arg.substr(std::string("--cache-file=").size());
+    } else if (arg.rfind("--cache-max-entries=", 0) == 0) {
+      const std::string value =
+          arg.substr(std::string("--cache-max-entries=").size());
+      if (!cli::parse_size(value, cache_max_entries)) {
+        std::cerr << "suite_summary: bad --cache-max-entries value '" << value
+                  << "'\n";
+        return 2;
+      }
     }
   }
   std::cout << "Suite summary — geometric-mean speedup of the SG2044 over "
@@ -112,7 +122,8 @@ int main(int argc, char** argv) {
   const std::vector<engine::PredictionResult> results =
       engine::default_evaluator().evaluate(set);
   if (!cache_file.empty()) {
-    serve::save_cache(cache_file, engine::default_evaluator().cache());
+    (void)serve::save_cache(cache_file, engine::default_evaluator().cache(),
+                            cache_max_entries);
   }
   std::map<std::string, const model::Prediction*> cell;
   for (const engine::PredictionResult& r : results) {

@@ -8,9 +8,11 @@
 # .machine file and every bench/example C++ source (rule B001: no predict
 # sweeps bypassing the engine), replays the checked-in serve fixture cold
 # and warm through rvhpc-serve (bit-identical outputs, >= 90% warm cache
-# hits) plus the rvhpc-serve --gate, then re-runs the threaded tests under
-# TSan to catch data races in the thread pool.  Exits non-zero on the
-# first failure.
+# hits) plus the rvhpc-serve --gate, serves the same fixture over loopback
+# TCP to two concurrent rvhpc-clients (merged responses byte-identical to
+# the stdio replay, graceful SIGTERM drain), then re-runs the threaded
+# tests under TSan to catch data races in the thread pool and the net
+# event loop.  Exits non-zero on the first failure.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-check)
 
@@ -99,6 +101,47 @@ echo "-- warm replay bit-identical to cold, cache-hit-rate ${hit_rate}%"
 echo "== rvhpc-serve --gate"
 (cd "$serve_tmp" && "$serve" --gate)
 
+echo "== rvhpc-serve --listen=tcp: concurrent clients match the stdio replay"
+# The transport gate: serve the fixture over loopback TCP to two clients
+# running at once, SIGTERM the server, and require (a) the merged per-id
+# responses byte-identical to the stdio replay output and (b) a graceful
+# drain.  Two clients interleave on one event loop regardless of core
+# count, so this passes on single-CPU runners — no wall-clock assertions.
+client="$build_dir/src/net/rvhpc-client"
+awk 'NR % 2 == 1' "$fixture" > "$serve_tmp/half_a.jsonl"
+awk 'NR % 2 == 0' "$fixture" > "$serve_tmp/half_b.jsonl"
+"$serve" --listen=tcp:0 --no-live-fields \
+  --cache-file="$serve_tmp/tcp.cache" 2> "$serve_tmp/net.log" &
+serve_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "$serve_tmp/net.log")"
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "error: rvhpc-serve never reported its TCP port" >&2
+  kill "$serve_pid" 2> /dev/null || true
+  exit 1
+fi
+"$client" --connect="127.0.0.1:$port" --in="$serve_tmp/half_a.jsonl" \
+  --out="$serve_tmp/out_a.jsonl" 2> /dev/null &
+client_a=$!
+"$client" --connect="127.0.0.1:$port" --in="$serve_tmp/half_b.jsonl" \
+  --out="$serve_tmp/out_b.jsonl" 2> /dev/null &
+client_b=$!
+wait "$client_a" "$client_b"
+kill -TERM "$serve_pid"
+wait "$serve_pid"  # the drain must be graceful: exit 0, not a crash
+cat "$serve_tmp/out_a.jsonl" "$serve_tmp/out_b.jsonl" | LC_ALL=C sort \
+  > "$serve_tmp/tcp_merged.jsonl"
+LC_ALL=C sort "$serve_tmp/cold.jsonl" > "$serve_tmp/stdio_sorted.jsonl"
+cmp "$serve_tmp/tcp_merged.jsonl" "$serve_tmp/stdio_sorted.jsonl"
+grep -q "net: drained" "$serve_tmp/net.log"
+echo "-- $(wc -l < "$serve_tmp/tcp_merged.jsonl") responses over TCP," \
+  "byte-identical to the stdio replay; drain was graceful"
+
 echo "== configure (TSan) -> $build_dir-tsan"
 # TSan cannot combine with ASan, so the thread pool's owners get their own
 # build; the engine, obs and serve tests run there — they own all the
@@ -106,10 +149,12 @@ echo "== configure (TSan) -> $build_dir-tsan"
 cmake -B "$build_dir-tsan" -S "$repo_root" "${generator[@]}" \
   -DRVHPC_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
-cmake --build "$build_dir-tsan" -j --target test_engine test_obs test_serve
-echo "== TSan: test_engine + test_obs + test_serve"
+cmake --build "$build_dir-tsan" -j \
+  --target test_engine test_obs test_serve test_net
+echo "== TSan: test_engine + test_obs + test_serve + test_net"
 "$build_dir-tsan/tests/test_engine"
 "$build_dir-tsan/tests/test_obs"
 "$build_dir-tsan/tests/test_serve"
+"$build_dir-tsan/tests/test_net"
 
 echo "== all gates green"

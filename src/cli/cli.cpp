@@ -42,6 +42,19 @@ bool handle_standard_flags(int argc, char** argv, const ToolInfo& tool,
   return false;
 }
 
+bool parse_size(const std::string& text, std::size_t& out) {
+  if (text.empty()) return false;
+  try {
+    std::size_t consumed = 0;
+    const long long v = std::stoll(text, &consumed);
+    if (v < 0 || consumed != text.size()) return false;
+    out = static_cast<std::size_t>(v);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
 std::string jobs_flag_help() {
   return "  --jobs=N     worker threads (0 = every hardware thread)";
 }

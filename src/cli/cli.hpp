@@ -39,6 +39,12 @@ void print_help(std::ostream& os, const ToolInfo& tool);
 ///   "  --jobs=N     worker threads (0 = every hardware thread)"
 [[nodiscard]] std::string jobs_flag_help();
 
+/// Parses a non-negative decimal integer flag value ("16384") into `out`.
+/// Returns false on empty input, garbage, or a negative/overflowing value
+/// — the shared guts of every --queue=/--cache-capacity=/--connect=PORT
+/// style flag, so each tool rejects bad numbers identically.
+[[nodiscard]] bool parse_size(const std::string& text, std::size_t& out);
+
 /// Scans argv for `--jobs=N` and sizes the engine's default evaluator
 /// pool: N > 0 uses exactly N workers, N == 0 uses every hardware thread
 /// (std::thread::hardware_concurrency) — the same semantics on every

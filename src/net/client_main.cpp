@@ -1,0 +1,235 @@
+// rvhpc-client — loopback driver for a rvhpc-serve TCP listener.
+//
+// Reads line-delimited JSON requests (stdin or --in), streams them to a
+// rvhpc-serve --listen=tcp:PORT instance, and writes every response line
+// to stdout (or --out).  Reading and writing interleave through one poll()
+// loop, so the client keeps draining responses while it still has
+// requests to send — it can never deadlock against the server's bounded
+// write buffers.  When everything is sent the write side is shut down
+// (the TCP half-close is the transport's EOF, exactly like closing stdin
+// on the stdio listener) and the client reads until the server closes.
+//
+//   rvhpc-client --connect=127.0.0.1:8437 --in=requests.jsonl --out=out.jsonl
+//
+// Exit status: 0 when every non-blank request line got a response line,
+// 1 when the connection failed or the server closed early (e.g. the
+// client was disconnected for oversized lines), 2 on usage errors.
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "cli/cli.hpp"
+
+using namespace rvhpc;
+
+namespace {
+
+const cli::ToolInfo kTool{
+    "rvhpc-client",
+    "send prediction requests to a rvhpc-serve TCP listener",
+    "usage: rvhpc-client --connect=HOST:PORT [--in=<requests.jsonl>]\n"
+    "                    [--out=<responses.jsonl>] [--timeout-ms=T]\n"
+    "\n"
+    "  --connect=HOST:PORT   the rvhpc-serve --listen=tcp listener\n"
+    "                        (rvhpc-serve logs \"listening on 127.0.0.1:P\")\n"
+    "  --in=FILE             request lines to send (default: stdin)\n"
+    "  --out=FILE            write response lines there (default: stdout)\n"
+    "  --timeout-ms=T        fail if the socket makes no progress for T ms\n"
+    "                        (default 10000; 0 waits forever)"};
+
+int usage_error(const std::string& message) {
+  std::cerr << "rvhpc-client: " << message << "\n\n" << kTool.usage << "\n";
+  return 2;
+}
+
+int fail(const std::string& message) {
+  std::cerr << "rvhpc-client: " << message << "\n";
+  return 1;
+}
+
+std::size_t count_nonblank_lines(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") != std::string::npos) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (cli::handle_standard_flags(argc, argv, kTool, std::cout)) return 0;
+
+  std::string host = "127.0.0.1";
+  int port = -1;
+  std::string in_path, out_path;
+  double timeout_ms = 10000.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--connect=", 0) == 0) {
+      const std::string spec = arg.substr(std::string("--connect=").size());
+      const std::size_t colon = spec.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == spec.size()) {
+        return usage_error("--connect wants HOST:PORT, got '" + spec + "'");
+      }
+      host = spec.substr(0, colon);
+      std::size_t parsed = 0;
+      if (!cli::parse_size(spec.substr(colon + 1), parsed) || parsed == 0 ||
+          parsed > 65535) {
+        return usage_error("bad port in '" + spec + "'");
+      }
+      port = static_cast<int>(parsed);
+    } else if (arg.rfind("--in=", 0) == 0) {
+      in_path = arg.substr(std::string("--in=").size());
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(std::string("--out=").size());
+    } else if (arg.rfind("--timeout-ms=", 0) == 0) {
+      try {
+        timeout_ms = std::stod(arg.substr(std::string("--timeout-ms=").size()));
+      } catch (const std::exception&) {
+        return usage_error("bad --timeout-ms value '" + arg + "'");
+      }
+      if (timeout_ms < 0) return usage_error("--timeout-ms must be >= 0");
+    } else {
+      return usage_error("unknown argument '" + arg + "'");
+    }
+  }
+  if (port < 0) return usage_error("--connect=HOST:PORT is required");
+
+  // Requests are read up-front: request logs are small, and it frees the
+  // poll loop to care only about the socket.
+  std::string requests;
+  if (in_path.empty()) {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    requests = buf.str();
+  } else {
+    std::ifstream f(in_path, std::ios::binary);
+    if (!f.good()) return usage_error("cannot open --in file '" + in_path + "'");
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    requests = buf.str();
+  }
+  if (!requests.empty() && requests.back() != '\n') requests += '\n';
+  const std::size_t sent_requests = count_nonblank_lines(requests);
+
+  std::ofstream out_file;
+  if (!out_path.empty()) {
+    out_file.open(out_path, std::ios::binary | std::ios::trunc);
+    if (!out_file.good()) {
+      return usage_error("cannot open --out file '" + out_path + "'");
+    }
+  }
+  std::ostream& out = out_path.empty() ? std::cout : out_file;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail(std::string("socket() failed: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return fail("bad host '" + host + "' (want a dotted IPv4 address)");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    return fail("cannot connect to " + host + ":" + std::to_string(port) +
+                ": " + detail);
+  }
+  {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+
+  std::size_t sent_bytes = 0;
+  std::size_t responses = 0;
+  bool eof = false;
+  bool half_closed = false;
+  int idle_polls = 0;
+  const int poll_ms = 50;
+  const int max_idle_polls =
+      timeout_ms > 0 ? static_cast<int>(timeout_ms / poll_ms) + 1 : -1;
+  while (!eof) {
+    pollfd p{fd, POLLIN, 0};
+    if (sent_bytes < requests.size()) p.events |= POLLOUT;
+    const int rc = ::poll(&p, 1, poll_ms);
+    if (rc < 0 && errno != EINTR) {
+      ::close(fd);
+      return fail(std::string("poll() failed: ") + std::strerror(errno));
+    }
+    bool progressed = false;
+
+    if (sent_bytes < requests.size() && (p.revents & POLLOUT) != 0) {
+      const ssize_t n = ::send(fd, requests.data() + sent_bytes,
+                               requests.size() - sent_bytes, MSG_NOSIGNAL);
+      if (n > 0) {
+        sent_bytes += static_cast<std::size_t>(n);
+        progressed = true;
+      } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                 errno != EINTR) {
+        // Server closed on us mid-send (e.g. we were disconnected); keep
+        // reading — its farewell explains why.
+        sent_bytes = requests.size();
+        half_closed = true;
+      }
+    }
+    if (sent_bytes == requests.size() && !half_closed) {
+      // Everything sent: half-close is the protocol's "no more requests".
+      (void)::shutdown(fd, SHUT_WR);
+      half_closed = true;
+      progressed = true;
+    }
+
+    char chunk[4096];
+    while (true) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        out.write(chunk, static_cast<std::streamsize>(n));
+        for (ssize_t i = 0; i < n; ++i) {
+          if (chunk[i] == '\n') ++responses;
+        }
+        progressed = true;
+      } else if (n == 0) {
+        eof = true;
+        break;
+      } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      } else if (errno == EINTR) {
+        continue;
+      } else {
+        eof = true;  // reset counts as the server hanging up
+        break;
+      }
+    }
+
+    idle_polls = progressed ? 0 : idle_polls + 1;
+    if (max_idle_polls > 0 && idle_polls > max_idle_polls) {
+      ::close(fd);
+      return fail("no progress for " + std::to_string(timeout_ms) +
+                  " ms (server hung?); gave up after " +
+                  std::to_string(responses) + " response(s)");
+    }
+  }
+  ::close(fd);
+  out.flush();
+
+  std::cerr << "rvhpc-client: sent " << sent_requests << " request(s), "
+            << "received " << responses << " response line(s)\n";
+  return responses == sent_requests ? 0 : 1;
+}

@@ -1,0 +1,500 @@
+#include "net/net.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "serve/service.hpp"
+
+namespace rvhpc::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// A transport-level farewell in the service's error-response shape, so a
+/// client can parse every line it ever receives the same way.
+std::string error_line(const char* kind, const std::string& message) {
+  return std::string("{\"id\": \"\", \"status\": \"error\", \"error\": \"") +
+         kind + "\", \"message\": \"" + obs::json::escape(message) + "\"}\n";
+}
+
+// --- net-level metrics ----------------------------------------------------
+
+enum class Count { Connection, Answered };
+
+void count(Count which, std::uint64_t n = 1) {
+  if (!obs::metrics_enabled()) return;
+  static obs::Counter& conns = obs::Registry::global().counter(
+      "rvhpc_net_connections_total", "TCP connections accepted");
+  static obs::Counter& answered = obs::Registry::global().counter(
+      "rvhpc_net_requests_total", "request lines answered over TCP");
+  switch (which) {
+    case Count::Connection: conns.add(n); break;
+    case Count::Answered:   answered.add(n); break;
+  }
+}
+
+void count_bytes(bool in, std::uint64_t n) {
+  if (!obs::metrics_enabled() || n == 0) return;
+  static obs::Counter& read = obs::Registry::global().counter(
+      "rvhpc_net_bytes_read_total", "payload bytes received over TCP");
+  static obs::Counter& written = obs::Registry::global().counter(
+      "rvhpc_net_bytes_written_total", "response bytes written over TCP");
+  (in ? read : written).add(n);
+}
+
+void count_disconnect(Disconnect cause) {
+  if (!obs::metrics_enabled()) return;
+  static obs::Counter& eof = obs::Registry::global().counter(
+      "rvhpc_net_disconnects_eof_total", "connections closed by the client");
+  static obs::Counter& idle = obs::Registry::global().counter(
+      "rvhpc_net_disconnects_idle_total",
+      "connections dropped by the idle timeout");
+  static obs::Counter& oversize = obs::Registry::global().counter(
+      "rvhpc_net_disconnects_oversize_total",
+      "connections dropped for an oversized request line");
+  static obs::Counter& slow = obs::Registry::global().counter(
+      "rvhpc_net_disconnects_slow_reader_total",
+      "connections dropped for not draining their responses");
+  static obs::Counter& refused = obs::Registry::global().counter(
+      "rvhpc_net_disconnects_refused_total",
+      "connections refused past the connection cap");
+  static obs::Counter& error = obs::Registry::global().counter(
+      "rvhpc_net_disconnects_error_total",
+      "connections dropped on a socket error");
+  static obs::Counter& drained = obs::Registry::global().counter(
+      "rvhpc_net_disconnects_drained_total",
+      "connections open when the server drained");
+  switch (cause) {
+    case Disconnect::Eof:        eof.add(); break;
+    case Disconnect::Idle:       idle.add(); break;
+    case Disconnect::Oversize:   oversize.add(); break;
+    case Disconnect::SlowReader: slow.add(); break;
+    case Disconnect::Refused:    refused.add(); break;
+    case Disconnect::Error:      error.add(); break;
+    case Disconnect::Drained:    drained.add(); break;
+  }
+}
+
+/// Extracts the first complete line (without the '\n', trailing '\r'
+/// stripped) from `buf`; false when no newline is buffered yet.
+bool take_line(std::string& buf, std::string& line) {
+  const std::size_t nl = buf.find('\n');
+  if (nl == std::string::npos) return false;
+  line.assign(buf, 0, nl);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  buf.erase(0, nl + 1);
+  return true;
+}
+
+bool blank(const std::string& line) {
+  return line.find_first_not_of(" \t") == std::string::npos;
+}
+
+}  // namespace
+
+const char* to_string(Disconnect cause) {
+  switch (cause) {
+    case Disconnect::Eof:        return "eof";
+    case Disconnect::Idle:       return "idle";
+    case Disconnect::Oversize:   return "oversize";
+    case Disconnect::SlowReader: return "slow-reader";
+    case Disconnect::Refused:    return "refused";
+    case Disconnect::Error:      return "error";
+    case Disconnect::Drained:    return "drained";
+  }
+  return "unknown";
+}
+
+// --- Listener -------------------------------------------------------------
+
+Listener::~Listener() { close(); }
+
+void Listener::open(std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("socket() failed: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // localhost only
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string detail = std::strerror(errno);
+    close();
+    throw std::runtime_error("cannot bind 127.0.0.1:" + std::to_string(port) +
+                             ": " + detail);
+  }
+  if (::listen(fd_, 16) != 0) {
+    const std::string detail = std::strerror(errno);
+    close();
+    throw std::runtime_error("listen() failed: " + detail);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+  set_nonblocking(fd_);
+}
+
+int Listener::accept_client() const {
+  if (fd_ < 0) return -1;
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client >= 0) set_nonblocking(client);
+  return client;
+}
+
+void Listener::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  port_ = 0;
+}
+
+// --- Server ---------------------------------------------------------------
+
+Server::Server(serve::Service& service, ServerOptions opts)
+    : service_(service), opts_(opts) {
+  if (opts_.max_line_bytes == 0) opts_.max_line_bytes = 1;
+  if (opts_.max_write_buffer == 0) opts_.max_write_buffer = 1;
+  if (opts_.poll_interval_ms <= 0) opts_.poll_interval_ms = 50;
+}
+
+Server::~Server() {
+  for (auto& c : conns_) {
+    if (c->fd >= 0) ::close(c->fd);
+  }
+}
+
+void Server::open(std::ostream& log) {
+  listener_.open(opts_.port);
+  log << "net: listening on 127.0.0.1:" << listener_.port() << "\n"
+      << std::flush;
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard lock(stats_mu_);
+  return stats_;
+}
+
+void Server::publish_gauges() const {
+  if (!obs::metrics_enabled()) return;
+  static obs::Gauge& open_conns = obs::Registry::global().gauge(
+      "rvhpc_net_open_connections", "currently connected TCP clients");
+  static obs::Gauge& depth = obs::Registry::global().gauge(
+      "rvhpc_net_queue_depth_bytes",
+      "request bytes buffered and not yet answered, across connections");
+  open_conns.set(static_cast<double>(conns_.size()));
+  double pending = 0.0;
+  for (const auto& c : conns_) pending += static_cast<double>(c->rbuf.size());
+  depth.set(pending);
+}
+
+void Server::begin_close(Connection& c, Disconnect cause,
+                         const std::string& farewell) {
+  if (c.closing) return;
+  // The farewell rides the normal write path; if even that does not fit
+  // the bound the client is hopeless and the buffer stays as-is.
+  if (c.wbuf.size() + farewell.size() <= opts_.max_write_buffer) {
+    c.wbuf += farewell;
+  }
+  c.rbuf.clear();
+  c.closing = true;
+  c.cause = cause;
+  c.closing_since_us = now_us();
+}
+
+void Server::close_now(Connection& c, Disconnect cause) {
+  if (c.fd >= 0) ::close(c.fd);
+  c.fd = -1;
+  count_disconnect(cause);
+  std::lock_guard lock(stats_mu_);
+  switch (cause) {
+    case Disconnect::Eof:        ++stats_.disconnect_eof; break;
+    case Disconnect::Idle:       ++stats_.disconnect_idle; break;
+    case Disconnect::Oversize:   ++stats_.disconnect_oversize; break;
+    case Disconnect::SlowReader: ++stats_.disconnect_slow_reader; break;
+    case Disconnect::Refused:    ++stats_.disconnect_refused; break;
+    case Disconnect::Error:      ++stats_.disconnect_error; break;
+    case Disconnect::Drained:    ++stats_.disconnect_drained; break;
+  }
+}
+
+void Server::accept_pending() {
+  while (true) {
+    const int fd = listener_.accept_client();
+    if (fd < 0) return;
+    count(Count::Connection);
+    {
+      std::lock_guard lock(stats_mu_);
+      ++stats_.accepted;
+    }
+    if (opts_.so_sndbuf > 0) {
+      (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &opts_.so_sndbuf,
+                         sizeof(opts_.so_sndbuf));
+    }
+    auto c = std::make_unique<Connection>();
+    c->fd = fd;
+    c->last_read_us = now_us();
+    if (conns_.size() >= opts_.max_connections) {
+      // Polite refusal: a structured line beats a dangling connect.
+      begin_close(*c, Disconnect::Refused,
+                  error_line("overloaded",
+                             "connection limit (" +
+                                 std::to_string(opts_.max_connections) +
+                                 ") reached; retry later"));
+    }
+    conns_.push_back(std::move(c));
+  }
+}
+
+void Server::read_ready(Connection& c) {
+  char chunk[4096];
+  while (!c.draining && !c.closing && c.rbuf.size() <= opts_.max_line_bytes) {
+    const ssize_t n = ::recv(c.fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      c.rbuf.append(chunk, static_cast<std::size_t>(n));
+      c.last_read_us = now_us();
+      count_bytes(true, static_cast<std::uint64_t>(n));
+      std::lock_guard lock(stats_mu_);
+      stats_.bytes_in += static_cast<std::uint64_t>(n);
+    } else if (n == 0) {
+      // EOF: the client is done sending.  Its buffered complete lines are
+      // still answered; a trailing partial line (a client that died
+      // mid-request) is discarded.
+      c.draining = true;
+      c.cause = Disconnect::Eof;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return;
+    } else if (errno == EINTR) {
+      continue;
+    } else {
+      close_now(c, Disconnect::Error);
+      return;
+    }
+  }
+}
+
+/// Answers at most one buffered line of `c`; true when a line was consumed
+/// (the round-robin scheduler uses this to detect an idle pass).
+bool Server::answer_one_line(Connection& c) {
+  if (c.fd < 0 || c.closing) return false;
+
+  std::string line;
+  if (!take_line(c.rbuf, line)) {
+    // No complete line.  A partial line past the bound can never complete
+    // within it — reject it now rather than buffering forever.
+    if (c.rbuf.size() > opts_.max_line_bytes) {
+      begin_close(c, Disconnect::Oversize,
+                  error_line("overloaded",
+                             "request line exceeds " +
+                                 std::to_string(opts_.max_line_bytes) +
+                                 " bytes"));
+    }
+    return false;
+  }
+  if (blank(line)) return true;  // consumed input, no response owed
+  if (line.size() > opts_.max_line_bytes) {
+    begin_close(c, Disconnect::Oversize,
+                error_line("overloaded",
+                           "request line exceeds " +
+                               std::to_string(opts_.max_line_bytes) +
+                               " bytes"));
+    return false;
+  }
+
+  const std::string response = service_.handle_line(line) + "\n";
+  if (c.wbuf.size() + response.size() > opts_.max_write_buffer) {
+    // The client is not draining responses; holding more would be
+    // unbounded memory, and it cannot read an apology either.
+    close_now(c, Disconnect::SlowReader);
+    return false;
+  }
+  c.wbuf += response;
+  count(Count::Answered);
+  {
+    std::lock_guard lock(stats_mu_);
+    ++stats_.answered;
+  }
+  return true;
+}
+
+void Server::process_lines() {
+  // Round-robin fairness: each pass gives every connection at most one
+  // answered line, starting one past last pass's starting point, until a
+  // full pass makes no progress.  A client with 50 buffered requests
+  // interleaves with everyone else instead of monopolising the loop.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    const std::size_t n = conns_.size();
+    if (n == 0) return;
+    rr_ = (rr_ + 1) % n;
+    for (std::size_t k = 0; k < n; ++k) {
+      progress |= answer_one_line(*conns_[(rr_ + k) % n]);
+    }
+  }
+}
+
+void Server::flush_writes() {
+  for (auto& cp : conns_) {
+    Connection& c = *cp;
+    while (c.fd >= 0 && !c.wbuf.empty()) {
+      const ssize_t n =
+          ::send(c.fd, c.wbuf.data(), c.wbuf.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        c.wbuf.erase(0, static_cast<std::size_t>(n));
+        count_bytes(false, static_cast<std::uint64_t>(n));
+        std::lock_guard lock(stats_mu_);
+        stats_.bytes_out += static_cast<std::uint64_t>(n);
+      } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;
+      } else if (n < 0 && errno == EINTR) {
+        continue;
+      } else {
+        close_now(c, c.closing ? c.cause : Disconnect::Error);
+        break;
+      }
+    }
+  }
+}
+
+void Server::reap_and_time_out() {
+  const double now = now_us();
+  for (auto& cp : conns_) {
+    Connection& c = *cp;
+    if (c.fd < 0) continue;
+    if ((c.closing || c.draining) && c.wbuf.empty() &&
+        (c.closing || c.rbuf.find('\n') == std::string::npos)) {
+      close_now(c, c.cause);
+      continue;
+    }
+    if (c.closing &&
+        now - c.closing_since_us > opts_.drain_grace_ms * 1000.0) {
+      // Told to go away but not reading the farewell: forced close.
+      close_now(c, c.cause);
+      continue;
+    }
+    if (!c.closing && !c.draining && opts_.idle_timeout_ms > 0.0 &&
+        now - c.last_read_us > opts_.idle_timeout_ms * 1000.0) {
+      begin_close(c, Disconnect::Idle,
+                  error_line("timeout",
+                             "idle for more than " +
+                                 std::to_string(opts_.idle_timeout_ms) +
+                                 " ms; closing"));
+    }
+  }
+  std::erase_if(conns_, [](const std::unique_ptr<Connection>& c) {
+    return c->fd < 0;
+  });
+}
+
+void Server::run(std::ostream& log) {
+  const auto stop_requested = [this] {
+    return stop_.load(std::memory_order_relaxed) ||
+           serve::shutdown_requested();
+  };
+
+  std::vector<pollfd> fds;
+  while (!stop_requested()) {
+    fds.clear();
+    if (listener_.is_open()) {
+      fds.push_back({listener_.fd(), POLLIN, 0});
+    }
+    for (const auto& c : conns_) {
+      short events = 0;
+      if (!c->draining && !c->closing &&
+          c->rbuf.size() <= opts_.max_line_bytes) {
+        events |= POLLIN;
+      }
+      if (!c->wbuf.empty()) events |= POLLOUT;
+      fds.push_back({c->fd, events, 0});
+    }
+    const int rc =
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+               opts_.poll_interval_ms);
+    if (rc < 0 && errno != EINTR) {
+      log << "net: WARNING: poll failed: " << std::strerror(errno) << "\n";
+    }
+
+    accept_pending();
+    // Readiness is a hint, not a contract: reads and writes are
+    // non-blocking, so sweeping every connection is safe and keeps the
+    // loop free of fd-to-connection bookkeeping.
+    for (auto& c : conns_) {
+      if (c->fd >= 0 && !c->draining && !c->closing) read_ready(*c);
+    }
+    process_lines();
+    flush_writes();
+    reap_and_time_out();
+    publish_gauges();
+  }
+
+  // Drain: stop accepting, answer every complete line already buffered,
+  // then give the write buffers a bounded grace to reach their clients.
+  listener_.close();
+  process_lines();
+  flush_writes();
+  const double deadline = now_us() + opts_.drain_grace_ms * 1000.0;
+  while (now_us() < deadline) {
+    fds.clear();
+    for (const auto& c : conns_) {
+      if (c->fd >= 0 && !c->wbuf.empty()) fds.push_back({c->fd, POLLOUT, 0});
+    }
+    if (fds.empty()) break;
+    (void)::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                 opts_.poll_interval_ms);
+    flush_writes();
+    std::erase_if(conns_, [](const std::unique_ptr<Connection>& c) {
+      return c->fd < 0;
+    });
+  }
+  for (auto& c : conns_) {
+    if (c->fd >= 0) close_now(*c, Disconnect::Drained);
+  }
+  conns_.clear();
+  publish_gauges();
+
+  service_.flush(log);
+  const ServerStats s = stats();
+  log << "net: drained — " << s.accepted << " connection(s), " << s.answered
+      << " request(s) answered, " << s.bytes_in << " bytes in, " << s.bytes_out
+      << " bytes out, disconnects: " << s.disconnect_eof << " eof, "
+      << s.disconnect_idle << " idle, " << s.disconnect_oversize
+      << " oversize, " << s.disconnect_slow_reader << " slow-reader, "
+      << s.disconnect_refused << " refused, " << s.disconnect_error
+      << " error, " << s.disconnect_drained << " drained\n";
+}
+
+}  // namespace rvhpc::net

@@ -1,0 +1,193 @@
+#pragma once
+// rvhpc::net — TCP transport and multi-client front end for the service.
+//
+// rvhpc-serve's stdio listener serves exactly one client: whoever owns the
+// pipe.  This module puts the same Service behind a loopback TCP socket so
+// the persistent prediction cache becomes a shared resource — many
+// concurrent clients, one resident cache, one process paying each
+// predict() once.  The protocol is unchanged: line-delimited JSON requests
+// in, one JSON response line per request out, every line routed through
+// serve::Service::handle_line so admission lint, deadlines, structured
+// errors and stats behave identically over TCP and stdio.
+//
+// Architecture (DESIGN.md §10): a single-threaded poll() event loop.  The
+// Listener accepts clients on 127.0.0.1 (port 0 = ephemeral, reported via
+// port()); each Connection owns a bounded read buffer and a bounded write
+// buffer.  Complete lines are answered round-robin across connections, one
+// line per connection per pass, so a chatty client interleaves fairly with
+// everyone else instead of starving them.  Evaluation happens inline on
+// the loop thread — handle_line already memoises through the shared cache,
+// and a single writer keeps the whole transport free of locks.
+//
+// Bounded-memory contract: a request line longer than max_line_bytes
+// answers a structured "overloaded" error and closes; a client that stops
+// reading until max_write_buffer fills is disconnected (it cannot receive
+// an error it refuses to read); a connection idle past idle_timeout_ms is
+// told "timeout" and closed.  Nothing about a misbehaving peer can grow
+// server state without bound or wedge the loop.
+//
+// Shutdown: SIGTERM/SIGINT (serve::install_shutdown_handlers) or stop()
+// stops accepting, answers every complete request line already buffered,
+// flushes the write buffers (bounded grace), flushes the service's
+// persistent cache, and returns from run() — the same drain semantics the
+// stdio loop has.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rvhpc::serve {
+class Service;
+}
+
+namespace rvhpc::net {
+
+/// Why a connection was closed — stats and rvhpc_net_disconnects_*_total
+/// metrics attribute every close to exactly one cause.
+enum class Disconnect {
+  Eof,         ///< client closed; its buffered requests were answered first
+  Idle,        ///< nothing received for idle_timeout_ms ("timeout" answered)
+  Oversize,    ///< request line exceeded max_line_bytes ("overloaded" answered)
+  SlowReader,  ///< write buffer bound hit — the client is not reading
+  Refused,     ///< accepted past max_connections ("overloaded" answered)
+  Error,       ///< socket error (reset, broken pipe)
+  Drained,     ///< server shut down while the connection was open
+};
+
+[[nodiscard]] const char* to_string(Disconnect cause);
+
+struct ServerOptions {
+  /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (the bound one
+  /// is reported by Server::port() and logged by open()).
+  std::uint16_t port = 0;
+  /// Concurrent clients; one past the cap is answered "overloaded" and
+  /// closed instead of left dangling in the accept queue.
+  std::size_t max_connections = 64;
+  /// Longest admissible request line; beyond it the client gets a
+  /// structured "overloaded" error and a disconnect.  Also the read-buffer
+  /// bound, so per-connection input state never exceeds it (plus one read
+  /// chunk).
+  std::size_t max_line_bytes = 64 * 1024;
+  /// Write-buffer bound per connection: responses a slow reader has not
+  /// drained.  Exceeding it disconnects the client.
+  std::size_t max_write_buffer = 256 * 1024;
+  /// SO_SNDBUF for accepted sockets; 0 keeps the kernel default.  The
+  /// slow-reader bound only trips once the kernel's send buffer is full,
+  /// so tests (and memory-tight deployments) shrink this to make the
+  /// transport's bounded-memory contract bite early.
+  int so_sndbuf = 0;
+  /// Disconnect a connection that sent nothing for this long; 0 disables.
+  double idle_timeout_ms = 0.0;
+  /// poll() timeout — the latency bound on noticing stop()/SIGTERM.
+  int poll_interval_ms = 50;
+  /// Grace for flushing write buffers at drain (and for closing
+  /// connections that were answered an error but are not reading it).
+  double drain_grace_ms = 2000.0;
+};
+
+/// Aggregate counters of one Server's lifetime (mirrors the rvhpc_net_*
+/// obs metrics, which aggregate across instances; tests want these).
+struct ServerStats {
+  std::uint64_t accepted = 0;   ///< connections accepted (incl. refused)
+  std::uint64_t answered = 0;   ///< request lines answered with a response
+  std::uint64_t bytes_in = 0;   ///< payload bytes received
+  std::uint64_t bytes_out = 0;  ///< response bytes written
+  std::uint64_t disconnect_eof = 0;
+  std::uint64_t disconnect_idle = 0;
+  std::uint64_t disconnect_oversize = 0;
+  std::uint64_t disconnect_slow_reader = 0;
+  std::uint64_t disconnect_refused = 0;
+  std::uint64_t disconnect_error = 0;
+  std::uint64_t disconnect_drained = 0;
+};
+
+/// The listening socket: binds 127.0.0.1:<port>, hands out accepted fds.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens (non-blocking).  Throws std::runtime_error when the
+  /// port cannot be bound.  port 0 binds an ephemeral port; port() reports
+  /// the one the kernel chose.
+  void open(std::uint16_t port);
+  /// One pending client as a non-blocking fd, or -1 when none is waiting.
+  [[nodiscard]] int accept_client() const;
+  void close();
+
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// One accepted client: its fd plus the bounded buffers and liveness
+/// clocks the event loop schedules it by.
+struct Connection {
+  int fd = -1;
+  std::string rbuf;           ///< received bytes not yet framed into lines
+  std::string wbuf;           ///< response bytes the client has not drained
+  double last_read_us = 0.0;  ///< idle-timeout clock (reset on every read)
+  double closing_since_us = 0.0;  ///< when `closing` was set (grace clock)
+  bool draining = false;  ///< read side saw EOF; answer what is buffered
+  bool closing = false;   ///< farewell queued; close once wbuf flushes
+  Disconnect cause = Disconnect::Eof;  ///< recorded when closing/draining
+};
+
+class Server {
+ public:
+  /// The Service outlives the Server; every request line is answered by
+  /// service.handle_line on the loop thread.
+  Server(serve::Service& service, ServerOptions opts);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listener and logs "net: listening on 127.0.0.1:<port>" —
+  /// the line scripts/check.sh parses the ephemeral port from.  Throws
+  /// std::runtime_error on bind failure.
+  void open(std::ostream& log);
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+
+  /// Event loop: serves until stop() or serve::shutdown_requested(), then
+  /// drains (answers buffered requests, flushes write buffers and the
+  /// persistent cache) and logs a "net: drained" summary.
+  void run(std::ostream& log);
+
+  /// Requests the same graceful drain SIGTERM does (thread-safe).
+  void stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  void accept_pending();
+  void read_ready(Connection& c);
+  bool answer_one_line(Connection& c);
+  void process_lines();
+  void flush_writes();
+  void reap_and_time_out();
+  void begin_close(Connection& c, Disconnect cause, const std::string& farewell);
+  void close_now(Connection& c, Disconnect cause);
+  void publish_gauges() const;
+
+  serve::Service& service_;
+  ServerOptions opts_;
+  Listener listener_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+  std::size_t rr_ = 0;  ///< round-robin cursor for fair line scheduling
+  std::atomic<bool> stop_{false};
+  mutable std::mutex stats_mu_;  ///< tests poll stats() from other threads
+  ServerStats stats_;
+};
+
+}  // namespace rvhpc::net

@@ -33,6 +33,14 @@ void count_restored(std::size_t n) {
   restored.add(n);
 }
 
+void count_trimmed(std::size_t n) {
+  if (!obs::metrics_enabled() || n == 0) return;
+  static obs::Counter& trimmed = obs::Registry::global().counter(
+      "rvhpc_serve_cache_trimmed_total",
+      "oldest-LRU cache entries dropped by the save cap (--cache-max-entries)");
+  trimmed.add(n);
+}
+
 // --- little-endian scalar writers into a std::string buffer ---------------
 
 void put_u32(std::string& out, std::uint32_t v) {
@@ -182,14 +190,21 @@ LoadResult load_cache(const std::string& path,
   r.pos = 4;
   std::uint32_t version = 0;
   (void)r.u32(version);
-  if (version != kCacheFormatVersion) {
+  if (version < kOldestReadableCacheFormatVersion ||
+      version > kCacheFormatVersion) {
     return fail(LoadResult::Status::VersionMismatch,
                 "'" + path + "' has format version " + std::to_string(version) +
-                    ", this build reads version " +
+                    ", this build reads versions " +
+                    std::to_string(kOldestReadableCacheFormatVersion) + ".." +
                     std::to_string(kCacheFormatVersion));
   }
   std::uint64_t count = 0;
   if (!r.u64(count)) {
+    return fail(LoadResult::Status::Corrupt, "'" + path + "' truncated header");
+  }
+  // Version 2 added the trimmed count; version-1 files simply lack it.
+  std::uint64_t trimmed = 0;
+  if (version >= 2 && !r.u64(trimmed)) {
     return fail(LoadResult::Status::Corrupt, "'" + path + "' truncated header");
   }
 
@@ -236,18 +251,32 @@ LoadResult load_cache(const std::string& path,
   LoadResult result;
   result.status = LoadResult::Status::Loaded;
   result.restored = entries.size();
+  result.trimmed = static_cast<std::size_t>(trimmed);
   count_restored(entries.size());
   return result;
 }
 
-void save_cache(const std::string& path,
-                const engine::PredictionCache& cache) {
-  const std::vector<engine::CacheEntry> mru_first = cache.entries();
+SaveResult save_cache(const std::string& path,
+                      const engine::PredictionCache& cache,
+                      std::size_t max_entries) {
+  std::vector<engine::CacheEntry> mru_first = cache.entries();
+
+  // Eviction cap: entries() is MRU-first, so truncating the tail drops
+  // exactly the least-recently-used overflow — the snapshot keeps the
+  // entries a restart is most likely to want warm.
+  SaveResult saved;
+  if (max_entries > 0 && mru_first.size() > max_entries) {
+    saved.trimmed = mru_first.size() - max_entries;
+    mru_first.resize(max_entries);
+    count_trimmed(saved.trimmed);
+  }
+  saved.written = mru_first.size();
 
   std::string out;
   out.append(kMagic, 4);
   put_u32(out, kCacheFormatVersion);
   put_u64(out, mru_first.size());
+  put_u64(out, saved.trimmed);
 
   std::string payload;
   for (auto it = mru_first.rbegin(); it != mru_first.rend(); ++it) {
@@ -271,6 +300,7 @@ void save_cache(const std::string& path,
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     throw std::runtime_error("cannot rename '" + tmp + "' to '" + path + "'");
   }
+  return saved;
 }
 
 }  // namespace rvhpc::serve

@@ -12,8 +12,11 @@
 //
 // File format (little-endian, see DESIGN.md §9.3):
 //   magic   "RVPC"            4 bytes
-//   version u32               currently 1; any other value is rejected
+//   version u32               currently 2; versions 1 and 2 are readable,
+//                             anything else is rejected
 //   count   u64               number of entries
+//   trimmed u64               version >= 2 only: entries the save cap
+//                             dropped from this snapshot (informational)
 //   payload count x entry     entries ordered least-recently-used FIRST,
 //                             so replaying them through put() reproduces
 //                             the cache's exact recency order on load
@@ -46,6 +49,7 @@ struct LoadResult {
   };
   Status status = Status::Missing;
   std::size_t restored = 0;  ///< entries inserted into the cache
+  std::size_t trimmed = 0;   ///< v2+: entries the saver's cap had dropped
   std::string detail;        ///< human-readable reason for non-Loaded
 
   [[nodiscard]] bool ok() const { return status == Status::Loaded; }
@@ -53,8 +57,17 @@ struct LoadResult {
 
 [[nodiscard]] std::string to_string(LoadResult::Status s);
 
-/// Current file-format version written by save_cache().
-inline constexpr std::uint32_t kCacheFormatVersion = 1;
+/// Current file-format version written by save_cache().  Version 2 added
+/// the trimmed-count header field; the reader still accepts version-1
+/// files (written before the eviction cap existed) unchanged.
+inline constexpr std::uint32_t kCacheFormatVersion = 2;
+inline constexpr std::uint32_t kOldestReadableCacheFormatVersion = 1;
+
+/// Outcome of one save_cache() call.
+struct SaveResult {
+  std::size_t written = 0;  ///< entries serialised to the file
+  std::size_t trimmed = 0;  ///< oldest-LRU entries dropped by max_entries
+};
 
 /// Restores `path` into `cache` (entries are replayed oldest-first through
 /// put(), so the resident LRU order matches the saved one).  Publishes the
@@ -62,10 +75,16 @@ inline constexpr std::uint32_t kCacheFormatVersion = 1;
 /// when metrics are enabled.  Never throws; see LoadResult.
 LoadResult load_cache(const std::string& path, engine::PredictionCache& cache);
 
-/// Serialises every resident entry of `cache` to `path`, writing to
+/// Serialises the resident entries of `cache` to `path`, writing to
 /// `path`.tmp first and renaming into place so a crash mid-write can never
-/// leave a half-written cache where the next start would read it.  Throws
-/// std::runtime_error when the destination is unwritable.
-void save_cache(const std::string& path, const engine::PredictionCache& cache);
+/// leave a half-written cache where the next start would read it.  A
+/// non-zero `max_entries` caps the snapshot: the least-recently-used
+/// overflow is trimmed before writing (the resident cache is untouched),
+/// keeping long-lived service cache files bounded; trimmed entries count
+/// into rvhpc_serve_cache_trimmed_total.  Throws std::runtime_error when
+/// the destination is unwritable.
+SaveResult save_cache(const std::string& path,
+                      const engine::PredictionCache& cache,
+                      std::size_t max_entries = 0);
 
 }  // namespace rvhpc::serve

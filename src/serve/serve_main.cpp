@@ -1,15 +1,19 @@
 // rvhpc-serve — the prediction model as a long-running service.
 //
-// Reads line-delimited JSON prediction requests (stdin by default, or a
-// replay log with --replay), answers each with one line of JSON, and keeps
-// the engine's memo cache warm across processes through a persistent cache
-// file.  See src/serve/service.hpp for the request/response schema and
-// DESIGN.md §9 for the architecture.
+// Reads line-delimited JSON prediction requests (stdin by default, a
+// replay log with --replay, or a loopback TCP socket with --listen=tcp),
+// answers each with one line of JSON, and keeps the engine's memo cache
+// warm across processes through a persistent cache file.  See
+// src/serve/service.hpp for the request/response schema, DESIGN.md §9 for
+// the service and §10 for the TCP transport.
 //
 //   echo '{"id":"r1","machine":"sg2044","kernel":"CG","cores":64}' |
 //     rvhpc-serve --cache-file=predictions.bin
 //   rvhpc-serve --replay=tests/data/serve_replay20.jsonl
 //               --cache-file=predictions.bin --out=responses.jsonl
+//   rvhpc-serve --listen=tcp:0 --cache-file=predictions.bin &
+//     # stderr logs "net: listening on 127.0.0.1:<port>"; drive it with
+//     # rvhpc-client --connect=127.0.0.1:<port> --in=requests.jsonl
 //
 // Exit status: 0 on success (including replays with per-request errors —
 // those are *answered*, not fatal), 1 on gate failure, 2 on usage errors.
@@ -26,6 +30,7 @@
 
 #include "arch/registry.hpp"
 #include "cli/cli.hpp"
+#include "net/net.hpp"
 #include "obs/metrics.hpp"
 #include "serve/persist.hpp"
 #include "serve/service.hpp"
@@ -37,14 +42,19 @@ namespace {
 const cli::ToolInfo kTool{
     "rvhpc-serve",
     "serve predictions over line-delimited JSON with a persistent cache",
-    "usage: rvhpc-serve [--listen=stdio] [--replay=<requests.jsonl>]\n"
+    "usage: rvhpc-serve [--listen=stdio|tcp:PORT] [--replay=<requests.jsonl>]\n"
     "                   [--out=<responses.jsonl>] [--cache-file=<file.bin>]\n"
-    "                   [--cache-capacity=N] [--queue=N] [--timeout-ms=T]\n"
-    "                   [--checkpoint-every=N] [--no-lint] [--jobs=N]\n"
-    "                   [--metrics[=<file>]] [--gate]\n"
+    "                   [--cache-capacity=N] [--cache-max-entries=N]\n"
+    "                   [--queue=N] [--timeout-ms=T] [--idle-timeout-ms=T]\n"
+    "                   [--checkpoint-every=N] [--no-lint] [--no-live-fields]\n"
+    "                   [--jobs=N] [--metrics[=<file>]] [--gate]\n"
     "\n"
     "  --listen=stdio        serve requests from stdin until EOF/SIGTERM\n"
-    "                        (the default, and currently the only listener)\n"
+    "                        (the default)\n"
+    "  --listen=tcp:PORT     serve concurrent clients on 127.0.0.1:PORT\n"
+    "                        until SIGTERM; PORT 0 picks an ephemeral port\n"
+    "                        (logged as \"net: listening on ...\"); drive it\n"
+    "                        with rvhpc-client\n"
     "  --replay=FILE         batch-replay a request log instead of serving;\n"
     "                        responses in request order, summary on stderr\n"
     "  --out=FILE            write responses there instead of stdout\n"
@@ -52,11 +62,18 @@ const cli::ToolInfo kTool{
     "                        and flush it on shutdown (corrupt or\n"
     "                        version-mismatched files are ignored, cold)\n"
     "  --cache-capacity=N    resident cache entries (default 16384)\n"
+    "  --cache-max-entries=N cap entries written to --cache-file; saves trim\n"
+    "                        the oldest-LRU overflow first (0 = uncapped)\n"
     "  --queue=N             live-mode admission bound; requests past it\n"
     "                        answer \"overloaded\" (default 256)\n"
     "  --timeout-ms=T        default per-request deadline (0 = none)\n"
+    "  --idle-timeout-ms=T   tcp only: disconnect clients idle for T ms\n"
+    "                        (0 = never, the default)\n"
     "  --checkpoint-every=N  checkpoint the cache every N evaluations\n"
     "  --no-lint             skip A0xx admission lint of machine_text\n"
+    "  --no-live-fields      omit the \"cache\"/\"latency_us\" response\n"
+    "                        fields so live output is byte-comparable with\n"
+    "                        a --replay of the same requests\n"
     + cli::jobs_flag_help() + "\n"
     "  --metrics[=FILE]      dump the Prometheus metrics registry on exit\n"
     "                        (stderr, or FILE)\n"
@@ -77,23 +94,16 @@ constexpr bool kSanitized = false;
 
 struct Options {
   serve::Service::Options svc;
+  net::ServerOptions net;
   std::string replay_path;
   std::string out_path;
   std::string metrics_path;  ///< empty = stderr
+  bool tcp = false;          ///< --listen=tcp:PORT (port in net.port)
   bool metrics = false;
   bool gate = false;
 };
 
-bool parse_size(const std::string& text, std::size_t& out) {
-  try {
-    const long long v = std::stoll(text);
-    if (v < 0) return false;
-    out = static_cast<std::size_t>(v);
-    return true;
-  } catch (const std::exception&) {
-    return false;
-  }
-}
+using cli::parse_size;
 
 int usage_error(const std::string& message) {
   std::cerr << "rvhpc-serve: " << message << "\n\n" << kTool.usage << "\n";
@@ -230,8 +240,26 @@ int main(int argc, char** argv) {
     const auto value = [&](const char* prefix) {
       return arg.substr(std::string(prefix).size());
     };
-    if (arg == "--listen=stdio" || arg.rfind("--jobs=", 0) == 0) {
-      // stdio is the only listener; --jobs was consumed above.
+    if (arg.rfind("--listen=", 0) == 0) {
+      // Validate the listener by name: an unrecognised value must be a
+      // usage error, never silently treated as stdio.
+      const std::string listener = value("--listen=");
+      if (listener == "stdio") {
+        opt.tcp = false;
+      } else if (listener.rfind("tcp:", 0) == 0) {
+        std::size_t port = 0;
+        if (!parse_size(listener.substr(4), port) || port > 65535) {
+          return usage_error("bad --listen port in '" + arg +
+                             "' (want tcp:0..65535)");
+        }
+        opt.tcp = true;
+        opt.net.port = static_cast<std::uint16_t>(port);
+      } else {
+        return usage_error("unknown --listen value '" + listener +
+                           "' (want stdio or tcp:PORT)");
+      }
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      // consumed by cli::apply_jobs_flag above
     } else if (arg.rfind("--replay=", 0) == 0) {
       opt.replay_path = value("--replay=");
     } else if (arg.rfind("--out=", 0) == 0) {
@@ -241,6 +269,20 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--cache-capacity=", 0) == 0) {
       if (!parse_size(value("--cache-capacity="), opt.svc.cache_capacity)) {
         return usage_error("bad --cache-capacity value '" + arg + "'");
+      }
+    } else if (arg.rfind("--cache-max-entries=", 0) == 0) {
+      if (!parse_size(value("--cache-max-entries="),
+                      opt.svc.cache_max_entries)) {
+        return usage_error("bad --cache-max-entries value '" + arg + "'");
+      }
+    } else if (arg.rfind("--idle-timeout-ms=", 0) == 0) {
+      try {
+        opt.net.idle_timeout_ms = std::stod(value("--idle-timeout-ms="));
+      } catch (const std::exception&) {
+        return usage_error("bad --idle-timeout-ms value '" + arg + "'");
+      }
+      if (opt.net.idle_timeout_ms < 0) {
+        return usage_error("--idle-timeout-ms must be >= 0");
       }
     } else if (arg.rfind("--queue=", 0) == 0) {
       if (!parse_size(value("--queue="), opt.svc.queue_capacity)) {
@@ -262,6 +304,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--no-lint") {
       opt.svc.lint_admission = false;
+    } else if (arg == "--no-live-fields") {
+      opt.svc.live_fields = false;
     } else if (arg == "--metrics") {
       opt.metrics = true;
     } else if (arg.rfind("--metrics=", 0) == 0) {
@@ -298,6 +342,15 @@ int main(int argc, char** argv) {
         std::cerr << "rvhpc-serve: " << e.what() << "\n";
         status = 2;
       }
+    } else if (opt.tcp) {
+      serve::install_shutdown_handlers();
+      net::Server server(svc, opt.net);
+      try {
+        server.open(std::cerr);
+      } catch (const std::exception& e) {
+        return usage_error(e.what());
+      }
+      server.run(std::cerr);
     } else {
       serve::install_shutdown_handlers();
       svc.run(std::cin, out, std::cerr);

@@ -36,9 +36,13 @@ double now_us() {
 
 // --- shutdown flag (async-signal-safe) ------------------------------------
 
-volatile std::sig_atomic_t g_shutdown = 0;
+// A lock-free atomic store is async-signal-safe, and unlike a volatile
+// sig_atomic_t it is also a *cross-thread* handoff TSan accepts: the net
+// event loop polls this flag from its own thread.
+std::atomic<int> g_shutdown{0};
+static_assert(std::atomic<int>::is_always_lock_free);
 
-void on_signal(int) { g_shutdown = 1; }
+void on_signal(int) { g_shutdown.store(1, std::memory_order_relaxed); }
 
 // --- serve-level metrics --------------------------------------------------
 
@@ -110,9 +114,11 @@ void install_shutdown_handlers() {
   std::signal(SIGINT, on_signal);
 }
 
-bool shutdown_requested() { return g_shutdown != 0; }
+bool shutdown_requested() {
+  return g_shutdown.load(std::memory_order_relaxed) != 0;
+}
 
-void reset_shutdown() { g_shutdown = 0; }
+void reset_shutdown() { g_shutdown.store(0, std::memory_order_relaxed); }
 
 // --- one admitted request -------------------------------------------------
 
@@ -259,7 +265,7 @@ Service::Service(Options opts)
 Service::~Service() {
   if (!opts_.cache_file.empty()) {
     try {
-      save_cache(opts_.cache_file, cache_);
+      (void)save_cache(opts_.cache_file, cache_, opts_.cache_max_entries);
     } catch (const std::exception& e) {
       std::cerr << "rvhpc-serve: cache flush failed: " << e.what() << "\n";
     }
@@ -403,10 +409,14 @@ void Service::flush(std::ostream& log) {
   if (opts_.cache_file.empty()) return;
   std::lock_guard save_lock(save_mu_);
   try {
-    save_cache(opts_.cache_file, cache_);
-    log << "serve: checkpointed " << cache_.size() << " cache entr"
-        << (cache_.size() == 1 ? "y" : "ies") << " to " << opts_.cache_file
-        << "\n";
+    const SaveResult saved =
+        save_cache(opts_.cache_file, cache_, opts_.cache_max_entries);
+    log << "serve: checkpointed " << saved.written << " cache entr"
+        << (saved.written == 1 ? "y" : "ies");
+    if (saved.trimmed > 0) {
+      log << " (trimmed " << saved.trimmed << " oldest)";
+    }
+    log << " to " << opts_.cache_file << "\n";
   } catch (const std::exception& e) {
     log << "serve: WARNING: checkpoint failed: " << e.what() << "\n";
   }

@@ -85,6 +85,10 @@ class Service {
     /// in-process cache only.
     std::string cache_file;
     std::size_t cache_capacity = engine::PredictionCache::kDefaultCapacity;
+    /// Cap on entries *written* to the cache file: saves trim the
+    /// oldest-LRU overflow first (rvhpc_serve_cache_trimmed_total counts
+    /// them) so a long-lived service file stays bounded.  0 = uncapped.
+    std::size_t cache_max_entries = 0;
     /// Checkpoint period in *evaluated requests*; 0 = only on shutdown.
     std::size_t checkpoint_every = 0;
     /// Reject machines whose A0xx lint has errors (registry machines

@@ -1,0 +1,451 @@
+// rvhpc::net — TCP transport for the prediction service.
+//
+// The load-bearing guarantees: many concurrent clients each get exactly
+// their own responses (attributed by id) over one shared Service; a
+// misbehaving peer — oversized line, never-reading client, idle
+// connection, mid-request disconnect — costs bounded memory and a
+// structured goodbye, never a crash or a wedge; and SIGTERM drains like
+// the stdio loop does: buffered requests answered, cache flushed.
+//
+// Every test runs a real Server on an ephemeral loopback port with the
+// event loop on a background thread, and drives it with blocking client
+// sockets (5 s receive timeouts so a regression fails instead of
+// hanging).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/net.hpp"
+#include "obs/json.hpp"
+#include "serve/persist.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace rvhpc;
+using namespace std::chrono_literals;
+
+/// RAII temp path: removed on destruction.
+struct TempFile {
+  std::string path;
+  explicit TempFile(std::string p) : path(std::move(p)) {
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+/// A Service + Server on an ephemeral loopback port, loop on a background
+/// thread.  Stops and joins on destruction.
+struct LoopbackServer {
+  serve::Service service;
+  net::Server server;
+  std::ostringstream log;
+  std::thread loop;
+
+  explicit LoopbackServer(net::ServerOptions nopts = {},
+                          serve::Service::Options sopts = one_job())
+      : service(std::move(sopts)), server(service, nopts) {
+    server.open(log);
+    loop = std::thread([this] { server.run(log); });
+  }
+
+  ~LoopbackServer() {
+    server.stop();
+    if (loop.joinable()) loop.join();
+  }
+
+  static serve::Service::Options one_job() {
+    serve::Service::Options o;
+    o.jobs = 1;
+    return o;
+  }
+
+  /// Waits (bounded) for `pred` over the server stats; false on timeout.
+  template <typename Pred>
+  bool wait_for(Pred pred, std::chrono::milliseconds budget = 5000ms) {
+    const auto deadline = std::chrono::steady_clock::now() + budget;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (pred(server.stats())) return true;
+      std::this_thread::sleep_for(2ms);
+    }
+    return pred(server.stats());
+  }
+};
+
+/// Minimal blocking test client with a receive timeout.
+struct Client {
+  int fd = -1;
+  std::string buffered;
+
+  explicit Client(std::uint16_t port, int rcvbuf = 0) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return;
+    timeval tv{5, 0};
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    if (rcvbuf > 0) {
+      // Before connect(), so the shrunken window is what gets advertised.
+      (void)::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+
+  ~Client() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  [[nodiscard]] bool connected() const { return fd >= 0; }
+
+  /// Sends every byte; false once the server has hung up on us.
+  bool send_all(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                               MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  void shutdown_write() const { (void)::shutdown(fd, SHUT_WR); }
+
+  /// One response line (without '\n'), or empty on EOF/timeout.
+  std::string recv_line() {
+    while (true) {
+      const std::size_t nl = buffered.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffered.substr(0, nl);
+        buffered.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffered.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Reads until the server closes; returns everything (with newlines).
+  std::string recv_until_eof() {
+    std::string all = std::move(buffered);
+    buffered.clear();
+    char chunk[4096];
+    while (true) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return all;
+      all.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+};
+
+std::string request_line(const std::string& id, const std::string& kernel,
+                         int cores) {
+  return "{\"id\": \"" + id + "\", \"machine\": \"sg2044\", \"kernel\": \"" +
+         kernel + "\", \"cores\": " + std::to_string(cores) + "}\n";
+}
+
+// --- listener -------------------------------------------------------------
+
+TEST(NetListener, EphemeralPortIsReported) {
+  net::Listener listener;
+  listener.open(0);
+  EXPECT_TRUE(listener.is_open());
+  EXPECT_NE(listener.port(), 0) << "port 0 must resolve to the bound port";
+  listener.close();
+  EXPECT_FALSE(listener.is_open());
+}
+
+TEST(NetListener, PortCollisionThrowsInsteadOfServingBlind) {
+  net::Listener first;
+  first.open(0);
+  net::Listener second;
+  EXPECT_THROW(second.open(first.port()), std::runtime_error);
+}
+
+// --- concurrent clients ---------------------------------------------------
+
+TEST(NetServer, FourConcurrentClientsGetTheirOwnResponses) {
+  LoopbackServer s;
+  constexpr int kClients = 4;
+  constexpr int kRequests = 6;
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client cl(s.server.port());
+      if (!cl.connected()) {
+        ++failures;
+        return;
+      }
+      for (int r = 0; r < kRequests; ++r) {
+        // Distinct (id, cores) per request: the response must echo OUR id
+        // and OUR cores even while three other clients interleave.
+        const std::string id =
+            "c" + std::to_string(c) + "-r" + std::to_string(r);
+        const int cores = 1 + c * kRequests + r;
+        if (!cl.send_all(request_line(id, "CG", cores))) {
+          ++failures;
+          return;
+        }
+        const std::string line = cl.recv_line();
+        try {
+          const obs::json::Value v = obs::json::parse(line);
+          if (v.find("id")->str != id ||
+              v.find("status")->str != "ok" ||
+              static_cast<int>(v.find("cores")->num) != cores) {
+            ++failures;
+          }
+        } catch (const std::exception&) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const net::ServerStats stats = s.server.stats();
+  EXPECT_EQ(stats.accepted, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.answered, static_cast<std::uint64_t>(kClients * kRequests));
+  EXPECT_EQ(s.service.stats().received,
+            static_cast<std::uint64_t>(kClients * kRequests));
+}
+
+TEST(NetServer, PipelinedClientDrainsOnHalfClose) {
+  // The rvhpc-client protocol: send everything, shutdown the write side,
+  // read until EOF.  Every non-blank line must be answered.
+  LoopbackServer s;
+  Client cl(s.server.port());
+  ASSERT_TRUE(cl.connected());
+  std::string batch;
+  for (int r = 0; r < 5; ++r) {
+    batch += request_line("p" + std::to_string(r), "MG", 8 + r);
+  }
+  batch += "\n";  // blank line: consumed, never answered
+  ASSERT_TRUE(cl.send_all(batch));
+  cl.shutdown_write();
+
+  const std::string all = cl.recv_until_eof();
+  std::istringstream lines(all);
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    const obs::json::Value v = obs::json::parse(line);
+    EXPECT_EQ(v.find("id")->str, "p" + std::to_string(count));
+    ++count;
+  }
+  EXPECT_EQ(count, 5);
+  ASSERT_TRUE(s.wait_for([](const net::ServerStats& st) {
+    return st.disconnect_eof == 1;
+  }));
+}
+
+// --- bounded buffers ------------------------------------------------------
+
+TEST(NetServer, OversizedLineAnswersOverloadedAndDisconnects) {
+  net::ServerOptions nopts;
+  nopts.max_line_bytes = 256;
+  nopts.poll_interval_ms = 10;
+  LoopbackServer s(nopts);
+  Client cl(s.server.port());
+  ASSERT_TRUE(cl.connected());
+  ASSERT_TRUE(cl.send_all(std::string(600, 'x')));  // no newline, ever
+
+  const std::string line = cl.recv_line();
+  const obs::json::Value v = obs::json::parse(line);
+  EXPECT_EQ(v.find("status")->str, "error");
+  EXPECT_EQ(v.find("error")->str, "overloaded");
+  EXPECT_NE(v.find("message")->str.find("256"), std::string::npos);
+  EXPECT_TRUE(cl.recv_line().empty()) << "server must close after the error";
+  ASSERT_TRUE(s.wait_for([](const net::ServerStats& st) {
+    return st.disconnect_oversize == 1;
+  }));
+  EXPECT_EQ(s.service.stats().received, 0u)
+      << "an oversized line is rejected by the transport, not the service";
+}
+
+TEST(NetServer, SlowReaderIsDisconnectedWithBoundedMemory) {
+  net::ServerOptions nopts;
+  nopts.max_write_buffer = 1024;  // ~3 responses
+  nopts.so_sndbuf = 4096;  // keep the kernel from absorbing the pile-up
+  nopts.poll_interval_ms = 10;
+  LoopbackServer s(nopts);
+  Client cl(s.server.port(), /*rcvbuf=*/4096);
+  ASSERT_TRUE(cl.connected());
+
+  // 300 requests (one predict, the rest cache hits), never reading a
+  // byte: responses overflow the shrunken kernel buffers, pile up in the
+  // server's write buffer until the bound trips, and the connection is
+  // dropped.
+  std::string batch;
+  for (int r = 0; r < 300; ++r) {
+    std::string id = "s";  // (two-step concat dodges GCC bug 105651)
+    id += std::to_string(r);
+    batch.append(request_line(id, "EP", 8));
+  }
+  (void)cl.send_all(batch);  // the server may hang up mid-send
+  ASSERT_TRUE(s.wait_for([](const net::ServerStats& st) {
+    return st.disconnect_slow_reader == 1;
+  }));
+  const net::ServerStats stats = s.server.stats();
+  EXPECT_LT(stats.answered, 300u) << "the bound must trip before all 300";
+
+  // The server is still healthy for a well-behaved client.
+  Client good(s.server.port());
+  ASSERT_TRUE(good.connected());
+  ASSERT_TRUE(good.send_all(request_line("ok", "CG", 64)));
+  const obs::json::Value v = obs::json::parse(good.recv_line());
+  EXPECT_EQ(v.find("id")->str, "ok");
+  EXPECT_EQ(v.find("status")->str, "ok");
+}
+
+// --- timeouts -------------------------------------------------------------
+
+TEST(NetServer, IdleConnectionIsToldTimeoutAndClosed) {
+  net::ServerOptions nopts;
+  nopts.idle_timeout_ms = 50;
+  nopts.poll_interval_ms = 10;
+  LoopbackServer s(nopts);
+  Client cl(s.server.port());
+  ASSERT_TRUE(cl.connected());
+  // Send nothing: the farewell and EOF arrive on their own.
+  const std::string line = cl.recv_line();
+  const obs::json::Value v = obs::json::parse(line);
+  EXPECT_EQ(v.find("status")->str, "error");
+  EXPECT_EQ(v.find("error")->str, "timeout");
+  EXPECT_TRUE(cl.recv_line().empty());
+  ASSERT_TRUE(s.wait_for([](const net::ServerStats& st) {
+    return st.disconnect_idle == 1;
+  }));
+}
+
+// --- misbehaving peers ----------------------------------------------------
+
+TEST(NetServer, MidRequestDisconnectDiscardsThePartialLine) {
+  LoopbackServer s;
+  {
+    Client cl(s.server.port());
+    ASSERT_TRUE(cl.connected());
+    ASSERT_TRUE(cl.send_all(R"({"id": "half", "machine": "sg20)"));
+  }  // gone mid-request, no newline
+  ASSERT_TRUE(s.wait_for([](const net::ServerStats& st) {
+    return st.disconnect_eof == 1;
+  }));
+  EXPECT_EQ(s.service.stats().received, 0u)
+      << "a partial line must be discarded, not parsed";
+
+  Client next(s.server.port());
+  ASSERT_TRUE(next.connected());
+  ASSERT_TRUE(next.send_all(request_line("whole", "CG", 32)));
+  EXPECT_EQ(obs::json::parse(next.recv_line()).find("id")->str, "whole");
+}
+
+TEST(NetServer, ConnectionsPastTheCapAreRefusedPolitely) {
+  net::ServerOptions nopts;
+  nopts.max_connections = 1;
+  nopts.poll_interval_ms = 10;
+  LoopbackServer s(nopts);
+  Client first(s.server.port());
+  ASSERT_TRUE(first.connected());
+  // A full round-trip guarantees the server registered `first` before the
+  // second connect arrives.
+  ASSERT_TRUE(first.send_all(request_line("one", "CG", 16)));
+  ASSERT_FALSE(first.recv_line().empty());
+
+  Client second(s.server.port());
+  ASSERT_TRUE(second.connected()) << "the kernel accepts; the server refuses";
+  const obs::json::Value v = obs::json::parse(second.recv_line());
+  EXPECT_EQ(v.find("error")->str, "overloaded");
+  EXPECT_TRUE(second.recv_line().empty());
+  ASSERT_TRUE(s.wait_for([](const net::ServerStats& st) {
+    return st.disconnect_refused == 1;
+  }));
+}
+
+// --- shutdown -------------------------------------------------------------
+
+TEST(NetServer, SigtermDrainsAndFlushesThePersistentCache) {
+  TempFile cache("test_net_sigterm_cache.tmp.bin");
+  serve::install_shutdown_handlers();
+  serve::reset_shutdown();
+
+  serve::Service::Options sopts = LoopbackServer::one_job();
+  sopts.cache_file = cache.path;
+  {
+    LoopbackServer s({}, sopts);
+    Client cl(s.server.port());
+    ASSERT_TRUE(cl.connected());
+    for (int r = 0; r < 3; ++r) {
+      ASSERT_TRUE(cl.send_all(request_line("d" + std::to_string(r), "CG",
+                                           8 << r)));
+      ASSERT_FALSE(cl.recv_line().empty());
+    }
+
+    std::raise(SIGTERM);  // the handler sets the serve-wide drain flag
+    s.loop.join();        // run() must return on its own
+    EXPECT_TRUE(cl.recv_line().empty()) << "drain closes the connection";
+    EXPECT_NE(s.log.str().find("net: drained"), std::string::npos);
+    EXPECT_NE(s.log.str().find("checkpointed"), std::string::npos);
+
+    // The flush happened during drain, before the Service died.
+    engine::PredictionCache loaded(16);
+    const serve::LoadResult r = serve::load_cache(cache.path, loaded);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.restored, 3u);
+  }
+  serve::reset_shutdown();
+}
+
+TEST(NetServer, StopAnswersBufferedRequestsBeforeClosing) {
+  net::ServerOptions nopts;
+  nopts.poll_interval_ms = 10;
+  LoopbackServer s(nopts);
+  Client cl(s.server.port());
+  ASSERT_TRUE(cl.connected());
+  std::string batch;
+  for (int r = 0; r < 4; ++r) {
+    batch += request_line("b" + std::to_string(r), "MG", 4 + r);
+  }
+  ASSERT_TRUE(cl.send_all(batch));
+  // Wait until the requests are inside the server, then pull the plug.
+  ASSERT_TRUE(s.wait_for([](const net::ServerStats& st) {
+    return st.answered >= 4;
+  }));
+  s.server.stop();
+  s.loop.join();
+
+  const std::string all = cl.recv_until_eof();
+  int count = 0;
+  std::istringstream lines(all);
+  std::string line;
+  while (std::getline(lines, line)) ++count;
+  EXPECT_EQ(count, 4) << "every admitted request is answered at drain";
+}
+
+}  // namespace

@@ -181,6 +181,63 @@ TEST(PersistentCache, LruOrderSurvivesSaveAndLoad) {
   EXPECT_TRUE(loaded.get(4).has_value());
 }
 
+TEST(PersistentCache, SaveCapTrimsOldestLruEntriesFirst) {
+  TempFile f("test_serve_cap.tmp.bin");
+  engine::PredictionCache cache(8);
+  for (std::uint64_t k = 1; k <= 5; ++k) cache.put(k, sample_prediction(1.0));
+  (void)cache.get(1);  // recency (MRU first) is now 1, 5, 4, 3, 2
+
+  const serve::SaveResult saved = serve::save_cache(f.path, cache, 3);
+  EXPECT_EQ(saved.written, 3u);
+  EXPECT_EQ(saved.trimmed, 2u);
+
+  engine::PredictionCache loaded(8);
+  const serve::LoadResult r = serve::load_cache(f.path, loaded);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.restored, 3u);
+  EXPECT_EQ(r.trimmed, 2u) << "the file must say how much the cap dropped";
+  // The three most recent survive; the two oldest-LRU (2 and 3) are gone.
+  EXPECT_TRUE(loaded.get(1).has_value());
+  EXPECT_TRUE(loaded.get(5).has_value());
+  EXPECT_TRUE(loaded.get(4).has_value());
+  EXPECT_FALSE(loaded.get(3).has_value());
+  EXPECT_FALSE(loaded.get(2).has_value());
+}
+
+TEST(PersistentCache, CapBelowSizeIsANoOpNotATrim) {
+  TempFile f("test_serve_cap_noop.tmp.bin");
+  engine::PredictionCache cache(8);
+  cache.put(1, sample_prediction(1.0));
+  cache.put(2, sample_prediction(2.0));
+  const serve::SaveResult saved = serve::save_cache(f.path, cache, 16);
+  EXPECT_EQ(saved.written, 2u);
+  EXPECT_EQ(saved.trimmed, 0u);
+}
+
+TEST(PersistentCache, ReadsVersionOneFilesWithoutTheTrimmedField) {
+  // A v1 file is a v2 file minus the trimmed u64 at offset 16, stamped
+  // version 1.  The checksum seals only the payload, which is unchanged,
+  // so the surgery below produces exactly what a v1 build wrote.
+  TempFile f("test_serve_v1.tmp.bin");
+  engine::PredictionCache cache(4);
+  cache.put(11, sample_prediction(0.5));
+  cache.put(22, sample_prediction(0.7));
+  serve::save_cache(f.path, cache);
+
+  std::string bytes = slurp(f.path);
+  bytes.erase(16, 8);  // drop the v2-only trimmed count
+  bytes[4] = 1;        // version u32 LE lsb -> 1
+  spit(f.path, bytes);
+
+  engine::PredictionCache loaded(4);
+  const serve::LoadResult r = serve::load_cache(f.path, loaded);
+  EXPECT_TRUE(r.ok()) << r.detail;
+  EXPECT_EQ(r.restored, 2u);
+  EXPECT_EQ(r.trimmed, 0u) << "v1 files never recorded a trim";
+  EXPECT_TRUE(loaded.get(11).has_value());
+  EXPECT_TRUE(loaded.get(22).has_value());
+}
+
 // --- service request handling --------------------------------------------
 
 serve::Service::Options no_persist() {
