@@ -2,14 +2,18 @@
 //
 // Not a paper table: this binary is the human-readable face of
 // rvhpc::analysis.  It prints the rule catalogue, then lints the full
-// registry (including the calibration-drift rules) and every
-// (kernel, class) workload signature, rendering findings through
+// registry (including the calibration-drift rules), every
+// (kernel, class) workload signature, and — when run from a checkout —
+// the src/ tree itself with the S-family source rules, modulo the
+// checked-in scripts/lint_baseline.txt.  Findings render through
 // rvhpc::report with the usual RVHPC_CSV_DIR side-output.  A clean run
-// prints two empty audits; CI treats any error-severity finding as a
-// failure via scripts/check.sh's rvhpc-lint --werror gate.
+// prints empty audits; CI treats any error-severity finding as a
+// failure via scripts/check.sh's rvhpc-lint --werror gates.
 
+#include <exception>
 #include <iostream>
 
+#include "analysis/baseline.hpp"
 #include "analysis/engine.hpp"
 #include "analysis/render.hpp"
 #include "report/csv.hpp"
@@ -29,6 +33,28 @@ int audit(const char* title, const char* csv_name, const analysis::Report& r) {
   return r.has_errors() ? 1 : 0;
 }
 
+/// Lints the checkout's src/ tree against its baseline.  Skipped quietly
+/// when the binary runs away from the source tree (installed, moved).
+int audit_sources() {
+  const std::string root(RVHPC_SOURCE_DIR);
+  analysis::Report r;
+  analysis::Baseline baseline;
+  try {
+    r = analysis::lint_sources(root + "/src");
+    baseline = analysis::load_baseline(root + "/scripts/lint_baseline.txt");
+  } catch (const std::exception& e) {
+    std::cout << "== src/ source rules: skipped (" << e.what() << ")\n\n";
+    return 0;
+  }
+  std::vector<analysis::BaselineEntry> stale;
+  r = analysis::apply_baseline(std::move(r), baseline, &stale);
+  for (const analysis::BaselineEntry& e : stale) {
+    std::cout << "   stale baseline entry: " << e.rule << " " << e.path
+              << " " << e.field << "\n";
+  }
+  return audit("src/ source rules (modulo baseline)", "lint_sources", r);
+}
+
 }  // namespace
 
 int main() {
@@ -40,5 +66,6 @@ int main() {
               analysis::lint_registry());
   rc |= audit("workload-signature suite", "lint_signatures",
               analysis::lint_signature_suite());
+  rc |= audit_sources();
   return rc;
 }

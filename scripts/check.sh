@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # check.sh — the one-command tier-1 + static-analysis gate.
 #
-# Configures an ASan+UBSan build, builds everything, runs the full test
-# suite under the sanitizers, smoke-runs every bench binary (so the
-# figure/table generators cannot silently rot), runs rvhpc-lint in
-# --werror mode over the registry, the signature suite, every example
-# .machine file and every bench/example C++ source (rule B001: no predict
-# sweeps bypassing the engine), replays the checked-in serve fixture cold
+# Configures an ASan+UBSan build, builds everything, gates src/ on the
+# S-family source rules against the checked-in baseline (new concurrency/
+# hot-path/syscall findings fail; accepted ones live in
+# scripts/lint_baseline.txt with a reason), runs the full test suite under
+# the sanitizers, smoke-runs every bench binary (so the figure/table
+# generators cannot silently rot), runs rvhpc-lint in --werror mode over
+# the registry, the signature suite, every example .machine file and every
+# bench/example C++ source (B001: no predict sweeps bypassing the engine,
+# plus the S-family), replays the checked-in serve fixture cold
 # and warm through rvhpc-serve (bit-identical outputs, >= 90% warm cache
 # hits) plus the rvhpc-serve --gate, serves the same fixture over loopback
 # TCP to two concurrent rvhpc-clients (merged responses byte-identical to
@@ -33,6 +36,10 @@ cmake -B "$build_dir" -S "$repo_root" "${generator[@]}" \
 
 echo "== build"
 cmake --build "$build_dir" -j
+
+echo "== rvhpc-lint --sources src --werror (baselined: new findings fail)"
+"$build_dir/src/analysis/rvhpc-lint" --werror \
+  --sources "$repo_root/src" --baseline "$repo_root/scripts/lint_baseline.txt"
 
 echo "== ctest (sanitized)"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
@@ -75,7 +82,7 @@ if [ "$found" -eq 0 ]; then
   exit 1
 fi
 
-echo "== rvhpc-lint --werror: bench/ and examples/ sources (B001)"
+echo "== rvhpc-lint --werror: bench/ and examples/ sources (B001 + S-family)"
 "$build_dir/src/analysis/rvhpc-lint" --werror \
   "$repo_root"/bench/*.cpp "$repo_root"/examples/*.cpp
 
@@ -149,12 +156,16 @@ echo "== configure (TSan) -> $build_dir-tsan"
 cmake -B "$build_dir-tsan" -S "$repo_root" "${generator[@]}" \
   -DRVHPC_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+# test_analysis rides along: its source-rule fixtures (S002 flag races,
+# S003 lock inversions) describe exactly the bugs TSan hunts, and the
+# self-scan keeps the baseline honest under a second compiler config.
 cmake --build "$build_dir-tsan" -j \
-  --target test_engine test_obs test_serve test_net
-echo "== TSan: test_engine + test_obs + test_serve + test_net"
+  --target test_engine test_obs test_serve test_net test_analysis
+echo "== TSan: test_engine + test_obs + test_serve + test_net + test_analysis"
 "$build_dir-tsan/tests/test_engine"
 "$build_dir-tsan/tests/test_obs"
 "$build_dir-tsan/tests/test_serve"
 "$build_dir-tsan/tests/test_net"
+"$build_dir-tsan/tests/test_analysis"
 
 echo "== all gates green"

@@ -1,0 +1,88 @@
+#include "analysis/baseline.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rvhpc::analysis {
+namespace {
+
+/// True when `path` ends with `suffix` at a `/` boundary — `net.cpp`
+/// matches `src/net/net.cpp` but not `src/net/subnet.cpp`.
+bool path_suffix_match(const std::string& path, const std::string& suffix) {
+  if (suffix.size() > path.size()) return false;
+  if (path.compare(path.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  return suffix.size() == path.size() ||
+         path[path.size() - suffix.size() - 1] == '/';
+}
+
+bool entry_matches(const BaselineEntry& e, const Diagnostic& d) {
+  if (!rule_matches(d.rule, e.rule)) return false;
+  if (!path_suffix_match(d.loc.file, e.path)) return false;
+  return e.field == "*" || e.field == d.field;
+}
+
+}  // namespace
+
+bool Baseline::matches(const Diagnostic& d) const {
+  for (const BaselineEntry& e : entries) {
+    if (entry_matches(e, d)) return true;
+  }
+  return false;
+}
+
+Baseline parse_baseline(const std::string& text, const std::string& path) {
+  Baseline b;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream fields(line);
+    std::string rule, file, field, extra;
+    if (!(fields >> rule) || rule[0] == '#') continue;
+    if (!(fields >> file >> field) || (fields >> extra)) {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                               ": baseline lines are `<rule> <path-suffix> "
+                               "<field-or-*>` (got: " + line + ")");
+    }
+    b.entries.push_back({rule, file, field, lineno});
+  }
+  return b;
+}
+
+Baseline load_baseline(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot read baseline file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_baseline(buf.str(), path);
+}
+
+Report apply_baseline(Report r, const Baseline& b,
+                      std::vector<BaselineEntry>* stale) {
+  std::vector<bool> used(b.entries.size(), false);
+  Report out;
+  for (Diagnostic& d : r.diagnostics) {
+    bool matched = false;
+    for (std::size_t i = 0; i < b.entries.size(); ++i) {
+      if (entry_matches(b.entries[i], d)) {
+        used[i] = true;
+        matched = true;  // keep scanning: every matching entry counts used
+      }
+    }
+    if (!matched) out.add(std::move(d));
+  }
+  if (stale) {
+    for (std::size_t i = 0; i < b.entries.size(); ++i) {
+      if (!used[i]) stale->push_back(b.entries[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace rvhpc::analysis

@@ -1,0 +1,57 @@
+#pragma once
+// rvhpc::analysis — checked-in baseline of accepted lint findings.
+//
+// A baseline file turns `rvhpc-lint --sources src --werror` into a gate on
+// *new* findings: pre-existing ones are listed once, with a comment saying
+// why they are accepted, and the gate stays green until someone adds a
+// fresh violation.  Format, one entry per line:
+//
+//     # comment — say WHY the finding is accepted
+//     <rule-id-or-prefix> <path-suffix> <field-or-*>
+//
+// e.g. `S001 src/net/net.cpp handle_line`.  The rule column accepts the
+// same id-or-prefix patterns as rule_matches(); the path column matches
+// when the diagnostic's file path ends with the suffix at a `/` boundary
+// (so `net.cpp` matches `src/net/net.cpp` but not `subnet.cpp`); the field
+// column is an exact field match or `*`.  One entry may match any number
+// of findings.  Entries that match nothing are reported as stale so the
+// baseline shrinks as findings get fixed.
+
+#include <string>
+#include <vector>
+
+#include "analysis/engine.hpp"
+
+namespace rvhpc::analysis {
+
+/// One parsed baseline entry.
+struct BaselineEntry {
+  std::string rule;   ///< rule id or prefix, rule_matches() semantics
+  std::string path;   ///< path suffix, `/`-boundary anchored
+  std::string field;  ///< exact field or "*"
+  int line = 0;       ///< line in the baseline file, for stale reporting
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+
+  [[nodiscard]] bool matches(const Diagnostic& d) const;
+};
+
+/// Parses baseline text.  Throws std::runtime_error on a malformed line
+/// (anything that is not blank, a `#` comment, or three whitespace-
+/// separated columns).
+[[nodiscard]] Baseline parse_baseline(const std::string& text,
+                                      const std::string& path);
+
+/// parse_baseline() over a file's contents.  Throws std::runtime_error
+/// when the file cannot be read.
+[[nodiscard]] Baseline load_baseline(const std::string& path);
+
+/// Drops every finding in `r` matched by the baseline.  Entries that
+/// matched nothing are returned through `stale` (when non-null) so callers
+/// can nudge the baseline back to minimal.
+[[nodiscard]] Report apply_baseline(Report r, const Baseline& b,
+                                    std::vector<BaselineEntry>* stale);
+
+}  // namespace rvhpc::analysis

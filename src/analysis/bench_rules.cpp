@@ -1,24 +1,19 @@
 // Rule B001: bench/example C++ sources must route prediction sweeps
 // through rvhpc::engine instead of calling predict() inside hand-rolled
-// loops.  A lexical scan — not a real parser — that understands comments,
-// string/char literals, brace depth and loop bodies well enough to catch
-// the regression this repo actually had: `for (...) { ... predict(...) }`
-// in a table/figure generator.  Benches that measure the raw predict()
-// hot path on purpose self-suppress with `// rvhpc-lint: disable=B001`.
+// loops.  Runs over the shared token-stream model (source_model.hpp), so
+// comments, string/char/raw-string literals and escaped quotes are handled
+// by one lexer instead of a private mode machine — the old char-level scan
+// desynced on `R"(...)"` and `'\''`.  Benches that measure the raw
+// predict() hot path on purpose self-suppress with a disable directive.
 
-#include <cctype>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "analysis/rules.hpp"
+#include "analysis/source_model.hpp"
 
 namespace rvhpc::analysis::detail {
 namespace {
-
-bool is_ident(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
 
 /// The model entry points a bench loop can use to bypass the engine: the
 /// core predictor and the per-point sweep wrappers around it.
@@ -29,149 +24,85 @@ bool is_bypass_call(const std::string& name) {
 
 }  // namespace
 
-void bench_source_rules(Report& out, const std::string& src,
-                        const std::string& path) {
-  enum class Mode { Code, LineComment, BlockComment, String, Char };
+void bench_source_rules(Report& out, const SourceModel& m) {
   // Loop recognition: `for`/`while` arm a pending state that survives the
   // parenthesised head; the body is the next braced block (tracked by
   // depth) or, braceless, the single statement up to its semicolon.
   enum class Pending { None, AwaitParen, InParen, AwaitBody };
 
-  Mode mode = Mode::Code;
   Pending pending = Pending::None;
-  int pending_parens = 0;
-  int line = 1;
-  int brace_depth = 0;
+  int head_paren_depth = 0;
   std::vector<int> loop_bodies;      ///< brace depth inside each loop body
   std::vector<int> braceless_loops;  ///< brace depth of single-stmt bodies
-  std::string word;
-  int word_line = 0;
 
   const auto in_loop = [&] {
     return !loop_bodies.empty() || !braceless_loops.empty();
   };
 
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    if (c == '\n') ++line;
+  const std::vector<Token>& toks = m.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
 
-    switch (mode) {
-      case Mode::LineComment:
-        if (c == '\n') mode = Mode::Code;
-        continue;
-      case Mode::BlockComment:
-        if (c == '*' && next == '/') {
-          mode = Mode::Code;
-          ++i;
-        }
-        continue;
-      case Mode::String:
-        if (c == '\\') ++i;
-        else if (c == '"') mode = Mode::Code;
-        continue;
-      case Mode::Char:
-        if (c == '\\') ++i;
-        else if (c == '\'') mode = Mode::Code;
-        continue;
-      case Mode::Code:
-        break;
+    // A braceless body starts at the first token after the loop head that
+    // is neither `{` nor the empty-statement `;` — including when that
+    // token is itself the bypass call.
+    if (pending == Pending::AwaitBody && !tok.punct("{") && !tok.punct(";")) {
+      braceless_loops.push_back(tok.brace_depth);
+      pending = Pending::None;
     }
 
-    if (is_ident(c)) {
-      if (word.empty()) {
-        word_line = line;
-        if (pending == Pending::AwaitBody) {  // braceless loop body starts
-          braceless_loops.push_back(brace_depth);
-          pending = Pending::None;
+    if (tok.kind == Token::Kind::Identifier) {
+      if (tok.text == "for" || tok.text == "while") {
+        pending = Pending::AwaitParen;
+      } else if (tok.text == "do") {
+        pending = Pending::AwaitBody;
+      } else if (is_bypass_call(tok.text) && in_loop() &&
+                 i + 1 < toks.size() && toks[i + 1].punct("(")) {
+        // Member access would be a different API (`cache.predict(...)`);
+        // namespace qualification (`model::predict(`) must still match.
+        const bool member =
+            i > 0 && (toks[i - 1].punct(".") || toks[i - 1].punct("->"));
+        if (!member) {
+          emit(out, "B001-direct-predict-sweep", m.path, tok.text,
+               "direct " + tok.text +
+                   "() call inside a loop — build an engine::RequestSet and "
+                   "evaluate it as one batch (engine/batch.hpp)");
+          out.diagnostics.back().loc = {m.path, tok.line};
         }
       }
-      word.push_back(c);
       continue;
     }
 
-    // A non-identifier character: the current word (if any) just ended.
-    const std::string ended = std::exchange(word, std::string());
-    if (ended == "for" || ended == "while") {
-      pending = Pending::AwaitParen;
-    } else if (ended == "do") {
-      pending = Pending::AwaitBody;
-    } else if (is_bypass_call(ended) && in_loop()) {
-      // Direct call check: next significant char is '(' and the name is
-      // not a member access (`cache.predict(...)` would be a different
-      // API; `model::predict(` must still match).
-      std::size_t j = i;
-      while (j < src.size() &&
-             std::isspace(static_cast<unsigned char>(src[j])) != 0) {
-        ++j;
+    if (tok.punct("(")) {
+      if (pending == Pending::AwaitParen) {
+        pending = Pending::InParen;
+        head_paren_depth = tok.paren_depth;
       }
-      const std::size_t before = i - ended.size();
-      const bool member = before > 0 && src[before - 1] == '.';
-      if (j < src.size() && src[j] == '(' && !member) {
-        emit(out, "B001-direct-predict-sweep", path, ended,
-             "direct " + ended +
-                 "() call inside a loop — build an engine::RequestSet and "
-                 "evaluate it as one batch (engine/batch.hpp)");
-        out.diagnostics.back().loc = {path, word_line};
+    } else if (tok.punct(")")) {
+      if (pending == Pending::InParen &&
+          tok.paren_depth == head_paren_depth) {
+        pending = Pending::AwaitBody;
       }
-    }
-
-    switch (c) {
-      case '/':
-        if (next == '/') {
-          mode = Mode::LineComment;
-          ++i;
-        } else if (next == '*') {
-          mode = Mode::BlockComment;
-          ++i;
-        }
-        break;
-      case '"':
-        mode = Mode::String;
-        break;
-      case '\'':
-        mode = Mode::Char;
-        break;
-      case '(':
-        if (pending == Pending::AwaitParen) {
-          pending = Pending::InParen;
-          pending_parens = 1;
-        } else if (pending == Pending::InParen) {
-          ++pending_parens;
-        }
-        break;
-      case ')':
-        if (pending == Pending::InParen && --pending_parens == 0) {
-          pending = Pending::AwaitBody;
-        }
-        break;
-      case '{':
-        ++brace_depth;
-        if (pending == Pending::AwaitBody) {
-          loop_bodies.push_back(brace_depth);
-          pending = Pending::None;
-        }
-        break;
-      case '}':
-        --brace_depth;
-        while (!loop_bodies.empty() && loop_bodies.back() > brace_depth) {
-          loop_bodies.pop_back();
-        }
-        while (!braceless_loops.empty() &&
-               braceless_loops.back() > brace_depth) {
-          braceless_loops.pop_back();
-        }
-        break;
-      case ';':
-        if (pending == Pending::AwaitBody) {
-          pending = Pending::None;  // `for (...);` — empty body
-        } else if (pending == Pending::None && !braceless_loops.empty() &&
-                   braceless_loops.back() == brace_depth) {
-          braceless_loops.pop_back();  // single-statement body ends
-        }
-        break;
-      default:
-        break;
+    } else if (tok.punct("{")) {
+      if (pending == Pending::AwaitBody) {
+        loop_bodies.push_back(tok.brace_depth + 1);
+        pending = Pending::None;
+      }
+    } else if (tok.punct("}")) {
+      while (!loop_bodies.empty() && loop_bodies.back() > tok.brace_depth) {
+        loop_bodies.pop_back();
+      }
+      while (!braceless_loops.empty() &&
+             braceless_loops.back() > tok.brace_depth) {
+        braceless_loops.pop_back();
+      }
+    } else if (tok.punct(";")) {
+      if (pending == Pending::AwaitBody) {
+        pending = Pending::None;  // `for (...);` — empty body
+      } else if (pending == Pending::None && !braceless_loops.empty() &&
+                 braceless_loops.back() == tok.brace_depth) {
+        braceless_loops.pop_back();  // single-statement body ends
+      }
     }
   }
 }

@@ -1,7 +1,8 @@
 #include "analysis/engine.hpp"
 
 #include <algorithm>
-#include <cctype>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
@@ -72,6 +73,35 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {"B001-direct-predict-sweep", Severity::Warn,
        "bench/example source calls predict() inside a loop instead of "
        "batching through rvhpc::engine"},
+      // --- source concurrency rules ----------------------------------------
+      {"S001-blocking-call-in-event-loop", Severity::Warn,
+       "a net::Server method calls blocking work (sleep, prediction, cache "
+       "I/O) on the single-threaded poll() loop"},
+      {"S002-non-atomic-shared-flag", Severity::Warn,
+       "a file-scope scalar flag is written and read by different functions "
+       "without std::atomic or a lock"},
+      {"S003-lock-order-inversion", Severity::Warn,
+       "two mutexes are acquired in opposite orders by different functions "
+       "— a deadlock when the callers race"},
+      {"S004-unjoined-thread", Severity::Warn,
+       "a local std::thread is detached or never joined on some path"},
+      // --- hot-path hygiene rules (inside annotated hot-path regions) ------
+      {"S101-hot-path-allocation", Severity::Warn,
+       "heap allocation (new/make_unique/make_shared/malloc) inside an "
+       "annotated hot-path region"},
+      {"S102-hot-path-string-copy", Severity::Warn,
+       "std::string passed or returned by value inside an annotated "
+       "hot-path region"},
+      {"S103-hot-path-to-string", Severity::Warn,
+       "std::to_string materialises a temporary string inside an annotated "
+       "hot-path region"},
+      {"S104-hot-path-temp-key", Severity::Warn,
+       "map lookup constructs a temporary std::string key inside an "
+       "annotated hot-path region"},
+      // --- syscall robustness rules ----------------------------------------
+      {"S201-ignored-syscall-result", Severity::Warn,
+       "the result of write/send/poll/rename is silently discarded — "
+       "failures and short writes go unnoticed"},
   };
   return rules;
 }
@@ -189,32 +219,70 @@ Report lint_registry() {
   return r;
 }
 
-Report lint_bench_source(const std::string& source, const std::string& path) {
-  Report r;
-  detail::bench_source_rules(r, source, path);
-  // Honour in-file `// rvhpc-lint: disable=B001` directives, same contract
-  // as the `#`-comment form in `.machine` files.
+namespace {
+
+/// Applies the model's own comment-directive suppressions, the same
+/// contract as the `#`-comment form in `.machine` files.
+Report apply_file_directives(Report r, const SourceModel& m) {
   LintOptions file_opts;
-  static const std::string kDirective = "rvhpc-lint: disable=";
-  for (std::size_t pos = source.find(kDirective); pos != std::string::npos;
-       pos = source.find(kDirective, pos + kDirective.size())) {
-    std::size_t p = pos + kDirective.size();
-    std::string id;
-    while (p < source.size()) {
-      const char c = source[p];
-      if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-') {
-        id.push_back(c);
-      } else if (c == ',') {
-        if (!id.empty()) file_opts.suppressed.push_back(std::move(id));
-        id.clear();
-      } else {
-        break;
-      }
-      ++p;
-    }
-    if (!id.empty()) file_opts.suppressed.push_back(std::move(id));
-  }
+  file_opts.suppressed = m.disabled_rules;
   return apply(std::move(r), file_opts);
+}
+
+}  // namespace
+
+Report lint_bench_source(const std::string& source, const std::string& path) {
+  const SourceModel m = build_source_model(source, path);
+  Report r;
+  detail::bench_source_rules(r, m);
+  return apply_file_directives(std::move(r), m);
+}
+
+Report lint_source(const std::string& source, const std::string& path) {
+  const SourceModel m = build_source_model(source, path);
+  Report r;
+  detail::bench_source_rules(r, m);
+  detail::source_rules(r, m);
+  return apply_file_directives(std::move(r), m);
+}
+
+std::vector<std::string> find_sources(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec) || ec) {
+    throw std::runtime_error("rvhpc::analysis: not a readable directory: " +
+                             dir);
+  }
+  std::vector<std::string> paths;
+  for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) {
+      throw std::runtime_error("rvhpc::analysis: cannot walk " + dir + ": " +
+                               ec.message());
+    }
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+        ext == ".h") {
+      paths.push_back(it->path().generic_string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+Report lint_sources(const std::string& dir) {
+  Report r;
+  for (const std::string& path : find_sources(dir)) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("rvhpc::analysis: cannot read " + path);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    r.merge(lint_source(buf.str(), path));
+  }
+  return r;
 }
 
 }  // namespace rvhpc::analysis

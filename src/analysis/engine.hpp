@@ -39,7 +39,8 @@ struct RuleInfo {
 /// Every rule the engine knows, in id order.  A0xx lint machines, A1xx
 /// lint workload signatures (A110 the cross-class suite), A2xx check the
 /// registry's calibration against the paper's anchors, B0xx lint bench
-/// and example C++ sources.
+/// and example C++ sources, S0xx/S1xx/S2xx lint the main sources for
+/// concurrency hazards, hot-path hygiene and syscall robustness.
 [[nodiscard]] const std::vector<RuleInfo>& rule_catalogue();
 
 /// True when diagnostic id `id` is selected by `pattern` — either the full
@@ -97,5 +98,21 @@ struct Report {
 /// `// rvhpc-lint: disable=B001` directives are honoured.
 [[nodiscard]] Report lint_bench_source(const std::string& source,
                                        const std::string& path);
+
+/// Full source lint of one C++ file: the B0xx bench rules plus the S-family
+/// (S0xx concurrency, S1xx hot-path hygiene inside annotated regions, S2xx
+/// syscall robustness).  In-file disable directives are honoured; see
+/// source_model.hpp for the annotation syntax.
+[[nodiscard]] Report lint_source(const std::string& source,
+                                 const std::string& path);
+
+/// The C++ sources (.cpp/.cc/.cxx/.hpp/.h) under `dir`, recursively, in
+/// sorted path order.  Throws std::runtime_error when `dir` is not a
+/// readable directory.
+[[nodiscard]] std::vector<std::string> find_sources(const std::string& dir);
+
+/// lint_source() over every file find_sources(dir) returns, merged.
+/// Throws std::runtime_error when the directory or a file is unreadable.
+[[nodiscard]] Report lint_sources(const std::string& dir);
 
 }  // namespace rvhpc::analysis

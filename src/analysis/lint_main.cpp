@@ -1,18 +1,25 @@
-// rvhpc-lint — static analysis for machine models and workload signatures.
+// rvhpc-lint — static analysis for machine models, workload signatures
+// and the repo's own C++ sources.
 //
 // Usage:
 //   rvhpc-lint                        # lint registry + signature suite
 //   rvhpc-lint file.machine ...       # lint machine description files
-//   rvhpc-lint bench/foo.cpp ...      # lint C++ sources (B0xx rules)
+//   rvhpc-lint bench/foo.cpp ...      # lint C++ sources (B0xx + S-family)
+//   rvhpc-lint --sources src          # recursive source lint of a tree
+//   rvhpc-lint --baseline FILE ...    # drop findings listed in a baseline
 //   rvhpc-lint --registry             # registry machines + calibration only
 //   rvhpc-lint --signatures           # signature suite only
 //   rvhpc-lint --rules                # print the rule catalogue
 //   rvhpc-lint --werror ...           # warnings are errors (exit non-zero)
 //   rvhpc-lint --suppress=A001,A105   # drop rules by id or prefix
-//   rvhpc-lint --csv ...              # emit findings as CSV instead
+//   rvhpc-lint --format=json ...      # emit findings as JSON (or csv/text)
 //
-// Exit status: 0 when no errors (after suppression and --werror
-// promotion), 1 on findings of error severity, 2 on usage/parse failure.
+// Exit status (documented in --help, so CI can branch on it):
+//   0  no findings above note severity
+//   1  findings of error severity (including --werror promotions)
+//   2  findings of warning severity only
+//   3  usage error (unknown flag, bad --format, missing operand)
+//   4  I/O or parse failure (unreadable file, malformed baseline)
 
 #include <fstream>
 #include <iostream>
@@ -20,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/baseline.hpp"
 #include "analysis/engine.hpp"
 #include "analysis/render.hpp"
 #include "arch/serialize.hpp"
@@ -29,28 +37,69 @@ using namespace rvhpc;
 
 namespace {
 
+constexpr int kExitClean = 0;
+constexpr int kExitErrors = 1;
+constexpr int kExitWarnings = 2;
+constexpr int kExitUsage = 3;
+constexpr int kExitIo = 4;
+
 const cli::ToolInfo kTool{
     "rvhpc-lint",
-    "static analysis for machine models and workload signatures",
-    "usage: rvhpc-lint [--werror] [--suppress=A001,...] [--csv]\n"
-    "                  [--registry] [--signatures] [--rules]\n"
+    "static analysis for machine models, signatures and C++ sources",
+    "usage: rvhpc-lint [--werror] [--suppress=A001,...]\n"
+    "                  [--format=text|csv|json] [--baseline=FILE]\n"
+    "                  [--sources=DIR] [--registry] [--signatures] [--rules]\n"
     "                  [file.machine | file.cpp ...]\n"
     "With no mode or files, lints the registry and the signature suite.\n"
-    "C++ files (.cpp/.cc/.cxx/.hpp/.h) get the B0xx bench-source rules;\n"
-    "everything else is parsed as a .machine description."};
+    "C++ files (.cpp/.cc/.cxx/.hpp/.h) get the B0xx bench rules plus the\n"
+    "S-family source rules (S0xx concurrency, S1xx hot-path hygiene, S2xx\n"
+    "syscall robustness); everything else is parsed as a .machine\n"
+    "description.  --sources=DIR lints every C++ file under DIR.\n"
+    "--baseline=FILE drops findings listed there (one `<rule>\n"
+    "<path-suffix> <field-or-*>` entry per line) before severity is\n"
+    "applied, gating on new findings only.\n"
+    "Exit status: 0 clean, 1 error-severity findings (--werror promotes\n"
+    "warnings), 2 warning-severity findings only, 3 usage error, 4 I/O or\n"
+    "parse failure."};
 
 struct CliOptions {
   analysis::LintOptions lint;
   bool registry = false;
   bool signatures = false;
   bool rules = false;
-  bool csv = false;
+  std::string format = "text";
+  std::string baseline;
+  std::vector<std::string> source_dirs;
   std::vector<std::string> files;
 };
+
+/// Returns the value of `--name=V` or `--name V`; advances `i` for the
+/// two-argument spelling.  Empty optional when `arg` is a different flag.
+bool flag_value(const std::string& name, int argc, char** argv, int& i,
+                std::string& out, bool& usage_error) {
+  const std::string arg = argv[i];
+  const std::string eq = name + "=";
+  if (arg.rfind(eq, 0) == 0) {
+    out = arg.substr(eq.size());
+    return true;
+  }
+  if (arg == name) {
+    if (i + 1 >= argc) {
+      std::cerr << "rvhpc-lint: " << name << " needs a value\n";
+      usage_error = true;
+      return true;
+    }
+    out = argv[++i];
+    return true;
+  }
+  return false;
+}
 
 bool parse_args(int argc, char** argv, CliOptions& opts) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    bool usage_error = false;
+    std::string value;
     if (arg == "--werror") {
       opts.lint.werror = true;
     } else if (arg == "--registry") {
@@ -60,7 +109,21 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
     } else if (arg == "--rules") {
       opts.rules = true;
     } else if (arg == "--csv") {
-      opts.csv = true;
+      opts.format = "csv";  // legacy alias for --format=csv
+    } else if (flag_value("--format", argc, argv, i, value, usage_error)) {
+      if (usage_error) return false;
+      if (value != "text" && value != "csv" && value != "json") {
+        std::cerr << "rvhpc-lint: --format must be text, csv or json (got '"
+                  << value << "')\n";
+        return false;
+      }
+      opts.format = value;
+    } else if (flag_value("--baseline", argc, argv, i, value, usage_error)) {
+      if (usage_error) return false;
+      opts.baseline = value;
+    } else if (flag_value("--sources", argc, argv, i, value, usage_error)) {
+      if (usage_error) return false;
+      opts.source_dirs.push_back(value);
     } else if (arg.rfind("--suppress=", 0) == 0) {
       std::istringstream list(arg.substr(std::string("--suppress=").size()));
       std::string id;
@@ -97,7 +160,7 @@ analysis::Report lint_file(const std::string& path) {
   if (is_cpp_source(path)) {
     std::ostringstream source;
     source << in.rdbuf();
-    return analysis::lint_bench_source(source.str(), path);
+    return analysis::lint_source(source.str(), path);
   }
   const arch::ParsedMachine pm = arch::parse_machine(in);
   return analysis::lint_machine_file(pm, path);
@@ -108,20 +171,28 @@ analysis::Report lint_file(const std::string& path) {
 int main(int argc, char** argv) {
   if (cli::handle_standard_flags(argc, argv, kTool, std::cout)) return 0;
   CliOptions opts;
-  if (!parse_args(argc, argv, opts)) return 2;
+  if (!parse_args(argc, argv, opts)) return kExitUsage;
 
   if (opts.rules) {
     std::cout << analysis::render_catalogue().render();
-    return 0;
+    return kExitClean;
   }
 
   analysis::Report report;
+  analysis::Baseline baseline;
   try {
+    if (!opts.baseline.empty()) {
+      baseline = analysis::load_baseline(opts.baseline);
+    }
+    for (const std::string& dir : opts.source_dirs) {
+      report.merge(analysis::lint_sources(dir));
+    }
     for (const std::string& path : opts.files) {
       report.merge(lint_file(path));
     }
-    const bool default_everything =
-        opts.files.empty() && !opts.registry && !opts.signatures;
+    const bool default_everything = opts.files.empty() &&
+                                    opts.source_dirs.empty() &&
+                                    !opts.registry && !opts.signatures;
     if (opts.registry || default_everything) {
       report.merge(analysis::lint_registry());
     }
@@ -130,14 +201,31 @@ int main(int argc, char** argv) {
     }
   } catch (const std::exception& e) {
     std::cerr << "rvhpc-lint: " << e.what() << "\n";
-    return 2;
+    return kExitIo;
   }
 
-  report = analysis::apply(std::move(report), opts.lint);
-  if (!report.empty()) {
-    std::cout << (opts.csv ? analysis::render_table(report).to_csv()
-                           : analysis::render_table(report).render());
+  // Baseline first: accepted findings are dropped before --suppress and
+  // --werror promotion, so a baselined warning can never fail the gate.
+  std::vector<analysis::BaselineEntry> stale;
+  report = analysis::apply_baseline(std::move(report), baseline, &stale);
+  for (const analysis::BaselineEntry& e : stale) {
+    std::cerr << "rvhpc-lint: stale baseline entry (matched nothing): "
+              << opts.baseline << ":" << e.line << ": " << e.rule << " "
+              << e.path << " " << e.field << "\n";
   }
-  std::cout << analysis::summarize(report) << "\n";
-  return report.has_errors() ? 1 : 0;
+  report = analysis::apply(std::move(report), opts.lint);
+
+  if (opts.format == "json") {
+    std::cout << analysis::render_json(report);
+  } else if (!report.empty()) {
+    std::cout << (opts.format == "csv"
+                      ? analysis::render_table(report).to_csv()
+                      : analysis::render_table(report).render());
+  }
+  if (opts.format != "json") {
+    std::cout << analysis::summarize(report) << "\n";
+  }
+  if (report.has_errors()) return kExitErrors;
+  if (report.count(analysis::Severity::Warn) > 0) return kExitWarnings;
+  return kExitClean;
 }

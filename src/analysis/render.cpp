@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/json.hpp"
+
 namespace rvhpc::analysis {
 
 report::Table render_table(const Report& r) {
@@ -25,6 +27,29 @@ std::string summarize(const Report& r) {
   std::ostringstream os;
   os << r.count(Severity::Error) << " error(s), " << r.count(Severity::Warn)
      << " warning(s), " << r.count(Severity::Note) << " note(s)";
+  return os.str();
+}
+
+std::string render_json(const Report& r) {
+  namespace json = obs::json;
+  std::ostringstream os;
+  os << "{\n  \"findings\": [";
+  bool first = true;
+  for (const Diagnostic& d : r.diagnostics) {
+    os << (first ? "\n" : ",\n") << "    {"
+       << "\"rule\": \"" << json::escape(d.rule) << "\", "
+       << "\"severity\": \"" << json::escape(to_string(d.severity)) << "\", "
+       << "\"file\": \"" << json::escape(d.loc.file) << "\", "
+       << "\"line\": " << d.loc.line << ", "
+       << "\"subject\": \"" << json::escape(d.subject) << "\", "
+       << "\"field\": \"" << json::escape(d.field) << "\", "
+       << "\"message\": \"" << json::escape(d.message) << "\"}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "],\n"
+     << "  \"summary\": {\"errors\": " << r.count(Severity::Error)
+     << ", \"warnings\": " << r.count(Severity::Warn)
+     << ", \"notes\": " << r.count(Severity::Note) << "}\n}\n";
   return os.str();
 }
 

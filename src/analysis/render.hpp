@@ -21,4 +21,9 @@ namespace rvhpc::analysis {
 /// "2 errors, 1 warning, 0 notes" summary line.
 [[nodiscard]] std::string summarize(const Report& r);
 
+/// The report as a JSON document: `{"findings": [...], "summary": {...}}`,
+/// one object per finding with rule/severity/file/line/subject/field/
+/// message keys — for `rvhpc-lint --format=json` and CI consumers.
+[[nodiscard]] std::string render_json(const Report& r);
+
 }  // namespace rvhpc::analysis

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "analysis/engine.hpp"
+#include "analysis/source_model.hpp"
 
 namespace rvhpc::analysis::detail {
 
@@ -27,8 +28,11 @@ void suite_rules(Report& out);
 void calibration_rules(Report& out);
 
 /// Rule B001: direct predict() calls inside loops in bench/example C++
-/// sources.  A lexical scan, not a parser — see bench_rules.cpp.
-void bench_source_rules(Report& out, const std::string& src,
-                        const std::string& path);
+/// sources.  Token-stream scan, not a parser — see bench_rules.cpp.
+void bench_source_rules(Report& out, const SourceModel& m);
+
+/// Rules S0xx/S1xx/S2xx: concurrency, hot-path hygiene and syscall
+/// robustness over the main sources — see source_rules.cpp.
+void source_rules(Report& out, const SourceModel& m);
 
 }  // namespace rvhpc::analysis::detail

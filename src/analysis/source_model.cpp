@@ -1,0 +1,521 @@
+#include "analysis/source_model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <string_view>
+
+namespace rvhpc::analysis {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// Raw-string literal prefixes: the identifier just lexed ends the token
+/// stream in one of these and the next character is '"'.
+bool raw_string_prefix(std::string_view ident) {
+  return ident == "R" || ident == "LR" || ident == "uR" || ident == "UR" ||
+         ident == "u8R";
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+constexpr std::array<std::string_view, 24> kPuncts = {
+    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "<<", ">>", "<=",
+    ">=",  "==",  "!=",  "&&",  "||", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",
+};
+
+/// Comment-borne annotations.  Both must start the (whitespace-trimmed)
+/// comment text, so documentation that merely mentions them stays inert.
+constexpr std::string_view kDisable = "rvhpc-lint: disable=";
+constexpr std::string_view kHotBegin = "rvhpc: hot-path begin";
+constexpr std::string_view kHotEnd = "rvhpc: hot-path end";
+
+void parse_disable_ids(std::string_view text, std::vector<std::string>& out) {
+  std::string id;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-') {
+      id.push_back(c);
+    } else if (c == ',') {
+      if (!id.empty()) out.push_back(std::move(id));
+      id.clear();
+    } else {
+      break;
+    }
+  }
+  if (!id.empty()) out.push_back(std::move(id));
+}
+
+class Lexer {
+ public:
+  Lexer(const std::string& src, const std::string& path) : src_(src) {
+    model_.path = path;
+  }
+
+  SourceModel run() {
+    while (i_ < src_.size()) step();
+    if (open_hot_line_ > 0) {
+      model_.hot_regions.push_back({open_hot_line_, line_});
+    }
+    model_.last_line = line_;
+    return std::move(model_);
+  }
+
+ private:
+  char peek(std::size_t k = 0) const {
+    return i_ + k < src_.size() ? src_[i_ + k] : '\0';
+  }
+
+  void newline() {
+    ++line_;
+    at_line_start_ = true;
+  }
+
+  void step() {
+    const char c = src_[i_];
+    if (c == '\n') {
+      newline();
+      ++i_;
+      return;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i_;
+      return;
+    }
+    if (c == '#' && at_line_start_) {
+      preprocessor_line();
+      return;
+    }
+    if (c == '/' && peek(1) == '/') {
+      line_comment();
+      return;
+    }
+    if (c == '/' && peek(1) == '*') {
+      block_comment();
+      return;
+    }
+    at_line_start_ = false;
+    if (c == '"') {
+      string_literal();
+      return;
+    }
+    if (c == '\'') {
+      char_literal();
+      return;
+    }
+    if (ident_start(c)) {
+      identifier();
+      return;
+    }
+    if (digit(c) || (c == '.' && digit(peek(1)))) {
+      number();
+      return;
+    }
+    punct();
+  }
+
+  /// Consumes one logical preprocessor line (backslash continuations
+  /// included); directives contribute no tokens.
+  void preprocessor_line() {
+    while (i_ < src_.size()) {
+      if (src_[i_] == '\\' && peek(1) == '\n') {
+        i_ += 2;
+        ++line_;
+        continue;
+      }
+      if (src_[i_] == '\n') return;  // main loop handles the newline
+      ++i_;
+    }
+  }
+
+  void line_comment() {
+    const int start = line_;
+    i_ += 2;
+    const std::size_t text_begin = i_;
+    while (i_ < src_.size() && src_[i_] != '\n') ++i_;
+    handle_comment({src_.data() + text_begin, i_ - text_begin}, start);
+  }
+
+  void block_comment() {
+    const int start = line_;
+    i_ += 2;
+    const std::size_t text_begin = i_;
+    std::size_t text_end = src_.size();
+    while (i_ < src_.size()) {
+      if (src_[i_] == '*' && peek(1) == '/') {
+        text_end = i_;
+        i_ += 2;
+        break;
+      }
+      if (src_[i_] == '\n') newline();
+      ++i_;
+    }
+    handle_comment({src_.data() + text_begin, text_end - text_begin}, start);
+  }
+
+  void handle_comment(std::string_view text, int start_line) {
+    const std::size_t first = text.find_first_not_of(" \t");
+    if (first == std::string_view::npos) return;
+    text.remove_prefix(first);
+    if (text.starts_with(kDisable)) {
+      parse_disable_ids(text.substr(kDisable.size()), model_.disabled_rules);
+    } else if (text.starts_with(kHotBegin)) {
+      if (open_hot_line_ == 0) open_hot_line_ = start_line;
+    } else if (text.starts_with(kHotEnd)) {
+      if (open_hot_line_ > 0) {
+        model_.hot_regions.push_back({open_hot_line_, start_line});
+        open_hot_line_ = 0;
+      }
+    }
+  }
+
+  /// "..." with backslash escapes.  A bare newline ends the literal (real
+  /// C++ strings cannot span lines), so a stray quote cannot desync the
+  /// rest of the file — the failure mode the old B001 scanner had.
+  void string_literal() {
+    const int start = line_;
+    ++i_;
+    const std::size_t text_begin = i_;
+    while (i_ < src_.size() && src_[i_] != '"' && src_[i_] != '\n') {
+      if (src_[i_] == '\\' && i_ + 1 < src_.size() && src_[i_ + 1] != '\n') {
+        ++i_;
+      }
+      ++i_;
+    }
+    emit(Token::Kind::String, src_.substr(text_begin, i_ - text_begin), start);
+    if (i_ < src_.size() && src_[i_] == '"') ++i_;
+  }
+
+  /// R"delim( ... )delim" — no escapes, newlines allowed.
+  void raw_string() {
+    const int start = line_;
+    ++i_;  // the opening quote
+    std::string delim;
+    while (i_ < src_.size() && src_[i_] != '(' && src_[i_] != '\n' &&
+           delim.size() < 16) {
+      delim.push_back(src_[i_++]);
+    }
+    if (i_ < src_.size() && src_[i_] == '(') ++i_;
+    const std::string closer = ")" + delim + "\"";
+    const std::size_t text_begin = i_;
+    const std::size_t end = src_.find(closer, i_);
+    const std::size_t text_end = end == std::string::npos ? src_.size() : end;
+    for (std::size_t k = text_begin; k < text_end; ++k) {
+      if (src_[k] == '\n') ++line_;
+    }
+    emit(Token::Kind::String, src_.substr(text_begin, text_end - text_begin),
+         start);
+    i_ = end == std::string::npos ? src_.size() : end + closer.size();
+  }
+
+  void char_literal() {
+    const int start = line_;
+    ++i_;
+    const std::size_t text_begin = i_;
+    while (i_ < src_.size() && src_[i_] != '\'' && src_[i_] != '\n') {
+      if (src_[i_] == '\\' && i_ + 1 < src_.size() && src_[i_ + 1] != '\n') {
+        ++i_;
+      }
+      ++i_;
+    }
+    emit(Token::Kind::CharLit, src_.substr(text_begin, i_ - text_begin),
+         start);
+    if (i_ < src_.size() && src_[i_] == '\'') ++i_;
+  }
+
+  void identifier() {
+    const int start = line_;
+    const std::size_t begin = i_;
+    while (i_ < src_.size() && ident_char(src_[i_])) ++i_;
+    std::string text = src_.substr(begin, i_ - begin);
+    if (raw_string_prefix(text) && peek() == '"') {
+      raw_string();
+      return;
+    }
+    emit(Token::Kind::Identifier, std::move(text), start);
+  }
+
+  void number() {
+    const int start = line_;
+    const std::size_t begin = i_;
+    const bool hex = peek() == '0' && (peek(1) == 'x' || peek(1) == 'X');
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (ident_char(c) || c == '.' ||
+          (c == '\'' && ident_char(peek(1)))) {  // digit separator
+        ++i_;
+        const bool exp = hex ? (c == 'p' || c == 'P')
+                             : (c == 'e' || c == 'E' || c == 'p' || c == 'P');
+        if (exp && (peek() == '+' || peek() == '-')) ++i_;
+        continue;
+      }
+      break;
+    }
+    emit(Token::Kind::Number, src_.substr(begin, i_ - begin), start);
+  }
+
+  void punct() {
+    const std::string_view rest(src_.data() + i_, src_.size() - i_);
+    for (std::string_view op : kPuncts) {
+      if (rest.starts_with(op)) {
+        emit(Token::Kind::Punct, std::string(op), line_);
+        i_ += op.size();
+        return;
+      }
+    }
+    const char c = src_[i_++];
+    // Depth bookkeeping: the brace/paren token itself carries the depth
+    // *outside* its pair, so matching open/close tokens agree.
+    if (c == '{') {
+      emit_depths(Token::Kind::Punct, std::string(1, c), line_, brace_, paren_);
+      ++brace_;
+      return;
+    }
+    if (c == '}') {
+      brace_ = std::max(0, brace_ - 1);
+      emit_depths(Token::Kind::Punct, std::string(1, c), line_, brace_, paren_);
+      return;
+    }
+    if (c == '(') {
+      emit_depths(Token::Kind::Punct, std::string(1, c), line_, brace_, paren_);
+      ++paren_;
+      return;
+    }
+    if (c == ')') {
+      paren_ = std::max(0, paren_ - 1);
+      emit_depths(Token::Kind::Punct, std::string(1, c), line_, brace_, paren_);
+      return;
+    }
+    emit(Token::Kind::Punct, std::string(1, c), line_);
+  }
+
+  void emit(Token::Kind kind, std::string text, int start_line) {
+    emit_depths(kind, std::move(text), start_line, brace_, paren_);
+  }
+
+  void emit_depths(Token::Kind kind, std::string text, int start_line,
+                   int brace, int paren) {
+    model_.tokens.push_back({kind, std::move(text), start_line, brace, paren});
+  }
+
+  const std::string& src_;
+  SourceModel model_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  int brace_ = 0;
+  int paren_ = 0;
+  bool at_line_start_ = true;
+  int open_hot_line_ = 0;
+};
+
+}  // namespace
+
+bool SourceModel::in_hot_region(int line) const {
+  return std::any_of(hot_regions.begin(), hot_regions.end(),
+                     [line](const HotRegion& r) {
+                       return line >= r.begin_line && line <= r.end_line;
+                     });
+}
+
+SourceModel build_source_model(const std::string& src,
+                               const std::string& path) {
+  return Lexer(src, path).run();
+}
+
+// --- structure analysis ----------------------------------------------------
+
+namespace {
+
+enum class BraceKind : std::uint8_t { Namespace, Class, Function, Block };
+
+bool specifier(const Token& t) {
+  return t.ident("const") || t.ident("noexcept") || t.ident("override") ||
+         t.ident("final") || t.ident("mutable") || t.ident("try");
+}
+
+bool control_keyword(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "catch" || s == "return" || s == "sizeof" || s == "alignof" ||
+         s == "decltype" || s == "constexpr";
+}
+
+bool init_list_context(const std::vector<Token>& t, std::size_t close,
+                       std::size_t brace);
+
+/// Index of the `(` matching the `)` at `close`, or npos.
+std::size_t matching_open_paren(const std::vector<Token>& t,
+                                std::size_t close) {
+  int depth = 0;
+  for (std::size_t j = close + 1; j-- > 0;) {
+    if (t[j].punct(")")) ++depth;
+    if (t[j].punct("(")) {
+      if (--depth == 0) return j;
+    }
+  }
+  return std::string::npos;
+}
+
+/// Reads a qualified name ("Server::run", "~Listener") ending at token
+/// `last`; empty when `last` is not an identifier.
+std::string qualified_name(const std::vector<Token>& t, std::size_t last) {
+  if (t[last].kind != Token::Kind::Identifier) return {};
+  std::size_t first = last;
+  while (first >= 1 && t[first - 1].punct("~")) --first;
+  while (first >= 2 && t[first - 1].punct("::") &&
+         t[first - 2].kind == Token::Kind::Identifier) {
+    first -= 2;
+  }
+  std::string name;
+  for (std::size_t j = first; j <= last; ++j) name += t[j].text;
+  return name;
+}
+
+/// Classifies the `{` at index `i` and, for functions, yields the name.
+BraceKind classify_brace(const std::vector<Token>& t, std::size_t i,
+                         std::string& fn_name) {
+  if (i == 0) return BraceKind::Block;
+  std::size_t j = i - 1;
+
+  // namespace / class heads: walk back over the name and base clause
+  // looking for the introducing keyword.
+  if (t[j].kind == Token::Kind::Identifier || t[j].punct("::") ||
+      t[j].punct(":") || t[j].punct(",") || t[j].punct("<") ||
+      t[j].punct(">")) {
+    for (std::size_t back = 0, k = j + 1; back < 48 && k-- > 0; ++back) {
+      const Token& tk = t[k];
+      if (tk.ident("namespace")) return BraceKind::Namespace;
+      if (tk.ident("class") || tk.ident("struct") || tk.ident("union") ||
+          tk.ident("enum")) {
+        return BraceKind::Class;
+      }
+      const bool head_token = tk.kind == Token::Kind::Identifier ||
+                              tk.punct("::") || tk.punct(":") ||
+                              tk.punct(",") || tk.punct("<") || tk.punct(">");
+      if (!head_token) break;
+    }
+  }
+
+  // `) [specifiers] {` and `) : init-list {` — function definitions.  Walk
+  // back over trailing specifiers and a member-initialiser list to find the
+  // parameter list's `)`.
+  std::size_t k = j;
+  for (int guard = 0; guard < 256; ++guard) {
+    if (specifier(t[k])) {
+      if (k == 0) return BraceKind::Block;
+      --k;
+      continue;
+    }
+    // Member-initialiser items end with `)` or `}`; hop over the balanced
+    // group and the preceding name, then any `,`/`:` separator.
+    if (t[k].punct("}") || (t[k].punct(")") && init_list_context(t, k, i))) {
+      const char open = t[k].punct("}") ? '{' : '(';
+      const char close = t[k].punct("}") ? '}' : ')';
+      int depth = 0;
+      while (true) {
+        const std::string& s = t[k].text;
+        if (t[k].kind == Token::Kind::Punct && s.size() == 1 &&
+            s[0] == close) {
+          ++depth;
+        }
+        if (t[k].kind == Token::Kind::Punct && s.size() == 1 && s[0] == open) {
+          if (--depth == 0) break;
+        }
+        if (k == 0) return BraceKind::Block;
+        --k;
+      }
+      if (k == 0) return BraceKind::Block;
+      --k;  // the initialised member's name
+      if (t[k].kind != Token::Kind::Identifier) return BraceKind::Block;
+      if (k == 0) return BraceKind::Block;
+      --k;
+      if (t[k].punct(",")) {
+        if (k == 0) return BraceKind::Block;
+        --k;
+        continue;  // previous init item
+      }
+      if (t[k].punct(":")) {
+        if (k == 0) return BraceKind::Block;
+        --k;  // now at the parameter list's `)`
+      } else {
+        return BraceKind::Block;
+      }
+    }
+    break;
+  }
+  if (!t[k].punct(")")) return BraceKind::Block;
+  const std::size_t open = matching_open_paren(t, k);
+  if (open == std::string::npos || open == 0) return BraceKind::Block;
+  const Token& before = t[open - 1];
+  if (before.kind != Token::Kind::Identifier) return BraceKind::Block;
+  if (control_keyword(before.text)) return BraceKind::Block;
+  fn_name = qualified_name(t, open - 1);
+  return fn_name.empty() ? BraceKind::Block : BraceKind::Function;
+}
+
+/// True when the `)` at `close` plausibly ends a member-initialiser item
+/// rather than the parameter list itself: somewhere between it and the
+/// body `{` there is no specifier barrier, and walking further back will
+/// find `name (`/`name {` groups.  The caller does the real validation;
+/// this only rejects the common `) {` case so plain functions take the
+/// fast path.
+bool init_list_context(const std::vector<Token>& t, std::size_t close,
+                       std::size_t brace) {
+  (void)brace;
+  const std::size_t open = matching_open_paren(t, close);
+  if (open == std::string::npos || open < 2) return false;
+  // `name ( ... )` preceded by `:` or `,` — an init item, not a parameter
+  // list (a parameter list's name is preceded by a type or `::`).
+  if (t[open - 1].kind != Token::Kind::Identifier) return false;
+  return t[open - 2].punct(":") || t[open - 2].punct(",");
+}
+
+}  // namespace
+
+const FunctionSpan* Structure::enclosing(std::size_t i) const {
+  for (const FunctionSpan& f : functions) {
+    if (f.contains(i)) return &f;
+  }
+  return nullptr;
+}
+
+Structure analyze_structure(const SourceModel& m) {
+  const std::vector<Token>& t = m.tokens;
+  Structure s;
+  s.namespace_scope.assign(t.size(), false);
+
+  std::vector<BraceKind> stack;
+  std::vector<std::size_t> open_functions;  // indices into s.functions
+  int non_namespace = 0;
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    s.namespace_scope[i] = non_namespace == 0;
+    if (t[i].punct("{")) {
+      std::string name;
+      const BraceKind kind = classify_brace(t, i, name);
+      stack.push_back(kind);
+      if (kind != BraceKind::Namespace) ++non_namespace;
+      if (kind == BraceKind::Function) {
+        open_functions.push_back(s.functions.size());
+        s.functions.push_back({std::move(name), i, t.size(), t[i].line});
+      }
+    } else if (t[i].punct("}") && !stack.empty()) {
+      const BraceKind kind = stack.back();
+      stack.pop_back();
+      if (kind != BraceKind::Namespace) --non_namespace;
+      if (kind == BraceKind::Function && !open_functions.empty()) {
+        s.functions[open_functions.back()].body_end = i;
+        open_functions.pop_back();
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace rvhpc::analysis

@@ -1,0 +1,111 @@
+#pragma once
+// rvhpc::analysis — token-stream model of a C++ source file.
+//
+// The B001 bench-loop rule started as a one-off lexical mode machine; the
+// S-family concurrency and hot-path rules need the same understanding of
+// comments, string/char/raw-string literals, identifiers and nesting, so
+// the lexer lives here once and every source rule consumes Tokens instead
+// of raw characters.  This is still a lexer, not a parser: rules built on
+// it are heuristic by design and say so in their messages.
+//
+// Beyond tokens, the model records two kinds of annotation comment.  Both
+// must start the comment (after whitespace), so prose that merely mentions
+// them — like this paragraph — does not trigger:
+//   * disable directives, matching the `.machine` file contract:
+//       (slash-slash) rvhpc-lint: disable=S101,B001
+//   * hot-path regions, bounding the S1xx allocation-hygiene rules:
+//       (slash-slash) rvhpc: hot-path begin <free-form label>
+//       ...
+//       (slash-slash) rvhpc: hot-path end
+//
+// analyze_structure() layers a best-effort scope analysis on top: which
+// braces open namespaces, classes or function bodies, and the qualified
+// name of each function definition.  Constructors with member-initialiser
+// lists and lambdas are handled approximately (a lambda body counts as part
+// of its enclosing function, which is what the concurrency rules want).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rvhpc::analysis {
+
+/// One lexical token.  Comments and preprocessor lines are consumed by the
+/// lexer and never appear here; their directives surface on SourceModel.
+struct Token {
+  enum class Kind : std::uint8_t {
+    Identifier,  ///< identifiers and keywords, `text` is the spelling
+    Number,      ///< numeric literal (handles hex, exponents, ' separators)
+    String,      ///< "..."/R"(...)", `text` is the uninterpreted contents
+    CharLit,     ///< '...' with escapes, `text` is the contents
+    Punct,       ///< operator/punctuation, maximal munch ("::", "<<=", ...)
+  };
+
+  Kind kind = Kind::Punct;
+  std::string text;
+  int line = 0;         ///< 1-based line the token starts on
+  int brace_depth = 0;  ///< `{`/`}` carry the depth *outside* their pair
+  int paren_depth = 0;  ///< likewise for `(`/`)`
+
+  [[nodiscard]] bool is(Kind k, const char* t) const {
+    return kind == k && text == t;
+  }
+  [[nodiscard]] bool ident(const char* t) const {
+    return is(Kind::Identifier, t);
+  }
+  [[nodiscard]] bool punct(const char* t) const { return is(Kind::Punct, t); }
+};
+
+/// A `rvhpc: hot-path begin`/`end` annotated line range, inclusive.  An
+/// unterminated begin extends to the last line of the file.
+struct HotRegion {
+  int begin_line = 0;
+  int end_line = 0;
+};
+
+/// The lexed file: token stream plus the annotations the rules honour.
+struct SourceModel {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<HotRegion> hot_regions;
+  std::vector<std::string> disabled_rules;  ///< from disable directives
+  int last_line = 1;
+
+  [[nodiscard]] bool in_hot_region(int line) const;
+};
+
+/// Lexes `src`.  Never fails: malformed input degrades to best-effort
+/// tokens (an unterminated literal ends at the line break).
+[[nodiscard]] SourceModel build_source_model(const std::string& src,
+                                             const std::string& path);
+
+/// One recognised function definition: `body_begin`/`body_end` are token
+/// indices of the `{`/`}` pair bounding the body.
+struct FunctionSpan {
+  std::string name;  ///< as written, qualified: "Server::run", "take_line"
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+  int line = 0;  ///< line of the opening brace
+
+  [[nodiscard]] bool contains(std::size_t token_index) const {
+    return token_index > body_begin && token_index < body_end;
+  }
+};
+
+/// Scope analysis over a SourceModel's tokens.
+struct Structure {
+  std::vector<FunctionSpan> functions;  ///< in body_begin order
+  /// Per token: true when the token sits at namespace scope (not inside
+  /// any class body, function body or other block).
+  std::vector<bool> namespace_scope;
+
+  /// The function whose body contains token `i`, or nullptr.  Lambdas and
+  /// plain blocks do not open new spans, so this is the named enclosing
+  /// function the diagnostics should point at.
+  [[nodiscard]] const FunctionSpan* enclosing(std::size_t i) const;
+};
+
+[[nodiscard]] Structure analyze_structure(const SourceModel& m);
+
+}  // namespace rvhpc::analysis

@@ -24,6 +24,8 @@ void count_cache_event(const char* which) {
 
 PredictionCache::PredictionCache(std::size_t capacity) : capacity_(capacity) {}
 
+// rvhpc: hot-path begin — engine memo lookup: every batched request pays
+// this on the warm path, so it must stay allocation-free (S1xx guards it).
 std::optional<model::Prediction> PredictionCache::get(std::uint64_t key) {
   if (capacity_ == 0) return std::nullopt;
   std::lock_guard lock(mu_);
@@ -38,6 +40,7 @@ std::optional<model::Prediction> PredictionCache::get(std::uint64_t key) {
   count_cache_event("hit");
   return it->second->prediction;
 }
+// rvhpc: hot-path end
 
 void PredictionCache::put(std::uint64_t key, const model::Prediction& p) {
   if (capacity_ == 0) return;

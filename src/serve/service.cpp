@@ -316,10 +316,14 @@ std::string Service::respond(const Parsed& req, double arrival_us) {
   obs::ScopedSpan span("serve", "request");
   bool hit = false;
   model::Prediction p;
+  // rvhpc: hot-path begin — serve cache-hit fast path: a warm request must
+  // answer from the memo without allocating (rvhpc-lint S1xx guards this).
   if (std::optional<model::Prediction> cached = cache_.get(req.key)) {
     p = *std::move(cached);
     hit = true;
-  } else {
+  }
+  // rvhpc: hot-path end
+  if (!hit) {
     p = model::predict(req.machine, req.sig, req.cfg);
     cache_.put(req.key, p);
   }

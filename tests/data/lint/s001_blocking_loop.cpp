@@ -1,0 +1,26 @@
+// Seeded S001 violation: a Server:: method doing blocking work on the
+// event loop.  Fixture data for test_analysis — never compiled.
+#include <string>
+
+namespace fake {
+
+struct Service {
+  std::string handle_line(const std::string& line);
+  void flush(int& log);
+};
+
+struct Server {
+  Service service_;
+  void run();
+};
+
+void Server::run() {
+  for (int i = 0; i < 8; ++i) {
+    int log = 0;
+    std::string line = "req";
+    line = service_.handle_line(line);  // blocks the poll() loop
+    service_.flush(log);                // and so does this
+  }
+}
+
+}  // namespace fake

@@ -1,0 +1,34 @@
+// Clean twin of s001_blocking_loop.cpp: the Server method only enqueues;
+// the blocking work happens in a non-Server worker.  Never compiled.
+#include <string>
+
+namespace fake {
+
+struct Queue {
+  void push(const std::string& line);
+  bool pop(std::string& line);
+};
+
+struct Service {
+  std::string handle_line(const std::string& line);
+};
+
+struct Server {
+  Queue queue_;
+  void run();
+};
+
+void Server::run() {
+  for (int i = 0; i < 8; ++i) {
+    queue_.push("req");  // hand off; the worker below answers
+  }
+}
+
+void worker_main(Queue& q, Service& s) {
+  std::string line;
+  while (q.pop(line)) {
+    line = s.handle_line(line);  // blocking is fine off the event loop
+  }
+}
+
+}  // namespace fake

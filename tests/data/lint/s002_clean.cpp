@@ -1,0 +1,22 @@
+// Clean twin of s002_flag.cpp: the shared flag is std::atomic, so S002
+// has nothing to say.  Never compiled.
+#include <atomic>
+#include <thread>
+
+namespace fake {
+
+std::atomic<int> g_done{0};
+
+void worker() {
+  g_done.store(1, std::memory_order_release);
+}
+
+int main_loop() {
+  std::thread t(worker);
+  int spins = 0;
+  while (g_done.load(std::memory_order_acquire) == 0) ++spins;
+  t.join();
+  return spins;
+}
+
+}  // namespace fake

@@ -1,0 +1,21 @@
+// Seeded S002 violation: a plain int flag written by a worker thread and
+// polled by the main loop, no atomics, no locks.  Never compiled.
+#include <thread>
+
+namespace fake {
+
+int g_done = 0;  // should be std::atomic<int>
+
+void worker() {
+  g_done = 1;  // write from the spawned thread
+}
+
+int main_loop() {
+  std::thread t(worker);
+  int spins = 0;
+  while (g_done == 0) ++spins;  // read from the main thread
+  t.join();
+  return spins;
+}
+
+}  // namespace fake

@@ -1,0 +1,24 @@
+// Clean twin of s003_lock_order.cpp: both functions take the mutexes in
+// the same order (and one uses std::scoped_lock, which orders internally).
+// Never compiled.
+#include <mutex>
+
+namespace fake {
+
+std::mutex stats_mu;
+std::mutex save_mu;
+int stats = 0;
+int saves = 0;
+
+void record() {
+  std::lock_guard a(stats_mu);
+  std::lock_guard b(save_mu);  // stats_mu -> save_mu
+  ++stats;
+}
+
+void persist() {
+  std::scoped_lock both(stats_mu, save_mu);  // deadlock-free by contract
+  ++saves;
+}
+
+}  // namespace fake

@@ -1,0 +1,24 @@
+// Seeded S003 violation: two mutexes taken A-then-B in one function and
+// B-then-A in another — a textbook deadlock.  Never compiled.
+#include <mutex>
+
+namespace fake {
+
+std::mutex stats_mu;
+std::mutex save_mu;
+int stats = 0;
+int saves = 0;
+
+void record() {
+  std::lock_guard a(stats_mu);
+  std::lock_guard b(save_mu);  // stats_mu -> save_mu
+  ++stats;
+}
+
+void persist() {
+  std::lock_guard b(save_mu);
+  std::lock_guard a(stats_mu);  // save_mu -> stats_mu: inverted
+  ++saves;
+}
+
+}  // namespace fake

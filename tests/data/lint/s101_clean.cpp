@@ -1,0 +1,24 @@
+// Clean twin of s101_hot_alloc.cpp: the hot region reuses a caller-owned
+// slot; allocation happens only in cold setup.  Never compiled.
+#include <memory>
+
+namespace fake {
+
+struct Entry {
+  int value = 0;
+};
+
+// rvhpc: hot-path begin — per-request lookup, must not allocate
+Entry* lookup(Entry& slot, int key) {
+  slot.value = key;
+  return &slot;
+}
+// rvhpc: hot-path end
+
+std::unique_ptr<Entry> cold_setup(int key) {
+  auto e = std::make_unique<Entry>();
+  e->value = key;
+  return e;
+}
+
+}  // namespace fake

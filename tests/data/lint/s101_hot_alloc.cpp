@@ -1,0 +1,23 @@
+// Seeded S101 violation: heap allocation inside an annotated hot-path
+// region.  Never compiled.
+#include <memory>
+
+namespace fake {
+
+struct Entry {
+  int value = 0;
+};
+
+// rvhpc: hot-path begin — per-request lookup, must not allocate
+Entry* lookup(int key) {
+  auto scratch = std::make_unique<Entry>();  // allocates every call
+  scratch->value = key;
+  return new Entry{key};  // and again
+}
+// rvhpc: hot-path end
+
+Entry* cold_setup(int key) {
+  return new Entry{key};  // fine: outside any hot region
+}
+
+}  // namespace fake

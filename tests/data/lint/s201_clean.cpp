@@ -1,0 +1,16 @@
+// Clean twin of s201_ignored_write.cpp: every syscall result is checked
+// or deliberately voided with a reason.  Never compiled.
+#include <cstdio>
+#include <unistd.h>
+
+namespace fake {
+
+bool persist(int fd, const char* buf, unsigned long n) {
+  const long wrote = write(fd, buf, n);
+  if (wrote < 0 || static_cast<unsigned long>(wrote) != n) return false;
+  if (std::rename("out.tmp", "out") != 0) return false;
+  (void)write(fd, "\n", 1);  // trailing newline is cosmetic; losing it is fine
+  return true;
+}
+
+}  // namespace fake

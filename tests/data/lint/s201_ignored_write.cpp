@@ -1,0 +1,13 @@
+// Seeded S201 violation: write()/rename() results silently discarded.
+// Never compiled.
+#include <cstdio>
+#include <unistd.h>
+
+namespace fake {
+
+void persist(int fd, const char* buf, unsigned long n) {
+  write(fd, buf, n);  // short writes and EINTR vanish here
+  std::rename("out.tmp", "out");  // and a failed rename here
+}
+
+}  // namespace fake

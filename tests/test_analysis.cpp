@@ -14,8 +14,10 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/baseline.hpp"
 #include "analysis/engine.hpp"
 #include "analysis/render.hpp"
+#include "analysis/source_model.hpp"
 #include "arch/registry.hpp"
 #include "arch/serialize.hpp"
 #include "model/signatures.hpp"
@@ -275,8 +277,10 @@ TEST(Catalogue, RuleIdsAreUniqueAndWellFormed) {
   for (const RuleInfo& info : rule_catalogue()) {
     EXPECT_TRUE(seen.insert(info.id).second) << "duplicate id " << info.id;
     // A-family rules lint models/signatures/calibration; B-family lints
-    // bench C++ sources.
-    EXPECT_TRUE(info.id[0] == 'A' || info.id[0] == 'B') << info.id;
+    // bench C++ sources; S-family lints the main sources (concurrency,
+    // hot-path hygiene, syscall robustness).
+    EXPECT_TRUE(info.id[0] == 'A' || info.id[0] == 'B' || info.id[0] == 'S')
+        << info.id;
     EXPECT_NE(info.id.find('-'), std::string::npos) << info.id;
     EXPECT_FALSE(info.summary.empty()) << info.id;
   }
@@ -349,6 +353,411 @@ TEST(Render, TableHasOneRowPerFinding) {
   EXPECT_EQ(render_table(r).rows(), r.diagnostics.size());
   EXPECT_EQ(render_catalogue().rows(), rule_catalogue().size());
   EXPECT_NE(summarize(r).find("error"), std::string::npos);
+}
+
+TEST(Render, JsonCarriesFindingsAndSummary) {
+  const std::string src =
+      "struct Server { void run(); };\n"
+      "void Server::run() { std::system(\"ls\"); system(cmd); }\n";
+  const Report r = lint_source(src, "probe \"quoted\".cpp");
+  ASSERT_FALSE(r.empty());
+  const std::string json = render_json(r);
+  EXPECT_NE(json.find("\"rule\": \"S001-blocking-call-in-event-loop\""),
+            std::string::npos) << json;
+  EXPECT_NE(json.find("\"summary\""), std::string::npos);
+  EXPECT_NE(json.find("probe \\\"quoted\\\".cpp"), std::string::npos)
+      << "file names must be JSON-escaped\n" << json;
+  const Report none;
+  EXPECT_NE(render_json(none).find("\"findings\": []"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The token-stream source model (source_model.hpp).
+
+TEST(SourceModel, LexesRawStringsWithoutDesync) {
+  // The old char-level B001 machine treated the `"` inside `)"` as a
+  // string opener and swallowed the rest of the file.  The loop after the
+  // raw string must still be scanned.
+  const std::string src =
+      "void f() {\n"
+      "  const char* q = R\"(quote \" and predict( inside)\";\n"
+      "  for (int i = 0; i < 2; ++i) keep(model::predict(m, sig, cfg));\n"
+      "}\n";
+  const Report r = lint_bench_source(src, "raw.cpp");
+  ASSERT_EQ(r.by_rule("B001").size(), 1u) << r.format();
+  EXPECT_EQ(r.diagnostics[0].loc.line, 3);
+}
+
+TEST(SourceModel, LexesEscapedCharLiteralsWithoutDesync) {
+  // '\'' used to leave the scanner stuck in char-literal mode.
+  const std::string src =
+      "void f() {\n"
+      "  char c = '\\'';\n"
+      "  char d = '\\\\';\n"
+      "  for (int i = 0; i < 2; ++i) keep(model::predict(m, sig, cfg));\n"
+      "}\n";
+  const Report r = lint_bench_source(src, "chars.cpp");
+  ASSERT_EQ(r.by_rule("B001").size(), 1u) << r.format();
+  EXPECT_EQ(r.diagnostics[0].loc.line, 4);
+}
+
+TEST(SourceModel, TokensCarryLinesAndDepths) {
+  const SourceModel m = build_source_model(
+      "int f(int a) {\n  return g(a, 1);\n}\n", "t.cpp");
+  ASSERT_FALSE(m.tokens.empty());
+  EXPECT_EQ(m.tokens.front().text, "int");
+  EXPECT_EQ(m.tokens.front().line, 1);
+  bool saw_g = false;
+  for (const Token& t : m.tokens) {
+    if (t.ident("g")) {
+      saw_g = true;
+      EXPECT_EQ(t.line, 2);
+      EXPECT_EQ(t.brace_depth, 1);
+    }
+  }
+  EXPECT_TRUE(saw_g);
+}
+
+TEST(SourceModel, HotRegionsComeFromAnnotationComments) {
+  const std::string src =
+      "int a;\n"
+      "// rvhpc: hot-path begin — lookup\n"
+      "int b;\n"
+      "int c;\n"
+      "// rvhpc: hot-path end\n"
+      "int d;\n";
+  const SourceModel m = build_source_model(src, "hot.cpp");
+  ASSERT_EQ(m.hot_regions.size(), 1u);
+  EXPECT_FALSE(m.in_hot_region(1));
+  EXPECT_TRUE(m.in_hot_region(3));
+  EXPECT_TRUE(m.in_hot_region(4));
+  EXPECT_FALSE(m.in_hot_region(6));
+}
+
+TEST(SourceModel, DirectivesMustStartTheComment) {
+  // Prose that merely mentions the markers (like engine.hpp's own docs)
+  // must not disable rules or open hot regions.
+  const std::string src =
+      "// the directive `rvhpc-lint: disable=B001` is described here\n"
+      "// and `rvhpc: hot-path begin` is only mentioned, not used\n"
+      "int x;\n";
+  const SourceModel m = build_source_model(src, "prose.cpp");
+  EXPECT_TRUE(m.disabled_rules.empty());
+  EXPECT_TRUE(m.hot_regions.empty());
+}
+
+TEST(SourceModel, DirectivesInsideStringLiteralsAreInert) {
+  const std::string src =
+      "const char* s = \"// rvhpc-lint: disable=S201\";\n"
+      "void f() { write(1, s, 2); }\n";
+  const Report r = lint_source(src, "str.cpp");
+  EXPECT_EQ(r.by_rule("S201").size(), 1u) << r.format();
+}
+
+TEST(SourceStructure, FindsQualifiedFunctionNames) {
+  const SourceModel m = build_source_model(
+      "namespace n {\n"
+      "struct Server {\n"
+      "  void run();\n"
+      "};\n"
+      "void Server::run() {\n"
+      "  go();\n"
+      "}\n"
+      "int free_fn(int a) { return a; }\n"
+      "}  // namespace n\n",
+      "s.cpp");
+  const Structure st = analyze_structure(m);
+  ASSERT_EQ(st.functions.size(), 2u);
+  EXPECT_EQ(st.functions[0].name, "Server::run");
+  EXPECT_EQ(st.functions[1].name, "free_fn");
+}
+
+TEST(SourceStructure, NamespaceScopeExcludesBodies) {
+  const SourceModel m = build_source_model(
+      "int g_flag = 0;\n"
+      "void f() { int local = 0; use(local); }\n",
+      "ns.cpp");
+  const Structure st = analyze_structure(m);
+  ASSERT_EQ(m.tokens.size(), st.namespace_scope.size());
+  for (std::size_t i = 0; i < m.tokens.size(); ++i) {
+    if (m.tokens[i].ident("g_flag")) EXPECT_TRUE(st.namespace_scope[i]);
+    if (m.tokens[i].ident("local")) EXPECT_FALSE(st.namespace_scope[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// S-family rules: seeded fixtures under tests/data/lint/ and clean twins.
+
+std::string read_fixture(const std::string& name) {
+  const std::string path =
+      std::string(RVHPC_SOURCE_DIR) + "/tests/data/lint/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream src;
+  src << in.rdbuf();
+  return src.str();
+}
+
+Report lint_fixture(const std::string& name) {
+  return lint_source(read_fixture(name), name);
+}
+
+TEST(SourceRules, BlockingCallFixtureTripsS001Only) {
+  const Report r = lint_fixture("s001_blocking_loop.cpp");
+  EXPECT_EQ(r.by_rule("S001").size(), 2u) << r.format();  // handle_line, flush
+  EXPECT_EQ(r.diagnostics.size(), 2u) << r.format();
+  EXPECT_EQ(r.by_rule("S001")[0].subject, "Server::run");
+}
+
+TEST(SourceRules, BlockingCallCleanTwinPasses) {
+  EXPECT_TRUE(lint_fixture("s001_clean.cpp").empty());
+}
+
+TEST(SourceRules, SharedFlagFixtureTripsS002Only) {
+  const Report r = lint_fixture("s002_flag.cpp");
+  ASSERT_EQ(r.by_rule("S002").size(), 1u) << r.format();
+  EXPECT_EQ(r.diagnostics.size(), 1u) << r.format();
+  EXPECT_EQ(r.diagnostics[0].field, "g_done");
+  EXPECT_EQ(r.diagnostics[0].loc.line, 7);
+}
+
+TEST(SourceRules, SharedFlagCleanTwinPasses) {
+  EXPECT_TRUE(lint_fixture("s002_clean.cpp").empty());
+}
+
+TEST(SourceRules, LockOrderFixtureTripsS003Only) {
+  const Report r = lint_fixture("s003_lock_order.cpp");
+  ASSERT_EQ(r.by_rule("S003").size(), 1u) << r.format();
+  EXPECT_EQ(r.diagnostics.size(), 1u) << r.format();
+  EXPECT_NE(r.diagnostics[0].message.find("stats_mu"), std::string::npos);
+  EXPECT_NE(r.diagnostics[0].message.find("save_mu"), std::string::npos);
+}
+
+TEST(SourceRules, LockOrderCleanTwinPasses) {
+  EXPECT_TRUE(lint_fixture("s003_clean.cpp").empty());
+}
+
+TEST(SourceRules, HotAllocationFixtureTripsS101Only) {
+  const Report r = lint_fixture("s101_hot_alloc.cpp");
+  EXPECT_EQ(r.by_rule("S101").size(), 2u)  // make_unique + new
+      << r.format();
+  EXPECT_EQ(r.diagnostics.size(), 2u) << r.format();
+}
+
+TEST(SourceRules, HotAllocationCleanTwinPasses) {
+  EXPECT_TRUE(lint_fixture("s101_clean.cpp").empty());
+}
+
+TEST(SourceRules, IgnoredWriteFixtureTripsS201Only) {
+  const Report r = lint_fixture("s201_ignored_write.cpp");
+  EXPECT_EQ(r.by_rule("S201").size(), 2u) << r.format();  // write + rename
+  EXPECT_EQ(r.diagnostics.size(), 2u) << r.format();
+}
+
+TEST(SourceRules, IgnoredWriteCleanTwinPasses) {
+  EXPECT_TRUE(lint_fixture("s201_clean.cpp").empty());
+}
+
+// Inline cases for the rules without standalone fixtures.
+
+TEST(SourceRules, DetachedThreadIsS004) {
+  const std::string src =
+      "#include <thread>\n"
+      "void spawn() {\n"
+      "  std::thread t(work);\n"
+      "  t.detach();\n"
+      "}\n";
+  const Report r = lint_source(src, "detach.cpp");
+  ASSERT_EQ(r.by_rule("S004").size(), 1u) << r.format();
+  EXPECT_NE(r.diagnostics[0].message.find("detached"), std::string::npos);
+}
+
+TEST(SourceRules, UnjoinedThreadIsS004AndJoinedIsClean) {
+  const std::string leak =
+      "void spawn() {\n"
+      "  std::thread t(work);\n"
+      "  other();\n"
+      "}\n";
+  EXPECT_EQ(lint_source(leak, "leak.cpp").by_rule("S004").size(), 1u);
+  const std::string joined =
+      "void spawn() {\n"
+      "  std::thread t(work);\n"
+      "  t.join();\n"
+      "}\n";
+  EXPECT_TRUE(lint_source(joined, "joined.cpp").empty());
+  const std::string moved =
+      "void spawn(std::vector<std::thread>& pool) {\n"
+      "  std::thread t(work);\n"
+      "  pool.push_back(std::move(t));\n"
+      "}\n";
+  EXPECT_TRUE(lint_source(moved, "moved.cpp").by_rule("S004").empty());
+}
+
+TEST(SourceRules, HotPathStringCopiesAreS102) {
+  const std::string src =
+      "// rvhpc: hot-path begin — respond fast path\n"
+      "std::string render(std::string key) {\n"
+      "  return key;\n"
+      "}\n"
+      "// rvhpc: hot-path end\n";
+  const Report r = lint_source(src, "copy.cpp");
+  EXPECT_EQ(r.by_rule("S102").size(), 2u)  // by-value param + return
+      << r.format();
+  const std::string by_ref =
+      "// rvhpc: hot-path begin\n"
+      "void render(const std::string& key, std::string* out);\n"
+      "// rvhpc: hot-path end\n";
+  EXPECT_TRUE(lint_source(by_ref, "ref.cpp").empty());
+}
+
+TEST(SourceRules, HotPathToStringIsS103) {
+  const std::string src =
+      "void f(int v) {\n"
+      "  // rvhpc: hot-path begin\n"
+      "  use(std::to_string(v));\n"
+      "  // rvhpc: hot-path end\n"
+      "  use(std::to_string(v));  // cold: fine\n"
+      "}\n";
+  const Report r = lint_source(src, "tostring.cpp");
+  EXPECT_EQ(r.by_rule("S103").size(), 1u) << r.format();
+}
+
+TEST(SourceRules, HotPathTemporaryKeysAreS104) {
+  const std::string src =
+      "int f(const std::map<std::string, int>& m, const std::string& k) {\n"
+      "  // rvhpc: hot-path begin\n"
+      "  int a = m.count(\"literal\");\n"
+      "  auto it = m.find(std::string(\"built\"));\n"
+      "  int b = m.count(k);  // existing string: fine\n"
+      "  // rvhpc: hot-path end\n"
+      "  return a + b + (it != m.end());\n"
+      "}\n";
+  const Report r = lint_source(src, "keys.cpp");
+  EXPECT_EQ(r.by_rule("S104").size(), 2u) << r.format();
+}
+
+TEST(SourceRules, S002NeedsConcurrencyEvidence) {
+  // The same flag pattern without any thread/signal machinery in the file
+  // is a single-threaded counter, not a race.
+  const std::string src =
+      "int g_checks = 0;\n"
+      "void claim() { ++g_checks; }\n"
+      "int total() { return g_checks; }\n";
+  EXPECT_TRUE(lint_source(src, "counter.cpp").empty());
+}
+
+TEST(SourceRules, S002SkipsLockProtectedGlobals) {
+  const std::string src =
+      "#include <mutex>\n"
+      "#include <thread>\n"
+      "std::mutex g_mu;\n"
+      "int g_jobs = 0;\n"
+      "void set(int n) { std::lock_guard lock(g_mu); g_jobs = n; }\n"
+      "int get() { std::lock_guard lock(g_mu); return g_jobs; }\n";
+  EXPECT_TRUE(lint_source(src, "locked.cpp").empty());
+}
+
+TEST(SourceRules, DisableDirectiveSuppressesSFamily) {
+  const std::string src =
+      "// rvhpc-lint: disable=S201 — demo code, failures acceptable\n"
+      "void f(int fd) { write(fd, \"x\", 1); }\n";
+  EXPECT_TRUE(lint_source(src, "off.cpp").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Baseline files.
+
+TEST(Baseline, ParsesEntriesAndSkipsComments) {
+  const Baseline b = parse_baseline(
+      "# header comment\n"
+      "\n"
+      "S001 src/net/net.cpp handle_line\n"
+      "B001 calibration_rules.cpp *\n",
+      "bl.txt");
+  ASSERT_EQ(b.entries.size(), 2u);
+  EXPECT_EQ(b.entries[0].rule, "S001");
+  EXPECT_EQ(b.entries[0].field, "handle_line");
+  EXPECT_EQ(b.entries[1].field, "*");
+}
+
+TEST(Baseline, MalformedLineThrows) {
+  EXPECT_THROW(parse_baseline("S001 only-two\n", "bad.txt"),
+               std::runtime_error);
+  EXPECT_THROW(parse_baseline("S001 a b c-four\n", "bad.txt"),
+               std::runtime_error);
+}
+
+TEST(Baseline, PathSuffixMatchesAtSlashBoundary) {
+  Diagnostic d{"S001-blocking-call-in-event-loop", Severity::Warn,
+               "Server::run", "flush", "msg", {"src/net/net.cpp", 10}};
+  Baseline b;
+  b.entries.push_back({"S001", "net.cpp", "*", 1});
+  EXPECT_TRUE(b.matches(d));
+  d.loc.file = "src/net/subnet.cpp";
+  EXPECT_FALSE(b.matches(d)) << "suffix must anchor at a / boundary";
+}
+
+TEST(Baseline, ApplyDropsMatchesAndReportsStale) {
+  Report r;
+  r.add({"S001-blocking-call-in-event-loop", Severity::Warn, "s", "flush",
+         "m", {"src/net/net.cpp", 1}});
+  r.add({"S201-ignored-syscall-result", Severity::Warn, "s", "write", "m",
+         {"src/serve/persist.cpp", 2}});
+  Baseline b;
+  b.entries.push_back({"S001", "net.cpp", "flush", 1});
+  b.entries.push_back({"S003", "never.cpp", "*", 2});
+  std::vector<BaselineEntry> stale;
+  const Report left = apply_baseline(std::move(r), b, &stale);
+  ASSERT_EQ(left.diagnostics.size(), 1u);
+  EXPECT_EQ(left.diagnostics[0].rule, "S201-ignored-syscall-result");
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].rule, "S003");
+}
+
+TEST(Baseline, AppliedBeforeWerrorPromotion) {
+  // The gate contract: a baselined warning must never fail --werror.
+  Report r;
+  r.add({"S001-blocking-call-in-event-loop", Severity::Warn, "s",
+         "handle_line", "m", {"src/net/net.cpp", 1}});
+  Baseline b;
+  b.entries.push_back({"S001", "net.cpp", "*", 1});
+  Report left = apply_baseline(std::move(r), b, nullptr);
+  LintOptions opts;
+  opts.werror = true;
+  left = apply(std::move(left), opts);
+  EXPECT_FALSE(left.has_errors());
+  EXPECT_TRUE(left.empty());
+}
+
+// ---------------------------------------------------------------------------
+// The self-scan: the shipped src/ tree is clean modulo the checked-in
+// baseline, and the baseline carries no stale entries.
+
+TEST(SourceLint, SrcTreeIsCleanModuloBaseline) {
+  const std::string root(RVHPC_SOURCE_DIR);
+  Report r = lint_sources(root + "/src");
+  const Baseline b = load_baseline(root + "/scripts/lint_baseline.txt");
+  std::vector<BaselineEntry> stale;
+  r = apply_baseline(std::move(r), b, &stale);
+  EXPECT_TRUE(r.empty()) << "new findings in src/ — fix them or baseline "
+                            "with a comment:\n"
+                         << r.format();
+  std::string stale_list;
+  for (const BaselineEntry& e : stale) {
+    stale_list += e.rule + " " + e.path + " " + e.field + "\n";
+  }
+  EXPECT_TRUE(stale.empty())
+      << "stale baseline entries (fixed findings?):\n" << stale_list;
+}
+
+TEST(SourceLint, FindSourcesIsSortedAndThrowsOnMissingDir) {
+  const std::vector<std::string> paths =
+      find_sources(std::string(RVHPC_SOURCE_DIR) + "/src/analysis");
+  ASSERT_FALSE(paths.empty());
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_LE(paths[i - 1], paths[i]);
+  }
+  EXPECT_THROW(find_sources("/nonexistent/rvhpc"), std::runtime_error);
 }
 
 }  // namespace
