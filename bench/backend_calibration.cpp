@@ -1,0 +1,290 @@
+// backend_calibration — analytic-vs-interval divergence across the registry.
+//
+// The two prediction backends (DESIGN.md §12) are deliberately different
+// models of the same machines: the analytic ECM composes closed-form
+// resource times, the interval simulation replays a synthetic access
+// stream through memsim.  This bench sweeps BOTH backends over every
+// registry machine × kernel × power-of-two core count through the shared
+// BatchEvaluator (so the per-request backend dispatch path is what runs),
+// then reports where they diverge:
+//
+//   * predicted-total ratio   interval seconds / analytic seconds
+//   * bottleneck agreement    do they blame the same saturated resource?
+//     (DNR/DNR counts as agreement — the backends share the feasibility
+//     checks, so a disagreement there is a real bug.)
+//
+// The per-kernel table prints agreement and the geometric-mean ratio; the
+// machine-readable summary is written as BENCH_calibration.json — the
+// repo's first checked-in perf-trajectory artifact, deterministic by
+// construction (fixed-precision numbers, no timestamps) so the checked-in
+// copy only changes when a model changes.
+//
+//   --gate       exit 1 unless bottleneck agreement >= 80% overall.  Pure
+//                model arithmetic — no wall-clock assertions, so the gate
+//                passes on single-CPU CI runners and sanitised builds.
+//   --out=FILE   where to write the JSON (default: BENCH_calibration.json
+//                in the current directory; scripts/check.sh points it at
+//                a scratch file and diffs nothing).
+//   --jobs=N     worker threads for the batch evaluation.
+//
+// Every divergence outlier (ratio outside [1/3, 3]) is listed by name —
+// an outlier is not a failure, but it must never be anonymous.
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "engine/batch.hpp"
+#include "model/sweep.hpp"
+#include "report/table.hpp"
+
+using namespace rvhpc;
+using arch::MachineId;
+using model::Kernel;
+using model::ProblemClass;
+
+namespace {
+
+constexpr double kGateAgreement = 0.80;  ///< --gate threshold
+constexpr double kOutlierRatio = 3.0;    ///< outside [1/3, 3] => outlier
+
+const Kernel kKernels[] = {
+    Kernel::IS,         Kernel::MG,          Kernel::EP,  Kernel::CG,
+    Kernel::FT,         Kernel::BT,          Kernel::LU,  Kernel::SP,
+    Kernel::StreamCopy, Kernel::StreamTriad, Kernel::Hpl, Kernel::Hpcg,
+};
+
+/// One sweep point, paired across backends after evaluation.
+struct Point {
+  std::string name;  ///< "sg2044/CG.C@64"
+  Kernel kernel;
+  model::Prediction analytic;
+  model::Prediction interval;
+
+  [[nodiscard]] bool both_ran() const { return analytic.ran && interval.ran; }
+  [[nodiscard]] bool agree() const {
+    if (!analytic.ran || !interval.ran) return !analytic.ran && !interval.ran;
+    return analytic.breakdown.dominant == interval.breakdown.dominant;
+  }
+  [[nodiscard]] double ratio() const {
+    return analytic.seconds > 0.0 ? interval.seconds / analytic.seconds : 0.0;
+  }
+  [[nodiscard]] bool outlier() const {
+    if (!both_ran()) return false;
+    const double r = ratio();
+    return r > kOutlierRatio || r < 1.0 / kOutlierRatio;
+  }
+};
+
+struct KernelSummary {
+  int points = 0;
+  int agreements = 0;
+  int compared = 0;  ///< both backends ran (ratio is meaningful)
+  double log_ratio_sum = 0.0;
+  double min_ratio = 0.0;
+  double max_ratio = 0.0;
+
+  void add(const Point& p) {
+    ++points;
+    if (p.agree()) ++agreements;
+    if (!p.both_ran()) return;
+    const double r = p.ratio();
+    if (compared == 0) {
+      min_ratio = max_ratio = r;
+    } else {
+      min_ratio = std::min(min_ratio, r);
+      max_ratio = std::max(max_ratio, r);
+    }
+    ++compared;
+    log_ratio_sum += std::log(r);
+  }
+  [[nodiscard]] double agreement() const {
+    return points > 0 ? static_cast<double>(agreements) / points : 1.0;
+  }
+  [[nodiscard]] double geomean_ratio() const {
+    return compared > 0 ? std::exp(log_ratio_sum / compared) : 0.0;
+  }
+};
+
+/// Fixed-precision number for the JSON artifact: deterministic across
+/// platforms and runs, unlike %g shortest-round-trip formatting.
+std::string jnum(double v, int decimals = 4) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << v;
+  return os.str();
+}
+
+std::string bottleneck_name(const model::Prediction& p) {
+  return p.ran ? model::to_string(p.breakdown.dominant) : "dnr";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::apply_jobs_flag(argc, argv);
+  bool gate = false;
+  std::string out_path = "BENCH_calibration.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--gate") {
+      gate = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(std::string("--out=").size());
+    }
+  }
+
+  // ---- Sweep: every machine × kernel × power-of-two core count, both
+  // backends as adjacent requests in ONE set so the evaluator's dispatch
+  // (not a backend-specific code path) chooses the mechanism per request.
+  engine::RequestSet set;
+  std::vector<std::pair<std::string, Kernel>> labels;
+  const auto& hpc = arch::hpc_machines();
+  for (const MachineId id : arch::all_machines()) {
+    const arch::MachineModel& m = arch::machine(id);
+    // Class C for the HPC-scale chips (the paper's §5 runs); the small
+    // boards get class A so their DRAM feasibility checks still pass on
+    // most kernels and the comparison is not all DNR points.
+    const bool is_hpc = std::find(hpc.begin(), hpc.end(), id) != hpc.end();
+    const ProblemClass cls = is_hpc ? ProblemClass::C : ProblemClass::A;
+    for (const Kernel k : kKernels) {
+      const model::WorkloadSignature sig = model::signature(k, cls);
+      for (const int cores : model::power_of_two_cores(m.cores)) {
+        const model::RunConfig cfg = model::paper_run_config(m, k, cores);
+        const std::string name = arch::name_of(id) + "/" + to_string(k) + "." +
+                                 to_string(cls) + "@" + std::to_string(cores);
+        set.add({m, sig, cfg, name, engine::Backend::Analytic});
+        set.add({m, sig, cfg, name, engine::Backend::Interval});
+        labels.emplace_back(name, k);
+      }
+    }
+  }
+
+  const auto results = engine::default_evaluator().evaluate(set);
+
+  std::vector<Point> points;
+  points.reserve(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    Point p;
+    p.name = labels[i].first;
+    p.kernel = labels[i].second;
+    p.analytic = results[2 * i].prediction;
+    p.interval = results[2 * i + 1].prediction;
+    points.push_back(std::move(p));
+  }
+
+  // ---- Per-kernel roll-up --------------------------------------------------
+  std::map<std::string, KernelSummary> by_kernel;
+  KernelSummary overall;
+  for (const Point& p : points) {
+    by_kernel[to_string(p.kernel)].add(p);
+    overall.add(p);
+  }
+
+  report::Table t({"kernel", "points", "agree", "geomean t_int/t_ana",
+                   "min", "max"});
+  for (const Kernel k : kKernels) {
+    const KernelSummary& s = by_kernel[to_string(k)];
+    t.add_row({to_string(k), std::to_string(s.points),
+               report::fmt(100.0 * s.agreement(), 1) + "%",
+               report::fmt(s.geomean_ratio(), 2),
+               report::fmt(s.min_ratio, 2), report::fmt(s.max_ratio, 2)});
+  }
+  std::cout << t.render() << "\n";
+
+  std::vector<const Point*> outliers;
+  std::vector<const Point*> disagreements;
+  for (const Point& p : points) {
+    if (p.outlier()) outliers.push_back(&p);
+    if (!p.agree()) disagreements.push_back(&p);
+  }
+
+  std::cout << "points: " << overall.points << "  bottleneck agreement: "
+            << report::fmt(100.0 * overall.agreement(), 1)
+            << "%  geomean ratio: " << report::fmt(overall.geomean_ratio(), 2)
+            << "  outliers: " << outliers.size() << "\n";
+  if (!outliers.empty()) {
+    std::cout << "\ndivergence outliers (ratio outside [1/3, 3]):\n";
+    for (const Point* p : outliers) {
+      std::cout << "  " << p->name << "  ratio " << report::fmt(p->ratio(), 2)
+                << "  (analytic " << bottleneck_name(p->analytic)
+                << ", interval " << bottleneck_name(p->interval) << ")\n";
+    }
+  }
+  if (!disagreements.empty()) {
+    std::cout << "\nbottleneck disagreements:\n";
+    std::size_t shown = 0;
+    for (const Point* p : disagreements) {
+      if (++shown > 20) {
+        std::cout << "  ... and " << disagreements.size() - 20 << " more\n";
+        break;
+      }
+      std::cout << "  " << p->name << "  analytic="
+                << bottleneck_name(p->analytic) << "  interval="
+                << bottleneck_name(p->interval) << "\n";
+    }
+  }
+
+  // ---- BENCH_calibration.json ---------------------------------------------
+  {
+    std::ostringstream js;
+    js << "{\n  \"bench\": \"backend_calibration\",\n"
+       << "  \"points\": " << overall.points << ",\n"
+       << "  \"bottleneck_agreement\": " << jnum(overall.agreement()) << ",\n"
+       << "  \"geomean_ratio\": " << jnum(overall.geomean_ratio()) << ",\n"
+       << "  \"kernels\": [\n";
+    bool first = true;
+    for (const Kernel k : kKernels) {
+      const KernelSummary& s = by_kernel[to_string(k)];
+      if (!first) js << ",\n";
+      first = false;
+      js << "    {\"kernel\": \"" << to_string(k) << "\", \"points\": "
+         << s.points << ", \"agreement\": " << jnum(s.agreement())
+         << ", \"geomean_ratio\": " << jnum(s.geomean_ratio())
+         << ", \"min_ratio\": " << jnum(s.min_ratio)
+         << ", \"max_ratio\": " << jnum(s.max_ratio) << "}";
+    }
+    js << "\n  ],\n  \"outliers\": [\n";
+    first = true;
+    for (const Point* p : outliers) {
+      if (!first) js << ",\n";
+      first = false;
+      js << "    {\"point\": \"" << p->name << "\", \"ratio\": "
+         << jnum(p->ratio()) << ", \"analytic\": \""
+         << bottleneck_name(p->analytic) << "\", \"interval\": \""
+         << bottleneck_name(p->interval) << "\"}";
+    }
+    js << "\n  ]\n}\n";
+
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out.good()) {
+      std::cerr << "backend_calibration: cannot write '" << out_path << "'\n";
+      return 1;
+    }
+    out << js.str();
+    std::cout << "\nwrote " << out_path << "\n";
+  }
+
+  if (gate) {
+    if (overall.agreement() < kGateAgreement) {
+      std::cerr << "GATE FAIL: bottleneck agreement "
+                << report::fmt(100.0 * overall.agreement(), 1) << "% < "
+                << report::fmt(100.0 * kGateAgreement, 0) << "% ("
+                << disagreements.size() << " of " << overall.points
+                << " points disagree)\n";
+      return 1;
+    }
+    std::cout << "GATE OK: agreement "
+              << report::fmt(100.0 * overall.agreement(), 1) << "% >= "
+              << report::fmt(100.0 * kGateAgreement, 0) << "%, "
+              << outliers.size() << " named outlier(s)\n";
+  }
+  return 0;
+}

@@ -54,6 +54,13 @@ for exe in "$build_dir"/bench/*; do
       args=(--benchmark_filter=PredictSingleCall --benchmark_min_time=0.01) ;;
     obs_overhead|engine_throughput)
       args=(--gate) ;;
+    backend_calibration)
+      # The analytic-vs-interval agreement gate: model arithmetic only, no
+      # wall-clock assertions, so it must pass on single-CPU runners.  The
+      # JSON artifact goes to the build dir — the checked-in
+      # BENCH_calibration.json is regenerated deliberately, not on every CI
+      # run.
+      args=(--gate "--out=$build_dir/BENCH_calibration.smoke.json") ;;
     *)
       args=() ;;
   esac
@@ -159,13 +166,17 @@ cmake -B "$build_dir-tsan" -S "$repo_root" "${generator[@]}" \
 # test_analysis rides along: its source-rule fixtures (S002 flag races,
 # S003 lock inversions) describe exactly the bugs TSan hunts, and the
 # self-scan keeps the baseline honest under a second compiler config.
+# test_sim exercises two concurrent memsim consumers (interval backend +
+# stall profiler), which only TSan can vouch for.
 cmake --build "$build_dir-tsan" -j \
-  --target test_engine test_obs test_serve test_net test_analysis
-echo "== TSan: test_engine + test_obs + test_serve + test_net + test_analysis"
+  --target test_engine test_obs test_serve test_net test_analysis test_sim
+echo "== TSan: test_engine + test_obs + test_serve + test_net" \
+  "+ test_analysis + test_sim"
 "$build_dir-tsan/tests/test_engine"
 "$build_dir-tsan/tests/test_obs"
 "$build_dir-tsan/tests/test_serve"
 "$build_dir-tsan/tests/test_net"
 "$build_dir-tsan/tests/test_analysis"
+"$build_dir-tsan/tests/test_sim"
 
 echo "== all gates green"

@@ -1,0 +1,53 @@
+#include "engine/backend.hpp"
+
+#include "obs/metrics.hpp"
+#include "sim/interval.hpp"
+
+namespace rvhpc::engine {
+namespace {
+
+void count_backend_request(Backend b) {
+  if (!obs::metrics_enabled()) return;
+  // Prometheus-style label embedded in the counter name: the registry is
+  // name-keyed, and the text renderer emits `name{label} value` verbatim.
+  static obs::Counter& analytic = obs::Registry::global().counter(
+      "rvhpc_engine_backend_requests_total{backend=\"analytic\"}",
+      "requests dispatched to the analytic ECM backend");
+  static obs::Counter& interval = obs::Registry::global().counter(
+      "rvhpc_engine_backend_requests_total{backend=\"interval\"}",
+      "requests dispatched to the interval-simulation backend");
+  (b == Backend::Interval ? interval : analytic).add();
+}
+
+class AnalyticBackend final : public PredictionBackend {
+ public:
+  [[nodiscard]] Backend id() const override { return Backend::Analytic; }
+  [[nodiscard]] model::Prediction predict(
+      const arch::MachineModel& m, const model::WorkloadSignature& sig,
+      const model::RunConfig& cfg) const override {
+    count_backend_request(Backend::Analytic);
+    return model::predict(m, sig, cfg);
+  }
+};
+
+class IntervalBackend final : public PredictionBackend {
+ public:
+  [[nodiscard]] Backend id() const override { return Backend::Interval; }
+  [[nodiscard]] model::Prediction predict(
+      const arch::MachineModel& m, const model::WorkloadSignature& sig,
+      const model::RunConfig& cfg) const override {
+    count_backend_request(Backend::Interval);
+    return sim::predict_interval(m, sig, cfg);
+  }
+};
+
+}  // namespace
+
+const PredictionBackend& backend_for(Backend b) {
+  static const AnalyticBackend analytic;
+  static const IntervalBackend interval;
+  if (b == Backend::Interval) return interval;
+  return analytic;
+}
+
+}  // namespace rvhpc::engine

@@ -1,0 +1,40 @@
+#pragma once
+// rvhpc::engine — prediction-backend dispatch.
+//
+// The engine no longer hard-codes the analytic model: every evaluation
+// goes through a PredictionBackend chosen per request (engine::Backend on
+// the PredictionRequest, "backend" on serve/net request lines).  Both
+// implementations are pure and deterministic, so the BatchEvaluator's
+// bit-identity and memoisation guarantees hold for either; the memo key
+// includes the backend, so results never cross mechanisms.
+//
+// Each dispatch bumps rvhpc_engine_backend_requests_total{backend="..."}
+// so metrics show which mechanism served the traffic.
+
+#include "arch/machine.hpp"
+#include "engine/request.hpp"
+#include "model/predictor.hpp"
+#include "model/workload.hpp"
+
+namespace rvhpc::engine {
+
+/// One prediction mechanism.  Implementations are stateless singletons;
+/// references from backend_for() are valid for the process lifetime.
+class PredictionBackend {
+ public:
+  virtual ~PredictionBackend() = default;
+
+  [[nodiscard]] virtual Backend id() const = 0;
+
+  /// Evaluates one point.  Must be pure (no shared mutable state) — the
+  /// BatchEvaluator calls this concurrently from its pool threads.
+  [[nodiscard]] virtual model::Prediction predict(
+      const arch::MachineModel& m, const model::WorkloadSignature& sig,
+      const model::RunConfig& cfg) const = 0;
+};
+
+/// The process-wide implementation of `b` (analytic -> model::predict,
+/// interval -> sim::predict_interval).
+[[nodiscard]] const PredictionBackend& backend_for(Backend b);
+
+}  // namespace rvhpc::engine

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <thread>
 
+#include "engine/backend.hpp"
 #include "engine/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -57,8 +58,8 @@ std::vector<PredictionResult> BatchEvaluator::evaluate(const RequestSet& set) {
           continue;
         }
       }
-      out.prediction =
-          model::predict(req.machine(), req.signature(), req.config());
+      out.prediction = backend_for(req.backend())
+                           .predict(req.machine(), req.signature(), req.config());
       if (use_cache) cache_.put(req.key(), out.prediction);
     }
   };
@@ -90,12 +91,13 @@ std::vector<PredictionResult> BatchEvaluator::evaluate(const RequestSet& set) {
 
 model::Prediction BatchEvaluator::evaluate_one(
     const arch::MachineModel& m, const model::WorkloadSignature& sig,
-    const model::RunConfig& cfg) {
-  if (obs::session() != nullptr) return model::predict(m, sig, cfg);
-  const PredictionRequest req(m, sig, cfg);
+    const model::RunConfig& cfg, Backend backend) {
+  const PredictionBackend& impl = backend_for(backend);
+  if (obs::session() != nullptr) return impl.predict(m, sig, cfg);
+  const PredictionRequest req(m, sig, cfg, "", backend);
   if (std::optional<model::Prediction> hit = cache_.get(req.key()))
     return *std::move(hit);
-  model::Prediction p = model::predict(m, sig, cfg);
+  model::Prediction p = impl.predict(m, sig, cfg);
   cache_.put(req.key(), p);
   return p;
 }

@@ -43,7 +43,7 @@ class BatchEvaluator {
   /// Single-point convenience sharing the same memo cache.
   [[nodiscard]] model::Prediction evaluate_one(
       const arch::MachineModel& m, const model::WorkloadSignature& sig,
-      const model::RunConfig& cfg);
+      const model::RunConfig& cfg, Backend backend = Backend::Analytic);
 
   [[nodiscard]] int jobs() const { return jobs_; }
   [[nodiscard]] PredictionCache& cache() { return cache_; }

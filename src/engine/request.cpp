@@ -1,12 +1,55 @@
 #include "engine/request.hpp"
 
 #include <bit>
+#include <stdexcept>
 #include <utility>
 
 #include "model/sweep.hpp"
 
 namespace rvhpc::engine {
 namespace {
+
+// --- stale-key guard -------------------------------------------------------
+// The memo key must cover every field of every struct it fingerprints; a
+// field added to arch/model but not to the hash_* functions below would
+// silently alias requests in the cache.  These asserts count aggregate
+// fields at compile time: growing any struct fails the build here until
+// the matching hash_* checklist (and the count) is updated.
+//
+// Deliberate exclusions, for the record: MachineModel::part (marketing
+// label, no model effect) and PredictionRequest's tag (a display label)
+// are the only fields the key skips on purpose.
+
+struct AnyField {
+  template <class T>
+  operator T() const;  // never defined: unevaluated contexts only
+};
+
+template <class T, class... Fields>
+constexpr std::size_t aggregate_field_count() {
+  if constexpr (requires { T{Fields{}..., AnyField{}}; }) {
+    return aggregate_field_count<T, Fields..., AnyField>();
+  } else {
+    return sizeof...(Fields);
+  }
+}
+
+static_assert(aggregate_field_count<arch::VectorUnit>() == 4,
+              "VectorUnit grew: update hash_vector_unit and this count");
+static_assert(aggregate_field_count<arch::CoreModel>() == 11,
+              "CoreModel grew: update hash_core and this count");
+static_assert(aggregate_field_count<arch::CacheLevel>() == 6,
+              "CacheLevel grew: update hash_machine's cache loop and this count");
+static_assert(aggregate_field_count<arch::MemorySubsystem>() == 11,
+              "MemorySubsystem grew: update hash_memory and this count");
+static_assert(aggregate_field_count<arch::MachineModel>() == 8,
+              "MachineModel grew: update hash_machine and this count");
+static_assert(aggregate_field_count<model::WorkloadSignature>() == 23,
+              "WorkloadSignature grew: update hash_signature and this count");
+static_assert(aggregate_field_count<model::CompilerConfig>() == 2,
+              "CompilerConfig grew: update request_key and this count");
+static_assert(aggregate_field_count<model::RunConfig>() == 3,
+              "RunConfig grew: update request_key and this count");
 
 // FNV-1a, 64-bit.  Fields are hashed at full bit precision (doubles via
 // bit_cast, never via text formatting) so two machines differing in the
@@ -113,7 +156,7 @@ void hash_signature(Fnv1a& h, const model::WorkloadSignature& s) {
 
 std::uint64_t request_key(const arch::MachineModel& m,
                           const model::WorkloadSignature& sig,
-                          const model::RunConfig& cfg) {
+                          const model::RunConfig& cfg, Backend backend) {
   Fnv1a h;
   hash_machine(h, m);
   hash_signature(h, sig);
@@ -121,10 +164,26 @@ std::uint64_t request_key(const arch::MachineModel& m,
   h.i(static_cast<int>(cfg.compiler.id));
   h.b(cfg.compiler.vectorise);
   h.i(static_cast<int>(cfg.placement));
+  h.i(static_cast<int>(backend));
   return h.h;
 }
 
 }  // namespace
+
+std::string to_string(Backend b) {
+  switch (b) {
+    case Backend::Analytic: return "analytic";
+    case Backend::Interval: return "interval";
+  }
+  return "unknown";
+}
+
+Backend parse_backend(const std::string& name) {
+  if (name == "analytic") return Backend::Analytic;
+  if (name == "interval") return Backend::Interval;
+  throw std::invalid_argument("unknown backend '" + name +
+                              "' (expected \"analytic\" or \"interval\")");
+}
 
 std::uint64_t machine_fingerprint(const arch::MachineModel& m) {
   Fnv1a h;
@@ -134,12 +193,14 @@ std::uint64_t machine_fingerprint(const arch::MachineModel& m) {
 
 PredictionRequest::PredictionRequest(arch::MachineModel machine,
                                      model::WorkloadSignature sig,
-                                     model::RunConfig cfg, std::string tag)
+                                     model::RunConfig cfg, std::string tag,
+                                     Backend backend)
     : machine_(std::move(machine)),
       signature_(std::move(sig)),
       config_(cfg),
       tag_(std::move(tag)),
-      key_(request_key(machine_, signature_, config_)) {}
+      backend_(backend),
+      key_(request_key(machine_, signature_, config_, backend_)) {}
 
 void RequestSet::add(arch::MachineModel machine, model::WorkloadSignature sig,
                      model::RunConfig cfg, std::string tag) {

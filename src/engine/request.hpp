@@ -24,6 +24,22 @@
 
 namespace rvhpc::engine {
 
+/// Which prediction mechanism evaluates a request.  Folded into the memo
+/// key, so a cached analytic result can never answer an interval request
+/// (and vice versa) — the two backends are deliberately different models
+/// of the same machine.
+enum class Backend : std::uint8_t {
+  Analytic,  ///< closed-form ECM model (model::predict)
+  Interval,  ///< interval core simulation over memsim (sim::predict_interval)
+};
+
+/// "analytic" / "interval".
+[[nodiscard]] std::string to_string(Backend b);
+
+/// Inverse of to_string(Backend); throws std::invalid_argument naming the
+/// valid backends on anything else (serve turns that into a parse error).
+[[nodiscard]] Backend parse_backend(const std::string& name);
+
 /// 64-bit FNV-1a fingerprint of a machine description.  Hashes every
 /// MachineModel field (serialize.cpp's to_text() is the field checklist;
 /// keep the two in sync when the model grows a knob) at full double
@@ -35,7 +51,8 @@ namespace rvhpc::engine {
 class PredictionRequest {
  public:
   PredictionRequest(arch::MachineModel machine, model::WorkloadSignature sig,
-                    model::RunConfig cfg, std::string tag = "");
+                    model::RunConfig cfg, std::string tag = "",
+                    Backend backend = Backend::Analytic);
 
   [[nodiscard]] const arch::MachineModel& machine() const { return machine_; }
   [[nodiscard]] const model::WorkloadSignature& signature() const {
@@ -44,7 +61,11 @@ class PredictionRequest {
   [[nodiscard]] const model::RunConfig& config() const { return config_; }
   /// Caller-chosen label carried through to the result (row/series key).
   [[nodiscard]] const std::string& tag() const { return tag_; }
-  /// Memoisation key over (machine, signature, cores, compiler, placement).
+  /// The mechanism that will evaluate this request.
+  [[nodiscard]] Backend backend() const { return backend_; }
+  /// Memoisation key over (machine, signature, cores, compiler, placement,
+  /// backend) — request.cpp static-asserts the field checklists so a new
+  /// field cannot silently stay out of the key.
   [[nodiscard]] std::uint64_t key() const { return key_; }
 
  private:
@@ -52,6 +73,7 @@ class PredictionRequest {
   model::WorkloadSignature signature_;
   model::RunConfig config_;
   std::string tag_;
+  Backend backend_;
   std::uint64_t key_;
 };
 

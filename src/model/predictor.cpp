@@ -33,6 +33,7 @@ obs::PredictionRecord base_record(const arch::MachineModel& m,
                                   const WorkloadSignature& sig,
                                   const RunConfig& cfg) {
   obs::PredictionRecord r;
+  r.backend = "analytic";
   r.machine = m.name;
   r.kernel = to_string(sig.kernel);
   r.problem_class = to_string(sig.problem_class);
@@ -250,6 +251,7 @@ Prediction predict(const arch::MachineModel& m, const WorkloadSignature& sig,
     s->add_prediction(std::move(r));
   }
   if (span.active()) {
+    span.arg("backend", "analytic");
     span.arg("machine", m.name);
     span.arg("kernel", to_string(sig.kernel));
     span.arg("cores", std::to_string(cfg.cores));

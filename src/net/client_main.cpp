@@ -11,6 +11,12 @@
 //
 //   rvhpc-client --connect=127.0.0.1:8437 --in=requests.jsonl --out=out.jsonl
 //
+// Request lines are the serve protocol verbatim (serve/service.hpp), so
+// per-request backend selection works over TCP unchanged:
+//
+//   echo '{"id":"r1","machine":"sg2044","kernel":"MG","cores":64,
+//          "backend":"interval"}' | rvhpc-client --connect=127.0.0.1:8437
+//
 // Exit status: 0 when every non-blank request line got a response line,
 // 1 when the connection failed or the server closed early (e.g. the
 // client was disconnected for oversized lines), 2 on usage errors.

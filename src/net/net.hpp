@@ -6,7 +6,8 @@
 // the persistent prediction cache becomes a shared resource — many
 // concurrent clients, one resident cache, one process paying each
 // predict() once.  The protocol is unchanged: line-delimited JSON requests
-// in, one JSON response line per request out, every line routed through
+// in (including per-request "backend" selection — serve/service.hpp is
+// the schema), one JSON response line per request out, every line routed through
 // serve::Service::handle_line so admission lint, deadlines, structured
 // errors and stats behave identically over TCP and stdio.
 //

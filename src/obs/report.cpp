@@ -70,8 +70,11 @@ std::string chrome_trace_json(const TraceSession& s) {
        << json::escape(p.kernel) << "." << json::escape(p.problem_class)
        << "@" << p.cores << "\", \"cat\": \"model\", \"ph\": \"i\", "
        << "\"s\": \"p\", \"ts\": " << json::number(p.ts_us)
-       << ", \"pid\": 1, \"tid\": " << p.tid << ", \"args\": {"
-       << "\"machine\": \"" << json::escape(p.machine) << "\", "
+       << ", \"pid\": 1, \"tid\": " << p.tid << ", \"args\": {";
+    if (!p.backend.empty()) {
+      os << "\"backend\": \"" << json::escape(p.backend) << "\", ";
+    }
+    os << "\"machine\": \"" << json::escape(p.machine) << "\", "
        << "\"kernel\": \"" << json::escape(p.kernel) << "\", "
        << "\"class\": \"" << json::escape(p.problem_class) << "\", "
        << "\"cores\": " << p.cores << ", "
@@ -121,7 +124,9 @@ std::string attribution_report(const TraceSession& s) {
   for (const PredictionRecord& p : predictions) {
     os << "\n" << p.machine << " / " << p.kernel << " class "
        << p.problem_class << " @ " << p.cores << " core"
-       << (p.cores == 1 ? "" : "s") << "\n";
+       << (p.cores == 1 ? "" : "s");
+    if (!p.backend.empty()) os << "  [" << p.backend << " backend]";
+    os << "\n";
     if (!p.ran) {
       os << "  did not run: " << p.dnr_reason << "\n";
       continue;

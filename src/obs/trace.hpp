@@ -55,6 +55,9 @@ struct Phase {
 /// The attribution payload one predict() call emits: where the modelled
 /// time went and which resource the model says saturated.
 struct PredictionRecord {
+  /// Mechanism that produced this record: "analytic" (model::predict) or
+  /// "interval" (sim); empty only for records from pre-backend emitters.
+  std::string backend;
   std::string machine;
   std::string kernel;
   std::string problem_class;

@@ -15,6 +15,7 @@
 #include "arch/registry.hpp"
 #include "arch/serialize.hpp"
 #include "arch/validate.hpp"
+#include "engine/backend.hpp"
 #include "engine/request.hpp"
 #include "engine/thread_pool.hpp"
 #include "model/predictor.hpp"
@@ -128,6 +129,7 @@ struct Service::Parsed {
   arch::MachineModel machine;
   model::WorkloadSignature sig;
   model::RunConfig cfg;
+  engine::Backend backend = engine::Backend::Analytic;
   double timeout_ms = 0.0;
   std::uint64_t key = 0;
 };
@@ -229,6 +231,14 @@ Service::Parsed parse_request(const std::string& line, bool lint_admission,
     }
     req.cfg.placement = model::parse_placement(p->str);
   }
+  if (const auto* b = member(doc, "backend")) {
+    if (!b->is(obs::json::Value::Type::String)) {
+      throw std::invalid_argument("'backend' must be a string");
+    }
+    // parse_backend throws invalid_argument naming the valid backends;
+    // handle_line turns that into a structured "parse" error.
+    req.backend = engine::parse_backend(b->str);
+  }
   req.timeout_ms = default_timeout_ms;
   if (const auto* t = member(doc, "timeout_ms")) {
     if (!t->is(obs::json::Value::Type::Number) || t->num < 0) {
@@ -237,7 +247,9 @@ Service::Parsed parse_request(const std::string& line, bool lint_admission,
     req.timeout_ms = t->num;
   }
 
-  req.key = engine::PredictionRequest(req.machine, req.sig, req.cfg).key();
+  req.key = engine::PredictionRequest(req.machine, req.sig, req.cfg, "",
+                                      req.backend)
+                .key();
   return req;
 }
 
@@ -324,11 +336,13 @@ std::string Service::respond(const Parsed& req, double arrival_us) {
   }
   // rvhpc: hot-path end
   if (!hit) {
-    p = model::predict(req.machine, req.sig, req.cfg);
+    p = engine::backend_for(req.backend)
+            .predict(req.machine, req.sig, req.cfg);
     cache_.put(req.key, p);
   }
   if (span.active()) {
     span.arg("id", req.id);
+    span.arg("backend", engine::to_string(req.backend));
     span.arg("machine", req.machine.name);
     span.arg("kernel", to_string(req.sig.kernel));
     span.arg("cache", hit ? "hit" : "miss");
@@ -349,7 +363,8 @@ std::string Service::respond(const Parsed& req, double arrival_us) {
   if (!p.ran) {
     os << ", \"dnr_reason\": \"" << obs::json::escape(p.dnr_reason) << "\"";
   }
-  os << ", \"machine\": \"" << obs::json::escape(req.machine.name)
+  os << ", \"backend\": \"" << obs::json::escape(engine::to_string(req.backend))
+     << "\", \"machine\": \"" << obs::json::escape(req.machine.name)
      << "\", \"kernel\": \"" << obs::json::escape(to_string(req.sig.kernel))
      << "\", \"class\": \""
      << obs::json::escape(to_string(req.sig.problem_class))

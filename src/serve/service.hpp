@@ -20,14 +20,20 @@
 //                   paper's compiler for the machine
 //   "vectorise"     bool; default: the paper setup for (machine, kernel)
 //   "placement"     "os-default" | "spread" | "close"
+//   "backend"       "analytic" (default) | "interval": which prediction
+//                   mechanism evaluates the request (DESIGN.md §12).  The
+//                   backend is part of the memo key, so cached analytic
+//                   results never answer interval requests; unknown
+//                   values are a structured `parse` error.
 //   "timeout_ms"    per-request deadline; a request still queued when it
 //                   expires answers {"status":"error","error":"timeout"}
 //   "tag"           opaque label echoed in the response
 //
 // Response schema:
-//   {"id": "r1", "status": "ok", "ran": true, "seconds": ..., "mops": ...,
-//    "bw_gbs": ..., "bottleneck": "...", "vectorised": ..., "cores": N,
-//    "cache": "hit"|"miss", "latency_us": ...}
+//   {"id": "r1", "status": "ok", "ran": true, "backend": "analytic",
+//    "seconds": ..., "mops": ..., "bw_gbs": ..., "bottleneck": "...",
+//    "vectorised": ..., "cores": N, "cache": "hit"|"miss",
+//    "latency_us": ...}
 //   {"id": "r1", "status": "error", "error": "parse"|"lint"|"timeout"|
 //    "overloaded", "message": "...", "detail": ["..."]}
 // "cache" and "latency_us" are live-mode fields: replay omits them so a

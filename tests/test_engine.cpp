@@ -104,6 +104,28 @@ TEST(PredictionRequest, KeyCoversCoresAndCompiler) {
   model::RunConfig scalar = cfg;
   scalar.compiler.vectorise = !scalar.compiler.vectorise;
   EXPECT_NE(engine::PredictionRequest(m, sig, scalar).key(), a.key());
+
+  // Every remaining RunConfig field feeds the key too (request.cpp's
+  // static_asserts pin the field counts; this pins the semantics).
+  model::RunConfig other_compiler = cfg;
+  other_compiler.compiler.id = cfg.compiler.id == model::CompilerId::Gcc15_2
+                                   ? model::CompilerId::Gcc12_3_1
+                                   : model::CompilerId::Gcc15_2;
+  EXPECT_NE(engine::PredictionRequest(m, sig, other_compiler).key(), a.key());
+
+  model::RunConfig placed = cfg;
+  placed.placement = model::ThreadPlacement::Spread;
+  EXPECT_NE(engine::PredictionRequest(m, sig, placed).key(), a.key());
+
+  // The backend is part of the key: an analytic result may never answer
+  // an interval request from the cache.
+  const engine::PredictionRequest interval(m, sig, cfg, "",
+                                           engine::Backend::Interval);
+  EXPECT_NE(interval.key(), a.key());
+  EXPECT_EQ(interval.key(),
+            engine::PredictionRequest(m, sig, cfg, "other-tag",
+                                      engine::Backend::Interval)
+                .key());  // the tag is a display label, not an input
 }
 
 TEST(RequestSet, ScalingHelperTagsAndOrder) {
@@ -169,6 +191,29 @@ TEST(BatchEvaluator, CacheCountersPublishedThroughObsMetrics) {
 
   EXPECT_EQ(misses.value() - m0, set.size());
   EXPECT_EQ(hits.value() - h0, set.size());
+}
+
+TEST(BatchEvaluator, BackendRequestCountersPublishedThroughObsMetrics) {
+  obs::Registry::global().reset();
+  obs::set_metrics_enabled(true);
+  auto& analytic = obs::Registry::global().counter(
+      "rvhpc_engine_backend_requests_total{backend=\"analytic\"}");
+  auto& interval = obs::Registry::global().counter(
+      "rvhpc_engine_backend_requests_total{backend=\"interval\"}");
+  const auto a0 = analytic.value();
+  const auto i0 = interval.value();
+
+  const arch::MachineModel& m = arch::machine(arch::MachineId::Sg2044);
+  const auto sig = model::signature(model::Kernel::MG, model::ProblemClass::C);
+  const auto cfg = model::paper_run_config(m, model::Kernel::MG, 8);
+  auto ev = make(1, 0);  // cache off: every call reaches the backend
+  (void)ev.evaluate_one(m, sig, cfg);
+  (void)ev.evaluate_one(m, sig, cfg, engine::Backend::Interval);
+  (void)ev.evaluate_one(m, sig, cfg, engine::Backend::Interval);
+  obs::set_metrics_enabled(false);
+
+  EXPECT_EQ(analytic.value() - a0, 1u);
+  EXPECT_EQ(interval.value() - i0, 2u);
 }
 
 TEST(BatchEvaluator, ActiveTraceSessionBypassesCache) {

@@ -18,6 +18,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -235,6 +236,39 @@ TEST(NetServer, FourConcurrentClientsGetTheirOwnResponses) {
   EXPECT_EQ(stats.answered, static_cast<std::uint64_t>(kClients * kRequests));
   EXPECT_EQ(s.service.stats().received,
             static_cast<std::uint64_t>(kClients * kRequests));
+}
+
+TEST(NetServer, IntervalBackendOverTcpIsDistinctAndSeparatelyCached) {
+  // The ISSUE 7 acceptance path: a client sending backend=interval over
+  // TCP must get the interval mechanism's answer, keyed separately from
+  // the analytic twin it just warmed the shared cache with.
+  LoopbackServer s;
+  Client cl(s.server.port());
+  ASSERT_TRUE(cl.connected());
+
+  const std::string point =
+      R"("machine": "sg2044", "kernel": "CG", "class": "C", "cores": 64)";
+  ASSERT_TRUE(cl.send_all("{\"id\": \"a\", " + point + "}\n"));
+  const obs::json::Value analytic = obs::json::parse(cl.recv_line());
+  ASSERT_TRUE(cl.send_all("{\"id\": \"i\", " + point +
+                          ", \"backend\": \"interval\"}\n"));
+  const obs::json::Value interval = obs::json::parse(cl.recv_line());
+  ASSERT_TRUE(cl.send_all("{\"id\": \"w\", " + point +
+                          ", \"backend\": \"interval\"}\n"));
+  const obs::json::Value warm = obs::json::parse(cl.recv_line());
+
+  EXPECT_EQ(analytic.find("status")->str, "ok");
+  EXPECT_EQ(analytic.find("backend")->str, "analytic");
+  EXPECT_EQ(interval.find("backend")->str, "interval");
+  // Same point, different mechanism, different prediction — and the warm
+  // analytic cache entry must NOT have answered the interval request.
+  EXPECT_EQ(interval.find("cache")->str, "miss");
+  EXPECT_NE(analytic.find("seconds")->num, interval.find("seconds")->num);
+  // The repeat hits the interval entry, bit-identically.
+  EXPECT_EQ(warm.find("cache")->str, "hit");
+  EXPECT_EQ(warm.find("backend")->str, "interval");
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(warm.find("seconds")->num),
+            std::bit_cast<std::uint64_t>(interval.find("seconds")->num));
 }
 
 TEST(NetServer, PipelinedClientDrainsOnHalfClose) {

@@ -285,6 +285,43 @@ TEST(Service, SecondIdenticalRequestHitsTheCache) {
   EXPECT_EQ(svc.stats().cache_hits, 1u);
 }
 
+TEST(Service, BackendSelectsTheMechanismAndKeysTheCacheSeparately) {
+  serve::Service svc(no_persist());
+  const auto analytic = parsed(svc.handle_line(
+      R"({"id": "a", "machine": "sg2044", "kernel": "CG", "class": "C", "cores": 64})"));
+  const auto interval = parsed(svc.handle_line(
+      R"({"id": "i", "machine": "sg2044", "kernel": "CG", "class": "C", "cores": 64, "backend": "interval"})"));
+
+  EXPECT_EQ(analytic.find("backend")->str, "analytic");
+  EXPECT_EQ(interval.find("backend")->str, "interval");
+  // Same point, different mechanism: the interval request must be a cache
+  // MISS even though the analytic twin was just evaluated — the backend is
+  // part of the memo key.
+  EXPECT_EQ(analytic.find("cache")->str, "miss");
+  EXPECT_EQ(interval.find("cache")->str, "miss");
+  EXPECT_NE(analytic.find("seconds")->num, interval.find("seconds")->num);
+
+  // A warm interval repeat hits its own entry and serves the interval
+  // result, never the analytic one.
+  const auto warm = parsed(svc.handle_line(
+      R"({"id": "w", "machine": "sg2044", "kernel": "CG", "class": "C", "cores": 64, "backend": "interval"})"));
+  EXPECT_EQ(warm.find("cache")->str, "hit");
+  EXPECT_EQ(warm.find("backend")->str, "interval");
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(warm.find("seconds")->num),
+            std::bit_cast<std::uint64_t>(interval.find("seconds")->num));
+  EXPECT_EQ(svc.stats().cache_hits, 1u);
+}
+
+TEST(Service, UnknownBackendIsAStructuredParseError) {
+  serve::Service svc(no_persist());
+  const auto v = parsed(svc.handle_line(
+      R"({"id": "q", "machine": "sg2044", "kernel": "CG", "backend": "quantum"})"));
+  EXPECT_EQ(v.find("status")->str, "error");
+  EXPECT_EQ(v.find("error")->str, "parse");
+  EXPECT_NE(v.find("message")->str.find("quantum"), std::string::npos);
+  EXPECT_EQ(svc.stats().parse_errors, 1u);
+}
+
 TEST(Service, MalformedJsonGetsAStructuredParseError) {
   serve::Service svc(no_persist());
   const auto v = parsed(svc.handle_line("{\"id\": \"x\", "));
@@ -400,10 +437,11 @@ TEST(ServiceReplay, FixtureProducesExpectedMix) {
   const std::string summary = svc.replay(kFixture, out, log);
 
   const serve::ServiceStats s = svc.stats();
-  EXPECT_EQ(s.received, 20u);
-  EXPECT_EQ(s.ok, 17u);
+  EXPECT_EQ(s.received, 24u);
+  EXPECT_EQ(s.ok, 20u);
   EXPECT_EQ(s.dnr, 1u) << "class C FT cannot fit the Allwinner D1's 1 GiB";
-  EXPECT_EQ(s.parse_errors, 2u);
+  EXPECT_EQ(s.parse_errors, 3u) << "r18 truncated, r19 unknown kernel, "
+                                   "r24 backend=quantum";
   EXPECT_EQ(s.lint_rejected, 1u);
   EXPECT_EQ(s.timeouts, 0u);
   EXPECT_NE(summary.find("cache-hit-rate:"), std::string::npos);
@@ -436,7 +474,10 @@ TEST(ServiceReplay, WarmRunIsBitIdenticalAndFullyCached) {
     (void)svc.replay(kFixture, out, log);
     warm = out.str();
     const serve::ServiceStats s = svc.stats();
-    EXPECT_EQ(s.restored, 16u) << "17 ok responses over 16 distinct keys";
+    EXPECT_EQ(s.restored, 18u)
+        << "20 ok responses over 18 distinct keys: r17 repeats r01, r23 is "
+           "r01 with backend=analytic spelled out, and r21's interval twin "
+           "of r01 keys separately";
     EXPECT_EQ(s.cache_hits, s.ok) << "a warm replay never re-predicts";
   }
   EXPECT_EQ(cold, warm);
@@ -453,7 +494,7 @@ TEST(ServiceReplay, CorruptCacheFileIsAColdStartNotACrash) {
   EXPECT_EQ(svc.start(log), 0u);
   EXPECT_NE(log.str().find("WARNING"), std::string::npos);
   (void)svc.replay(kFixture, out, log);
-  EXPECT_EQ(svc.stats().ok, 17u) << "service must serve normally after "
+  EXPECT_EQ(svc.stats().ok, 20u) << "service must serve normally after "
                                     "ignoring a corrupt cache file";
 }
 
