@@ -12,8 +12,9 @@
 # plus the S-family), replays the checked-in serve fixture cold
 # and warm through rvhpc-serve (bit-identical outputs, >= 90% warm cache
 # hits) plus the rvhpc-serve --gate, serves the same fixture over loopback
-# TCP to two concurrent rvhpc-clients (merged responses byte-identical to
-# the stdio replay, graceful SIGTERM drain), then re-runs the threaded
+# TCP with --shards=2 to two concurrent rvhpc-clients (merged responses
+# byte-identical to the stdio replay, graceful SIGTERM drain), then
+# re-runs the threaded
 # tests under TSan to catch data races in the thread pool and the net
 # event loop.  Exits non-zero on the first failure.
 #
@@ -61,6 +62,12 @@ for exe in "$build_dir"/bench/*; do
       # BENCH_calibration.json is regenerated deliberately, not on every CI
       # run.
       args=(--gate "--out=$build_dir/BENCH_calibration.smoke.json") ;;
+    serve_throughput)
+      # Front-end ordering gate (always enforced); the 1.5x speedup bar
+      # self-skips on sanitized builds and < 4 hardware threads, like
+      # engine_throughput.  The checked-in BENCH_serve.json is regenerated
+      # deliberately, not on every CI run.
+      args=(--gate "--out=$build_dir/BENCH_serve.smoke.json") ;;
     *)
       args=() ;;
   esac
@@ -116,15 +123,19 @@ echo "== rvhpc-serve --gate"
 (cd "$serve_tmp" && "$serve" --gate)
 
 echo "== rvhpc-serve --listen=tcp: concurrent clients match the stdio replay"
-# The transport gate: serve the fixture over loopback TCP to two clients
-# running at once, SIGTERM the server, and require (a) the merged per-id
-# responses byte-identical to the stdio replay output and (b) a graceful
-# drain.  Two clients interleave on one event loop regardless of core
-# count, so this passes on single-CPU runners — no wall-clock assertions.
+# The transport gate: serve the fixture over loopback TCP — on two event
+# loop shards — to two clients running at once, SIGTERM the server, and
+# require (a) the merged per-id responses byte-identical to the stdio
+# replay output and (b) a graceful drain.  The fixture's requests carry
+# ids, so responses may legally complete out of order across the two
+# shards — the sort before cmp keeps the comparison order-insensitive,
+# and each client exits non-zero unless every id it sent came back.  Two
+# clients interleave regardless of core count, so this passes on
+# single-CPU runners — no wall-clock assertions.
 client="$build_dir/src/net/rvhpc-client"
 awk 'NR % 2 == 1' "$fixture" > "$serve_tmp/half_a.jsonl"
 awk 'NR % 2 == 0' "$fixture" > "$serve_tmp/half_b.jsonl"
-"$serve" --listen=tcp:0 --no-live-fields \
+"$serve" --listen=tcp:0 --shards=2 --no-live-fields \
   --cache-file="$serve_tmp/tcp.cache" 2> "$serve_tmp/net.log" &
 serve_pid=$!
 port=""

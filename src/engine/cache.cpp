@@ -42,6 +42,12 @@ std::optional<model::Prediction> PredictionCache::get(std::uint64_t key) {
 }
 // rvhpc: hot-path end
 
+bool PredictionCache::contains(std::uint64_t key) const {
+  if (capacity_ == 0) return false;
+  std::lock_guard lock(mu_);
+  return index_.count(key) > 0;
+}
+
 void PredictionCache::put(std::uint64_t key, const model::Prediction& p) {
   if (capacity_ == 0) return;
   std::lock_guard lock(mu_);

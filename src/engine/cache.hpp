@@ -41,6 +41,12 @@ class PredictionCache {
   /// The cached prediction for `key`, refreshing its LRU position.
   [[nodiscard]] std::optional<model::Prediction> get(std::uint64_t key);
 
+  /// Whether `key` is resident, with no side effects: no LRU refresh, no
+  /// hit/miss accounting.  The serving front end probes this at dispatch
+  /// time to complete warm requests inline instead of paying a pool
+  /// handoff; the authoritative lookup is still the later get().
+  [[nodiscard]] bool contains(std::uint64_t key) const;
+
   /// Inserts (or refreshes) `key`; evicts the least-recently-used entry
   /// when full.
   void put(std::uint64_t key, const model::Prediction& p);

@@ -12,8 +12,12 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace rvhpc::engine {
@@ -34,6 +38,24 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   void submit(std::function<void()> task);
+
+  /// Submits a task whose result (or exception) is delivered through the
+  /// returned future instead of wait() — the dispatch path the async
+  /// serving front end completes requests on.  Unlike submit(), an
+  /// exception thrown by the task is owned by the future (rethrown from
+  /// get()), never by wait(): a caller holding the future is the one
+  /// waiting for this task, so wait()'s batch error channel stays
+  /// reserved for fire-and-forget work.
+  template <typename F>
+  auto submit_future(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    // shared_ptr because std::function requires copyable callables and
+    // std::packaged_task is move-only.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    submit([task] { (*task)(); });
+    return result;
+  }
 
   /// Blocks until every submitted task has finished, then rethrows the
   /// first exception any task raised (if one did).

@@ -17,9 +17,18 @@
 //   echo '{"id":"r1","machine":"sg2044","kernel":"MG","cores":64,
 //          "backend":"interval"}' | rvhpc-client --connect=127.0.0.1:8437
 //
-// Exit status: 0 when every non-blank request line got a response line,
-// 1 when the connection failed or the server closed early (e.g. the
-// client was disconnected for oversized lines), 2 on usage errors.
+// The sharded server completes id-carrying requests out of order
+// (DESIGN.md §13), so the client matches responses by "id" rather than by
+// position: every id sent must come back (echoed in its response) for the
+// run to count as fully answered.  Requests without an id keep the
+// in-order contract and are matched by count.  --tag-ids injects
+// "id": "auto-N" into id-less request lines so even anonymous request
+// logs get exact matching.
+//
+// Exit status: 0 when every non-blank request line got a response line
+// and every id sent was echoed back, 1 when the connection failed or the
+// server closed early (e.g. the client was disconnected for oversized
+// lines), 2 on usage errors.
 
 #include <arpa/inet.h>
 #include <fcntl.h>
@@ -32,10 +41,12 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 
 #include "cli/cli.hpp"
+#include "obs/json.hpp"
 
 using namespace rvhpc;
 
@@ -46,13 +57,18 @@ const cli::ToolInfo kTool{
     "send prediction requests to a rvhpc-serve TCP listener",
     "usage: rvhpc-client --connect=HOST:PORT [--in=<requests.jsonl>]\n"
     "                    [--out=<responses.jsonl>] [--timeout-ms=T]\n"
+    "                    [--tag-ids]\n"
     "\n"
     "  --connect=HOST:PORT   the rvhpc-serve --listen=tcp listener\n"
     "                        (rvhpc-serve logs \"listening on 127.0.0.1:P\")\n"
     "  --in=FILE             request lines to send (default: stdin)\n"
     "  --out=FILE            write response lines there (default: stdout)\n"
     "  --timeout-ms=T        fail if the socket makes no progress for T ms\n"
-    "                        (default 10000; 0 waits forever)"};
+    "                        (default 10000; 0 waits forever)\n"
+    "  --tag-ids             inject \"id\": \"auto-N\" into request lines\n"
+    "                        that carry no id, so responses (which the\n"
+    "                        sharded server may deliver out of order) match\n"
+    "                        exactly instead of by count"};
 
 int usage_error(const std::string& message) {
   std::cerr << "rvhpc-client: " << message << "\n\n" << kTool.usage << "\n";
@@ -64,14 +80,66 @@ int fail(const std::string& message) {
   return 1;
 }
 
-std::size_t count_nonblank_lines(const std::string& text) {
-  std::istringstream in(text);
-  std::string line;
-  std::size_t n = 0;
-  while (std::getline(in, line)) {
-    if (line.find_first_not_of(" \t\r") != std::string::npos) ++n;
+/// What one protocol line says about itself: whether it parsed as a JSON
+/// object, and its "id" member ("" when absent or not a string).  Used on
+/// request lines (to decide tagging) and response lines (to match).
+struct LineInfo {
+  bool object = false;
+  std::string id;
+};
+
+LineInfo inspect(const std::string& line) {
+  LineInfo info;
+  try {
+    const obs::json::Value doc = obs::json::parse(line);
+    info.object = doc.is(obs::json::Value::Type::Object);
+    if (const obs::json::Value* id = doc.find("id");
+        id && id->is(obs::json::Value::Type::String)) {
+      info.id = id->str;
+    }
+  } catch (const std::exception&) {
   }
-  return n;
+  return info;
+}
+
+/// The request stream as it goes on the wire, plus the matching ledger:
+/// how many non-blank lines were sent and how many responses each id is
+/// owed (ids may repeat).
+struct RequestPlan {
+  std::string wire;
+  std::size_t sent = 0;
+  std::map<std::string, std::size_t> expected;
+};
+
+RequestPlan plan_requests(const std::string& raw, bool tag_ids) {
+  RequestPlan plan;
+  plan.wire.reserve(raw.size());
+  std::istringstream in(raw);
+  std::string line;
+  std::size_t next_tag = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.find_first_not_of(" \t") == std::string::npos) {
+      plan.wire += line;
+      plan.wire += '\n';
+      continue;
+    }
+    ++plan.sent;
+    const LineInfo info = inspect(line);
+    std::string id = info.id;
+    if (id.empty() && tag_ids && info.object) {
+      // Tag id-less requests so their responses match exactly; lines that
+      // do not even parse go out untouched (the server answers them with
+      // a structured parse error, matched by count).
+      const std::size_t brace = line.find('{');
+      id = "auto-" + std::to_string(next_tag++);
+      line.insert(brace + 1, "\"id\": \"" + id + "\", ");
+    }
+    if (!id.empty()) ++plan.expected[id];
+    plan.wire += line;
+    plan.wire += '\n';
+  }
+  return plan;
 }
 
 }  // namespace
@@ -83,6 +151,7 @@ int main(int argc, char** argv) {
   int port = -1;
   std::string in_path, out_path;
   double timeout_ms = 10000.0;
+  bool tag_ids = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--connect=", 0) == 0) {
@@ -110,6 +179,8 @@ int main(int argc, char** argv) {
         return usage_error("bad --timeout-ms value '" + arg + "'");
       }
       if (timeout_ms < 0) return usage_error("--timeout-ms must be >= 0");
+    } else if (arg == "--tag-ids") {
+      tag_ids = true;
     } else {
       return usage_error("unknown argument '" + arg + "'");
     }
@@ -131,7 +202,9 @@ int main(int argc, char** argv) {
     requests = buf.str();
   }
   if (!requests.empty() && requests.back() != '\n') requests += '\n';
-  const std::size_t sent_requests = count_nonblank_lines(requests);
+  RequestPlan plan = plan_requests(requests, tag_ids);
+  requests = std::move(plan.wire);
+  const std::size_t sent_requests = plan.sent;
 
   std::ofstream out_file;
   if (!out_path.empty()) {
@@ -165,6 +238,22 @@ int main(int argc, char** argv) {
 
   std::size_t sent_bytes = 0;
   std::size_t responses = 0;
+  std::size_t matched = 0;
+  std::string inbuf;
+  // Responses are matched by id, not by position: the sharded server
+  // delivers id-carrying responses out of order, and every id sent must
+  // come back for the run to count as fully answered.
+  std::map<std::string, std::size_t>& owed = plan.expected;
+  const auto consume_response = [&](const std::string& rline) {
+    out << rline << '\n';
+    ++responses;
+    const std::string id = inspect(rline).id;
+    if (id.empty()) return;
+    if (const auto it = owed.find(id); it != owed.end() && it->second > 0) {
+      if (--it->second == 0) owed.erase(it);
+      ++matched;
+    }
+  };
   bool eof = false;
   bool half_closed = false;
   int idle_polls = 0;
@@ -206,9 +295,12 @@ int main(int argc, char** argv) {
     while (true) {
       const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
       if (n > 0) {
-        out.write(chunk, static_cast<std::streamsize>(n));
-        for (ssize_t i = 0; i < n; ++i) {
-          if (chunk[i] == '\n') ++responses;
+        inbuf.append(chunk, static_cast<std::size_t>(n));
+        std::size_t nl;
+        while ((nl = inbuf.find('\n')) != std::string::npos) {
+          const std::string rline = inbuf.substr(0, nl);
+          inbuf.erase(0, nl + 1);
+          consume_response(rline);
         }
         progressed = true;
       } else if (n == 0) {
@@ -233,9 +325,25 @@ int main(int argc, char** argv) {
     }
   }
   ::close(fd);
+  if (!inbuf.empty()) out << inbuf;  // truncated trailing line, verbatim
   out.flush();
 
+  std::size_t missing = 0;
+  for (const auto& [id, n] : owed) missing += n;
   std::cerr << "rvhpc-client: sent " << sent_requests << " request(s), "
-            << "received " << responses << " response line(s)\n";
-  return responses == sent_requests ? 0 : 1;
+            << "received " << responses << " response line(s), matched "
+            << matched << " id(s)\n";
+  if (missing > 0) {
+    std::cerr << "rvhpc-client: " << missing << " id(s) never answered:";
+    std::size_t shown = 0;
+    for (const auto& [id, n] : owed) {
+      if (shown++ == 8) {
+        std::cerr << " ...";
+        break;
+      }
+      std::cerr << " " << id << (n > 1 ? "(x" + std::to_string(n) + ")" : "");
+    }
+    std::cerr << "\n";
+  }
+  return responses == sent_requests && missing == 0 ? 0 : 1;
 }

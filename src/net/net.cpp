@@ -10,10 +10,16 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <deque>
+#include <future>
 #include <ostream>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 
+#include "engine/thread_pool.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "serve/service.hpp"
@@ -34,11 +40,18 @@ void set_nonblocking(int fd) {
   if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
-/// A transport-level farewell in the service's error-response shape, so a
-/// client can parse every line it ever receives the same way.
-std::string error_line(const char* kind, const std::string& message) {
+/// A transport-level error in the service's error-response shape (no
+/// trailing newline), so a client can parse every line it ever receives
+/// the same way.
+std::string error_body(const char* kind, const std::string& message) {
   return std::string("{\"id\": \"\", \"status\": \"error\", \"error\": \"") +
-         kind + "\", \"message\": \"" + obs::json::escape(message) + "\"}\n";
+         kind + "\", \"message\": \"" + obs::json::escape(message) + "\"}";
+}
+
+/// The newline-terminated farewell variant (written straight to a write
+/// buffer, outside the response-delivery path).
+std::string error_line(const char* kind, const std::string& message) {
+  return error_body(kind, message) + "\n";
 }
 
 // --- net-level metrics ----------------------------------------------------
@@ -182,51 +195,271 @@ void Listener::close() {
   port_ = 0;
 }
 
-// --- Server ---------------------------------------------------------------
+namespace detail {
 
-Server::Server(serve::Service& service, ServerOptions opts)
-    : service_(service), opts_(opts) {
-  if (opts_.max_line_bytes == 0) opts_.max_line_bytes = 1;
-  if (opts_.max_write_buffer == 0) opts_.max_write_buffer = 1;
-  if (opts_.poll_interval_ms <= 0) opts_.poll_interval_ms = 50;
-}
+// --- per-connection state (owned exclusively by one shard) ----------------
 
-Server::~Server() {
-  for (auto& c : conns_) {
-    if (c->fd >= 0) ::close(c->fd);
+/// One admitted request awaiting delivery.  `ordered` requests (no "id" on
+/// the wire) must be delivered in admission order; unordered ones deliver
+/// the moment their result is ready, from any position in the deque.
+struct Pending {
+  std::uint64_t seq = 0;
+  bool ordered = true;
+  bool done = false;       ///< `response` is final
+  bool delivered = false;  ///< appended to the write buffer (or dropped)
+  std::future<std::string> result;  ///< compute phase, when dispatched
+  std::string response;             ///< no trailing newline
+};
+
+struct Connection {
+  int fd = -1;
+  std::string rbuf;
+  std::string wbuf;
+  std::deque<Pending> pending;
+  std::uint64_t next_seq = 0;
+  double last_read_us = 0.0;
+  double closing_since_us = 0.0;
+  bool draining = false;  ///< EOF seen; answering what is buffered
+  bool closing = false;   ///< farewell queued; close once it is flushed
+  Disconnect cause = Disconnect::Eof;
+};
+
+// --- CacheFlusher: the background checkpoint thread -----------------------
+
+/// Owns the thread that writes the persistent cache.  Shards and pool
+/// workers only ever notify() it — the file write (and its "serve:
+/// checkpointed" log line) never runs on an event loop or a compute
+/// worker.  Destruction performs the drain-time flush and joins.
+class CacheFlusher {
+ public:
+  CacheFlusher(serve::Service& service, std::ostream& log)
+      : service_(service), log_(log), thread_([this] { loop(); }) {}
+
+  ~CacheFlusher() {
+    {
+      std::lock_guard lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_one();
+    thread_.join();
+  }
+
+  CacheFlusher(const CacheFlusher&) = delete;
+  CacheFlusher& operator=(const CacheFlusher&) = delete;
+
+  void notify() {
+    {
+      std::lock_guard lock(mu_);
+      due_ = true;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  void loop() {
+    std::unique_lock lock(mu_);
+    while (true) {
+      cv_.wait(lock, [this] { return due_ || stop_; });
+      const bool stopping = stop_;
+      due_ = false;
+      lock.unlock();
+      // On stop this doubles as the drain-time checkpoint, so the log and
+      // the cache file look exactly like the single-threaded server's.
+      service_.flush(log_);
+      lock.lock();
+      if (stopping) return;
+    }
+  }
+
+  serve::Service& service_;
+  std::ostream& log_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool due_ = false;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+// --- Shard: one event loop ------------------------------------------------
+
+/// One poll() loop on its own thread.  The acceptor deals sockets in via
+/// adopt(); the compute pool reports finished futures via on_complete();
+/// both poke the wakeup pipe so the loop reacts immediately instead of on
+/// the next poll timeout.  Every Connection is touched by exactly one
+/// shard thread — the pool only ever holds a weak_ptr it never
+/// dereferences — so connection state needs no locks.
+class Shard {
+ public:
+  Shard(Server& server, std::size_t index);
+  ~Shard();
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  void start();
+  void request_stop();
+  void join();
+
+  /// Hands an accepted socket to this shard (acceptor thread).  `refused`
+  /// connections get the polite "overloaded" farewell and close.
+  void adopt(int fd, bool refused);
+
+  /// A dispatched compute phase finished (pool thread): queue the
+  /// completion and wake the loop so the response is delivered now.
+  void on_complete(const std::weak_ptr<Connection>& conn, std::uint64_t seq);
+
+ private:
+  struct Completion {
+    std::weak_ptr<Connection> conn;
+    std::uint64_t seq = 0;
+  };
+
+  void loop();
+  void drain();
+  void wake();
+  void drain_wakeup();
+  void adopt_incoming();
+  void read_ready(Connection& c);
+  bool admit_one(const std::shared_ptr<Connection>& cp);
+  void process_lines();
+  void dispatch(const std::shared_ptr<Connection>& cp,
+                serve::Service::Admission adm);
+  void enqueue_done(Connection& c, std::string response, bool ordered);
+  void deliver(Connection& c, Pending& p);
+  void flush_deliverable(Connection& c);
+  void drain_completions();
+  void flush_writes();
+  void reap_and_time_out();
+  void begin_close(Connection& c, Disconnect cause,
+                   const std::string& farewell);
+  void close_now(Connection& c, Disconnect cause);
+  void publish_gauges() const;
+
+  Server& server_;
+  const std::size_t index_;
+  int wake_fds_[2] = {-1, -1};  ///< [0] read end (polled), [1] write end
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+
+  std::mutex in_mu_;
+  std::vector<std::pair<int, bool>> incoming_;  ///< (fd, refused)
+  std::mutex cq_mu_;
+  std::vector<Completion> completions_;
+
+  // Loop-thread-only state.
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::size_t rr_ = 0;  ///< round-robin fairness cursor
+
+  obs::Counter* conns_counter_ = nullptr;
+  obs::Counter* reqs_counter_ = nullptr;
+  obs::Gauge* depth_gauge_ = nullptr;
+};
+
+Shard::Shard(Server& server, std::size_t index)
+    : server_(server), index_(index) {
+  if (::pipe(wake_fds_) == 0) {
+    set_nonblocking(wake_fds_[0]);
+    set_nonblocking(wake_fds_[1]);
+  } else {
+    wake_fds_[0] = wake_fds_[1] = -1;  // degraded: poll-timeout latency only
+  }
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::Registry::global();
+    const std::string prefix = "rvhpc_net_shard_" + std::to_string(index);
+    conns_counter_ = &reg.counter(prefix + "_connections_total",
+                                  "connections adopted by this shard");
+    reqs_counter_ = &reg.counter(prefix + "_requests_total",
+                                 "response lines delivered by this shard");
+    depth_gauge_ =
+        &reg.gauge(prefix + "_queue_depth_bytes",
+                   "request bytes buffered on this shard, not yet admitted");
   }
 }
 
-void Server::open(std::ostream& log) {
-  listener_.open(opts_.port);
-  log << "net: listening on 127.0.0.1:" << listener_.port() << "\n"
-      << std::flush;
+Shard::~Shard() {
+  request_stop();
+  join();
+  for (auto& c : conns_) {
+    if (c->fd >= 0) ::close(c->fd);
+  }
+  for (const auto& [fd, refused] : incoming_) ::close(fd);
+  if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
 }
 
-ServerStats Server::stats() const {
-  std::lock_guard lock(stats_mu_);
-  return stats_;
+void Shard::start() {
+  thread_ = std::thread([this] { loop(); });
 }
 
-void Server::publish_gauges() const {
-  if (!obs::metrics_enabled()) return;
-  static obs::Gauge& open_conns = obs::Registry::global().gauge(
-      "rvhpc_net_open_connections", "currently connected TCP clients");
-  static obs::Gauge& depth = obs::Registry::global().gauge(
-      "rvhpc_net_queue_depth_bytes",
-      "request bytes buffered and not yet answered, across connections");
-  open_conns.set(static_cast<double>(conns_.size()));
-  double pending = 0.0;
-  for (const auto& c : conns_) pending += static_cast<double>(c->rbuf.size());
-  depth.set(pending);
+void Shard::request_stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  wake();
 }
 
-void Server::begin_close(Connection& c, Disconnect cause,
-                         const std::string& farewell) {
+void Shard::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Shard::adopt(int fd, bool refused) {
+  {
+    std::lock_guard lock(in_mu_);
+    incoming_.emplace_back(fd, refused);
+  }
+  wake();
+}
+
+void Shard::on_complete(const std::weak_ptr<Connection>& conn,
+                        std::uint64_t seq) {
+  {
+    std::lock_guard lock(cq_mu_);
+    completions_.push_back({conn, seq});
+  }
+  wake();
+}
+
+void Shard::wake() {
+  if (wake_fds_[1] < 0) return;
+  // Best-effort and non-blocking: a full pipe already guarantees the loop
+  // has wakeups queued, and the poll timeout backstops a lost byte.
+  const char byte = 0;
+  (void)!::write(wake_fds_[1], &byte, 1);
+}
+
+void Shard::drain_wakeup() {
+  if (wake_fds_[0] < 0) return;
+  char sink[256];
+  while (::read(wake_fds_[0], sink, sizeof(sink)) > 0) {
+  }
+}
+
+void Shard::adopt_incoming() {
+  std::vector<std::pair<int, bool>> in;
+  {
+    std::lock_guard lock(in_mu_);
+    in.swap(incoming_);
+  }
+  for (const auto& [fd, refused] : in) {
+    auto c = std::make_shared<Connection>();
+    c->fd = fd;
+    c->last_read_us = now_us();
+    if (conns_counter_) conns_counter_->add();
+    if (refused) {
+      // Polite refusal: a structured line beats a dangling connect.
+      begin_close(*c, Disconnect::Refused,
+                  error_line("overloaded",
+                             "connection limit (" +
+                                 std::to_string(server_.opts_.max_connections) +
+                                 ") reached; retry later"));
+    }
+    conns_.push_back(std::move(c));
+  }
+}
+
+void Shard::begin_close(Connection& c, Disconnect cause,
+                        const std::string& farewell) {
   if (c.closing) return;
   // The farewell rides the normal write path; if even that does not fit
   // the bound the client is hopeless and the buffer stays as-is.
-  if (c.wbuf.size() + farewell.size() <= opts_.max_write_buffer) {
+  if (c.wbuf.size() + farewell.size() <= server_.opts_.max_write_buffer) {
     c.wbuf += farewell;
   }
   c.rbuf.clear();
@@ -235,60 +468,35 @@ void Server::begin_close(Connection& c, Disconnect cause,
   c.closing_since_us = now_us();
 }
 
-void Server::close_now(Connection& c, Disconnect cause) {
-  if (c.fd >= 0) ::close(c.fd);
+void Shard::close_now(Connection& c, Disconnect cause) {
+  if (c.fd < 0) return;
+  ::close(c.fd);
   c.fd = -1;
+  server_.open_conns_.fetch_sub(1, std::memory_order_relaxed);
   count_disconnect(cause);
-  std::lock_guard lock(stats_mu_);
+  std::lock_guard lock(server_.stats_mu_);
   switch (cause) {
-    case Disconnect::Eof:        ++stats_.disconnect_eof; break;
-    case Disconnect::Idle:       ++stats_.disconnect_idle; break;
-    case Disconnect::Oversize:   ++stats_.disconnect_oversize; break;
-    case Disconnect::SlowReader: ++stats_.disconnect_slow_reader; break;
-    case Disconnect::Refused:    ++stats_.disconnect_refused; break;
-    case Disconnect::Error:      ++stats_.disconnect_error; break;
-    case Disconnect::Drained:    ++stats_.disconnect_drained; break;
+    case Disconnect::Eof:        ++server_.stats_.disconnect_eof; break;
+    case Disconnect::Idle:       ++server_.stats_.disconnect_idle; break;
+    case Disconnect::Oversize:   ++server_.stats_.disconnect_oversize; break;
+    case Disconnect::SlowReader: ++server_.stats_.disconnect_slow_reader; break;
+    case Disconnect::Refused:    ++server_.stats_.disconnect_refused; break;
+    case Disconnect::Error:      ++server_.stats_.disconnect_error; break;
+    case Disconnect::Drained:    ++server_.stats_.disconnect_drained; break;
   }
 }
 
-void Server::accept_pending() {
-  while (true) {
-    const int fd = listener_.accept_client();
-    if (fd < 0) return;
-    count(Count::Connection);
-    {
-      std::lock_guard lock(stats_mu_);
-      ++stats_.accepted;
-    }
-    if (opts_.so_sndbuf > 0) {
-      (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &opts_.so_sndbuf,
-                         sizeof(opts_.so_sndbuf));
-    }
-    auto c = std::make_unique<Connection>();
-    c->fd = fd;
-    c->last_read_us = now_us();
-    if (conns_.size() >= opts_.max_connections) {
-      // Polite refusal: a structured line beats a dangling connect.
-      begin_close(*c, Disconnect::Refused,
-                  error_line("overloaded",
-                             "connection limit (" +
-                                 std::to_string(opts_.max_connections) +
-                                 ") reached; retry later"));
-    }
-    conns_.push_back(std::move(c));
-  }
-}
-
-void Server::read_ready(Connection& c) {
+void Shard::read_ready(Connection& c) {
   char chunk[4096];
-  while (!c.draining && !c.closing && c.rbuf.size() <= opts_.max_line_bytes) {
+  while (!c.draining && !c.closing &&
+         c.rbuf.size() <= server_.opts_.max_line_bytes) {
     const ssize_t n = ::recv(c.fd, chunk, sizeof(chunk), 0);
     if (n > 0) {
       c.rbuf.append(chunk, static_cast<std::size_t>(n));
       c.last_read_us = now_us();
       count_bytes(true, static_cast<std::uint64_t>(n));
-      std::lock_guard lock(stats_mu_);
-      stats_.bytes_in += static_cast<std::uint64_t>(n);
+      std::lock_guard lock(server_.stats_mu_);
+      server_.stats_.bytes_in += static_cast<std::uint64_t>(n);
     } else if (n == 0) {
       // EOF: the client is done sending.  Its buffered complete lines are
       // still answered; a trailing partial line (a client that died
@@ -306,53 +514,115 @@ void Server::read_ready(Connection& c) {
   }
 }
 
-/// Answers at most one buffered line of `c`; true when a line was consumed
+void Shard::enqueue_done(Connection& c, std::string response, bool ordered) {
+  Pending p;
+  p.seq = c.next_seq++;
+  p.ordered = ordered;
+  p.done = true;
+  p.response = std::move(response);
+  c.pending.push_back(std::move(p));
+}
+
+/// Admits at most one buffered line of `cp`; true when a line was consumed
 /// (the round-robin scheduler uses this to detect an idle pass).
-bool Server::answer_one_line(Connection& c) {
+bool Shard::admit_one(const std::shared_ptr<Connection>& cp) {
+  Connection& c = *cp;
   if (c.fd < 0 || c.closing) return false;
 
   std::string line;
   if (!take_line(c.rbuf, line)) {
     // No complete line.  A partial line past the bound can never complete
     // within it — reject it now rather than buffering forever.
-    if (c.rbuf.size() > opts_.max_line_bytes) {
+    if (c.rbuf.size() > server_.opts_.max_line_bytes) {
       begin_close(c, Disconnect::Oversize,
                   error_line("overloaded",
                              "request line exceeds " +
-                                 std::to_string(opts_.max_line_bytes) +
+                                 std::to_string(server_.opts_.max_line_bytes) +
                                  " bytes"));
     }
     return false;
   }
   if (blank(line)) return true;  // consumed input, no response owed
-  if (line.size() > opts_.max_line_bytes) {
+  if (line.size() > server_.opts_.max_line_bytes) {
     begin_close(c, Disconnect::Oversize,
                 error_line("overloaded",
                            "request line exceeds " +
-                               std::to_string(opts_.max_line_bytes) +
+                               std::to_string(server_.opts_.max_line_bytes) +
                                " bytes"));
     return false;
   }
 
-  const std::string response = service_.handle_line(line) + "\n";
-  if (c.wbuf.size() + response.size() > opts_.max_write_buffer) {
-    // The client is not draining responses; holding more would be
-    // unbounded memory, and it cannot read an apology either.
-    close_now(c, Disconnect::SlowReader);
-    return false;
+  // Admission bound, checked before the parse exactly like the stdio loop
+  // checks its backlog: compute dispatched and not yet completed past the
+  // service's queue capacity is answered "overloaded" immediately.
+  if (server_.inflight_.load(std::memory_order_relaxed) >=
+      server_.service_.options().queue_capacity) {
+    enqueue_done(c, server_.service_.reject_overloaded(), /*ordered=*/false);
+    flush_deliverable(c);
+    return true;
   }
-  c.wbuf += response;
-  count(Count::Answered);
-  {
-    std::lock_guard lock(stats_mu_);
-    ++stats_.answered;
+
+  serve::Service::Admission adm = server_.service_.admit(line);
+  if (!adm.request) {
+    // Resolved at admission (parse error, lint rejection).
+    const bool ordered = !adm.had_id;
+    enqueue_done(c, std::move(adm.response), ordered);
+    flush_deliverable(c);
+    return true;
   }
+  if (server_.service_.cached(*adm.request)) {
+    // Warm path: a memo probe answers inline on the event loop — cheaper
+    // than a pool handoff, and it is what keeps cached hits flowing on
+    // every connection while uncached requests compute.
+    std::string response =
+        server_.service_.complete(*adm.request, adm.arrival_us);
+    if (server_.service_.note_evaluation() && server_.flusher_) {
+      server_.flusher_->notify();
+    }
+    const bool ordered = !adm.had_id;
+    enqueue_done(c, std::move(response), ordered);
+    flush_deliverable(c);
+    return true;
+  }
+  dispatch(cp, std::move(adm));
   return true;
 }
 
-void Server::process_lines() {
+void Shard::dispatch(const std::shared_ptr<Connection>& cp,
+                     serve::Service::Admission adm) {
+  Connection& c = *cp;
+  Pending p;
+  p.seq = c.next_seq++;
+  p.ordered = !adm.had_id;
+  // packaged_task owns the compute phase: its future carries the response
+  // (or the exception) back to the loop thread, and running it *before*
+  // poking the shard guarantees the future is ready when the loop calls
+  // get().
+  auto task = std::make_shared<std::packaged_task<std::string()>>(
+      [service = &server_.service_, req = adm.request,
+       arrival = adm.arrival_us] { return service->complete(*req, arrival); });
+  p.result = task->get_future();
+  const std::uint64_t seq = p.seq;
+  c.pending.push_back(std::move(p));
+
+  server_.inflight_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(server_.stats_mu_);
+    ++server_.stats_.dispatched;
+  }
+  std::weak_ptr<Connection> wk = cp;
+  server_.pool_->submit([this, task, wk = std::move(wk), seq] {
+    (*task)();
+    const bool checkpoint_due = server_.service_.note_evaluation();
+    server_.inflight_.fetch_sub(1, std::memory_order_relaxed);
+    if (checkpoint_due && server_.flusher_) server_.flusher_->notify();
+    on_complete(wk, seq);
+  });
+}
+
+void Shard::process_lines() {
   // Round-robin fairness: each pass gives every connection at most one
-  // answered line, starting one past last pass's starting point, until a
+  // admitted line, starting one past last pass's starting point, until a
   // full pass makes no progress.  A client with 50 buffered requests
   // interleaves with everyone else instead of monopolising the loop.
   bool progress = true;
@@ -362,12 +632,80 @@ void Server::process_lines() {
     if (n == 0) return;
     rr_ = (rr_ + 1) % n;
     for (std::size_t k = 0; k < n; ++k) {
-      progress |= answer_one_line(*conns_[(rr_ + k) % n]);
+      progress |= admit_one(conns_[(rr_ + k) % n]);
     }
   }
 }
 
-void Server::flush_writes() {
+void Shard::deliver(Connection& c, Pending& p) {
+  p.delivered = true;
+  if (c.fd < 0 || c.closing) return;  // response owed to no one now
+  if (c.wbuf.size() + p.response.size() + 1 > server_.opts_.max_write_buffer) {
+    // The client is not draining responses; holding more would be
+    // unbounded memory, and it cannot read an apology either.
+    close_now(c, Disconnect::SlowReader);
+    return;
+  }
+  c.wbuf += p.response;
+  c.wbuf += '\n';
+  count(Count::Answered);
+  if (reqs_counter_) reqs_counter_->add();
+  std::lock_guard lock(server_.stats_mu_);
+  ++server_.stats_.answered;
+  ++server_.stats_.shard_answered[index_];
+}
+
+void Shard::flush_deliverable(Connection& c) {
+  // Unordered (id-carrying) responses deliver the moment they are done,
+  // from any position — the out-of-order completion contract.
+  for (Pending& p : c.pending) {
+    if (c.fd < 0 || c.closing) break;
+    if (!p.ordered && p.done && !p.delivered) deliver(c, p);
+  }
+  // Ordered (id-less) responses only ever deliver from the front, so a
+  // slow ordered request holds its successors back — exactly the stdio
+  // contract a client that sends no ids relies on.
+  while (!c.pending.empty()) {
+    Pending& front = c.pending.front();
+    if (front.delivered) {
+      c.pending.pop_front();
+      continue;
+    }
+    if (front.ordered && front.done && c.fd >= 0 && !c.closing) {
+      deliver(c, front);
+      c.pending.pop_front();
+      continue;
+    }
+    break;
+  }
+}
+
+void Shard::drain_completions() {
+  std::vector<Completion> ready;
+  {
+    std::lock_guard lock(cq_mu_);
+    ready.swap(completions_);
+  }
+  for (const Completion& done : ready) {
+    const std::shared_ptr<Connection> c = done.conn.lock();
+    if (!c) continue;
+    for (Pending& p : c->pending) {
+      if (p.seq != done.seq) continue;
+      try {
+        p.response = p.result.get();
+      } catch (const std::exception& e) {
+        // complete() promises not to throw; this is the belt to that
+        // suspender — the client still gets a structured line.
+        p.response = error_body("internal", e.what());
+      }
+      p.done = true;
+      break;
+    }
+    flush_deliverable(*c);
+  }
+}
+
+void Shard::flush_writes() {
   for (auto& cp : conns_) {
     Connection& c = *cp;
     while (c.fd >= 0 && !c.wbuf.empty()) {
@@ -376,8 +714,8 @@ void Server::flush_writes() {
       if (n > 0) {
         c.wbuf.erase(0, static_cast<std::size_t>(n));
         count_bytes(false, static_cast<std::uint64_t>(n));
-        std::lock_guard lock(stats_mu_);
-        stats_.bytes_out += static_cast<std::uint64_t>(n);
+        std::lock_guard lock(server_.stats_mu_);
+        server_.stats_.bytes_out += static_cast<std::uint64_t>(n);
       } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
         break;
       } else if (n < 0 && errno == EINTR) {
@@ -390,34 +728,195 @@ void Server::flush_writes() {
   }
 }
 
-void Server::reap_and_time_out() {
+void Shard::reap_and_time_out() {
   const double now = now_us();
   for (auto& cp : conns_) {
     Connection& c = *cp;
     if (c.fd < 0) continue;
     if ((c.closing || c.draining) && c.wbuf.empty() &&
-        (c.closing || c.rbuf.find('\n') == std::string::npos)) {
+        (c.closing ||
+         (c.rbuf.find('\n') == std::string::npos && c.pending.empty()))) {
       close_now(c, c.cause);
       continue;
     }
     if (c.closing &&
-        now - c.closing_since_us > opts_.drain_grace_ms * 1000.0) {
+        now - c.closing_since_us > server_.opts_.drain_grace_ms * 1000.0) {
       // Told to go away but not reading the farewell: forced close.
       close_now(c, c.cause);
       continue;
     }
-    if (!c.closing && !c.draining && opts_.idle_timeout_ms > 0.0 &&
-        now - c.last_read_us > opts_.idle_timeout_ms * 1000.0) {
+    if (!c.closing && !c.draining && c.pending.empty() &&
+        server_.opts_.idle_timeout_ms > 0.0 &&
+        now - c.last_read_us > server_.opts_.idle_timeout_ms * 1000.0) {
       begin_close(c, Disconnect::Idle,
                   error_line("timeout",
                              "idle for more than " +
-                                 std::to_string(opts_.idle_timeout_ms) +
+                                 std::to_string(server_.opts_.idle_timeout_ms) +
                                  " ms; closing"));
     }
   }
-  std::erase_if(conns_, [](const std::unique_ptr<Connection>& c) {
+  std::erase_if(conns_, [](const std::shared_ptr<Connection>& c) {
     return c->fd < 0;
   });
+}
+
+void Shard::publish_gauges() const {
+  if (!depth_gauge_) return;
+  double pending_bytes = 0.0;
+  for (const auto& c : conns_) {
+    pending_bytes += static_cast<double>(c->rbuf.size());
+  }
+  depth_gauge_->set(pending_bytes);
+}
+
+void Shard::loop() {
+  std::vector<pollfd> fds;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    fds.clear();
+    if (wake_fds_[0] >= 0) fds.push_back({wake_fds_[0], POLLIN, 0});
+    for (const auto& c : conns_) {
+      short events = 0;
+      if (!c->draining && !c->closing &&
+          c->rbuf.size() <= server_.opts_.max_line_bytes) {
+        events |= POLLIN;
+      }
+      if (!c->wbuf.empty()) events |= POLLOUT;
+      fds.push_back({c->fd, events, 0});
+    }
+    (void)::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                 server_.opts_.poll_interval_ms);
+    drain_wakeup();
+    adopt_incoming();
+    // Readiness is a hint, not a contract: reads and writes are
+    // non-blocking, so sweeping every connection is safe and keeps the
+    // loop free of fd-to-connection bookkeeping.
+    for (auto& c : conns_) {
+      if (c->fd >= 0 && !c->draining && !c->closing) read_ready(*c);
+    }
+    process_lines();
+    drain_completions();
+    flush_writes();
+    reap_and_time_out();
+    publish_gauges();
+  }
+  drain();
+}
+
+void Shard::drain() {
+  adopt_incoming();
+  process_lines();
+  // Answered, not dropped: every dispatched compute future completes and
+  // delivers before sockets are torn down.  This wait is not grace-bounded
+  // — the pool outlives the shards precisely so it terminates.
+  while (true) {
+    drain_completions();
+    flush_writes();
+    bool undone = false;
+    for (const auto& c : conns_) {
+      if (c->fd < 0) continue;
+      for (const Pending& p : c->pending) {
+        if (!p.done) {
+          undone = true;
+          break;
+        }
+      }
+      if (undone) break;
+    }
+    if (!undone) break;
+    if (wake_fds_[0] >= 0) {
+      pollfd wp{wake_fds_[0], POLLIN, 0};
+      (void)::poll(&wp, 1, server_.opts_.poll_interval_ms);
+      drain_wakeup();
+    } else {
+      pollfd none{-1, 0, 0};
+      (void)::poll(&none, 1, server_.opts_.poll_interval_ms);
+    }
+  }
+  // Then a bounded grace for the write buffers to reach their clients.
+  const double deadline = now_us() + server_.opts_.drain_grace_ms * 1000.0;
+  std::vector<pollfd> fds;
+  while (now_us() < deadline) {
+    fds.clear();
+    for (const auto& c : conns_) {
+      if (c->fd >= 0 && !c->wbuf.empty()) fds.push_back({c->fd, POLLOUT, 0});
+    }
+    if (fds.empty()) break;
+    (void)::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                 server_.opts_.poll_interval_ms);
+    flush_writes();
+    std::erase_if(conns_, [](const std::shared_ptr<Connection>& c) {
+      return c->fd < 0;
+    });
+  }
+  for (auto& c : conns_) {
+    if (c->fd >= 0) close_now(*c, Disconnect::Drained);
+  }
+  conns_.clear();
+  if (depth_gauge_) depth_gauge_->set(0.0);
+}
+
+}  // namespace detail
+
+// --- Server: the acceptor -------------------------------------------------
+
+Server::Server(serve::Service& service, ServerOptions opts)
+    : service_(service), opts_(opts) {
+  if (opts_.shards == 0) opts_.shards = 1;
+  if (opts_.max_line_bytes == 0) opts_.max_line_bytes = 1;
+  if (opts_.max_write_buffer == 0) opts_.max_write_buffer = 1;
+  if (opts_.poll_interval_ms <= 0) opts_.poll_interval_ms = 50;
+  stats_.shard_connections.assign(opts_.shards, 0);
+  stats_.shard_answered.assign(opts_.shards, 0);
+}
+
+Server::~Server() = default;
+
+void Server::open(std::ostream& log) {
+  listener_.open(opts_.port);
+  log << "net: listening on 127.0.0.1:" << listener_.port() << "\n"
+      << std::flush;
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard lock(stats_mu_);
+  return stats_;
+}
+
+void Server::publish_gauges() const {
+  if (!obs::metrics_enabled()) return;
+  static obs::Gauge& open_conns = obs::Registry::global().gauge(
+      "rvhpc_net_open_connections", "currently connected TCP clients");
+  static obs::Gauge& inflight = obs::Registry::global().gauge(
+      "rvhpc_net_inflight_requests",
+      "compute phases dispatched and not yet completed");
+  open_conns.set(
+      static_cast<double>(open_conns_.load(std::memory_order_relaxed)));
+  inflight.set(static_cast<double>(inflight_.load(std::memory_order_relaxed)));
+}
+
+void Server::accept_pending() {
+  while (true) {
+    const int fd = listener_.accept_client();
+    if (fd < 0) return;
+    count(Count::Connection);
+    if (opts_.so_sndbuf > 0) {
+      (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &opts_.so_sndbuf,
+                         sizeof(opts_.so_sndbuf));
+    }
+    // The cap spans shards, so the check lives here on the acceptor; the
+    // owning shard delivers the polite farewell.
+    const bool refused =
+        open_conns_.load(std::memory_order_relaxed) >= opts_.max_connections;
+    open_conns_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t shard = next_shard_;
+    next_shard_ = (next_shard_ + 1) % shards_.size();
+    {
+      std::lock_guard lock(stats_mu_);
+      ++stats_.accepted;
+      ++stats_.shard_connections[shard];
+    }
+    shards_[shard]->adopt(fd, refused);
+  }
 }
 
 void Server::run(std::ostream& log) {
@@ -426,67 +925,39 @@ void Server::run(std::ostream& log) {
            serve::shutdown_requested();
   };
 
-  std::vector<pollfd> fds;
-  while (!stop_requested()) {
-    fds.clear();
-    if (listener_.is_open()) {
-      fds.push_back({listener_.fd(), POLLIN, 0});
-    }
-    for (const auto& c : conns_) {
-      short events = 0;
-      if (!c->draining && !c->closing &&
-          c->rbuf.size() <= opts_.max_line_bytes) {
-        events |= POLLIN;
-      }
-      if (!c->wbuf.empty()) events |= POLLOUT;
-      fds.push_back({c->fd, events, 0});
-    }
-    const int rc =
-        ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
-               opts_.poll_interval_ms);
-    if (rc < 0 && errno != EINTR) {
-      log << "net: WARNING: poll failed: " << std::strerror(errno) << "\n";
-    }
+  // One compute pool shared by every shard (sized by the service's jobs
+  // setting), one background cache flusher, N event loops.  The pool and
+  // the flusher must outlive the shards: shard drain waits on futures the
+  // pool is still running, and the flusher owns every cache checkpoint.
+  pool_ = std::make_unique<engine::ThreadPool>(service_.jobs());
+  flusher_ = std::make_unique<detail::CacheFlusher>(service_, log);
+  shards_.clear();
+  next_shard_ = 0;
+  for (std::size_t i = 0; i < opts_.shards; ++i) {
+    shards_.push_back(std::make_unique<detail::Shard>(*this, i));
+  }
+  for (auto& s : shards_) s->start();
 
+  while (!stop_requested()) {
+    pollfd lp{listener_.fd(), POLLIN, 0};
+    (void)::poll(&lp, 1, opts_.poll_interval_ms);
     accept_pending();
-    // Readiness is a hint, not a contract: reads and writes are
-    // non-blocking, so sweeping every connection is safe and keeps the
-    // loop free of fd-to-connection bookkeeping.
-    for (auto& c : conns_) {
-      if (c->fd >= 0 && !c->draining && !c->closing) read_ready(*c);
-    }
-    process_lines();
-    flush_writes();
-    reap_and_time_out();
     publish_gauges();
   }
 
-  // Drain: stop accepting, answer every complete line already buffered,
-  // then give the write buffers a bounded grace to reach their clients.
+  // Drain: stop accepting, then let every shard answer what it owes
+  // (buffered complete lines and in-flight futures) before the pool and
+  // the flusher wind down — the flusher's destructor performs the final
+  // cache checkpoint.
   listener_.close();
-  process_lines();
-  flush_writes();
-  const double deadline = now_us() + opts_.drain_grace_ms * 1000.0;
-  while (now_us() < deadline) {
-    fds.clear();
-    for (const auto& c : conns_) {
-      if (c->fd >= 0 && !c->wbuf.empty()) fds.push_back({c->fd, POLLOUT, 0});
-    }
-    if (fds.empty()) break;
-    (void)::poll(fds.data(), static_cast<nfds_t>(fds.size()),
-                 opts_.poll_interval_ms);
-    flush_writes();
-    std::erase_if(conns_, [](const std::unique_ptr<Connection>& c) {
-      return c->fd < 0;
-    });
-  }
-  for (auto& c : conns_) {
-    if (c->fd >= 0) close_now(*c, Disconnect::Drained);
-  }
-  conns_.clear();
+  for (auto& s : shards_) s->request_stop();
+  for (auto& s : shards_) s->join();
+  pool_->wait();
+  pool_.reset();
+  flusher_.reset();
+  shards_.clear();
   publish_gauges();
 
-  service_.flush(log);
   const ServerStats s = stats();
   log << "net: drained — " << s.accepted << " connection(s), " << s.answered
       << " request(s) answered, " << s.bytes_in << " bytes in, " << s.bytes_out

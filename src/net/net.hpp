@@ -1,5 +1,5 @@
 #pragma once
-// rvhpc::net — TCP transport and multi-client front end for the service.
+// rvhpc::net — sharded TCP transport and multi-client front end.
 //
 // rvhpc-serve's stdio listener serves exactly one client: whoever owns the
 // pipe.  This module puts the same Service behind a loopback TCP socket so
@@ -7,31 +7,46 @@
 // concurrent clients, one resident cache, one process paying each
 // predict() once.  The protocol is unchanged: line-delimited JSON requests
 // in (including per-request "backend" selection — serve/service.hpp is
-// the schema), one JSON response line per request out, every line routed through
-// serve::Service::handle_line so admission lint, deadlines, structured
-// errors and stats behave identically over TCP and stdio.
+// the schema), one JSON response line per request out.
 //
-// Architecture (DESIGN.md §10): a single-threaded poll() event loop.  The
-// Listener accepts clients on 127.0.0.1 (port 0 = ephemeral, reported via
-// port()); each Connection owns a bounded read buffer and a bounded write
-// buffer.  Complete lines are answered round-robin across connections, one
-// line per connection per pass, so a chatty client interleaves fairly with
-// everyone else instead of starving them.  Evaluation happens inline on
-// the loop thread — handle_line already memoises through the shared cache,
-// and a single writer keeps the whole transport free of locks.
+// Architecture (DESIGN.md §13): I/O and compute never share a thread.
 //
-// Bounded-memory contract: a request line longer than max_line_bytes
-// answers a structured "overloaded" error and closes; a client that stops
-// reading until max_write_buffer fills is disconnected (it cannot receive
-// an error it refuses to read); a connection idle past idle_timeout_ms is
-// told "timeout" and closed.  Nothing about a misbehaving peer can grow
-// server state without bound or wedge the loop.
+//   acceptor ──round-robin──▶ shard 0..N-1 (one poll() loop each)
+//                                 │ admit (cheap parse/lint)
+//                                 ▼
+//                         engine::ThreadPool ──futures──▶ completions
+//                                 ▲                            │
+//                                 └── wakeup pipe re-arms ◀────┘
+//
+// The acceptor thread (the caller of run()) owns the Listener and deals
+// accepted sockets round-robin to N event-loop shards; each shard owns its
+// connections exclusively and runs its own poll() loop with a wakeup pipe.
+// A shard splits every request line through serve::Service::admit() — the
+// cheap parse/admission phase — and dispatches the compute phase to the
+// shared engine ThreadPool as a std::future; a completed future pokes the
+// shard's wakeup pipe so the response is flushed immediately instead of on
+// the next poll tick.  Responses complete out of order per connection:
+// requests carrying an "id" are answered as soon as their future resolves
+// (the id is echoed so clients can match), requests without an "id" keep
+// the in-order contract stdio replay relies on.  Warm requests are
+// completed inline on the shard (a memo probe, no pool handoff), so one
+// slow uncached prediction never stalls cached hits — on the same
+// connection or any other.  The periodic persistent-cache checkpoint runs
+// on a dedicated background flusher thread, never on an event loop.
+//
+// Bounded-memory contract (unchanged): a request line longer than
+// max_line_bytes answers a structured "overloaded" error and closes; a
+// client that stops reading until max_write_buffer fills is disconnected;
+// a connection idle past idle_timeout_ms is told "timeout" and closed;
+// compute in flight past the service's queue_capacity answers
+// "overloaded" at admission.  Nothing about a misbehaving peer can grow
+// server state without bound or wedge a loop.
 //
 // Shutdown: SIGTERM/SIGINT (serve::install_shutdown_handlers) or stop()
 // stops accepting, answers every complete request line already buffered,
-// flushes the write buffers (bounded grace), flushes the service's
-// persistent cache, and returns from run() — the same drain semantics the
-// stdio loop has.
+// waits for every in-flight compute future (answered, not dropped),
+// flushes write buffers (bounded grace) and the persistent cache, and
+// returns from run().
 
 #include <atomic>
 #include <cstddef>
@@ -44,6 +59,9 @@
 
 namespace rvhpc::serve {
 class Service;
+}
+namespace rvhpc::engine {
+class ThreadPool;
 }
 
 namespace rvhpc::net {
@@ -66,8 +84,13 @@ struct ServerOptions {
   /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (the bound one
   /// is reported by Server::port() and logged by open()).
   std::uint16_t port = 0;
-  /// Concurrent clients; one past the cap is answered "overloaded" and
-  /// closed instead of left dangling in the accept queue.
+  /// Event-loop shards: accepted connections are dealt round-robin across
+  /// this many independent poll() loops, each on its own thread.  Clamped
+  /// to >= 1.  rvhpc-serve's --shards=0 resolves to
+  /// min(hardware_concurrency, 4) before it gets here.
+  std::size_t shards = 1;
+  /// Concurrent clients across all shards; one past the cap is answered
+  /// "overloaded" and closed instead of left dangling in the accept queue.
   std::size_t max_connections = 64;
   /// Longest admissible request line; beyond it the client gets a
   /// structured "overloaded" error and a disconnect.  Also the read-buffer
@@ -85,19 +108,24 @@ struct ServerOptions {
   /// Disconnect a connection that sent nothing for this long; 0 disables.
   double idle_timeout_ms = 0.0;
   /// poll() timeout — the latency bound on noticing stop()/SIGTERM.
+  /// (Completed futures do not wait for it: they poke the owning shard's
+  /// wakeup pipe.)
   int poll_interval_ms = 50;
   /// Grace for flushing write buffers at drain (and for closing
   /// connections that were answered an error but are not reading it).
+  /// In-flight compute is *not* grace-bounded at drain: admitted requests
+  /// are answered, not dropped.
   double drain_grace_ms = 2000.0;
 };
 
 /// Aggregate counters of one Server's lifetime (mirrors the rvhpc_net_*
 /// obs metrics, which aggregate across instances; tests want these).
 struct ServerStats {
-  std::uint64_t accepted = 0;   ///< connections accepted (incl. refused)
-  std::uint64_t answered = 0;   ///< request lines answered with a response
-  std::uint64_t bytes_in = 0;   ///< payload bytes received
-  std::uint64_t bytes_out = 0;  ///< response bytes written
+  std::uint64_t accepted = 0;    ///< connections accepted (incl. refused)
+  std::uint64_t answered = 0;    ///< response lines delivered to write buffers
+  std::uint64_t dispatched = 0;  ///< compute phases handed to the pool
+  std::uint64_t bytes_in = 0;    ///< payload bytes received
+  std::uint64_t bytes_out = 0;   ///< response bytes written
   std::uint64_t disconnect_eof = 0;
   std::uint64_t disconnect_idle = 0;
   std::uint64_t disconnect_oversize = 0;
@@ -105,6 +133,10 @@ struct ServerStats {
   std::uint64_t disconnect_refused = 0;
   std::uint64_t disconnect_error = 0;
   std::uint64_t disconnect_drained = 0;
+  /// Per-shard fan-out, indexed by shard: connections adopted, response
+  /// lines delivered.  Sized ServerOptions::shards.
+  std::vector<std::uint64_t> shard_connections;
+  std::vector<std::uint64_t> shard_answered;
 };
 
 /// The listening socket: binds 127.0.0.1:<port>, hands out accepted fds.
@@ -132,23 +164,15 @@ class Listener {
   std::uint16_t port_ = 0;
 };
 
-/// One accepted client: its fd plus the bounded buffers and liveness
-/// clocks the event loop schedules it by.
-struct Connection {
-  int fd = -1;
-  std::string rbuf;           ///< received bytes not yet framed into lines
-  std::string wbuf;           ///< response bytes the client has not drained
-  double last_read_us = 0.0;  ///< idle-timeout clock (reset on every read)
-  double closing_since_us = 0.0;  ///< when `closing` was set (grace clock)
-  bool draining = false;  ///< read side saw EOF; answer what is buffered
-  bool closing = false;   ///< farewell queued; close once wbuf flushes
-  Disconnect cause = Disconnect::Eof;  ///< recorded when closing/draining
-};
+namespace detail {
+class Shard;
+class CacheFlusher;
+}  // namespace detail
 
 class Server {
  public:
-  /// The Service outlives the Server; every request line is answered by
-  /// service.handle_line on the loop thread.
+  /// The Service outlives the Server; request lines are admitted by
+  /// service.admit on a shard thread and completed on the engine pool.
   Server(serve::Service& service, ServerOptions opts);
   ~Server();
   Server(const Server&) = delete;
@@ -160,9 +184,11 @@ class Server {
   void open(std::ostream& log);
   [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
 
-  /// Event loop: serves until stop() or serve::shutdown_requested(), then
-  /// drains (answers buffered requests, flushes write buffers and the
-  /// persistent cache) and logs a "net: drained" summary.
+  /// Accept loop: spawns the shards, the compute pool and the background
+  /// cache flusher, then deals accepted sockets round-robin until stop()
+  /// or serve::shutdown_requested().  Drains (buffered requests answered,
+  /// in-flight futures completed, write buffers and the persistent cache
+  /// flushed) and logs a "net: drained" summary before returning.
   void run(std::ostream& log);
 
   /// Requests the same graceful drain SIGTERM does (thread-safe).
@@ -171,22 +197,22 @@ class Server {
   [[nodiscard]] ServerStats stats() const;
 
  private:
+  friend class detail::Shard;
+  friend class detail::CacheFlusher;
+
   void accept_pending();
-  void read_ready(Connection& c);
-  bool answer_one_line(Connection& c);
-  void process_lines();
-  void flush_writes();
-  void reap_and_time_out();
-  void begin_close(Connection& c, Disconnect cause, const std::string& farewell);
-  void close_now(Connection& c, Disconnect cause);
   void publish_gauges() const;
 
   serve::Service& service_;
   ServerOptions opts_;
   Listener listener_;
-  std::vector<std::unique_ptr<Connection>> conns_;
-  std::size_t rr_ = 0;  ///< round-robin cursor for fair line scheduling
+  std::vector<std::unique_ptr<detail::Shard>> shards_;
+  std::unique_ptr<engine::ThreadPool> pool_;
+  std::unique_ptr<detail::CacheFlusher> flusher_;
+  std::size_t next_shard_ = 0;  ///< round-robin deal cursor
   std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> open_conns_{0};  ///< across shards (cap check)
+  std::atomic<std::size_t> inflight_{0};    ///< dispatched, not completed
   mutable std::mutex stats_mu_;  ///< tests poll stats() from other threads
   ServerStats stats_;
 };

@@ -42,7 +42,8 @@ namespace {
 const cli::ToolInfo kTool{
     "rvhpc-serve",
     "serve predictions over line-delimited JSON with a persistent cache",
-    "usage: rvhpc-serve [--listen=stdio|tcp:PORT] [--replay=<requests.jsonl>]\n"
+    "usage: rvhpc-serve [--listen=stdio|tcp:PORT] [--shards=N]\n"
+    "                   [--replay=<requests.jsonl>]\n"
     "                   [--out=<responses.jsonl>] [--cache-file=<file.bin>]\n"
     "                   [--cache-capacity=N] [--cache-max-entries=N]\n"
     "                   [--queue=N] [--timeout-ms=T] [--idle-timeout-ms=T]\n"
@@ -55,6 +56,9 @@ const cli::ToolInfo kTool{
     "                        until SIGTERM; PORT 0 picks an ephemeral port\n"
     "                        (logged as \"net: listening on ...\"); drive it\n"
     "                        with rvhpc-client\n"
+    "  --shards=N            tcp only: event-loop shards accepting\n"
+    "                        connections round-robin (default 1); 0 = auto,\n"
+    "                        min(hardware threads, 4)\n"
     "  --replay=FILE         batch-replay a request log instead of serving;\n"
     "                        responses in request order, summary on stderr\n"
     "  --out=FILE            write responses there instead of stdout\n"
@@ -234,6 +238,7 @@ int main(int argc, char** argv) {
   const int jobs_applied = cli::apply_jobs_flag(argc, argv);
 
   Options opt;
+  bool shards_set = false;
   if (jobs_applied > 0) opt.svc.jobs = jobs_applied;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -258,6 +263,19 @@ int main(int argc, char** argv) {
         return usage_error("unknown --listen value '" + listener +
                            "' (want stdio or tcp:PORT)");
       }
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      std::size_t shards = 0;
+      if (!parse_size(value("--shards="), shards) || shards > 256) {
+        return usage_error("bad --shards value '" + arg + "' (want 0..256)");
+      }
+      if (shards == 0) {
+        // Auto: one loop per core is overkill for a line protocol —
+        // clamp at 4, the point where accept fan-out stops mattering.
+        const unsigned hw = std::thread::hardware_concurrency();
+        shards = std::min<std::size_t>(hw > 0 ? hw : 1, 4);
+      }
+      opt.net.shards = shards;
+      shards_set = true;
     } else if (arg.rfind("--jobs=", 0) == 0) {
       // consumed by cli::apply_jobs_flag above
     } else if (arg.rfind("--replay=", 0) == 0) {
@@ -316,6 +334,10 @@ int main(int argc, char** argv) {
     } else {
       return usage_error("unknown argument '" + arg + "'");
     }
+  }
+
+  if (shards_set && !opt.tcp) {
+    return usage_error("--shards only applies to --listen=tcp:PORT");
   }
 
   if (opt.gate) return run_gate();

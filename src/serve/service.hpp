@@ -49,6 +49,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -131,10 +132,55 @@ class Service {
   std::string replay(const std::string& path, std::ostream& out,
                      std::ostream& log);
 
+  struct Parsed;  // one admitted request (defined in service.cpp)
+
+  /// Outcome of the cheap parse/admission phase of one request line.
+  /// Either the line was resolved immediately (`response` is the final
+  /// JSON: parse error, lint rejection) and `request` is null, or it was
+  /// admitted and `request` holds the parsed prediction request awaiting
+  /// the compute phase (`complete()`).  `had_id` records whether the line
+  /// carried a non-empty "id" — the wire-ordering contract keys on it:
+  /// responses to id-less requests must be delivered in request order,
+  /// id-carrying responses may complete out of order (DESIGN.md §13).
+  struct Admission {
+    std::shared_ptr<const Parsed> request;  ///< null when resolved inline
+    std::string response;  ///< final JSON when `request` is null
+    std::string id;        ///< the request's "id" ("" when absent)
+    double arrival_us = 0.0;
+    bool had_id = false;
+  };
+
+  /// Phase 1 of handle_line: parse + admission lint only — cheap enough
+  /// for an event-loop thread.  Never throws; failures become structured
+  /// error responses.
+  [[nodiscard]] Admission admit(const std::string& line);
+
+  /// Phase 2: evaluates an admitted request (cache probe, then the
+  /// backend predict on a miss) and renders the response JSON.
+  /// Thread-safe; this is what the net front end dispatches to the engine
+  /// ThreadPool as a future.  Never throws.
+  [[nodiscard]] std::string complete(const Parsed& req, double arrival_us);
+
+  /// True when `req` would answer from the memo cache — the front end
+  /// completes such requests inline instead of paying a pool handoff.
+  [[nodiscard]] bool cached(const Parsed& req);
+
   /// Parses, admits and evaluates one request line synchronously,
-  /// returning the response JSON (no trailing newline).  The single-shot
-  /// path run()/replay() build on; exposed for tests.
+  /// returning the response JSON (no trailing newline) — admit() +
+  /// complete() back to back.  The stdio run()/replay() path; exposed for
+  /// tests.
   [[nodiscard]] std::string handle_line(const std::string& line);
+
+  /// The structured "overloaded" rejection (also counts it): the shared
+  /// shape for every admission-bound front end (stdio backlog, net
+  /// in-flight bound).  `id` is echoed so id-matching clients can pair
+  /// the rejection with its request.
+  [[nodiscard]] std::string reject_overloaded(const std::string& id = "");
+
+  /// Counts one completed evaluation toward the checkpoint period;
+  /// true when a checkpoint is now due (caller decides which thread pays
+  /// for the flush — the net front end hands it to a background flusher).
+  [[nodiscard]] bool note_evaluation();
 
   /// Writes the persistent cache now (no-op without a cache_file).
   void flush(std::ostream& log);
@@ -142,12 +188,9 @@ class Service {
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] engine::PredictionCache& cache() { return cache_; }
   [[nodiscard]] const Options& options() const { return opts_; }
-
-  struct Parsed;  // one admitted request (defined in service.cpp)
+  [[nodiscard]] int jobs() const { return jobs_; }
 
  private:
-
-  std::string respond(const Parsed& req, double arrival_us);
   void maybe_checkpoint(std::ostream& log);
 
   Options opts_;

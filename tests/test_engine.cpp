@@ -307,6 +307,19 @@ TEST(ThreadPool, RethrowsFirstTaskExceptionFromWait) {
   EXPECT_EQ(done, 1);
 }
 
+TEST(ThreadPool, SubmitFutureDeliversValueAndOwnsItsException) {
+  engine::ThreadPool pool(2);
+  std::future<int> ok = pool.submit_future([] { return 41 + 1; });
+  EXPECT_EQ(ok.get(), 42);
+
+  // The future owns the task's exception; wait()'s fire-and-forget error
+  // channel must stay clean so batch callers never see serving errors.
+  std::future<int> bad =
+      pool.submit_future([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  EXPECT_NO_THROW(pool.wait());
+}
+
 TEST(ApplyJobsFlag, ParsesValidAndRejectsMalformed) {
   const char* good[] = {"prog", "--table=3", "--jobs=3"};
   EXPECT_EQ(engine::apply_jobs_flag(3, const_cast<char**>(good)), 3);

@@ -23,6 +23,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -480,6 +481,207 @@ TEST(NetServer, StopAnswersBufferedRequestsBeforeClosing) {
   std::string line;
   while (std::getline(lines, line)) ++count;
   EXPECT_EQ(count, 4) << "every admitted request is answered at drain";
+}
+
+// --- out-of-order completion (ISSUE 8) ------------------------------------
+
+/// An uncached interval-backend request: the backend walks the whole
+/// simulated timeline (~ms of compute), so it is the "slow" request the
+/// async front end must not let block anyone else.
+std::string slow_line(const std::string& id, int cores) {
+  std::string line = "{";
+  if (!id.empty()) line += "\"id\": \"" + id + "\", ";
+  line += "\"machine\": \"sg2044\", \"kernel\": \"CG\", \"class\": \"C\", "
+          "\"cores\": " + std::to_string(cores) +
+          ", \"backend\": \"interval\"}\n";
+  return line;
+}
+
+TEST(NetServer, SlowUncachedRequestDoesNotStallCachedPeer) {
+  serve::Service::Options sopts;
+  sopts.jobs = 2;
+  net::ServerOptions nopts;
+  nopts.shards = 2;
+  LoopbackServer s(nopts, sopts);
+
+  Client warm(s.server.port());
+  ASSERT_TRUE(warm.connected());
+  ASSERT_TRUE(warm.send_all(request_line("w", "MG", 8)));
+  ASSERT_FALSE(warm.recv_line().empty());
+
+  Client slow(s.server.port());
+  Client hits(s.server.port());
+  ASSERT_TRUE(slow.connected());
+  ASSERT_TRUE(hits.connected());
+
+  // 16 distinct uncached interval requests (~2 ms compute each) on one
+  // connection; 16 cache hits on the other.  The hits are served inline
+  // on their shard while the computes run on the pool, so every hit must
+  // land before the slow batch's final response.
+  constexpr int kEach = 16;
+  std::string slow_batch;
+  for (int i = 0; i < kEach; ++i) {
+    slow_batch += slow_line("s" + std::to_string(i), 40 + i);
+  }
+  std::string hit_batch;
+  for (int i = 0; i < kEach; ++i) {
+    hit_batch += request_line("h" + std::to_string(i), "MG", 8);
+  }
+  ASSERT_TRUE(slow.send_all(slow_batch));
+  ASSERT_TRUE(hits.send_all(hit_batch));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto last_slow = t0;
+  int slow_got = 0;
+  std::thread slow_reader([&] {
+    for (int i = 0; i < kEach; ++i) {
+      if (slow.recv_line().empty()) return;
+      last_slow = std::chrono::steady_clock::now();
+      ++slow_got;
+    }
+  });
+  auto last_hit = t0;
+  int hits_got = 0;
+  for (int i = 0; i < kEach; ++i) {
+    const std::string line = hits.recv_line();
+    if (line.empty()) break;
+    EXPECT_EQ(obs::json::parse(line).find("cache")->str, "hit");
+    last_hit = std::chrono::steady_clock::now();
+    ++hits_got;
+  }
+  slow_reader.join();
+
+  EXPECT_EQ(slow_got, kEach);
+  EXPECT_EQ(hits_got, kEach);
+  EXPECT_LT(last_hit, last_slow)
+      << "cached responses queued behind another connection's compute";
+}
+
+TEST(NetServer, OutOfOrderIdsWithinOneConnection) {
+  // One pool thread, one shard: while the pool is busy with the slow
+  // request, the shard keeps admitting and answering the cached lines
+  // behind it — id-carrying responses may overtake.
+  LoopbackServer s;
+  Client cl(s.server.port());
+  ASSERT_TRUE(cl.connected());
+  for (int i = 0; i < 4; ++i) {  // warm the hit keys
+    ASSERT_TRUE(cl.send_all(request_line("w" + std::to_string(i), "MG", 1 << i)));
+    ASSERT_FALSE(cl.recv_line().empty());
+  }
+
+  std::string batch = slow_line("slow", 64);
+  for (int i = 0; i < 4; ++i) {
+    batch += request_line("h" + std::to_string(i), "MG", 1 << i);
+  }
+  ASSERT_TRUE(cl.send_all(batch));
+
+  std::vector<std::string> order;
+  for (int i = 0; i < 5; ++i) {
+    const std::string line = cl.recv_line();
+    ASSERT_FALSE(line.empty());
+    order.push_back(obs::json::parse(line).find("id")->str);
+  }
+  // The cached hits come back first, in admission order; the slow
+  // response arrives last even though it was sent first.
+  const std::vector<std::string> want{"h0", "h1", "h2", "h3", "slow"};
+  EXPECT_EQ(order, want);
+}
+
+TEST(NetServer, IdLessResponsesStayInRequestOrder) {
+  // Without an id the client has no way to match responses, so the
+  // in-order contract holds even when a later request finishes first.
+  serve::Service::Options sopts;
+  sopts.jobs = 2;
+  LoopbackServer s({}, sopts);
+  Client cl(s.server.port());
+  ASSERT_TRUE(cl.connected());
+  ASSERT_TRUE(cl.send_all(request_line("w", "MG", 8)));
+  ASSERT_FALSE(cl.recv_line().empty());
+
+  std::string batch = slow_line(/*id=*/"", 64);
+  for (int i = 0; i < 3; ++i) {
+    batch += request_line("", "MG", 8);  // cached: completes instantly
+  }
+  ASSERT_TRUE(cl.send_all(batch));
+
+  std::vector<std::string> backends;
+  for (int i = 0; i < 4; ++i) {
+    const std::string line = cl.recv_line();
+    ASSERT_FALSE(line.empty());
+    backends.push_back(obs::json::parse(line).find("backend")->str);
+  }
+  const std::vector<std::string> want{"interval", "analytic", "analytic",
+                                      "analytic"};
+  EXPECT_EQ(backends, want)
+      << "id-less responses must be delivered in request order";
+}
+
+TEST(NetServer, SigtermDrainAnswersInFlightComputes) {
+  serve::install_shutdown_handlers();
+  serve::reset_shutdown();
+  {
+    serve::Service::Options sopts;
+    sopts.jobs = 2;
+    LoopbackServer s({}, sopts);
+    Client cl(s.server.port());
+    ASSERT_TRUE(cl.connected());
+    std::string batch;
+    for (int i = 0; i < 4; ++i) {
+      batch += slow_line("f" + std::to_string(i), 32 + i);
+    }
+    ASSERT_TRUE(cl.send_all(batch));
+    // Pull the plug once all four computes are dispatched to the pool —
+    // most of them are still in flight when the drain starts.
+    ASSERT_TRUE(s.wait_for([](const net::ServerStats& st) {
+      return st.dispatched >= 4;
+    }));
+    std::raise(SIGTERM);
+    s.loop.join();
+
+    const std::string all = cl.recv_until_eof();
+    std::vector<bool> seen(4, false);
+    std::istringstream lines(all);
+    std::string line;
+    while (std::getline(lines, line)) {
+      const std::string id = obs::json::parse(line).find("id")->str;
+      ASSERT_EQ(id.size(), 2u);
+      seen[static_cast<std::size_t>(id[1] - '0')] = true;
+    }
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_TRUE(seen[static_cast<std::size_t>(i)])
+          << "drain dropped in-flight request f" << i;
+    }
+  }
+  serve::reset_shutdown();
+}
+
+// --- shards ---------------------------------------------------------------
+
+TEST(NetServer, ShardFairnessAcrossTwoShards) {
+  net::ServerOptions nopts;
+  nopts.shards = 2;
+  LoopbackServer s(nopts);
+
+  // Four connections held open together: round-robin dealing must give
+  // each shard exactly two, and both shards must answer requests.
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.push_back(std::make_unique<Client>(s.server.port()));
+    ASSERT_TRUE(clients.back()->connected());
+    const std::string id = "c" + std::to_string(c);
+    ASSERT_TRUE(clients.back()->send_all(request_line(id, "CG", 8 + c)));
+    const obs::json::Value v = obs::json::parse(clients.back()->recv_line());
+    EXPECT_EQ(v.find("id")->str, id);
+  }
+
+  const net::ServerStats stats = s.server.stats();
+  ASSERT_EQ(stats.shard_connections.size(), 2u);
+  ASSERT_EQ(stats.shard_answered.size(), 2u);
+  EXPECT_EQ(stats.shard_connections[0], 2u);
+  EXPECT_EQ(stats.shard_connections[1], 2u);
+  EXPECT_GT(stats.shard_answered[0], 0u);
+  EXPECT_GT(stats.shard_answered[1], 0u);
+  EXPECT_EQ(stats.shard_answered[0] + stats.shard_answered[1], 4u);
 }
 
 }  // namespace
