@@ -1,0 +1,488 @@
+// http_throughput — acceptance gate for the HTTP/1.1 front end.
+//
+// Drives one net::Server with both listeners open and compares the two
+// wire formats on identical cached-hit workloads:
+//
+//   1. framing-overhead gate (unsanitized hosts with >= 2 hardware
+//      threads): a keep-alive connection pipelining single-request
+//      POST /v1/predict exchanges must stay within 25% of the raw
+//      JSON-lines wire on the same pre-warmed hits, best of 5 runs.
+//      Both paths complete inline on the shard, so the ratio isolates
+//      exactly what src/http adds: request parsing, routing and
+//      response-head rendering; and
+//   2. correctness (always enforced): every HTTP response is a 200 with
+//      a JSON body, and a JSON-lines batch POST streams back as one
+//      chunked response carrying every reply.
+//
+// The summary extends BENCH_serve.json in place: an "http" section is
+// spliced into the serve_throughput artifact when it exists (the
+// checked-in file carries both), or a standalone document is written.
+//
+// Flags:
+//   --gate       exit non-zero when a gate fails (the ctest entry)
+//   --out=FILE   JSON artifact to extend (default: BENCH_serve.json)
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "http/parser.hpp"
+#include "net/net.hpp"
+#include "obs/metrics.hpp"
+#include "report/table.hpp"
+#include "serve/service.hpp"
+
+using namespace rvhpc;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+/// Service + Server (both listeners) on ephemeral loopback ports, event
+/// loop on a background thread.  Mirrors serve_throughput's BenchServer.
+struct BenchServer {
+  serve::Service service;
+  net::Server server;
+  std::ostringstream log;
+  std::thread loop;
+
+  BenchServer(serve::Service::Options sopts, net::ServerOptions nopts)
+      : service(std::move(sopts)), server(service, nopts) {
+    server.open(log);
+    loop = std::thread([this] { server.run(log); });
+  }
+
+  ~BenchServer() {
+    server.stop();
+    if (loop.joinable()) loop.join();
+  }
+};
+
+/// Blocking loopback client with a receive timeout so a regression fails
+/// instead of hanging the bench.
+struct Client {
+  int fd = -1;
+  std::string buffered;
+
+  explicit Client(std::uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return;
+    timeval tv{30, 0};
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+
+  ~Client() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  [[nodiscard]] bool connected() const { return fd >= 0; }
+
+  bool send_all(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// One response line (without '\n'); empty on EOF/timeout.
+  std::string recv_line() {
+    while (true) {
+      const std::size_t nl = buffered.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffered.substr(0, nl);
+        buffered.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[8192];
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffered.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+};
+
+/// A cheap analytic request; cycling a small core grid keeps every send
+/// after the warm-up a pure cache hit.
+std::string cached_request(const std::string& id, int cores) {
+  return "{\"id\": \"" + id +
+         "\", \"machine\": \"sg2044\", \"kernel\": \"MG\", \"cores\": " +
+         std::to_string(cores) + "}\n";
+}
+
+std::string http_post(const std::string& body) {
+  std::string req =
+      "POST /v1/predict HTTP/1.1\r\n"
+      "Host: 127.0.0.1\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: " +
+      std::to_string(body.size()) + "\r\n\r\n";
+  req += body;
+  return req;
+}
+
+/// Pre-warm the MG core grid over the raw wire so every measured request
+/// — HTTP or raw — is a pure hit.
+bool warm_cache(std::uint16_t raw_port) {
+  Client warm(raw_port);
+  if (!warm.connected()) return false;
+  for (int i = 0; i < 7; ++i) {
+    if (!warm.send_all(cached_request("warm-" + std::to_string(i), 1 << i)))
+      return false;
+  }
+  for (int i = 0; i < 7; ++i) {
+    if (warm.recv_line().empty()) return false;
+  }
+  return true;
+}
+
+struct WireResult {
+  bool ok = false;
+  double seconds = -1.0;
+  std::size_t responses = 0;
+  std::size_t bad_status = 0;  ///< HTTP responses whose status was not 200
+};
+
+/// `hits` pipelined single-request POSTs on one keep-alive connection;
+/// responses parsed back to back with one ResponseParser, reset between.
+WireResult run_http_hits(std::uint16_t http_port, int hits) {
+  WireResult r;
+  Client cl(http_port);
+  if (!cl.connected()) return r;
+
+  std::string batch;
+  for (int i = 0; i < hits; ++i) {
+    batch += http_post(cached_request("h-" + std::to_string(i), 1 << (i % 7)));
+  }
+
+  http::ResponseParser rp;
+  std::string buf;
+  const auto t0 = Clock::now();
+  if (!cl.send_all(batch)) return r;
+  while (r.responses < static_cast<std::size_t>(hits)) {
+    if (!buf.empty()) {
+      const std::size_t used = rp.feed(buf);
+      buf.erase(0, used);
+      if (rp.failed()) return r;
+      if (rp.complete()) {
+        if (rp.status() != 200) ++r.bad_status;
+        ++r.responses;
+        rp.reset();
+        continue;
+      }
+    }
+    char chunk[8192];
+    const ssize_t n = ::recv(cl.fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return r;
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  r.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  r.ok = r.bad_status == 0;
+  return r;
+}
+
+/// The same `hits` cached requests pipelined as raw JSON lines.
+WireResult run_raw_hits(std::uint16_t raw_port, int hits) {
+  WireResult r;
+  Client cl(raw_port);
+  if (!cl.connected()) return r;
+
+  std::string batch;
+  for (int i = 0; i < hits; ++i) {
+    batch += cached_request("r-" + std::to_string(i), 1 << (i % 7));
+  }
+
+  const auto t0 = Clock::now();
+  if (!cl.send_all(batch)) return r;
+  for (int i = 0; i < hits; ++i) {
+    if (cl.recv_line().empty()) return r;
+    ++r.responses;
+  }
+  r.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  r.ok = true;
+  return r;
+}
+
+struct PairedResult {
+  bool ok = false;
+  WireResult http;  ///< fastest HTTP rep
+  WireResult raw;   ///< fastest raw rep
+  double ratio = -1.0;  ///< best per-rep http/raw ratio
+  std::size_t http_responses = 0;
+  std::size_t raw_responses = 0;
+  std::size_t bad_status = 0;
+};
+
+/// Interleaves raw and HTTP reps and keeps the best *paired* ratio: each
+/// rep's two runs are adjacent in time, so machine-wide noise (one CPU,
+/// sanitizers, a busy CI host) hits both wires alike instead of skewing
+/// whichever phase ran during the spike.
+PairedResult run_paired(const net::Server& server, int reps, int hits) {
+  PairedResult pr;
+  for (int i = 0; i < reps; ++i) {
+    const WireResult raw = run_raw_hits(server.port(), hits);
+    pr.raw_responses = raw.responses;
+    if (!raw.ok) return pr;
+    const WireResult http = run_http_hits(server.http_port(), hits);
+    pr.http_responses = http.responses;
+    pr.bad_status = http.bad_status;
+    if (!http.ok) return pr;
+    if (pr.raw.seconds < 0.0 || raw.seconds < pr.raw.seconds) pr.raw = raw;
+    if (pr.http.seconds < 0.0 || http.seconds < pr.http.seconds)
+      pr.http = http;
+    const double ratio = http.seconds / raw.seconds;
+    if (pr.ratio < 0.0 || ratio < pr.ratio) pr.ratio = ratio;
+  }
+  pr.ok = true;
+  return pr;
+}
+
+struct BatchResult {
+  bool ok = false;
+  bool chunked = false;
+  std::size_t lines = 0;
+  double ms = -1.0;
+};
+
+/// One POST whose body is a JSON-lines batch; the reply must stream back
+/// as a single chunked response with one line per request.
+BatchResult run_batch(std::uint16_t http_port, int items) {
+  BatchResult r;
+  Client cl(http_port);
+  if (!cl.connected()) return r;
+
+  std::string body;
+  for (int i = 0; i < items; ++i) {
+    body += cached_request("b-" + std::to_string(i), 1 << (i % 7));
+  }
+
+  http::ResponseParser rp;
+  std::string buf;
+  const auto t0 = Clock::now();
+  if (!cl.send_all(http_post(body))) return r;
+  while (!rp.complete()) {
+    if (!buf.empty()) {
+      const std::size_t used = rp.feed(buf);
+      buf.erase(0, used);
+      if (rp.failed()) return r;
+      if (rp.complete()) break;
+    }
+    char chunk[8192];
+    const ssize_t n = ::recv(cl.fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return r;
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  r.ms = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  r.chunked = rp.chunked();
+  for (char ch : rp.body()) {
+    if (ch == '\n') ++r.lines;
+  }
+  r.ok = rp.status() == 200 && r.chunked &&
+         r.lines == static_cast<std::size_t>(items);
+  return r;
+}
+
+std::string fmt_json(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+/// Splices `section` (the body of the "http" object, already indented)
+/// into an existing serve_throughput artifact, replacing a previous
+/// "http" section when present.  Empty string when `doc` is not a JSON
+/// object this function knows how to extend.
+std::string splice_http(std::string doc, const std::string& section) {
+  const std::string key = ",\n  \"http\": {";
+  const std::size_t prev = doc.find(key);
+  if (prev != std::string::npos) {
+    doc.erase(prev);
+  } else {
+    const std::size_t end = doc.rfind("\n}");
+    if (end == std::string::npos) return "";
+    doc.erase(end);
+  }
+  doc += ",\n  \"http\": {\n" + section + "  }\n}\n";
+  return doc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool gate = false;
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--gate") {
+      gate = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(std::string("--out=").size());
+    } else {
+      std::cerr << "http_throughput: unknown argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+
+  obs::set_metrics_enabled(true);
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  constexpr int kHits = 500;
+  constexpr int kBatch = 64;
+  constexpr int kReps = 5;
+
+  serve::Service::Options sopts;
+  sopts.jobs = 2;
+  net::ServerOptions nopts;
+  nopts.shards = 2;
+  nopts.http = true;
+  BenchServer s(sopts, nopts);
+
+  if (!warm_cache(s.server.port())) {
+    std::cerr << "FAIL: cache warm-up lost a connection or a response\n";
+    return 1;
+  }
+
+  // Server-side exchange latency for the summary: everything after the
+  // warm-up contributes.
+  obs::Histogram& lat = obs::Registry::global().histogram(
+      "rvhpc_http_request_duration_seconds");
+  lat.reset();
+
+  const PairedResult paired = run_paired(s.server, kReps, kHits);
+  if (!paired.ok) {
+    std::cerr << "FAIL: a cached-hit run lost responses (raw "
+              << paired.raw_responses << "/" << kHits << ", HTTP "
+              << paired.http_responses << "/" << kHits << ", "
+              << paired.bad_status << " non-200)\n";
+    return 1;
+  }
+  const WireResult& http = paired.http;
+  const WireResult& raw = paired.raw;
+  const double ratio = paired.ratio;
+  const double http_rps = static_cast<double>(kHits) / http.seconds;
+  const double raw_rps = static_cast<double>(kHits) / raw.seconds;
+
+  const BatchResult batch = run_batch(s.server.http_port(), kBatch);
+  if (!batch.ok) {
+    std::cerr << "FAIL: batch POST of " << kBatch
+              << " request(s) came back with " << batch.lines << " line(s), "
+              << (batch.chunked ? "chunked" : "not chunked") << "\n";
+    return 1;
+  }
+
+  const double p50_us = lat.percentile(50.0) * 1e6;
+  const double p99_us = lat.percentile(99.0) * 1e6;
+
+  report::Table t({"wire", "seconds", "requests/s"});
+  t.add_row({"raw JSON lines", report::fmt(raw.seconds, 4),
+             report::fmt(raw_rps, 0)});
+  t.add_row({"HTTP keep-alive", report::fmt(http.seconds, 4),
+             report::fmt(http_rps, 0)});
+  std::cout << t.render() << "\nbest paired overhead: "
+            << report::fmt(ratio, 2)
+            << "x the raw wire\nbatch POST: " << kBatch << " request(s) in "
+            << report::fmt(batch.ms, 1)
+            << " ms, one chunked response\nserver-side exchange p50 "
+            << report::fmt(p50_us, 0) << " us, p99 " << report::fmt(p99_us, 0)
+            << " us (" << static_cast<std::uint64_t>(lat.count())
+            << " exchanges)\nhardware threads: " << hw << "\n";
+
+  // --- the "http" section of BENCH_serve.json -------------------------------
+  {
+    std::ostringstream sec;
+    sec << "    \"hits\": " << kHits << ",\n"
+        << "    \"reps\": " << kReps << ",\n"
+        << "    \"http_seconds\": " << fmt_json(http.seconds, 6) << ",\n"
+        << "    \"raw_seconds\": " << fmt_json(raw.seconds, 6) << ",\n"
+        << "    \"overhead_ratio\": " << fmt_json(ratio, 3) << ",\n"
+        << "    \"http_requests_per_s\": " << fmt_json(http_rps, 1) << ",\n"
+        << "    \"batch_items\": " << kBatch << ",\n"
+        << "    \"batch_ms\": " << fmt_json(batch.ms, 3) << ",\n"
+        << "    \"exchange_p50_us\": " << fmt_json(p50_us, 1) << ",\n"
+        << "    \"exchange_p99_us\": " << fmt_json(p99_us, 1) << "\n";
+
+    std::string doc;
+    {
+      std::ifstream in(out_path, std::ios::binary);
+      if (in) {
+        std::ostringstream all;
+        all << in.rdbuf();
+        doc = all.str();
+      }
+    }
+    std::string spliced = doc.empty() ? "" : splice_http(doc, sec.str());
+    if (spliced.empty()) {
+      // No serve_throughput artifact to extend — standalone document.
+      spliced = "{\n  \"bench\": \"http_throughput\",\n  \"hardware_threads\": " +
+                std::to_string(hw) + ",\n  \"sanitized\": " +
+                (kSanitized ? "true" : "false") + ",\n  \"http\": {\n" +
+                sec.str() + "  }\n}\n";
+    }
+    std::ofstream out(out_path, std::ios::binary);
+    out << spliced;
+    if (!out) {
+      std::cerr << "http_throughput: cannot write " << out_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << out_path << "\n";
+  }
+
+  if (!gate) return 0;
+  if (kSanitized) {
+    std::cout << "gate: sanitized build — correctness checked, overhead "
+                 "threshold skipped\n";
+    return 0;
+  }
+  if (hw < 2) {
+    std::cout << "gate: " << hw << " hardware thread(s) — correctness "
+                 "checked, overhead threshold needs >= 2\n";
+    return 0;
+  }
+  if (ratio > 1.25) {
+    std::cerr << "FAIL: HTTP keep-alive cached hits cost "
+              << report::fmt(ratio, 2)
+              << "x the raw wire — above the 1.25x acceptance bar\n";
+    return 1;
+  }
+  std::cout << "gate: correctness held and HTTP overhead "
+            << report::fmt(ratio, 2) << "x <= 1.25x — PASSED\n";
+  return 0;
+}

@@ -13,8 +13,9 @@
 # and warm through rvhpc-serve (bit-identical outputs, >= 90% warm cache
 # hits) plus the rvhpc-serve --gate, serves the same fixture over loopback
 # TCP with --shards=2 to two concurrent rvhpc-clients (merged responses
-# byte-identical to the stdio replay, graceful SIGTERM drain), then
-# re-runs the threaded
+# byte-identical to the stdio replay, graceful SIGTERM drain), serves it
+# again over HTTP/1.1 (curl batch POST + rvhpc-client --http, /metrics
+# and /healthz probed, graceful drain), then re-runs the threaded
 # tests under TSan to catch data races in the thread pool and the net
 # event loop.  Exits non-zero on the first failure.
 #
@@ -68,6 +69,10 @@ for exe in "$build_dir"/bench/*; do
       # engine_throughput.  The checked-in BENCH_serve.json is regenerated
       # deliberately, not on every CI run.
       args=(--gate "--out=$build_dir/BENCH_serve.smoke.json") ;;
+    http_throughput)
+      # HTTP framing gate: correctness always, the 1.25x overhead bar
+      # self-skips on sanitized builds and single-thread hosts.
+      args=(--gate "--out=$build_dir/BENCH_serve.http.smoke.json") ;;
     *)
       args=() ;;
   esac
@@ -167,6 +172,52 @@ grep -q "net: drained" "$serve_tmp/net.log"
 echo "-- $(wc -l < "$serve_tmp/tcp_merged.jsonl") responses over TCP," \
   "byte-identical to the stdio replay; drain was graceful"
 
+echo "== rvhpc-serve --http: curl-able predictions match the stdio replay"
+# The HTTP front-end gate: serve the same fixture over HTTP/1.1 — a
+# curl batch POST streamed back chunked, plus rvhpc-client --http — and
+# require the sorted responses byte-identical to the stdio replay, the
+# per-route request counter on /metrics, a drain-aware /healthz and a
+# graceful SIGTERM drain.  curl is optional (rvhpc-client --http always
+# runs); ids make the sort order-insensitive exactly like the TCP gate.
+"$serve" --http=tcp:0 --shards=2 --no-live-fields \
+  --cache-file="$serve_tmp/http.cache" 2> "$serve_tmp/http.log" &
+http_pid=$!
+hport=""
+for _ in $(seq 1 100); do
+  hport="$(sed -n 's/.*http: listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "$serve_tmp/http.log")"
+  [ -n "$hport" ] && break
+  sleep 0.1
+done
+if [ -z "$hport" ]; then
+  echo "error: rvhpc-serve never reported its HTTP port" >&2
+  kill "$http_pid" 2> /dev/null || true
+  exit 1
+fi
+if command -v curl > /dev/null 2>&1; then
+  # --data-binary, not -d: -d strips the newlines that delimit the batch.
+  curl -sS --data-binary "@$fixture" "http://127.0.0.1:$hport/v1/predict" \
+    | LC_ALL=C sort > "$serve_tmp/http_curl.jsonl"
+  cmp "$serve_tmp/http_curl.jsonl" "$serve_tmp/stdio_sorted.jsonl"
+  curl -sS "http://127.0.0.1:$hport/healthz" | grep -q '"serving"'
+  curl -sS "http://127.0.0.1:$hport/metrics" \
+    | grep -q 'rvhpc_http_requests_total{route="/v1/predict",status="200"}'
+  echo "-- curl batch POST byte-identical to the stdio replay;" \
+    "/metrics and /healthz answer"
+else
+  echo "-- curl not found; relying on rvhpc-client --http"
+fi
+"$client" --http --connect="127.0.0.1:$hport" --in="$fixture" \
+  --out="$serve_tmp/http_client.jsonl" 2> /dev/null
+LC_ALL=C sort "$serve_tmp/http_client.jsonl" \
+  > "$serve_tmp/http_client_sorted.jsonl"
+cmp "$serve_tmp/http_client_sorted.jsonl" "$serve_tmp/stdio_sorted.jsonl"
+kill -TERM "$http_pid"
+wait "$http_pid"  # the drain must be graceful: exit 0, not a crash
+grep -q "net: drained" "$serve_tmp/http.log"
+echo "-- rvhpc-client --http byte-identical to the stdio replay;" \
+  "drain was graceful"
+
 echo "== configure (TSan) -> $build_dir-tsan"
 # TSan cannot combine with ASan, so the thread pool's owners get their own
 # build; the engine, obs and serve tests run there — they own all the
@@ -180,13 +231,15 @@ cmake -B "$build_dir-tsan" -S "$repo_root" "${generator[@]}" \
 # test_sim exercises two concurrent memsim consumers (interval backend +
 # stall profiler), which only TSan can vouch for.
 cmake --build "$build_dir-tsan" -j \
-  --target test_engine test_obs test_serve test_net test_analysis test_sim
-echo "== TSan: test_engine + test_obs + test_serve + test_net" \
+  --target test_engine test_obs test_serve test_net test_http test_analysis \
+  test_sim
+echo "== TSan: test_engine + test_obs + test_serve + test_net + test_http" \
   "+ test_analysis + test_sim"
 "$build_dir-tsan/tests/test_engine"
 "$build_dir-tsan/tests/test_obs"
 "$build_dir-tsan/tests/test_serve"
 "$build_dir-tsan/tests/test_net"
+"$build_dir-tsan/tests/test_http"
 "$build_dir-tsan/tests/test_analysis"
 "$build_dir-tsan/tests/test_sim"
 

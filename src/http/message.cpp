@@ -1,0 +1,168 @@
+#include "http/message.hpp"
+
+namespace rvhpc::http {
+namespace {
+
+/// Trims ?query from a request-target so routing sees the path only.
+std::string_view path_of(std::string_view target) {
+  const std::size_t q = target.find('?');
+  return q == std::string_view::npos ? target : target.substr(0, q);
+}
+
+/// Finds `"key": "<value>"` in a serve-wire JSON line and returns the
+/// value, or empty.  The serve layer emits these strings itself with a
+/// fixed ": " separator, so a substring scan is exact here — this is
+/// not a general JSON parser.
+std::string_view json_string_member(std::string_view json,
+                                    std::string_view needle) {
+  const std::size_t at = json.find(needle);
+  if (at == std::string_view::npos) return {};
+  const std::size_t start = at + needle.size();
+  const std::size_t end = json.find('"', start);
+  if (end == std::string_view::npos) return {};
+  return json.substr(start, end - start);
+}
+
+}  // namespace
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 100: return "Continue";
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Content Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default:  return "Unknown";
+  }
+}
+
+RouteMatch route_target(std::string_view method, std::string_view target) {
+  const std::string_view path = path_of(target);
+  if (path == "/v1/predict") {
+    if (method == "POST") return {Route::Predict, ""};
+    return {Route::MethodNotAllowed, "POST"};
+  }
+  if (path == "/metrics") {
+    if (method == "GET" || method == "HEAD") return {Route::Metrics, ""};
+    return {Route::MethodNotAllowed, "GET, HEAD"};
+  }
+  if (path == "/healthz") {
+    if (method == "GET" || method == "HEAD") return {Route::Healthz, ""};
+    return {Route::MethodNotAllowed, "GET, HEAD"};
+  }
+  return {Route::NotFound, ""};
+}
+
+const char* route_label(Route r) {
+  switch (r) {
+    case Route::Predict: return "/v1/predict";
+    case Route::Metrics: return "/metrics";
+    case Route::Healthz: return "/healthz";
+    case Route::NotFound:
+    case Route::MethodNotAllowed: return "other";
+  }
+  return "other";
+}
+
+int status_for_response(std::string_view response_json) {
+  if (json_string_member(response_json, "\"status\": \"") != "error") {
+    return 200;
+  }
+  const std::string_view kind =
+      json_string_member(response_json, "\"error\": \"");
+  if (kind == "parse" || kind == "lint") return 400;
+  if (kind == "overloaded") return 503;
+  if (kind == "timeout") return 504;
+  return 500;
+}
+
+int status_for_error(Error e) {
+  switch (e) {
+    case Error::BodyTooLarge:
+      return 413;
+    case Error::RequestLineTooLong:
+    case Error::HeadersTooLarge:
+      return 431;
+    default:
+      return 400;
+  }
+}
+
+namespace {
+
+void append_status_line(std::string& out, int status) {
+  out.append("HTTP/1.1 ");
+  // Statuses here are always three digits; render without ostringstream.
+  out.push_back(static_cast<char>('0' + status / 100));
+  out.push_back(static_cast<char>('0' + (status / 10) % 10));
+  out.push_back(static_cast<char>('0' + status % 10));
+  out.push_back(' ');
+  out.append(reason_phrase(status));
+  out.append("\r\n");
+}
+
+void append_common(std::string& out, bool keep_alive,
+                   std::string_view content_type,
+                   std::string_view extra_headers) {
+  if (!content_type.empty()) {
+    out.append("Content-Type: ");
+    out.append(content_type);
+    out.append("\r\n");
+  }
+  out.append(keep_alive ? "Connection: keep-alive\r\n"
+                        : "Connection: close\r\n");
+  out.append(extra_headers);
+}
+
+void append_size_decimal(std::string& out, std::size_t n) {
+  char digits[24];
+  std::size_t i = sizeof(digits);
+  do {
+    digits[--i] = static_cast<char>('0' + n % 10);
+    n /= 10;
+  } while (n != 0);
+  out.append(digits + i, sizeof(digits) - i);
+}
+
+}  // namespace
+
+void append_head(std::string& out, int status, bool keep_alive,
+                 std::string_view content_type, std::size_t content_length,
+                 std::string_view extra_headers) {
+  append_status_line(out, status);
+  append_common(out, keep_alive, content_type, extra_headers);
+  out.append("Content-Length: ");
+  append_size_decimal(out, content_length);
+  out.append("\r\n\r\n");
+}
+
+void append_chunked_head(std::string& out, int status, bool keep_alive,
+                         std::string_view content_type,
+                         std::string_view extra_headers) {
+  append_status_line(out, status);
+  append_common(out, keep_alive, content_type, extra_headers);
+  out.append("Transfer-Encoding: chunked\r\n\r\n");
+}
+
+void append_chunk(std::string& out, std::string_view payload) {
+  if (payload.empty()) return;
+  char hex[2 * sizeof(std::size_t)];
+  std::size_t n = payload.size();
+  std::size_t i = sizeof(hex);
+  do {
+    hex[--i] = "0123456789abcdef"[n & 0xF];
+    n >>= 4;
+  } while (n != 0);
+  out.append(hex + i, sizeof(hex) - i);
+  out.append("\r\n");
+  out.append(payload);
+  out.append("\r\n");
+}
+
+}  // namespace rvhpc::http

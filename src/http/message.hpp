@@ -1,0 +1,78 @@
+#pragma once
+// rvhpc::http — response rendering and routing helpers shared by the
+// server-side shard integration (net.cpp) and the HTTP clients
+// (rvhpc-client --http, bench/http_throughput).
+//
+// Everything here is pure string building: the shard event loop calls
+// these to render heads/chunks directly into its per-connection write
+// buffer, so nothing blocks and nothing does I/O.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "http/parser.hpp"
+
+namespace rvhpc::http {
+
+/// Canonical reason phrase for the status codes this server emits.
+[[nodiscard]] const char* reason_phrase(int status);
+
+/// The routes the front end serves.  NotFound/MethodNotAllowed are
+/// terminal error routes so per-route metrics can still label them.
+enum class Route {
+  Predict,            ///< POST /v1/predict
+  Metrics,            ///< GET /metrics
+  Healthz,            ///< GET /healthz
+  NotFound,           ///< unknown target -> 404
+  MethodNotAllowed,   ///< known target, wrong method -> 405 + Allow
+};
+
+struct RouteMatch {
+  Route route;
+  const char* allow;  ///< Allow header value when MethodNotAllowed, else ""
+};
+
+/// Resolves method + request-target to a route.  Any query string is
+/// ignored for matching ("/metrics?x=1" hits Metrics).
+[[nodiscard]] RouteMatch route_target(std::string_view method,
+                                      std::string_view target);
+
+/// Stable label for metrics: "/v1/predict", "/metrics", "/healthz" or
+/// "other" for the error routes.
+[[nodiscard]] const char* route_label(Route r);
+
+/// Maps one serve-wire response line onto an HTTP status: 200 for ok,
+/// 400 parse/lint, 503 overloaded, 504 timeout, 500 anything else
+/// flagged "status": "error".
+[[nodiscard]] int status_for_response(std::string_view response_json);
+
+/// Maps a request-parser failure onto a status: 413 for BodyTooLarge,
+/// 431 for oversized request line / header block, 400 otherwise.
+[[nodiscard]] int status_for_error(Error e);
+
+/// Appends a fixed-length response head:
+///   HTTP/1.1 <status> <reason>\r\n
+///   Content-Type / Content-Length / Connection (+ extra_headers)\r\n\r\n
+/// extra_headers, when non-empty, must be full "Name: value\r\n" lines.
+void append_head(std::string& out, int status, bool keep_alive,
+                 std::string_view content_type, std::size_t content_length,
+                 std::string_view extra_headers = {});
+
+/// Appends a chunked-transfer response head (no Content-Length;
+/// Transfer-Encoding: chunked).
+void append_chunked_head(std::string& out, int status, bool keep_alive,
+                         std::string_view content_type,
+                         std::string_view extra_headers = {});
+
+/// Appends one chunk (hex size line + payload + CRLF).  Empty payloads
+/// are skipped: a zero-size chunk would terminate the body.
+void append_chunk(std::string& out, std::string_view payload);
+
+/// Terminates a chunked body.
+inline constexpr std::string_view kLastChunk = "0\r\n\r\n";
+
+/// Interim reply owed when a request carries "Expect: 100-continue".
+inline constexpr std::string_view kContinue = "HTTP/1.1 100 Continue\r\n\r\n";
+
+}  // namespace rvhpc::http

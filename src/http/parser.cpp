@@ -1,0 +1,512 @@
+#include "http/parser.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace rvhpc::http {
+namespace {
+
+char lower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+void lower_inplace(std::string& s) {
+  for (char& c : s) c = lower(c);
+}
+
+std::string_view trim_ows(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (lower(a[i]) != lower(b[i])) return false;
+  }
+  return true;
+}
+
+/// Case-insensitive "does the comma-separated header value contain this
+/// token" — Connection and Expect are token lists.
+bool has_token(std::string_view value, std::string_view token) {
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    std::size_t comma = value.find(',', pos);
+    if (comma == std::string_view::npos) comma = value.size();
+    if (iequals(trim_ows(value.substr(pos, comma - pos)), token)) return true;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+/// Strict decimal parse for Content-Length; false on empty/garbage/
+/// overflow.
+bool parse_decimal(std::string_view s, std::size_t& out) {
+  if (s.empty()) return false;
+  std::size_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    if (v > (std::numeric_limits<std::size_t>::max() - 9) / 10) return false;
+    v = v * 10 + static_cast<std::size_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+/// Hex parse for chunk-size lines; stops at ';' (chunk extensions).
+bool parse_chunk_size(std::string_view s, std::size_t& out) {
+  s = trim_ows(s);
+  const std::size_t semi = s.find(';');
+  if (semi != std::string_view::npos) s = trim_ows(s.substr(0, semi));
+  if (s.empty()) return false;
+  std::size_t v = 0;
+  for (char c : s) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    if (v > (std::numeric_limits<std::size_t>::max() >> 4)) return false;
+    v = (v << 4) | static_cast<std::size_t>(digit);
+  }
+  out = v;
+  return true;
+}
+
+const std::string* find_header(const std::vector<Header>& headers,
+                               std::string_view name) {
+  for (const Header& h : headers) {
+    if (h.name == name) return &h.value;
+  }
+  return nullptr;
+}
+
+/// Shared header-line handling: lowercase the name, trim the value,
+/// fold obs-fold continuations into the previous header.  Returns false
+/// on a line with no colon.
+///
+/// `live` counts the headers of the *current* message; entries beyond it
+/// are kept-alive storage from a previous request on the same parser, so
+/// a steady-state keep-alive connection assigns into existing strings
+/// instead of allocating a fresh Header per line.  The caller trims the
+/// vector to `live` before exposing it (end of the header block).
+bool ingest_header_line(const std::string& line, std::vector<Header>& headers,
+                        std::size_t& live) {
+  if (line.front() == ' ' || line.front() == '\t') {
+    // Obsolete line folding: a continuation of the previous value.
+    if (live == 0) return false;
+    Header& prev = headers[live - 1];
+    prev.value += ' ';
+    prev.value.append(trim_ows(line));
+    return true;
+  }
+  const std::size_t colon = line.find(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  if (live == headers.size()) headers.emplace_back();
+  Header& h = headers[live++];
+  h.name.assign(trim_ows(std::string_view(line).substr(0, colon)));
+  lower_inplace(h.name);
+  h.value.assign(trim_ows(std::string_view(line).substr(colon + 1)));
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(Error e) {
+  switch (e) {
+    case Error::None:               return "none";
+    case Error::BadRequestLine:     return "malformed request line";
+    case Error::BadVersion:         return "unsupported HTTP version";
+    case Error::BadHeader:          return "malformed header line";
+    case Error::BadContentLength:   return "bad Content-Length";
+    case Error::UnsupportedBody:    return "only Content-Length bodies are supported";
+    case Error::RequestLineTooLong: return "request line too long";
+    case Error::HeadersTooLarge:    return "header block too large";
+    case Error::BodyTooLarge:       return "body exceeds the configured limit";
+  }
+  return "unknown";
+}
+
+// --- RequestParser ---------------------------------------------------------
+
+RequestParser::RequestParser(Limits limits) : limits_(limits) {
+  line_.reserve(128);
+  headers_.reserve(8);
+}
+
+void RequestParser::fail(Error e) {
+  state_ = State::Failed;
+  error_ = e;
+}
+
+std::size_t RequestParser::feed(std::string_view data) {
+  std::size_t used = 0;
+  // rvhpc: hot-path begin — the per-read framing loop: every byte of
+  // every HTTP request crosses it on a shard event loop, so it must stay
+  // free of per-iteration allocations (bulk appends into pre-sized
+  // buffers only).
+  while (used < data.size() && state_ != State::Complete &&
+         state_ != State::Failed) {
+    if (state_ == State::Body) {
+      const std::size_t want = content_length_ - body_.size();
+      const std::size_t take = std::min(want, data.size() - used);
+      body_.append(data.data() + used, take);
+      used += take;
+      if (body_.size() == content_length_) state_ = State::Complete;
+      continue;
+    }
+    // Line-oriented states: accumulate up to the next LF, resumably.
+    const std::size_t nl = data.find('\n', used);
+    const std::size_t end = (nl == std::string_view::npos) ? data.size() : nl;
+    line_.append(data.data() + used, end - used);
+    used = end;
+    if (state_ == State::RequestLine) {
+      if (line_.size() > limits_.max_request_line) {
+        fail(Error::RequestLineTooLong);
+        break;
+      }
+    } else if (header_bytes_ + line_.size() > limits_.max_header_bytes) {
+      fail(Error::HeadersTooLarge);
+      break;
+    }
+    if (nl == std::string_view::npos) break;  // mid-line: resume next read
+    ++used;                                   // consume the LF
+    if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+    const bool ok = (state_ == State::RequestLine) ? parse_request_line()
+                                                   : parse_header_line();
+    line_.clear();
+    if (!ok) break;
+  }
+  // rvhpc: hot-path end
+  return used;
+}
+
+bool RequestParser::parse_request_line() {
+  if (line_.empty()) return true;  // tolerated: blank line(s) before a request
+  const std::string_view line(line_);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      (sp1 == std::string_view::npos) ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      sp1 == 0 || sp2 == sp1 + 1 || sp2 + 1 >= line.size() ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    fail(Error::BadRequestLine);
+    return false;
+  }
+  method_.assign(line.substr(0, sp1));
+  target_.assign(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version == "HTTP/1.1") {
+    version_minor_ = 1;
+  } else if (version == "HTTP/1.0") {
+    version_minor_ = 0;
+  } else if (version.rfind("HTTP/", 0) == 0) {
+    fail(Error::BadVersion);
+    return false;
+  } else {
+    fail(Error::BadRequestLine);
+    return false;
+  }
+  state_ = State::Headers;
+  return true;
+}
+
+bool RequestParser::parse_header_line() {
+  if (line_.empty()) {
+    headers_.resize(live_headers_);  // drop reused slots past this message
+    finish_headers();
+    return state_ != State::Failed;
+  }
+  header_bytes_ += line_.size();
+  if (!ingest_header_line(line_, headers_, live_headers_)) {
+    fail(Error::BadHeader);
+    return false;
+  }
+  return true;
+}
+
+void RequestParser::finish_headers() {
+  if (find_header(headers_, "transfer-encoding") != nullptr) {
+    // Requests are Content-Length-framed only (DESIGN.md §14); a chunked
+    // request body would need trailer plumbing nothing here wants.
+    fail(Error::UnsupportedBody);
+    return;
+  }
+  if (const std::string* cl = find_header(headers_, "content-length")) {
+    if (!parse_decimal(*cl, content_length_)) {
+      fail(Error::BadContentLength);
+      return;
+    }
+    have_content_length_ = true;
+    if (content_length_ > limits_.max_body) {
+      fail(Error::BodyTooLarge);
+      return;
+    }
+  }
+  const std::string* conn = find_header(headers_, "connection");
+  if (version_minor_ >= 1) {
+    keep_alive_ = !(conn && has_token(*conn, "close"));
+  } else {
+    keep_alive_ = conn && has_token(*conn, "keep-alive");
+  }
+  if (const std::string* expect = find_header(headers_, "expect")) {
+    expect_continue_ = has_token(*expect, "100-continue");
+  }
+  if (have_content_length_ && content_length_ > 0) {
+    body_.reserve(content_length_);
+    state_ = State::Body;
+  } else {
+    state_ = State::Complete;
+  }
+}
+
+const std::string* RequestParser::header(std::string_view name) const {
+  return find_header(headers_, name);
+}
+
+void RequestParser::reset() {
+  state_ = State::RequestLine;
+  error_ = Error::None;
+  line_.clear();
+  method_.clear();
+  target_.clear();
+  version_minor_ = 1;
+  // headers_ entries are kept as reusable storage (live_headers_ marks
+  // the live prefix while the next message parses).
+  live_headers_ = 0;
+  header_bytes_ = 0;
+  body_.clear();
+  content_length_ = 0;
+  have_content_length_ = false;
+  keep_alive_ = true;
+  expect_continue_ = false;
+}
+
+// --- ResponseParser --------------------------------------------------------
+
+ResponseParser::ResponseParser(Limits limits) : limits_(limits) {
+  line_.reserve(128);
+  headers_.reserve(8);
+}
+
+void ResponseParser::fail(Error e) {
+  state_ = State::Failed;
+  error_ = e;
+}
+
+std::size_t ResponseParser::feed(std::string_view data) {
+  std::size_t used = 0;
+  while (used < data.size() && state_ != State::Complete &&
+         state_ != State::Failed) {
+    if (state_ == State::BodyLength) {
+      const std::size_t want = content_length_ - body_.size();
+      const std::size_t take = std::min(want, data.size() - used);
+      body_.append(data.data() + used, take);
+      used += take;
+      if (body_.size() == content_length_) state_ = State::Complete;
+      continue;
+    }
+    if (state_ == State::BodyEof) {
+      if (body_.size() + (data.size() - used) > limits_.max_body) {
+        fail(Error::BodyTooLarge);
+        break;
+      }
+      body_.append(data.data() + used, data.size() - used);
+      used = data.size();
+      continue;
+    }
+    if (state_ == State::ChunkData) {
+      const std::size_t take =
+          std::min(chunk_remaining_, data.size() - used);
+      if (body_.size() + take > limits_.max_body) {
+        fail(Error::BodyTooLarge);
+        break;
+      }
+      body_.append(data.data() + used, take);
+      used += take;
+      chunk_remaining_ -= take;
+      if (chunk_remaining_ == 0) state_ = State::ChunkDataEnd;
+      continue;
+    }
+    // Line-oriented states.
+    const std::size_t nl = data.find('\n', used);
+    const std::size_t end = (nl == std::string_view::npos) ? data.size() : nl;
+    line_.append(data.data() + used, end - used);
+    used = end;
+    if (header_bytes_ + line_.size() > limits_.max_header_bytes) {
+      fail(Error::HeadersTooLarge);
+      break;
+    }
+    if (nl == std::string_view::npos) break;
+    ++used;
+    if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+    bool ok = true;
+    switch (state_) {
+      case State::StatusLine:
+        ok = parse_status_line();
+        break;
+      case State::Headers:
+        ok = parse_header_line();
+        break;
+      case State::ChunkSize: {
+        std::size_t size = 0;
+        if (!parse_chunk_size(line_, size)) {
+          fail(Error::BadHeader);
+          ok = false;
+          break;
+        }
+        if (size == 0) {
+          state_ = State::Trailers;
+        } else if (body_.size() + size > limits_.max_body) {
+          fail(Error::BodyTooLarge);
+          ok = false;
+        } else {
+          chunk_remaining_ = size;
+          state_ = State::ChunkData;
+        }
+        break;
+      }
+      case State::ChunkDataEnd:
+        if (!line_.empty()) {
+          fail(Error::BadHeader);
+          ok = false;
+        } else {
+          state_ = State::ChunkSize;
+        }
+        break;
+      case State::Trailers:
+        if (line_.empty()) state_ = State::Complete;
+        break;
+      default:
+        break;
+    }
+    line_.clear();
+    if (!ok) break;
+  }
+  return used;
+}
+
+bool ResponseParser::parse_status_line() {
+  if (line_.empty()) return true;  // stray blank between pipelined responses
+  const std::string_view line(line_);
+  if (line.rfind("HTTP/1.", 0) != 0 || line.size() < 12 ||
+      line[8] != ' ') {
+    fail(Error::BadRequestLine);
+    return false;
+  }
+  version_minor_ = line[7] == '0' ? 0 : 1;
+  int status = 0;
+  for (int i = 9; i < 12; ++i) {
+    if (line[static_cast<std::size_t>(i)] < '0' ||
+        line[static_cast<std::size_t>(i)] > '9') {
+      fail(Error::BadRequestLine);
+      return false;
+    }
+    status = status * 10 + (line[static_cast<std::size_t>(i)] - '0');
+  }
+  status_ = status;
+  reason_.assign(line.size() > 13 ? line.substr(13) : std::string_view());
+  state_ = State::Headers;
+  return true;
+}
+
+bool ResponseParser::parse_header_line() {
+  if (line_.empty()) {
+    headers_.resize(live_headers_);  // drop reused slots past this message
+    finish_headers();
+    return state_ != State::Failed;
+  }
+  header_bytes_ += line_.size();
+  if (!ingest_header_line(line_, headers_, live_headers_)) {
+    fail(Error::BadHeader);
+    return false;
+  }
+  return true;
+}
+
+void ResponseParser::finish_headers() {
+  if (status_ >= 100 && status_ < 200) {
+    // Interim response (e.g. "100 Continue"): skip it and wait for the
+    // real one.
+    live_headers_ = 0;
+    header_bytes_ = 0;
+    status_ = 0;
+    reason_.clear();
+    state_ = State::StatusLine;
+    return;
+  }
+  const std::string* conn = find_header(headers_, "connection");
+  if (version_minor_ >= 1) {
+    keep_alive_ = !(conn && has_token(*conn, "close"));
+  } else {
+    keep_alive_ = conn && has_token(*conn, "keep-alive");
+  }
+  const std::string* te = find_header(headers_, "transfer-encoding");
+  if (te && has_token(*te, "chunked")) {
+    chunked_ = true;
+    state_ = State::ChunkSize;
+    return;
+  }
+  if (const std::string* cl = find_header(headers_, "content-length")) {
+    if (!parse_decimal(*cl, content_length_)) {
+      fail(Error::BadContentLength);
+      return;
+    }
+    if (content_length_ > limits_.max_body) {
+      fail(Error::BodyTooLarge);
+      return;
+    }
+    have_content_length_ = true;
+    state_ = content_length_ > 0 ? State::BodyLength : State::Complete;
+    return;
+  }
+  if (status_ == 204 || status_ == 304) {
+    state_ = State::Complete;
+    return;
+  }
+  state_ = State::BodyEof;
+}
+
+void ResponseParser::finish_eof() {
+  if (state_ == State::BodyEof) {
+    state_ = State::Complete;
+  } else if (state_ != State::Complete && state_ != State::Failed) {
+    fail(Error::BadHeader);
+  }
+}
+
+const std::string* ResponseParser::header(std::string_view name) const {
+  return find_header(headers_, name);
+}
+
+void ResponseParser::reset() {
+  state_ = State::StatusLine;
+  error_ = Error::None;
+  line_.clear();
+  status_ = 0;
+  reason_.clear();
+  // headers_ entries are kept as reusable storage (live_headers_ marks
+  // the live prefix while the next message parses).
+  live_headers_ = 0;
+  header_bytes_ = 0;
+  body_.clear();
+  content_length_ = 0;
+  have_content_length_ = false;
+  chunked_ = false;
+  chunk_remaining_ = 0;
+  keep_alive_ = true;
+  version_minor_ = 1;
+}
+
+}  // namespace rvhpc::http

@@ -1,0 +1,214 @@
+#pragma once
+// rvhpc::http — incremental HTTP/1.1 framing for the serving front end.
+//
+// The net front end speaks a bespoke JSON-lines protocol that no stock
+// tool can talk to.  This module supplies the missing standards layer:
+// a pure, resumable HTTP/1.1 *request* parser (request line + headers +
+// Content-Length body) for the server side, and a *response* parser
+// (status line + headers + Content-Length or chunked body) for
+// rvhpc-client's --http mode and the load generator.  Both are
+// allocation-conscious incremental state machines:
+//
+//   - no threads, no blocking, no I/O — feed() consumes bytes from
+//     whatever buffer the caller's poll() loop filled and returns how
+//     many it took, so a message split across any number of reads
+//     (mid-request-line, mid-header, mid-body) resumes exactly where it
+//     stopped;
+//   - feed() stops consuming at the end of one complete message, so
+//     pipelined keep-alive requests stay in the caller's buffer until
+//     reset() re-arms the parser for the next one;
+//   - every internal buffer is bounded (request line, header block,
+//     body), and exceeding a bound is a typed error the caller maps onto
+//     the 400/413/431-style taxonomy — a hostile peer can never grow
+//     parser state without limit.
+//
+// The server-side integration (shard event loops, routing, response
+// writing) lives in net.cpp; the response-head/chunk rendering helpers
+// live in http/message.hpp.  DESIGN.md §14 documents the whole layer.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rvhpc::http {
+
+/// Size bounds applied while parsing; exceeding one is a typed Error,
+/// never unbounded buffering.
+struct Limits {
+  std::size_t max_request_line = 8 * 1024;
+  std::size_t max_header_bytes = 32 * 1024;  ///< all header lines together
+  std::size_t max_body = 1024 * 1024;
+};
+
+/// Why a parse failed — the caller maps these onto HTTP status codes
+/// (http::status_for_error in message.hpp).
+enum class Error {
+  None,
+  BadRequestLine,    ///< malformed "METHOD SP target SP HTTP/1.x"
+  BadVersion,        ///< not HTTP/1.0 or HTTP/1.1
+  BadHeader,         ///< header line without ':', or garbage
+  BadContentLength,  ///< non-numeric or duplicate-conflicting length
+  UnsupportedBody,   ///< Transfer-Encoding on a request (only length bodies)
+  RequestLineTooLong,
+  HeadersTooLarge,
+  BodyTooLarge,      ///< Content-Length beyond Limits::max_body
+};
+
+[[nodiscard]] const char* to_string(Error e);
+
+/// One parsed header, name lowercased at ingest so lookups are
+/// case-insensitive without per-lookup normalisation.
+struct Header {
+  std::string name;   ///< lowercased
+  std::string value;  ///< OWS-trimmed
+};
+
+/// Incremental HTTP/1.1 request parser (server side).
+///
+///   RequestParser p(limits);
+///   size_t used = p.feed(buf);   // consume from the connection buffer
+///   buf.erase(0, used);
+///   if (p.failed())   -> status_for_error(p.error()), close
+///   if (p.complete()) -> route it, then p.reset() for the next request
+///
+/// CRLF and bare-LF line endings are both accepted (curl sends CRLF;
+/// hand-rolled test clients often do not).
+class RequestParser {
+ public:
+  explicit RequestParser(Limits limits = {});
+
+  /// Consumes as much of `data` as this request can use and returns the
+  /// number of bytes taken.  Stops consuming once the request is
+  /// complete (pipelined successors stay with the caller) or failed.
+  std::size_t feed(std::string_view data);
+
+  [[nodiscard]] bool complete() const { return state_ == State::Complete; }
+  [[nodiscard]] bool failed() const { return state_ == State::Failed; }
+  [[nodiscard]] Error error() const { return error_; }
+  /// True once the header block has fully parsed (before the body is in)
+  /// — the point where an Expect: 100-continue interim reply is due.
+  [[nodiscard]] bool headers_complete() const {
+    return state_ == State::Body || state_ == State::Complete;
+  }
+
+  [[nodiscard]] const std::string& method() const { return method_; }
+  /// Request target as sent (path + optional query), no normalisation.
+  [[nodiscard]] const std::string& target() const { return target_; }
+  /// 0 for HTTP/1.0, 1 for HTTP/1.1.
+  [[nodiscard]] int version_minor() const { return version_minor_; }
+  [[nodiscard]] const std::vector<Header>& headers() const { return headers_; }
+  /// Value of the first header named `name` (lowercase), or nullptr.
+  [[nodiscard]] const std::string* header(std::string_view name) const;
+  [[nodiscard]] const std::string& body() const { return body_; }
+  [[nodiscard]] std::size_t content_length() const { return content_length_; }
+  /// Whether the connection should stay open after this exchange:
+  /// HTTP/1.1 defaults to keep-alive unless "Connection: close";
+  /// HTTP/1.0 defaults to close unless "Connection: keep-alive".
+  [[nodiscard]] bool keep_alive() const { return keep_alive_; }
+  /// The client asked for a "100 Continue" before sending its body.
+  [[nodiscard]] bool expect_continue() const { return expect_continue_; }
+
+  /// Re-arms for the next request on a keep-alive connection.  Buffers
+  /// keep their capacity, so a pipelined burst parses without
+  /// re-allocating per request.
+  void reset();
+
+ private:
+  enum class State { RequestLine, Headers, Body, Complete, Failed };
+
+  void fail(Error e);
+  bool parse_request_line();
+  bool parse_header_line();
+  void finish_headers();
+
+  Limits limits_;
+  State state_ = State::RequestLine;
+  Error error_ = Error::None;
+  std::string line_;  ///< the header/request line being accumulated
+  std::string method_;
+  std::string target_;
+  int version_minor_ = 1;
+  std::vector<Header> headers_;
+  std::size_t live_headers_ = 0;  ///< headers of the current message;
+                                  ///< entries past it are reused storage
+  std::size_t header_bytes_ = 0;
+  std::string body_;
+  std::size_t content_length_ = 0;
+  bool have_content_length_ = false;
+  bool keep_alive_ = true;
+  bool expect_continue_ = false;
+};
+
+/// Incremental HTTP/1.1 response parser (client side: rvhpc-client
+/// --http, bench/http_throughput).  Handles Content-Length bodies,
+/// chunked transfer coding (the server streams batch replies chunked)
+/// and read-until-EOF bodies; interim 1xx responses are skipped
+/// transparently.
+class ResponseParser {
+ public:
+  explicit ResponseParser(Limits limits = {0, 32 * 1024,
+                                           std::size_t(256) * 1024 * 1024});
+
+  /// Consumes as much of `data` as the current response can use.
+  std::size_t feed(std::string_view data);
+  /// For a response with neither Content-Length nor chunked coding the
+  /// body runs to connection close: the caller reports EOF here, which
+  /// completes such a response (and is an error mid-chunk/mid-length).
+  void finish_eof();
+
+  [[nodiscard]] bool complete() const { return state_ == State::Complete; }
+  [[nodiscard]] bool failed() const { return state_ == State::Failed; }
+  [[nodiscard]] Error error() const { return error_; }
+  [[nodiscard]] int status() const { return status_; }
+  [[nodiscard]] const std::string& reason() const { return reason_; }
+  [[nodiscard]] const std::vector<Header>& headers() const { return headers_; }
+  [[nodiscard]] const std::string* header(std::string_view name) const;
+  [[nodiscard]] const std::string& body() const { return body_; }
+  [[nodiscard]] bool chunked() const { return chunked_; }
+  [[nodiscard]] bool keep_alive() const { return keep_alive_; }
+
+  /// Re-arms for the next response on a keep-alive connection.
+  void reset();
+
+ private:
+  enum class State {
+    StatusLine,
+    Headers,
+    BodyLength,    ///< Content-Length countdown
+    BodyEof,       ///< neither length nor chunked: read to EOF
+    ChunkSize,     ///< hex size line
+    ChunkData,
+    ChunkDataEnd,  ///< CRLF after chunk payload
+    Trailers,      ///< after the 0-size chunk
+    Complete,
+    Failed,
+  };
+
+  void fail(Error e);
+  bool parse_status_line();
+  bool parse_header_line();
+  void finish_headers();
+
+  Limits limits_;
+  State state_ = State::StatusLine;
+  Error error_ = Error::None;
+  std::string line_;
+  int status_ = 0;
+  std::string reason_;
+  std::vector<Header> headers_;
+  std::size_t live_headers_ = 0;  ///< headers of the current message;
+                                  ///< entries past it are reused storage
+  std::size_t header_bytes_ = 0;
+  std::string body_;
+  std::size_t content_length_ = 0;
+  bool have_content_length_ = false;
+  bool chunked_ = false;
+  std::size_t chunk_remaining_ = 0;
+  bool keep_alive_ = true;
+  int version_minor_ = 1;
+};
+
+}  // namespace rvhpc::http

@@ -46,6 +46,7 @@
 #include <string>
 
 #include "cli/cli.hpp"
+#include "http/parser.hpp"
 #include "obs/json.hpp"
 
 using namespace rvhpc;
@@ -55,12 +56,17 @@ namespace {
 const cli::ToolInfo kTool{
     "rvhpc-client",
     "send prediction requests to a rvhpc-serve TCP listener",
-    "usage: rvhpc-client --connect=HOST:PORT [--in=<requests.jsonl>]\n"
+    "usage: rvhpc-client --connect=HOST:PORT [--http] [--in=<requests.jsonl>]\n"
     "                    [--out=<responses.jsonl>] [--timeout-ms=T]\n"
     "                    [--tag-ids]\n"
     "\n"
     "  --connect=HOST:PORT   the rvhpc-serve --listen=tcp listener\n"
     "                        (rvhpc-serve logs \"listening on 127.0.0.1:P\")\n"
+    "  --http                speak HTTP/1.1 instead of raw JSON lines:\n"
+    "                        POST the whole request log as one\n"
+    "                        /v1/predict body to a rvhpc-serve --http\n"
+    "                        listener and parse the (chunked) response\n"
+    "                        stream; same output and exit contract\n"
     "  --in=FILE             request lines to send (default: stdin)\n"
     "  --out=FILE            write response lines there (default: stdout)\n"
     "  --timeout-ms=T        fail if the socket makes no progress for T ms\n"
@@ -152,6 +158,7 @@ int main(int argc, char** argv) {
   std::string in_path, out_path;
   double timeout_ms = 10000.0;
   bool tag_ids = false;
+  bool http_mode = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--connect=", 0) == 0) {
@@ -181,6 +188,8 @@ int main(int argc, char** argv) {
       if (timeout_ms < 0) return usage_error("--timeout-ms must be >= 0");
     } else if (arg == "--tag-ids") {
       tag_ids = true;
+    } else if (arg == "--http") {
+      http_mode = true;
     } else {
       return usage_error("unknown argument '" + arg + "'");
     }
@@ -205,6 +214,17 @@ int main(int argc, char** argv) {
   RequestPlan plan = plan_requests(requests, tag_ids);
   requests = std::move(plan.wire);
   const std::size_t sent_requests = plan.sent;
+  if (http_mode) {
+    // One POST carries the whole request log as its body; the server
+    // streams the responses back (chunked for batches).  Connection:
+    // close keeps the exchange single-shot, like the raw wire's
+    // half-close contract.
+    std::string head = "POST /v1/predict HTTP/1.1\r\nHost: " + host +
+                       "\r\nContent-Type: application/json\r\n"
+                       "Connection: close\r\nContent-Length: " +
+                       std::to_string(requests.size()) + "\r\n\r\n";
+    requests.insert(0, head);
+  }
 
   std::ofstream out_file;
   if (!out_path.empty()) {
@@ -254,6 +274,19 @@ int main(int argc, char** argv) {
       ++matched;
     }
   };
+  // --http: the stream is one HTTP response whose (possibly chunked)
+  // body is the familiar JSON lines — the parser unwraps the framing and
+  // the lines flow through the same matching ledger.
+  http::ResponseParser rp;
+  std::size_t body_seen = 0;
+  const auto drain_http_body = [&] {
+    const std::string& body = rp.body();
+    std::size_t nl;
+    while ((nl = body.find('\n', body_seen)) != std::string::npos) {
+      consume_response(body.substr(body_seen, nl - body_seen));
+      body_seen = nl + 1;
+    }
+  };
   bool eof = false;
   bool half_closed = false;
   int idle_polls = 0;
@@ -295,12 +328,22 @@ int main(int argc, char** argv) {
     while (true) {
       const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
       if (n > 0) {
-        inbuf.append(chunk, static_cast<std::size_t>(n));
-        std::size_t nl;
-        while ((nl = inbuf.find('\n')) != std::string::npos) {
-          const std::string rline = inbuf.substr(0, nl);
-          inbuf.erase(0, nl + 1);
-          consume_response(rline);
+        if (http_mode) {
+          (void)rp.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
+          drain_http_body();
+          if (rp.failed()) {
+            ::close(fd);
+            return fail(std::string("bad HTTP response: ") +
+                        http::to_string(rp.error()));
+          }
+        } else {
+          inbuf.append(chunk, static_cast<std::size_t>(n));
+          std::size_t nl;
+          while ((nl = inbuf.find('\n')) != std::string::npos) {
+            const std::string rline = inbuf.substr(0, nl);
+            inbuf.erase(0, nl + 1);
+            consume_response(rline);
+          }
         }
         progressed = true;
       } else if (n == 0) {
@@ -325,7 +368,18 @@ int main(int argc, char** argv) {
     }
   }
   ::close(fd);
-  if (!inbuf.empty()) out << inbuf;  // truncated trailing line, verbatim
+  if (http_mode) {
+    rp.finish_eof();
+    drain_http_body();
+    if (rp.status() != 0 && rp.status() != 200) {
+      std::cerr << "rvhpc-client: HTTP " << rp.status() << " " << rp.reason()
+                << "\n";
+    }
+    // Truncated trailing body bytes, verbatim — same as the raw wire.
+    if (body_seen < rp.body().size()) out << rp.body().substr(body_seen);
+  } else if (!inbuf.empty()) {
+    out << inbuf;  // truncated trailing line, verbatim
+  }
   out.flush();
 
   std::size_t missing = 0;

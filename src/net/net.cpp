@@ -20,6 +20,8 @@
 #include <utility>
 
 #include "engine/thread_pool.hpp"
+#include "http/message.hpp"
+#include "http/parser.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "serve/service.hpp"
@@ -110,6 +112,44 @@ void count_disconnect(Disconnect cause) {
     case Disconnect::Error:      error.add(); break;
     case Disconnect::Drained:    drained.add(); break;
   }
+}
+
+/// Per-route, per-status HTTP request counter.  The obs registry is a
+/// flat name→instrument map, so Prometheus labels are embedded in the
+/// name; the registry dedupes repeat lookups.
+void count_http(const char* route, int status) {
+  if (!obs::metrics_enabled()) return;
+  // The overwhelmingly common series is a successful predict; caching its
+  // instrument keeps the per-request cost at one compare instead of a
+  // name build plus a locked registry lookup (the http_throughput gate
+  // measures this path against the raw wire).
+  static obs::Counter& predict_ok = obs::Registry::global().counter(
+      "rvhpc_http_requests_total{route=\"/v1/predict\",status=\"200\"}",
+      "HTTP exchanges completed, by route and status");
+  if (status == 200 && std::strcmp(route, "/v1/predict") == 0) {
+    predict_ok.add();
+  } else {
+    std::string name = "rvhpc_http_requests_total{route=\"";
+    name += route;
+    name += "\",status=\"";
+    name += std::to_string(status);
+    name += "\"}";
+    obs::Registry::global()
+        .counter(name, "HTTP exchanges completed, by route and status")
+        .add();
+  }
+  static obs::Histogram& statuses = obs::Registry::global().histogram(
+      "rvhpc_http_response_status", "HTTP status codes answered",
+      {99.5, 199.5, 299.5, 399.5, 499.5, 599.5});
+  statuses.observe(static_cast<double>(status));
+}
+
+void observe_http_duration(double start_us) {
+  if (!obs::metrics_enabled()) return;
+  static obs::Histogram& duration = obs::Registry::global().histogram(
+      "rvhpc_http_request_duration_seconds",
+      "wall time from a parsed HTTP request to its response head");
+  duration.observe((now_us() - start_us) / 1e6);
 }
 
 /// Extracts the first complete line (without the '\n', trailing '\r'
@@ -211,6 +251,33 @@ struct Pending {
   std::string response;             ///< no trailing newline
 };
 
+/// One HTTP request/response pair in flight on a connection.  Exchanges
+/// answer strictly in request order (HTTP pipelining), so only the front
+/// of Connection::exchanges ever writes to the socket; a batch POST
+/// streams each prediction as a chunk the moment it completes (subject
+/// to the same ordered/unordered id contract as the raw wire).
+struct HttpExchange {
+  int status = 200;
+  const char* route = "other";  ///< http::route_label, stable storage
+  const char* allow = "";       ///< Allow header for 405 responses
+  const char* content_type = "application/json";
+  bool chunked = false;    ///< batch predict: stream items as chunks
+  bool immediate = false;  ///< `body` is final; no items pending
+  bool head_sent = false;
+  bool head_only = false;  ///< HEAD request: send the head, omit the body
+  bool keep_alive = true;
+  bool healthz = false;  ///< status/body computed at delivery (drain-aware)
+  bool metrics = false;  ///< body rendered at delivery (scrape ordering)
+  std::string body;
+  // Predict lines awaiting completion.  A vector with a front cursor
+  // instead of a deque: the common single-request exchange then costs
+  // one allocation, not a deque block map (this path is what the
+  // http_throughput gate measures against the raw wire).
+  std::vector<Pending> items;
+  std::size_t next_item = 0;  ///< first item not yet consumed in order
+  double start_us = 0.0;
+};
+
 struct Connection {
   int fd = -1;
   std::string rbuf;
@@ -222,7 +289,26 @@ struct Connection {
   bool draining = false;  ///< EOF seen; answering what is buffered
   bool closing = false;   ///< farewell queued; close once it is flushed
   Disconnect cause = Disconnect::Eof;
+  // HTTP front end (connections accepted by the HTTP listener only).
+  bool http = false;
+  bool sent_continue = false;  ///< 100 Continue emitted for this request
+  std::unique_ptr<http::RequestParser> parser;
+  std::deque<HttpExchange> exchanges;
 };
+
+/// Locates a dispatched request by per-connection sequence number — it
+/// lives either on the raw-wire deque or inside an HTTP exchange.
+Pending* find_pending(Connection& c, std::uint64_t seq) {
+  for (Pending& p : c.pending) {
+    if (p.seq == seq) return &p;
+  }
+  for (HttpExchange& ex : c.exchanges) {
+    for (Pending& p : ex.items) {
+      if (p.seq == seq) return &p;
+    }
+  }
+  return nullptr;
+}
 
 // --- CacheFlusher: the background checkpoint thread -----------------------
 
@@ -300,8 +386,10 @@ class Shard {
   void join();
 
   /// Hands an accepted socket to this shard (acceptor thread).  `refused`
-  /// connections get the polite "overloaded" farewell and close.
-  void adopt(int fd, bool refused);
+  /// connections get the polite "overloaded" farewell (a structured line
+  /// on the raw wire, a 503 + Retry-After over HTTP) and close.  `http`
+  /// fixes the connection's protocol for its lifetime.
+  void adopt(int fd, bool refused, bool http);
 
   /// A dispatched compute phase finished (pool thread): queue the
   /// completion and wake the loop so the response is delivered now.
@@ -320,11 +408,20 @@ class Shard {
   void adopt_incoming();
   void read_ready(Connection& c);
   bool admit_one(const std::shared_ptr<Connection>& cp);
+  bool process_http_one(const std::shared_ptr<Connection>& cp);
+  void handle_http_request(const std::shared_ptr<Connection>& cp);
+  void fail_http(Connection& c, http::Error err);
+  void flush_http(Connection& c);
+  bool append_out(Connection& c, std::string_view data);
+  void finish_exchange(Connection& c, const HttpExchange& ex);
   void process_lines();
-  void dispatch(const std::shared_ptr<Connection>& cp,
+  Pending evaluate_line(const std::shared_ptr<Connection>& cp,
+                        const std::string& line);
+  void dispatch(const std::shared_ptr<Connection>& cp, Pending& p,
                 serve::Service::Admission adm);
   void enqueue_done(Connection& c, std::string response, bool ordered);
   void deliver(Connection& c, Pending& p);
+  void note_answered();
   void flush_deliverable(Connection& c);
   void drain_completions();
   void flush_writes();
@@ -340,14 +437,21 @@ class Shard {
   std::thread thread_;
   std::atomic<bool> stop_{false};
 
+  struct Incoming {
+    int fd = -1;
+    bool refused = false;
+    bool http = false;
+  };
+
   std::mutex in_mu_;
-  std::vector<std::pair<int, bool>> incoming_;  ///< (fd, refused)
+  std::vector<Incoming> incoming_;
   std::mutex cq_mu_;
   std::vector<Completion> completions_;
 
   // Loop-thread-only state.
   std::vector<std::shared_ptr<Connection>> conns_;
-  std::size_t rr_ = 0;  ///< round-robin fairness cursor
+  std::size_t rr_ = 0;       ///< round-robin fairness cursor
+  std::string http_scratch_;  ///< response head/chunk build buffer
 
   obs::Counter* conns_counter_ = nullptr;
   obs::Counter* reqs_counter_ = nullptr;
@@ -381,7 +485,7 @@ Shard::~Shard() {
   for (auto& c : conns_) {
     if (c->fd >= 0) ::close(c->fd);
   }
-  for (const auto& [fd, refused] : incoming_) ::close(fd);
+  for (const Incoming& in : incoming_) ::close(in.fd);
   if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
   if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
 }
@@ -399,10 +503,10 @@ void Shard::join() {
   if (thread_.joinable()) thread_.join();
 }
 
-void Shard::adopt(int fd, bool refused) {
+void Shard::adopt(int fd, bool refused, bool http) {
   {
     std::lock_guard lock(in_mu_);
-    incoming_.emplace_back(fd, refused);
+    incoming_.push_back({fd, refused, http});
   }
   wake();
 }
@@ -432,23 +536,40 @@ void Shard::drain_wakeup() {
 }
 
 void Shard::adopt_incoming() {
-  std::vector<std::pair<int, bool>> in;
+  std::vector<Incoming> in;
   {
     std::lock_guard lock(in_mu_);
     in.swap(incoming_);
   }
-  for (const auto& [fd, refused] : in) {
+  for (const Incoming& inc : in) {
     auto c = std::make_shared<Connection>();
-    c->fd = fd;
+    c->fd = inc.fd;
+    c->http = inc.http;
     c->last_read_us = now_us();
+    if (inc.http) {
+      http::Limits limits;
+      limits.max_body = server_.opts_.max_body_bytes;
+      c->parser = std::make_unique<http::RequestParser>(limits);
+    }
     if (conns_counter_) conns_counter_->add();
-    if (refused) {
-      // Polite refusal: a structured line beats a dangling connect.
-      begin_close(*c, Disconnect::Refused,
-                  error_line("overloaded",
-                             "connection limit (" +
-                                 std::to_string(server_.opts_.max_connections) +
-                                 ") reached; retry later"));
+    if (inc.refused) {
+      // Polite refusal: a structured answer beats a dangling connect.
+      const std::string reason =
+          "connection limit (" +
+          std::to_string(server_.opts_.max_connections) +
+          ") reached; retry later";
+      if (inc.http) {
+        const std::string body = error_line("overloaded", reason);
+        std::string farewell;
+        http::append_head(farewell, 503, /*keep_alive=*/false,
+                          "application/json", body.size(),
+                          "Retry-After: 1\r\n");
+        farewell += body;
+        count_http("other", 503);
+        begin_close(*c, Disconnect::Refused, farewell);
+      } else {
+        begin_close(*c, Disconnect::Refused, error_line("overloaded", reason));
+      }
     }
     conns_.push_back(std::move(c));
   }
@@ -551,49 +672,71 @@ bool Shard::admit_one(const std::shared_ptr<Connection>& cp) {
                                " bytes"));
     return false;
   }
+  c.pending.push_back(evaluate_line(cp, line));
+  flush_deliverable(c);
+  return true;
+}
+
+/// The protocol-independent admission core: turns one request line into a
+/// Pending — resolved inline (overloaded rejection, parse/lint error,
+/// warm cache hit) or dispatched to the compute pool.  The raw wire
+/// pushes the result onto Connection::pending; the HTTP front end onto
+/// the owning exchange's items.
+Pending Shard::evaluate_line(const std::shared_ptr<Connection>& cp,
+                             const std::string& line) {
+  Connection& c = *cp;
+  Pending p;
+  p.seq = c.next_seq++;
+
+  // A single line past the wire bound answers an error instead of ever
+  // being parsed (over HTTP the connection survives — the body bound
+  // already capped total memory; on the raw wire admit_one closed it).
+  if (line.size() > server_.opts_.max_line_bytes) {
+    p.ordered = false;
+    p.done = true;
+    p.response = error_body(
+        "overloaded", "request line exceeds " +
+                          std::to_string(server_.opts_.max_line_bytes) +
+                          " bytes");
+    return p;
+  }
 
   // Admission bound, checked before the parse exactly like the stdio loop
   // checks its backlog: compute dispatched and not yet completed past the
   // service's queue capacity is answered "overloaded" immediately.
   if (server_.inflight_.load(std::memory_order_relaxed) >=
       server_.service_.options().queue_capacity) {
-    enqueue_done(c, server_.service_.reject_overloaded(), /*ordered=*/false);
-    flush_deliverable(c);
-    return true;
+    p.ordered = false;
+    p.done = true;
+    p.response = server_.service_.reject_overloaded();
+    return p;
   }
 
   serve::Service::Admission adm = server_.service_.admit(line);
+  p.ordered = !adm.had_id;
   if (!adm.request) {
     // Resolved at admission (parse error, lint rejection).
-    const bool ordered = !adm.had_id;
-    enqueue_done(c, std::move(adm.response), ordered);
-    flush_deliverable(c);
-    return true;
+    p.done = true;
+    p.response = std::move(adm.response);
+    return p;
   }
   if (server_.service_.cached(*adm.request)) {
     // Warm path: a memo probe answers inline on the event loop — cheaper
     // than a pool handoff, and it is what keeps cached hits flowing on
     // every connection while uncached requests compute.
-    std::string response =
-        server_.service_.complete(*adm.request, adm.arrival_us);
+    p.done = true;
+    p.response = server_.service_.complete(*adm.request, adm.arrival_us);
     if (server_.service_.note_evaluation() && server_.flusher_) {
       server_.flusher_->notify();
     }
-    const bool ordered = !adm.had_id;
-    enqueue_done(c, std::move(response), ordered);
-    flush_deliverable(c);
-    return true;
+    return p;
   }
-  dispatch(cp, std::move(adm));
-  return true;
+  dispatch(cp, p, std::move(adm));
+  return p;
 }
 
-void Shard::dispatch(const std::shared_ptr<Connection>& cp,
+void Shard::dispatch(const std::shared_ptr<Connection>& cp, Pending& p,
                      serve::Service::Admission adm) {
-  Connection& c = *cp;
-  Pending p;
-  p.seq = c.next_seq++;
-  p.ordered = !adm.had_id;
   // packaged_task owns the compute phase: its future carries the response
   // (or the exception) back to the loop thread, and running it *before*
   // poking the shard guarantees the future is ready when the loop calls
@@ -603,7 +746,6 @@ void Shard::dispatch(const std::shared_ptr<Connection>& cp,
        arrival = adm.arrival_us] { return service->complete(*req, arrival); });
   p.result = task->get_future();
   const std::uint64_t seq = p.seq;
-  c.pending.push_back(std::move(p));
 
   server_.inflight_.fetch_add(1, std::memory_order_relaxed);
   {
@@ -620,6 +762,267 @@ void Shard::dispatch(const std::shared_ptr<Connection>& cp,
   });
 }
 
+/// Appends to the write buffer under the slow-reader bound; false (and
+/// the connection is gone) when the client is not draining responses.
+bool Shard::append_out(Connection& c, std::string_view data) {
+  if (c.wbuf.size() + data.size() > server_.opts_.max_write_buffer) {
+    close_now(c, Disconnect::SlowReader);
+    return false;
+  }
+  c.wbuf.append(data);
+  return true;
+}
+
+/// Feeds buffered bytes to the connection's request parser and turns at
+/// most one completed request into an exchange per pass (the same
+/// round-robin fairness admit_one gives the raw wire).  True when any
+/// input was consumed or a request was handled.
+bool Shard::process_http_one(const std::shared_ptr<Connection>& cp) {
+  Connection& c = *cp;
+  if (c.fd < 0 || c.closing) return false;
+  http::RequestParser& parser = *c.parser;
+
+  bool progress = false;
+  if (!c.rbuf.empty()) {
+    const std::size_t used = parser.feed(c.rbuf);
+    if (used > 0) {
+      c.rbuf.erase(0, used);
+      progress = true;
+    }
+  }
+  if (parser.failed()) {
+    fail_http(c, parser.error());
+    return true;
+  }
+  if (!parser.complete()) {
+    // curl (and friends) pause before sending a >1 KiB body until the
+    // interim "100 Continue" arrives; answer it once per request, as
+    // soon as the header block is in.
+    if (parser.headers_complete() && parser.expect_continue() &&
+        !c.sent_continue) {
+      c.sent_continue = true;
+      if (!append_out(c, http::kContinue)) return true;
+      progress = true;
+    }
+    return progress;
+  }
+  handle_http_request(cp);
+  c.sent_continue = false;
+  parser.reset();
+  flush_http(c);
+  return true;
+}
+
+/// Routes one complete request into an exchange (and, for predict
+/// batches, admits every body line through the shared admission core).
+void Shard::handle_http_request(const std::shared_ptr<Connection>& cp) {
+  Connection& c = *cp;
+  const http::RequestParser& parser = *c.parser;
+  const http::RouteMatch match =
+      http::route_target(parser.method(), parser.target());
+
+  HttpExchange ex;
+  ex.keep_alive = parser.keep_alive();
+  ex.route = http::route_label(match.route);
+  ex.head_only = parser.method() == "HEAD";
+  ex.start_us = now_us();
+  switch (match.route) {
+    case http::Route::Predict: {
+      // The body is the raw wire: one JSON request per line.  Each line
+      // goes through exactly the admission path TCP lines do; a single
+      // line answers a status-mapped fixed-length reply, two or more
+      // stream back chunked as their compute completes.
+      const std::string_view body = parser.body();
+      std::string line;
+      std::size_t pos = 0;
+      while (pos < body.size()) {
+        std::size_t nl = body.find('\n', pos);
+        const std::size_t end = (nl == std::string_view::npos) ? body.size()
+                                                               : nl;
+        std::string_view raw = body.substr(pos, end - pos);
+        if (!raw.empty() && raw.back() == '\r') raw.remove_suffix(1);
+        pos = end + 1;
+        line.assign(raw);
+        if (!blank(line)) ex.items.push_back(evaluate_line(cp, line));
+      }
+      if (ex.items.empty()) {
+        ex.immediate = true;
+        ex.status = 400;
+        ex.body = error_line("parse", "empty request body");
+      } else {
+        ex.chunked = ex.items.size() > 1;
+      }
+      break;
+    }
+    case http::Route::Metrics:
+      // Rendered when the head is written, not here: a scrape pipelined
+      // behind a predict must observe that predict's counters.
+      ex.immediate = true;
+      ex.metrics = true;
+      ex.content_type = "text/plain; version=0.0.4";
+      break;
+    case http::Route::Healthz:
+      // Status and body are computed when the head is written, so a
+      // pipelined healthz behind a slow batch reports "draining" if the
+      // server started draining in between.
+      ex.immediate = true;
+      ex.healthz = true;
+      break;
+    case http::Route::NotFound:
+      ex.immediate = true;
+      ex.status = 404;
+      ex.body = error_line("parse", "no such route; POST /v1/predict, "
+                                    "GET /metrics, GET /healthz");
+      break;
+    case http::Route::MethodNotAllowed:
+      ex.immediate = true;
+      ex.status = 405;
+      ex.allow = match.allow;
+      ex.body = error_line("parse", "method not allowed");
+      break;
+  }
+  c.exchanges.push_back(std::move(ex));
+}
+
+/// A request that cannot be parsed gets one full HTTP error response and
+/// a close — malformed framing leaves no way to find the next request's
+/// boundary, so the connection cannot survive.
+void Shard::fail_http(Connection& c, http::Error err) {
+  const int status = http::status_for_error(err);
+  const std::string body = error_line("parse", http::to_string(err));
+  std::string farewell;
+  http::append_head(farewell, status, /*keep_alive=*/false,
+                    "application/json", body.size());
+  farewell += body;
+  count_http("other", status);
+  {
+    std::lock_guard lock(server_.stats_mu_);
+    ++server_.stats_.http_requests;
+  }
+  begin_close(c,
+              (status == 413 || status == 431) ? Disconnect::Oversize
+                                               : Disconnect::Error,
+              farewell);
+}
+
+void Shard::finish_exchange(Connection& c, const HttpExchange& ex) {
+  (void)c;
+  count_http(ex.route, ex.status);
+  observe_http_duration(ex.start_us);
+  std::lock_guard lock(server_.stats_mu_);
+  ++server_.stats_.http_requests;
+}
+
+/// Writes whatever the front exchange can deliver.  Exchanges answer in
+/// request order (pipelining), so only the front touches the socket:
+/// fixed-length replies wait for their single item, chunked batches
+/// stream every completed item (unordered from any position, ordered
+/// from the front — the raw wire's id contract) and terminate with the
+/// last-chunk once all items delivered.
+void Shard::flush_http(Connection& c) {
+  while (!c.exchanges.empty() && c.fd >= 0 && !c.closing) {
+    HttpExchange& ex = c.exchanges.front();
+
+    // A single-item predict reply becomes an immediate body once its
+    // compute lands: the status is mapped from the response itself
+    // (overloaded → 503, timeout → 504), which needs the whole reply
+    // before the head.
+    if (!ex.immediate && !ex.chunked) {
+      Pending& item = ex.items.front();
+      if (!item.done) break;
+      ex.status = http::status_for_response(item.response);
+      ex.body = std::move(item.response);
+      ex.body += '\n';
+      ex.items.clear();
+      ex.immediate = true;
+      note_answered();
+    }
+
+    if (!ex.head_sent) {
+      if (ex.metrics) ex.body = obs::Registry::global().render_text();
+      if (ex.healthz) {
+        const bool draining = stop_.load(std::memory_order_relaxed) ||
+                              server_.stop_.load(std::memory_order_relaxed) ||
+                              serve::shutdown_requested();
+        ex.status = draining ? 503 : 200;
+        ex.body = draining ? "{\"status\": \"draining\"}\n"
+                           : "{\"status\": \"serving\"}\n";
+      }
+      std::string& head = http_scratch_;  // shard-owned, capacity reused
+      head.clear();
+      std::string extra;
+      if (ex.status == 503) extra += "Retry-After: 1\r\n";
+      if (ex.allow[0] != '\0') {
+        extra += "Allow: ";
+        extra += ex.allow;
+        extra += "\r\n";
+      }
+      if (ex.chunked) {
+        http::append_chunked_head(head, ex.status, ex.keep_alive,
+                                  ex.content_type, extra);
+      } else {
+        http::append_head(head, ex.status, ex.keep_alive, ex.content_type,
+                          ex.body.size(), extra);
+        if (!ex.head_only) head += ex.body;
+      }
+      if (!append_out(c, head)) return;
+      ex.head_sent = true;
+      if (!ex.chunked) {
+        finish_exchange(c, ex);
+        const bool keep = ex.keep_alive;
+        c.exchanges.pop_front();
+        if (!keep) {
+          begin_close(c, Disconnect::Eof, "");
+          return;
+        }
+        continue;
+      }
+    }
+
+    // Chunked streaming: unordered (id-carrying) items the moment they
+    // complete, ordered ones only from the front cursor.
+    std::string& chunk = http_scratch_;  // head is already flushed out
+    for (std::size_t i = ex.next_item; i < ex.items.size(); ++i) {
+      Pending& p = ex.items[i];
+      if (!p.ordered && p.done && !p.delivered) {
+        p.response += '\n';
+        chunk.clear();
+        http::append_chunk(chunk, p.response);
+        if (!append_out(c, chunk)) return;
+        p.delivered = true;
+        note_answered();
+      }
+    }
+    while (ex.next_item < ex.items.size()) {
+      Pending& front = ex.items[ex.next_item];
+      if (front.delivered) {
+        ++ex.next_item;
+        continue;
+      }
+      if (front.ordered && front.done) {
+        front.response += '\n';
+        chunk.clear();
+        http::append_chunk(chunk, front.response);
+        if (!append_out(c, chunk)) return;
+        front.delivered = true;
+        note_answered();
+        ++ex.next_item;
+        continue;
+      }
+      break;
+    }
+    if (ex.next_item < ex.items.size()) break;  // still waiting on compute
+    if (!append_out(c, http::kLastChunk)) return;
+    finish_exchange(c, ex);
+    const bool keep = ex.keep_alive;
+    c.exchanges.pop_front();
+    if (!keep) {
+      begin_close(c, Disconnect::Eof, "");
+      return;
+    }
+  }
+}
+
 void Shard::process_lines() {
   // Round-robin fairness: each pass gives every connection at most one
   // admitted line, starting one past last pass's starting point, until a
@@ -632,9 +1035,20 @@ void Shard::process_lines() {
     if (n == 0) return;
     rr_ = (rr_ + 1) % n;
     for (std::size_t k = 0; k < n; ++k) {
-      progress |= admit_one(conns_[(rr_ + k) % n]);
+      const std::shared_ptr<Connection>& cp = conns_[(rr_ + k) % n];
+      progress |= cp->http ? process_http_one(cp) : admit_one(cp);
     }
   }
+}
+
+/// Books one delivered response line — shared by the raw wire and every
+/// chunk/body an HTTP exchange streams.
+void Shard::note_answered() {
+  count(Count::Answered);
+  if (reqs_counter_) reqs_counter_->add();
+  std::lock_guard lock(server_.stats_mu_);
+  ++server_.stats_.answered;
+  ++server_.stats_.shard_answered[index_];
 }
 
 void Shard::deliver(Connection& c, Pending& p) {
@@ -648,11 +1062,7 @@ void Shard::deliver(Connection& c, Pending& p) {
   }
   c.wbuf += p.response;
   c.wbuf += '\n';
-  count(Count::Answered);
-  if (reqs_counter_) reqs_counter_->add();
-  std::lock_guard lock(server_.stats_mu_);
-  ++server_.stats_.answered;
-  ++server_.stats_.shard_answered[index_];
+  note_answered();
 }
 
 void Shard::flush_deliverable(Connection& c) {
@@ -689,19 +1099,21 @@ void Shard::drain_completions() {
   for (const Completion& done : ready) {
     const std::shared_ptr<Connection> c = done.conn.lock();
     if (!c) continue;
-    for (Pending& p : c->pending) {
-      if (p.seq != done.seq) continue;
+    if (Pending* p = find_pending(*c, done.seq)) {
       try {
-        p.response = p.result.get();
+        p->response = p->result.get();
       } catch (const std::exception& e) {
         // complete() promises not to throw; this is the belt to that
         // suspender — the client still gets a structured line.
-        p.response = error_body("internal", e.what());
+        p->response = error_body("internal", e.what());
       }
-      p.done = true;
-      break;
+      p->done = true;
     }
-    flush_deliverable(*c);
+    if (c->http) {
+      flush_http(*c);
+    } else {
+      flush_deliverable(*c);
+    }
   }
 }
 
@@ -733,9 +1145,11 @@ void Shard::reap_and_time_out() {
   for (auto& cp : conns_) {
     Connection& c = *cp;
     if (c.fd < 0) continue;
+    const bool owes_nothing =
+        c.http ? (c.rbuf.empty() && c.exchanges.empty())
+               : (c.rbuf.find('\n') == std::string::npos && c.pending.empty());
     if ((c.closing || c.draining) && c.wbuf.empty() &&
-        (c.closing ||
-         (c.rbuf.find('\n') == std::string::npos && c.pending.empty()))) {
+        (c.closing || owes_nothing)) {
       close_now(c, c.cause);
       continue;
     }
@@ -746,13 +1160,20 @@ void Shard::reap_and_time_out() {
       continue;
     }
     if (!c.closing && !c.draining && c.pending.empty() &&
-        server_.opts_.idle_timeout_ms > 0.0 &&
+        c.exchanges.empty() && server_.opts_.idle_timeout_ms > 0.0 &&
         now - c.last_read_us > server_.opts_.idle_timeout_ms * 1000.0) {
-      begin_close(c, Disconnect::Idle,
-                  error_line("timeout",
-                             "idle for more than " +
-                                 std::to_string(server_.opts_.idle_timeout_ms) +
-                                 " ms; closing"));
+      if (c.http) {
+        // An idle keep-alive connection owes no response; close quietly
+        // like every stock HTTP server does.
+        begin_close(c, Disconnect::Idle, "");
+      } else {
+        begin_close(c, Disconnect::Idle,
+                    error_line(
+                        "timeout",
+                        "idle for more than " +
+                            std::to_string(server_.opts_.idle_timeout_ms) +
+                            " ms; closing"));
+      }
     }
   }
   std::erase_if(conns_, [](const std::shared_ptr<Connection>& c) {
@@ -804,6 +1225,13 @@ void Shard::loop() {
 
 void Shard::drain() {
   adopt_incoming();
+  // Pick up whatever the kernel already buffered — a client that
+  // pipelined requests just before SIGTERM (say a healthz probe behind a
+  // slow batch) still gets every one answered, with healthz now
+  // reporting "draining".
+  for (auto& c : conns_) {
+    if (c->fd >= 0 && !c->draining && !c->closing) read_ready(*c);
+  }
   process_lines();
   // Answered, not dropped: every dispatched compute future completes and
   // delivers before sockets are torn down.  This wait is not grace-bounded
@@ -820,6 +1248,15 @@ void Shard::drain() {
           break;
         }
       }
+      for (const HttpExchange& ex : c->exchanges) {
+        for (const Pending& p : ex.items) {
+          if (!p.done) {
+            undone = true;
+            break;
+          }
+        }
+        if (undone) break;
+      }
       if (undone) break;
     }
     if (!undone) break;
@@ -830,6 +1267,20 @@ void Shard::drain() {
     } else {
       pollfd none{-1, 0, 0};
       (void)::poll(&none, 1, server_.opts_.poll_interval_ms);
+    }
+    for (auto& c : conns_) {
+      if (c->fd >= 0 && !c->draining && !c->closing) read_ready(*c);
+    }
+    process_lines();
+  }
+  // Everything resolvable is resolved; push any responses still parked
+  // on their exchanges/deques into the write buffers.
+  for (auto& cp : conns_) {
+    if (cp->fd < 0) continue;
+    if (cp->http) {
+      flush_http(*cp);
+    } else {
+      flush_deliverable(*cp);
     }
   }
   // Then a bounded grace for the write buffers to reach their clients.
@@ -865,6 +1316,8 @@ Server::Server(serve::Service& service, ServerOptions opts)
   if (opts_.max_line_bytes == 0) opts_.max_line_bytes = 1;
   if (opts_.max_write_buffer == 0) opts_.max_write_buffer = 1;
   if (opts_.poll_interval_ms <= 0) opts_.poll_interval_ms = 50;
+  if (opts_.max_body_bytes == 0) opts_.max_body_bytes = 1;
+  if (!opts_.json_listener && !opts_.http) opts_.json_listener = true;
   stats_.shard_connections.assign(opts_.shards, 0);
   stats_.shard_answered.assign(opts_.shards, 0);
 }
@@ -872,9 +1325,16 @@ Server::Server(serve::Service& service, ServerOptions opts)
 Server::~Server() = default;
 
 void Server::open(std::ostream& log) {
-  listener_.open(opts_.port);
-  log << "net: listening on 127.0.0.1:" << listener_.port() << "\n"
-      << std::flush;
+  if (opts_.json_listener) {
+    listener_.open(opts_.port);
+    log << "net: listening on 127.0.0.1:" << listener_.port() << "\n"
+        << std::flush;
+  }
+  if (opts_.http) {
+    http_listener_.open(opts_.http_port);
+    log << "http: listening on 127.0.0.1:" << http_listener_.port() << "\n"
+        << std::flush;
+  }
 }
 
 ServerStats Server::stats() const {
@@ -895,8 +1355,13 @@ void Server::publish_gauges() const {
 }
 
 void Server::accept_pending() {
+  if (listener_.is_open()) accept_from(listener_, /*http=*/false);
+  if (http_listener_.is_open()) accept_from(http_listener_, /*http=*/true);
+}
+
+void Server::accept_from(const Listener& listener, bool http) {
   while (true) {
-    const int fd = listener_.accept_client();
+    const int fd = listener.accept_client();
     if (fd < 0) return;
     count(Count::Connection);
     if (opts_.so_sndbuf > 0) {
@@ -915,7 +1380,7 @@ void Server::accept_pending() {
       ++stats_.accepted;
       ++stats_.shard_connections[shard];
     }
-    shards_[shard]->adopt(fd, refused);
+    shards_[shard]->adopt(fd, refused, http);
   }
 }
 
@@ -939,8 +1404,13 @@ void Server::run(std::ostream& log) {
   for (auto& s : shards_) s->start();
 
   while (!stop_requested()) {
-    pollfd lp{listener_.fd(), POLLIN, 0};
-    (void)::poll(&lp, 1, opts_.poll_interval_ms);
+    pollfd lps[2];
+    nfds_t nfds = 0;
+    if (listener_.is_open()) lps[nfds++] = {listener_.fd(), POLLIN, 0};
+    if (http_listener_.is_open()) {
+      lps[nfds++] = {http_listener_.fd(), POLLIN, 0};
+    }
+    (void)::poll(lps, nfds, opts_.poll_interval_ms);
     accept_pending();
     publish_gauges();
   }
@@ -950,6 +1420,7 @@ void Server::run(std::ostream& log) {
   // the flusher wind down — the flusher's destructor performs the final
   // cache checkpoint.
   listener_.close();
+  http_listener_.close();
   for (auto& s : shards_) s->request_stop();
   for (auto& s : shards_) s->join();
   pool_->wait();
@@ -960,7 +1431,8 @@ void Server::run(std::ostream& log) {
 
   const ServerStats s = stats();
   log << "net: drained — " << s.accepted << " connection(s), " << s.answered
-      << " request(s) answered, " << s.bytes_in << " bytes in, " << s.bytes_out
+      << " request(s) answered, " << s.http_requests << " http exchange(s), "
+      << s.bytes_in << " bytes in, " << s.bytes_out
       << " bytes out, disconnects: " << s.disconnect_eof << " eof, "
       << s.disconnect_idle << " idle, " << s.disconnect_oversize
       << " oversize, " << s.disconnect_slow_reader << " slow-reader, "

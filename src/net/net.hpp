@@ -9,6 +9,18 @@
 // in (including per-request "backend" selection — serve/service.hpp is
 // the schema), one JSON response line per request out.
 //
+// The same shards optionally serve HTTP/1.1 on a second listener
+// (ServerOptions::http): POST /v1/predict carries one request line or a
+// JSON-lines batch as a Content-Length body and streams the responses
+// back (single → a status-mapped fixed-length reply, batch → chunked,
+// each response a chunk as its compute completes, matched by id exactly
+// like the raw wire), GET /metrics renders the obs registry inline on
+// the shard, and GET /healthz answers drain-aware 200/503.  The framing
+// layer is src/http — a pure incremental parser driven by the same
+// poll() reads; a connection's protocol is fixed by the listener that
+// accepted it, and both protocols share the admission path, the compute
+// pool, the bounded-memory taxonomy and the drain contract.
+//
 // Architecture (DESIGN.md §13): I/O and compute never share a thread.
 //
 //   acceptor ──round-robin──▶ shard 0..N-1 (one poll() loop each)
@@ -84,6 +96,22 @@ struct ServerOptions {
   /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (the bound one
   /// is reported by Server::port() and logged by open()).
   std::uint16_t port = 0;
+  /// Serve the raw JSON-lines protocol on `port`.  Disabled only when the
+  /// process is HTTP-only (rvhpc-serve --http without --listen=tcp); at
+  /// least one listener is always forced on.
+  bool json_listener = true;
+  /// Also serve HTTP/1.1 (POST /v1/predict, GET /metrics, GET /healthz —
+  /// DESIGN.md §14) on `http_port`.  Both protocols share the shards, the
+  /// service and the compute pool; a connection's protocol is fixed by
+  /// the listener that accepted it.
+  bool http = false;
+  /// Port for the HTTP listener; 0 picks an ephemeral port (reported by
+  /// http_port() and logged by open()).
+  std::uint16_t http_port = 0;
+  /// Largest admissible HTTP request body (Content-Length beyond it is
+  /// answered 413 and the connection closed).  Header-block and
+  /// request-line bounds are fixed (32 KiB / 8 KiB).
+  std::size_t max_body_bytes = 1024 * 1024;
   /// Event-loop shards: accepted connections are dealt round-robin across
   /// this many independent poll() loops, each on its own thread.  Clamped
   /// to >= 1.  rvhpc-serve's --shards=0 resolves to
@@ -126,6 +154,7 @@ struct ServerStats {
   std::uint64_t dispatched = 0;  ///< compute phases handed to the pool
   std::uint64_t bytes_in = 0;    ///< payload bytes received
   std::uint64_t bytes_out = 0;   ///< response bytes written
+  std::uint64_t http_requests = 0;  ///< HTTP exchanges completed (all routes)
   std::uint64_t disconnect_eof = 0;
   std::uint64_t disconnect_idle = 0;
   std::uint64_t disconnect_oversize = 0;
@@ -178,11 +207,16 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds the listener and logs "net: listening on 127.0.0.1:<port>" —
-  /// the line scripts/check.sh parses the ephemeral port from.  Throws
+  /// Binds the listener(s) and logs "net: listening on 127.0.0.1:<port>"
+  /// (and "http: listening on 127.0.0.1:<port>" when HTTP is enabled) —
+  /// the lines scripts/check.sh parses ephemeral ports from.  Throws
   /// std::runtime_error on bind failure.
   void open(std::ostream& log);
   [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+  /// Port of the HTTP listener (0 when ServerOptions::http is off).
+  [[nodiscard]] std::uint16_t http_port() const {
+    return http_listener_.port();
+  }
 
   /// Accept loop: spawns the shards, the compute pool and the background
   /// cache flusher, then deals accepted sockets round-robin until stop()
@@ -201,11 +235,13 @@ class Server {
   friend class detail::CacheFlusher;
 
   void accept_pending();
+  void accept_from(const Listener& listener, bool http);
   void publish_gauges() const;
 
   serve::Service& service_;
   ServerOptions opts_;
-  Listener listener_;
+  Listener listener_;       ///< raw JSON-lines protocol
+  Listener http_listener_;  ///< HTTP/1.1 front end (when opts_.http)
   std::vector<std::unique_ptr<detail::Shard>> shards_;
   std::unique_ptr<engine::ThreadPool> pool_;
   std::unique_ptr<detail::CacheFlusher> flusher_;

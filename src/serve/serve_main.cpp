@@ -14,6 +14,11 @@
 //   rvhpc-serve --listen=tcp:0 --cache-file=predictions.bin &
 //     # stderr logs "net: listening on 127.0.0.1:<port>"; drive it with
 //     # rvhpc-client --connect=127.0.0.1:<port> --in=requests.jsonl
+//   rvhpc-serve --http=tcp:0 &
+//     # stderr logs "http: listening on 127.0.0.1:<port>"; then
+//     # curl --data-binary @requests.jsonl http://127.0.0.1:<port>/v1/predict
+//     # (README "Serving over HTTP" has the full tour; --listen=tcp and
+//     # --http may run together in one process, on separate ports)
 //
 // Exit status: 0 on success (including replays with per-request errors —
 // those are *answered*, not fatal), 1 on gate failure, 2 on usage errors.
@@ -42,7 +47,8 @@ namespace {
 const cli::ToolInfo kTool{
     "rvhpc-serve",
     "serve predictions over line-delimited JSON with a persistent cache",
-    "usage: rvhpc-serve [--listen=stdio|tcp:PORT] [--shards=N]\n"
+    "usage: rvhpc-serve [--listen=stdio|tcp:PORT] [--http=tcp:PORT]\n"
+    "                   [--shards=N] [--max-body=N]\n"
     "                   [--replay=<requests.jsonl>]\n"
     "                   [--out=<responses.jsonl>] [--cache-file=<file.bin>]\n"
     "                   [--cache-capacity=N] [--cache-max-entries=N]\n"
@@ -51,14 +57,24 @@ const cli::ToolInfo kTool{
     "                   [--jobs=N] [--metrics[=<file>]] [--gate]\n"
     "\n"
     "  --listen=stdio        serve requests from stdin until EOF/SIGTERM\n"
-    "                        (the default)\n"
+    "                        (the default; incompatible with --http)\n"
     "  --listen=tcp:PORT     serve concurrent clients on 127.0.0.1:PORT\n"
     "                        until SIGTERM; PORT 0 picks an ephemeral port\n"
     "                        (logged as \"net: listening on ...\"); drive it\n"
     "                        with rvhpc-client\n"
-    "  --shards=N            tcp only: event-loop shards accepting\n"
+    "  --http=tcp:PORT       also serve HTTP/1.1 on 127.0.0.1:PORT (0 =\n"
+    "                        ephemeral, logged as \"http: listening on ...\"):\n"
+    "                        POST /v1/predict (JSON-lines body; batches\n"
+    "                        stream back chunked), GET /metrics, GET\n"
+    "                        /healthz.  Alone it replaces the stdio\n"
+    "                        listener; with --listen=tcp:PORT one process\n"
+    "                        serves both protocols\n"
+    "  --shards=N            tcp/http: event-loop shards accepting\n"
     "                        connections round-robin (default 1); 0 = auto,\n"
     "                        min(hardware threads, 4)\n"
+    "  --max-body=N          http only: largest request body in bytes\n"
+    "                        (default 1048576); beyond it the request is\n"
+    "                        answered 413 and the connection closed\n"
     "  --replay=FILE         batch-replay a request log instead of serving;\n"
     "                        responses in request order, summary on stderr\n"
     "  --out=FILE            write responses there instead of stdout\n"
@@ -103,6 +119,7 @@ struct Options {
   std::string out_path;
   std::string metrics_path;  ///< empty = stderr
   bool tcp = false;          ///< --listen=tcp:PORT (port in net.port)
+  bool http = false;         ///< --http=tcp:PORT (port in net.http_port)
   bool metrics = false;
   bool gate = false;
 };
@@ -239,6 +256,8 @@ int main(int argc, char** argv) {
 
   Options opt;
   bool shards_set = false;
+  bool stdio_set = false;
+  bool max_body_set = false;
   if (jobs_applied > 0) opt.svc.jobs = jobs_applied;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -251,6 +270,7 @@ int main(int argc, char** argv) {
       const std::string listener = value("--listen=");
       if (listener == "stdio") {
         opt.tcp = false;
+        stdio_set = true;
       } else if (listener.rfind("tcp:", 0) == 0) {
         std::size_t port = 0;
         if (!parse_size(listener.substr(4), port) || port > 65535) {
@@ -263,6 +283,27 @@ int main(int argc, char** argv) {
         return usage_error("unknown --listen value '" + listener +
                            "' (want stdio or tcp:PORT)");
       }
+    } else if (arg.rfind("--http=", 0) == 0) {
+      const std::string listener = value("--http=");
+      if (listener.rfind("tcp:", 0) != 0) {
+        return usage_error("unknown --http value '" + listener +
+                           "' (want tcp:PORT)");
+      }
+      std::size_t port = 0;
+      if (!parse_size(listener.substr(4), port) || port > 65535) {
+        return usage_error("bad --http port in '" + arg +
+                           "' (want tcp:0..65535)");
+      }
+      opt.http = true;
+      opt.net.http = true;
+      opt.net.http_port = static_cast<std::uint16_t>(port);
+    } else if (arg.rfind("--max-body=", 0) == 0) {
+      if (!parse_size(value("--max-body="), opt.net.max_body_bytes) ||
+          opt.net.max_body_bytes == 0) {
+        return usage_error("bad --max-body value '" + arg +
+                           "' (want bytes >= 1)");
+      }
+      max_body_set = true;
     } else if (arg.rfind("--shards=", 0) == 0) {
       std::size_t shards = 0;
       if (!parse_size(value("--shards="), shards) || shards > 256) {
@@ -336,9 +377,23 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (shards_set && !opt.tcp) {
-    return usage_error("--shards only applies to --listen=tcp:PORT");
+  if (shards_set && !opt.tcp && !opt.http) {
+    return usage_error(
+        "--shards only applies to --listen=tcp:PORT or --http=tcp:PORT");
   }
+  if (stdio_set && opt.http) {
+    return usage_error(
+        "--listen=stdio and --http are mutually exclusive (stdio serves "
+        "exactly one pipe; pick --listen=tcp:PORT to serve both protocols)");
+  }
+  if (max_body_set && !opt.http) {
+    return usage_error("--max-body only applies to --http=tcp:PORT");
+  }
+  if (opt.http && !opt.replay_path.empty()) {
+    return usage_error("--replay and --http are mutually exclusive");
+  }
+  // HTTP-only processes do not bind the raw JSON-lines port at all.
+  opt.net.json_listener = opt.tcp;
 
   if (opt.gate) return run_gate();
 
@@ -364,7 +419,7 @@ int main(int argc, char** argv) {
         std::cerr << "rvhpc-serve: " << e.what() << "\n";
         status = 2;
       }
-    } else if (opt.tcp) {
+    } else if (opt.tcp || opt.http) {
       serve::install_shutdown_handlers();
       net::Server server(svc, opt.net);
       try {
