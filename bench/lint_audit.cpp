@@ -16,6 +16,7 @@
 #include "analysis/baseline.hpp"
 #include "analysis/engine.hpp"
 #include "analysis/render.hpp"
+#include "arch/registry.hpp"
 #include "report/csv.hpp"
 
 using namespace rvhpc;
@@ -31,6 +32,38 @@ int audit(const char* title, const char* csv_name, const analysis::Report& r) {
   }
   std::cout << "\n";
   return r.has_errors() ? 1 : 0;
+}
+
+/// Coverage self-check for the topology rules (A301-A304): takes a
+/// registry topology machine, breaks every cross-field invariant the
+/// A3xx family guards, and verifies each rule actually fires.  The
+/// registry audit above proves the shipped machines are *clean*; this
+/// section proves the rules would *catch* the regressions they claim to.
+int audit_topology_coverage() {
+  arch::MachineModel broken = arch::machine("sg2044-dual");
+  broken.name += " (deliberately broken)";
+  broken.topology.domains[0].cores -= 1;            // A301: core sum off by one
+  broken.topology.links[0].bandwidth_gbs = 1e6;     // A302: link outruns DRAM
+  broken.topology.domains[0].dram_gib += 7.0;       // A303: DRAM slices drift
+  broken.memory.numa_regions = 1;                   // A304: flat blend stale
+  const analysis::Report r = analysis::lint_machine(broken);
+
+  std::cout << "== topology-rule coverage (A301-A304 on a broken machine): "
+            << analysis::summarize(r) << "\n";
+  const report::Table t = analysis::render_table(r);
+  std::cout << t.render();
+  report::maybe_write_csv("lint_topo_coverage", t);
+
+  int rc = 0;
+  for (const char* rule : {"A301", "A302", "A303", "A304"}) {
+    if (r.by_rule(rule).empty()) {
+      std::cout << "   COVERAGE GAP: rule " << rule
+                << " did not fire on the broken machine\n";
+      rc = 1;
+    }
+  }
+  std::cout << "\n";
+  return rc;
 }
 
 /// Lints the checkout's src/ tree against its baseline.  Skipped quietly
@@ -66,6 +99,7 @@ int main() {
               analysis::lint_registry());
   rc |= audit("workload-signature suite", "lint_signatures",
               analysis::lint_signature_suite());
+  rc |= audit_topology_coverage();
   rc |= audit_sources();
   return rc;
 }

@@ -1,0 +1,305 @@
+// topo_scaling — multi-socket scaling shapes on the topology machines.
+//
+// The topology subsystem (src/topo, DESIGN.md §15) adds three machines
+// to the registry that no paper-order artifact sweeps: the dual-socket
+// SG2042/SG2044 variants and the Monte Cimone v3 cluster.  This bench
+// sweeps BOTH prediction backends over them (adjacent requests in one
+// RequestSet, so the per-request dispatch path is what runs) and checks
+// the two scaling shapes the multi-socket literature reports:
+//
+//   * the NUMA cliff (dual-socket RISC-V evaluation, arXiv 2502.10320):
+//     bandwidth-bound STREAM *loses* throughput when the working set
+//     starts spanning the slow inter-socket link — full-machine triad
+//     lands below the single-socket peak;
+//   * cluster compute scaling (Monte Cimone v3, arXiv 2605.22831):
+//     compute-bound EP keeps scaling across nodes, because a
+//     cache-resident working set never touches the fabric.
+//
+// Both backends route cross-socket traffic through the same
+// topo::cross_traffic charging helper, so what this bench really gates
+// is the *mechanism* divergence: do the analytic composition and the
+// interval simulation still blame the same saturated resource once the
+// link model engages?
+//
+//   --gate       exit 1 unless (a) bottleneck agreement >= 80% across
+//                all topology-machine points, (b) both dual-socket
+//                machines show the NUMA cliff, and (c) Monte Cimone's EP
+//                scales >= 1.5x from one node to four.  Pure model
+//                arithmetic — no wall-clock assertions.
+//   --out=FILE   where to write the JSON (default: BENCH_topo.json in
+//                the current directory).
+//   --jobs=N     worker threads for the batch evaluation.
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "engine/batch.hpp"
+#include "model/sweep.hpp"
+#include "report/table.hpp"
+#include "topo/topology.hpp"
+
+using namespace rvhpc;
+using arch::MachineId;
+using model::Kernel;
+using model::ProblemClass;
+
+namespace {
+
+constexpr double kGateAgreement = 0.80;  ///< --gate threshold (ISSUE 10)
+constexpr double kEpClusterSpeedup = 1.5;  ///< 1 node -> 4 nodes, at least
+
+const Kernel kKernels[] = {
+    Kernel::StreamTriad, Kernel::EP, Kernel::MG, Kernel::CG, Kernel::FT,
+};
+
+struct Point {
+  std::string machine;
+  Kernel kernel;
+  int cores = 1;
+  model::Prediction analytic;
+  model::Prediction interval;
+
+  [[nodiscard]] bool both_ran() const { return analytic.ran && interval.ran; }
+  [[nodiscard]] bool agree() const {
+    if (!analytic.ran || !interval.ran) return !analytic.ran && !interval.ran;
+    return analytic.breakdown.dominant == interval.breakdown.dominant;
+  }
+  [[nodiscard]] double ratio() const {
+    return analytic.seconds > 0.0 ? interval.seconds / analytic.seconds : 0.0;
+  }
+};
+
+struct MachineSummary {
+  int points = 0;
+  int agreements = 0;
+  int compared = 0;
+  double log_ratio_sum = 0.0;
+
+  void add(const Point& p) {
+    ++points;
+    if (p.agree()) ++agreements;
+    if (!p.both_ran()) return;
+    ++compared;
+    log_ratio_sum += std::log(p.ratio());
+  }
+  [[nodiscard]] double agreement() const {
+    return points > 0 ? static_cast<double>(agreements) / points : 1.0;
+  }
+  [[nodiscard]] double geomean_ratio() const {
+    return compared > 0 ? std::exp(log_ratio_sum / compared) : 0.0;
+  }
+};
+
+/// Fixed-precision number for the JSON artifact: deterministic across
+/// platforms and runs (same convention as BENCH_calibration.json).
+std::string jnum(double v, int decimals = 4) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << v;
+  return os.str();
+}
+
+std::string bottleneck_name(const model::Prediction& p) {
+  return p.ran ? model::to_string(p.breakdown.dominant) : "dnr";
+}
+
+/// Analytic Mop/s of `kernel` at `cores` on `machine`, 0 when absent.
+double mops_at(const std::vector<Point>& points, const std::string& machine,
+               Kernel kernel, int cores) {
+  for (const Point& p : points) {
+    if (p.machine == machine && p.kernel == kernel && p.cores == cores) {
+      return p.analytic.ran ? p.analytic.mops : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::apply_jobs_flag(argc, argv);
+  bool gate = false;
+  std::string out_path = "BENCH_topo.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--gate") {
+      gate = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(std::string("--out=").size());
+    }
+  }
+
+  // ---- Sweep: topology machines x kernels x power-of-two cores, both
+  // backends adjacent so the evaluator's dispatch picks the mechanism.
+  engine::RequestSet set;
+  struct Label {
+    std::string machine;
+    Kernel kernel;
+    int cores;
+  };
+  std::vector<Label> labels;
+  for (const MachineId id : arch::topo_machines()) {
+    const arch::MachineModel& m = arch::machine(id);
+    for (const Kernel k : kKernels) {
+      const model::WorkloadSignature sig = model::signature(k, ProblemClass::C);
+      for (const int cores : model::power_of_two_cores(m.cores)) {
+        const model::RunConfig cfg = model::paper_run_config(m, k, cores);
+        const std::string name = m.name + "/" + to_string(k) + ".C@" +
+                                 std::to_string(cores);
+        set.add({m, sig, cfg, name, engine::Backend::Analytic});
+        set.add({m, sig, cfg, name, engine::Backend::Interval});
+        labels.push_back({m.name, k, cores});
+      }
+    }
+  }
+
+  const auto results = engine::default_evaluator().evaluate(set);
+
+  std::vector<Point> points;
+  points.reserve(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    Point p;
+    p.machine = labels[i].machine;
+    p.kernel = labels[i].kernel;
+    p.cores = labels[i].cores;
+    p.analytic = results[2 * i].prediction;
+    p.interval = results[2 * i + 1].prediction;
+    points.push_back(std::move(p));
+  }
+
+  // ---- Per-machine scaling tables -----------------------------------------
+  std::map<std::string, MachineSummary> by_machine;
+  MachineSummary overall;
+  for (const Point& p : points) {
+    by_machine[p.machine].add(p);
+    overall.add(p);
+  }
+
+  for (const MachineId id : arch::topo_machines()) {
+    const arch::MachineModel& m = arch::machine(id);
+    std::cout << m.name << "  (" << m.topology.domains.size()
+              << " domains, " << m.cores << " cores)\n";
+    report::Table t({"kernel", "cores", "domains", "analytic Mop/s",
+                     "interval Mop/s", "bottleneck", "agree"});
+    for (const Point& p : points) {
+      if (p.machine != m.name) continue;
+      t.add_row({to_string(p.kernel), std::to_string(p.cores),
+                 std::to_string(topo::domains_spanned(m.topology, p.cores)),
+                 p.analytic.ran ? report::fmt(p.analytic.mops, 0) : "DNR",
+                 p.interval.ran ? report::fmt(p.interval.mops, 0) : "DNR",
+                 bottleneck_name(p.analytic), p.agree() ? "yes" : "NO"});
+    }
+    std::cout << t.render() << "\n";
+  }
+
+  // ---- The two literature shapes ------------------------------------------
+  // NUMA cliff (dual-socket evaluation): full-machine triad vs the
+  // single-socket peak.  ratio < 1 reproduces the cliff.
+  struct Shape {
+    std::string name;
+    double value = 0.0;
+    bool ok = false;
+  };
+  std::vector<Shape> shapes;
+  for (const char* dual : {"sg2042-dual", "sg2044-dual"}) {
+    const arch::MachineModel& m = arch::machine(dual);
+    const double half = mops_at(points, dual, Kernel::StreamTriad, m.cores / 2);
+    const double full = mops_at(points, dual, Kernel::StreamTriad, m.cores);
+    Shape s;
+    s.name = std::string(dual) + ".numa_cliff_triad";
+    s.value = half > 0.0 ? full / half : 0.0;
+    s.ok = half > 0.0 && full > 0.0 && s.value < 1.0;
+    shapes.push_back(s);
+  }
+  {
+    const arch::MachineModel& mc = arch::machine("montecimone-v3");
+    const int node_cores = mc.topology.domains.empty()
+                               ? mc.cores
+                               : mc.topology.domains[0].cores;
+    const double one = mops_at(points, mc.name, Kernel::EP, node_cores);
+    const double all = mops_at(points, mc.name, Kernel::EP, mc.cores);
+    Shape s;
+    s.name = "montecimone-v3.ep_cluster_speedup";
+    s.value = one > 0.0 ? all / one : 0.0;
+    s.ok = one > 0.0 && s.value >= kEpClusterSpeedup;
+    shapes.push_back(s);
+  }
+
+  std::cout << "points: " << overall.points << "  bottleneck agreement: "
+            << report::fmt(100.0 * overall.agreement(), 1)
+            << "%  geomean t_int/t_ana: "
+            << report::fmt(overall.geomean_ratio(), 2) << "\n";
+  for (const Shape& s : shapes) {
+    std::cout << "  shape " << s.name << " = " << report::fmt(s.value, 2)
+              << (s.ok ? "  (reproduced)" : "  (NOT reproduced)") << "\n";
+  }
+
+  // ---- BENCH_topo.json -----------------------------------------------------
+  {
+    std::ostringstream js;
+    js << "{\n  \"bench\": \"topo_scaling\",\n"
+       << "  \"points\": " << overall.points << ",\n"
+       << "  \"bottleneck_agreement\": " << jnum(overall.agreement()) << ",\n"
+       << "  \"geomean_ratio\": " << jnum(overall.geomean_ratio()) << ",\n"
+       << "  \"machines\": [\n";
+    bool first = true;
+    for (const MachineId id : arch::topo_machines()) {
+      const std::string name = arch::name_of(id);
+      const MachineSummary& s = by_machine[name];
+      if (!first) js << ",\n";
+      first = false;
+      js << "    {\"machine\": \"" << name << "\", \"points\": " << s.points
+         << ", \"agreement\": " << jnum(s.agreement())
+         << ", \"geomean_ratio\": " << jnum(s.geomean_ratio()) << "}";
+    }
+    js << "\n  ],\n  \"shapes\": [\n";
+    first = true;
+    for (const Shape& s : shapes) {
+      if (!first) js << ",\n";
+      first = false;
+      js << "    {\"shape\": \"" << s.name << "\", \"value\": "
+         << jnum(s.value) << ", \"reproduced\": "
+         << (s.ok ? "true" : "false") << "}";
+    }
+    js << "\n  ]\n}\n";
+
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out.good()) {
+      std::cerr << "topo_scaling: cannot write '" << out_path << "'\n";
+      return 1;
+    }
+    out << js.str();
+    std::cout << "\nwrote " << out_path << "\n";
+  }
+
+  if (gate) {
+    bool fail = false;
+    if (overall.agreement() < kGateAgreement) {
+      std::cerr << "GATE FAIL: bottleneck agreement "
+                << report::fmt(100.0 * overall.agreement(), 1) << "% < "
+                << report::fmt(100.0 * kGateAgreement, 0) << "%\n";
+      fail = true;
+    }
+    for (const Shape& s : shapes) {
+      if (!s.ok) {
+        std::cerr << "GATE FAIL: shape " << s.name << " not reproduced ("
+                  << report::fmt(s.value, 2) << ")\n";
+        fail = true;
+      }
+    }
+    if (fail) return 1;
+    std::cout << "GATE OK: agreement "
+              << report::fmt(100.0 * overall.agreement(), 1) << "% >= "
+              << report::fmt(100.0 * kGateAgreement, 0)
+              << "%, all " << shapes.size() << " scaling shapes reproduced\n";
+  }
+  return 0;
+}

@@ -73,6 +73,12 @@ for exe in "$build_dir"/bench/*; do
       # HTTP framing gate: correctness always, the 1.25x overhead bar
       # self-skips on sanitized builds and single-thread hosts.
       args=(--gate "--out=$build_dir/BENCH_serve.http.smoke.json") ;;
+    topo_scaling)
+      # Topology gate: backend bottleneck agreement + the two literature
+      # scaling shapes.  Pure model arithmetic, single-CPU safe.  The
+      # checked-in BENCH_topo.json is regenerated deliberately, not on
+      # every CI run.
+      args=(--gate "--out=$build_dir/BENCH_topo.smoke.json") ;;
     *)
       args=() ;;
   esac
@@ -230,11 +236,13 @@ cmake -B "$build_dir-tsan" -S "$repo_root" "${generator[@]}" \
 # self-scan keeps the baseline honest under a second compiler config.
 # test_sim exercises two concurrent memsim consumers (interval backend +
 # stall profiler), which only TSan can vouch for.
+# test_topo spins up domain-pinned thread pools (TopoPlacement) — the
+# placement counter and worker handoff belong under TSan too.
 cmake --build "$build_dir-tsan" -j \
   --target test_engine test_obs test_serve test_net test_http test_analysis \
-  test_sim
+  test_sim test_topo
 echo "== TSan: test_engine + test_obs + test_serve + test_net + test_http" \
-  "+ test_analysis + test_sim"
+  "+ test_analysis + test_sim + test_topo"
 "$build_dir-tsan/tests/test_engine"
 "$build_dir-tsan/tests/test_obs"
 "$build_dir-tsan/tests/test_serve"
@@ -242,5 +250,6 @@ echo "== TSan: test_engine + test_obs + test_serve + test_net + test_http" \
 "$build_dir-tsan/tests/test_http"
 "$build_dir-tsan/tests/test_analysis"
 "$build_dir-tsan/tests/test_sim"
+"$build_dir-tsan/tests/test_topo"
 
 echo "== all gates green"

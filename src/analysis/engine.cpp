@@ -43,6 +43,16 @@ const std::vector<RuleInfo>& rule_catalogue() {
        "an in-order core claims more outstanding misses than it can track"},
       {"A014-channel-controller-split", Severity::Warn,
        "channels do not divide evenly across memory controllers"},
+      // --- topology rules (src/topo overlay) -------------------------------
+      {"A301-topo-core-sum", Severity::Error,
+       "NUMA domain core counts do not sum to the machine's cores"},
+      {"A302-topo-link-outruns-dram", Severity::Warn,
+       "an inter-socket link claims bandwidth at or above the local DRAM "
+       "behind it"},
+      {"A303-topo-dram-slice-mismatch", Severity::Note,
+       "domain DRAM slices do not sum to memory.dram_gib"},
+      {"A304-topo-numa-region-mismatch", Severity::Warn,
+       "memory.numa_regions disagrees with the number of topology domains"},
       // --- workload-signature rules ---------------------------------------
       {"A101-fraction-range", Severity::Error,
        "a fraction-typed signature field is outside [0, 1]"},
@@ -173,6 +183,7 @@ Report apply(Report r, const LintOptions& opts) {
 Report lint_machine(const arch::MachineModel& m) {
   Report r;
   detail::machine_rules(r, m);
+  detail::topology_rules(r, m);
   return r;
 }
 
@@ -213,6 +224,11 @@ Report lint_signature_suite() {
 Report lint_registry() {
   Report r;
   for (arch::MachineId id : arch::all_machines()) {
+    r.merge(lint_machine(arch::machine(id)));
+  }
+  // The topology-bearing machines live outside all_machines() (paper-order
+  // artifacts stay bit-identical) but are registry entries all the same.
+  for (arch::MachineId id : arch::topo_machines()) {
     r.merge(lint_machine(arch::machine(id)));
   }
   detail::calibration_rules(r);

@@ -18,6 +18,9 @@ void emit(Report& out, const std::string& rule_id, std::string subject,
 /// Rules A001-A014: cross-field physical plausibility of one machine.
 void machine_rules(Report& out, const arch::MachineModel& m);
 
+/// Rules A301-A304: plausibility of a machine's NUMA topology overlay.
+void topology_rules(Report& out, const arch::MachineModel& m);
+
 /// Rules A101-A108: plausibility of one workload signature.
 void signature_rules(Report& out, const model::WorkloadSignature& sig);
 

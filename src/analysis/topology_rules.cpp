@@ -1,0 +1,85 @@
+// rvhpc::analysis — topology plausibility rules (A301-A304).
+//
+// arch::validate() already enforces structural soundness of a topology
+// (unique ids, declared link endpoints, positive resources); these rules
+// ask the cross-field questions a structurally sound overlay can still
+// get wrong, the same split the A0xx machine rules keep with validate().
+// Field names match the serializer's key_lines ("topology.domain[i]",
+// "topology.link[i]"), so lint_machine_file reports them with the
+// offending machine-file line.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "analysis/rules.hpp"
+#include "arch/machine.hpp"
+
+namespace rvhpc::analysis::detail {
+namespace {
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+void topology_rules(Report& out, const arch::MachineModel& m) {
+  const topo::Topology& t = m.topology;
+  if (t.flat()) return;
+  const std::string& who = m.name;
+
+  // A301 — the domains must partition the chip's cores exactly: a sum
+  // below cores leaves phantom cores with no DRAM behind them, a sum
+  // above invents silicon.  (The topology analogue of A009.)
+  if (t.total_cores() != m.cores) {
+    emit(out, "A301-topo-core-sum", who, "topology.domain[0]",
+         "domain core counts sum to " + std::to_string(t.total_cores()) +
+             " but the machine has " + std::to_string(m.cores) + " cores");
+  }
+
+  // A302 — an inter-socket link claiming more bandwidth than the DRAM
+  // behind either endpoint would make remote access free; every real
+  // interconnect (and both source papers' measurements) sits well below
+  // local DRAM.
+  for (std::size_t i = 0; i < t.links.size(); ++i) {
+    const topo::Link& l = t.links[i];
+    const topo::Domain* a = t.find(l.from);
+    const topo::Domain* b = t.find(l.to);
+    if (!a || !b) continue;  // dangling endpoints are validate()'s problem
+    const double local = std::min(a->dram_bw_gbs, b->dram_bw_gbs);
+    if (local > 0.0 && l.bandwidth_gbs >= local) {
+      emit(out, "A302-topo-link-outruns-dram", who,
+           "topology.link[" + std::to_string(i) + "]",
+           "link " + l.from + "-" + l.to + " claims " + num(l.bandwidth_gbs) +
+               " GB/s, at or above the " + num(local) +
+               " GB/s local DRAM bandwidth behind it");
+    }
+  }
+
+  // A303 — the domains' DRAM slices should account for the machine's
+  // DRAM; a mismatch usually means one side was edited without the
+  // other.  Note-level: partial overlays are legal.
+  double slice_sum = 0.0;
+  for (const topo::Domain& d : t.domains) slice_sum += d.dram_gib;
+  if (std::abs(slice_sum - m.memory.dram_gib) >
+      1e-6 * std::max(1.0, m.memory.dram_gib)) {
+    emit(out, "A303-topo-dram-slice-mismatch", who, "memory.dram_gib",
+         "domain DRAM slices sum to " + num(slice_sum) +
+             " GiB but memory.dram_gib is " + num(m.memory.dram_gib));
+  }
+
+  // A304 — the flat NUMA blend (memory.numa_regions) and the explicit
+  // overlay describe the same hardware; disagreeing counts mean one of
+  // them is stale.
+  if (m.memory.numa_regions != static_cast<int>(t.domains.size())) {
+    emit(out, "A304-topo-numa-region-mismatch", who, "memory.numa_regions",
+         std::to_string(m.memory.numa_regions) +
+             " NUMA regions but the topology declares " +
+             std::to_string(t.domains.size()) + " domains");
+  }
+}
+
+}  // namespace rvhpc::analysis::detail

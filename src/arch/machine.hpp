@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "topo/topology.hpp"
+
 namespace rvhpc::arch {
 
 /// Instruction set architecture families that appear in the paper.
@@ -134,6 +136,10 @@ struct MachineModel {
   CoreModel core;
   std::vector<CacheLevel> caches;   ///< ordered L1D, L2, [L3]
   MemorySubsystem memory;
+  /// Optional NUMA/multi-socket overlay (src/topo).  Flat (empty) for
+  /// every single-socket machine — consumers must treat a flat topology
+  /// bit-identically to a machine that predates the field.
+  topo::Topology topology;
 
   /// Peak double-precision GFLOP/s of the whole chip with vector units.
   [[nodiscard]] double peak_vector_gflops() const;

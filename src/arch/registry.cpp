@@ -352,6 +352,85 @@ MachineModel make_jupiter() {
   return m;
 }
 
+// ---------------------------------------------------------------------------
+// Dual-socket SG2042 — the configuration Brown & Day investigate (arxiv
+// 2502.10320): two 64-core sockets, each keeping its own DDR4 controllers
+// and 64 MiB L3, joined by a coherent inter-socket link far narrower than
+// local DRAM.  The memory subsystem describes the whole node (both
+// sockets' channels); the topology overlay says how it is split and what
+// crossing the midline costs.
+MachineModel make_sg2042_dual() {
+  MachineModel m = make_sg2042();
+  m.name = "sg2042-dual";
+  m.part = "2x Sophon SG2042 (dual socket)";
+  m.cores = 128;
+  // Per-core L2 clusters are unchanged; the LLC line models both sockets'
+  // 64 MiB L3s as one machine-wide 128 MiB capacity (llc_bytes() reports
+  // the total; the per-socket slice lives in the topology domains).
+  m.caches = {l1d(64), l2(1024, 4, 14), l3(128, 128, 40)};
+  m.memory.controllers = 8;
+  m.memory.channels = 8;
+  m.memory.numa_regions = 2;
+  m.memory.dram_gib = 256.0;
+  const double local_bw = 4 * 25.6 * 0.355;  // one socket's sustained GB/s
+  m.topology.domains = {{"socket0", 64, 128.0, local_bw, 64.0},
+                        {"socket1", 64, 128.0, local_bw, 64.0}};
+  m.topology.links = {{"socket0", "socket1", /*bandwidth_gbs=*/12.8,
+                       /*latency_ns=*/180.0, /*coherence_ns=*/60.0}};
+  return m;
+}
+
+// Dual-socket SG2044 — the hypothetical the paper's conclusion points at:
+// the same two-socket layout with the SG2044's 32-channel DDR5 per
+// socket and a faster coherent link, so the cross-socket wall moves but
+// does not vanish.
+MachineModel make_sg2044_dual() {
+  MachineModel m = make_sg2044();
+  m.name = "sg2044-dual";
+  m.part = "2x Sophon SG2044 (dual socket)";
+  m.cores = 128;
+  m.caches = {l1d(64), l2(2048, 4, 14), l3(128, 128, 40)};
+  m.memory.controllers = 64;
+  m.memory.channels = 64;
+  m.memory.numa_regions = 2;
+  m.memory.dram_gib = 256.0;
+  const double local_bw = 32 * 8.5 * 0.44;  // one socket's sustained GB/s
+  m.topology.domains = {{"socket0", 64, 128.0, local_bw, 64.0},
+                        {"socket1", 64, 128.0, local_bw, 64.0}};
+  m.topology.links = {{"socket0", "socket1", /*bandwidth_gbs=*/32.0,
+                       /*latency_ns=*/150.0, /*coherence_ns=*/40.0}};
+  return m;
+}
+
+// Monte Cimone v3-style cluster (arxiv 2605.22831): four SG2042-class
+// nodes on a fabric.  Treated as one 256-core machine whose domains are
+// nodes; the fabric links are narrow and high-latency, with no coherence
+// penalty (nothing is kept coherent across nodes — the software pays in
+// explicit transfers, which the link latency stands in for).
+MachineModel make_montecimone_v3() {
+  MachineModel m = make_sg2042();
+  m.name = "montecimone-v3";
+  m.part = "Monte Cimone v3 (4x SG2042 nodes)";
+  m.cores = 256;
+  m.caches = {l1d(64), l2(1024, 4, 14), l3(256, 256, 40)};
+  m.memory.controllers = 16;
+  m.memory.channels = 16;
+  m.memory.numa_regions = 4;
+  m.memory.dram_gib = 512.0;
+  const double local_bw = 4 * 25.6 * 0.355;  // one node's sustained GB/s
+  m.topology.domains = {{"node0", 64, 128.0, local_bw, 64.0},
+                        {"node1", 64, 128.0, local_bw, 64.0},
+                        {"node2", 64, 128.0, local_bw, 64.0},
+                        {"node3", 64, 128.0, local_bw, 64.0}};
+  // Linear fabric: enough connectivity to reach every node, narrow
+  // enough that the cluster's scaling shape is fabric-bound.
+  m.topology.links = {
+      {"node0", "node1", /*bandwidth_gbs=*/3.0, /*latency_ns=*/1500.0, 0.0},
+      {"node1", "node2", /*bandwidth_gbs=*/3.0, /*latency_ns=*/1500.0, 0.0},
+      {"node2", "node3", /*bandwidth_gbs=*/3.0, /*latency_ns=*/1500.0, 0.0}};
+  return m;
+}
+
 const std::map<MachineId, MachineModel>& table() {
   static const std::map<MachineId, MachineModel> t = {
       {MachineId::Sg2044, make_sg2044()},
@@ -365,6 +444,9 @@ const std::map<MachineId, MachineModel>& table() {
       {MachineId::AllwinnerD1, make_d1()},
       {MachineId::BananaPiF3, make_bpi_f3()},
       {MachineId::MilkVJupiter, make_jupiter()},
+      {MachineId::Sg2042Dual, make_sg2042_dual()},
+      {MachineId::Sg2044Dual, make_sg2044_dual()},
+      {MachineId::MonteCimoneV3, make_montecimone_v3()},
   };
   return t;
 }
@@ -391,6 +473,12 @@ const std::vector<MachineId>& hpc_machines() {
   static const std::vector<MachineId> v = {
       MachineId::Sg2044, MachineId::Sg2042, MachineId::Epyc7742,
       MachineId::Xeon8170, MachineId::ThunderX2};
+  return v;
+}
+
+const std::vector<MachineId>& topo_machines() {
+  static const std::vector<MachineId> v = {
+      MachineId::Sg2042Dual, MachineId::Sg2044Dual, MachineId::MonteCimoneV3};
   return v;
 }
 

@@ -28,6 +28,12 @@ enum class MachineId : std::uint8_t {
   AllwinnerD1,     ///< Allwinner D1 (T-Head C906), 1 GiB DRAM
   BananaPiF3,      ///< Banana Pi BPI-F3 (SpacemiT K1 / X60) @ 1.6 GHz, RVV 1.0
   MilkVJupiter,    ///< Milk-V Jupiter (SpacemiT M1 / X60) @ 1.8 GHz, RVV 1.0
+  // Multi-socket / cluster scenarios past the paper (src/topo overlay;
+  // arxiv 2502.10320 and arxiv 2605.22831).  Not members of
+  // all_machines(): the paper-order artifacts stay bit-identical.
+  Sg2042Dual,      ///< two SG2042 sockets behind a coherent link
+  Sg2044Dual,      ///< two SG2044 sockets behind a coherent link
+  MonteCimoneV3,   ///< Monte Cimone v3-style 4-node RISC-V cluster
 };
 
 /// All machine ids, in paper order.
@@ -38,6 +44,12 @@ enum class MachineId : std::uint8_t {
 
 /// The sub-set compared in §5 (multicore scaling, Figures 2-6 and Table 6).
 [[nodiscard]] const std::vector<MachineId>& hpc_machines();
+
+/// Machines whose descriptions carry an explicit NUMA topology — the
+/// dual-socket/cluster scenario frontier (bench/topo_scaling sweeps
+/// these).  Deliberately disjoint from all_machines() so every
+/// pre-existing table, bench artifact and calibration gate is untouched.
+[[nodiscard]] const std::vector<MachineId>& topo_machines();
 
 /// Full machine description for `id`.  Models are immutable singletons.
 [[nodiscard]] const MachineModel& machine(MachineId id);

@@ -103,6 +103,17 @@ std::string to_text(const MachineModel& m) {
   os << "memory.read_bw_bonus = " << mem.read_bw_bonus << "\n";
   os << "memory.numa_regions = " << mem.numa_regions << "\n";
   os << "memory.dram_gib = " << mem.dram_gib << "\n";
+  // The topology section is strictly opt-in: a flat machine emits nothing
+  // here, so pre-topology files round-trip byte-identically.
+  for (const topo::Domain& d : m.topology.domains) {
+    os << "topology.domain = " << d.id << " " << d.cores << " " << d.dram_gib
+       << " " << d.dram_bw_gbs << " " << d.llc_mib << "\n";
+  }
+  for (const topo::Link& l : m.topology.links) {
+    os << "topology.link = " << l.from << " " << l.to << " "
+       << l.bandwidth_gbs << " " << l.latency_ns << " " << l.coherence_ns
+       << "\n";
+  }
   return os.str();
 }
 
@@ -272,6 +283,45 @@ ParsedMachine parse_machine(const std::string& text) {
       caches_seen = true;
       continue;
     }
+    if (key == "topology.domain") {
+      // topology.domain = ID cores dram_gib dram_bw_gbs llc_mib
+      std::istringstream ds(value);
+      topo::Domain d;
+      if (!(ds >> d.id >> d.cores >> d.dram_gib >> d.dram_bw_gbs >>
+            d.llc_mib)) {
+        fail(lineno,
+             "topology.domain needs: ID cores dram_gib dram_bw_gbs llc_mib");
+      }
+      for (std::size_t i = 0; i < m.topology.domains.size(); ++i) {
+        if (m.topology.domains[i].id == d.id) {
+          fail(lineno,
+               "duplicate topology domain id '" + d.id +
+                   "' (first declared on line " +
+                   std::to_string(pm.line_of("topology.domain[" +
+                                             std::to_string(i) + "]")) +
+                   ")");
+        }
+      }
+      pm.key_lines["topology.domain[" +
+                   std::to_string(m.topology.domains.size()) + "]"] = lineno;
+      m.topology.domains.push_back(std::move(d));
+      continue;
+    }
+    if (key == "topology.link") {
+      // topology.link = FROM TO bandwidth_gbs latency_ns coherence_ns
+      std::istringstream ls(value);
+      topo::Link l;
+      if (!(ls >> l.from >> l.to >> l.bandwidth_gbs >> l.latency_ns >>
+            l.coherence_ns)) {
+        fail(lineno,
+             "topology.link needs: FROM TO bandwidth_gbs latency_ns "
+             "coherence_ns");
+      }
+      pm.key_lines["topology.link[" + std::to_string(m.topology.links.size()) +
+                   "]"] = lineno;
+      m.topology.links.push_back(std::move(l));
+      continue;
+    }
     const auto it = setters.find(key);
     if (it == setters.end()) fail(lineno, "unknown key '" + key + "'");
     if (const auto prev = pm.key_lines.find(key); prev != pm.key_lines.end()) {
@@ -284,6 +334,18 @@ ParsedMachine parse_machine(const std::string& text) {
   if (!caches_seen) {
     // Leave a minimal default L1 so a partial file stays usable.
     m.caches.push_back({"L1D", 32 * 1024, 8, 64, 1, 4});
+  }
+  // Dangling link endpoints are a framing error of the file, not a
+  // plausibility question: reject at parse, on the offending line.
+  for (std::size_t i = 0; i < m.topology.links.size(); ++i) {
+    const topo::Link& l = m.topology.links[i];
+    for (const std::string* endpoint : {&l.from, &l.to}) {
+      if (!m.topology.find(*endpoint)) {
+        fail(pm.line_of("topology.link[" + std::to_string(i) + "]"),
+             "topology link endpoint '" + *endpoint +
+                 "' is not a declared domain");
+      }
+    }
   }
   return pm;
 }

@@ -81,6 +81,20 @@ std::vector<ValidationIssue> validate(const MachineModel& m) {
           "memory.numa_regions", "must be in [1, cores]");
   require(issues, mem.dram_gib > 0.0, "memory.dram_gib", "must be positive");
 
+  // Structural soundness of the optional topology overlay (unique ids,
+  // positive resources, links joining declared distinct domains).  The
+  // cross-machine plausibility questions — core sums, link-vs-DRAM
+  // bandwidth — are the A3xx lint rules, mirroring how numa_regions
+  // arithmetic lives in A009 rather than here.
+  for (const std::string& issue : topo::structural_issues(m.topology)) {
+    const auto colon = issue.find(": ");
+    if (colon == std::string::npos) {
+      require(issues, false, "topology", issue);
+    } else {
+      require(issues, false, issue.substr(0, colon), issue.substr(colon + 2));
+    }
+  }
+
   return issues;
 }
 

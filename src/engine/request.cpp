@@ -42,7 +42,13 @@ static_assert(aggregate_field_count<arch::CacheLevel>() == 6,
               "CacheLevel grew: update hash_machine's cache loop and this count");
 static_assert(aggregate_field_count<arch::MemorySubsystem>() == 11,
               "MemorySubsystem grew: update hash_memory and this count");
-static_assert(aggregate_field_count<arch::MachineModel>() == 8,
+static_assert(aggregate_field_count<topo::Domain>() == 5,
+              "topo::Domain grew: update hash_topology and this count");
+static_assert(aggregate_field_count<topo::Link>() == 5,
+              "topo::Link grew: update hash_topology and this count");
+static_assert(aggregate_field_count<topo::Topology>() == 2,
+              "topo::Topology grew: update hash_topology and this count");
+static_assert(aggregate_field_count<arch::MachineModel>() == 9,
               "MachineModel grew: update hash_machine and this count");
 static_assert(aggregate_field_count<model::WorkloadSignature>() == 23,
               "WorkloadSignature grew: update hash_signature and this count");
@@ -110,6 +116,25 @@ void hash_memory(Fnv1a& h, const arch::MemorySubsystem& mem) {
   h.f64(mem.dram_gib);
 }
 
+void hash_topology(Fnv1a& h, const topo::Topology& t) {
+  h.u64(t.domains.size());
+  for (const topo::Domain& d : t.domains) {
+    h.str(d.id);
+    h.i(d.cores);
+    h.f64(d.dram_gib);
+    h.f64(d.dram_bw_gbs);
+    h.f64(d.llc_mib);
+  }
+  h.u64(t.links.size());
+  for (const topo::Link& l : t.links) {
+    h.str(l.from);
+    h.str(l.to);
+    h.f64(l.bandwidth_gbs);
+    h.f64(l.latency_ns);
+    h.f64(l.coherence_ns);
+  }
+}
+
 void hash_machine(Fnv1a& h, const arch::MachineModel& m) {
   h.str(m.name);
   h.i(static_cast<int>(m.isa));
@@ -126,6 +151,7 @@ void hash_machine(Fnv1a& h, const arch::MachineModel& m) {
     h.f64(c.latency_cycles);
   }
   hash_memory(h, m.memory);
+  hash_topology(h, m.topology);
 }
 
 void hash_signature(Fnv1a& h, const model::WorkloadSignature& s) {

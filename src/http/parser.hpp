@@ -93,6 +93,14 @@ class RequestParser {
   [[nodiscard]] bool headers_complete() const {
     return state_ == State::Body || state_ == State::Complete;
   }
+  /// True once any byte of a request has arrived (even a partial request
+  /// line).  The server's slow-loris reaper keys off this: a connection
+  /// that *started* a request but has not finished its headers is held to
+  /// the header deadline, while a silent keep-alive connection is only
+  /// subject to the (longer) idle timeout.
+  [[nodiscard]] bool started() const {
+    return state_ != State::RequestLine || !line_.empty();
+  }
 
   [[nodiscard]] const std::string& method() const { return method_; }
   /// Request target as sent (path + optional query), no normalisation.

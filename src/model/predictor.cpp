@@ -8,6 +8,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "topo/topology.hpp"
 
 namespace rvhpc::model {
 namespace {
@@ -130,8 +131,8 @@ Prediction predict(const arch::MachineModel& m, const WorkloadSignature& sig,
   const double supply_bw =
       m.memory.chip_stream_bw_gbs() * read_bonus *
       placement_bw_factor(m, cfg.cores, cfg.placement) * 1e9;
-  const double bw_gbs = soft_min(n * m.memory.per_core_bw_gbs * read_bonus,
-                                 supply_bw / 1e9, /*p=*/10.0);
+  double bw_gbs = soft_min(n * m.memory.per_core_bw_gbs * read_bonus,
+                           supply_bw / 1e9, /*p=*/10.0);
 
   // --- latency-bound accesses, with a load-dependent DRAM latency ----------
   const double n_rand = ops * sig.random_access_per_op;
@@ -145,6 +146,22 @@ Prediction predict(const arch::MachineModel& m, const WorkloadSignature& sig,
         static_cast<double>(m.cores) / m.memory.numa_regions;
     const double regions_used = std::ceil(n / per_region);
     numa_factor = 1.0 + 0.33 * (1.0 - 1.0 / regions_used);
+  }
+
+  // Explicit topology charging (src/topo): once the active cores span
+  // more than one declared domain, the remote share of DRAM traffic
+  // drains through the inter-socket links — serial composition of the
+  // local bandwidth with the links' aggregate — and every remote access
+  // pays the link's transfer latency plus its coherence penalty on top
+  // of the blend above.  A flat machine takes neither branch, so every
+  // pre-topology machine predicts bit-identically.
+  const topo::CrossTraffic xt =
+      topo::cross_traffic(m.topology, cfg.cores, sig.working_set_mib);
+  if (xt.remote_fraction > 0.0 && xt.link_bw_gbs > 0.0) {
+    bw_gbs = 1.0 / ((1.0 - xt.remote_fraction) / bw_gbs +
+                    xt.remote_fraction / xt.link_bw_gbs);
+    numa_factor *= 1.0 + xt.remote_fraction * xt.extra_latency_ns /
+                             m.memory.idle_latency_ns;
   }
 
   // Component-wise partial-overlap coefficients.  Prefetchable streams

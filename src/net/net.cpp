@@ -103,6 +103,13 @@ void count_disconnect(Disconnect cause) {
   static obs::Counter& drained = obs::Registry::global().counter(
       "rvhpc_net_disconnects_drained_total",
       "connections open when the server drained");
+  // Newer causes use the labeled-series convention (one metric, a
+  // reason label) rather than minting another _disconnects_<cause>_
+  // name; the legacy names above predate it and stay for dashboards.
+  static obs::Counter& header_timeout = obs::Registry::global().counter(
+      "rvhpc_net_disconnect_total{reason=\"header_timeout\"}",
+      "connections dropped for dribbling a request past the header "
+      "deadline");
   switch (cause) {
     case Disconnect::Eof:        eof.add(); break;
     case Disconnect::Idle:       idle.add(); break;
@@ -111,6 +118,7 @@ void count_disconnect(Disconnect cause) {
     case Disconnect::Refused:    refused.add(); break;
     case Disconnect::Error:      error.add(); break;
     case Disconnect::Drained:    drained.add(); break;
+    case Disconnect::HeaderTimeout: header_timeout.add(); break;
   }
 }
 
@@ -178,6 +186,7 @@ const char* to_string(Disconnect cause) {
     case Disconnect::Refused:    return "refused";
     case Disconnect::Error:      return "error";
     case Disconnect::Drained:    return "drained";
+    case Disconnect::HeaderTimeout: return "header-timeout";
   }
   return "unknown";
 }
@@ -285,6 +294,11 @@ struct Connection {
   std::deque<Pending> pending;
   std::uint64_t next_seq = 0;
   double last_read_us = 0.0;
+  /// When the currently-unfinished request's first byte arrived; 0 when
+  /// no request is mid-frame.  Unlike last_read_us this is *not* advanced
+  /// by further bytes — a slow loris dripping one header byte per
+  /// interval keeps resetting the idle clock but never this one.
+  double partial_since_us = 0.0;
   double closing_since_us = 0.0;
   bool draining = false;  ///< EOF seen; answering what is buffered
   bool closing = false;   ///< farewell queued; close once it is flushed
@@ -604,6 +618,9 @@ void Shard::close_now(Connection& c, Disconnect cause) {
     case Disconnect::Refused:    ++server_.stats_.disconnect_refused; break;
     case Disconnect::Error:      ++server_.stats_.disconnect_error; break;
     case Disconnect::Drained:    ++server_.stats_.disconnect_drained; break;
+    case Disconnect::HeaderTimeout:
+      ++server_.stats_.disconnect_header_timeout;
+      break;
   }
 }
 
@@ -1159,6 +1176,45 @@ void Shard::reap_and_time_out() {
       close_now(c, c.cause);
       continue;
     }
+    // Header deadline (slow loris): a request that *started* but whose
+    // framing has not completed is timed from its first byte.  The idle
+    // check below cannot catch this — every dripped byte advances
+    // last_read_us — so the partial clock is stamped once per request
+    // and only cleared when the framing completes.
+    if (!c.closing && !c.draining && c.pending.empty() &&
+        c.exchanges.empty() && server_.opts_.header_timeout_ms > 0.0) {
+      const bool partial =
+          c.http ? (c.parser && c.parser->started() && !c.parser->complete())
+                 : (!c.rbuf.empty() &&
+                    c.rbuf.find('\n') == std::string::npos);
+      if (!partial) {
+        c.partial_since_us = 0.0;
+      } else if (c.partial_since_us == 0.0) {
+        c.partial_since_us = now;
+      } else if (now - c.partial_since_us >
+                 server_.opts_.header_timeout_ms * 1000.0) {
+        const std::string body = error_line(
+            "timeout",
+            "request not completed within " +
+                std::to_string(server_.opts_.header_timeout_ms) +
+                " ms; closing");
+        if (c.http) {
+          std::string farewell;
+          http::append_head(farewell, 408, /*keep_alive=*/false,
+                            "application/json", body.size());
+          farewell += body;
+          count_http("other", 408);
+          {
+            std::lock_guard lock(server_.stats_mu_);
+            ++server_.stats_.http_requests;
+          }
+          begin_close(c, Disconnect::HeaderTimeout, farewell);
+        } else {
+          begin_close(c, Disconnect::HeaderTimeout, body);
+        }
+        continue;
+      }
+    }
     if (!c.closing && !c.draining && c.pending.empty() &&
         c.exchanges.empty() && server_.opts_.idle_timeout_ms > 0.0 &&
         now - c.last_read_us > server_.opts_.idle_timeout_ms * 1000.0) {
@@ -1434,8 +1490,9 @@ void Server::run(std::ostream& log) {
       << " request(s) answered, " << s.http_requests << " http exchange(s), "
       << s.bytes_in << " bytes in, " << s.bytes_out
       << " bytes out, disconnects: " << s.disconnect_eof << " eof, "
-      << s.disconnect_idle << " idle, " << s.disconnect_oversize
-      << " oversize, " << s.disconnect_slow_reader << " slow-reader, "
+      << s.disconnect_idle << " idle, " << s.disconnect_header_timeout
+      << " header-timeout, " << s.disconnect_oversize << " oversize, "
+      << s.disconnect_slow_reader << " slow-reader, "
       << s.disconnect_refused << " refused, " << s.disconnect_error
       << " error, " << s.disconnect_drained << " drained\n";
 }

@@ -88,6 +88,8 @@ enum class Disconnect {
   Refused,     ///< accepted past max_connections ("overloaded" answered)
   Error,       ///< socket error (reset, broken pipe)
   Drained,     ///< server shut down while the connection was open
+  HeaderTimeout,  ///< a started request's headers dribbled past
+                  ///< header_timeout_ms (slow loris; 408 answered on HTTP)
 };
 
 [[nodiscard]] const char* to_string(Disconnect cause);
@@ -135,6 +137,14 @@ struct ServerOptions {
   int so_sndbuf = 0;
   /// Disconnect a connection that sent nothing for this long; 0 disables.
   double idle_timeout_ms = 0.0;
+  /// Deadline for *finishing* a request once its first byte arrives; 0
+  /// disables.  Distinct from idle_timeout_ms, which a slow-loris client
+  /// defeats by dripping one header byte per interval: each drip resets
+  /// the idle clock, but the clock started here runs from the first byte
+  /// of the request until its framing completes, no matter how the bytes
+  /// arrive.  HTTP connections are answered 408; raw JSON-lines
+  /// connections get the structured "timeout" error line.
+  double header_timeout_ms = 0.0;
   /// poll() timeout — the latency bound on noticing stop()/SIGTERM.
   /// (Completed futures do not wait for it: they poke the owning shard's
   /// wakeup pipe.)
@@ -162,6 +172,7 @@ struct ServerStats {
   std::uint64_t disconnect_refused = 0;
   std::uint64_t disconnect_error = 0;
   std::uint64_t disconnect_drained = 0;
+  std::uint64_t disconnect_header_timeout = 0;
   /// Per-shard fan-out, indexed by shard: connections adopted, response
   /// lines delivered.  Sized ServerOptions::shards.
   std::vector<std::uint64_t> shard_connections;

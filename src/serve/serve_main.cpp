@@ -53,6 +53,7 @@ const cli::ToolInfo kTool{
     "                   [--out=<responses.jsonl>] [--cache-file=<file.bin>]\n"
     "                   [--cache-capacity=N] [--cache-max-entries=N]\n"
     "                   [--queue=N] [--timeout-ms=T] [--idle-timeout-ms=T]\n"
+    "                   [--header-timeout-ms=T]\n"
     "                   [--checkpoint-every=N] [--no-lint] [--no-live-fields]\n"
     "                   [--jobs=N] [--metrics[=<file>]] [--gate]\n"
     "\n"
@@ -89,6 +90,11 @@ const cli::ToolInfo kTool{
     "  --timeout-ms=T        default per-request deadline (0 = none)\n"
     "  --idle-timeout-ms=T   tcp only: disconnect clients idle for T ms\n"
     "                        (0 = never, the default)\n"
+    "  --header-timeout-ms=T tcp/http: disconnect clients that start a\n"
+    "                        request but do not finish framing it within T\n"
+    "                        ms (slow loris; 0 = never, the default).\n"
+    "                        Distinct from --idle-timeout-ms, which a\n"
+    "                        dripped byte resets\n"
     "  --checkpoint-every=N  checkpoint the cache every N evaluations\n"
     "  --no-lint             skip A0xx admission lint of machine_text\n"
     "  --no-live-fields      omit the \"cache\"/\"latency_us\" response\n"
@@ -342,6 +348,15 @@ int main(int argc, char** argv) {
       }
       if (opt.net.idle_timeout_ms < 0) {
         return usage_error("--idle-timeout-ms must be >= 0");
+      }
+    } else if (arg.rfind("--header-timeout-ms=", 0) == 0) {
+      try {
+        opt.net.header_timeout_ms = std::stod(value("--header-timeout-ms="));
+      } catch (const std::exception&) {
+        return usage_error("bad --header-timeout-ms value '" + arg + "'");
+      }
+      if (opt.net.header_timeout_ms < 0) {
+        return usage_error("--header-timeout-ms must be >= 0");
       }
     } else if (arg.rfind("--queue=", 0) == 0) {
       if (!parse_size(value("--queue="), opt.svc.queue_capacity)) {

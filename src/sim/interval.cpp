@@ -13,6 +13,7 @@
 #include "model/singlecore.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "topo/topology.hpp"
 
 namespace rvhpc::sim {
 namespace {
@@ -200,13 +201,31 @@ IntervalReport simulate(const arch::MachineModel& m,
   const double read_bonus =
       1.0 + (m.memory.read_bw_bonus - 1.0) *
                 std::clamp(sig.read_fraction, 0.0, 1.0);
-  const double numa_factor = numa_latency_factor(m, n);
+  double numa_factor = numa_latency_factor(m, n);
   const double supply_gbs =
       m.memory.chip_stream_bw_gbs() * read_bonus *
       model::placement_bw_factor(m, cfg.cores, cfg.placement);
-  const double share_gbs =
+  double share_gbs =
       std::max(1e-3, std::min(supply_gbs / n,
                               m.memory.per_core_bw_gbs * read_bonus));
+
+  // Topology charging (src/topo): the representative core lives in the
+  // first (filled-first) domain, and its remote-share accesses route
+  // through the inter-socket links.  The per-core link share is the
+  // links' aggregate divided across all active cores (each produces the
+  // same remote fraction), composed serially with the local share; the
+  // remote accesses also pay the link + coherence latency, scaled into
+  // the same idle-latency factor the analytic backend uses.  Flat
+  // machines skip the branch entirely — bit-identical to before.
+  const topo::CrossTraffic xt =
+      topo::cross_traffic(m.topology, cfg.cores, sig.working_set_mib);
+  if (xt.remote_fraction > 0.0 && xt.link_bw_gbs > 0.0) {
+    const double link_share = std::max(1e-3, xt.link_bw_gbs / n);
+    share_gbs = 1.0 / ((1.0 - xt.remote_fraction) / share_gbs +
+                       xt.remote_fraction / link_share);
+    numa_factor *= 1.0 + xt.remote_fraction * xt.extra_latency_ns /
+                             m.memory.idle_latency_ns;
+  }
 
   memsim::DramConfig dc;
   dc.channels = 1;

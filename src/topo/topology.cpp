@@ -1,0 +1,133 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace rvhpc::topo {
+namespace {
+
+/// Of the data homed uniformly across the used domains, the fraction a
+/// kernel's threads actually touch remotely.  Streamed sweeps are mostly
+/// domain-local under first-touch; halo exchanges, shared vectors and
+/// reduction trees are not.  One calibrated knob, shared by both
+/// prediction backends so their bottleneck classifications stay
+/// comparable on multi-socket machines.
+constexpr double kUniformShare = 0.35;
+
+/// Index of the domain named `id` in declaration order; -1 when absent.
+int index_of(const Topology& t, const std::string& id) {
+  for (std::size_t i = 0; i < t.domains.size(); ++i) {
+    if (t.domains[i].id == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+int Topology::total_cores() const {
+  int sum = 0;
+  for (const Domain& d : domains) sum += d.cores;
+  return sum;
+}
+
+const Domain* Topology::find(const std::string& id) const {
+  for (const Domain& d : domains) {
+    if (d.id == id) return &d;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> structural_issues(const Topology& t) {
+  std::vector<std::string> issues;
+  for (std::size_t i = 0; i < t.domains.size(); ++i) {
+    const Domain& d = t.domains[i];
+    const std::string where = "topology.domain[" + std::to_string(i) + "]: ";
+    if (d.id.empty()) issues.push_back(where + "domain id must be non-empty");
+    if (d.cores < 1) issues.push_back(where + "domain must own at least one core");
+    if (d.dram_gib <= 0.0) issues.push_back(where + "local DRAM slice must be positive");
+    if (d.dram_bw_gbs <= 0.0) {
+      issues.push_back(where + "local DRAM bandwidth must be positive");
+    }
+    if (d.llc_mib < 0.0) issues.push_back(where + "LLC slice must be non-negative");
+    for (std::size_t j = 0; j < i; ++j) {
+      if (t.domains[j].id == d.id) {
+        issues.push_back(where + "duplicate domain id '" + d.id + "'");
+      }
+    }
+  }
+  for (std::size_t i = 0; i < t.links.size(); ++i) {
+    const Link& l = t.links[i];
+    const std::string where = "topology.link[" + std::to_string(i) + "]: ";
+    if (l.from == l.to) {
+      issues.push_back(where + "link must join two distinct domains");
+    }
+    for (const std::string* end : {&l.from, &l.to}) {
+      if (!t.find(*end)) {
+        issues.push_back(where + "endpoint '" + *end +
+                         "' is not a declared domain");
+      }
+    }
+    if (l.bandwidth_gbs <= 0.0) {
+      issues.push_back(where + "link bandwidth must be positive");
+    }
+    if (l.latency_ns < 0.0) issues.push_back(where + "latency must be non-negative");
+    if (l.coherence_ns < 0.0) {
+      issues.push_back(where + "coherence penalty must be non-negative");
+    }
+  }
+  if (!t.domains.empty() && t.domains.size() > 1 && t.links.empty()) {
+    issues.push_back(
+        "topology: multiple domains declared but no link joins them");
+  }
+  return issues;
+}
+
+int domains_spanned(const Topology& t, int active_cores) {
+  if (t.domains.empty() || active_cores <= 0) return 1;
+  int hosted = 0;
+  for (std::size_t i = 0; i < t.domains.size(); ++i) {
+    hosted += std::max(t.domains[i].cores, 0);
+    if (hosted >= active_cores) return static_cast<int>(i) + 1;
+  }
+  return static_cast<int>(t.domains.size());
+}
+
+CrossTraffic cross_traffic(const Topology& t, int active_cores,
+                           double working_set_mib) {
+  CrossTraffic x;
+  const int d = domains_spanned(t, active_cores);
+  if (d <= 1) return x;
+
+  // A working set the first domain's LLC slice holds never leaves it:
+  // the shared data is cache-resident and coherence keeps copies local.
+  // The remote share ramps in as the set outgrows that slice.
+  double span = 1.0;
+  const double llc = t.domains.front().llc_mib;
+  if (llc > 0.0 && working_set_mib > 0.0) {
+    span = std::clamp(working_set_mib / llc - 1.0, 0.0, 1.0);
+  }
+
+  // Aggregate the links whose both endpoints are among the used (first d)
+  // domains; a topology whose used domains are not linked carries no
+  // cross traffic at all rather than charging against a phantom link.
+  double bw = 0.0;
+  double penalty = 0.0;
+  int used = 0;
+  for (const Link& l : t.links) {
+    const int a = index_of(t, l.from);
+    const int b = index_of(t, l.to);
+    if (a < 0 || b < 0 || a >= d || b >= d) continue;
+    bw += l.bandwidth_gbs;
+    penalty += l.latency_ns + l.coherence_ns;
+    ++used;
+  }
+  if (used == 0 || bw <= 0.0) return x;
+
+  x.domains_used = d;
+  x.remote_fraction = kUniformShare * (1.0 - 1.0 / d) * span;
+  x.link_bw_gbs = bw;
+  x.extra_latency_ns = penalty / used;
+  return x;
+}
+
+}  // namespace rvhpc::topo

@@ -1,0 +1,98 @@
+#pragma once
+// rvhpc::topo — NUMA / multi-socket topology modeling.
+//
+// The paper evaluates a single-socket SG2044, where one MemorySubsystem
+// describes the whole chip.  Past one socket — Brown & Day's multi-socket
+// RISC-V study (arxiv 2502.10320) and the Monte Cimone v3 cluster (arxiv
+// 2605.22831) — the scaling shape is dominated by what the flat model
+// cannot express: cross-socket traffic drains through an inter-socket
+// link that is far narrower than local DRAM, and every remote access pays
+// the link's latency plus a coherence penalty.
+//
+// A Topology is an optional overlay on arch::MachineModel: a list of NUMA
+// domains (cores, local DRAM slice/bandwidth, local LLC slice) plus the
+// links between them.  An empty topology is "flat" — the single-socket
+// default — and every consumer must treat a flat machine bit-identically
+// to a machine that predates this type.  Both prediction backends charge
+// topology through the one shared helper below (cross_traffic), so the
+// backend-agreement bench localises divergence to the interval mechanism,
+// never to a different topology interpretation.
+
+#include <string>
+#include <vector>
+
+namespace rvhpc::topo {
+
+/// One NUMA domain: a socket of a multi-socket board, or a node of a
+/// cluster-style machine.  Cores fill domains in declaration order
+/// (first-touch placement), so the first domain is where a small run
+/// lives entirely.
+struct Domain {
+  std::string id;            ///< unique name, e.g. "socket0", "node2"
+  int cores = 0;             ///< cores owned by this domain
+  double dram_gib = 0.0;     ///< local DRAM slice
+  double dram_bw_gbs = 0.0;  ///< sustained local DRAM bandwidth
+  double llc_mib = 0.0;      ///< last-level cache slice local to the domain
+};
+
+/// One inter-domain link (socket interconnect, cluster fabric).  Links
+/// are undirected for charging purposes; `from`/`to` must name declared
+/// domains.
+struct Link {
+  std::string from;
+  std::string to;
+  double bandwidth_gbs = 0.0;  ///< sustained cross-domain bandwidth
+  double latency_ns = 0.0;     ///< one-way transfer latency
+  double coherence_ns = 0.0;   ///< extra penalty per coherent remote access
+};
+
+struct Topology {
+  std::vector<Domain> domains;
+  std::vector<Link> links;
+
+  /// The single-socket default: no topology section at all.  Flat
+  /// machines must predict bit-identically to the pre-topology code.
+  [[nodiscard]] bool flat() const { return domains.empty(); }
+  [[nodiscard]] int total_cores() const;
+  /// Domain by id; nullptr when no such domain is declared.
+  [[nodiscard]] const Domain* find(const std::string& id) const;
+};
+
+/// Structural invariants that need no owning machine: unique non-empty
+/// domain ids, positive per-domain resources, links with positive
+/// bandwidth joining two distinct declared domains.  Returns
+/// human-readable issues (empty = sound); arch::validate folds these
+/// into its ValidationIssue list.
+[[nodiscard]] std::vector<std::string> structural_issues(const Topology& t);
+
+/// How many leading domains host `active_cores` cores when threads fill
+/// domains in declaration order (first-touch).  1 when the topology is
+/// flat or one domain suffices.
+[[nodiscard]] int domains_spanned(const Topology& t, int active_cores);
+
+/// What a run crossing domains pays — the one charging model both
+/// prediction backends share.
+struct CrossTraffic {
+  int domains_used = 1;
+  /// Fraction of DRAM traffic homed in a remote domain.  0 when the run
+  /// fits one domain (or the topology is flat/disconnected), which is the
+  /// bit-identity guarantee for every pre-existing machine.
+  double remote_fraction = 0.0;
+  /// Aggregate sustained bandwidth of the links joining the used domains.
+  double link_bw_gbs = 0.0;
+  /// Mean per-remote-access penalty over those links: transfer latency
+  /// plus the coherence penalty.
+  double extra_latency_ns = 0.0;
+};
+
+/// Charges `active_cores` cores running a kernel with the given working
+/// set against the topology.  Shared arrays are distributed first-touch
+/// across the used domains, so the remote share of traffic grows with
+/// the domain count ((1 - 1/d) of uniformly-placed data, derated by the
+/// fraction of such data a kernel actually touches remotely); a working
+/// set a single domain's LLC slice holds stays coherence-local and
+/// crosses no link.
+[[nodiscard]] CrossTraffic cross_traffic(const Topology& t, int active_cores,
+                                         double working_set_mib);
+
+}  // namespace rvhpc::topo

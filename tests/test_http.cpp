@@ -597,4 +597,127 @@ TEST(HttpServer_, BothListenersShareOneServiceAndCache) {
       << "an HTTP request warmed by the raw wire must be a cache hit";
 }
 
+// --- HEAD requests --------------------------------------------------------
+
+/// Receives until `cl.buffered` holds one full response head, returns it
+/// (through the blank line) and leaves everything after it buffered.
+/// HEAD responses carry a Content-Length but no body, so ResponseParser
+/// would wait forever — raw bytes are the only honest way to read them.
+std::string recv_head(Client& cl) {
+  std::size_t end;
+  while ((end = cl.buffered.find("\r\n\r\n")) == std::string::npos) {
+    char chunk[4096];
+    const ssize_t n = ::recv(cl.fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return {};
+    cl.buffered.append(chunk, static_cast<std::size_t>(n));
+  }
+  std::string head = cl.buffered.substr(0, end + 4);
+  cl.buffered.erase(0, end + 4);
+  return head;
+}
+
+TEST(HttpServer_, HeadHealthzMatchesGetHeadByteForByte) {
+  HttpServer s;
+  Client cl(s.server.http_port());
+  ASSERT_TRUE(cl.connected());
+  ASSERT_TRUE(cl.send_all(
+      "HEAD /healthz HTTP/1.1\r\nHost: t\r\n\r\n"
+      "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"));
+  // If the HEAD response smuggled any body bytes, they would land at the
+  // start of the second head and break both assertions below.
+  const std::string head_head = recv_head(cl);
+  const std::string get_head = recv_head(cl);
+  ASSERT_FALSE(head_head.empty());
+  EXPECT_NE(head_head.find("HTTP/1.1 200"), std::string::npos) << head_head;
+  EXPECT_NE(head_head.find("Content-Length: "), std::string::npos);
+  EXPECT_EQ(head_head, get_head)
+      << "HEAD must answer exactly the GET headers";
+  // The advertised length matches the GET body that follows.
+  const std::size_t cl_pos = get_head.find("Content-Length: ") + 16;
+  const std::size_t want = std::stoul(get_head.substr(cl_pos));
+  ASSERT_GT(want, 0u);
+  while (cl.buffered.size() < want) {
+    char chunk[4096];
+    const ssize_t n = ::recv(cl.fd, chunk, sizeof(chunk), 0);
+    ASSERT_GT(n, 0);
+    cl.buffered.append(chunk, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(cl.buffered.size(), want);
+  EXPECT_EQ(obs::json::parse(cl.buffered).find("status")->str, "serving");
+}
+
+TEST(HttpServer_, HeadMetricsAnswersHeadersOnly) {
+  obs::set_metrics_enabled(true);
+  HttpServer s;
+  Client cl(s.server.http_port());
+  ASSERT_TRUE(cl.connected());
+  ASSERT_TRUE(cl.send_all(
+      "HEAD /metrics HTTP/1.1\r\nHost: t\r\n\r\n"
+      "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"));
+  const std::string head = recv_head(cl);
+  ASSERT_FALSE(head.empty());
+  EXPECT_NE(head.find("HTTP/1.1 200"), std::string::npos) << head;
+  EXPECT_NE(head.find("text/plain"), std::string::npos) << head;
+  EXPECT_NE(head.find("Content-Length: "), std::string::npos) << head;
+  // The healthz response must follow immediately: no metrics body bytes.
+  http::ResponseParser rp;
+  ASSERT_TRUE(cl.recv_response(rp));
+  EXPECT_EQ(rp.status(), 200);
+  EXPECT_EQ(obs::json::parse(rp.body()).find("status")->str, "serving");
+}
+
+// --- header-read timeout (slow loris) -------------------------------------
+
+TEST(HttpServer_, SlowLorisHeadersAnswered408AndCounted) {
+  obs::set_metrics_enabled(true);
+  net::ServerOptions nopts = HttpServer::with_http();
+  nopts.header_timeout_ms = 60;
+  nopts.poll_interval_ms = 5;
+  HttpServer s(nopts);
+
+  // A well-behaved keep-alive client: its requests complete, so however
+  // long it idles between them the header deadline must never bite.
+  Client good(s.server.http_port());
+  ASSERT_TRUE(good.connected());
+  ASSERT_TRUE(good.send_all("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"));
+  http::ResponseParser ok;
+  ASSERT_TRUE(good.recv_response(ok));
+  EXPECT_EQ(ok.status(), 200);
+
+  // The loris drips its header bytes forever without the closing blank
+  // line; every drip would reset an idle timeout, but not this one.
+  Client loris(s.server.http_port());
+  ASSERT_TRUE(loris.connected());
+  const std::string req = "GET /healthz HTTP/1.1\r\nHost: dribble\r\n";
+  for (char c : req) {
+    if (!loris.send_all(std::string(1, c))) break;  // server hung up
+    std::this_thread::sleep_for(5ms);
+  }
+  http::ResponseParser rp;
+  ASSERT_TRUE(loris.recv_response(rp));
+  EXPECT_EQ(rp.status(), 408);
+  EXPECT_TRUE(loris.at_eof());
+  ASSERT_TRUE(s.wait_for([](const net::ServerStats& st) {
+    return st.disconnect_header_timeout == 1;
+  }));
+
+  // The patient complete-request client survived the purge...
+  ASSERT_TRUE(good.send_all("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"));
+  http::ResponseParser again;
+  ASSERT_TRUE(good.recv_response(again));
+  EXPECT_EQ(again.status(), 200);
+
+  // ...and the scrape exposes the exact labeled counter.
+  Client m(s.server.http_port());
+  ASSERT_TRUE(m.connected());
+  ASSERT_TRUE(m.send_all("GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n"));
+  http::ResponseParser metrics;
+  ASSERT_TRUE(m.recv_response(metrics));
+  EXPECT_NE(metrics.body().find(
+                "rvhpc_net_disconnect_total{reason=\"header_timeout\"}"),
+            std::string::npos)
+      << "the disconnect must surface as "
+         "rvhpc_net_disconnect_total{reason=\"header_timeout\"}";
+}
+
 }  // namespace

@@ -380,6 +380,33 @@ TEST(NetServer, IdleConnectionIsToldTimeoutAndClosed) {
   }));
 }
 
+TEST(NetServer, SlowLorisPartialLineHitsHeaderDeadlineNotIdle) {
+  net::ServerOptions nopts;
+  nopts.idle_timeout_ms = 2000;  // generous: every drip resets it
+  nopts.header_timeout_ms = 60;  // the deadline actually under test
+  nopts.poll_interval_ms = 5;
+  LoopbackServer s(nopts);
+  Client cl(s.server.port());
+  ASSERT_TRUE(cl.connected());
+  // Drip a request one byte at a time, never sending the newline: the
+  // idle clock restarts on every byte, but the partial-request clock
+  // started with the first byte and runs out mid-drip.
+  const std::string partial = R"({"id": "loris", "machine": "sg2)";
+  for (char c : partial) {
+    if (!cl.send_all(std::string(1, c))) break;  // server hung up
+    std::this_thread::sleep_for(5ms);
+  }
+  const obs::json::Value v = obs::json::parse(cl.recv_line());
+  EXPECT_EQ(v.find("status")->str, "error");
+  EXPECT_EQ(v.find("error")->str, "timeout");
+  EXPECT_TRUE(cl.recv_line().empty());
+  ASSERT_TRUE(s.wait_for([](const net::ServerStats& st) {
+    return st.disconnect_header_timeout == 1;
+  }));
+  EXPECT_EQ(s.server.stats().disconnect_idle, 0u)
+      << "the header deadline, not the idle timeout, must attribute this";
+}
+
 // --- misbehaving peers ----------------------------------------------------
 
 TEST(NetServer, MidRequestDisconnectDiscardsThePartialLine) {

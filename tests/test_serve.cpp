@@ -16,6 +16,8 @@
 
 #include <gtest/gtest.h>
 
+#include "arch/registry.hpp"
+#include "arch/serialize.hpp"
 #include "engine/cache.hpp"
 #include "obs/json.hpp"
 #include "serve/persist.hpp"
@@ -370,6 +372,48 @@ TEST(Service, LintRejectsImplausibleMachineTextWithDetail) {
   opts.lint_admission = false;
   serve::Service lax(opts);
   EXPECT_EQ(parsed(lax.handle_line(line)).find("status")->str, "ok");
+}
+
+TEST(Service, TopologyMachineTextAdmitsThroughLintLikeAnyOther) {
+  // The topology overlay (DESIGN.md §15) rides the same machine_text
+  // admission path: a clean dual-socket machine predicts, a broken core
+  // partition is an A301 lint reject, a dangling link endpoint fails
+  // structural validation — the wire needs no topology-specific code.
+  const auto escaped = [](const std::string& text) {
+    std::string out;
+    for (char ch : text) {
+      if (ch == '\n') out += "\\n";
+      else if (ch == '"') out += "\\\"";
+      else out += ch;
+    }
+    return out;
+  };
+  const auto request = [&](const arch::MachineModel& m) {
+    return R"({"id": "topo", "machine_text": ")" + escaped(arch::to_text(m)) +
+           R"(", "kernel": "EP", "cores": 128})";
+  };
+  serve::Service svc(no_persist());
+
+  const auto ok = parsed(svc.handle_line(request(arch::machine("sg2044-dual"))));
+  EXPECT_EQ(ok.find("status")->str, "ok");
+
+  arch::MachineModel unbalanced = arch::machine("sg2044-dual");
+  unbalanced.topology.domains[0].cores -= 1;  // A301: cores no longer partition
+  const auto lint = parsed(svc.handle_line(request(unbalanced)));
+  EXPECT_EQ(lint.find("status")->str, "error");
+  EXPECT_EQ(lint.find("error")->str, "lint");
+  const obs::json::Value* detail = lint.find("detail");
+  ASSERT_NE(detail, nullptr);
+  ASSERT_FALSE(detail->array.empty());
+  EXPECT_NE(detail->array[0].str.find("A301"), std::string::npos);
+
+  arch::MachineModel dangling = arch::machine("sg2044-dual");
+  dangling.topology.links[0].to = "ghost";
+  const auto bad = parsed(svc.handle_line(request(dangling)));
+  EXPECT_EQ(bad.find("status")->str, "error");
+  EXPECT_EQ(bad.find("error")->str, "parse")
+      << "dangling endpoints are a from_text parse reject, line-numbered";
+  EXPECT_NE(bad.find("message")->str.find("ghost"), std::string::npos);
 }
 
 TEST(Service, ExpiredDeadlineAnswersTimeout) {
